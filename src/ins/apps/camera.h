@@ -1,0 +1,93 @@
+// Camera: a mobile camera network (paper §3.2).
+//
+// Transmitters serve images; receivers fetch them. Two interaction modes:
+// request–response (a receiver anycasts a request to the transmitter's
+// intentional name; the transmitter replies to the receiver's name, using
+// the receiver's unique id), and subscription (a transmitter multicasts each
+// frame to [service=camera[entity=receiver[id=*]]][room=R], reaching every
+// subscriber at once). Both survive node mobility (MobilityManager rebinds
+// and re-announces) and service mobility (MoveToRoom renames the camera).
+// Frames may carry a cache lifetime so INRs answer repeat requests from the
+// §3.2 packet cache.
+
+#ifndef INS_APPS_CAMERA_H_
+#define INS_APPS_CAMERA_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ins/client/api.h"
+
+namespace ins {
+
+class CameraTransmitter {
+ public:
+  CameraTransmitter(InsClient* client, const std::string& id, const std::string& room);
+
+  // Updates the current frame.
+  void SetImage(Bytes image) { image_ = std::move(image); }
+  const Bytes& image() const { return image_; }
+
+  // Pushes the current frame to every subscriber in this camera's room. A
+  // non-zero cache lifetime lets INRs cache the frame en route.
+  void PublishToSubscribers(uint32_t cache_lifetime_s = 0);
+
+  // Service mobility: the camera now observes a different room.
+  void MoveToRoom(const std::string& room);
+
+  const NameSpecifier& name() const;
+  const std::string& room() const { return room_; }
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+  static NameSpecifier NameFor(const std::string& id, const std::string& room);
+
+  InsClient* client_;
+  std::string id_;
+  std::string room_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  Bytes image_;
+  uint64_t requests_served_ = 0;
+};
+
+class CameraReceiver {
+ public:
+  CameraReceiver(InsClient* client, const std::string& id);
+
+  // Fetches the current image from (the best) camera in `room`. With
+  // `allow_cached`, an INR holding a cached frame answers directly.
+  using ImageCallback = std::function<void(Status, Bytes)>;
+  void RequestImage(const std::string& room, bool allow_cached, ImageCallback cb,
+                    Duration timeout = Seconds(2));
+
+  // Subscribes to frames multicast by cameras in `room` (advertises this
+  // receiver's name with that room attribute).
+  void Subscribe(const std::string& room);
+  void Unsubscribe();
+
+  // Fired for every subscription frame.
+  std::function<void(const NameSpecifier& camera, const Bytes& image)> on_frame;
+
+  const NameSpecifier& name() const { return name_; }
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+
+  InsClient* client_;
+  std::string id_;
+  NameSpecifier name_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  uint64_t next_request_id_ = 1;
+  struct PendingRequest {
+    ImageCallback callback;
+    TaskId timeout_task;
+  };
+  std::map<uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace ins
+
+#endif  // INS_APPS_CAMERA_H_

@@ -1,0 +1,147 @@
+#include "ins/apps/floorplan.h"
+
+#include "ins/name/parser.h"
+
+namespace ins {
+
+namespace {
+
+// Locator request/response payloads: u64 request id + region string.
+Bytes EncodeMapRequest(uint64_t id, const std::string& region) {
+  ByteWriter w;
+  w.WriteU64(id);
+  w.WriteString(region);
+  return std::move(w).TakeBytes();
+}
+
+struct MapRequest {
+  uint64_t id;
+  std::string region;
+};
+
+Result<MapRequest> DecodeMapRequest(const Bytes& payload) {
+  ByteReader r(payload);
+  MapRequest req;
+  INS_ASSIGN_OR_RETURN(req.id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(req.region, r.ReadString());
+  return req;
+}
+
+Bytes EncodeMapResponse(uint64_t id, bool found, const Bytes& map_data) {
+  ByteWriter w;
+  w.WriteU64(id);
+  w.WriteU8(found ? 1 : 0);
+  w.WriteU32(static_cast<uint32_t>(map_data.size()));
+  w.WriteBytes(map_data);
+  return std::move(w).TakeBytes();
+}
+
+struct MapResponse {
+  uint64_t id;
+  bool found;
+  Bytes map_data;
+};
+
+Result<MapResponse> DecodeMapResponse(const Bytes& payload) {
+  ByteReader r(payload);
+  MapResponse resp;
+  INS_ASSIGN_OR_RETURN(resp.id, r.ReadU64());
+  uint8_t found = 0;
+  INS_ASSIGN_OR_RETURN(found, r.ReadU8());
+  resp.found = found != 0;
+  uint32_t len = 0;
+  INS_ASSIGN_OR_RETURN(len, r.ReadU32());
+  INS_ASSIGN_OR_RETURN(resp.map_data, r.ReadBytes(len));
+  return resp;
+}
+
+}  // namespace
+
+// --- LocatorService ----------------------------------------------------------
+
+LocatorService::LocatorService(InsClient* client) : client_(client) {
+  NameSpecifier name;
+  name.AddPath({{"service", "locator"}, {"entity", "server"}});
+  advertisement_ = client_->Advertise(name);
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+}
+
+void LocatorService::AddMap(const std::string& region, Bytes map_data) {
+  maps_[region] = std::move(map_data);
+}
+
+void LocatorService::OnData(const NameSpecifier& source, const Bytes& payload) {
+  auto req = DecodeMapRequest(payload);
+  if (!req.ok() || source.empty()) {
+    return;
+  }
+  ++requests_served_;
+  auto it = maps_.find(req->region);
+  const bool found = it != maps_.end();
+  // The requester's intentional name routes the response (paper §3.1).
+  client_->SendAnycast(source, EncodeMapResponse(req->id, found, found ? it->second : Bytes{}),
+                       advertisement_->name());
+}
+
+// --- FloorplanApp -------------------------------------------------------------
+
+FloorplanApp::FloorplanApp(InsClient* client, const std::string& display_id)
+    : client_(client) {
+  own_name_.AddPath({{"service", "floorplan"}, {"entity", "display"}, {"id", display_id}});
+  advertisement_ = client_->Advertise(own_name_);
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+}
+
+void FloorplanApp::Refresh(std::function<void(Status)> done) {
+  client_->Discover(
+      filter_, "", [this, done = std::move(done)](Status s, auto names) {
+        if (!s.ok()) {
+          done(s);
+          return;
+        }
+        icons_.clear();
+        for (const InsClient::DiscoveredName& dn : names) {
+          Icon icon;
+          icon.service = dn.name.GetValue({"service"}).value_or("");
+          icon.room = dn.name.GetValue({"room"}).value_or("");
+          icon.name = dn.name;
+          icon.metric = dn.app_metric;
+          if (icon.service == "floorplan") {
+            continue;  // not a service users click on
+          }
+          icons_[dn.name.ToString()] = std::move(icon);
+        }
+        done(Status::Ok());
+      });
+}
+
+void FloorplanApp::RequestMap(const std::string& region, MapCallback cb) {
+  uint64_t id = next_request_id_++;
+  pending_maps_[id] = std::move(cb);
+  NameSpecifier locator;
+  locator.AddPath({{"service", "locator"}, {"entity", "server"}});
+  client_->SendAnycast(locator, EncodeMapRequest(id, region), own_name_);
+}
+
+void FloorplanApp::OnData(const NameSpecifier& source, const Bytes& payload) {
+  (void)source;
+  auto resp = DecodeMapResponse(payload);
+  if (!resp.ok()) {
+    return;
+  }
+  auto it = pending_maps_.find(resp->id);
+  if (it == pending_maps_.end()) {
+    return;
+  }
+  MapCallback cb = std::move(it->second);
+  pending_maps_.erase(it);
+  if (resp->found) {
+    cb(Status::Ok(), std::move(resp->map_data));
+  } else {
+    cb(NotFoundError("no map for region"), {});
+  }
+}
+
+}  // namespace ins

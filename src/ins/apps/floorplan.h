@@ -1,0 +1,83 @@
+// Floorplan: map-based service discovery (paper §3.1), headless.
+//
+// Floorplan discovers location-dependent services by sending a discovery
+// filter to its resolver and turning the returned name-specifiers into
+// "icons" (service type + room). Region maps are not baked in: they are
+// retrieved on demand from a Locator service, itself discovered by
+// intentional name — the paper's request
+// [service=locator[entity=server]][location] pattern. As services announce
+// or time out, the icon set follows the resolver's soft state.
+
+#ifndef INS_APPS_FLOORPLAN_H_
+#define INS_APPS_FLOORPLAN_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "ins/client/api.h"
+
+namespace ins {
+
+// Serves region maps under [service=locator[entity=server]].
+class LocatorService {
+ public:
+  explicit LocatorService(InsClient* client);
+
+  // Registers the map bytes for a region (e.g. "ne43-5th-floor").
+  void AddMap(const std::string& region, Bytes map_data);
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+
+  InsClient* client_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  std::map<std::string, Bytes> maps_;
+  uint64_t requests_served_ = 0;
+};
+
+class FloorplanApp {
+ public:
+  // One icon per discovered service name.
+  struct Icon {
+    std::string service;  // e.g. "camera", "printer"
+    std::string room;     // "" when the service has no room attribute
+    NameSpecifier name;   // the full specifier (used to invoke the service)
+    double metric = 0.0;
+  };
+
+  // `display_id` distinguishes this display instance's own name.
+  FloorplanApp(InsClient* client, const std::string& display_id);
+
+  // Runs one discovery round with the current region filter; on completion
+  // the icon set reflects every currently live matching service.
+  void Refresh(std::function<void(Status)> done);
+
+  // Restricts discovery, e.g. to one room: [room=510].
+  void SetFilter(NameSpecifier filter) { filter_ = std::move(filter); }
+
+  // Icons keyed by canonical name text.
+  const std::map<std::string, Icon>& icons() const { return icons_; }
+
+  // Fetches the map for a region from whichever Locator answers.
+  using MapCallback = std::function<void(Status, Bytes)>;
+  void RequestMap(const std::string& region, MapCallback cb);
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+
+  InsClient* client_;
+  NameSpecifier own_name_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  NameSpecifier filter_;
+  std::map<std::string, Icon> icons_;
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, MapCallback> pending_maps_;
+};
+
+}  // namespace ins
+
+#endif  // INS_APPS_FLOORPLAN_H_

@@ -1,0 +1,320 @@
+#include "ins/apps/printer.h"
+
+#include <numeric>
+
+namespace ins {
+
+namespace {
+
+// Spooler control protocol, carried in packet payloads.
+enum class Op : uint8_t {
+  kSubmit = 1,
+  kSubmitAck = 2,
+  kList = 3,
+  kListResponse = 4,
+  kRemove = 5,
+  kRemoveAck = 6,
+};
+
+NameSpecifier SpoolerName(const std::string& id, const std::string& room) {
+  NameSpecifier n;
+  n.AddPath({{"service", "printer"}, {"entity", "spooler"}, {"id", id}});
+  n.AddPath({{"room", room}});
+  return n;
+}
+
+NameSpecifier SpoolerById(const std::string& id) {
+  NameSpecifier n;
+  n.AddPath({{"service", "printer"}, {"entity", "spooler"}, {"id", id}});
+  return n;
+}
+
+NameSpecifier SpoolerInRoom(const std::string& room) {
+  // The printer's id is omitted on purpose: anycast picks the best one.
+  NameSpecifier n;
+  n.AddPath({{"service", "printer"}, {"entity", "spooler"}});
+  n.AddPath({{"room", room}});
+  return n;
+}
+
+}  // namespace
+
+// --- PrinterSpooler -------------------------------------------------------------
+
+PrinterSpooler::PrinterSpooler(InsClient* client, const std::string& id,
+                               const std::string& room, Options options)
+    : client_(client), id_(id), room_(room), options_(options) {
+  advertisement_ = client_->Advertise(SpoolerName(id_, room_), {{515, "lpd"}},
+                                      current_metric());
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+  tick_task_ = client_->executor()->ScheduleAfter(options_.tick_interval,
+                                                  [this] { ProcessTick(); });
+}
+
+PrinterSpooler::~PrinterSpooler() { client_->executor()->Cancel(tick_task_); }
+
+size_t PrinterSpooler::queued_bytes() const {
+  size_t total = std::accumulate(
+      queue_.begin(), queue_.end(), size_t{0},
+      [](size_t acc, const PrintJob& j) { return acc + j.size_bytes; });
+  return total - std::min<size_t>(total, head_progress_);
+}
+
+double PrinterSpooler::current_metric() const {
+  return static_cast<double>(queued_bytes()) * options_.metric_per_queued_byte +
+         (error_ ? options_.error_penalty : 0.0);
+}
+
+void PrinterSpooler::SetError(bool error) {
+  error_ = error;
+  UpdateMetric();
+}
+
+void PrinterSpooler::UpdateMetric() { advertisement_->SetMetric(current_metric()); }
+
+void PrinterSpooler::ProcessTick() {
+  if (!error_ && !queue_.empty()) {
+    head_progress_ += options_.bytes_per_tick;
+    if (head_progress_ >= queue_.front().size_bytes) {
+      queue_.pop_front();
+      head_progress_ = 0;
+      ++jobs_completed_;
+    }
+    UpdateMetric();
+  }
+  tick_task_ = client_->executor()->ScheduleAfter(options_.tick_interval,
+                                                  [this] { ProcessTick(); });
+}
+
+void PrinterSpooler::OnData(const NameSpecifier& source, const Bytes& payload) {
+  ByteReader r(payload);
+  auto op = r.ReadU8();
+  auto request_id = r.ReadU64();
+  if (!op.ok() || !request_id.ok() || source.empty()) {
+    return;
+  }
+
+  ByteWriter reply;
+  switch (static_cast<Op>(*op)) {
+    case Op::kSubmit: {
+      auto user = r.ReadString();
+      auto size = r.ReadU32();
+      if (!user.ok() || !size.ok()) {
+        return;
+      }
+      PrintJob job;
+      job.id = next_job_id_++;
+      job.user = std::move(*user);
+      job.size_bytes = *size;
+      queue_.push_back(job);
+      UpdateMetric();
+
+      reply.WriteU8(static_cast<uint8_t>(Op::kSubmitAck));
+      reply.WriteU64(*request_id);
+      reply.WriteString(id_);
+      reply.WriteU64(job.id);
+      break;
+    }
+    case Op::kList: {
+      reply.WriteU8(static_cast<uint8_t>(Op::kListResponse));
+      reply.WriteU64(*request_id);
+      reply.WriteU16(static_cast<uint16_t>(queue_.size()));
+      for (const PrintJob& job : queue_) {
+        reply.WriteU64(job.id);
+        reply.WriteString(job.user);
+        reply.WriteU32(job.size_bytes);
+      }
+      break;
+    }
+    case Op::kRemove: {
+      auto user = r.ReadString();
+      auto job_id = r.ReadU64();
+      if (!user.ok() || !job_id.ok()) {
+        return;
+      }
+      bool removed = false;
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->id == *job_id) {
+          // Only the submitting user may remove the job.
+          if (it->user == *user) {
+            if (it == queue_.begin()) {
+              head_progress_ = 0;
+            }
+            queue_.erase(it);
+            removed = true;
+          }
+          break;
+        }
+      }
+      if (removed) {
+        UpdateMetric();
+      }
+      reply.WriteU8(static_cast<uint8_t>(Op::kRemoveAck));
+      reply.WriteU64(*request_id);
+      reply.WriteU8(removed ? 1 : 0);
+      break;
+    }
+    default:
+      return;  // not a spooler request
+  }
+  client_->SendAnycast(source, reply.bytes(), advertisement_->name());
+}
+
+// --- PrinterClient ----------------------------------------------------------------
+
+PrinterClient::PrinterClient(InsClient* client, const std::string& user)
+    : client_(client), user_(user) {
+  own_name_.AddPath({{"service", "printer"}, {"entity", "client"}, {"id", user_}});
+  advertisement_ = client_->Advertise(own_name_);
+  client_->OnData(
+      [this](const NameSpecifier& source, const Bytes& payload) { OnData(source, payload); });
+}
+
+void PrinterClient::Submit(const NameSpecifier& destination, const Bytes& document,
+                           SubmitCallback cb) {
+  uint64_t id = next_request_id_++;
+  TaskId timeout = client_->executor()->ScheduleAfter(Seconds(2), [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    SubmitCallback cb2 = std::move(it->second.submit);
+    pending_.erase(it);
+    cb2(DeadlineExceededError("print submission timed out"), {});
+  });
+  Pending pending;
+  pending.submit = std::move(cb);
+  pending.timeout_task = timeout;
+  pending_.emplace(id, std::move(pending));
+
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(Op::kSubmit));
+  w.WriteU64(id);
+  w.WriteString(user_);
+  w.WriteU32(static_cast<uint32_t>(document.size()));
+  client_->SendAnycast(destination, w.bytes(), own_name_);
+}
+
+void PrinterClient::SubmitToPrinter(const std::string& printer_id, const Bytes& document,
+                                    SubmitCallback cb) {
+  Submit(SpoolerById(printer_id), document, std::move(cb));
+}
+
+void PrinterClient::SubmitToBest(const std::string& room, const Bytes& document,
+                                 SubmitCallback cb) {
+  Submit(SpoolerInRoom(room), document, std::move(cb));
+}
+
+void PrinterClient::ListJobs(const std::string& printer_id, ListCallback cb) {
+  uint64_t id = next_request_id_++;
+  TaskId timeout = client_->executor()->ScheduleAfter(Seconds(2), [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    ListCallback cb2 = std::move(it->second.list);
+    pending_.erase(it);
+    cb2(DeadlineExceededError("queue listing timed out"), {});
+  });
+  Pending pending;
+  pending.list = std::move(cb);
+  pending.timeout_task = timeout;
+  pending_.emplace(id, std::move(pending));
+
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(Op::kList));
+  w.WriteU64(id);
+  client_->SendAnycast(SpoolerById(printer_id), w.bytes(), own_name_);
+}
+
+void PrinterClient::RemoveJob(const std::string& printer_id, uint64_t job_id,
+                              RemoveCallback cb) {
+  uint64_t id = next_request_id_++;
+  TaskId timeout = client_->executor()->ScheduleAfter(Seconds(2), [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) {
+      return;
+    }
+    RemoveCallback cb2 = std::move(it->second.remove);
+    pending_.erase(it);
+    cb2(DeadlineExceededError("job removal timed out"));
+  });
+  Pending pending;
+  pending.remove = std::move(cb);
+  pending.timeout_task = timeout;
+  pending_.emplace(id, std::move(pending));
+
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(Op::kRemove));
+  w.WriteU64(id);
+  w.WriteString(user_);
+  w.WriteU64(job_id);
+  client_->SendAnycast(SpoolerById(printer_id), w.bytes(), own_name_);
+}
+
+void PrinterClient::OnData(const NameSpecifier& source, const Bytes& payload) {
+  (void)source;
+  ByteReader r(payload);
+  auto op = r.ReadU8();
+  auto request_id = r.ReadU64();
+  if (!op.ok() || !request_id.ok()) {
+    return;
+  }
+  auto it = pending_.find(*request_id);
+  if (it == pending_.end()) {
+    return;
+  }
+  client_->executor()->Cancel(it->second.timeout_task);
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+
+  switch (static_cast<Op>(*op)) {
+    case Op::kSubmitAck: {
+      auto printer = r.ReadString();
+      auto job_id = r.ReadU64();
+      if (!printer.ok() || !job_id.ok() || !pending.submit) {
+        return;
+      }
+      pending.submit(Status::Ok(), SubmitResult{std::move(*printer), *job_id});
+      return;
+    }
+    case Op::kListResponse: {
+      auto n = r.ReadU16();
+      if (!n.ok() || !pending.list) {
+        return;
+      }
+      std::vector<PrintJob> jobs;
+      jobs.reserve(*n);
+      for (uint16_t i = 0; i < *n; ++i) {
+        PrintJob job;
+        auto id = r.ReadU64();
+        auto user = r.ReadString();
+        auto size = r.ReadU32();
+        if (!id.ok() || !user.ok() || !size.ok()) {
+          pending.list(InternalError("malformed queue listing"), {});
+          return;
+        }
+        job.id = *id;
+        job.user = std::move(*user);
+        job.size_bytes = *size;
+        jobs.push_back(std::move(job));
+      }
+      pending.list(Status::Ok(), std::move(jobs));
+      return;
+    }
+    case Op::kRemoveAck: {
+      auto removed = r.ReadU8();
+      if (!removed.ok() || !pending.remove) {
+        return;
+      }
+      pending.remove(*removed != 0 ? Status::Ok()
+                                   : FailedPreconditionError("job not removed"));
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace ins

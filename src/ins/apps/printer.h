@@ -1,0 +1,127 @@
+// Printer: a load-balancing printer utility (paper §3.3).
+//
+// PrinterSpooler is a proxy for a physical printer. It advertises
+// [service=printer[entity=spooler][id=...]][room=...] with an anycast metric
+// derived from its state — queued bytes, and a penalty while in error — and
+// re-advertises whenever the metric changes, so INRs always route new jobs
+// to the currently least-loaded printer.
+//
+// PrinterClient submits jobs two ways: directly to a named printer, or by
+// location — the paper's day-to-day mode — where the printer id is omitted
+// on purpose and intentional anycast picks the best spooler in the room. It
+// can also list a queue and remove its own jobs.
+
+#ifndef INS_APPS_PRINTER_H_
+#define INS_APPS_PRINTER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ins/client/api.h"
+
+namespace ins {
+
+struct PrintJob {
+  uint64_t id = 0;
+  std::string user;
+  uint32_t size_bytes = 0;
+};
+
+struct PrinterSpoolerOptions {
+  // Bytes drained from the head job per processing tick.
+  uint32_t bytes_per_tick = 4096;
+  Duration tick_interval = Seconds(1);
+  // Metric = queued_bytes * per_byte + error * error_penalty.
+  double metric_per_queued_byte = 1.0 / 1024.0;  // ~1 point per KiB
+  double error_penalty = 1e6;
+};
+
+class PrinterSpooler {
+ public:
+  using Options = PrinterSpoolerOptions;
+
+  PrinterSpooler(InsClient* client, const std::string& id, const std::string& room,
+                 Options options = {});
+  ~PrinterSpooler();
+
+  const std::string& id() const { return id_; }
+  const std::deque<PrintJob>& queue() const { return queue_; }
+  size_t queued_bytes() const;
+  double current_metric() const;
+
+  // Error status (paper: the advertised metric accounts for error state).
+  void SetError(bool error);
+  bool error() const { return error_; }
+
+  uint64_t jobs_completed() const { return jobs_completed_; }
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+  void ProcessTick();
+  void UpdateMetric();
+
+  InsClient* client_;
+  std::string id_;
+  std::string room_;
+  Options options_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  std::deque<PrintJob> queue_;
+  uint32_t head_progress_ = 0;  // bytes already printed of the head job
+  bool error_ = false;
+  uint64_t next_job_id_ = 1;
+  uint64_t jobs_completed_ = 0;
+  TaskId tick_task_ = kInvalidTaskId;
+};
+
+class PrinterClient {
+ public:
+  PrinterClient(InsClient* client, const std::string& user);
+
+  // Outcome of a submission: which printer took the job and its job id.
+  struct SubmitResult {
+    std::string printer_id;
+    uint64_t job_id = 0;
+  };
+  using SubmitCallback = std::function<void(Status, SubmitResult)>;
+  using ListCallback = std::function<void(Status, std::vector<PrintJob>)>;
+  using RemoveCallback = std::function<void(Status)>;
+
+  // "Submit job to name": a specific printer, anywhere.
+  void SubmitToPrinter(const std::string& printer_id, const Bytes& document,
+                       SubmitCallback cb);
+  // Location-based submission: intentional anycast to the least-loaded
+  // spooler in `room` (the printer's name is omitted on purpose).
+  void SubmitToBest(const std::string& room, const Bytes& document, SubmitCallback cb);
+
+  // Queue listing and job removal (only the submitting user may remove).
+  void ListJobs(const std::string& printer_id, ListCallback cb);
+  void RemoveJob(const std::string& printer_id, uint64_t job_id, RemoveCallback cb);
+
+  const std::string& user() const { return user_; }
+
+ private:
+  void OnData(const NameSpecifier& source, const Bytes& payload);
+  void Submit(const NameSpecifier& destination, const Bytes& document, SubmitCallback cb);
+
+  InsClient* client_;
+  std::string user_;
+  NameSpecifier own_name_;
+  std::unique_ptr<AdvertisementHandle> advertisement_;
+  uint64_t next_request_id_ = 1;
+
+  struct Pending {
+    SubmitCallback submit;
+    ListCallback list;
+    RemoveCallback remove;
+    TaskId timeout_task;
+  };
+  std::map<uint64_t, Pending> pending_;
+};
+
+}  // namespace ins
+
+#endif  // INS_APPS_PRINTER_H_

@@ -1,0 +1,52 @@
+#include "ins/baseline/dns_baseline.h"
+
+#include <algorithm>
+
+namespace ins {
+
+void DnsBaseline::AddRecord(const std::string& hostname, const NodeAddress& address) {
+  records_[hostname].addresses.push_back(address);
+}
+
+bool DnsBaseline::RemoveRecord(const std::string& hostname, const NodeAddress& address) {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) {
+    return false;
+  }
+  auto& addrs = it->second.addresses;
+  auto pos = std::find(addrs.begin(), addrs.end(), address);
+  if (pos == addrs.end()) {
+    return false;
+  }
+  addrs.erase(pos);
+  if (addrs.empty()) {
+    records_.erase(it);
+  }
+  return true;
+}
+
+Result<std::vector<NodeAddress>> DnsBaseline::ResolveAll(const std::string& hostname) const {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) {
+    return NotFoundError("NXDOMAIN: " + hostname);
+  }
+  return it->second.addresses;
+}
+
+Result<NodeAddress> DnsBaseline::ResolveOne(const std::string& hostname) {
+  auto it = records_.find(hostname);
+  if (it == records_.end()) {
+    return NotFoundError("NXDOMAIN: " + hostname);
+  }
+  RrSet& rr = it->second;
+  NodeAddress out = rr.addresses[rr.next % rr.addresses.size()];
+  rr.next = (rr.next + 1) % rr.addresses.size();
+  return out;
+}
+
+size_t DnsBaseline::record_count(const std::string& hostname) const {
+  auto it = records_.find(hostname);
+  return it == records_.end() ? 0 : it->second.addresses.size();
+}
+
+}  // namespace ins

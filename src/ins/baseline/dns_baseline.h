@@ -1,0 +1,47 @@
+// Baseline name service: DNS-style static hostname resolution with
+// round-robin selection.
+//
+// The paper positions INS's metric-based resolution and late binding against
+// what DNS gives you: a hostname maps to a fixed list of addresses, clients
+// pick round-robin (no notion of load), and the binding is made at resolve
+// time (a resolved address goes stale when the node moves). This baseline
+// implements exactly that contract for the anycast-vs-DNS ablation bench and
+// for tests that document the behavioural gap.
+
+#ifndef INS_BASELINE_DNS_BASELINE_H_
+#define INS_BASELINE_DNS_BASELINE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ins/common/node_address.h"
+#include "ins/common/status.h"
+
+namespace ins {
+
+class DnsBaseline {
+ public:
+  // Registers an address for a hostname (appends to the RRset).
+  void AddRecord(const std::string& hostname, const NodeAddress& address);
+  bool RemoveRecord(const std::string& hostname, const NodeAddress& address);
+
+  // Returns the whole RRset (like a DNS A lookup).
+  Result<std::vector<NodeAddress>> ResolveAll(const std::string& hostname) const;
+
+  // Round-robin: successive calls rotate through the RRset.
+  Result<NodeAddress> ResolveOne(const std::string& hostname);
+
+  size_t record_count(const std::string& hostname) const;
+
+ private:
+  struct RrSet {
+    std::vector<NodeAddress> addresses;
+    size_t next = 0;  // round-robin cursor
+  };
+  std::map<std::string, RrSet> records_;
+};
+
+}  // namespace ins
+
+#endif  // INS_BASELINE_DNS_BASELINE_H_

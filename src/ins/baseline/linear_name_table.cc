@@ -1,0 +1,51 @@
+#include "ins/baseline/linear_name_table.h"
+
+#include <algorithm>
+
+#include "ins/name/matcher.h"
+
+namespace ins {
+
+void LinearNameTable::Upsert(NameSpecifier name, NameRecord record) {
+  for (Entry& e : entries_) {
+    if (e.record.announcer == record.announcer) {
+      e.name = std::move(name);
+      e.record = std::move(record);
+      return;
+    }
+  }
+  entries_.push_back(Entry{std::move(name), std::move(record)});
+}
+
+bool LinearNameTable::Remove(const AnnouncerId& id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [&id](const Entry& e) { return e.record.announcer == id; });
+  if (it == entries_.end()) {
+    return false;
+  }
+  entries_.erase(it);
+  return true;
+}
+
+size_t LinearNameTable::ExpireBefore(TimePoint now) {
+  size_t before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [now](const Entry& e) { return e.record.expires < now; }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+std::vector<const NameRecord*> LinearNameTable::Lookup(const NameSpecifier& query) const {
+  std::vector<const NameRecord*> out;
+  for (const Entry& e : entries_) {
+    if (Matches(e.name, query)) {
+      out.push_back(&e.record);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
+    return a->announcer < b->announcer;
+  });
+  return out;
+}
+
+}  // namespace ins

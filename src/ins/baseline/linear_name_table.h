@@ -1,0 +1,46 @@
+// Baseline resolver data structure: a flat list of advertisements matched by
+// linear scan.
+//
+// The paper's §5.1.1 analysis contrasts LOOKUP-NAME's hash-table variant
+// (Θ(n_a^d (1+b))) against linear search (Θ(n_a^d (r_a+r_v+b))). This table
+// is the degenerate end of that spectrum — no shared structure at all: every
+// lookup tests every advertisement with the per-advertisement Matches()
+// predicate. It doubles as a semantic reference model (prose semantics,
+// omitted attributes are wildcards both ways) and as the comparator in the
+// lookup-scaling ablation bench.
+
+#ifndef INS_BASELINE_LINEAR_NAME_TABLE_H_
+#define INS_BASELINE_LINEAR_NAME_TABLE_H_
+
+#include <vector>
+
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_record.h"
+
+namespace ins {
+
+class LinearNameTable {
+ public:
+  struct Entry {
+    NameSpecifier name;
+    NameRecord record;
+  };
+
+  // Inserts or replaces (by AnnouncerId).
+  void Upsert(NameSpecifier name, NameRecord record);
+  bool Remove(const AnnouncerId& id);
+  size_t ExpireBefore(TimePoint now);
+
+  // Linear-scan lookup via Matches(); results sorted by AnnouncerId.
+  std::vector<const NameRecord*> Lookup(const NameSpecifier& query) const;
+
+  size_t size() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ins
+
+#endif  // INS_BASELINE_LINEAR_NAME_TABLE_H_

@@ -1,0 +1,328 @@
+#include "ins/client/api.h"
+
+#include <algorithm>
+
+#include "ins/common/logging.h"
+#include "ins/inr/forwarding.h"
+#include "ins/inr/vspace.h"
+#include "ins/name/parser.h"
+#include "ins/overlay/ping.h"
+
+namespace ins {
+
+// --- AdvertisementHandle -----------------------------------------------------
+
+AdvertisementHandle::~AdvertisementHandle() {
+  if (client_ != nullptr) {
+    auto& ads = client_->advertisements_;
+    ads.erase(std::remove(ads.begin(), ads.end(), this), ads.end());
+    // No de-registration message: the name simply stops being refreshed and
+    // expires out of every resolver (soft state).
+  }
+}
+
+void AdvertisementHandle::SetMetric(double metric) {
+  metric_ = metric;
+  if (client_ != nullptr) {
+    client_->AnnounceNow(this);
+  }
+}
+
+void AdvertisementHandle::SetName(NameSpecifier name) {
+  name_ = std::move(name);
+  vspace_ = VspaceManager::VspaceOf(name_);
+  if (client_ != nullptr) {
+    client_->AnnounceNow(this);
+  }
+}
+
+// --- InsClient ----------------------------------------------------------------
+
+InsClient::InsClient(Executor* executor, Transport* transport, ClientConfig config)
+    : executor_(executor), transport_(transport), config_(config) {
+  transport_->SetReceiveHandler(
+      [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
+}
+
+InsClient::~InsClient() {
+  executor_->Cancel(refresh_task_);
+  for (auto& [id, pending] : pending_discovers_) {
+    executor_->Cancel(pending.timeout_task);
+  }
+  for (auto& [id, pending] : pending_resolves_) {
+    executor_->Cancel(pending.timeout_task);
+  }
+  for (AdvertisementHandle* handle : advertisements_) {
+    handle->client_ = nullptr;  // outstanding handles become inert
+  }
+  transport_->SetReceiveHandler(nullptr);
+}
+
+void InsClient::Start() {
+  if (config_.inr.IsValid()) {
+    inr_ = config_.inr;
+  } else {
+    attach_request_id_ = next_request_id_++;
+    DsrListRequest req;
+    req.request_id = attach_request_id_;
+    transport_->Send(config_.dsr, Encode(req));
+  }
+  refresh_task_ = executor_->ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+}
+
+AnnouncerId InsClient::NextAnnouncer() {
+  AnnouncerId id;
+  id.ip = transport_->local_address().ip;
+  id.start_time_us = static_cast<uint64_t>(executor_->Now().count());
+  id.discriminator = next_discriminator_++;
+  return id;
+}
+
+std::unique_ptr<AdvertisementHandle> InsClient::Advertise(NameSpecifier name,
+                                                          std::vector<PortBinding> bindings,
+                                                          double metric) {
+  auto handle = std::unique_ptr<AdvertisementHandle>(new AdvertisementHandle());
+  handle->client_ = this;
+  handle->vspace_ = VspaceManager::VspaceOf(name);
+  handle->name_ = std::move(name);
+  handle->announcer_ = NextAnnouncer();
+  handle->endpoint_.address = transport_->local_address();
+  handle->endpoint_.bindings = std::move(bindings);
+  handle->metric_ = metric;
+  advertisements_.push_back(handle.get());
+  AnnounceNow(handle.get());
+  return handle;
+}
+
+void InsClient::AnnounceNow(AdvertisementHandle* handle) {
+  if (!attached()) {
+    AdvertisementHandle* raw = handle;
+    pending_until_attached_.push_back([this, raw] {
+      // The handle may have been destroyed while we waited.
+      if (std::find(advertisements_.begin(), advertisements_.end(), raw) !=
+          advertisements_.end()) {
+        AnnounceNow(raw);
+      }
+    });
+    return;
+  }
+  handle->endpoint_.address = transport_->local_address();
+  Advertisement ad;
+  ad.vspace = handle->vspace_;
+  ad.name_text = handle->name_.ToString();
+  ad.announcer = handle->announcer_;
+  ad.endpoint = handle->endpoint_;
+  ad.app_metric = handle->metric_;
+  ad.lifetime_s = config_.advertisement_lifetime_s;
+  ad.version = ++handle->version_;
+  transport_->Send(inr_, Encode(ad));
+  metrics_.Increment("client.advertisements_sent");
+}
+
+void InsClient::RefreshTick() {
+  for (AdvertisementHandle* handle : advertisements_) {
+    AnnounceNow(handle);
+  }
+  refresh_task_ = executor_->ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+}
+
+void InsClient::Discover(const NameSpecifier& filter, const std::string& vspace,
+                         DiscoverCallback cb) {
+  if (!attached()) {
+    pending_until_attached_.push_back(
+        [this, filter, vspace, cb = std::move(cb)] { Discover(filter, vspace, cb); });
+    return;
+  }
+  uint64_t id = next_request_id_++;
+  DiscoveryRequest req;
+  req.request_id = id;
+  req.vspace = vspace;
+  req.filter_text = filter.ToString();
+  req.reply_to = transport_->local_address();
+
+  TaskId timeout = executor_->ScheduleAfter(config_.request_timeout, [this, id] {
+    auto it = pending_discovers_.find(id);
+    if (it == pending_discovers_.end()) {
+      return;
+    }
+    DiscoverCallback cb2 = std::move(it->second.callback);
+    pending_discovers_.erase(it);
+    cb2(DeadlineExceededError("discovery request timed out"), {});
+  });
+  pending_discovers_.emplace(id, PendingDiscover{std::move(cb), timeout});
+  transport_->Send(inr_, Encode(req));
+  metrics_.Increment("client.discoveries_sent");
+}
+
+void InsClient::ResolveEarly(const NameSpecifier& name, ResolveCallback cb) {
+  if (!attached()) {
+    pending_until_attached_.push_back(
+        [this, name, cb = std::move(cb)] { ResolveEarly(name, cb); });
+    return;
+  }
+  uint64_t id = next_request_id_++;
+  Packet req;
+  req.early_binding = true;
+  req.destination_name = name.ToString();
+  req.payload = EncodeEarlyBindingPayload(id, transport_->local_address());
+
+  TaskId timeout = executor_->ScheduleAfter(config_.request_timeout, [this, id] {
+    auto it = pending_resolves_.find(id);
+    if (it == pending_resolves_.end()) {
+      return;
+    }
+    ResolveCallback cb2 = std::move(it->second.callback);
+    pending_resolves_.erase(it);
+    cb2(DeadlineExceededError("early binding request timed out"), {});
+  });
+  pending_resolves_.emplace(id, PendingResolve{std::move(cb), timeout});
+  transport_->Send(inr_, Encode(req));
+  metrics_.Increment("client.resolves_sent");
+}
+
+Status InsClient::SendData(const NameSpecifier& destination, const Bytes& payload,
+                           const NameSpecifier& source, bool deliver_all,
+                           bool answer_from_cache, uint32_t cache_lifetime_s) {
+  if (!attached()) {
+    Packet queued;  // capture everything needed by value
+    queued.destination_name = destination.ToString();
+    queued.source_name = source.ToString();
+    queued.deliver_all = deliver_all;
+    queued.answer_from_cache = answer_from_cache;
+    queued.cache_lifetime_s = cache_lifetime_s;
+    queued.payload = payload;
+    pending_until_attached_.push_back(
+        [this, queued = std::move(queued)] { transport_->Send(inr_, Encode(queued)); });
+    return Status::Ok();
+  }
+  Packet p;
+  p.destination_name = destination.ToString();
+  p.source_name = source.ToString();
+  p.deliver_all = deliver_all;
+  p.answer_from_cache = answer_from_cache;
+  p.cache_lifetime_s = cache_lifetime_s;
+  p.payload = payload;
+  metrics_.Increment(deliver_all ? "client.multicasts_sent" : "client.anycasts_sent");
+  return transport_->Send(inr_, Encode(p));
+}
+
+Status InsClient::SendAnycast(const NameSpecifier& destination, const Bytes& payload,
+                              const NameSpecifier& source, uint32_t cache_lifetime_s) {
+  return SendData(destination, payload, source, /*deliver_all=*/false,
+                  /*answer_from_cache=*/false, cache_lifetime_s);
+}
+
+Status InsClient::SendMulticast(const NameSpecifier& destination, const Bytes& payload,
+                                const NameSpecifier& source, uint32_t cache_lifetime_s) {
+  return SendData(destination, payload, source, /*deliver_all=*/true,
+                  /*answer_from_cache=*/false, cache_lifetime_s);
+}
+
+Status InsClient::SendCacheable(const NameSpecifier& destination, const Bytes& payload,
+                                const NameSpecifier& source) {
+  return SendData(destination, payload, source, /*deliver_all=*/false,
+                  /*answer_from_cache=*/true, /*cache_lifetime_s=*/0);
+}
+
+void InsClient::HandleAddressChange() {
+  metrics_.Increment("client.address_changes");
+  // Late binding at work: nothing to tear down. Re-announce every name from
+  // the new address so resolvers track the move at once.
+  for (AdvertisementHandle* handle : advertisements_) {
+    AnnounceNow(handle);
+  }
+}
+
+void InsClient::FlushPendingWhenAttached() {
+  std::vector<std::function<void()>> pending = std::move(pending_until_attached_);
+  pending_until_attached_.clear();
+  for (auto& fn : pending) {
+    fn();
+  }
+}
+
+void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
+  (void)src;
+  auto env = DecodeMessage(data);
+  if (!env.ok()) {
+    metrics_.Increment("client.decode_errors");
+    return;
+  }
+
+  if (auto* list = std::get_if<DsrListResponse>(&env->body)) {
+    if (list->request_id == attach_request_id_ && !attached()) {
+      attach_request_id_ = 0;
+      if (list->active_inrs.empty()) {
+        INS_LOG(kWarning) << "InsClient: no active resolvers in the domain";
+        return;
+      }
+      inr_ = list->active_inrs.front();
+      metrics_.Increment("client.attached");
+      FlushPendingWhenAttached();
+    }
+    return;
+  }
+
+  if (auto* resp = std::get_if<DiscoveryResponse>(&env->body)) {
+    auto it = pending_discovers_.find(resp->request_id);
+    if (it == pending_discovers_.end()) {
+      return;
+    }
+    executor_->Cancel(it->second.timeout_task);
+    DiscoverCallback cb = std::move(it->second.callback);
+    pending_discovers_.erase(it);
+
+    std::vector<DiscoveredName> names;
+    for (const DiscoveryResponse::Item& item : resp->items) {
+      auto parsed = ParseNameSpecifier(item.name_text);
+      if (!parsed.ok()) {
+        continue;
+      }
+      names.push_back({std::move(*parsed), item.endpoint, item.app_metric});
+    }
+    cb(Status::Ok(), std::move(names));
+    return;
+  }
+
+  if (auto* resp = std::get_if<EarlyBindingResponse>(&env->body)) {
+    auto it = pending_resolves_.find(resp->request_id);
+    if (it == pending_resolves_.end()) {
+      return;
+    }
+    executor_->Cancel(it->second.timeout_task);
+    ResolveCallback cb = std::move(it->second.callback);
+    pending_resolves_.erase(it);
+
+    std::vector<Binding> bindings;
+    for (const EarlyBindingResponse::Item& item : resp->items) {
+      bindings.push_back({item.endpoint, item.app_metric});
+    }
+    cb(Status::Ok(), std::move(bindings));
+    return;
+  }
+
+  if (auto* packet = std::get_if<Packet>(&env->body)) {
+    metrics_.Increment("client.data_received");
+    if (data_handler_) {
+      NameSpecifier source;
+      if (!packet->source_name.empty()) {
+        auto parsed = ParseNameSpecifier(packet->source_name);
+        if (parsed.ok()) {
+          source = std::move(*parsed);
+        }
+      }
+      data_handler_(source, packet->payload);
+    }
+    return;
+  }
+
+  if (std::get_if<Ping>(&env->body) != nullptr) {
+    // Clients answer pings too (useful for diagnostics).
+    transport_->Send(src, Encode(PingAgent::PongFor(std::get<Ping>(env->body))));
+    return;
+  }
+
+  metrics_.Increment("client.unexpected_messages");
+}
+
+}  // namespace ins

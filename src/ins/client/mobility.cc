@@ -1,0 +1,48 @@
+#include "ins/client/mobility.h"
+
+#include "ins/common/logging.h"
+
+namespace ins {
+
+MobilityManager::MobilityManager(Executor* executor, InsClient* client, RebindFn rebind,
+                                 Duration poll_interval)
+    : executor_(executor),
+      client_(client),
+      rebind_(std::move(rebind)),
+      poll_interval_(poll_interval),
+      last_address_(client->address()) {
+  poll_task_ = executor_->ScheduleAfter(poll_interval_, [this] { PollTick(); });
+}
+
+MobilityManager::~MobilityManager() { executor_->Cancel(poll_task_); }
+
+Status MobilityManager::Move(const NodeAddress& new_address) {
+  NodeAddress old = client_->address();
+  INS_RETURN_IF_ERROR(rebind_(new_address));
+  ++moves_;
+  INS_LOG(kDebug) << "MobilityManager: moved " << old.ToString() << " -> "
+                  << new_address.ToString();
+  client_->HandleAddressChange();
+  last_address_ = new_address;
+  if (on_moved) {
+    on_moved(old, new_address);
+  }
+  return Status::Ok();
+}
+
+void MobilityManager::PollTick() {
+  NodeAddress current = client_->address();
+  if (current != last_address_) {
+    // The address changed underneath us (interface switch): re-announce.
+    NodeAddress old = last_address_;
+    last_address_ = current;
+    ++moves_;
+    client_->HandleAddressChange();
+    if (on_moved) {
+      on_moved(old, current);
+    }
+  }
+  poll_task_ = executor_->ScheduleAfter(poll_interval_, [this] { PollTick(); });
+}
+
+}  // namespace ins

@@ -1,0 +1,56 @@
+// MobilityManager (paper §4): detects network movement at the client and
+// rebinds, transparent to the application.
+//
+// The paper's Java implementation watches the host's IP address and rebinds
+// the UDP socket when it changes. Here the manager polls the transport's
+// bound address (a sim::Network socket Rebind() or a real interface change
+// both surface there) and, when it observes a move, tells the InsClient to
+// re-announce every advertised name from the new address immediately — the
+// name-discovery protocol then retires the stale mapping everywhere. It can
+// also drive the move itself via Move() for scripted mobility experiments.
+
+#ifndef INS_CLIENT_MOBILITY_H_
+#define INS_CLIENT_MOBILITY_H_
+
+#include <functional>
+
+#include "ins/client/api.h"
+#include "ins/common/executor.h"
+#include "ins/common/transport.h"
+
+namespace ins {
+
+class MobilityManager {
+ public:
+  // Rebinds the transport to a new address; wired to sim::Network::Socket's
+  // Rebind in simulation or a platform-specific rebind in deployments.
+  using RebindFn = std::function<Status(const NodeAddress& new_address)>;
+
+  MobilityManager(Executor* executor, InsClient* client, RebindFn rebind,
+                  Duration poll_interval = Milliseconds(500));
+  ~MobilityManager();
+
+  // Scripted move: rebind and notify the client at once.
+  Status Move(const NodeAddress& new_address);
+
+  // Observer for tests/apps.
+  std::function<void(const NodeAddress& old_address, const NodeAddress& new_address)>
+      on_moved;
+
+  uint64_t moves_detected() const { return moves_; }
+
+ private:
+  void PollTick();
+
+  Executor* executor_;
+  InsClient* client_;
+  RebindFn rebind_;
+  Duration poll_interval_;
+  NodeAddress last_address_;
+  TaskId poll_task_ = kInvalidTaskId;
+  uint64_t moves_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_CLIENT_MOBILITY_H_

@@ -1,0 +1,59 @@
+// Time types and the Clock abstraction.
+//
+// All of libins runs against an abstract Clock so the same resolver code can
+// execute under the deterministic discrete-event simulator (sim::EventLoop)
+// or against the real system clock (examples over UDP).
+
+#ifndef INS_COMMON_CLOCK_H_
+#define INS_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ins {
+
+// Durations and absolute times are microsecond-resolution. TimePoint is time
+// since an arbitrary epoch (simulation start, or process start for RealClock).
+using Duration = std::chrono::microseconds;
+using TimePoint = std::chrono::microseconds;
+
+constexpr Duration Microseconds(int64_t us) { return Duration(us); }
+constexpr Duration Milliseconds(int64_t ms) { return Duration(ms * 1000); }
+constexpr Duration Seconds(int64_t s) { return Duration(s * 1000000); }
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() const = 0;
+};
+
+// Wall clock relative to the first call in the process.
+class RealClock : public Clock {
+ public:
+  TimePoint Now() const override {
+    static const auto kStart = std::chrono::steady_clock::now();
+    return std::chrono::duration_cast<Duration>(std::chrono::steady_clock::now() - kStart);
+  }
+};
+
+// Manually-advanced clock for unit tests.
+class ManualClock : public Clock {
+ public:
+  TimePoint Now() const override { return now_; }
+  void Advance(Duration d) { now_ += d; }
+  void Set(TimePoint t) { now_ = t; }
+
+ private:
+  TimePoint now_{0};
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_CLOCK_H_

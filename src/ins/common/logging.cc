@@ -1,0 +1,56 @@
+#include "ins/common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace ins {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+}  // namespace
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LogLevelName(level) << " " << (base != nullptr ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ >= LogLevel::kError) {
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace ins

@@ -1,0 +1,60 @@
+// Leveled stderr logging.
+//
+// Usage: INS_LOG(kInfo) << "discovered " << n << " names";
+// Messages below the global minimum level are discarded without formatting.
+
+#ifndef INS_COMMON_LOGGING_H_
+#define INS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string_view>
+
+namespace ins {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages with level < threshold are dropped.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+std::string_view LogLevelName(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ins
+
+// Dangling-else trick: the streamed expression is only evaluated when the
+// level passes the threshold.
+#define INS_LOG(level)                                        \
+  if (::ins::LogLevel::level < ::ins::MinLogLevel()) {        \
+  } else                                                      \
+    ::ins::internal::LogMessage(::ins::LogLevel::level, __FILE__, __LINE__)
+
+#endif  // INS_COMMON_LOGGING_H_

@@ -1,0 +1,3 @@
+#include "ins/common/metrics.h"
+
+// MetricsRegistry is header-only; this translation unit anchors the library.

@@ -1,0 +1,48 @@
+// Lightweight in-process metrics, the moral equivalent of the paper's
+// NetworkManagement monitoring application: every INR exposes counters and
+// gauges (names known, updates processed, packets forwarded, bytes sent) that
+// tests and benchmarks read to observe system behaviour.
+
+#ifndef INS_COMMON_METRICS_H_
+#define INS_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ins {
+
+// A named bag of monotonic counters and settable gauges. Not thread-safe;
+// each node owns its registry and all access happens on that node's executor.
+class MetricsRegistry {
+ public:
+  void Increment(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  uint64_t Counter(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void SetGauge(const std::string& name, int64_t value) { gauges_[name] = value; }
+  int64_t Gauge(const std::string& name) const {
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0 : it->second;
+  }
+
+  const std::map<std::string, uint64_t>& counters() const { return counters_; }
+  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+
+  void Reset() {
+    counters_.clear();
+    gauges_.clear();
+  }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, int64_t> gauges_;
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_METRICS_H_

@@ -1,0 +1,53 @@
+// Network addressing shared by the simulator, the wire formats, and the
+// resolver. An address is an IPv4-style 32-bit host identifier plus a UDP
+// port; the simulated network and the real UDP transport both speak it.
+
+#ifndef INS_COMMON_NODE_ADDRESS_H_
+#define INS_COMMON_NODE_ADDRESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "ins/common/string_util.h"
+
+namespace ins {
+
+struct NodeAddress {
+  uint32_t ip = 0;
+  uint16_t port = 0;
+
+  constexpr bool IsValid() const { return ip != 0; }
+
+  std::string ToString() const {
+    return Ipv4ToString(ip) + ":" + std::to_string(port);
+  }
+
+  friend constexpr bool operator==(const NodeAddress& a, const NodeAddress& b) {
+    return a.ip == b.ip && a.port == b.port;
+  }
+  friend constexpr bool operator!=(const NodeAddress& a, const NodeAddress& b) {
+    return !(a == b);
+  }
+  friend constexpr bool operator<(const NodeAddress& a, const NodeAddress& b) {
+    return a.ip != b.ip ? a.ip < b.ip : a.port < b.port;
+  }
+};
+
+inline constexpr NodeAddress kInvalidAddress{};
+
+struct NodeAddressHash {
+  size_t operator()(const NodeAddress& a) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(a.ip) << 16) | a.port);
+  }
+};
+
+// Builds a test/simulation address: 10.0.x.y, default INS port 5678.
+constexpr uint16_t kInsPort = 5678;
+constexpr NodeAddress MakeAddress(uint32_t host_index, uint16_t port = kInsPort) {
+  return NodeAddress{0x0a000000u + host_index, port};
+}
+
+}  // namespace ins
+
+#endif  // INS_COMMON_NODE_ADDRESS_H_

@@ -1,0 +1,164 @@
+// Lightweight error handling for libins: Status and Result<T>.
+//
+// Core resolver paths do not use exceptions (they sit on packet-processing hot
+// paths); fallible operations return Status or Result<T> instead. The code set
+// mirrors the subset of canonical codes the system actually needs.
+
+#ifndef INS_COMMON_STATUS_H_
+#define INS_COMMON_STATUS_H_
+
+#include <cassert>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ins {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnavailable,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kInternal,
+  kUnimplemented,
+};
+
+// Human-readable name of a status code, e.g. "NOT_FOUND".
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors matching the codes above.
+inline Status InvalidArgumentError(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFoundError(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExistsError(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status FailedPreconditionError(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status OutOfRangeError(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status UnavailableError(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status DeadlineExceededError(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+}
+inline Status ResourceExhaustedError(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status InternalError(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status UnimplementedError(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+
+// A value of type T or an error Status. Accessing value() on an error aborts
+// in debug builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirror absl::StatusOr.
+  Result(T value) : rep_(std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {
+    assert(!std::get<Status>(rep_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+// Propagates an error Status out of the enclosing function.
+#define INS_RETURN_IF_ERROR(expr)         \
+  do {                                    \
+    ::ins::Status ins_status__ = (expr);  \
+    if (!ins_status__.ok()) {             \
+      return ins_status__;                \
+    }                                     \
+  } while (0)
+
+// Assigns the value of a Result<T> expression or propagates its error.
+#define INS_CONCAT_INNER_(a, b) a##b
+#define INS_CONCAT_(a, b) INS_CONCAT_INNER_(a, b)
+#define INS_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+#define INS_ASSIGN_OR_RETURN(lhs, expr) \
+  INS_ASSIGN_OR_RETURN_IMPL_(INS_CONCAT_(ins_result__, __LINE__), lhs, expr)
+
+}  // namespace ins
+
+#endif  // INS_COMMON_STATUS_H_

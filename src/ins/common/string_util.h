@@ -1,0 +1,31 @@
+// Small string helpers shared across modules.
+
+#ifndef INS_COMMON_STRING_UTIL_H_
+#define INS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ins {
+
+// Splits on a single character; empty pieces are preserved.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces, std::string_view sep);
+
+// True if `s` begins with / ends with the given affix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strips leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+// Renders an IPv4-style address stored in host order, e.g. 0x0a000001 ->
+// "10.0.0.1". Used for AnnouncerIDs and debug output.
+std::string Ipv4ToString(uint32_t addr);
+
+}  // namespace ins
+
+#endif  // INS_COMMON_STRING_UTIL_H_

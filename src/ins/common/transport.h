@@ -1,0 +1,36 @@
+// Datagram transport abstraction.
+//
+// Every endpoint in the system — INRs, clients, the DSR — owns one Transport
+// bound to a NodeAddress. Implementations: sim::Network sockets (virtual
+// time, deterministic), LoopbackTransport (in-process, for unit tests), and
+// UdpTransport (real POSIX sockets, used by the runnable examples).
+
+#ifndef INS_COMMON_TRANSPORT_H_
+#define INS_COMMON_TRANSPORT_H_
+
+#include <functional>
+
+#include "ins/common/bytes.h"
+#include "ins/common/node_address.h"
+#include "ins/common/status.h"
+
+namespace ins {
+
+class Transport {
+ public:
+  using ReceiveHandler = std::function<void(const NodeAddress& source, const Bytes& data)>;
+
+  virtual ~Transport() = default;
+
+  // Best-effort datagram send; like UDP, delivery is not guaranteed.
+  virtual Status Send(const NodeAddress& destination, const Bytes& data) = 0;
+
+  // Installs the receive callback. At most one handler at a time.
+  virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
+
+  virtual NodeAddress local_address() const = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_TRANSPORT_H_

@@ -1,0 +1,108 @@
+#include "ins/harness/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ins {
+
+namespace {
+// The DSR lives on host 10.0.0.250.
+constexpr uint32_t kDsrHost = 250;
+}  // namespace
+
+SimCluster::SimCluster(ClusterOptions options)
+    : options_(std::move(options)), net_(&loop_, options_.seed) {
+  net_.SetDefaultLink(options_.default_link);
+  dsr_transport_ = net_.Bind(MakeAddress(kDsrHost));
+  dsr_ = std::make_unique<Dsr>(&loop_, dsr_transport_.get());
+}
+
+SimCluster::~SimCluster() {
+  // Destruction order: resolvers (and their sockets) before the network.
+  handles_.clear();
+  dsr_.reset();
+  dsr_transport_.reset();
+}
+
+Inr* SimCluster::AddInr(uint32_t host_index, std::vector<std::string> vspaces) {
+  InrConfig config = options_.inr_template;
+  config.vspaces = std::move(vspaces);
+  return AddInrWithConfig(host_index, std::move(config));
+}
+
+Inr* SimCluster::AddInrWithConfig(uint32_t host_index, InrConfig config) {
+  config.dsr = dsr_address();
+  config.topology.dsr = dsr_address();
+  auto handle = std::make_unique<InrHandle>();
+  handle->socket = net_.Bind(MakeAddress(host_index));
+  handle->inr = std::make_unique<Inr>(&loop_, handle->socket.get(), std::move(config));
+  Inr* raw = handle->inr.get();
+  handles_.push_back(std::move(handle));
+  raw->Start();
+  return raw;
+}
+
+void SimCluster::RemoveInr(Inr* inr) {
+  auto it = std::find_if(handles_.begin(), handles_.end(),
+                         [inr](const std::unique_ptr<InrHandle>& h) { return h->inr.get() == inr; });
+  assert(it != handles_.end());
+  handles_.erase(it);
+}
+
+void SimCluster::CrashInr(Inr* inr) {
+  inr->Crash();
+  RemoveInr(inr);  // Stop() is a no-op on a crashed resolver
+}
+
+std::vector<Inr*> SimCluster::inrs() {
+  std::vector<Inr*> out;
+  out.reserve(handles_.size());
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    out.push_back(h->inr.get());
+  }
+  return out;
+}
+
+SimCluster::Endpoint::Endpoint(SimCluster* cluster,
+                               std::unique_ptr<sim::Network::Socket> socket)
+    : socket_(std::move(socket)) {
+  (void)cluster;
+  socket_->SetReceiveHandler([this](const NodeAddress& src, const Bytes& data) {
+    (void)src;
+    auto env = DecodeMessage(data);
+    if (env.ok()) {
+      received_.push_back(std::move(*env));
+    }
+  });
+}
+
+std::unique_ptr<SimCluster::Endpoint> SimCluster::AddEndpoint(uint32_t host_index,
+                                                              uint16_t port) {
+  return std::make_unique<Endpoint>(this, net_.Bind(MakeAddress(host_index, port)));
+}
+
+void SimCluster::StabilizeTopology(Duration budget) {
+  TimePoint deadline = loop_.Now() + budget;
+  while (loop_.Now() < deadline) {
+    loop_.RunFor(Milliseconds(200));
+    size_t running = 0;
+    size_t joined = 0;
+    size_t links = 0;
+    for (const std::unique_ptr<InrHandle>& h : handles_) {
+      if (!h->inr->running()) {
+        continue;
+      }
+      ++running;
+      if (h->inr->topology().joined()) {
+        ++joined;
+      }
+      links += h->inr->topology().NeighborAddresses().size();
+    }
+    if (running > 0 && joined == running && links == 2 * (running - 1)) {
+      return;
+    }
+  }
+  assert(false && "overlay failed to stabilize within budget");
+}
+
+}  // namespace ins

@@ -1,0 +1,114 @@
+// SimCluster: a complete INS deployment inside the discrete-event simulator.
+//
+// One call sets up the event loop, the network, a DSR node, any number of
+// resolvers and raw test endpoints. Tests, benchmarks, and simulated examples
+// all build on this harness; it keeps experiment code at the level of the
+// paper's descriptions ("a chain of n INRs", "two resolvers, two virtual
+// spaces") rather than socket plumbing.
+
+#ifndef INS_HARNESS_CLUSTER_H_
+#define INS_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "ins/inr/inr.h"
+#include "ins/overlay/dsr.h"
+#include "ins/sim/event_loop.h"
+#include "ins/sim/network.h"
+
+namespace ins {
+
+struct ClusterOptions {
+  uint64_t seed = 1;
+  sim::LinkParams default_link{Milliseconds(1), 0, 0};
+  // Base template for every resolver; per-INR fields (vspaces) are overridden
+  // at AddInr time. The dsr address is filled in by the cluster.
+  InrConfig inr_template;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterOptions options = {});
+  ~SimCluster();
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& net() { return net_; }
+  NodeAddress dsr_address() const { return dsr_transport_->local_address(); }
+  Dsr& dsr() { return *dsr_; }
+
+  // Creates, starts, and returns a resolver on host 10.0.0.<host_index>.
+  Inr* AddInr(uint32_t host_index, std::vector<std::string> vspaces = {""});
+  Inr* AddInrWithConfig(uint32_t host_index, InrConfig config);
+  // Stops (gracefully) and destroys a resolver mid-run.
+  void RemoveInr(Inr* inr);
+  // Kills a resolver silently (failure injection): no PeerClose, no DSR
+  // unregister — peers must notice via keepalives and soft state.
+  void CrashInr(Inr* inr);
+
+  std::vector<Inr*> inrs();
+
+  // A raw protocol endpoint: records every envelope it receives.
+  class Endpoint {
+   public:
+    Endpoint(SimCluster* cluster, std::unique_ptr<sim::Network::Socket> socket);
+
+    NodeAddress address() const { return socket_->local_address(); }
+    void Send(const NodeAddress& dst, const Envelope& env) {
+      socket_->Send(dst, EncodeMessage(env));
+    }
+    sim::Network::Socket& socket() { return *socket_; }
+
+    std::vector<Envelope>& received() { return received_; }
+    // Received bodies of one message type, in arrival order.
+    template <typename T>
+    std::vector<T> ReceivedOf() const {
+      std::vector<T> out;
+      for (const Envelope& e : received_) {
+        if (const T* body = std::get_if<T>(&e.body)) {
+          out.push_back(*body);
+        }
+      }
+      return out;
+    }
+    void ClearReceived() { received_.clear(); }
+
+   private:
+    std::unique_ptr<sim::Network::Socket> socket_;
+    std::vector<Envelope> received_;
+  };
+
+  // Binds a raw endpoint on host 10.0.<hi>.<lo>; ports default to kInsPort.
+  std::unique_ptr<Endpoint> AddEndpoint(uint32_t host_index, uint16_t port = kInsPort);
+
+  // Runs the loop until the overlay settles: every resolver joined and the
+  // spanning tree has exactly (n-1) links. Asserts progress within `budget`.
+  void StabilizeTopology(Duration budget = Seconds(30));
+
+  // Advances virtual time far enough for in-flight message exchanges to
+  // complete (links are ~1 ms). Resolver timers reschedule themselves, so
+  // "run until idle" never terminates on a live cluster — bounded settling
+  // is the correct primitive.
+  void Settle(Duration d = Milliseconds(300)) { loop_.RunFor(d); }
+
+  const ClusterOptions& options() const { return options_; }
+
+ private:
+  // Heap-allocated so container reshuffles never destroy a handle's socket
+  // before its resolver (Inr::Stop sends a last unregister datagram).
+  struct InrHandle {
+    std::unique_ptr<sim::Network::Socket> socket;
+    std::unique_ptr<Inr> inr;  // declared after socket: destroyed first
+  };
+
+  ClusterOptions options_;
+  sim::EventLoop loop_;
+  sim::Network net_;
+  std::unique_ptr<sim::Network::Socket> dsr_transport_;
+  std::unique_ptr<Dsr> dsr_;
+  std::vector<std::unique_ptr<InrHandle>> handles_;
+};
+
+}  // namespace ins
+
+#endif  // INS_HARNESS_CLUSTER_H_

@@ -1,0 +1,203 @@
+#include "ins/inr/forwarding.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ins/common/logging.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+
+Bytes EncodeEarlyBindingPayload(uint64_t request_id, const NodeAddress& reply_to) {
+  ByteWriter w;
+  w.WriteU64(request_id);
+  w.WriteU32(reply_to.ip);
+  w.WriteU16(reply_to.port);
+  return std::move(w).TakeBytes();
+}
+
+Result<std::pair<uint64_t, NodeAddress>> DecodeEarlyBindingPayload(const Bytes& payload) {
+  ByteReader r(payload);
+  uint64_t id = 0;
+  NodeAddress addr;
+  INS_ASSIGN_OR_RETURN(id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(addr.ip, r.ReadU32());
+  INS_ASSIGN_OR_RETURN(addr.port, r.ReadU16());
+  return std::make_pair(id, addr);
+}
+
+ForwardingAgent::ForwardingAgent(Executor* executor, SendFn send, NodeAddress self,
+                                 VspaceManager* vspaces, TopologyManager* topology,
+                                 PacketCache* cache, MetricsRegistry* metrics)
+    : executor_(executor),
+      send_(std::move(send)),
+      self_(self),
+      vspaces_(vspaces),
+      topology_(topology),
+      cache_(cache),
+      metrics_(metrics) {}
+
+void ForwardingAgent::HandleData(const NodeAddress& src, const Packet& packet) {
+  metrics_->Increment("forwarding.packets");
+  if (packet.hop_limit == 0) {
+    metrics_->Increment("forwarding.hop_limit_exceeded");
+    return;
+  }
+  if (packet.answer_from_cache && TryAnswerFromCache(packet)) {
+    return;
+  }
+  ResolveAndForward(src, packet);
+}
+
+void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& packet) {
+  auto dst = ParseNameSpecifier(packet.destination_name);
+  if (!dst.ok()) {
+    metrics_->Increment("forwarding.bad_destination");
+    INS_LOG(kDebug) << self_.ToString() << ": undeliverable packet: " << dst.status();
+    return;
+  }
+  const std::string vspace = VspaceManager::VspaceOf(*dst);
+  NameTree* tree = vspaces_->Tree(vspace);
+  if (tree == nullptr) {
+    ForwardToVspaceOwner(packet, vspace);
+    return;
+  }
+
+  metrics_->Increment("forwarding.lookups");
+  std::vector<const NameRecord*> records = tree->Lookup(*dst);
+
+  MaybeCache(packet);
+
+  if (packet.early_binding) {
+    HandleEarlyBinding(src, packet, records);
+    return;
+  }
+  if (records.empty()) {
+    metrics_->Increment("forwarding.no_match");
+    return;
+  }
+  if (packet.deliver_all) {
+    HandleMulticast(src, packet, records);
+  } else {
+    HandleAnycast(packet, records);
+  }
+}
+
+void ForwardingAgent::ForwardToVspaceOwner(const Packet& packet, const std::string& vspace) {
+  metrics_->Increment("forwarding.cross_vspace");
+  vspaces_->ResolveOwner(vspace, [this, packet, vspace](const NodeAddress& owner) {
+    if (!owner.IsValid() || owner == self_) {
+      metrics_->Increment("forwarding.vspace_unresolved");
+      return;
+    }
+    ForwardToInr(packet, owner);
+  });
+}
+
+void ForwardingAgent::HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
+                                         const std::vector<const NameRecord*>& records) {
+  metrics_->Increment("forwarding.early_binding");
+  uint64_t request_id = 0;
+  NodeAddress reply_to = src;
+  if (auto parsed = DecodeEarlyBindingPayload(packet.payload); parsed.ok()) {
+    request_id = parsed->first;
+    if (parsed->second.IsValid()) {
+      reply_to = parsed->second;
+    }
+  }
+  EarlyBindingResponse resp;
+  resp.request_id = request_id;
+  for (const NameRecord* rec : records) {
+    resp.items.push_back({rec->endpoint, rec->app_metric});
+  }
+  send_(reply_to, Envelope{MessageBody(std::move(resp))});
+}
+
+void ForwardingAgent::HandleAnycast(const Packet& packet,
+                                    const std::vector<const NameRecord*>& records) {
+  // Exactly one destination: the least application metric; announcer id is
+  // the deterministic tie-break.
+  const NameRecord* best = nullptr;
+  for (const NameRecord* rec : records) {
+    if (best == nullptr || rec->app_metric < best->app_metric ||
+        (rec->app_metric == best->app_metric && rec->announcer < best->announcer)) {
+      best = rec;
+    }
+  }
+  metrics_->Increment("forwarding.anycast");
+  if (best->route.IsLocal()) {
+    DeliverLocal(packet, *best);
+  } else {
+    ForwardToInr(packet, best->route.next_hop_inr);
+  }
+}
+
+void ForwardingAgent::HandleMulticast(const NodeAddress& src, const Packet& packet,
+                                      const std::vector<const NameRecord*>& records) {
+  metrics_->Increment("forwarding.multicast");
+  const bool from_neighbor_inr = topology_->IsNeighbor(src);
+  std::set<NodeAddress> next_hops;
+  for (const NameRecord* rec : records) {
+    if (rec->route.IsLocal()) {
+      DeliverLocal(packet, *rec);
+      continue;
+    }
+    // Split horizon on the data path: never bounce a multicast copy back to
+    // the neighbor it came from.
+    if (from_neighbor_inr && rec->route.next_hop_inr == src) {
+      continue;
+    }
+    next_hops.insert(rec->route.next_hop_inr);
+  }
+  for (const NodeAddress& hop : next_hops) {
+    ForwardToInr(packet, hop);
+  }
+}
+
+void ForwardingAgent::DeliverLocal(const Packet& packet, const NameRecord& record) {
+  metrics_->Increment("forwarding.local_deliveries");
+  send_(record.endpoint.address, Envelope{MessageBody(packet)});
+}
+
+void ForwardingAgent::ForwardToInr(const Packet& packet, const NodeAddress& next_hop) {
+  Packet copy = packet;
+  copy.hop_limit -= 1;
+  metrics_->Increment("forwarding.tunneled");
+  send_(next_hop, Envelope{MessageBody(std::move(copy))});
+}
+
+bool ForwardingAgent::TryAnswerFromCache(const Packet& packet) {
+  auto dst = ParseNameSpecifier(packet.destination_name);
+  if (!dst.ok()) {
+    return false;
+  }
+  const PacketCache::Entry* entry = cache_->Lookup(dst->ToString(), executor_->Now());
+  if (entry == nullptr) {
+    return false;
+  }
+  metrics_->Increment("forwarding.cache_answers");
+  Packet reply;
+  reply.source_name = entry->name_key;
+  reply.destination_name = packet.source_name;
+  reply.payload = entry->payload;
+  reply.hop_limit = kDefaultHopLimit;
+  // The reply routes like any other packet (anycast towards the requester's
+  // own advertised name).
+  HandleData(self_, reply);
+  return true;
+}
+
+void ForwardingAgent::MaybeCache(const Packet& packet) {
+  if (packet.cache_lifetime_s == 0 || packet.source_name.empty()) {
+    return;
+  }
+  auto src_name = ParseNameSpecifier(packet.source_name);
+  if (!src_name.ok()) {
+    return;
+  }
+  cache_->Insert(src_name->ToString(), packet.payload,
+                 executor_->Now() + Seconds(packet.cache_lifetime_s));
+  metrics_->Increment("forwarding.cache_inserts");
+}
+
+}  // namespace ins

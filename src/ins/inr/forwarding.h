@@ -1,0 +1,75 @@
+// The forwarding agent: late binding of intentional names (paper §2, §2.3).
+//
+// Every data packet is resolved against the name-tree at message delivery
+// time, so clients keep communicating with the right end-nodes even as
+// name-to-address mappings change mid-session:
+//
+//  * early binding (B=1): the resolver answers with the matching network
+//    locations and metrics — the DNS-like interface;
+//  * intentional anycast (D=any): the packet is tunneled to exactly one
+//    matching destination, the one with the least application-advertised
+//    metric;
+//  * intentional multicast (D=all): the packet is forwarded along the
+//    overlay to every matching destination (one copy per next-hop INR,
+//    direct delivery to locally attached ones).
+//
+// Packets for a virtual space this resolver does not route are tunneled to
+// the owning resolver (DSR-resolved, cached). A hop limit bounds overlay
+// traversal; the packet cache implements the §3.2 caching extension.
+
+#ifndef INS_INR_FORWARDING_H_
+#define INS_INR_FORWARDING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/inr/packet_cache.h"
+#include "ins/inr/vspace.h"
+#include "ins/overlay/topology.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+// Early-binding requests carry their request id and reply-to address at the
+// head of the packet payload, so any resolver along the path can answer
+// directly to the requester. Helpers shared with the client library:
+Bytes EncodeEarlyBindingPayload(uint64_t request_id, const NodeAddress& reply_to);
+Result<std::pair<uint64_t, NodeAddress>> DecodeEarlyBindingPayload(const Bytes& payload);
+
+class ForwardingAgent {
+ public:
+  ForwardingAgent(Executor* executor, SendFn send, NodeAddress self, VspaceManager* vspaces,
+                  TopologyManager* topology, PacketCache* cache, MetricsRegistry* metrics);
+
+  // Entry point for every kData envelope this resolver receives; `src` is
+  // the datagram source (a client or a neighbor INR).
+  void HandleData(const NodeAddress& src, const Packet& packet);
+
+ private:
+  void ResolveAndForward(const NodeAddress& src, const Packet& packet);
+  void ForwardToVspaceOwner(const Packet& packet, const std::string& vspace);
+  void HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
+                          const std::vector<const NameRecord*>& records);
+  void HandleAnycast(const Packet& packet, const std::vector<const NameRecord*>& records);
+  void HandleMulticast(const NodeAddress& src, const Packet& packet,
+                       const std::vector<const NameRecord*>& records);
+  void DeliverLocal(const Packet& packet, const NameRecord& record);
+  void ForwardToInr(const Packet& packet, const NodeAddress& next_hop);
+  bool TryAnswerFromCache(const Packet& packet);
+  void MaybeCache(const Packet& packet);
+
+  Executor* executor_;
+  SendFn send_;
+  NodeAddress self_;
+  VspaceManager* vspaces_;
+  TopologyManager* topology_;
+  PacketCache* cache_;
+  MetricsRegistry* metrics_;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_FORWARDING_H_

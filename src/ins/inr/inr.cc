@@ -1,0 +1,209 @@
+#include "ins/inr/inr.h"
+
+#include <sstream>
+
+#include "ins/common/logging.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+
+Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
+    : executor_(executor), transport_(transport), config_(std::move(config)) {
+  if (!config_.topology.dsr.IsValid()) {
+    config_.topology.dsr = config_.dsr;
+  }
+  SendFn send = [this](const NodeAddress& dst, const Envelope& env) {
+    transport_->Send(dst, EncodeMessage(env));
+  };
+
+  ping_agent_ = std::make_unique<PingAgent>(executor_, send);
+  topology_ = std::make_unique<TopologyManager>(executor_, ping_agent_.get(), send,
+                                                address(), config_.topology, &metrics_);
+  vspaces_ = std::make_unique<VspaceManager>(executor_, send, config_.dsr, &metrics_);
+  cache_ = std::make_unique<PacketCache>(config_.cache_capacity);
+  discovery_ = std::make_unique<NameDiscovery>(executor_, send, address(), vspaces_.get(),
+                                               topology_.get(), &metrics_,
+                                               config_.discovery);
+  forwarding_ = std::make_unique<ForwardingAgent>(executor_, send, address(),
+                                                  vspaces_.get(), topology_.get(),
+                                                  cache_.get(), &metrics_);
+  load_balancer_ = std::make_unique<LoadBalancer>(executor_, send, address(), config_.dsr,
+                                                  vspaces_.get(), discovery_.get(),
+                                                  &metrics_, config_.load_balancer);
+
+  for (const std::string& vspace : config_.vspaces) {
+    vspaces_->AddSpace(vspace);
+  }
+  // Keep the DSR registration's vspace list current as spaces come and go.
+  vspaces_->on_spaces_changed = [this] {
+    if (running_) {
+      topology_->SetVspaces(vspaces_->RoutedSpaces());
+    }
+  };
+  // A new overlay neighbor immediately learns everything we know.
+  topology_->on_neighbor_up = [this](const NodeAddress& peer) {
+    discovery_->SendFullStateTo(peer);
+  };
+  // Default idle-termination policy: shut down gracefully.
+  load_balancer_->on_should_terminate = [this] { Stop(); };
+
+  transport_->SetReceiveHandler(
+      [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
+}
+
+Inr::~Inr() {
+  Stop();
+  transport_->SetReceiveHandler(nullptr);
+}
+
+void Inr::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  topology_->Start(vspaces_->RoutedSpaces());
+  discovery_->Start();
+  load_balancer_->Start();
+  INS_LOG(kDebug) << "INR " << address().ToString() << " started";
+}
+
+void Inr::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  load_balancer_->Stop();
+  discovery_->Stop();
+  topology_->Stop();
+  // Tell the DSR to drop us immediately (lifetime 0 = unregister).
+  DsrRegister reg;
+  reg.inr = address();
+  reg.active = true;
+  reg.lifetime_s = 0;
+  transport_->Send(config_.dsr, Encode(reg));
+  INS_LOG(kDebug) << "INR " << address().ToString() << " stopped";
+}
+
+void Inr::Crash() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;  // OnMessage now drops everything: the node is silent
+  load_balancer_->Stop();
+  discovery_->Stop();
+  topology_->CrashStop();
+  INS_LOG(kDebug) << "INR " << address().ToString() << " crashed (injected)";
+}
+
+void Inr::OnMessage(const NodeAddress& src, const Bytes& data) {
+  if (!running_) {
+    // A terminated resolver goes silent: it must not answer pings, or peers
+    // would never notice it left if its PeerClose was lost.
+    metrics_.Increment("inr.messages_while_stopped");
+    return;
+  }
+  metrics_.Increment("inr.messages");
+  metrics_.Increment("inr.bytes_received", data.size());
+  auto env = DecodeMessage(data);
+  if (!env.ok()) {
+    metrics_.Increment("inr.decode_errors");
+    return;
+  }
+  if (auto* packet = std::get_if<Packet>(&env->body)) {
+    forwarding_->HandleData(src, *packet);
+  } else if (auto* ad = std::get_if<Advertisement>(&env->body)) {
+    discovery_->HandleAdvertisement(src, *ad);
+  } else if (auto* update = std::get_if<NameUpdate>(&env->body)) {
+    discovery_->HandleNameUpdate(src, *update);
+  } else if (auto* disc = std::get_if<DiscoveryRequest>(&env->body)) {
+    HandleDiscoveryRequest(src, *disc);
+  } else if (auto* ping = std::get_if<Ping>(&env->body)) {
+    transport_->Send(src, Encode(PingAgent::PongFor(*ping)));
+  } else if (auto* pong = std::get_if<Pong>(&env->body)) {
+    ping_agent_->HandlePong(src, *pong);
+  } else if (auto* preq = std::get_if<PeerRequest>(&env->body)) {
+    topology_->HandlePeerRequest(src, *preq);
+  } else if (auto* pacc = std::get_if<PeerAccept>(&env->body)) {
+    topology_->HandlePeerAccept(src, *pacc);
+  } else if (auto* pclose = std::get_if<PeerClose>(&env->body)) {
+    topology_->HandlePeerClose(src, *pclose);
+  } else if (auto* list = std::get_if<DsrListResponse>(&env->body)) {
+    topology_->HandleDsrListResponse(*list);
+  } else if (auto* vresp = std::get_if<DsrVspaceResponse>(&env->body)) {
+    vspaces_->HandleDsrVspaceResponse(*vresp);
+  } else if (auto* cands = std::get_if<DsrCandidatesResponse>(&env->body)) {
+    load_balancer_->HandleDsrCandidatesResponse(*cands);
+  } else if (auto* del = std::get_if<DelegateVspace>(&env->body)) {
+    metrics_.Increment("inr.vspaces_accepted");
+    vspaces_->AddSpace(del->vspace);
+  } else {
+    metrics_.Increment("inr.unexpected_messages");
+  }
+}
+
+void Inr::HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest& req) {
+  metrics_.Increment("inr.discovery_requests");
+  NodeAddress reply_to = req.reply_to.IsValid() ? req.reply_to : src;
+
+  if (!vspaces_->Routes(req.vspace)) {
+    DiscoveryRequest forward = req;
+    forward.reply_to = reply_to;
+    vspaces_->ResolveOwner(req.vspace, [this, forward, reply_to](const NodeAddress& owner) {
+      if (owner.IsValid() && owner != address()) {
+        transport_->Send(owner, Encode(forward));
+        return;
+      }
+      // Nobody routes the space: answer with an empty result.
+      DiscoveryResponse resp;
+      resp.request_id = forward.request_id;
+      resp.vspace = forward.vspace;
+      transport_->Send(reply_to, Encode(resp));
+    });
+    return;
+  }
+
+  const NameTree* tree = vspaces_->Tree(req.vspace);
+  NameSpecifier filter;  // empty = match everything
+  if (!req.filter_text.empty()) {
+    auto parsed = ParseNameSpecifier(req.filter_text);
+    if (!parsed.ok()) {
+      metrics_.Increment("inr.bad_discovery_filters");
+      return;
+    }
+    filter = std::move(parsed).value();
+  }
+
+  DiscoveryResponse resp;
+  resp.request_id = req.request_id;
+  resp.vspace = req.vspace;
+  for (const NameRecord* rec : tree->Lookup(filter)) {
+    DiscoveryResponse::Item item;
+    item.name_text = tree->ExtractName(rec).ToString();
+    item.endpoint = rec->endpoint;
+    item.app_metric = rec->app_metric;
+    resp.items.push_back(std::move(item));
+  }
+  transport_->Send(reply_to, Encode(resp));
+}
+
+std::string Inr::DebugString() const {
+  std::ostringstream os;
+  os << "INR " << transport_->local_address().ToString() << "\n";
+  os << "neighbors:";
+  for (const NodeAddress& n : topology_->NeighborAddresses()) {
+    os << " " << n.ToString();
+  }
+  os << "\n";
+  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
+    const NameTree* tree = vspaces_->Tree(vspace);
+    os << "vspace '" << vspace << "': " << tree->record_count() << " names\n";
+    os << tree->DebugString();
+  }
+  os << "counters:\n";
+  for (const auto& [name, value] : metrics_.counters()) {
+    os << "  " << name << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ins

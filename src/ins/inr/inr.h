@@ -1,0 +1,101 @@
+// The Intentional Name Resolver node (paper §2, §4).
+//
+// An Inr binds one Transport and composes the subsystems the paper's Java
+// implementation calls Node, NameTree, NodeListener, ForwardingAgent and
+// NameDiscovery: it decodes every incoming datagram and dispatches it to the
+// name-discovery protocol, the forwarding agent, the overlay topology
+// manager, the virtual-space manager, or the load balancer. It also answers
+// client name-discovery queries and INR-pings directly.
+//
+// The same class runs unchanged under the discrete-event simulator (virtual
+// time) and over real UDP (the examples): all environment access goes
+// through the Executor and Transport interfaces.
+
+#ifndef INS_INR_INR_H_
+#define INS_INR_INR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/common/transport.h"
+#include "ins/inr/forwarding.h"
+#include "ins/inr/load_balancer.h"
+#include "ins/inr/name_discovery.h"
+#include "ins/inr/packet_cache.h"
+#include "ins/inr/vspace.h"
+#include "ins/overlay/ping.h"
+#include "ins/overlay/topology.h"
+
+namespace ins {
+
+struct InrConfig {
+  NodeAddress dsr;
+  // Virtual spaces this resolver routes from the start. "" is the default
+  // space used by names without a [vspace=...] attribute.
+  std::vector<std::string> vspaces = {""};
+  DiscoveryConfig discovery;
+  TopologyConfig topology;  // .dsr is filled from `dsr` if unset
+  LoadBalancerConfig load_balancer;
+  size_t cache_capacity = 128;
+};
+
+class Inr {
+ public:
+  Inr(Executor* executor, Transport* transport, InrConfig config);
+  ~Inr();
+
+  Inr(const Inr&) = delete;
+  Inr& operator=(const Inr&) = delete;
+
+  // Joins the overlay and starts the protocol timers.
+  void Start();
+  // Graceful shutdown: leaves the overlay, stops timers, unregisters.
+  void Stop();
+  // Failure injection: dies silently — no PeerClose, no DSR unregister.
+  // Peers must detect the failure via missed keepalives and the DSR entry
+  // must expire by soft state.
+  void Crash();
+  bool running() const { return running_; }
+
+  NodeAddress address() const { return transport_->local_address(); }
+
+  // Subsystem access (tests, benches, and the network-management view).
+  VspaceManager& vspaces() { return *vspaces_; }
+  NameDiscovery& discovery() { return *discovery_; }
+  ForwardingAgent& forwarding() { return *forwarding_; }
+  TopologyManager& topology() { return *topology_; }
+  LoadBalancer& load_balancer() { return *load_balancer_; }
+  PacketCache& cache() { return *cache_; }
+  PingAgent& pings() { return *ping_agent_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  // Renders the resolver's state (name-trees, neighbors, counters) — the
+  // moral equivalent of the paper's NetworkManagement GUI.
+  std::string DebugString() const;
+
+ private:
+  void OnMessage(const NodeAddress& src, const Bytes& data);
+  void HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest& req);
+
+  Executor* executor_;
+  Transport* transport_;
+  InrConfig config_;
+  MetricsRegistry metrics_;
+  bool running_ = false;
+
+  std::unique_ptr<PingAgent> ping_agent_;
+  std::unique_ptr<TopologyManager> topology_;
+  std::unique_ptr<VspaceManager> vspaces_;
+  std::unique_ptr<PacketCache> cache_;
+  std::unique_ptr<NameDiscovery> discovery_;
+  std::unique_ptr<ForwardingAgent> forwarding_;
+  std::unique_ptr<LoadBalancer> load_balancer_;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_INR_H_

@@ -1,0 +1,100 @@
+// The name-discovery protocol (paper §2.2).
+//
+// Services advertise their names periodically to an attached INR; INRs
+// disseminate names to neighbor resolvers with periodic full updates plus
+// triggered (delta) updates when something new or different arrives. Name
+// state is soft: every record carries a lifetime and is swept when it is not
+// refreshed, so services never de-register and resolver/service failures
+// heal automatically.
+//
+// Route metrics accumulate hop by hop (receiver adds the link metric of the
+// sending neighbor: the distributed Bellman-Ford computation of §2.2), with
+// split horizon — a record is never advertised back to the neighbor it was
+// learned from. The AnnouncerID distinguishes identical names from distinct
+// applications, exactly as the paper prescribes.
+
+#ifndef INS_INR_NAME_DISCOVERY_H_
+#define INS_INR_NAME_DISCOVERY_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/inr/vspace.h"
+#include "ins/overlay/topology.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+struct DiscoveryConfig {
+  // The paper's experiments use a 15-second refresh interval (Figure 8).
+  Duration update_interval = Seconds(15);
+  // Default soft-state lifetime when an advertisement does not specify one:
+  // three refresh intervals, tolerating two lost refreshes.
+  uint32_t default_lifetime_s = 45;
+  Duration expiry_sweep_interval = Seconds(5);
+  bool triggered_updates = true;
+  // Entries per NameUpdate datagram; larger batches are chunked.
+  size_t max_entries_per_update = 64;
+  // Metric changes smaller than this fraction count as refreshes, not
+  // changes, damping triggered-update storms from RTT jitter.
+  double metric_change_threshold = 0.1;
+};
+
+class NameDiscovery {
+ public:
+  NameDiscovery(Executor* executor, SendFn send, NodeAddress self, VspaceManager* vspaces,
+                TopologyManager* topology, MetricsRegistry* metrics, DiscoveryConfig config);
+  ~NameDiscovery();
+
+  void Start();
+  void Stop();
+
+  // A service/client advertisement arrived (possibly forwarded by another
+  // INR when this one owns the target vspace).
+  void HandleAdvertisement(const NodeAddress& src, const Advertisement& ad);
+
+  // A batch update from a neighbor resolver.
+  void HandleNameUpdate(const NodeAddress& src, const NameUpdate& update);
+
+  // Pushes full state for every routed space to one neighbor (called when a
+  // neighbor comes up) or for one space to any address (vspace delegation).
+  void SendFullStateTo(const NodeAddress& peer);
+  void SendVspaceStateTo(const NodeAddress& peer, const std::string& vspace);
+
+  // Observer hook: fired when a previously unknown name is grafted.
+  std::function<void(const std::string& vspace, const NameSpecifier& name,
+                     const NameRecord& record)>
+      on_name_discovered;
+
+ private:
+  void PeriodicTick();
+  void ExpiryTick();
+  NameUpdateEntry EntryFromRecord(const NameTree& tree, const NameRecord* rec) const;
+  void PropagateTriggered(const std::string& vspace, std::vector<NameUpdateEntry> entries,
+                          const NodeAddress& except);
+  void SendUpdates(const NodeAddress& peer, const std::string& vspace,
+                   std::vector<NameUpdateEntry> entries, bool triggered);
+  // Applies one remote entry; returns the entry to propagate if it changed
+  // state, or nullopt.
+  std::optional<NameUpdateEntry> ApplyRemoteEntry(const NodeAddress& src, NameTree* tree,
+                                                  const std::string& vspace,
+                                                  const NameUpdateEntry& entry);
+
+  Executor* executor_;
+  SendFn send_;
+  NodeAddress self_;
+  VspaceManager* vspaces_;
+  TopologyManager* topology_;
+  MetricsRegistry* metrics_;
+  DiscoveryConfig config_;
+
+  TaskId periodic_task_ = kInvalidTaskId;
+  TaskId expiry_task_ = kInvalidTaskId;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_NAME_DISCOVERY_H_

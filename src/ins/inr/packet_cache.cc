@@ -1,0 +1,41 @@
+#include "ins/inr/packet_cache.h"
+
+namespace ins {
+
+void PacketCache::Insert(const std::string& name_key, Bytes payload, TimePoint expires) {
+  if (capacity_ == 0) {
+    return;
+  }
+  auto it = entries_.find(name_key);
+  if (it != entries_.end()) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  lru_.push_front(Entry{name_key, std::move(payload), expires});
+  entries_[name_key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().name_key);
+    lru_.pop_back();
+  }
+}
+
+const PacketCache::Entry* PacketCache::Lookup(const std::string& name_key, TimePoint now) {
+  auto it = entries_.find(name_key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  if (it->second->expires < now) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+    ++misses_;
+    return nullptr;
+  }
+  // Refresh recency.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  ++hits_;
+  return &*it->second;
+}
+
+}  // namespace ins

@@ -1,0 +1,54 @@
+// Application-independent INR-side data caching (paper §3.2).
+//
+// Intentional names double as cache handles: a packet whose header carries a
+// non-zero cache lifetime is cached at each INR it traverses under its
+// *source* name (the name describing the data, e.g. the camera that produced
+// an image). A later request addressed to that name with the
+// answer-from-cache flag set is answered from the cache instead of being
+// forwarded to the origin. Entries are LRU-evicted and expire by lifetime.
+
+#ifndef INS_INR_PACKET_CACHE_H_
+#define INS_INR_PACKET_CACHE_H_
+
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "ins/common/bytes.h"
+#include "ins/common/clock.h"
+
+namespace ins {
+
+class PacketCache {
+ public:
+  explicit PacketCache(size_t capacity) : capacity_(capacity) {}
+
+  struct Entry {
+    std::string name_key;  // canonical text of the cached object's name
+    Bytes payload;
+    TimePoint expires;
+  };
+
+  // Inserts/overwrites the object named `name_key` (canonical text).
+  void Insert(const std::string& name_key, Bytes payload, TimePoint expires);
+
+  // Returns the live entry for `name_key`, refreshing its LRU position, or
+  // nullptr (expired entries are removed on the spot).
+  const Entry* Lookup(const std::string& name_key, TimePoint now);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_PACKET_CACHE_H_

@@ -1,0 +1,103 @@
+#include "ins/inr/vspace.h"
+
+namespace ins {
+
+VspaceManager::VspaceManager(Executor* executor, SendFn send, NodeAddress dsr,
+                             MetricsRegistry* metrics)
+    : executor_(executor), send_(std::move(send)), dsr_(dsr), metrics_(metrics) {}
+
+void VspaceManager::AddSpace(const std::string& vspace) {
+  auto [it, inserted] = routed_.try_emplace(vspace);
+  if (!inserted) {
+    return;
+  }
+  it->second = std::make_unique<NameTree>();
+  owner_cache_.erase(vspace);  // we are the owner now
+  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(routed_.size()));
+  if (on_spaces_changed) {
+    on_spaces_changed();
+  }
+}
+
+bool VspaceManager::RemoveSpace(const std::string& vspace) {
+  if (routed_.erase(vspace) == 0) {
+    return false;
+  }
+  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(routed_.size()));
+  if (on_spaces_changed) {
+    on_spaces_changed();
+  }
+  return true;
+}
+
+std::vector<std::string> VspaceManager::RoutedSpaces() const {
+  std::vector<std::string> out;
+  out.reserve(routed_.size());
+  for (const auto& [name, tree] : routed_) {
+    out.push_back(name);
+  }
+  return out;
+}
+
+NameTree* VspaceManager::Tree(const std::string& vspace) {
+  auto it = routed_.find(vspace);
+  return it == routed_.end() ? nullptr : it->second.get();
+}
+
+const NameTree* VspaceManager::Tree(const std::string& vspace) const {
+  auto it = routed_.find(vspace);
+  return it == routed_.end() ? nullptr : it->second.get();
+}
+
+std::string VspaceManager::VspaceOf(const NameSpecifier& name) {
+  return name.GetValue({kVspaceAttribute}).value_or("");
+}
+
+void VspaceManager::ResolveOwner(const std::string& vspace, ResolveCallback cb) {
+  auto cached = owner_cache_.find(vspace);
+  if (cached != owner_cache_.end()) {
+    metrics_->Increment("vspace.owner_cache_hits");
+    cb(cached->second);
+    return;
+  }
+  metrics_->Increment("vspace.owner_cache_misses");
+  bool in_flight = pending_callbacks_.count(vspace) > 0;
+  pending_callbacks_[vspace].push_back(std::move(cb));
+  if (in_flight) {
+    return;  // coalesce with the outstanding DSR query
+  }
+  uint64_t id = next_request_id_++;
+  pending_by_id_[id] = vspace;
+  DsrVspaceRequest req;
+  req.request_id = id;
+  req.vspace = vspace;
+  send_(dsr_, Envelope{MessageBody(std::move(req))});
+}
+
+void VspaceManager::HandleDsrVspaceResponse(const DsrVspaceResponse& resp) {
+  auto idit = pending_by_id_.find(resp.request_id);
+  if (idit == pending_by_id_.end()) {
+    return;  // stale or duplicate response
+  }
+  std::string vspace = idit->second;
+  pending_by_id_.erase(idit);
+
+  if (resp.inr.IsValid()) {
+    owner_cache_[vspace] = resp.inr;
+  }
+  auto cbit = pending_callbacks_.find(vspace);
+  if (cbit == pending_callbacks_.end()) {
+    return;
+  }
+  std::vector<ResolveCallback> cbs = std::move(cbit->second);
+  pending_callbacks_.erase(cbit);
+  for (ResolveCallback& cb : cbs) {
+    cb(resp.inr);
+  }
+}
+
+void VspaceManager::InvalidateOwner(const std::string& vspace) {
+  owner_cache_.erase(vspace);
+}
+
+}  // namespace ins

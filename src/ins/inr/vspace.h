@@ -1,0 +1,79 @@
+// Virtual-space management (paper §2.5).
+//
+// A virtual space is an application-specified set of names sharing common
+// attributes; internally an INR stores each space it routes in a separate,
+// self-contained name-tree. Applications name their space via the well-known
+// `vspace` attribute. Traffic for a space this resolver does not route is
+// forwarded to the resolver that does, found by querying the DSR and cached
+// (the Figure-15 "remote destination, different virtual space" path).
+
+#ifndef INS_INR_VSPACE_H_
+#define INS_INR_VSPACE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/overlay/ping.h"
+
+namespace ins {
+
+// The well-known attribute naming a specifier's virtual space.
+inline constexpr char kVspaceAttribute[] = "vspace";
+
+class VspaceManager {
+ public:
+  // cb receives the owning INR's address, or an invalid address if no
+  // resolver routes the space. May fire synchronously on a cache hit.
+  using ResolveCallback = std::function<void(const NodeAddress& owner)>;
+
+  VspaceManager(Executor* executor, SendFn send, NodeAddress dsr, MetricsRegistry* metrics);
+
+  // Spaces this resolver routes. Adding an existing space is a no-op.
+  void AddSpace(const std::string& vspace);
+  bool RemoveSpace(const std::string& vspace);
+  bool Routes(const std::string& vspace) const { return routed_.count(vspace) > 0; }
+  std::vector<std::string> RoutedSpaces() const;
+
+  // The name-tree for a routed space; nullptr when not routed.
+  NameTree* Tree(const std::string& vspace);
+  const NameTree* Tree(const std::string& vspace) const;
+
+  // Extracts the root [vspace=...] value; "" when absent (the default space).
+  static std::string VspaceOf(const NameSpecifier& name);
+
+  // Resolves which INR routes `vspace`, caching the answer. Requests to the
+  // DSR are coalesced per space.
+  void ResolveOwner(const std::string& vspace, ResolveCallback cb);
+  void HandleDsrVspaceResponse(const DsrVspaceResponse& resp);
+  // Drops a cached owner (e.g. after a forward to it fails).
+  void InvalidateOwner(const std::string& vspace);
+
+  // Fired when AddSpace creates a new space, so the owner can refresh its
+  // DSR registration.
+  std::function<void()> on_spaces_changed;
+
+  size_t owner_cache_size() const { return owner_cache_.size(); }
+
+ private:
+  Executor* executor_;
+  SendFn send_;
+  NodeAddress dsr_;
+  MetricsRegistry* metrics_;
+
+  std::map<std::string, std::unique_ptr<NameTree>> routed_;
+  std::unordered_map<std::string, NodeAddress> owner_cache_;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<uint64_t, std::string> pending_by_id_;
+  std::map<std::string, std::vector<ResolveCallback>> pending_callbacks_;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_VSPACE_H_

@@ -1,0 +1,52 @@
+#include "ins/name/matcher.h"
+
+namespace ins {
+
+namespace {
+
+// Returns true if the advertised sibling set satisfies every query av-pair at
+// this level, mirroring one recursion level of LOOKUP-NAME on a
+// single-advertisement tree.
+bool MatchLevel(const std::vector<AvPair>& adv, const std::vector<AvPair>& query) {
+  for (const AvPair& q : query) {
+    const AvPair* a = FindPair(adv, q.attribute);
+    if (a == nullptr) {
+      // Attribute absent from the (single-advertisement) tree: LOOKUP-NAME's
+      // `if Ta = null then continue` — no constraint.
+      continue;
+    }
+    if (q.value.is_wildcard()) {
+      // Wildcard admits any advertised value; children after a wildcard are
+      // ignored by the single-pass algorithm.
+      continue;
+    }
+    if (!a->value.is_literal()) {
+      // Advertisements are expected to carry concrete literals. An
+      // advertised wildcard matches anything (it denotes "any value").
+      if (a->value.is_wildcard()) {
+        continue;
+      }
+      return false;
+    }
+    if (!q.value.Accepts(a->value.literal())) {
+      return false;
+    }
+    if (a->children.empty()) {
+      // Advertisement chain ends here: its omitted descendants are
+      // wildcards, so the remaining query constraints are satisfied.
+      continue;
+    }
+    if (!MatchLevel(a->children, q.children)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Matches(const NameSpecifier& advertisement, const NameSpecifier& query) {
+  return MatchLevel(advertisement.roots(), query.roots());
+}
+
+}  // namespace ins

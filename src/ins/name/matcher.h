@@ -1,0 +1,30 @@
+// Specifier-vs-specifier matching.
+//
+// Matches(advertisement, query) answers: would LOOKUP-NAME on a name-tree
+// containing only `advertisement` return its record for `query`? Per the
+// paper (§2.3.2), omitted attributes are wildcards on BOTH sides:
+//
+//  * a query av-pair whose attribute the advertisement lacks does not
+//    constrain the match;
+//  * an advertisement whose chain ends early (is a prefix of the query's
+//    chain) still matches — LOOKUP-NAME unions records attached at interior
+//    value-nodes on return;
+//  * a wildcard query value matches any advertised value, and av-pairs below
+//    a wildcard are ignored (single-pass, no backtracking);
+//  * range query values match numerically against the advertised literal.
+//
+// This predicate is the test oracle for the name-tree and is what INRs use to
+// answer client name-discovery requests (filter against all known names).
+
+#ifndef INS_NAME_MATCHER_H_
+#define INS_NAME_MATCHER_H_
+
+#include "ins/name/name_specifier.h"
+
+namespace ins {
+
+bool Matches(const NameSpecifier& advertisement, const NameSpecifier& query);
+
+}  // namespace ins
+
+#endif  // INS_NAME_MATCHER_H_

@@ -1,0 +1,299 @@
+#include "ins/name/name_specifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+namespace ins {
+
+Value Value::Literal(std::string s) {
+  Value v;
+  v.kind_ = Kind::kLiteral;
+  v.literal_ = std::move(s);
+  return v;
+}
+
+Value Value::Wildcard() {
+  Value v;
+  v.kind_ = Kind::kWildcard;
+  return v;
+}
+
+Value Value::Range(Kind op, double bound) {
+  assert(op == Kind::kLess || op == Kind::kLessEqual || op == Kind::kGreater ||
+         op == Kind::kGreaterEqual);
+  Value v;
+  v.kind_ = op;
+  v.bound_ = bound;
+  std::ostringstream os;
+  os << bound;
+  v.literal_ = os.str();
+  return v;
+}
+
+std::optional<double> ParseNumeric(std::string_view s) {
+  if (s.empty()) {
+    return std::nullopt;
+  }
+  // std::from_chars<double> is available in libstdc++ 11+.
+  double out = 0.0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, out);
+  if (ec != std::errc() || ptr != end) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+bool Value::Accepts(const std::string& advertised_literal) const {
+  switch (kind_) {
+    case Kind::kWildcard:
+      return true;
+    case Kind::kLiteral:
+      return literal_ == advertised_literal;
+    case Kind::kLess:
+    case Kind::kLessEqual:
+    case Kind::kGreater:
+    case Kind::kGreaterEqual: {
+      std::optional<double> n = ParseNumeric(advertised_literal);
+      if (!n.has_value()) {
+        return false;
+      }
+      switch (kind_) {
+        case Kind::kLess:
+          return *n < bound_;
+        case Kind::kLessEqual:
+          return *n <= bound_;
+        case Kind::kGreater:
+          return *n > bound_;
+        case Kind::kGreaterEqual:
+          return *n >= bound_;
+        default:
+          return false;
+      }
+    }
+  }
+  return false;
+}
+
+std::string Value::ToToken() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kWildcard:
+      return "*";
+    case Kind::kLess:
+      return "<" + literal_;
+    case Kind::kLessEqual:
+      return "<=" + literal_;
+    case Kind::kGreater:
+      return ">" + literal_;
+    case Kind::kGreaterEqual:
+      return ">=" + literal_;
+  }
+  return "?";
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) {
+    return false;
+  }
+  if (a.kind_ == Value::Kind::kLiteral) {
+    return a.literal_ == b.literal_;
+  }
+  if (a.is_range()) {
+    return a.bound_ == b.bound_;
+  }
+  return true;  // both wildcards
+}
+
+bool operator==(const AvPair& a, const AvPair& b) {
+  return a.attribute == b.attribute && a.value == b.value && a.children == b.children;
+}
+
+const AvPair* FindPair(const std::vector<AvPair>& siblings, std::string_view attribute) {
+  auto it = std::lower_bound(
+      siblings.begin(), siblings.end(), attribute,
+      [](const AvPair& p, std::string_view attr) { return p.attribute < attr; });
+  if (it != siblings.end() && it->attribute == attribute) {
+    return &*it;
+  }
+  return nullptr;
+}
+
+AvPair* FindPair(std::vector<AvPair>& siblings, std::string_view attribute) {
+  return const_cast<AvPair*>(
+      FindPair(static_cast<const std::vector<AvPair>&>(siblings), attribute));
+}
+
+AvPair* InsertPair(std::vector<AvPair>& siblings, std::string attribute, Value value) {
+  auto it = std::lower_bound(
+      siblings.begin(), siblings.end(), attribute,
+      [](const AvPair& p, const std::string& attr) { return p.attribute < attr; });
+  if (it != siblings.end() && it->attribute == attribute) {
+    return &*it;
+  }
+  it = siblings.insert(it, AvPair(std::move(attribute), std::move(value)));
+  return &*it;
+}
+
+void NameSpecifier::AddPath(
+    std::initializer_list<std::pair<std::string_view, std::string_view>> path) {
+  std::vector<std::pair<std::string, std::string>> copy;
+  copy.reserve(path.size());
+  for (const auto& [a, v] : path) {
+    copy.emplace_back(std::string(a), std::string(v));
+  }
+  AddPath(copy);
+}
+
+void NameSpecifier::AddPath(const std::vector<std::pair<std::string, std::string>>& path) {
+  std::vector<AvPair>* level = &roots_;
+  for (const auto& [attr, val] : path) {
+    AvPair* p = InsertPair(*level, attr, Value::Literal(val));
+    // If the attribute existed with a different value, follow the requested
+    // value by replacing: paths are literal chains, and an application that
+    // AddPath()s two different values for one attribute wants the new one as
+    // a sibling only if values could repeat — which the uniqueness invariant
+    // forbids. Keep the existing pair if values agree; otherwise overwrite.
+    if (!(p->value == Value::Literal(val))) {
+      p->value = Value::Literal(val);
+    }
+    level = &p->children;
+  }
+}
+
+void NameSpecifier::AddPathValue(const std::vector<std::pair<std::string, std::string>>& prefix,
+                                 const std::string& attribute, Value value) {
+  std::vector<AvPair>* level = &roots_;
+  for (const auto& [attr, val] : prefix) {
+    AvPair* p = InsertPair(*level, attr, Value::Literal(val));
+    level = &p->children;
+  }
+  AvPair* leaf = InsertPair(*level, attribute, value);
+  leaf->value = std::move(value);
+}
+
+size_t NameSpecifier::PairCount() const {
+  size_t n = 0;
+  std::function<void(const std::vector<AvPair>&)> walk = [&](const std::vector<AvPair>& v) {
+    n += v.size();
+    for (const AvPair& p : v) {
+      walk(p.children);
+    }
+  };
+  walk(roots_);
+  return n;
+}
+
+size_t NameSpecifier::Depth() const {
+  std::function<size_t(const std::vector<AvPair>&)> walk =
+      [&](const std::vector<AvPair>& v) -> size_t {
+    size_t best = 0;
+    for (const AvPair& p : v) {
+      best = std::max(best, 1 + walk(p.children));
+    }
+    return best;
+  };
+  return walk(roots_);
+}
+
+std::optional<std::string> NameSpecifier::GetValue(
+    const std::vector<std::string>& attribute_path) const {
+  const std::vector<AvPair>* level = &roots_;
+  const AvPair* p = nullptr;
+  for (const std::string& attr : attribute_path) {
+    p = FindPair(*level, attr);
+    if (p == nullptr) {
+      return std::nullopt;
+    }
+    level = &p->children;
+  }
+  if (p == nullptr || !p->value.is_literal()) {
+    return std::nullopt;
+  }
+  return p->value.literal();
+}
+
+void NameSpecifier::SetValue(const std::vector<std::string>& attribute_path,
+                             const std::string& leaf_value) {
+  assert(!attribute_path.empty());
+  std::vector<AvPair>* level = &roots_;
+  AvPair* p = nullptr;
+  for (const std::string& attr : attribute_path) {
+    p = InsertPair(*level, attr, Value::Wildcard());
+    level = &p->children;
+  }
+  p->value = Value::Literal(leaf_value);
+}
+
+namespace {
+
+void SerializePairs(const std::vector<AvPair>& pairs, std::string* out) {
+  for (const AvPair& p : pairs) {
+    out->push_back('[');
+    out->append(p.attribute);
+    // `[attr=*]` is the canonical form; the parser also accepts the bare
+    // `[attr]` shorthand from the paper's Floorplan example.
+    if (p.value.is_range()) {
+      out->append(p.value.ToToken());  // operator is part of the token
+    } else {
+      out->push_back('=');
+      out->append(p.value.ToToken());
+    }
+    if (!p.children.empty()) {
+      SerializePairs(p.children, out);
+    }
+    out->push_back(']');
+  }
+}
+
+void PrettyPairs(const std::vector<AvPair>& pairs, int indent, std::string* out) {
+  for (const AvPair& p : pairs) {
+    out->append(static_cast<size_t>(indent) * 2, ' ');
+    out->push_back('[');
+    out->append(p.attribute);
+    if (p.value.is_range()) {
+      out->append(p.value.ToToken());
+    } else {
+      out->push_back('=');
+      out->append(p.value.ToToken());
+    }
+    if (p.children.empty()) {
+      out->append("]\n");
+    } else {
+      out->push_back('\n');
+      PrettyPairs(p.children, indent + 1, out);
+      out->append(static_cast<size_t>(indent) * 2, ' ');
+      out->append("]\n");
+    }
+  }
+}
+
+}  // namespace
+
+std::string NameSpecifier::ToString() const {
+  std::string out;
+  SerializePairs(roots_, &out);
+  return out;
+}
+
+std::string NameSpecifier::ToPrettyString() const {
+  std::string out;
+  PrettyPairs(roots_, 0, &out);
+  return out;
+}
+
+bool operator==(const NameSpecifier& a, const NameSpecifier& b) {
+  return a.roots_ == b.roots_;
+}
+
+size_t NameSpecifier::Hash() const {
+  return std::hash<std::string>()(ToString());
+}
+
+}  // namespace ins

@@ -1,0 +1,161 @@
+// Intentional names: attribute-value trees (paper §2.1).
+//
+// A name-specifier is a hierarchical arrangement of attribute-value pairs:
+// av-pairs that depend on another are its descendants, orthogonal av-pairs are
+// siblings. Values are free-form strings, the wildcard `*`, or (the paper's
+// announced extension, implemented here) a numeric range constraint such as
+// `load<5`. Among siblings, each attribute appears at most once.
+//
+// The canonical text form matches the paper's wire representation
+// (Figure 3):  [city=washington [building=whitehouse]] [service=camera ...]
+
+#ifndef INS_NAME_NAME_SPECIFIER_H_
+#define INS_NAME_NAME_SPECIFIER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ins {
+
+// The value half of an av-pair.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kLiteral = 0,    // exact string, e.g. "camera"
+    kWildcard = 1,   // `*`: any value
+    kLess = 2,       // numeric: advertisement value <  bound
+    kLessEqual = 3,  // numeric: advertisement value <= bound
+    kGreater = 4,    // numeric: advertisement value >  bound
+    kGreaterEqual = 5,
+  };
+
+  Value() : kind_(Kind::kWildcard) {}
+
+  static Value Literal(std::string s);
+  static Value Wildcard();
+  // `op` must be one of the four range kinds; the bound is kept both as the
+  // original token (for serialization) and as a parsed double (for matching).
+  static Value Range(Kind op, double bound);
+
+  Kind kind() const { return kind_; }
+  bool is_literal() const { return kind_ == Kind::kLiteral; }
+  bool is_wildcard() const { return kind_ == Kind::kWildcard; }
+  bool is_range() const { return !is_literal() && !is_wildcard(); }
+
+  // Valid only for kLiteral.
+  const std::string& literal() const { return literal_; }
+  // Valid only for range kinds.
+  double bound() const { return bound_; }
+
+  // True if a concrete advertised literal satisfies this (query) value.
+  // Range kinds require the advertised literal to parse as a number.
+  bool Accepts(const std::string& advertised_literal) const;
+
+  // Token as it appears after the attribute in the text form, including the
+  // operator for ranges (the `=` separator is owned by the serializer).
+  std::string ToToken() const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  std::string literal_;  // literal text, or textual bound for ranges
+  double bound_ = 0.0;
+};
+
+// Attempts to parse a value literal as a number (used by range matching and
+// by intentional-anycast metric comparison). Returns nullopt on failure.
+std::optional<double> ParseNumeric(std::string_view s);
+
+// One attribute-value pair plus its dependent (child) av-pairs.
+struct AvPair {
+  std::string attribute;
+  Value value;
+  // Sorted by attribute, unique attributes. Order is maintained by the
+  // owning NameSpecifier's mutation helpers.
+  std::vector<AvPair> children;
+
+  AvPair() = default;
+  AvPair(std::string attr, Value val) : attribute(std::move(attr)), value(std::move(val)) {}
+
+  friend bool operator==(const AvPair& a, const AvPair& b);
+};
+
+// A complete intentional name: a forest of orthogonal root av-pairs.
+class NameSpecifier {
+ public:
+  NameSpecifier() = default;
+
+  // Merges a root-to-leaf chain of literal av-pairs into the tree, sharing
+  // existing (attribute, value) prefixes. This is the main construction API:
+  //
+  //   NameSpecifier n;
+  //   n.AddPath({{"service", "camera"}, {"entity", "transmitter"}});
+  //   n.AddPath({{"service", "camera"}, {"id", "a"}});
+  //   n.AddPath({{"room", "510"}});
+  void AddPath(std::initializer_list<std::pair<std::string_view, std::string_view>> path);
+  void AddPath(const std::vector<std::pair<std::string, std::string>>& path);
+
+  // As AddPath but the final pair carries an arbitrary Value (wildcard/range).
+  void AddPathValue(const std::vector<std::pair<std::string, std::string>>& prefix,
+                    const std::string& attribute, Value value);
+
+  // Direct access to the root forest. Mutation through this reference must
+  // keep siblings sorted by attribute; prefer AddPath.
+  const std::vector<AvPair>& roots() const { return roots_; }
+  std::vector<AvPair>& mutable_roots() { return roots_; }
+
+  bool empty() const { return roots_.empty(); }
+
+  // Counts av-pairs in the whole tree.
+  size_t PairCount() const;
+
+  // Maximum depth in av-pairs (a single root pair has depth 1).
+  size_t Depth() const;
+
+  // Looks up the literal value at the end of a chain of attributes, following
+  // the first (and only, by the uniqueness invariant) matching attribute at
+  // each level. Returns nullopt if absent or not a literal. Convenient for
+  // applications: n.GetValue({"service", "entity"}) -> "transmitter".
+  std::optional<std::string> GetValue(const std::vector<std::string>& attribute_path) const;
+
+  // Replaces (or adds) the value at an attribute path with a literal,
+  // creating intermediate pairs with the given path values if needed.
+  void SetValue(const std::vector<std::string>& attribute_path, const std::string& leaf_value);
+
+  // Canonical wire text: minimal whitespace, siblings in sorted attribute
+  // order. Two structurally equal specifiers serialize identically.
+  std::string ToString() const;
+
+  // Indented multi-line rendering for logs and debugging.
+  std::string ToPrettyString() const;
+
+  // Size in bytes of the canonical text form (what goes in packet headers).
+  size_t WireSize() const { return ToString().size(); }
+
+  // Structural equality and a matching hash (over the canonical form).
+  friend bool operator==(const NameSpecifier& a, const NameSpecifier& b);
+  size_t Hash() const;
+
+ private:
+  std::vector<AvPair> roots_;
+};
+
+// Finds the child with the given attribute in a sorted sibling vector, or
+// nullptr. Shared by the matcher and the name-tree.
+const AvPair* FindPair(const std::vector<AvPair>& siblings, std::string_view attribute);
+AvPair* FindPair(std::vector<AvPair>& siblings, std::string_view attribute);
+
+// Inserts a pair keeping the sibling vector sorted by attribute. If the
+// attribute already exists, returns the existing pair (value untouched).
+AvPair* InsertPair(std::vector<AvPair>& siblings, std::string attribute, Value value);
+
+}  // namespace ins
+
+#endif  // INS_NAME_NAME_SPECIFIER_H_

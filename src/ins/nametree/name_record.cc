@@ -1,0 +1,20 @@
+#include "ins/nametree/name_record.h"
+
+#include <sstream>
+
+namespace ins {
+
+std::string NameRecord::ToString() const {
+  std::ostringstream os;
+  os << "{announcer=" << announcer.ToString() << " endpoint=" << endpoint.address.ToString()
+     << " app_metric=" << app_metric;
+  if (route.IsLocal()) {
+    os << " route=local";
+  } else {
+    os << " route=via:" << route.next_hop_inr.ToString() << "/" << route.overlay_metric;
+  }
+  os << " expires=" << expires.count() << "us v" << version << "}";
+  return os.str();
+}
+
+}  // namespace ins

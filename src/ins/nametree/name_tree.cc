@@ -1,0 +1,542 @@
+#include "ins/nametree/name_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <functional>
+#include <sstream>
+
+namespace ins {
+
+Value ValueFromToken(const std::string& token) {
+  if (token == "*") {
+    return Value::Wildcard();
+  }
+  if (!token.empty() && (token[0] == '<' || token[0] == '>')) {
+    size_t skip = 1;
+    bool or_equal = token.size() > 1 && token[1] == '=';
+    if (or_equal) {
+      skip = 2;
+    }
+    std::optional<double> bound = ParseNumeric(std::string_view(token).substr(skip));
+    if (bound.has_value()) {
+      Value::Kind kind;
+      if (token[0] == '<') {
+        kind = or_equal ? Value::Kind::kLessEqual : Value::Kind::kLess;
+      } else {
+        kind = or_equal ? Value::Kind::kGreaterEqual : Value::Kind::kGreater;
+      }
+      return Value::Range(kind, *bound);
+    }
+  }
+  return Value::Literal(token);
+}
+
+NameTree::NameTree(Options options) : options_(options) {
+  root_.parent_attr = nullptr;
+}
+
+NameTree::~NameTree() = default;
+
+// ---------------------------------------------------------------------------
+// Candidate sets
+
+void NameTree::CandidateSet::IntersectWith(std::vector<const NameRecord*> other) {
+  std::sort(other.begin(), other.end());
+  other.erase(std::unique(other.begin(), other.end()), other.end());
+  if (universal) {
+    universal = false;
+    items = std::move(other);
+    return;
+  }
+  std::vector<const NameRecord*> out;
+  out.reserve(std::min(items.size(), other.size()));
+  std::set_intersection(items.begin(), items.end(), other.begin(), other.end(),
+                        std::back_inserter(out));
+  items = std::move(out);
+}
+
+// ---------------------------------------------------------------------------
+// Graft / ungraft
+
+void NameTree::Graft(ValueNode* parent, const std::vector<AvPair>& pairs, NameRecord* rec) {
+  for (const AvPair& p : pairs) {
+    std::unique_ptr<AttributeNode>& attr_slot = parent->attributes[p.attribute];
+    if (attr_slot == nullptr) {
+      attr_slot = std::make_unique<AttributeNode>();
+      attr_slot->attribute = p.attribute;
+      attr_slot->parent = parent;
+    }
+    AttributeNode* ta = attr_slot.get();
+
+    const std::string token = p.value.ToToken();
+    std::unique_ptr<ValueNode>& value_slot = ta->values[token];
+    if (value_slot == nullptr) {
+      value_slot = std::make_unique<ValueNode>();
+      value_slot->value = token;
+      value_slot->parent_attr = ta;
+    }
+    ValueNode* tv = value_slot.get();
+
+    if (p.children.empty()) {
+      tv->records.push_back(rec);
+      rec->terminals_.push_back(tv);
+      if (options_.cache_subtree_records) {
+        AddToAncestorCaches(tv, rec);
+      }
+    } else {
+      Graft(tv, p.children, rec);
+    }
+  }
+}
+
+void NameTree::AddToAncestorCaches(ValueNode* leaf, const NameRecord* rec) {
+  for (ValueNode* v = leaf; v != nullptr;
+       v = v->parent_attr != nullptr ? v->parent_attr->parent : nullptr) {
+    auto& cache = v->subtree_cache;
+    cache.insert(std::upper_bound(cache.begin(), cache.end(), rec), rec);
+    if (v == &root_) {
+      break;
+    }
+  }
+}
+
+void NameTree::RemoveFromAncestorCaches(ValueNode* leaf, const NameRecord* rec) {
+  for (ValueNode* v = leaf; v != nullptr;
+       v = v->parent_attr != nullptr ? v->parent_attr->parent : nullptr) {
+    auto& cache = v->subtree_cache;
+    auto it = std::lower_bound(cache.begin(), cache.end(), rec);
+    assert(it != cache.end() && *it == rec);
+    cache.erase(it);
+    if (v == &root_) {
+      break;
+    }
+  }
+}
+
+void NameTree::Ungraft(NameRecord* rec) {
+  for (void* t : rec->terminals_) {
+    auto* tv = static_cast<ValueNode*>(t);
+    auto it = std::find(tv->records.begin(), tv->records.end(), rec);
+    assert(it != tv->records.end());
+    tv->records.erase(it);
+    if (options_.cache_subtree_records) {
+      RemoveFromAncestorCaches(tv, rec);
+    }
+    PruneUpward(tv);
+  }
+  rec->terminals_.clear();
+}
+
+void NameTree::PruneUpward(ValueNode* v) {
+  while (v != &root_ && v->records.empty() && v->attributes.empty()) {
+    AttributeNode* ta = v->parent_attr;
+    ta->values.erase(v->value);  // destroys *v
+    if (!ta->values.empty()) {
+      return;
+    }
+    ValueNode* up = ta->parent;
+    up->attributes.erase(ta->attribute);  // destroys *ta
+    v = up;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Upsert
+
+NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRecord& info) {
+  assert(!name.empty() && "cannot advertise an empty name-specifier");
+  auto it = records_.find(info.announcer);
+  if (it == records_.end()) {
+    auto rec = std::make_unique<NameRecord>(info);
+    rec->terminals_.clear();
+    NameRecord* raw = rec.get();
+    records_.emplace(info.announcer, std::move(rec));
+    Graft(&root_, name.roots(), raw);
+    return {UpsertOutcome::kNew, raw};
+  }
+
+  NameRecord* rec = it->second.get();
+  if (info.version < rec->version) {
+    return {UpsertOutcome::kIgnored, nullptr};
+  }
+
+  const bool renamed = !(ExtractName(rec) == name);
+  const bool changed = !(rec->endpoint == info.endpoint) || rec->app_metric != info.app_metric ||
+                       !(rec->route == info.route);
+
+  rec->endpoint = info.endpoint;
+  rec->app_metric = info.app_metric;
+  rec->route = info.route;
+  rec->version = info.version;
+  rec->expires = std::max(rec->expires, info.expires);
+
+  if (renamed) {
+    Ungraft(rec);
+    Graft(&root_, name.roots(), rec);
+    return {UpsertOutcome::kRenamed, rec};
+  }
+  return {changed ? UpsertOutcome::kChanged : UpsertOutcome::kRefreshed, rec};
+}
+
+// ---------------------------------------------------------------------------
+// LOOKUP-NAME
+
+void NameTree::SubtreeRecords(const ValueNode* node,
+                              std::vector<const NameRecord*>* out) const {
+  if (options_.cache_subtree_records) {
+    out->insert(out->end(), node->subtree_cache.begin(), node->subtree_cache.end());
+    return;
+  }
+  out->insert(out->end(), node->records.begin(), node->records.end());
+  for (const auto& [attr, child] : node->attributes) {
+    SubtreeRecords(child.get(), out);
+  }
+}
+
+void NameTree::SubtreeRecords(const AttributeNode* node,
+                              std::vector<const NameRecord*>* out) const {
+  for (const auto& [val, child] : node->values) {
+    SubtreeRecords(child.get(), out);
+  }
+}
+
+void NameTree::LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
+                           CandidateSet* s) const {
+  for (const AvPair& p : pairs) {
+    if (s->Empty()) {
+      return;  // intersection can only shrink; nothing left to find
+    }
+    auto ait = node->attributes.find(p.attribute);
+    if (ait == node->attributes.end()) {
+      // LOOKUP-NAME: `if Ta = null then continue` — omitted attributes in
+      // advertisements are wildcards, so an attribute unknown to the tree
+      // does not constrain the candidate set.
+      continue;
+    }
+    const AttributeNode* ta = ait->second.get();
+
+    if (p.value.is_wildcard()) {
+      // Union of all records in the subtree rooted at the attribute-node.
+      std::vector<const NameRecord*> sub;
+      SubtreeRecords(ta, &sub);
+      s->IntersectWith(std::move(sub));
+      continue;
+    }
+
+    if (p.value.is_range()) {
+      // Range-selection extension: like a wildcard filtered to the value
+      // children whose token numerically satisfies the constraint.
+      std::vector<const NameRecord*> sub;
+      for (const auto& [token, child] : ta->values) {
+        if (p.value.Accepts(token)) {
+          SubtreeRecords(child.get(), &sub);
+        }
+      }
+      s->IntersectWith(std::move(sub));
+      continue;
+    }
+
+    auto vit = ta->values.find(p.value.literal());
+    if (vit == ta->values.end()) {
+      // The advertised values for this attribute all differ: no match.
+      s->IntersectWith({});
+      return;
+    }
+    const ValueNode* tv = vit->second.get();
+
+    if (p.children.empty()) {
+      // Query chain ends here: everything at or below this value matches
+      // (interior value-nodes "correspond to" all records beneath them).
+      std::vector<const NameRecord*> sub;
+      SubtreeRecords(tv, &sub);
+      s->IntersectWith(std::move(sub));
+    } else if (tv->attributes.empty()) {
+      // Tree chain ends here: the advertisements' omitted descendants are
+      // wildcards, so the records at this leaf satisfy the deeper query.
+      s->IntersectWith({tv->records.begin(), tv->records.end()});
+    } else {
+      // Recurse; the recursive result unions in the records attached at the
+      // subtree root (advertisement chains that end at `tv`).
+      CandidateSet sub;
+      LookupLevel(tv, p.children, &sub);
+      if (!sub.universal) {
+        std::vector<const NameRecord*> merged = std::move(sub.items);
+        merged.insert(merged.end(), tv->records.begin(), tv->records.end());
+        s->IntersectWith(std::move(merged));
+      }
+      // A universal sub-result means no constraint applied below; S ∩
+      // (universal ∪ records) = S.
+    }
+  }
+}
+
+std::vector<const NameRecord*> NameTree::Lookup(const NameSpecifier& query) const {
+  CandidateSet s;
+  LookupLevel(&root_, query.roots(), &s);
+  std::vector<const NameRecord*> out;
+  if (s.universal) {
+    return AllRecords();
+  }
+  out = std::move(s.items);
+  std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
+    return a->announcer < b->announcer;
+  });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// GET-NAME
+//
+// The paper augments every value-node with a PTR scratch variable and resets
+// the touched ones afterwards; an equivalent side table keeps the tree const.
+
+namespace {
+
+struct ExtractedPair {
+  std::string attribute;
+  std::string token;
+  std::vector<ExtractedPair*> children;
+};
+
+struct Extraction {
+  std::deque<ExtractedPair> arena;
+  ExtractedPair* Alloc(std::string attribute, std::string token) {
+    arena.push_back(ExtractedPair{std::move(attribute), std::move(token), {}});
+    return &arena.back();
+  }
+};
+
+void ConvertExtracted(const std::vector<ExtractedPair*>& in, std::vector<AvPair>* out) {
+  for (const ExtractedPair* e : in) {
+    AvPair* pair = InsertPair(*out, e->attribute, ValueFromToken(e->token));
+    ConvertExtracted(e->children, &pair->children);
+  }
+}
+
+}  // namespace
+
+NameSpecifier NameTree::ExtractName(const NameRecord* record) const {
+  Extraction ex;
+  ExtractedPair* root_pair = ex.Alloc("", "");
+  std::unordered_map<const ValueNode*, ExtractedPair*> ptr;  // the PTR variables
+  ptr.emplace(&root_, root_pair);
+
+  // TRACE: walk upward from a leaf value-node until reaching a part of the
+  // name-specifier that has already been reconstructed, grafting on the
+  // fragment built along the way.
+  std::function<void(const ValueNode*, ExtractedPair*)> trace =
+      [&](const ValueNode* tv, ExtractedPair* fragment) {
+        auto it = ptr.find(tv);
+        if (it != ptr.end()) {
+          if (fragment != nullptr) {
+            it->second->children.push_back(fragment);
+          }
+          return;
+        }
+        ExtractedPair* pair = ex.Alloc(tv->parent_attr->attribute, tv->value);
+        ptr.emplace(tv, pair);
+        if (fragment != nullptr) {
+          pair->children.push_back(fragment);
+        }
+        trace(tv->parent_attr->parent, pair);
+      };
+
+  for (void* t : record->terminals_) {
+    trace(static_cast<const ValueNode*>(t), nullptr);
+  }
+
+  NameSpecifier name;
+  ConvertExtracted(root_pair->children, &name.mutable_roots());
+  return name;
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping
+
+bool NameTree::Remove(const AnnouncerId& id) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return false;
+  }
+  Ungraft(it->second.get());
+  records_.erase(it);
+  return true;
+}
+
+size_t NameTree::ExpireBefore(TimePoint now) {
+  std::vector<AnnouncerId> doomed;
+  for (const auto& [id, rec] : records_) {
+    if (rec->expires < now) {
+      doomed.push_back(id);
+    }
+  }
+  for (const AnnouncerId& id : doomed) {
+    Remove(id);
+  }
+  return doomed.size();
+}
+
+const NameRecord* NameTree::Find(const AnnouncerId& id) const {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+NameRecord* NameTree::FindMutable(const AnnouncerId& id) {
+  auto it = records_.find(id);
+  return it == records_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const NameRecord*> NameTree::AllRecords() const {
+  std::vector<const NameRecord*> out;
+  out.reserve(records_.size());
+  for (const auto& [id, rec] : records_) {
+    out.push_back(rec.get());
+  }
+  return out;  // std::map iteration is already AnnouncerId-ordered
+}
+
+NameTree::Stats NameTree::ComputeStats() const {
+  Stats st;
+  st.records = records_.size();
+
+  // Estimated per-element overhead of the node-based hash maps (bucket entry
+  // + list node + pointers). Constants match libstdc++'s unordered_map.
+  constexpr size_t kHashSlot = 56;
+  constexpr size_t kMapNode = 72;  // std::map red-black node overhead
+
+  std::function<void(const ValueNode&)> walk_value = [&](const ValueNode& v) {
+    st.value_nodes += 1;
+    st.bytes += sizeof(ValueNode) + v.value.capacity() +
+                v.records.capacity() * sizeof(NameRecord*) +
+                v.subtree_cache.capacity() * sizeof(const NameRecord*);
+    for (const auto& [attr, child] : v.attributes) {
+      st.attribute_nodes += 1;
+      st.bytes += kHashSlot + attr.capacity();  // map key duplicates the name
+      st.bytes += sizeof(AttributeNode) + child->attribute.capacity();
+      for (const auto& [val, grandchild] : child->values) {
+        st.bytes += kHashSlot + val.capacity();
+        walk_value(*grandchild);
+      }
+    }
+  };
+  walk_value(root_);
+  st.value_nodes -= 1;  // do not count the pseudo-root
+
+  for (const auto& [id, rec] : records_) {
+    st.bytes += kMapNode + sizeof(NameRecord);
+    st.bytes += rec->terminals_.capacity() * sizeof(void*);
+    st.bytes += rec->endpoint.bindings.capacity() * sizeof(PortBinding);
+    for (const PortBinding& b : rec->endpoint.bindings) {
+      st.bytes += b.transport.capacity();
+    }
+  }
+  return st;
+}
+
+std::string NameTree::DebugString() const {
+  std::ostringstream os;
+  std::function<void(const ValueNode&, int)> walk = [&](const ValueNode& v, int indent) {
+    for (const auto& [attr, child] : v.attributes) {
+      os << std::string(static_cast<size_t>(indent) * 2, ' ') << attr << ":\n";
+      for (const auto& [val, grandchild] : child->values) {
+        os << std::string(static_cast<size_t>(indent) * 2 + 2, ' ') << "= " << val;
+        if (!grandchild->records.empty()) {
+          os << "  (" << grandchild->records.size() << " record"
+             << (grandchild->records.size() == 1 ? "" : "s") << ")";
+        }
+        os << "\n";
+        walk(*grandchild, indent + 2);
+      }
+    }
+  };
+  walk(root_, 0);
+  return os.str();
+}
+
+Status NameTree::CheckInvariants() const {
+  // Every record's terminals must point back at value-nodes that list it.
+  std::unordered_map<const ValueNode*, size_t> seen;
+  std::function<Status(const ValueNode&)> walk = [&](const ValueNode& v) -> Status {
+    for (const auto& [attr, child] : v.attributes) {
+      if (child->attribute != attr) {
+        return InternalError("attribute-node key mismatch: " + attr);
+      }
+      if (child->parent != &v) {
+        return InternalError("attribute-node parent pointer broken at " + attr);
+      }
+      if (child->values.empty()) {
+        return InternalError("empty attribute-node not pruned: " + attr);
+      }
+      for (const auto& [val, grandchild] : child->values) {
+        if (grandchild->value != val) {
+          return InternalError("value-node key mismatch: " + val);
+        }
+        if (grandchild->parent_attr != child.get()) {
+          return InternalError("value-node parent pointer broken at " + val);
+        }
+        if (grandchild->records.empty() && grandchild->attributes.empty()) {
+          return InternalError("empty value-node not pruned: " + val);
+        }
+        seen[grandchild.get()] = grandchild->records.size();
+        if (options_.cache_subtree_records) {
+          if (!std::is_sorted(grandchild->subtree_cache.begin(),
+                              grandchild->subtree_cache.end())) {
+            return InternalError("subtree cache not sorted at " + val);
+          }
+          std::vector<const NameRecord*> expected;
+          // Collect terminals the slow way and compare as multisets.
+          std::function<void(const ValueNode&)> gather = [&](const ValueNode& node) {
+            expected.insert(expected.end(), node.records.begin(), node.records.end());
+            for (const auto& [a2, c2] : node.attributes) {
+              for (const auto& [v2, g2] : c2->values) {
+                gather(*g2);
+              }
+            }
+          };
+          gather(*grandchild);
+          std::sort(expected.begin(), expected.end());
+          if (expected != grandchild->subtree_cache) {
+            return InternalError("subtree cache out of sync at " + val);
+          }
+        }
+        INS_RETURN_IF_ERROR(walk(*grandchild));
+      }
+    }
+    return Status::Ok();
+  };
+  INS_RETURN_IF_ERROR(walk(root_));
+
+  size_t terminal_refs = 0;
+  for (const auto& [id, rec] : records_) {
+    if (!(id == rec->announcer)) {
+      return InternalError("record keyed under wrong announcer: " + id.ToString());
+    }
+    if (rec->terminals_.empty()) {
+      return InternalError("record with no terminals: " + id.ToString());
+    }
+    for (void* t : rec->terminals_) {
+      const auto* tv = static_cast<const ValueNode*>(t);
+      auto it = seen.find(tv);
+      if (it == seen.end()) {
+        return InternalError("record terminal points outside the tree: " + id.ToString());
+      }
+      if (std::find(tv->records.begin(), tv->records.end(), rec.get()) == tv->records.end()) {
+        return InternalError("terminal value-node does not list its record: " + id.ToString());
+      }
+      ++terminal_refs;
+    }
+  }
+  size_t listed = 0;
+  for (const auto& [node, n] : seen) {
+    listed += n;
+  }
+  if (listed != terminal_refs) {
+    return InternalError("terminal reference count mismatch: tree lists " +
+                         std::to_string(listed) + ", records hold " +
+                         std::to_string(terminal_refs));
+  }
+  return Status::Ok();
+}
+
+}  // namespace ins

@@ -1,0 +1,185 @@
+// The name-tree: the resolver's central data structure (paper §2.3).
+//
+// A name-tree is the superposition of all name-specifiers a resolver knows
+// about: alternating layers of attribute-nodes (orthogonal attributes) and
+// value-nodes (possible values), with value-nodes pointing at name-records.
+// Three paper algorithms live here:
+//
+//   * graft        — merge a newly discovered name-specifier into the tree
+//                    and attach its name-record at the leaf value-nodes;
+//   * LOOKUP-NAME  — single-pass, no-backtracking retrieval of the records
+//                    matching a query specifier (Figure 5), with hash-table
+//                    attribute/value lookup (the Θ(n_a^d (1+b)) variant of
+//                    the §5.1.1 analysis);
+//   * GET-NAME     — reconstruct a record's specifier by tracing upward from
+//                    its leaf value-nodes and grafting onto already-extracted
+//                    fragments (Figure 6), used when sending updates.
+//
+// Soft state: records carry an expiry; ExpireBefore() sweeps them out and
+// prunes empty branches. The tree also accounts its memory precisely, which
+// reproduces the paper's Figure 13.
+
+#ifndef INS_NAMETREE_NAME_TREE_H_
+#define INS_NAMETREE_NAME_TREE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ins/common/clock.h"
+#include "ins/common/status.h"
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_record.h"
+
+namespace ins {
+
+class NameTree {
+ public:
+  struct Options {
+    // Figure 4's caption describes value-nodes containing "pointers to all
+    // the name-records they correspond to". When enabled, every value-node
+    // maintains a sorted cache of the records in its subtree, kept
+    // incrementally on graft/ungraft: lookups intersect the cached lists
+    // instead of collecting subtrees on the fly (faster lookups, slower
+    // updates, more memory — quantified in bench_ablation_subtree_cache).
+    // The default (off) collects on demand.
+    bool cache_subtree_records = false;
+  };
+
+  NameTree() : NameTree(Options{}) {}
+  explicit NameTree(Options options);
+  ~NameTree();
+
+  NameTree(const NameTree&) = delete;
+  NameTree& operator=(const NameTree&) = delete;
+
+  // Outcome of merging an advertisement.
+  struct UpsertOutcome {
+    enum Kind {
+      kNew,        // announcer was unknown: name grafted
+      kRefreshed,  // same name and data: expiry/version refreshed only
+      kChanged,    // data (metric, endpoint, route) changed; name identical
+      kRenamed,    // same announcer, different specifier: old graft replaced
+      kIgnored,    // stale version; nothing done
+    } kind;
+    NameRecord* record;  // nullptr only when kIgnored
+  };
+
+  // Inserts or refreshes the advertisement `info` under `name`. A record is
+  // identified by its AnnouncerId: re-announcing with a different specifier
+  // implements service mobility (the old graft is removed). Updates carrying
+  // a version lower than the stored one are ignored.
+  UpsertOutcome Upsert(const NameSpecifier& name, const NameRecord& info);
+
+  // LOOKUP-NAME: all records matching the query. Results are sorted by
+  // AnnouncerId for deterministic output. An empty query matches everything.
+  //
+  // Semantics note (a faithful reproduction of Figure 5): a query av-pair
+  // whose attribute is absent from the *whole tree* does not constrain the
+  // result (`if Ta = null then continue`), but once any advertisement uses
+  // that attribute at that position, the constraint applies to every
+  // candidate — an advertisement that omits the attribute is then excluded
+  // unless its specifier chain ends above it (the union-at-return rule).
+  // Per-advertisement Matches() semantics, where an omitted advertisement
+  // attribute is always a wildcard, coincide with Lookup() exactly when
+  // advertisements are schema-complete at each position; otherwise Lookup()
+  // returns a subset. Property tests pin down both relationships.
+  std::vector<const NameRecord*> Lookup(const NameSpecifier& query) const;
+
+  // GET-NAME: reconstructs the name-specifier of a record owned by this tree.
+  NameSpecifier ExtractName(const NameRecord* record) const;
+
+  // Removes the record for `id`. Returns false if unknown.
+  bool Remove(const AnnouncerId& id);
+
+  // Removes every record with expires < now; returns how many were removed.
+  size_t ExpireBefore(TimePoint now);
+
+  const NameRecord* Find(const AnnouncerId& id) const;
+  NameRecord* FindMutable(const AnnouncerId& id);
+
+  // All live records, sorted by AnnouncerId.
+  std::vector<const NameRecord*> AllRecords() const;
+
+  size_t record_count() const { return records_.size(); }
+
+  struct Stats {
+    size_t attribute_nodes = 0;
+    size_t value_nodes = 0;
+    size_t records = 0;
+    size_t bytes = 0;  // estimated resident bytes of the whole structure
+  };
+  Stats ComputeStats() const;
+
+  // Renders the tree for debugging (NetworkManagement-style view).
+  std::string DebugString() const;
+
+  // Verifies internal invariants (parent pointers, terminal back-pointers,
+  // sorted sibling order); used by tests. Returns an error describing the
+  // first violation found.
+  Status CheckInvariants() const;
+
+ private:
+  struct AttributeNode;
+  struct ValueNode;
+
+  struct AttributeNode {
+    std::string attribute;
+    ValueNode* parent;  // owning value-node (never null; root is a ValueNode)
+    // Hash-based child lookup: the paper's Θ(1) find of a value.
+    std::unordered_map<std::string, std::unique_ptr<ValueNode>> values;
+  };
+
+  struct ValueNode {
+    std::string value;          // empty for the root pseudo-node
+    AttributeNode* parent_attr; // null for root
+    // Hash-based child lookup of orthogonal attributes.
+    std::unordered_map<std::string, std::unique_ptr<AttributeNode>> attributes;
+    // Records whose specifier has a leaf ending at this value-node.
+    std::vector<NameRecord*> records;
+    // With Options::cache_subtree_records: every record in this subtree,
+    // sorted by pointer, one entry per terminal (duplicates possible when a
+    // record has several leaves below this node).
+    std::vector<const NameRecord*> subtree_cache;
+  };
+
+  // A sorted set of record pointers, or "the universal set" before the first
+  // intersection (paper: S starts as the set of all possible name-records).
+  struct CandidateSet {
+    bool universal = true;
+    std::vector<const NameRecord*> items;  // sorted by pointer
+
+    void IntersectWith(std::vector<const NameRecord*> other);
+    bool Empty() const { return !universal && items.empty(); }
+  };
+
+  // Grafts `pairs` below `parent`, attaching `rec` at leaf value-nodes.
+  void Graft(ValueNode* parent, const std::vector<AvPair>& pairs, NameRecord* rec);
+  // Detaches `rec` from its terminal value-nodes and prunes empty branches.
+  void Ungraft(NameRecord* rec);
+  void PruneUpward(ValueNode* v);
+
+  // One recursion level of LOOKUP-NAME rooted at value-node `node`.
+  void LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
+                   CandidateSet* s) const;
+  void SubtreeRecords(const ValueNode* node, std::vector<const NameRecord*>* out) const;
+  void SubtreeRecords(const AttributeNode* node, std::vector<const NameRecord*>* out) const;
+  // Adds/removes one cache entry for `rec` on every ancestor of `leaf`.
+  void AddToAncestorCaches(ValueNode* leaf, const NameRecord* rec);
+  void RemoveFromAncestorCaches(ValueNode* leaf, const NameRecord* rec);
+
+  Options options_;
+  ValueNode root_;
+  std::map<AnnouncerId, std::unique_ptr<NameRecord>> records_;
+};
+
+// Converts a stored value token back into a Value ("*" -> wildcard, "<5" ->
+// range, anything else -> literal). Shared with the wire codecs.
+Value ValueFromToken(const std::string& token);
+
+}  // namespace ins
+
+#endif  // INS_NAMETREE_NAME_TREE_H_

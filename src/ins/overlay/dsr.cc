@@ -1,0 +1,161 @@
+#include "ins/overlay/dsr.h"
+
+#include <algorithm>
+
+#include "ins/common/logging.h"
+
+namespace ins {
+
+Dsr::Dsr(Executor* executor, Transport* transport, DsrConfig config)
+    : executor_(executor), transport_(transport), config_(config) {
+  transport_->SetReceiveHandler(
+      [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
+  sweep_task_ = executor_->ScheduleAfter(config_.expiry_sweep_interval, [this] { SweepExpired(); });
+}
+
+Dsr::~Dsr() {
+  executor_->Cancel(sweep_task_);
+  transport_->SetReceiveHandler(nullptr);
+}
+
+void Dsr::AddCandidate(const NodeAddress& node) {
+  candidates_[node] = TimePoint::max();
+}
+
+std::vector<NodeAddress> Dsr::ActiveInrs() const {
+  std::vector<const Registration*> regs;
+  regs.reserve(active_.size());
+  for (const auto& [addr, reg] : active_) {
+    regs.push_back(&reg);
+  }
+  std::sort(regs.begin(), regs.end(),
+            [](const Registration* a, const Registration* b) {
+              return a->join_order < b->join_order;
+            });
+  std::vector<NodeAddress> out;
+  out.reserve(regs.size());
+  for (const Registration* r : regs) {
+    out.push_back(r->inr);
+  }
+  return out;
+}
+
+std::vector<NodeAddress> Dsr::Candidates() const {
+  std::vector<NodeAddress> out;
+  out.reserve(candidates_.size());
+  for (const auto& [addr, exp] : candidates_) {
+    out.push_back(addr);
+  }
+  return out;
+}
+
+NodeAddress Dsr::InrForVspace(const std::string& vspace) const {
+  // First registrant (in join order) routing the space wins; this is also
+  // the tie-break that keeps two INRs from both claiming a space for long.
+  const Registration* best = nullptr;
+  for (const auto& [addr, reg] : active_) {
+    if (std::find(reg.vspaces.begin(), reg.vspaces.end(), vspace) == reg.vspaces.end()) {
+      continue;
+    }
+    if (best == nullptr || reg.join_order < best->join_order) {
+      best = &reg;
+    }
+  }
+  return best != nullptr ? best->inr : kInvalidAddress;
+}
+
+void Dsr::HandleRegister(const DsrRegister& reg) {
+  if (reg.lifetime_s == 0) {
+    // Explicit unregister (graceful INR termination).
+    if (active_.erase(reg.inr) > 0) {
+      metrics_.Increment("dsr.unregisters");
+    }
+    candidates_.erase(reg.inr);
+    return;
+  }
+  TimePoint expires = executor_->Now() + Seconds(reg.lifetime_s);
+  if (!reg.active) {
+    candidates_[reg.inr] = expires;
+    metrics_.Increment("dsr.candidate_registrations");
+    return;
+  }
+  auto it = active_.find(reg.inr);
+  if (it == active_.end()) {
+    Registration r;
+    r.inr = reg.inr;
+    r.join_order = next_join_order_++;
+    r.vspaces = reg.vspaces;
+    r.expires = expires;
+    active_.emplace(reg.inr, std::move(r));
+    // An INR that becomes active stops being a spawn candidate.
+    candidates_.erase(reg.inr);
+    metrics_.Increment("dsr.joins");
+    INS_LOG(kDebug) << "DSR: " << reg.inr.ToString() << " joined ("
+                    << active_.size() << " active)";
+  } else {
+    it->second.vspaces = reg.vspaces;
+    it->second.expires = expires;
+    metrics_.Increment("dsr.refreshes");
+  }
+}
+
+void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
+  auto env = DecodeMessage(data);
+  if (!env.ok()) {
+    metrics_.Increment("dsr.decode_errors");
+    return;
+  }
+  if (const auto* reg = std::get_if<DsrRegister>(&env->body)) {
+    HandleRegister(*reg);
+    return;
+  }
+  if (const auto* list = std::get_if<DsrListRequest>(&env->body)) {
+    DsrListResponse resp;
+    resp.request_id = list->request_id;
+    resp.active_inrs = ActiveInrs();
+    transport_->Send(src, Encode(resp));
+    metrics_.Increment("dsr.list_requests");
+    return;
+  }
+  if (const auto* vq = std::get_if<DsrVspaceRequest>(&env->body)) {
+    DsrVspaceResponse resp;
+    resp.request_id = vq->request_id;
+    resp.vspace = vq->vspace;
+    resp.inr = InrForVspace(vq->vspace);
+    transport_->Send(src, Encode(resp));
+    metrics_.Increment("dsr.vspace_requests");
+    return;
+  }
+  if (const auto* cq = std::get_if<DsrCandidatesRequest>(&env->body)) {
+    DsrCandidatesResponse resp;
+    resp.request_id = cq->request_id;
+    resp.candidates = Candidates();
+    transport_->Send(src, Encode(resp));
+    metrics_.Increment("dsr.candidate_requests");
+    return;
+  }
+  metrics_.Increment("dsr.unexpected_messages");
+}
+
+void Dsr::SweepExpired() {
+  TimePoint now = executor_->Now();
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.expires < now) {
+      INS_LOG(kDebug) << "DSR: " << it->first.ToString() << " expired";
+      metrics_.Increment("dsr.expirations");
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    if (it->second < now) {
+      it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  sweep_task_ = executor_->ScheduleAfter(config_.expiry_sweep_interval, [this] { SweepExpired(); });
+}
+
+}  // namespace ins

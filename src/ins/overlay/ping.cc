@@ -1,0 +1,80 @@
+#include "ins/overlay/ping.h"
+
+namespace ins {
+
+namespace {
+// EWMA weight of a new sample, like TCP's SRTT smoothing.
+constexpr double kAlpha = 0.25;
+// Metric assigned to peers with no RTT measurement yet.
+constexpr double kUnknownLinkMs = 1000.0;
+}  // namespace
+
+PingAgent::PingAgent(Executor* executor, SendFn send)
+    : executor_(executor), send_(std::move(send)) {}
+
+PingAgent::~PingAgent() {
+  // Pending timeout tasks capture `this`; cancel them so they cannot fire
+  // after destruction (e.g. when a resolver is torn down mid-probe).
+  for (const auto& [nonce, pending] : pending_) {
+    executor_->Cancel(pending.timeout_task);
+  }
+}
+
+void PingAgent::SendPing(const NodeAddress& target, Duration timeout, PingCallback cb) {
+  uint64_t nonce = next_nonce_++;
+  Ping ping;
+  ping.nonce = nonce;
+  ping.send_time_us = static_cast<uint64_t>(executor_->Now().count());
+
+  TaskId timeout_task = executor_->ScheduleAfter(timeout, [this, nonce] {
+    auto it = pending_.find(nonce);
+    if (it == pending_.end()) {
+      return;
+    }
+    PingCallback cb2 = std::move(it->second.callback);
+    pending_.erase(it);
+    cb2(std::nullopt);
+  });
+
+  pending_.emplace(nonce, Pending{target, executor_->Now(), timeout_task, std::move(cb)});
+  send_(target, Envelope{MessageBody(ping)});
+}
+
+void PingAgent::HandlePong(const NodeAddress& source, const Pong& pong) {
+  auto it = pending_.find(pong.nonce);
+  if (it == pending_.end()) {
+    return;  // late or duplicate pong
+  }
+  Duration rtt = executor_->Now() - it->second.sent_at;
+  executor_->Cancel(it->second.timeout_task);
+  PingCallback cb = std::move(it->second.callback);
+  pending_.erase(it);
+
+  auto sit = smoothed_.find(source);
+  if (sit == smoothed_.end()) {
+    smoothed_[source] = rtt;
+  } else {
+    auto blended = static_cast<int64_t>(kAlpha * static_cast<double>(rtt.count()) +
+                                        (1 - kAlpha) * static_cast<double>(sit->second.count()));
+    sit->second = Duration(blended);
+  }
+  cb(rtt);
+}
+
+std::optional<Duration> PingAgent::SmoothedRtt(const NodeAddress& peer) const {
+  auto it = smoothed_.find(peer);
+  if (it == smoothed_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+double PingAgent::LinkMetricMs(const NodeAddress& peer) const {
+  auto rtt = SmoothedRtt(peer);
+  if (!rtt.has_value()) {
+    return kUnknownLinkMs;
+  }
+  return ToMillis(*rtt);
+}
+
+}  // namespace ins

@@ -1,0 +1,66 @@
+// INR-pings (paper §2.4): small probe messages between resolvers used to
+// measure processing+network round-trip time. The smoothed RTT is the metric
+// the spanning-tree overlay optimizes and the per-name route metric that
+// accumulates hop by hop for intentional multicast.
+
+#ifndef INS_OVERLAY_PING_H_
+#define INS_OVERLAY_PING_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "ins/common/executor.h"
+#include "ins/common/node_address.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+// Sends envelopes on behalf of a component; bound to the owning node's
+// transport by the Inr (or test harness).
+using SendFn = std::function<void(const NodeAddress& destination, const Envelope& message)>;
+
+class PingAgent {
+ public:
+  using PingCallback = std::function<void(std::optional<Duration> rtt)>;
+
+  PingAgent(Executor* executor, SendFn send);
+  ~PingAgent();
+
+  // Probes `target`; invokes `cb` exactly once with the measured RTT, or
+  // nullopt after `timeout`. Multiple concurrent probes are fine.
+  void SendPing(const NodeAddress& target, Duration timeout, PingCallback cb);
+
+  // Wire-in points for the owning node's dispatcher.
+  void HandlePong(const NodeAddress& source, const Pong& pong);
+  // Responder side: every node answers pings immediately.
+  static Pong PongFor(const Ping& ping) { return Pong{ping.nonce, ping.send_time_us}; }
+
+  // Exponentially weighted smoothed RTT of past probes to `peer`.
+  std::optional<Duration> SmoothedRtt(const NodeAddress& peer) const;
+
+  // Link metric used for route accumulation: smoothed RTT in milliseconds
+  // (the paper's "currently the INR-to-INR round-trip latency"). Falls back
+  // to a large value for peers never measured.
+  double LinkMetricMs(const NodeAddress& peer) const;
+
+  size_t pending_count() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    NodeAddress target;
+    TimePoint sent_at;
+    TaskId timeout_task;
+    PingCallback callback;
+  };
+
+  Executor* executor_;
+  SendFn send_;
+  uint64_t next_nonce_ = 1;
+  std::unordered_map<uint64_t, Pending> pending_;
+  std::unordered_map<NodeAddress, Duration, NodeAddressHash> smoothed_;
+};
+
+}  // namespace ins
+
+#endif  // INS_OVERLAY_PING_H_

@@ -1,0 +1,372 @@
+#include "ins/overlay/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+
+#include "ins/common/logging.h"
+
+namespace ins {
+
+TopologyManager::TopologyManager(Executor* executor, PingAgent* ping_agent, SendFn send,
+                                 NodeAddress self, TopologyConfig config,
+                                 MetricsRegistry* metrics)
+    : executor_(executor),
+      ping_agent_(ping_agent),
+      send_(std::move(send)),
+      self_(self),
+      config_(config),
+      metrics_(metrics) {}
+
+TopologyManager::~TopologyManager() {
+  executor_->Cancel(register_task_);
+  executor_->Cancel(keepalive_task_);
+  executor_->Cancel(relaxation_task_);
+  executor_->Cancel(join_retry_task_);
+}
+
+void TopologyManager::Start(std::vector<std::string> vspaces) {
+  vspaces_ = std::move(vspaces);
+  started_ = true;
+  RegisterWithDsr();
+  RequestActiveList();
+  keepalive_task_ =
+      executor_->ScheduleAfter(config_.keepalive_interval, [this] { KeepaliveTick(); });
+  join_retry_task_ = executor_->ScheduleAfter(config_.keepalive_interval * 2,
+                                              [this] { EnsureJoinedTick(); });
+  if (config_.enable_relaxation) {
+    relaxation_task_ =
+        executor_->ScheduleAfter(config_.relaxation_interval, [this] { RelaxationTick(); });
+  }
+}
+
+void TopologyManager::Stop() {
+  if (!started_) {
+    return;
+  }
+  started_ = false;
+  joined_ = false;
+  executor_->Cancel(register_task_);
+  executor_->Cancel(keepalive_task_);
+  executor_->Cancel(relaxation_task_);
+  executor_->Cancel(join_retry_task_);
+  register_task_ = keepalive_task_ = relaxation_task_ = join_retry_task_ = kInvalidTaskId;
+  std::vector<NodeAddress> peers = NeighborAddresses();
+  for (const NodeAddress& p : peers) {
+    RemoveNeighbor(p, /*notify_peer=*/true);
+  }
+}
+
+void TopologyManager::CrashStop() {
+  started_ = false;
+  joined_ = false;
+  executor_->Cancel(register_task_);
+  executor_->Cancel(keepalive_task_);
+  executor_->Cancel(relaxation_task_);
+  executor_->Cancel(join_retry_task_);
+  register_task_ = keepalive_task_ = relaxation_task_ = join_retry_task_ = kInvalidTaskId;
+  neighbors_.clear();
+}
+
+void TopologyManager::SetVspaces(std::vector<std::string> vspaces) {
+  vspaces_ = std::move(vspaces);
+  if (started_) {
+    RegisterWithDsr();  // push the new set immediately
+  }
+}
+
+void TopologyManager::RegisterWithDsr() {
+  DsrRegister reg;
+  reg.inr = self_;
+  reg.active = true;
+  reg.vspaces = vspaces_;
+  reg.lifetime_s = config_.dsr_lifetime_s;
+  send_(config_.dsr, Envelope{MessageBody(reg)});
+
+  executor_->Cancel(register_task_);
+  register_task_ =
+      executor_->ScheduleAfter(config_.dsr_refresh_interval, [this] { RegisterWithDsr(); });
+}
+
+void TopologyManager::RequestActiveList() {
+  join_request_id_ = next_request_id_++;
+  DsrListRequest req;
+  req.request_id = join_request_id_;
+  send_(config_.dsr, Envelope{MessageBody(req)});
+}
+
+void TopologyManager::HandleDsrListResponse(const DsrListResponse& resp) {
+  if (resp.request_id == join_request_id_ && !joined_) {
+    join_request_id_ = 0;
+    last_active_list_ = resp.active_inrs;
+    StartJoinProbe(resp.active_inrs);
+    return;
+  }
+  if (resp.request_id == relaxation_request_id_) {
+    relaxation_request_id_ = 0;
+    last_active_list_ = resp.active_inrs;
+    HandleRelaxationList(resp);
+    return;
+  }
+}
+
+void TopologyManager::StartJoinProbe(const std::vector<NodeAddress>& actives) {
+  std::vector<NodeAddress> others;
+  for (const NodeAddress& a : actives) {
+    if (a != self_) {
+      others.push_back(a);
+    }
+  }
+  if (others.empty()) {
+    // First resolver in the domain: the tree is just us.
+    joined_ = true;
+    metrics_->Increment("topology.joined_as_root");
+    return;
+  }
+
+  // INR-ping every active resolver; peer with the minimum.
+  struct Probe {
+    size_t outstanding;
+    double best_ms = std::numeric_limits<double>::infinity();
+    NodeAddress best;
+  };
+  auto probe = std::make_shared<Probe>();
+  probe->outstanding = others.size();
+  for (const NodeAddress& target : others) {
+    ping_agent_->SendPing(target, config_.ping_timeout,
+                          [this, probe, target](std::optional<Duration> rtt) {
+                            if (rtt.has_value() && ToMillis(*rtt) < probe->best_ms) {
+                              probe->best_ms = ToMillis(*rtt);
+                              probe->best = target;
+                            }
+                            if (--probe->outstanding > 0) {
+                              return;
+                            }
+                            if (!probe->best.IsValid()) {
+                              // Everyone timed out; the EnsureJoined
+                              // watchdog restarts the join procedure.
+                              metrics_->Increment("topology.join_retries");
+                              return;
+                            }
+                            AdoptParent(probe->best);
+                          });
+  }
+}
+
+void TopologyManager::EnsureJoinedTick() {
+  if (started_ && !joined_) {
+    metrics_->Increment("topology.join_watchdog_retries");
+    RequestActiveList();
+  }
+  join_retry_task_ = executor_->ScheduleAfter(config_.keepalive_interval * 2,
+                                              [this] { EnsureJoinedTick(); });
+}
+
+void TopologyManager::AdoptParent(const NodeAddress& parent) {
+  // If an earlier PeerRequest went to someone else (handshake lost, or a
+  // retry picked a different peer), withdraw it so no stale half-open edge
+  // survives on the other side.
+  if (requested_parent_.IsValid() && requested_parent_ != parent &&
+      neighbors_.count(requested_parent_) == 0) {
+    send_(requested_parent_, Envelope{MessageBody(PeerClose{self_})});
+  }
+  requested_parent_ = parent;
+  metrics_->Increment("topology.peer_requests_sent");
+  send_(parent, Envelope{MessageBody(PeerRequest{self_})});
+}
+
+void TopologyManager::HandlePeerRequest(const NodeAddress& src, const PeerRequest& req) {
+  (void)src;
+  AddNeighbor(req.requester, /*is_parent=*/false);
+  send_(req.requester, Envelope{MessageBody(PeerAccept{self_})});
+}
+
+void TopologyManager::HandlePeerAccept(const NodeAddress& src, const PeerAccept& acc) {
+  (void)src;
+  AddNeighbor(acc.accepter, /*is_parent=*/true);
+  joined_ = true;
+  metrics_->Increment("topology.joined");
+}
+
+void TopologyManager::HandlePeerClose(const NodeAddress& src, const PeerClose& close) {
+  (void)src;
+  if (neighbors_.count(close.closer) == 0) {
+    return;
+  }
+  bool was_parent = neighbors_[close.closer].is_parent;
+  RemoveNeighbor(close.closer, /*notify_peer=*/false);
+  if (was_parent && started_) {
+    joined_ = false;
+    RequestActiveList();  // reconnect the tree
+  }
+}
+
+void TopologyManager::AddNeighbor(const NodeAddress& addr, bool is_parent) {
+  auto [it, inserted] = neighbors_.try_emplace(addr);
+  it->second.address = addr;
+  it->second.last_heard = executor_->Now();
+  if (is_parent) {
+    // At most one parent at a time.
+    for (auto& [a, n] : neighbors_) {
+      n.is_parent = false;
+    }
+    it->second.is_parent = true;
+  }
+  if (inserted) {
+    metrics_->Increment("topology.neighbors_added");
+    metrics_->SetGauge("topology.neighbors", static_cast<int64_t>(neighbors_.size()));
+    if (on_neighbor_up) {
+      on_neighbor_up(addr);
+    }
+  }
+}
+
+void TopologyManager::RemoveNeighbor(const NodeAddress& addr, bool notify_peer) {
+  auto it = neighbors_.find(addr);
+  if (it == neighbors_.end()) {
+    return;
+  }
+  neighbors_.erase(it);
+  if (notify_peer) {
+    send_(addr, Envelope{MessageBody(PeerClose{self_})});
+  }
+  metrics_->Increment("topology.neighbors_removed");
+  metrics_->SetGauge("topology.neighbors", static_cast<int64_t>(neighbors_.size()));
+  if (on_neighbor_down) {
+    on_neighbor_down(addr);
+  }
+}
+
+void TopologyManager::KeepaliveTick() {
+  TimePoint now = executor_->Now();
+  Duration dead_after = config_.keepalive_interval * config_.missed_keepalives_for_failure;
+
+  std::vector<NodeAddress> dead;
+  for (auto& [addr, n] : neighbors_) {
+    if (now - n.last_heard > dead_after) {
+      dead.push_back(addr);
+    }
+  }
+  for (const NodeAddress& addr : dead) {
+    bool was_parent = neighbors_[addr].is_parent;
+    INS_LOG(kDebug) << self_.ToString() << ": neighbor " << addr.ToString() << " failed";
+    metrics_->Increment("topology.neighbor_failures");
+    RemoveNeighbor(addr, /*notify_peer=*/false);
+    if (was_parent && started_) {
+      joined_ = false;
+      RequestActiveList();
+    }
+  }
+
+  for (auto& [addr, n] : neighbors_) {
+    NodeAddress target = addr;
+    ping_agent_->SendPing(target, config_.ping_timeout,
+                          [this, target](std::optional<Duration> rtt) {
+                            if (!rtt.has_value()) {
+                              return;
+                            }
+                            auto it = neighbors_.find(target);
+                            if (it != neighbors_.end()) {
+                              it->second.last_heard = executor_->Now();
+                            }
+                          });
+  }
+
+  keepalive_task_ =
+      executor_->ScheduleAfter(config_.keepalive_interval, [this] { KeepaliveTick(); });
+}
+
+void TopologyManager::RelaxationTick() {
+  if (joined_ && parent().has_value()) {
+    relaxation_request_id_ = next_request_id_++;
+    DsrListRequest req;
+    req.request_id = relaxation_request_id_;
+    send_(config_.dsr, Envelope{MessageBody(req)});
+  }
+  relaxation_task_ =
+      executor_->ScheduleAfter(config_.relaxation_interval, [this] { RelaxationTick(); });
+}
+
+void TopologyManager::HandleRelaxationList(const DsrListResponse& resp) {
+  std::optional<NodeAddress> current_parent = parent();
+  if (!current_parent.has_value()) {
+    return;
+  }
+  // Only peers that joined before us are cycle-safe parent candidates.
+  std::vector<NodeAddress> candidates;
+  for (const NodeAddress& a : resp.active_inrs) {
+    if (a == self_) {
+      break;
+    }
+    if (a != *current_parent) {
+      candidates.push_back(a);
+    }
+  }
+  if (candidates.empty()) {
+    return;
+  }
+
+  struct Probe {
+    size_t outstanding;
+    double best_ms = std::numeric_limits<double>::infinity();
+    NodeAddress best;
+  };
+  auto probe = std::make_shared<Probe>();
+  probe->outstanding = candidates.size() + 1;  // +1 for re-probing the parent
+
+  auto finish = [this, probe, parent_addr = *current_parent](double parent_ms) {
+    if (!probe->best.IsValid()) {
+      return;
+    }
+    if (probe->best_ms < parent_ms * config_.relaxation_improvement) {
+      INS_LOG(kDebug) << self_.ToString() << ": relaxation switches parent "
+                      << parent_addr.ToString() << " -> " << probe->best.ToString();
+      metrics_->Increment("topology.relaxation_switches");
+      RemoveNeighbor(parent_addr, /*notify_peer=*/true);
+      AdoptParent(probe->best);
+    }
+  };
+
+  auto parent_ms = std::make_shared<double>(std::numeric_limits<double>::infinity());
+  ping_agent_->SendPing(*current_parent, config_.ping_timeout,
+                        [probe, parent_ms, finish](std::optional<Duration> rtt) {
+                          if (rtt.has_value()) {
+                            *parent_ms = ToMillis(*rtt);
+                          }
+                          if (--probe->outstanding == 0) {
+                            finish(*parent_ms);
+                          }
+                        });
+  for (const NodeAddress& target : candidates) {
+    ping_agent_->SendPing(target, config_.ping_timeout,
+                          [probe, target, parent_ms, finish](std::optional<Duration> rtt) {
+                            if (rtt.has_value() && ToMillis(*rtt) < probe->best_ms) {
+                              probe->best_ms = ToMillis(*rtt);
+                              probe->best = target;
+                            }
+                            if (--probe->outstanding == 0) {
+                              finish(*parent_ms);
+                            }
+                          });
+  }
+}
+
+std::vector<NodeAddress> TopologyManager::NeighborAddresses() const {
+  std::vector<NodeAddress> out;
+  out.reserve(neighbors_.size());
+  for (const auto& [addr, n] : neighbors_) {
+    out.push_back(addr);
+  }
+  return out;
+}
+
+std::optional<NodeAddress> TopologyManager::parent() const {
+  for (const auto& [addr, n] : neighbors_) {
+    if (n.is_parent) {
+      return addr;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ins

@@ -1,0 +1,134 @@
+// Self-configuring spanning-tree overlay (paper §2.4).
+//
+// Join: a new INR registers with the DSR, fetches the active-INR list,
+// INR-pings every active resolver, and peers with the minimum-RTT one. The
+// DSR hands every joiner the same list in linear join order, so each node
+// after the first adds exactly one link: n nodes, n-1 links, connected —
+// a spanning tree by construction.
+//
+// Maintenance: neighbors exchange keepalive pings; a neighbor that misses
+// several keepalives is declared down and dropped. If the lost neighbor was
+// this node's parent (the peer it joined through), the node re-runs the join
+// procedure, reconnecting the tree.
+//
+// Relaxation (the paper's announced future-work improvement, implemented
+// here as an option): nodes periodically re-ping the active set and switch
+// their parent link to a measurably better peer. To keep the topology a tree
+// (no cycles), a node only ever adopts a parent that joined *before* it in
+// the DSR's linear order.
+
+#ifndef INS_OVERLAY_TOPOLOGY_H_
+#define INS_OVERLAY_TOPOLOGY_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/common/node_address.h"
+#include "ins/overlay/ping.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+struct TopologyConfig {
+  NodeAddress dsr;
+  Duration ping_timeout = Milliseconds(500);
+  Duration keepalive_interval = Seconds(5);
+  int missed_keepalives_for_failure = 3;
+  Duration dsr_refresh_interval = Seconds(20);
+  uint32_t dsr_lifetime_s = 60;
+  bool enable_relaxation = false;
+  Duration relaxation_interval = Seconds(30);
+  // Relaxation switches parent only when the candidate is better by this
+  // factor (hysteresis against flapping).
+  double relaxation_improvement = 0.8;
+};
+
+class TopologyManager {
+ public:
+  struct Neighbor {
+    NodeAddress address;
+    TimePoint last_heard{0};
+    bool is_parent = false;  // the peer this node joined through
+  };
+
+  // `send` transmits envelopes from the owning node; `ping_agent` is shared
+  // with the owning Inr (which routes kPong messages to it).
+  TopologyManager(Executor* executor, PingAgent* ping_agent, SendFn send,
+                  NodeAddress self, TopologyConfig config, MetricsRegistry* metrics);
+  ~TopologyManager();
+
+  // Begins the join procedure; `vspaces` go into the DSR registration.
+  void Start(std::vector<std::string> vspaces);
+  // Graceful leave: PeerClose to all neighbors, stop timers.
+  void Stop();
+  // Failure injection: stop timers and forget neighbors without telling
+  // anyone (the node vanished).
+  void CrashStop();
+
+  // Updates the advertised vspace set (load-balancer delegation).
+  void SetVspaces(std::vector<std::string> vspaces);
+
+  // Dispatcher wire-in.
+  void HandleDsrListResponse(const DsrListResponse& resp);
+  void HandlePeerRequest(const NodeAddress& src, const PeerRequest& req);
+  void HandlePeerAccept(const NodeAddress& src, const PeerAccept& acc);
+  void HandlePeerClose(const NodeAddress& src, const PeerClose& close);
+
+  // Neighbor set and link metrics.
+  std::vector<NodeAddress> NeighborAddresses() const;
+  bool IsNeighbor(const NodeAddress& addr) const { return neighbors_.count(addr) > 0; }
+  double LinkMetricMs(const NodeAddress& neighbor) const {
+    return ping_agent_->LinkMetricMs(neighbor);
+  }
+  std::optional<NodeAddress> parent() const;
+  bool joined() const { return joined_; }
+
+  // Fired when a neighbor is added/removed (name discovery uses these to
+  // send full-state updates to new neighbors and purge routes via dead ones).
+  std::function<void(const NodeAddress&)> on_neighbor_up;
+  std::function<void(const NodeAddress&)> on_neighbor_down;
+
+ private:
+  void RegisterWithDsr();
+  void RequestActiveList();
+  // Watchdog: while started but not joined, periodically restarts the join
+  // procedure (lost DSR responses, lost peer handshakes, lossy links).
+  void EnsureJoinedTick();
+  void StartJoinProbe(const std::vector<NodeAddress>& actives);
+  void AdoptParent(const NodeAddress& parent);
+  void AddNeighbor(const NodeAddress& addr, bool is_parent);
+  void RemoveNeighbor(const NodeAddress& addr, bool notify_peer);
+  void KeepaliveTick();
+  void RelaxationTick();
+  void HandleRelaxationList(const DsrListResponse& resp);
+
+  Executor* executor_;
+  PingAgent* ping_agent_;
+  SendFn send_;
+  NodeAddress self_;
+  TopologyConfig config_;
+  MetricsRegistry* metrics_;
+
+  std::vector<std::string> vspaces_;
+  bool started_ = false;
+  bool joined_ = false;
+  uint64_t next_request_id_ = 1;
+  uint64_t join_request_id_ = 0;        // outstanding join list request
+  uint64_t relaxation_request_id_ = 0;  // outstanding relaxation list request
+  NodeAddress requested_parent_;  // last peer we sent a PeerRequest to
+  std::map<NodeAddress, Neighbor> neighbors_;
+  std::vector<NodeAddress> last_active_list_;  // DSR order, for relaxation
+  TaskId register_task_ = kInvalidTaskId;
+  TaskId keepalive_task_ = kInvalidTaskId;
+  TaskId relaxation_task_ = kInvalidTaskId;
+  TaskId join_retry_task_ = kInvalidTaskId;
+};
+
+}  // namespace ins
+
+#endif  // INS_OVERLAY_TOPOLOGY_H_

@@ -1,0 +1,12 @@
+#include "ins/sim/cpu_meter.h"
+
+namespace ins::sim {
+
+Duration MeasureWallTime(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<Duration>(end - start);
+}
+
+}  // namespace ins::sim

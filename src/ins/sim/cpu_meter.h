@@ -1,0 +1,43 @@
+// CPU cost modelling for simulated hosts.
+//
+// The simulator runs the *real* resolver code; to reproduce CPU-bound
+// behaviour (paper §2.5, Figure 8) a host charges the measured wall-clock
+// time of each handler execution — multiplied by a scale factor emulating a
+// slower processor — against its virtual clock. While the host is "busy",
+// later-arriving datagrams queue behind it.
+
+#ifndef INS_SIM_CPU_METER_H_
+#define INS_SIM_CPU_METER_H_
+
+#include <chrono>
+#include <functional>
+
+#include "ins/common/clock.h"
+
+namespace ins::sim {
+
+// Measures the wall-clock duration of `fn`.
+Duration MeasureWallTime(const std::function<void()>& fn);
+
+// Per-host CPU account.
+struct CpuAccount {
+  double scale = 0;          // 0 = CPU not modeled
+  TimePoint busy_until{0};   // virtual time the host becomes free
+  Duration total_busy{0};    // accumulated scaled CPU time
+
+  bool enabled() const { return scale > 0; }
+
+  // Records one handler execution that started at virtual time `start` and
+  // measured `wall` of real CPU. Returns the scaled busy duration.
+  Duration Charge(TimePoint start, Duration wall) {
+    auto scaled = Duration(static_cast<int64_t>(static_cast<double>(wall.count()) * scale));
+    TimePoint begin = std::max(start, busy_until);
+    busy_until = begin + scaled;
+    total_busy += scaled;
+    return scaled;
+  }
+};
+
+}  // namespace ins::sim
+
+#endif  // INS_SIM_CPU_METER_H_

@@ -1,0 +1,61 @@
+#include "ins/sim/event_loop.h"
+
+#include <cassert>
+
+namespace ins::sim {
+
+TaskId EventLoop::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  if (when < now_) {
+    when = now_;  // the past is not available; run as soon as possible
+  }
+  TaskId id = next_id_++;
+  queue_.emplace(Key{when, id}, std::move(fn));
+  index_.emplace(id, when);
+  return id;
+}
+
+bool EventLoop::Cancel(TaskId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return false;
+  }
+  queue_.erase(Key{it->second, id});
+  index_.erase(it);
+  return true;
+}
+
+bool EventLoop::Step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  auto it = queue_.begin();
+  assert(it->first.first >= now_ && "time went backwards");
+  now_ = it->first.first;
+  std::function<void()> fn = std::move(it->second);
+  index_.erase(it->first.second);
+  queue_.erase(it);
+  fn();
+  return true;
+}
+
+size_t EventLoop::RunUntilIdle(size_t max_events) {
+  size_t n = 0;
+  while (n < max_events && Step()) {
+    ++n;
+  }
+  return n;
+}
+
+size_t EventLoop::RunUntil(TimePoint deadline) {
+  size_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.first <= deadline) {
+    Step();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+}  // namespace ins::sim

@@ -1,0 +1,56 @@
+// Deterministic discrete-event loop (virtual time).
+//
+// The whole resolver stack schedules work through the Executor interface;
+// under simulation that executor is this loop, so multi-node experiments run
+// deterministically and "time" (soft-state lifetimes, refresh intervals,
+// link latencies) advances only when the loop processes events.
+
+#ifndef INS_SIM_EVENT_LOOP_H_
+#define INS_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+#include "ins/common/clock.h"
+#include "ins/common/executor.h"
+
+namespace ins::sim {
+
+class EventLoop : public Executor, public Clock {
+ public:
+  EventLoop() = default;
+
+  // Executor:
+  TaskId ScheduleAt(TimePoint when, std::function<void()> fn) override;
+  bool Cancel(TaskId id) override;
+  TimePoint Now() const override { return now_; }
+
+  // Runs the next event, advancing virtual time to it. False if idle.
+  bool Step();
+
+  // Runs until no events remain or `max_events` have run.
+  // Returns the number of events processed.
+  size_t RunUntilIdle(size_t max_events = SIZE_MAX);
+
+  // Runs events with time <= deadline, then advances the clock to the
+  // deadline even if idle earlier.
+  size_t RunUntil(TimePoint deadline);
+  size_t RunFor(Duration d) { return RunUntil(now_ + d); }
+
+  size_t pending_count() const { return queue_.size(); }
+
+ private:
+  using Key = std::pair<TimePoint, TaskId>;  // TaskId doubles as a tiebreak
+
+  TimePoint now_{0};
+  TaskId next_id_ = 1;
+  std::map<Key, std::function<void()>> queue_;
+  std::unordered_map<TaskId, TimePoint> index_;
+};
+
+}  // namespace ins::sim
+
+#endif  // INS_SIM_EVENT_LOOP_H_

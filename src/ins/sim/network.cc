@@ -1,0 +1,165 @@
+#include "ins/sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ins/common/logging.h"
+
+namespace ins::sim {
+
+Network::Network(EventLoop* loop, uint64_t seed) : loop_(loop), rng_(seed) {}
+
+Network::~Network() {
+  assert(sockets_.empty() && "sockets must not outlive the Network");
+}
+
+void Network::SetLink(uint32_t ip_a, uint32_t ip_b, const LinkParams& params) {
+  links_[{std::min(ip_a, ip_b), std::max(ip_a, ip_b)}] = params;
+}
+
+void Network::SetCpuScale(uint32_t ip, double scale) { cpus_[ip].scale = scale; }
+
+const LinkParams& Network::LinkFor(uint32_t a, uint32_t b) const {
+  auto it = links_.find({std::min(a, b), std::max(a, b)});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+std::unique_ptr<Network::Socket> Network::Bind(const NodeAddress& address) {
+  assert(address.IsValid());
+  assert(sockets_.find(address) == sockets_.end() && "address already bound");
+  auto sock = std::unique_ptr<Socket>(new Socket(this, address));
+  sockets_[address] = sock.get();
+  return sock;
+}
+
+void Network::Unbind(Socket* s) {
+  auto it = sockets_.find(s->address_);
+  if (it != sockets_.end() && it->second == s) {
+    sockets_.erase(it);
+  }
+}
+
+Status Network::SendFrom(Socket* s, const NodeAddress& dst, const Bytes& data) {
+  if (!dst.IsValid()) {
+    return InvalidArgumentError("send to invalid address");
+  }
+  HostStats& st = host_stats_[s->address_.ip];
+  st.datagrams_sent += 1;
+  st.bytes_sent += data.size();
+
+  const NodeAddress src = s->address_;
+  const LinkParams& link = LinkFor(src.ip, dst.ip);
+
+  if (src.ip != dst.ip && link.loss_probability > 0 &&
+      rng_.NextBool(link.loss_probability)) {
+    ++dropped_;
+    return Status::Ok();  // datagram loss is silent, like UDP
+  }
+
+  Duration delay(0);
+  if (src.ip != dst.ip) {
+    delay = link.latency;
+    if (link.bandwidth_bps > 0) {
+      // FIFO serialization on the directed link.
+      auto tx = Duration(static_cast<int64_t>(static_cast<double>(data.size()) * 8.0 /
+                                              link.bandwidth_bps * 1e6));
+      auto key = std::make_pair(src.ip, dst.ip);
+      TimePoint start = std::max(loop_->Now(), link_free_at_[key]);
+      link_free_at_[key] = start + tx;
+      delay += (start + tx) - loop_->Now();
+    }
+  }
+
+  Bytes copy = data;
+  loop_->ScheduleAt(loop_->Now() + delay,
+                    [this, src, dst, data = std::move(copy)]() mutable {
+                      Deliver(src, dst, std::move(data));
+                    });
+  return Status::Ok();
+}
+
+void Network::Deliver(NodeAddress src, NodeAddress dst, Bytes data) {
+  auto it = sockets_.find(dst);
+  if (it == sockets_.end() || it->second->handler_ == nullptr) {
+    ++dropped_;  // nobody home (e.g. the node moved): silent drop
+    return;
+  }
+  Socket* sock = it->second;
+
+  HostStats& st = host_stats_[dst.ip];
+  st.datagrams_received += 1;
+  st.bytes_received += data.size();
+
+  auto cpu_it = cpus_.find(dst.ip);
+  if (cpu_it == cpus_.end() || !cpu_it->second.enabled()) {
+    sock->handler_(src, data);
+    return;
+  }
+
+  // CPU-modeled host: queue the handler until the CPU frees up, then charge
+  // its measured execution time.
+  CpuAccount& cpu = cpu_it->second;
+  TimePoint run_at = std::max(loop_->Now(), cpu.busy_until);
+  loop_->ScheduleAt(run_at, [this, src, dst, data = std::move(data)]() mutable {
+    RunOnCpu(src, dst, std::move(data));
+  });
+}
+
+void Network::RunOnCpu(NodeAddress src, NodeAddress dst, Bytes data) {
+  // Re-resolve by address: the socket may have been unbound while queued.
+  auto sit = sockets_.find(dst);
+  if (sit == sockets_.end() || sit->second->handler_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  CpuAccount& account = cpus_[dst.ip];
+  if (loop_->Now() < account.busy_until) {
+    // An earlier handler's charged time pushed the CPU's free point past our
+    // scheduled slot; queue behind it.
+    loop_->ScheduleAt(account.busy_until, [this, src, dst, data = std::move(data)]() mutable {
+      RunOnCpu(src, dst, std::move(data));
+    });
+    return;
+  }
+  Socket* target = sit->second;
+  Duration wall = MeasureWallTime([&] { target->handler_(src, data); });
+  Duration busy = account.Charge(loop_->Now(), wall);
+  host_stats_[dst.ip].cpu_busy += busy;
+}
+
+const Network::HostStats& Network::host_stats(uint32_t ip) const {
+  return host_stats_[ip];  // default-constructs zeroes for unknown hosts
+}
+
+void Network::ResetStats() {
+  host_stats_.clear();
+  dropped_ = 0;
+  for (auto& [ip, cpu] : cpus_) {
+    cpu.total_busy = Duration(0);
+  }
+}
+
+Network::Socket::~Socket() { net_->Unbind(this); }
+
+Status Network::Socket::Send(const NodeAddress& destination, const Bytes& data) {
+  return net_->SendFrom(this, destination, data);
+}
+
+void Network::Socket::SetReceiveHandler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+Status Network::Socket::Rebind(const NodeAddress& new_address) {
+  if (!new_address.IsValid()) {
+    return InvalidArgumentError("rebind to invalid address");
+  }
+  if (net_->sockets_.count(new_address) != 0) {
+    return AlreadyExistsError("address in use: " + new_address.ToString());
+  }
+  net_->Unbind(this);
+  address_ = new_address;
+  net_->sockets_[address_] = this;
+  return Status::Ok();
+}
+
+}  // namespace ins::sim

@@ -1,0 +1,121 @@
+// Simulated datagram network.
+//
+// Models the paper's testbed environment: hosts connected by links with
+// one-way propagation latency, finite bandwidth (serialization delay with a
+// per-link FIFO), and optional random loss. This substitutes for the paper's
+// 1–5 Mbps in-building RF links (see DESIGN.md §1 substitutions).
+//
+// Hosts optionally model a CPU: when enabled, each datagram handler's real
+// (wall-clock) execution time — scaled by `cpu_scale` — occupies the host,
+// delaying subsequently arriving datagrams. This is what makes the Figure 8
+// CPU-vs-bandwidth saturation experiment mechanically reproducible: the real
+// resolver code's processing cost competes against modeled link bandwidth.
+//
+// Mobility: a bound socket can Rebind() to a new address, modelling a node
+// that moves networks; packets sent to the old address are then dropped,
+// exactly the situation INS's late binding and MobilityManager handle.
+
+#ifndef INS_SIM_NETWORK_H_
+#define INS_SIM_NETWORK_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "ins/common/clock.h"
+#include "ins/common/metrics.h"
+#include "ins/common/node_address.h"
+#include "ins/common/rng.h"
+#include "ins/common/transport.h"
+#include "ins/sim/cpu_meter.h"
+#include "ins/sim/event_loop.h"
+
+namespace ins::sim {
+
+struct LinkParams {
+  Duration latency = Milliseconds(1);   // one-way propagation delay
+  double bandwidth_bps = 0;             // 0 = infinite (no serialization delay)
+  double loss_probability = 0;          // [0,1)
+};
+
+class Network {
+ public:
+  Network(EventLoop* loop, uint64_t seed = 1);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Link parameters used when no per-pair override exists.
+  void SetDefaultLink(const LinkParams& params) { default_link_ = params; }
+  // Overrides the (directed both ways) link between two hosts.
+  void SetLink(uint32_t ip_a, uint32_t ip_b, const LinkParams& params);
+
+  // Enables CPU modelling for a host: handler wall time * scale busies it.
+  // scale 0 disables. A scale of ~340 emulates the paper's 450 MHz Pentium
+  // II + JVM per-update costs on 2026 hardware (calibrated in bench_fig8).
+  void SetCpuScale(uint32_t ip, double scale);
+
+  // Binds a socket; at most one socket per address. The returned Transport
+  // is owned by the caller and must not outlive the Network.
+  class Socket;
+  std::unique_ptr<Socket> Bind(const NodeAddress& address);
+
+  // Per-host accounting.
+  struct HostStats {
+    uint64_t datagrams_sent = 0;
+    uint64_t datagrams_received = 0;
+    uint64_t bytes_sent = 0;
+    uint64_t bytes_received = 0;
+    Duration cpu_busy{0};  // accumulated modeled CPU time
+  };
+  const HostStats& host_stats(uint32_t ip) const;
+  void ResetStats();
+
+  uint64_t total_datagrams_dropped() const { return dropped_; }
+
+  EventLoop* loop() { return loop_; }
+
+  class Socket : public Transport {
+   public:
+    ~Socket() override;
+    Status Send(const NodeAddress& destination, const Bytes& data) override;
+    void SetReceiveHandler(ReceiveHandler handler) override;
+    NodeAddress local_address() const override { return address_; }
+
+    // Moves this endpoint to a new address (node mobility). Traffic in
+    // flight to the old address is dropped on arrival.
+    Status Rebind(const NodeAddress& new_address);
+
+   private:
+    friend class Network;
+    Socket(Network* net, NodeAddress address) : net_(net), address_(address) {}
+
+    Network* net_;
+    NodeAddress address_;
+    ReceiveHandler handler_;
+  };
+
+ private:
+  friend class Socket;
+
+  const LinkParams& LinkFor(uint32_t a, uint32_t b) const;
+  void Deliver(NodeAddress src, NodeAddress dst, Bytes data);
+  void RunOnCpu(NodeAddress src, NodeAddress dst, Bytes data);
+  Status SendFrom(Socket* s, const NodeAddress& dst, const Bytes& data);
+  void Unbind(Socket* s);
+
+  EventLoop* loop_;
+  Rng rng_;
+  LinkParams default_link_;
+  std::map<std::pair<uint32_t, uint32_t>, LinkParams> links_;
+  std::map<std::pair<uint32_t, uint32_t>, TimePoint> link_free_at_;
+  std::unordered_map<NodeAddress, Socket*, NodeAddressHash> sockets_;
+  std::unordered_map<uint32_t, CpuAccount> cpus_;
+  mutable std::unordered_map<uint32_t, HostStats> host_stats_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ins::sim
+
+#endif  // INS_SIM_NETWORK_H_

@@ -1,0 +1,64 @@
+#include "ins/transport/loopback.h"
+
+#include <cassert>
+
+namespace ins {
+
+LoopbackNetwork::~LoopbackNetwork() {
+  assert(endpoints_.empty() && "endpoints must not outlive the LoopbackNetwork");
+}
+
+std::unique_ptr<LoopbackNetwork::Endpoint> LoopbackNetwork::Bind(const NodeAddress& address) {
+  assert(endpoints_.find(address) == endpoints_.end());
+  auto ep = std::unique_ptr<Endpoint>(new Endpoint(this, address));
+  endpoints_[address] = ep.get();
+  return ep;
+}
+
+void LoopbackNetwork::SetBlackhole(const NodeAddress& address, bool blackholed) {
+  blackholed_[address] = blackholed;
+}
+
+void LoopbackNetwork::Deliver(const NodeAddress& src, const NodeAddress& dst,
+                              const Bytes& data) {
+  auto bh = blackholed_.find(dst);
+  if (bh != blackholed_.end() && bh->second) {
+    ++dropped_;
+    return;
+  }
+  auto it = endpoints_.find(dst);
+  if (it == endpoints_.end() || it->second->handler_ == nullptr) {
+    ++dropped_;
+    return;
+  }
+  ++delivered_;
+  Endpoint* ep = it->second;
+  if (executor_ != nullptr) {
+    executor_->ScheduleAfter(Duration(0), [this, src, dst, copy = data]() {
+      auto eit = endpoints_.find(dst);
+      if (eit != endpoints_.end() && eit->second->handler_ != nullptr) {
+        eit->second->handler_(src, copy);
+      }
+    });
+  } else {
+    ep->handler_(src, data);
+  }
+}
+
+LoopbackNetwork::Endpoint::~Endpoint() {
+  auto it = net_->endpoints_.find(address_);
+  if (it != net_->endpoints_.end() && it->second == this) {
+    net_->endpoints_.erase(it);
+  }
+}
+
+Status LoopbackNetwork::Endpoint::Send(const NodeAddress& destination, const Bytes& data) {
+  net_->Deliver(address_, destination, data);
+  return Status::Ok();
+}
+
+void LoopbackNetwork::Endpoint::SetReceiveHandler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+}  // namespace ins

@@ -1,0 +1,59 @@
+// In-process loopback transport for unit tests: a registry of endpoints with
+// synchronous (or executor-deferred) delivery and optional fault injection.
+
+#ifndef INS_TRANSPORT_LOOPBACK_H_
+#define INS_TRANSPORT_LOOPBACK_H_
+
+#include <memory>
+#include <unordered_map>
+
+#include "ins/common/executor.h"
+#include "ins/common/transport.h"
+
+namespace ins {
+
+class LoopbackNetwork {
+ public:
+  // If an executor is given, deliveries are deferred through it (preserving
+  // run-to-completion semantics); otherwise they are synchronous.
+  explicit LoopbackNetwork(Executor* executor = nullptr) : executor_(executor) {}
+  ~LoopbackNetwork();
+
+  class Endpoint;
+  std::unique_ptr<Endpoint> Bind(const NodeAddress& address);
+
+  // Drops every datagram addressed to `address` while true (fault injection).
+  void SetBlackhole(const NodeAddress& address, bool blackholed);
+
+  uint64_t delivered_count() const { return delivered_; }
+  uint64_t dropped_count() const { return dropped_; }
+
+  class Endpoint : public Transport {
+   public:
+    ~Endpoint() override;
+    Status Send(const NodeAddress& destination, const Bytes& data) override;
+    void SetReceiveHandler(ReceiveHandler handler) override;
+    NodeAddress local_address() const override { return address_; }
+
+   private:
+    friend class LoopbackNetwork;
+    Endpoint(LoopbackNetwork* net, NodeAddress address) : net_(net), address_(address) {}
+    LoopbackNetwork* net_;
+    NodeAddress address_;
+    ReceiveHandler handler_;
+  };
+
+ private:
+  friend class Endpoint;
+  void Deliver(const NodeAddress& src, const NodeAddress& dst, const Bytes& data);
+
+  Executor* executor_;
+  std::unordered_map<NodeAddress, Endpoint*, NodeAddressHash> endpoints_;
+  std::unordered_map<NodeAddress, bool, NodeAddressHash> blackholed_;
+  uint64_t delivered_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_TRANSPORT_LOOPBACK_H_

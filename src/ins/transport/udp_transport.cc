@@ -1,0 +1,189 @@
+#include "ins/transport/udp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "ins/common/logging.h"
+
+namespace ins {
+
+// --- RealEventLoop -----------------------------------------------------------
+
+TaskId RealEventLoop::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  if (when < Now()) {
+    when = Now();
+  }
+  TaskId id = next_id_++;
+  timers_.emplace(std::make_pair(when, id), std::move(fn));
+  timer_index_.emplace(id, when);
+  return id;
+}
+
+bool RealEventLoop::Cancel(TaskId id) {
+  auto it = timer_index_.find(id);
+  if (it == timer_index_.end()) {
+    return false;
+  }
+  timers_.erase(std::make_pair(it->second, id));
+  timer_index_.erase(it);
+  return true;
+}
+
+void RealEventLoop::RegisterFd(int fd, std::function<void()> on_readable) {
+  fds_[fd] = std::move(on_readable);
+}
+
+void RealEventLoop::UnregisterFd(int fd) { fds_.erase(fd); }
+
+void RealEventLoop::RunDueTimers() {
+  while (!timers_.empty() && timers_.begin()->first.first <= Now()) {
+    auto it = timers_.begin();
+    std::function<void()> fn = std::move(it->second);
+    timer_index_.erase(it->first.second);
+    timers_.erase(it);
+    fn();
+  }
+}
+
+void RealEventLoop::PollOnce(Duration max_wait) {
+  Duration wait = max_wait;
+  if (!timers_.empty()) {
+    Duration until_timer = timers_.begin()->first.first - Now();
+    if (until_timer < wait) {
+      wait = until_timer;
+    }
+  }
+  if (wait.count() < 0) {
+    wait = Duration(0);
+  }
+
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size());
+  for (const auto& [fd, cb] : fds_) {
+    pfds.push_back(pollfd{fd, POLLIN, 0});
+  }
+  int timeout_ms = static_cast<int>((wait.count() + 999) / 1000);
+  int n = ::poll(pfds.empty() ? nullptr : pfds.data(),
+                 static_cast<nfds_t>(pfds.size()), timeout_ms);
+  if (n > 0) {
+    for (const pollfd& p : pfds) {
+      if ((p.revents & POLLIN) != 0) {
+        auto it = fds_.find(p.fd);
+        if (it != fds_.end()) {
+          it->second();
+        }
+      }
+    }
+  }
+  RunDueTimers();
+}
+
+void RealEventLoop::Run() {
+  stopped_ = false;
+  while (!stopped_) {
+    PollOnce(Milliseconds(100));
+  }
+}
+
+void RealEventLoop::RunFor(Duration d) {
+  stopped_ = false;
+  TimePoint deadline = Now() + d;
+  while (!stopped_ && Now() < deadline) {
+    Duration remaining = deadline - Now();
+    PollOnce(std::min(remaining, Milliseconds(100)));
+  }
+}
+
+// --- UdpTransport ------------------------------------------------------------
+
+namespace {
+constexpr size_t kVirtualHeader = 6;  // u32 virtual ip + u16 virtual port
+constexpr size_t kMaxDatagram = 65507;
+}  // namespace
+
+Result<std::unique_ptr<UdpTransport>> UdpTransport::Bind(RealEventLoop* loop,
+                                                         const NodeAddress& address) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) {
+    return InternalError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(address.port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    ::close(fd);
+    return UnavailableError("bind(127.0.0.1:" + std::to_string(address.port) +
+                            "): " + std::strerror(errno));
+  }
+  auto t = std::unique_ptr<UdpTransport>(new UdpTransport(loop, address, fd));
+  loop->RegisterFd(fd, [raw = t.get()] { raw->OnReadable(); });
+  return t;
+}
+
+UdpTransport::UdpTransport(RealEventLoop* loop, NodeAddress address, int fd)
+    : loop_(loop), address_(address), fd_(fd) {}
+
+UdpTransport::~UdpTransport() {
+  loop_->UnregisterFd(fd_);
+  ::close(fd_);
+}
+
+Status UdpTransport::Send(const NodeAddress& destination, const Bytes& data) {
+  if (data.size() + kVirtualHeader > kMaxDatagram) {
+    return InvalidArgumentError("datagram too large: " + std::to_string(data.size()));
+  }
+  Bytes framed;
+  framed.reserve(kVirtualHeader + data.size());
+  framed.push_back(static_cast<uint8_t>(address_.ip >> 24));
+  framed.push_back(static_cast<uint8_t>(address_.ip >> 16));
+  framed.push_back(static_cast<uint8_t>(address_.ip >> 8));
+  framed.push_back(static_cast<uint8_t>(address_.ip));
+  framed.push_back(static_cast<uint8_t>(address_.port >> 8));
+  framed.push_back(static_cast<uint8_t>(address_.port));
+  framed.insert(framed.end(), data.begin(), data.end());
+
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(destination.port);
+  sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ssize_t sent = ::sendto(fd_, framed.data(), framed.size(), 0,
+                          reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  if (sent < 0) {
+    // Best-effort, like UDP: log and continue.
+    INS_LOG(kDebug) << "sendto " << destination.ToString() << ": " << std::strerror(errno);
+  }
+  return Status::Ok();
+}
+
+void UdpTransport::SetReceiveHandler(ReceiveHandler handler) {
+  handler_ = std::move(handler);
+}
+
+void UdpTransport::OnReadable() {
+  uint8_t buf[kMaxDatagram];
+  for (;;) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      break;  // EAGAIN or a transient error; poll will call us again
+    }
+    if (static_cast<size_t>(n) < kVirtualHeader || handler_ == nullptr) {
+      continue;
+    }
+    NodeAddress src;
+    src.ip = static_cast<uint32_t>(buf[0]) << 24 | static_cast<uint32_t>(buf[1]) << 16 |
+             static_cast<uint32_t>(buf[2]) << 8 | static_cast<uint32_t>(buf[3]);
+    src.port = static_cast<uint16_t>(static_cast<uint16_t>(buf[4]) << 8 | buf[5]);
+    Bytes data(buf + kVirtualHeader, buf + n);
+    handler_(src, data);
+  }
+}
+
+}  // namespace ins

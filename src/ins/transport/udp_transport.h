@@ -1,0 +1,82 @@
+// Real UDP transport and a poll(2)-based real-time event loop.
+//
+// The runnable examples deploy INRs, services, and clients as actual UDP
+// endpoints on the loopback interface. INS NodeAddresses are virtual: each
+// datagram carries a 6-byte virtual-source header (ip, port) and is sent to
+// 127.0.0.1:<virtual port>, so a multi-process demo needs no configuration
+// beyond distinct ports. All components run single-threaded on one
+// RealEventLoop per process.
+
+#ifndef INS_TRANSPORT_UDP_TRANSPORT_H_
+#define INS_TRANSPORT_UDP_TRANSPORT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "ins/common/clock.h"
+#include "ins/common/executor.h"
+#include "ins/common/transport.h"
+
+namespace ins {
+
+// Executor + I/O multiplexer over real time.
+class RealEventLoop : public Executor, public Clock {
+ public:
+  RealEventLoop() = default;
+  ~RealEventLoop() override = default;
+
+  // Executor:
+  TaskId ScheduleAt(TimePoint when, std::function<void()> fn) override;
+  bool Cancel(TaskId id) override;
+  TimePoint Now() const override { return clock_.Now(); }
+
+  // File-descriptor readiness callbacks (level-triggered readable).
+  void RegisterFd(int fd, std::function<void()> on_readable);
+  void UnregisterFd(int fd);
+
+  // Polls I/O and runs due timers until Stop() is called.
+  void Run();
+  // Runs for (approximately) the given real duration; handy for examples.
+  void RunFor(Duration d);
+  void Stop() { stopped_ = true; }
+
+ private:
+  void PollOnce(Duration max_wait);
+  void RunDueTimers();
+
+  RealClock clock_;
+  std::atomic<bool> stopped_{false};
+  TaskId next_id_ = 1;
+  std::map<std::pair<TimePoint, TaskId>, std::function<void()>> timers_;
+  std::unordered_map<TaskId, TimePoint> timer_index_;
+  std::unordered_map<int, std::function<void()>> fds_;
+};
+
+class UdpTransport : public Transport {
+ public:
+  // Binds a real UDP socket on 127.0.0.1:<address.port>. The address's ip
+  // component is the endpoint's virtual identity.
+  static Result<std::unique_ptr<UdpTransport>> Bind(RealEventLoop* loop,
+                                                    const NodeAddress& address);
+  ~UdpTransport() override;
+
+  Status Send(const NodeAddress& destination, const Bytes& data) override;
+  void SetReceiveHandler(ReceiveHandler handler) override;
+  NodeAddress local_address() const override { return address_; }
+
+ private:
+  UdpTransport(RealEventLoop* loop, NodeAddress address, int fd);
+  void OnReadable();
+
+  RealEventLoop* loop_;
+  NodeAddress address_;
+  int fd_;
+  ReceiveHandler handler_;
+};
+
+}  // namespace ins
+
+#endif  // INS_TRANSPORT_UDP_TRANSPORT_H_

@@ -1,0 +1,518 @@
+#include "ins/wire/messages.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ins {
+
+namespace {
+
+// Doubles travel as their IEEE-754 bit pattern.
+void WriteDouble(ByteWriter& w, double v) { w.WriteU64(std::bit_cast<uint64_t>(v)); }
+
+Result<double> ReadDouble(ByteReader& r) {
+  auto bits = r.ReadU64();
+  if (!bits.ok()) {
+    return bits.status();
+  }
+  return std::bit_cast<double>(*bits);
+}
+
+void WriteAddress(ByteWriter& w, const NodeAddress& a) {
+  w.WriteU32(a.ip);
+  w.WriteU16(a.port);
+}
+
+Result<NodeAddress> ReadAddress(ByteReader& r) {
+  NodeAddress a;
+  INS_ASSIGN_OR_RETURN(a.ip, r.ReadU32());
+  INS_ASSIGN_OR_RETURN(a.port, r.ReadU16());
+  return a;
+}
+
+void WriteAnnouncer(ByteWriter& w, const AnnouncerId& id) {
+  w.WriteU32(id.ip);
+  w.WriteU64(id.start_time_us);
+  w.WriteU32(id.discriminator);
+}
+
+Result<AnnouncerId> ReadAnnouncer(ByteReader& r) {
+  AnnouncerId id;
+  INS_ASSIGN_OR_RETURN(id.ip, r.ReadU32());
+  INS_ASSIGN_OR_RETURN(id.start_time_us, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(id.discriminator, r.ReadU32());
+  return id;
+}
+
+void WriteEndpoint(ByteWriter& w, const EndpointInfo& e) {
+  WriteAddress(w, e.address);
+  w.WriteU16(static_cast<uint16_t>(e.bindings.size()));
+  for (const PortBinding& b : e.bindings) {
+    w.WriteU16(b.port);
+    w.WriteString(b.transport);
+  }
+}
+
+Result<EndpointInfo> ReadEndpoint(ByteReader& r) {
+  EndpointInfo e;
+  INS_ASSIGN_OR_RETURN(e.address, ReadAddress(r));
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  e.bindings.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    PortBinding b;
+    INS_ASSIGN_OR_RETURN(b.port, r.ReadU16());
+    INS_ASSIGN_OR_RETURN(b.transport, r.ReadString());
+    e.bindings.push_back(std::move(b));
+  }
+  return e;
+}
+
+void WriteAddressList(ByteWriter& w, const std::vector<NodeAddress>& v) {
+  w.WriteU16(static_cast<uint16_t>(v.size()));
+  for (const NodeAddress& a : v) {
+    WriteAddress(w, a);
+  }
+}
+
+Result<std::vector<NodeAddress>> ReadAddressList(ByteReader& r) {
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  std::vector<NodeAddress> v;
+  v.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    NodeAddress a;
+    INS_ASSIGN_OR_RETURN(a, ReadAddress(r));
+    v.push_back(a);
+  }
+  return v;
+}
+
+void WriteStringList(ByteWriter& w, const std::vector<std::string>& v) {
+  w.WriteU16(static_cast<uint16_t>(v.size()));
+  for (const std::string& s : v) {
+    w.WriteString(s);
+  }
+}
+
+Result<std::vector<std::string>> ReadStringList(ByteReader& r) {
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  std::vector<std::string> v;
+  v.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    std::string s;
+    INS_ASSIGN_OR_RETURN(s, r.ReadString());
+    v.push_back(std::move(s));
+  }
+  return v;
+}
+
+// --- Per-type body codecs ---------------------------------------------------
+
+void EncodeBody(ByteWriter& w, const Packet& p) {
+  Bytes encoded = EncodePacket(p);
+  w.WriteU32(static_cast<uint32_t>(encoded.size()));
+  w.WriteBytes(encoded);
+}
+
+Result<Packet> DecodePacketBody(ByteReader& r) {
+  uint32_t len = 0;
+  INS_ASSIGN_OR_RETURN(len, r.ReadU32());
+  Bytes raw;
+  INS_ASSIGN_OR_RETURN(raw, r.ReadBytes(len));
+  return DecodePacket(raw);
+}
+
+void EncodeBody(ByteWriter& w, const Advertisement& a) {
+  w.WriteString(a.vspace);
+  w.WriteString(a.name_text);
+  WriteAnnouncer(w, a.announcer);
+  WriteEndpoint(w, a.endpoint);
+  WriteDouble(w, a.app_metric);
+  w.WriteU32(a.lifetime_s);
+  w.WriteU64(a.version);
+}
+
+Result<Advertisement> DecodeAdvertisement(ByteReader& r) {
+  Advertisement a;
+  INS_ASSIGN_OR_RETURN(a.vspace, r.ReadString());
+  INS_ASSIGN_OR_RETURN(a.name_text, r.ReadString());
+  INS_ASSIGN_OR_RETURN(a.announcer, ReadAnnouncer(r));
+  INS_ASSIGN_OR_RETURN(a.endpoint, ReadEndpoint(r));
+  INS_ASSIGN_OR_RETURN(a.app_metric, ReadDouble(r));
+  INS_ASSIGN_OR_RETURN(a.lifetime_s, r.ReadU32());
+  INS_ASSIGN_OR_RETURN(a.version, r.ReadU64());
+  return a;
+}
+
+void EncodeBody(ByteWriter& w, const NameUpdate& u) {
+  w.WriteString(u.vspace);
+  w.WriteU8(u.triggered ? 1 : 0);
+  w.WriteU16(static_cast<uint16_t>(u.entries.size()));
+  for (const NameUpdateEntry& e : u.entries) {
+    w.WriteString(e.name_text);
+    WriteAnnouncer(w, e.announcer);
+    WriteEndpoint(w, e.endpoint);
+    WriteDouble(w, e.app_metric);
+    WriteDouble(w, e.route_metric);
+    w.WriteU32(e.lifetime_s);
+    w.WriteU64(e.version);
+  }
+}
+
+Result<NameUpdate> DecodeNameUpdate(ByteReader& r) {
+  NameUpdate u;
+  INS_ASSIGN_OR_RETURN(u.vspace, r.ReadString());
+  uint8_t trig = 0;
+  INS_ASSIGN_OR_RETURN(trig, r.ReadU8());
+  u.triggered = trig != 0;
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  u.entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    NameUpdateEntry e;
+    INS_ASSIGN_OR_RETURN(e.name_text, r.ReadString());
+    INS_ASSIGN_OR_RETURN(e.announcer, ReadAnnouncer(r));
+    INS_ASSIGN_OR_RETURN(e.endpoint, ReadEndpoint(r));
+    INS_ASSIGN_OR_RETURN(e.app_metric, ReadDouble(r));
+    INS_ASSIGN_OR_RETURN(e.route_metric, ReadDouble(r));
+    INS_ASSIGN_OR_RETURN(e.lifetime_s, r.ReadU32());
+    INS_ASSIGN_OR_RETURN(e.version, r.ReadU64());
+    u.entries.push_back(std::move(e));
+  }
+  return u;
+}
+
+void EncodeBody(ByteWriter& w, const DiscoveryRequest& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+  w.WriteString(d.filter_text);
+  WriteAddress(w, d.reply_to);
+}
+
+Result<DiscoveryRequest> DecodeDiscoveryRequest(ByteReader& r) {
+  DiscoveryRequest d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  INS_ASSIGN_OR_RETURN(d.filter_text, r.ReadString());
+  INS_ASSIGN_OR_RETURN(d.reply_to, ReadAddress(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DiscoveryResponse& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+  w.WriteU16(static_cast<uint16_t>(d.items.size()));
+  for (const DiscoveryResponse::Item& it : d.items) {
+    w.WriteString(it.name_text);
+    WriteEndpoint(w, it.endpoint);
+    WriteDouble(w, it.app_metric);
+  }
+}
+
+Result<DiscoveryResponse> DecodeDiscoveryResponse(ByteReader& r) {
+  DiscoveryResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  d.items.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    DiscoveryResponse::Item it;
+    INS_ASSIGN_OR_RETURN(it.name_text, r.ReadString());
+    INS_ASSIGN_OR_RETURN(it.endpoint, ReadEndpoint(r));
+    INS_ASSIGN_OR_RETURN(it.app_metric, ReadDouble(r));
+    d.items.push_back(std::move(it));
+  }
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const EarlyBindingResponse& e) {
+  w.WriteU64(e.request_id);
+  w.WriteU16(static_cast<uint16_t>(e.items.size()));
+  for (const EarlyBindingResponse::Item& it : e.items) {
+    WriteEndpoint(w, it.endpoint);
+    WriteDouble(w, it.app_metric);
+  }
+}
+
+Result<EarlyBindingResponse> DecodeEarlyBindingResponse(ByteReader& r) {
+  EarlyBindingResponse e;
+  INS_ASSIGN_OR_RETURN(e.request_id, r.ReadU64());
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  e.items.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    EarlyBindingResponse::Item it;
+    INS_ASSIGN_OR_RETURN(it.endpoint, ReadEndpoint(r));
+    INS_ASSIGN_OR_RETURN(it.app_metric, ReadDouble(r));
+    e.items.push_back(std::move(it));
+  }
+  return e;
+}
+
+void EncodeBody(ByteWriter& w, const Ping& p) {
+  w.WriteU64(p.nonce);
+  w.WriteU64(p.send_time_us);
+}
+
+Result<Ping> DecodePing(ByteReader& r) {
+  Ping p;
+  INS_ASSIGN_OR_RETURN(p.nonce, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(p.send_time_us, r.ReadU64());
+  return p;
+}
+
+void EncodeBody(ByteWriter& w, const Pong& p) {
+  w.WriteU64(p.nonce);
+  w.WriteU64(p.echo_send_time_us);
+}
+
+Result<Pong> DecodePong(ByteReader& r) {
+  Pong p;
+  INS_ASSIGN_OR_RETURN(p.nonce, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(p.echo_send_time_us, r.ReadU64());
+  return p;
+}
+
+void EncodeBody(ByteWriter& w, const PeerRequest& p) { WriteAddress(w, p.requester); }
+void EncodeBody(ByteWriter& w, const PeerAccept& p) { WriteAddress(w, p.accepter); }
+void EncodeBody(ByteWriter& w, const PeerClose& p) { WriteAddress(w, p.closer); }
+
+void EncodeBody(ByteWriter& w, const DsrRegister& d) {
+  WriteAddress(w, d.inr);
+  w.WriteU8(d.active ? 1 : 0);
+  WriteStringList(w, d.vspaces);
+  w.WriteU32(d.lifetime_s);
+}
+
+Result<DsrRegister> DecodeDsrRegister(ByteReader& r) {
+  DsrRegister d;
+  INS_ASSIGN_OR_RETURN(d.inr, ReadAddress(r));
+  uint8_t active = 0;
+  INS_ASSIGN_OR_RETURN(active, r.ReadU8());
+  d.active = active != 0;
+  INS_ASSIGN_OR_RETURN(d.vspaces, ReadStringList(r));
+  INS_ASSIGN_OR_RETURN(d.lifetime_s, r.ReadU32());
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrListRequest& d) { w.WriteU64(d.request_id); }
+
+void EncodeBody(ByteWriter& w, const DsrListResponse& d) {
+  w.WriteU64(d.request_id);
+  WriteAddressList(w, d.active_inrs);
+}
+
+Result<DsrListResponse> DecodeDsrListResponse(ByteReader& r) {
+  DsrListResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.active_inrs, ReadAddressList(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrVspaceRequest& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+}
+
+Result<DsrVspaceRequest> DecodeDsrVspaceRequest(ByteReader& r) {
+  DsrVspaceRequest d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrVspaceResponse& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+  WriteAddress(w, d.inr);
+}
+
+Result<DsrVspaceResponse> DecodeDsrVspaceResponse(ByteReader& r) {
+  DsrVspaceResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  INS_ASSIGN_OR_RETURN(d.inr, ReadAddress(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrCandidatesRequest& d) { w.WriteU64(d.request_id); }
+
+void EncodeBody(ByteWriter& w, const DsrCandidatesResponse& d) {
+  w.WriteU64(d.request_id);
+  WriteAddressList(w, d.candidates);
+}
+
+Result<DsrCandidatesResponse> DecodeDsrCandidatesResponse(ByteReader& r) {
+  DsrCandidatesResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.candidates, ReadAddressList(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const SpawnRequest& s) {
+  WriteAddress(w, s.requester);
+  WriteStringList(w, s.vspaces);
+}
+
+Result<SpawnRequest> DecodeSpawnRequest(ByteReader& r) {
+  SpawnRequest s;
+  INS_ASSIGN_OR_RETURN(s.requester, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(s.vspaces, ReadStringList(r));
+  return s;
+}
+
+void EncodeBody(ByteWriter& w, const DelegateVspace& d) {
+  WriteAddress(w, d.from);
+  w.WriteString(d.vspace);
+}
+
+Result<DelegateVspace> DecodeDelegateVspace(ByteReader& r) {
+  DelegateVspace d;
+  INS_ASSIGN_OR_RETURN(d.from, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  return d;
+}
+
+}  // namespace
+
+MessageType Envelope::type() const {
+  struct Visitor {
+    MessageType operator()(const Packet&) { return MessageType::kData; }
+    MessageType operator()(const Advertisement&) { return MessageType::kAdvertisement; }
+    MessageType operator()(const NameUpdate&) { return MessageType::kNameUpdate; }
+    MessageType operator()(const DiscoveryRequest&) { return MessageType::kDiscoveryRequest; }
+    MessageType operator()(const DiscoveryResponse&) {
+      return MessageType::kDiscoveryResponse;
+    }
+    MessageType operator()(const EarlyBindingResponse&) {
+      return MessageType::kEarlyBindingResponse;
+    }
+    MessageType operator()(const Ping&) { return MessageType::kPing; }
+    MessageType operator()(const Pong&) { return MessageType::kPong; }
+    MessageType operator()(const PeerRequest&) { return MessageType::kPeerRequest; }
+    MessageType operator()(const PeerAccept&) { return MessageType::kPeerAccept; }
+    MessageType operator()(const PeerClose&) { return MessageType::kPeerClose; }
+    MessageType operator()(const DsrRegister&) { return MessageType::kDsrRegister; }
+    MessageType operator()(const DsrListRequest&) { return MessageType::kDsrListRequest; }
+    MessageType operator()(const DsrListResponse&) { return MessageType::kDsrListResponse; }
+    MessageType operator()(const DsrVspaceRequest&) { return MessageType::kDsrVspaceRequest; }
+    MessageType operator()(const DsrVspaceResponse&) {
+      return MessageType::kDsrVspaceResponse;
+    }
+    MessageType operator()(const DsrCandidatesRequest&) {
+      return MessageType::kDsrCandidatesRequest;
+    }
+    MessageType operator()(const DsrCandidatesResponse&) {
+      return MessageType::kDsrCandidatesResponse;
+    }
+    MessageType operator()(const SpawnRequest&) { return MessageType::kSpawnRequest; }
+    MessageType operator()(const DelegateVspace&) { return MessageType::kDelegateVspace; }
+  };
+  return std::visit(Visitor{}, body);
+}
+
+Bytes EncodeMessage(const Envelope& e) {
+  ByteWriter w;
+  w.WriteU8(static_cast<uint8_t>(e.type()));
+  std::visit([&w](const auto& body) { EncodeBody(w, body); }, e.body);
+  return std::move(w).TakeBytes();
+}
+
+Result<Envelope> DecodeMessage(const Bytes& buffer) {
+  ByteReader r(buffer);
+  uint8_t raw_type = 0;
+  INS_ASSIGN_OR_RETURN(raw_type, r.ReadU8());
+  switch (static_cast<MessageType>(raw_type)) {
+    case MessageType::kData: {
+      INS_ASSIGN_OR_RETURN(Packet p, DecodePacketBody(r));
+      return Envelope{MessageBody(std::move(p))};
+    }
+    case MessageType::kAdvertisement: {
+      INS_ASSIGN_OR_RETURN(Advertisement a, DecodeAdvertisement(r));
+      return Envelope{MessageBody(std::move(a))};
+    }
+    case MessageType::kNameUpdate: {
+      INS_ASSIGN_OR_RETURN(NameUpdate u, DecodeNameUpdate(r));
+      return Envelope{MessageBody(std::move(u))};
+    }
+    case MessageType::kDiscoveryRequest: {
+      INS_ASSIGN_OR_RETURN(DiscoveryRequest d, DecodeDiscoveryRequest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDiscoveryResponse: {
+      INS_ASSIGN_OR_RETURN(DiscoveryResponse d, DecodeDiscoveryResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kEarlyBindingResponse: {
+      INS_ASSIGN_OR_RETURN(EarlyBindingResponse e, DecodeEarlyBindingResponse(r));
+      return Envelope{MessageBody(std::move(e))};
+    }
+    case MessageType::kPing: {
+      INS_ASSIGN_OR_RETURN(Ping p, DecodePing(r));
+      return Envelope{MessageBody(p)};
+    }
+    case MessageType::kPong: {
+      INS_ASSIGN_OR_RETURN(Pong p, DecodePong(r));
+      return Envelope{MessageBody(p)};
+    }
+    case MessageType::kPeerRequest: {
+      PeerRequest p;
+      INS_ASSIGN_OR_RETURN(p.requester, ReadAddress(r));
+      return Envelope{MessageBody(p)};
+    }
+    case MessageType::kPeerAccept: {
+      PeerAccept p;
+      INS_ASSIGN_OR_RETURN(p.accepter, ReadAddress(r));
+      return Envelope{MessageBody(p)};
+    }
+    case MessageType::kPeerClose: {
+      PeerClose p;
+      INS_ASSIGN_OR_RETURN(p.closer, ReadAddress(r));
+      return Envelope{MessageBody(p)};
+    }
+    case MessageType::kDsrRegister: {
+      INS_ASSIGN_OR_RETURN(DsrRegister d, DecodeDsrRegister(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrListRequest: {
+      DsrListRequest d;
+      INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+      return Envelope{MessageBody(d)};
+    }
+    case MessageType::kDsrListResponse: {
+      INS_ASSIGN_OR_RETURN(DsrListResponse d, DecodeDsrListResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrVspaceRequest: {
+      INS_ASSIGN_OR_RETURN(DsrVspaceRequest d, DecodeDsrVspaceRequest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrVspaceResponse: {
+      INS_ASSIGN_OR_RETURN(DsrVspaceResponse d, DecodeDsrVspaceResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrCandidatesRequest: {
+      DsrCandidatesRequest d;
+      INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+      return Envelope{MessageBody(d)};
+    }
+    case MessageType::kDsrCandidatesResponse: {
+      INS_ASSIGN_OR_RETURN(DsrCandidatesResponse d, DecodeDsrCandidatesResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kSpawnRequest: {
+      INS_ASSIGN_OR_RETURN(SpawnRequest s, DecodeSpawnRequest(r));
+      return Envelope{MessageBody(std::move(s))};
+    }
+    case MessageType::kDelegateVspace: {
+      INS_ASSIGN_OR_RETURN(DelegateVspace d, DecodeDelegateVspace(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+  }
+  return InvalidArgumentError("unknown message type " + std::to_string(raw_type));
+}
+
+}  // namespace ins

@@ -1,0 +1,220 @@
+// Control-plane message formats.
+//
+// Every datagram in the system is one Envelope: a u8 message type followed by
+// the message body. Data packets (wire/packet.h) travel inside kData
+// envelopes; everything else is control plane: service advertisements,
+// INR-to-INR name updates (the name-discovery routing protocol), client
+// discovery and early-binding requests, INR-pings, peering, and the Domain
+// Space Resolver (DSR) protocol.
+
+#ifndef INS_WIRE_MESSAGES_H_
+#define INS_WIRE_MESSAGES_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ins/common/bytes.h"
+#include "ins/common/node_address.h"
+#include "ins/common/status.h"
+#include "ins/nametree/name_record.h"
+#include "ins/wire/packet.h"
+
+namespace ins {
+
+enum class MessageType : uint8_t {
+  kData = 1,                  // Packet (application payload with names)
+  kAdvertisement = 2,         // service/client -> INR
+  kNameUpdate = 3,            // INR -> INR (periodic or triggered)
+  kDiscoveryRequest = 4,      // client -> INR
+  kDiscoveryResponse = 5,     // INR -> client
+  kEarlyBindingResponse = 6,  // INR -> client (request is a kData with B set)
+  kPing = 7,                  // INR-ping for RTT estimation / liveness
+  kPong = 8,
+  kPeerRequest = 9,           // spanning-tree neighbor establishment
+  kPeerAccept = 10,
+  kPeerClose = 11,
+  kDsrRegister = 12,          // INR -> DSR (soft state, periodic)
+  kDsrListRequest = 13,       // anyone -> DSR: active INRs
+  kDsrListResponse = 14,
+  kDsrVspaceRequest = 15,     // INR/client -> DSR: who routes this vspace?
+  kDsrVspaceResponse = 16,
+  kDsrCandidatesRequest = 17,  // INR -> DSR: nodes available for spawning
+  kDsrCandidatesResponse = 18,
+  kSpawnRequest = 19,  // INR -> candidate node: start a resolver
+  kDelegateVspace = 20,  // INR -> INR: take over routing this vspace
+};
+
+// --- Service advertisement (client/service -> its INR) ---------------------
+
+struct Advertisement {
+  std::string vspace;       // "" = the default space
+  std::string name_text;    // wire text of the advertised name-specifier
+  AnnouncerId announcer;
+  EndpointInfo endpoint;    // where the service listens
+  double app_metric = 0.0;  // intentional-anycast metric (lower = better)
+  uint32_t lifetime_s = 0;  // soft-state lifetime
+  uint64_t version = 0;     // monotonic per announcer
+};
+
+// --- INR-to-INR name update (the name-discovery protocol, §2.2) ------------
+
+// One entry of a (possibly batched) update. Carries everything §2.2 lists:
+// addresses and [port, transport] pairs, the application metric, the
+// advertiser's AnnouncerID, and the sender's route metric to the destination
+// (the receiver adds the sender link's metric: distributed Bellman-Ford).
+struct NameUpdateEntry {
+  std::string name_text;
+  AnnouncerId announcer;
+  EndpointInfo endpoint;
+  double app_metric = 0.0;
+  double route_metric = 0.0;  // sender's distance to the destination
+  uint32_t lifetime_s = 0;
+  uint64_t version = 0;
+};
+
+struct NameUpdate {
+  std::string vspace;
+  bool triggered = false;  // true for triggered (delta) updates
+  std::vector<NameUpdateEntry> entries;
+};
+
+// --- Client discovery (§2.2 "Discovering names") ----------------------------
+
+struct DiscoveryRequest {
+  uint64_t request_id = 0;
+  std::string vspace;
+  std::string filter_text;  // empty = all known names
+  // Where the response should go. Set by the requesting client; preserved
+  // when an INR forwards the request to the resolver owning the vspace.
+  NodeAddress reply_to;
+};
+
+struct DiscoveryResponse {
+  uint64_t request_id = 0;
+  std::string vspace;
+  // Matching names with their anycast metrics; enough for a client to render
+  // (Floorplan) or choose and early-bind.
+  struct Item {
+    std::string name_text;
+    EndpointInfo endpoint;
+    double app_metric = 0.0;
+  };
+  std::vector<Item> items;
+};
+
+// --- Early binding response (§2, DNS-like interface) ------------------------
+
+struct EarlyBindingResponse {
+  uint64_t request_id = 0;  // echoed from the requesting packet's payload
+  struct Item {
+    EndpointInfo endpoint;
+    double app_metric = 0.0;
+  };
+  std::vector<Item> items;  // client picks, e.g., the least metric
+};
+
+// --- INR-ping ---------------------------------------------------------------
+
+struct Ping {
+  uint64_t nonce = 0;
+  uint64_t send_time_us = 0;  // echoed in the pong; sender computes RTT
+};
+
+struct Pong {
+  uint64_t nonce = 0;
+  uint64_t echo_send_time_us = 0;
+};
+
+// --- Peering (spanning-tree overlay, §2.4) ----------------------------------
+
+struct PeerRequest {
+  NodeAddress requester;
+};
+
+struct PeerAccept {
+  NodeAddress accepter;
+};
+
+struct PeerClose {
+  NodeAddress closer;
+};
+
+// --- DSR protocol ------------------------------------------------------------
+
+struct DsrRegister {
+  NodeAddress inr;
+  bool active = true;  // false: registering as a spawn candidate only
+  std::vector<std::string> vspaces;  // spaces this INR routes
+  uint32_t lifetime_s = 0;
+};
+
+struct DsrListRequest {
+  uint64_t request_id = 0;
+};
+
+struct DsrListResponse {
+  uint64_t request_id = 0;
+  std::vector<NodeAddress> active_inrs;  // in join (linear) order
+};
+
+struct DsrVspaceRequest {
+  uint64_t request_id = 0;
+  std::string vspace;
+};
+
+struct DsrVspaceResponse {
+  uint64_t request_id = 0;
+  std::string vspace;
+  NodeAddress inr;  // invalid when nobody routes the space
+};
+
+struct DsrCandidatesRequest {
+  uint64_t request_id = 0;
+};
+
+struct DsrCandidatesResponse {
+  uint64_t request_id = 0;
+  std::vector<NodeAddress> candidates;
+};
+
+// --- Load balancing ----------------------------------------------------------
+
+struct SpawnRequest {
+  NodeAddress requester;
+  std::vector<std::string> vspaces;  // spaces the new INR should route
+};
+
+struct DelegateVspace {
+  NodeAddress from;
+  std::string vspace;
+};
+
+// --- Envelope ----------------------------------------------------------------
+
+using MessageBody =
+    std::variant<Packet, Advertisement, NameUpdate, DiscoveryRequest, DiscoveryResponse,
+                 EarlyBindingResponse, Ping, Pong, PeerRequest, PeerAccept, PeerClose,
+                 DsrRegister, DsrListRequest, DsrListResponse, DsrVspaceRequest,
+                 DsrVspaceResponse, DsrCandidatesRequest, DsrCandidatesResponse,
+                 SpawnRequest, DelegateVspace>;
+
+struct Envelope {
+  MessageBody body;
+
+  MessageType type() const;
+};
+
+Bytes EncodeMessage(const Envelope& e);
+Result<Envelope> DecodeMessage(const Bytes& buffer);
+
+// Convenience: wraps a body and encodes in one step.
+template <typename T>
+Bytes Encode(T body) {
+  return EncodeMessage(Envelope{MessageBody(std::move(body))});
+}
+
+}  // namespace ins
+
+#endif  // INS_WIRE_MESSAGES_H_

@@ -1,0 +1,110 @@
+#include "ins/wire/packet.h"
+
+namespace ins {
+
+size_t Packet::EncodedSize() const {
+  return kPacketHeaderSize + source_name.size() + destination_name.size() + payload.size();
+}
+
+Bytes EncodePacket(const Packet& p) {
+  ByteWriter w;
+  uint8_t flags = 0;
+  if (p.early_binding) {
+    flags |= kFlagEarlyBinding;
+  }
+  if (p.deliver_all) {
+    flags |= kFlagDeliverAll;
+  }
+  if (p.answer_from_cache) {
+    flags |= kFlagAnswerFromCache;
+  }
+  const size_t src_off = kPacketHeaderSize;
+  const size_t dst_off = src_off + p.source_name.size();
+  const size_t data_off = dst_off + p.destination_name.size();
+  const size_t total = data_off + p.payload.size();
+
+  w.WriteU8(p.version);
+  w.WriteU8(flags);
+  w.WriteU16(p.hop_limit);
+  w.WriteU32(p.cache_lifetime_s);
+  w.WriteU16(static_cast<uint16_t>(src_off));
+  w.WriteU16(static_cast<uint16_t>(dst_off));
+  w.WriteU16(static_cast<uint16_t>(data_off));
+  w.WriteU16(static_cast<uint16_t>(total));
+  w.WriteBytes(reinterpret_cast<const uint8_t*>(p.source_name.data()), p.source_name.size());
+  w.WriteBytes(reinterpret_cast<const uint8_t*>(p.destination_name.data()),
+               p.destination_name.size());
+  w.WriteBytes(p.payload);
+  return std::move(w).TakeBytes();
+}
+
+namespace {
+
+struct HeaderFields {
+  uint8_t version;
+  uint8_t flags;
+  uint16_t hop_limit;
+  uint32_t cache_lifetime_s;
+  size_t src_off;
+  size_t dst_off;
+  size_t data_off;
+  size_t total;
+};
+
+Result<HeaderFields> ReadHeader(const Bytes& buffer) {
+  if (buffer.size() < kPacketHeaderSize) {
+    return InvalidArgumentError("packet shorter than header: " +
+                                std::to_string(buffer.size()) + " bytes");
+  }
+  ByteReader r(buffer);
+  HeaderFields h;
+  h.version = *r.ReadU8();
+  if (h.version != kInsVersion) {
+    return InvalidArgumentError("unsupported INS version " + std::to_string(h.version));
+  }
+  h.flags = *r.ReadU8();
+  h.hop_limit = *r.ReadU16();
+  h.cache_lifetime_s = *r.ReadU32();
+  h.src_off = *r.ReadU16();
+  h.dst_off = *r.ReadU16();
+  h.data_off = *r.ReadU16();
+  h.total = *r.ReadU16();
+  if (h.src_off != kPacketHeaderSize || h.dst_off < h.src_off || h.data_off < h.dst_off ||
+      h.total < h.data_off || h.total != buffer.size()) {
+    return InvalidArgumentError("inconsistent packet pointers");
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<Packet> DecodePacket(const Bytes& buffer) {
+  auto h = ReadHeader(buffer);
+  if (!h.ok()) {
+    return h.status();
+  }
+  Packet p;
+  p.version = h->version;
+  p.early_binding = (h->flags & kFlagEarlyBinding) != 0;
+  p.deliver_all = (h->flags & kFlagDeliverAll) != 0;
+  p.answer_from_cache = (h->flags & kFlagAnswerFromCache) != 0;
+  p.hop_limit = h->hop_limit;
+  p.cache_lifetime_s = h->cache_lifetime_s;
+  p.source_name.assign(reinterpret_cast<const char*>(buffer.data() + h->src_off),
+                       h->dst_off - h->src_off);
+  p.destination_name.assign(reinterpret_cast<const char*>(buffer.data() + h->dst_off),
+                            h->data_off - h->dst_off);
+  p.payload.assign(buffer.begin() + static_cast<long>(h->data_off),
+                   buffer.begin() + static_cast<long>(h->total));
+  return p;
+}
+
+Result<std::pair<size_t, size_t>> LocatePayload(const Bytes& buffer) {
+  auto h = ReadHeader(buffer);
+  if (!h.ok()) {
+    return h.status();
+  }
+  return std::make_pair(h->data_off, h->total - h->data_off);
+}
+
+}  // namespace ins

@@ -1,0 +1,66 @@
+// The INS data-packet format (paper Figure 10).
+//
+// A data packet carries a source and destination name-specifier (as wire
+// text), two bit-flags — B selects early vs. late binding, D selects anycast
+// (`any`) vs. multicast (`all`) delivery — a hop limit decremented at each
+// overlay hop, a cache lifetime governing INR-side data caching, and the
+// opaque application payload. Because name-specifiers are variable length,
+// the header stores byte offsets ("pointers") to the source name, destination
+// name, and data, so a forwarding agent can locate the payload without
+// parsing the names. INRs never interpret application data.
+
+#ifndef INS_WIRE_PACKET_H_
+#define INS_WIRE_PACKET_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ins/common/bytes.h"
+#include "ins/common/status.h"
+
+namespace ins {
+
+inline constexpr uint8_t kInsVersion = 1;
+inline constexpr uint16_t kDefaultHopLimit = 16;
+
+// Flag bits (the paper's B and D single-bit flags, plus the cache-probe bit
+// added by the application-independent caching extension of §3.2).
+inline constexpr uint8_t kFlagEarlyBinding = 0x01;  // B: 1 = early binding
+inline constexpr uint8_t kFlagDeliverAll = 0x02;    // D: 1 = multicast (all)
+inline constexpr uint8_t kFlagAnswerFromCache = 0x04;
+
+struct Packet {
+  uint8_t version = kInsVersion;
+  bool early_binding = false;    // B flag
+  bool deliver_all = false;      // D flag: false = anycast, true = multicast
+  bool answer_from_cache = false;
+  uint16_t hop_limit = kDefaultHopLimit;
+  uint32_t cache_lifetime_s = 0;  // 0 disallows caching
+  std::string source_name;        // wire text of the source name-specifier
+  std::string destination_name;   // wire text of the destination name-specifier
+  Bytes payload;
+
+  // Total encoded size in bytes.
+  size_t EncodedSize() const;
+};
+
+// Fixed header layout (16 bytes), all fields big-endian:
+//   u8  version        u8  flags          u16 hop limit
+//   u32 cache lifetime (seconds)
+//   u16 ptr to source name   u16 ptr to destination name
+//   u16 ptr to data          u16 total length
+// followed by the two name-specifier texts and the payload at the offsets the
+// pointers give.
+inline constexpr size_t kPacketHeaderSize = 16;
+
+Bytes EncodePacket(const Packet& p);
+Result<Packet> DecodePacket(const Bytes& buffer);
+
+// Reads only the payload location from an encoded packet without touching
+// the names — the forwarding fast path the pointer fields exist for. Returns
+// (offset, length) of the data section.
+Result<std::pair<size_t, size_t>> LocatePayload(const Bytes& buffer);
+
+}  // namespace ins
+
+#endif  // INS_WIRE_PACKET_H_

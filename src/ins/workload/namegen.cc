@@ -1,0 +1,117 @@
+#include "ins/workload/namegen.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace ins {
+
+namespace {
+
+std::string AttrToken(size_t level, uint64_t i) {
+  return "a" + std::to_string(level) + "_" + std::to_string(i);
+}
+
+std::string ValToken(uint64_t i) { return "v" + std::to_string(i); }
+
+// Picks `k` distinct integers in [0, n) uniformly (partial Fisher-Yates).
+std::vector<uint64_t> PickDistinct(Rng& rng, size_t k, size_t n) {
+  assert(k <= n);
+  std::vector<uint64_t> pool(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool[i] = i;
+  }
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + static_cast<size_t>(rng.NextBelow(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+void GrowUniform(Rng& rng, const UniformNameParams& p, size_t level,
+                 std::vector<AvPair>* siblings) {
+  if (level >= p.d) {
+    return;
+  }
+  for (uint64_t ai : PickDistinct(rng, p.na, p.ra)) {
+    AvPair* pair = InsertPair(*siblings, AttrToken(level, ai),
+                              Value::Literal(ValToken(rng.NextBelow(p.rv))));
+    GrowUniform(rng, p, level + 1, &pair->children);
+  }
+}
+
+}  // namespace
+
+NameSpecifier GenerateUniformName(Rng& rng, const UniformNameParams& params) {
+  assert(params.na <= params.ra);
+  NameSpecifier n;
+  GrowUniform(rng, params, 0, &n.mutable_roots());
+  return n;
+}
+
+NameSpecifier GenerateChainName(Rng& rng, size_t depth, size_t ra, size_t rv) {
+  NameSpecifier n;
+  std::vector<AvPair>* level = &n.mutable_roots();
+  for (size_t i = 0; i < depth; ++i) {
+    AvPair* pair = InsertPair(*level, AttrToken(i, rng.NextBelow(ra)),
+                              Value::Literal(ValToken(rng.NextBelow(rv))));
+    level = &pair->children;
+  }
+  return n;
+}
+
+NameSpecifier GenerateSizedName(Rng& rng, size_t target_bytes, const std::string& vspace) {
+  NameSpecifier n;
+  if (!vspace.empty()) {
+    n.AddPath({{"vspace", vspace}});
+  }
+  // Service-shaped skeleton, then pad with orthogonal pairs until the wire
+  // text reaches the target size.
+  const char* kServices[] = {"camera", "printer", "locator", "sensor", "display"};
+  n.AddPath({{"service", kServices[rng.NextBelow(5)]},
+             {"id", "n" + std::to_string(rng.NextU64() % 100000)}});
+  n.AddPath({{"room", std::to_string(400 + rng.NextBelow(200))}});
+  size_t i = 0;
+  while (n.WireSize() + 12 <= target_bytes) {
+    n.AddPath({{"x" + std::to_string(i), "y" + std::to_string(rng.NextBelow(1000))}});
+    ++i;
+  }
+  return n;
+}
+
+namespace {
+
+void DerivePairs(Rng& rng, const std::vector<AvPair>& adv, double keep_prob,
+                 double wildcard_prob, bool force_keep_one, std::vector<AvPair>* out) {
+  bool kept_any = false;
+  for (const AvPair& a : adv) {
+    bool keep = rng.NextBool(keep_prob);
+    if (!keep && force_keep_one && !kept_any && &a == &adv.back()) {
+      keep = true;  // guarantee a non-empty query at the top level
+    }
+    if (!keep) {
+      continue;
+    }
+    kept_any = true;
+    if (rng.NextBool(wildcard_prob)) {
+      InsertPair(*out, a.attribute, Value::Wildcard());
+      // Av-pairs below a wildcard are ignored by LOOKUP-NAME; emit none.
+      continue;
+    }
+    AvPair* pair = InsertPair(*out, a.attribute, a.value);
+    DerivePairs(rng, a.children, keep_prob, wildcard_prob, false, &pair->children);
+  }
+}
+
+}  // namespace
+
+NameSpecifier DeriveQuery(Rng& rng, const NameSpecifier& advertisement, double keep_prob,
+                          double wildcard_prob) {
+  NameSpecifier q;
+  DerivePairs(rng, advertisement.roots(), keep_prob, wildcard_prob, true,
+              &q.mutable_roots());
+  return q;
+}
+
+}  // namespace ins

@@ -1,0 +1,59 @@
+// Synthetic name-specifier workloads.
+//
+// The paper's evaluation (§5.1) uses uniformly grown name-specifiers
+// parameterized by:
+//   d   — one-half the depth of name-specifiers (attr+value layers per level)
+//   r_a — range of possible attributes at each level
+//   r_v — range of possible values per attribute
+//   n_a — actual number of attributes per level in a specifier
+// with Figure 12/13 fixing r_a=3, r_v=3, n_a=2, d=3. Figures 8 and 15 use
+// randomly generated names averaging 82 bytes of wire text. This module
+// generates both, deterministically from a seeded Rng.
+
+#ifndef INS_WORKLOAD_NAMEGEN_H_
+#define INS_WORKLOAD_NAMEGEN_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ins/common/rng.h"
+#include "ins/name/name_specifier.h"
+
+namespace ins {
+
+struct UniformNameParams {
+  size_t ra = 3;  // possible attributes per level
+  size_t rv = 3;  // possible values per attribute
+  size_t na = 2;  // attributes actually present per level (na <= ra)
+  size_t d = 3;   // levels of av-pairs
+};
+
+// Paper defaults for Figures 12 and 13.
+inline constexpr UniformNameParams kPaperLookupParams{3, 3, 2, 3};
+
+// Generates one uniformly grown name-specifier: at each of d levels, na
+// distinct attributes drawn from the level's pool of ra, each bound to one of
+// rv values, recursing under every pair.
+NameSpecifier GenerateUniformName(Rng& rng, const UniformNameParams& params);
+
+// As above but with n_a = 1 below the first level trimmed — used to vary
+// specifier shapes in property sweeps.
+NameSpecifier GenerateChainName(Rng& rng, size_t depth, size_t ra, size_t rv);
+
+// Generates a random service-style name whose canonical text form is close
+// to `target_bytes` (default: the paper's 82-byte advertisement names used in
+// the Figure 8 and Figure 15 experiments). The name always carries a root
+// [vspace=<vspace>] pair when `vspace` is non-empty.
+NameSpecifier GenerateSizedName(Rng& rng, size_t target_bytes = 82,
+                                const std::string& vspace = "");
+
+// Derives a random query from an advertisement: keeps each av-pair with
+// probability `keep_prob`, replaces kept leaf values by a wildcard with
+// probability `wildcard_prob`. The result always matches the advertisement.
+NameSpecifier DeriveQuery(Rng& rng, const NameSpecifier& advertisement, double keep_prob,
+                          double wildcard_prob);
+
+}  // namespace ins
+
+#endif  // INS_WORKLOAD_NAMEGEN_H_

@@ -1,0 +1,219 @@
+// Cross-application scenario tests: the three paper applications running
+// together, interactions between subscriptions and mobility, multi-user
+// printer contention, and Floorplan driving Camera/Printer by discovered
+// names (the paper's "clicking an icon invokes the service" flow).
+
+#include <gtest/gtest.h>
+
+#include "ins/apps/camera.h"
+#include "ins/apps/floorplan.h"
+#include "ins/apps/printer.h"
+#include "ins/client/mobility.h"
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+TEST(AppScenarioTest, SubscriptionFollowsCameraRoomMove) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  AppHost cam_host(&cluster, 10, inr->address());
+  AppHost sub_host(&cluster, 20, inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  CameraReceiver sub(sub_host.client.get(), "s");
+  sub.Subscribe("510");
+  cluster.Settle();
+
+  int frames = 0;
+  sub.on_frame = [&](const NameSpecifier&, const Bytes&) { ++frames; };
+  cam.SetImage({1});
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  EXPECT_EQ(frames, 1);
+
+  // The camera moves rooms; the subscriber (still on 510) stops receiving,
+  // then re-subscribes to the new room and receives again.
+  cam.MoveToRoom("520");
+  cluster.Settle();
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  EXPECT_EQ(frames, 1);
+
+  sub.Subscribe("520");
+  cluster.Settle();
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(AppScenarioTest, CameraNodeMobilityKeepsSubscriptionAlive) {
+  // Node mobility (address change) must NOT break the group: the receiver's
+  // subscription is by name, and the transmitter re-announces on move.
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  AppHost cam_host(&cluster, 10, inr->address());
+  AppHost sub_host(&cluster, 20, inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  MobilityManager mobility(&cluster.loop(), cam_host.client.get(),
+                           [&](const NodeAddress& a) { return cam_host.socket->Rebind(a); });
+  CameraReceiver sub(sub_host.client.get(), "s");
+  sub.Subscribe("510");
+  cluster.Settle();
+
+  int frames = 0;
+  sub.on_frame = [&](const NameSpecifier&, const Bytes&) { ++frames; };
+  cam.SetImage({1});
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  ASSERT_EQ(frames, 1);
+
+  ASSERT_TRUE(mobility.Move(MakeAddress(99)).ok());
+  cluster.Settle();
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  EXPECT_EQ(frames, 2);
+}
+
+TEST(AppScenarioTest, FloorplanDrivenCameraFetch) {
+  // The paper's flow: discover via Floorplan, click an icon, talk to the
+  // service using the discovered name.
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  AppHost cam_host(&cluster, 10, inr->address());
+  AppHost ui_host(&cluster, 20, inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  cam.SetImage({0x11});
+  FloorplanApp ui(ui_host.client.get(), "disp");
+  CameraReceiver viewer(ui_host.client.get(), "disp-view");
+  // NOTE: ui and viewer share a client; CameraReceiver's OnData takes over.
+  // Floorplan discovery still works (it uses request/response messages).
+  cluster.Settle();
+
+  std::string discovered_room;
+  ui.Refresh([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    for (const auto& [key, icon] : ui.icons()) {
+      // Pick the transmitter icon (the viewer's own receiver advertisement
+      // is also a camera-service name, but carries no room).
+      if (icon.service == "camera" && !icon.room.empty()) {
+        discovered_room = icon.room;
+      }
+    }
+  });
+  cluster.Settle();
+  ASSERT_EQ(discovered_room, "510");
+
+  Bytes image;
+  viewer.RequestImage(discovered_room, false, [&](Status s, Bytes img) {
+    ASSERT_TRUE(s.ok()) << s;
+    image = std::move(img);
+  });
+  cluster.Settle();
+  EXPECT_EQ(image, Bytes{0x11});
+}
+
+TEST(AppScenarioTest, TwoUsersShareThePrinterPool) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  AppHost p1_host(&cluster, 10, inr->address());
+  AppHost p2_host(&cluster, 11, inr->address());
+  AppHost alice_host(&cluster, 20, inr->address());
+  AppHost bob_host(&cluster, 21, inr->address());
+  PrinterSpooler::Options slow;
+  slow.tick_interval = Seconds(600);
+  PrinterSpooler p1(p1_host.client.get(), "lw1", "517", slow);
+  PrinterSpooler p2(p2_host.client.get(), "lw2", "517", slow);
+  PrinterClient alice(alice_host.client.get(), "alice");
+  PrinterClient bob(bob_host.client.get(), "bob");
+  cluster.Settle();
+
+  for (int i = 0; i < 3; ++i) {
+    alice.SubmitToBest("517", Bytes(5000, 'a'), [](Status, auto) {});
+    cluster.Settle();
+    bob.SubmitToBest("517", Bytes(5000, 'b'), [](Status, auto) {});
+    cluster.Settle();
+  }
+  // Load spread across the pool regardless of submitting user.
+  EXPECT_EQ(p1.queue().size() + p2.queue().size(), 6u);
+  EXPECT_EQ(p1.queue().size(), 3u);
+  EXPECT_EQ(p2.queue().size(), 3u);
+
+  // All of both users' jobs are accounted for somewhere in the pool.
+  int alice_jobs = 0;
+  int bob_jobs = 0;
+  for (const PrinterSpooler* p : {&p1, &p2}) {
+    for (const PrintJob& j : p->queue()) {
+      (j.user == "alice" ? alice_jobs : bob_jobs) += 1;
+    }
+  }
+  EXPECT_EQ(alice_jobs, 3);
+  EXPECT_EQ(bob_jobs, 3);
+}
+
+TEST(AppScenarioTest, AllThreeAppsCoexistOnOneOverlay) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  AppHost loc_host(&cluster, 10, a->address());
+  LocatorService locator(loc_host.client.get());
+  locator.AddMap("floor5", {1, 2, 3});
+  AppHost cam_host(&cluster, 11, a->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  cam.SetImage({0xee});
+  AppHost prn_host(&cluster, 12, b->address());
+  PrinterSpooler lw1(prn_host.client.get(), "lw1", "517");
+
+  AppHost user_host(&cluster, 20, b->address());
+  FloorplanApp ui(user_host.client.get(), "disp");
+  cluster.loop().RunFor(Seconds(2));
+
+  size_t icons = 0;
+  ui.Refresh([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    icons = ui.icons().size();
+  });
+  cluster.Settle();
+  // Camera + printer + locator, discovered across the overlay.
+  EXPECT_EQ(icons, 3u);
+
+  Bytes map;
+  ui.RequestMap("floor5", [&](Status s, Bytes m) {
+    ASSERT_TRUE(s.ok()) << s;
+    map = std::move(m);
+  });
+  cluster.Settle();
+  EXPECT_EQ(map, (Bytes{1, 2, 3}));
+
+  PrinterClient user(user_host.client.get(), "carol");
+  // NOTE: PrinterClient replaces the shared client's OnData handler; the
+  // FloorplanApp interactions above are complete, so this is safe.
+  Status submit_status = InternalError("pending");
+  user.SubmitToBest("517", Bytes(100, 'x'), [&](Status s, auto) { submit_status = s; });
+  cluster.Settle();
+  EXPECT_TRUE(submit_status.ok()) << submit_status;
+  EXPECT_EQ(lw1.queue().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,147 @@
+// Tests for the baselines: linear-scan name table (agrees with NameTree on
+// schema-complete workloads) and round-robin DNS (documents the behavioural
+// gap INS closes).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ins/baseline/dns_baseline.h"
+#include "ins/baseline/linear_name_table.h"
+#include "ins/name/parser.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+AnnouncerId Id(uint32_t n) { return AnnouncerId{0x0a000000u + n, 1000, 0}; }
+
+NameRecord Rec(uint32_t n, TimePoint expires = Seconds(3600)) {
+  NameRecord r;
+  r.announcer = Id(n);
+  r.endpoint.address = MakeAddress(n);
+  r.expires = expires;
+  r.version = 1;
+  return r;
+}
+
+TEST(LinearNameTableTest, UpsertLookupRemove) {
+  LinearNameTable t;
+  t.Upsert(P("[service=camera][room=510]"), Rec(1));
+  t.Upsert(P("[service=printer][room=517]"), Rec(2));
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.Lookup(P("[service=camera]")).size(), 1u);
+  EXPECT_EQ(t.Lookup(P("")).size(), 2u);
+  EXPECT_TRUE(t.Remove(Id(1)));
+  EXPECT_FALSE(t.Remove(Id(1)));
+  EXPECT_TRUE(t.Lookup(P("[service=camera]")).empty());
+}
+
+TEST(LinearNameTableTest, UpsertReplacesByAnnouncer) {
+  LinearNameTable t;
+  t.Upsert(P("[room=510]"), Rec(1));
+  t.Upsert(P("[room=520]"), Rec(1));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.Lookup(P("[room=510]")).empty());
+  EXPECT_EQ(t.Lookup(P("[room=520]")).size(), 1u);
+}
+
+TEST(LinearNameTableTest, ExpireSweepsSoftState) {
+  LinearNameTable t;
+  t.Upsert(P("[a=1]"), Rec(1, Seconds(10)));
+  t.Upsert(P("[b=2]"), Rec(2, Seconds(30)));
+  EXPECT_EQ(t.ExpireBefore(Seconds(20)), 1u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(LinearNameTableTest, AgreesWithNameTreeOnSchemaCompleteWorkloads) {
+  Rng rng(99);
+  UniformNameParams shape{2, 3, 2, 3};  // na == ra
+  NameTree tree;
+  LinearNameTable table;
+  std::vector<NameSpecifier> ads;
+  for (uint32_t i = 1; i <= 60; ++i) {
+    NameSpecifier ad = GenerateUniformName(rng, shape);
+    tree.Upsert(ad, Rec(i));
+    table.Upsert(ad, Rec(i));
+    ads.push_back(std::move(ad));
+  }
+  for (int q = 0; q < 80; ++q) {
+    NameSpecifier query = q % 2 == 0 ? GenerateUniformName(rng, shape)
+                                     : DeriveQuery(rng, ads[rng.NextBelow(ads.size())],
+                                                   0.8, 0.3);
+    auto from_tree = tree.Lookup(query);
+    auto from_table = table.Lookup(query);
+    std::set<uint32_t> a;
+    std::set<uint32_t> b;
+    for (const NameRecord* r : from_tree) {
+      a.insert(r->announcer.ip);
+    }
+    for (const NameRecord* r : from_table) {
+      b.insert(r->announcer.ip);
+    }
+    EXPECT_EQ(a, b) << "query " << query.ToString();
+  }
+}
+
+TEST(DnsBaselineTest, ResolveAllReturnsRrset) {
+  DnsBaseline dns;
+  dns.AddRecord("printer.lcs.mit.edu", MakeAddress(1));
+  dns.AddRecord("printer.lcs.mit.edu", MakeAddress(2));
+  auto all = dns.ResolveAll("printer.lcs.mit.edu");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  EXPECT_FALSE(dns.ResolveAll("nope").ok());
+}
+
+TEST(DnsBaselineTest, RoundRobinRotates) {
+  DnsBaseline dns;
+  dns.AddRecord("p", MakeAddress(1));
+  dns.AddRecord("p", MakeAddress(2));
+  dns.AddRecord("p", MakeAddress(3));
+  std::vector<NodeAddress> picks;
+  for (int i = 0; i < 6; ++i) {
+    picks.push_back(*dns.ResolveOne("p"));
+  }
+  EXPECT_EQ(picks[0], MakeAddress(1));
+  EXPECT_EQ(picks[1], MakeAddress(2));
+  EXPECT_EQ(picks[2], MakeAddress(3));
+  EXPECT_EQ(picks[3], MakeAddress(1));
+}
+
+TEST(DnsBaselineTest, RoundRobinIgnoresLoad) {
+  // The documented gap: DNS spreads requests uniformly no matter how uneven
+  // the servers' capacity is; INS anycast follows advertised metrics.
+  DnsBaseline dns;
+  dns.AddRecord("p", MakeAddress(1));  // pretend this one is overloaded
+  dns.AddRecord("p", MakeAddress(2));
+  int to_overloaded = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (*dns.ResolveOne("p") == MakeAddress(1)) {
+      ++to_overloaded;
+    }
+  }
+  EXPECT_EQ(to_overloaded, 50);  // exactly half, oblivious to load
+}
+
+TEST(DnsBaselineTest, RemoveRecord) {
+  DnsBaseline dns;
+  dns.AddRecord("p", MakeAddress(1));
+  dns.AddRecord("p", MakeAddress(2));
+  EXPECT_TRUE(dns.RemoveRecord("p", MakeAddress(1)));
+  EXPECT_FALSE(dns.RemoveRecord("p", MakeAddress(1)));
+  EXPECT_EQ(dns.record_count("p"), 1u);
+  EXPECT_TRUE(dns.RemoveRecord("p", MakeAddress(2)));
+  EXPECT_EQ(dns.record_count("p"), 0u);
+  EXPECT_FALSE(dns.ResolveOne("p").ok());
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,186 @@
+// Tests for the Camera application: request–response, subscriptions over
+// intentional multicast, mobility, and INR-side frame caching.
+
+#include <gtest/gtest.h>
+
+#include "ins/apps/camera.h"
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct CameraFixture {
+  CameraFixture() {
+    inr = cluster.AddInr(1);
+    cluster.StabilizeTopology();
+  }
+  SimCluster cluster;
+  Inr* inr;
+};
+
+TEST(CameraTest, RequestResponse) {
+  CameraFixture f;
+  AppHost cam_host(&f.cluster, 10, f.inr->address());
+  AppHost view_host(&f.cluster, 20, f.inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  cam.SetImage({1, 2, 3});
+  CameraReceiver viewer(view_host.client.get(), "v1");
+  f.cluster.Settle();
+
+  Status status = InternalError("not called");
+  Bytes image;
+  viewer.RequestImage("510", /*allow_cached=*/false, [&](Status s, Bytes img) {
+    status = s;
+    image = std::move(img);
+  });
+  f.cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(image, (Bytes{1, 2, 3}));
+  EXPECT_EQ(cam.requests_served(), 1u);
+}
+
+TEST(CameraTest, RequestToEmptyRoomTimesOut) {
+  CameraFixture f;
+  AppHost view_host(&f.cluster, 20, f.inr->address());
+  CameraReceiver viewer(view_host.client.get(), "v1");
+  f.cluster.Settle();
+  Status status;
+  viewer.RequestImage("999", false, [&](Status s, Bytes) { status = s; });
+  f.cluster.loop().RunFor(Seconds(5));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CameraTest, SubscriptionDeliversToAllReceivers) {
+  CameraFixture f;
+  AppHost cam_host(&f.cluster, 10, f.inr->address());
+  AppHost v1_host(&f.cluster, 20, f.inr->address());
+  AppHost v2_host(&f.cluster, 21, f.inr->address());
+  AppHost v3_host(&f.cluster, 22, f.inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  CameraReceiver v1(v1_host.client.get(), "r1");
+  CameraReceiver v2(v2_host.client.get(), "r2");
+  CameraReceiver v3(v3_host.client.get(), "r3");
+  v1.Subscribe("510");
+  v2.Subscribe("510");
+  v3.Subscribe("520");  // different room: must not receive
+  f.cluster.Settle();
+
+  int got1 = 0;
+  int got2 = 0;
+  int got3 = 0;
+  v1.on_frame = [&](const NameSpecifier&, const Bytes&) { ++got1; };
+  v2.on_frame = [&](const NameSpecifier&, const Bytes&) { ++got2; };
+  v3.on_frame = [&](const NameSpecifier&, const Bytes&) { ++got3; };
+
+  cam.SetImage({9});
+  cam.PublishToSubscribers();
+  f.cluster.Settle();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+  EXPECT_EQ(got3, 0);
+
+  // Unsubscribed receivers stop getting frames.
+  v2.Unsubscribe();
+  f.cluster.Settle();
+  cam.PublishToSubscribers();
+  f.cluster.Settle();
+  EXPECT_EQ(got1, 2);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(CameraTest, ServiceMobilityMovesRoom) {
+  CameraFixture f;
+  AppHost cam_host(&f.cluster, 10, f.inr->address());
+  AppHost view_host(&f.cluster, 20, f.inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  cam.SetImage({5});
+  CameraReceiver viewer(view_host.client.get(), "v1");
+  f.cluster.Settle();
+
+  cam.MoveToRoom("520");
+  f.cluster.Settle();
+
+  // Requests to the old room find nothing; the new room answers.
+  Status old_status;
+  viewer.RequestImage("510", false, [&](Status s, Bytes) { old_status = s; });
+  Status new_status = InternalError("pending");
+  Bytes image;
+  viewer.RequestImage("520", false, [&](Status s, Bytes img) {
+    new_status = s;
+    image = std::move(img);
+  });
+  f.cluster.loop().RunFor(Seconds(5));
+  EXPECT_EQ(old_status.code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(new_status.ok()) << new_status;
+  EXPECT_EQ(image, Bytes{5});
+}
+
+TEST(CameraTest, CachedFrameAnsweredByInr) {
+  CameraFixture f;
+  AppHost cam_host(&f.cluster, 10, f.inr->address());
+  AppHost sub_host(&f.cluster, 20, f.inr->address());
+  AppHost view_host(&f.cluster, 21, f.inr->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  cam.SetImage({0xaa, 0xbb});
+  CameraReceiver subscriber(sub_host.client.get(), "s1");
+  subscriber.Subscribe("510");
+  CameraReceiver viewer(view_host.client.get(), "v1");
+  f.cluster.Settle();
+
+  // Publishing with a cache lifetime seeds the INR cache.
+  cam.PublishToSubscribers(/*cache_lifetime_s=*/30);
+  f.cluster.Settle();
+  EXPECT_GT(f.inr->cache().size(), 0u);
+
+  const uint64_t served_before = cam.requests_served();
+  Status status = InternalError("pending");
+  Bytes image;
+  viewer.RequestImage("510", /*allow_cached=*/true, [&](Status s, Bytes img) {
+    status = s;
+    image = std::move(img);
+  });
+  f.cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(image, (Bytes{0xaa, 0xbb}));
+  // The camera never saw the request: the resolver answered from its cache.
+  EXPECT_EQ(cam.requests_served(), served_before);
+  EXPECT_EQ(f.inr->metrics().Counter("forwarding.cache_answers"), 1u);
+}
+
+TEST(CameraTest, SubscriptionWorksAcrossOverlay) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  AppHost cam_host(&cluster, 10, a->address());
+  AppHost view_host(&cluster, 20, b->address());
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  CameraReceiver viewer(view_host.client.get(), "v1");
+  viewer.Subscribe("510");
+  cluster.loop().RunFor(Seconds(1));
+
+  int frames = 0;
+  viewer.on_frame = [&](const NameSpecifier&, const Bytes&) { ++frames; };
+  cam.SetImage({1});
+  cam.PublishToSubscribers();
+  cluster.Settle();
+  EXPECT_EQ(frames, 1);
+}
+
+}  // namespace
+}  // namespace ins

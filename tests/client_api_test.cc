@@ -1,0 +1,254 @@
+// Tests for the InsClient public API against live resolvers in simulation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ins/client/api.h"
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+struct ClientHarness {
+  explicit ClientHarness(SimCluster* cluster, uint32_t host, NodeAddress inr = {})
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+TEST(ClientApiTest, AttachesViaDsrWhenNoInrGiven) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness ch(&cluster, 20);  // no INR configured
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_TRUE(ch.client->attached());
+  EXPECT_EQ(ch.client->resolver(), inr->address());
+}
+
+TEST(ClientApiTest, AdvertiseRegistersName) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness ch(&cluster, 20, inr->address());
+
+  auto handle = ch.client->Advertise(P("[service=camera][room=510]"), {{8080, "http"}});
+  cluster.Settle();
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+  auto recs = inr->vspaces().Tree("")->Lookup(P("[room=510]"));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0]->endpoint.bindings[0].transport, "http");
+}
+
+TEST(ClientApiTest, DroppingHandleLetsNameExpire) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness ch(&cluster, 20, inr->address());
+  {
+    auto handle = ch.client->Advertise(P("[service=camera]"));
+    cluster.loop().RunFor(Seconds(5));
+    EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+  }
+  // Handle gone: no more refreshes; 45 s lifetime runs out.
+  cluster.loop().RunFor(Seconds(60));
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 0u);
+}
+
+TEST(ClientApiTest, RefreshKeepsNameAliveIndefinitely) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness ch(&cluster, 20, inr->address());
+  auto handle = ch.client->Advertise(P("[service=camera]"));
+  cluster.loop().RunFor(Seconds(120));  // many lifetimes
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+}
+
+TEST(ClientApiTest, DiscoverReturnsMatchingNames) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness svc(&cluster, 10, inr->address());
+  ClientHarness user(&cluster, 20, inr->address());
+  auto h1 = svc.client->Advertise(P("[service=camera][room=510]"));
+  auto h2 = svc.client->Advertise(P("[service=printer][room=517]"));
+  cluster.Settle();
+
+  Status status = InternalError("not called");
+  std::vector<InsClient::DiscoveredName> got;
+  user.client->Discover(P("[service=camera]"), "", [&](Status s, auto names) {
+    status = s;
+    got = std::move(names);
+  });
+  cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].name.GetValue({"room"}), "510");
+}
+
+TEST(ClientApiTest, DiscoverTimesOutWithoutResolver) {
+  SimCluster cluster;  // note: no INR at all
+  ClientHarness user(&cluster, 20, MakeAddress(99));  // attached to a ghost
+  Status status;
+  user.client->Discover(NameSpecifier(), "", [&](Status s, auto) { status = s; });
+  cluster.loop().RunFor(Seconds(5));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ClientApiTest, ResolveEarlyReturnsBindings) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness s1(&cluster, 10, inr->address());
+  ClientHarness s2(&cluster, 11, inr->address());
+  ClientHarness user(&cluster, 20, inr->address());
+  auto h1 = s1.client->Advertise(P("[service=printer]"), {{631, "ipp"}}, 4.0);
+  auto h2 = s2.client->Advertise(P("[service=printer]"), {{631, "ipp"}}, 2.0);
+  cluster.Settle();
+
+  std::vector<InsClient::Binding> got;
+  user.client->ResolveEarly(P("[service=printer]"), [&](Status s, auto bindings) {
+    ASSERT_TRUE(s.ok());
+    got = std::move(bindings);
+  });
+  cluster.Settle();
+  ASSERT_EQ(got.size(), 2u);
+  // Client-side min-metric selection.
+  auto best = std::min_element(got.begin(), got.end(), [](const auto& a, const auto& b) {
+    return a.app_metric < b.app_metric;
+  });
+  EXPECT_EQ(best->endpoint.address, s2.client->address());
+  EXPECT_EQ(best->endpoint.bindings[0].port, 631);
+}
+
+TEST(ClientApiTest, AnycastRoundTripBetweenClients) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness svc(&cluster, 10, inr->address());
+  ClientHarness user(&cluster, 20, inr->address());
+
+  auto svc_name = P("[service=echo][id=s1]");
+  auto user_name = P("[service=echo-user][id=u1]");
+  auto h1 = svc.client->Advertise(svc_name);
+  auto h2 = user.client->Advertise(user_name);
+  cluster.Settle();
+
+  // Echo service: reply to the packet's source name.
+  svc.client->OnData([&](const NameSpecifier& source, const Bytes& payload) {
+    Bytes reply = payload;
+    reply.push_back(0xff);
+    svc.client->SendAnycast(source, reply, svc_name);
+  });
+  std::vector<Bytes> user_got;
+  user.client->OnData(
+      [&](const NameSpecifier&, const Bytes& payload) { user_got.push_back(payload); });
+
+  user.client->SendAnycast(svc_name, {1, 2}, user_name);
+  cluster.Settle();
+  ASSERT_EQ(user_got.size(), 1u);
+  EXPECT_EQ(user_got[0], (Bytes{1, 2, 0xff}));
+}
+
+TEST(ClientApiTest, MulticastReachesGroup) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness r1(&cluster, 10, inr->address());
+  ClientHarness r2(&cluster, 11, inr->address());
+  ClientHarness tx(&cluster, 20, inr->address());
+  auto h1 = r1.client->Advertise(P("[service=camera[entity=receiver[id=r1]]]"));
+  auto h2 = r2.client->Advertise(P("[service=camera[entity=receiver[id=r2]]]"));
+  cluster.Settle();
+
+  int got1 = 0;
+  int got2 = 0;
+  r1.client->OnData([&](const NameSpecifier&, const Bytes&) { ++got1; });
+  r2.client->OnData([&](const NameSpecifier&, const Bytes&) { ++got2; });
+
+  tx.client->SendMulticast(P("[service=camera[entity=receiver[id=*]]]"), {7});
+  cluster.Settle();
+  EXPECT_EQ(got1, 1);
+  EXPECT_EQ(got2, 1);
+}
+
+TEST(ClientApiTest, SetMetricTakesEffectImmediately) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness p1(&cluster, 10, inr->address());
+  ClientHarness p2(&cluster, 11, inr->address());
+  ClientHarness user(&cluster, 20, inr->address());
+  auto h1 = p1.client->Advertise(P("[service=printer]"), {}, 1.0);
+  auto h2 = p2.client->Advertise(P("[service=printer]"), {}, 5.0);
+  cluster.Settle();
+
+  int at1 = 0;
+  int at2 = 0;
+  p1.client->OnData([&](const NameSpecifier&, const Bytes&) { ++at1; });
+  p2.client->OnData([&](const NameSpecifier&, const Bytes&) { ++at2; });
+
+  user.client->SendAnycast(P("[service=printer]"), {1});
+  cluster.Settle();
+  EXPECT_EQ(at1, 1);
+
+  h1->SetMetric(9.0);  // queue filled up
+  cluster.Settle();
+  user.client->SendAnycast(P("[service=printer]"), {2});
+  cluster.Settle();
+  EXPECT_EQ(at1, 1);
+  EXPECT_EQ(at2, 1);
+}
+
+TEST(ClientApiTest, SetNameImplementsServiceMobility) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  ClientHarness svc(&cluster, 10, inr->address());
+  auto handle = svc.client->Advertise(P("[service=camera][room=510]"));
+  cluster.Settle();
+  ASSERT_EQ(inr->vspaces().Tree("")->Lookup(P("[room=510]")).size(), 1u);
+
+  handle->SetName(P("[service=camera][room=520]"));
+  cluster.Settle();
+  EXPECT_TRUE(inr->vspaces().Tree("")->Lookup(P("[room=510]")).empty());
+  EXPECT_EQ(inr->vspaces().Tree("")->Lookup(P("[room=520]")).size(), 1u);
+}
+
+TEST(ClientApiTest, OperationsQueueUntilAttached) {
+  SimCluster cluster;
+  // Start the client before any resolver exists; attach via DSR later.
+  ClientHarness user(&cluster, 20);
+  auto handle = user.client->Advertise(P("[service=camera]"));
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_FALSE(user.client->attached());
+
+  // DsrListRequest was answered with an empty list; the client keeps the
+  // queued work. Bring up a resolver and restart attachment.
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  user.client->Start();  // retry attach
+  cluster.loop().RunFor(Seconds(1));
+  ASSERT_TRUE(user.client->attached());
+  cluster.loop().RunFor(Seconds(20));  // a refresh tick announces the ad
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ins

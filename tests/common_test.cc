@@ -1,0 +1,232 @@
+// Unit tests for ins/common: Status/Result, byte codecs, RNG, strings,
+// clocks, metrics.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ins/common/bytes.h"
+#include "ins/common/clock.h"
+#include "ins/common/metrics.h"
+#include "ins/common/node_address.h"
+#include "ins/common/rng.h"
+#include "ins/common/status.h"
+#include "ins/common/string_util.h"
+
+namespace ins {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such name");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such name");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such name");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(BytesTest, RoundTripsScalars) {
+  ByteWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteString("hello");
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU8(), 0xab);
+  EXPECT_EQ(*r.ReadU16(), 0x1234);
+  EXPECT_EQ(*r.ReadU32(), 0xdeadbeefu);
+  EXPECT_EQ(*r.ReadU64(), 0x0123456789abcdefull);
+  EXPECT_EQ(*r.ReadString(), "hello");
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  ByteWriter w;
+  w.WriteU16(0x0102);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.bytes()[0], 0x01);
+  EXPECT_EQ(w.bytes()[1], 0x02);
+}
+
+TEST(BytesTest, UnderrunIsError) {
+  ByteWriter w;
+  w.WriteU8(1);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.ReadU8().ok());
+  auto bad = r.ReadU32();
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(BytesTest, TruncatedStringIsError) {
+  ByteWriter w;
+  w.WriteU16(100);  // claims 100 bytes follow
+  w.WriteU8('x');
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(r.ReadString().ok());
+}
+
+TEST(BytesTest, PatchBackfillsHeaderFields) {
+  ByteWriter w;
+  w.WriteU16(0);  // placeholder
+  w.WriteString("payload");
+  w.PatchU16(0, static_cast<uint16_t>(w.size()));
+  ByteReader r(w.bytes());
+  EXPECT_EQ(*r.ReadU16(), w.size());
+}
+
+TEST(BytesTest, SeekSupportsPointerFields) {
+  ByteWriter w;
+  w.WriteU32(8);  // offset of the interesting field
+  w.WriteU32(0);  // padding
+  w.WriteU16(77);
+  ByteReader r(w.bytes());
+  uint32_t off = *r.ReadU32();
+  ASSERT_TRUE(r.SeekTo(off).ok());
+  EXPECT_EQ(*r.ReadU16(), 77);
+  EXPECT_FALSE(r.SeekTo(1000).ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.NextU64() == b.NextU64()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, BoundsRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+    int64_t v = rng.NextInRange(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRange) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.NextBelow(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(StringUtilTest, Split) {
+  auto v = SplitString("a,b,,c", ',');
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[2], "");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringUtilTest, Affixes) {
+  EXPECT_TRUE(StartsWith("service=camera", "service"));
+  EXPECT_FALSE(StartsWith("svc", "service"));
+  EXPECT_TRUE(EndsWith("room=510", "510"));
+}
+
+TEST(StringUtilTest, Strip) {
+  EXPECT_EQ(StripWhitespace("  x y \n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, Ipv4Rendering) {
+  EXPECT_EQ(Ipv4ToString(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(Ipv4ToString(0xffffffff), "255.255.255.255");
+}
+
+TEST(NodeAddressTest, OrderingAndValidity) {
+  NodeAddress a = MakeAddress(1);
+  NodeAddress b = MakeAddress(2);
+  EXPECT_TRUE(a.IsValid());
+  EXPECT_FALSE(kInvalidAddress.IsValid());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, MakeAddress(1));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.ToString(), "10.0.0.1:5678");
+}
+
+TEST(ClockTest, ManualClockAdvances) {
+  ManualClock c;
+  EXPECT_EQ(c.Now().count(), 0);
+  c.Advance(Milliseconds(15));
+  EXPECT_EQ(c.Now(), Milliseconds(15));
+  c.Set(Seconds(2));
+  EXPECT_EQ(c.Now(), Seconds(2));
+}
+
+TEST(ClockTest, ConversionHelpers) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Milliseconds(250)), 250.0);
+  EXPECT_EQ(Milliseconds(1), Microseconds(1000));
+}
+
+TEST(MetricsTest, CountersAndGauges) {
+  MetricsRegistry m;
+  m.Increment("updates");
+  m.Increment("updates", 4);
+  EXPECT_EQ(m.Counter("updates"), 5u);
+  EXPECT_EQ(m.Counter("missing"), 0u);
+  m.SetGauge("names", 17);
+  EXPECT_EQ(m.Gauge("names"), 17);
+  m.Reset();
+  EXPECT_EQ(m.Counter("updates"), 0u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,82 @@
+// Simulator determinism: identical seeds must produce bit-identical runs.
+// The experiment harnesses (and any future regression bisection) depend on
+// this property, so it gets its own test.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+// Runs a small but busy scenario and returns a fingerprint of everything
+// observable: metrics counters, tree contents, topology.
+std::map<std::string, uint64_t> RunScenario(uint64_t seed) {
+  ClusterOptions options;
+  options.seed = seed;
+  options.default_link = {Milliseconds(3), 1e6, 0.02};  // loss + bandwidth on
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology(Seconds(60));
+
+  auto svc = cluster.AddEndpoint(10);
+  auto client = cluster.AddEndpoint(20);
+  for (uint32_t i = 0; i < 6; ++i) {
+    Advertisement ad;
+    ad.name_text = "[service=sensor[id=s" + std::to_string(i) + "]]";
+    ad.announcer = AnnouncerId{svc->address().ip, 1000, i};
+    ad.endpoint.address = svc->address();
+    ad.lifetime_s = 600;
+    ad.version = 1;
+    svc->Send(cluster.inrs()[i % 3]->address(), Envelope{MessageBody(ad)});
+    cluster.loop().RunFor(Milliseconds(200));
+  }
+  for (int i = 0; i < 20; ++i) {
+    Packet p;
+    p.destination_name = "[service=sensor]";
+    p.payload = {static_cast<uint8_t>(i)};
+    client->Send(cluster.inrs()[static_cast<size_t>(i) % 3]->address(),
+                 Envelope{MessageBody(p)});
+    cluster.loop().RunFor(Milliseconds(100));
+  }
+  cluster.loop().RunFor(Seconds(30));
+
+  std::map<std::string, uint64_t> fingerprint;
+  int index = 0;
+  for (Inr* inr : {a, b, c}) {
+    std::string prefix = "inr" + std::to_string(index++) + ".";
+    for (const auto& [name, value] : inr->metrics().counters()) {
+      fingerprint[prefix + name] = value;
+    }
+    fingerprint[prefix + "names"] = inr->vspaces().Tree("")->record_count();
+    fingerprint[prefix + "neighbors"] = inr->topology().NeighborAddresses().size();
+    fingerprint[prefix + "now_us"] = static_cast<uint64_t>(cluster.loop().Now().count());
+  }
+  fingerprint["dropped"] = cluster.net().total_datagrams_dropped();
+  return fingerprint;
+}
+
+TEST(DeterminismTest, SameSeedSameUniverse) {
+  auto run1 = RunScenario(42);
+  auto run2 = RunScenario(42);
+  EXPECT_EQ(run1, run2);
+}
+
+TEST(DeterminismTest, DifferentSeedDiverges) {
+  // With 2% loss, different seeds drop different packets; at least one
+  // observable differs (this guards against the seed being ignored).
+  auto run1 = RunScenario(1);
+  auto run2 = RunScenario(2);
+  EXPECT_NE(run1, run2);
+}
+
+}  // namespace
+}  // namespace ins

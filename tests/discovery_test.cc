@@ -1,0 +1,270 @@
+// Tests for the name-discovery protocol: advertisement handling, soft-state
+// expiry, periodic + triggered dissemination across the overlay, route
+// metric accumulation, and mobility.
+
+#include <gtest/gtest.h>
+
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+Advertisement MakeAd(const std::string& name_text, const NodeAddress& endpoint,
+                     uint32_t discriminator = 0, double metric = 0.0,
+                     uint64_t version = 1) {
+  Advertisement ad;
+  ad.name_text = name_text;
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, discriminator};
+  ad.endpoint.address = endpoint;
+  ad.endpoint.bindings = {{8080, "http"}};
+  ad.app_metric = metric;
+  ad.lifetime_s = 45;
+  ad.version = version;
+  return ad;
+}
+
+TEST(DiscoveryTest, AdvertisementGraftsIntoTree) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  svc->Send(inr->address(),
+            Envelope{MessageBody(MakeAd("[service=camera][room=510]", svc->address()))});
+  cluster.Settle();
+
+  const NameTree* tree = inr->vspaces().Tree("");
+  ASSERT_EQ(tree->record_count(), 1u);
+  auto recs = tree->Lookup(*ParseNameSpecifier("[room=510]"));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0]->endpoint.address, svc->address());
+  EXPECT_TRUE(recs[0]->route.IsLocal());
+}
+
+TEST(DiscoveryTest, MalformedAdvertisementCounted) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(inr->address(), Envelope{MessageBody(MakeAd("[[[", svc->address()))});
+  cluster.Settle();
+  EXPECT_EQ(inr->metrics().Counter("discovery.bad_advertisements"), 1u);
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 0u);
+}
+
+TEST(DiscoveryTest, SoftStateExpiresWithoutRefresh) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  Advertisement ad = MakeAd("[service=camera]", svc->address());
+  ad.lifetime_s = 10;
+  svc->Send(inr->address(), Envelope{MessageBody(ad)});
+  cluster.loop().RunFor(Seconds(5));
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+  cluster.loop().RunFor(Seconds(15));
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 0u);
+  EXPECT_EQ(inr->metrics().Counter("discovery.names_expired"), 1u);
+}
+
+TEST(DiscoveryTest, PeriodicRefreshKeepsNameAlive) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  Advertisement ad = MakeAd("[service=camera]", svc->address());
+  ad.lifetime_s = 10;
+  for (int i = 0; i < 8; ++i) {
+    ad.version++;
+    svc->Send(inr->address(), Envelope{MessageBody(ad)});
+    cluster.loop().RunFor(Seconds(5));
+  }
+  EXPECT_EQ(inr->vspaces().Tree("")->record_count(), 1u);
+}
+
+TEST(DiscoveryTest, TriggeredUpdatePropagatesNewNameQuickly) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  TimePoint advertised_at = cluster.loop().Now();
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address()))});
+  // Well under one periodic interval (15 s): triggered updates do the work.
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 1u);
+  EXPECT_LT(cluster.loop().Now() - advertised_at, Seconds(2));
+
+  // The remote record routes back through a.
+  auto recs = b->vspaces().Tree("")->Lookup(*ParseNameSpecifier("[service=camera]"));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_FALSE(recs[0]->route.IsLocal());
+  EXPECT_EQ(recs[0]->route.next_hop_inr, a->address());
+  EXPECT_GT(recs[0]->route.overlay_metric, 0.0);
+}
+
+TEST(DiscoveryTest, PeriodicUpdatesAloneConvergeWhenTriggeredDisabled) {
+  ClusterOptions options;
+  options.inr_template.discovery.triggered_updates = false;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address()))});
+  cluster.loop().RunFor(Seconds(2));
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 0u);  // not yet
+  cluster.loop().RunFor(Seconds(20));                    // one periodic interval
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 1u);
+}
+
+TEST(DiscoveryTest, RemoteRecordsExpireWhenSourceInrDies) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  // Keep the service refreshing at a so only b's copy can die.
+  Advertisement ad = MakeAd("[service=camera]", svc->address());
+  svc->Send(a->address(), Envelope{MessageBody(ad)});
+  cluster.loop().RunFor(Seconds(2));
+  ASSERT_EQ(b->vspaces().Tree("")->record_count(), 1u);
+
+  cluster.RemoveInr(a);
+  // No more refreshes reach b; the record times out (45 s lifetime).
+  cluster.loop().RunFor(Seconds(60));
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 0u);
+}
+
+TEST(DiscoveryTest, MetricAccumulatesAcrossHops) {
+  SimCluster cluster;
+  // Chain: a - b - c with 10 ms links (force join order adjacency by
+  // making non-adjacent links slow).
+  cluster.net().SetDefaultLink({Milliseconds(10), 0, 0});
+  cluster.net().SetLink(MakeAddress(1).ip, MakeAddress(3).ip, {Milliseconds(200), 0, 0});
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology();
+  ASSERT_EQ(c->topology().parent(), b->address());
+
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address()))});
+  cluster.loop().RunFor(Seconds(2));
+
+  auto query = *ParseNameSpecifier("[service=camera]");
+  auto at_b = b->vspaces().Tree("")->Lookup(query);
+  auto at_c = c->vspaces().Tree("")->Lookup(query);
+  ASSERT_EQ(at_b.size(), 1u);
+  ASSERT_EQ(at_c.size(), 1u);
+  // c's route metric includes one more RTT-based hop than b's.
+  EXPECT_GT(at_c[0]->route.overlay_metric, at_b[0]->route.overlay_metric);
+  EXPECT_EQ(at_c[0]->route.next_hop_inr, b->address());
+}
+
+TEST(DiscoveryTest, ServiceMobilityReplacesNameEverywhere) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[service=camera][room=510]", svc->address(), 0, 0, 1))});
+  cluster.loop().RunFor(Seconds(1));
+  ASSERT_EQ(b->vspaces().Tree("")->Lookup(*ParseNameSpecifier("[room=510]")).size(), 1u);
+
+  // The camera moves to room 520 (same announcer, higher version).
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[service=camera][room=520]", svc->address(), 0, 0, 2))});
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_TRUE(b->vspaces().Tree("")->Lookup(*ParseNameSpecifier("[room=510]")).empty());
+  EXPECT_EQ(b->vspaces().Tree("")->Lookup(*ParseNameSpecifier("[room=520]")).size(), 1u);
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 1u);
+}
+
+TEST(DiscoveryTest, NodeMobilityUpdatesEndpointAddress) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address(), 0, 0, 1))});
+  cluster.Settle();
+
+  // The node's address changes; it re-announces from the new location.
+  Advertisement moved = MakeAd("[service=camera]", MakeAddress(99), 0, 0, 2);
+  moved.announcer = AnnouncerId{svc->address().ip, 1000, 0};  // same announcer
+  svc->Send(a->address(), Envelope{MessageBody(moved)});
+  cluster.Settle();
+
+  auto recs = a->vspaces().Tree("")->Lookup(*ParseNameSpecifier("[service=camera]"));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0]->endpoint.address, MakeAddress(99));
+}
+
+TEST(DiscoveryTest, IdenticalNamesFromTwoAnnouncersPropagate) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto s1 = cluster.AddEndpoint(10);
+  auto s2 = cluster.AddEndpoint(11);
+  s1->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", s1->address()))});
+  s2->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", s2->address()))});
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 2u);
+}
+
+TEST(DiscoveryTest, NewNeighborReceivesFullState) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  for (int i = 0; i < 5; ++i) {
+    svc->Send(a->address(),
+              Envelope{MessageBody(MakeAd("[service=camera][id=c" + std::to_string(i) + "]",
+                                          svc->address(), static_cast<uint32_t>(i)))});
+  }
+  cluster.Settle();
+
+  // b joins later and should learn everything promptly via the
+  // neighbor-up full-state push, not after a periodic interval.
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(2));
+  EXPECT_EQ(b->vspaces().Tree("")->record_count(), 5u);
+}
+
+TEST(DiscoveryTest, GetNameExtractionFeedsUpdates) {
+  // The names b learns are byte-identical to those advertised at a,
+  // proving GET-NAME reconstructs specifiers faithfully on the wire path.
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  const std::string name =
+      "[accessibility=public]"
+      "[city=washington[building=whitehouse[wing=west[room=oval-office]]]]"
+      "[service=camera[data-type=picture[format=jpg]][resolution=640x480]]";
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd(name, svc->address()))});
+  cluster.loop().RunFor(Seconds(1));
+
+  const NameTree* tree = b->vspaces().Tree("");
+  ASSERT_EQ(tree->record_count(), 1u);
+  EXPECT_EQ(tree->ExtractName(tree->AllRecords()[0]).ToString(), name);
+}
+
+}  // namespace
+}  // namespace ins

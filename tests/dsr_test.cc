@@ -1,0 +1,145 @@
+// Tests for the Domain Space Resolver.
+
+#include <gtest/gtest.h>
+
+#include "ins/overlay/dsr.h"
+#include "ins/sim/event_loop.h"
+#include "ins/sim/network.h"
+
+namespace ins {
+namespace {
+
+struct DsrFixture {
+  sim::EventLoop loop;
+  sim::Network net{&loop, 3};
+  std::unique_ptr<sim::Network::Socket> dsr_socket = net.Bind(MakeAddress(100));
+  Dsr dsr{&loop, dsr_socket.get()};
+
+  std::unique_ptr<sim::Network::Socket> client_socket = net.Bind(MakeAddress(50));
+  std::vector<Envelope> responses;
+
+  DsrFixture() {
+    net.SetDefaultLink({Milliseconds(1), 0, 0});
+    client_socket->SetReceiveHandler([this](const NodeAddress&, const Bytes& data) {
+      auto env = DecodeMessage(data);
+      ASSERT_TRUE(env.ok());
+      responses.push_back(std::move(*env));
+    });
+  }
+
+  void Register(uint32_t host, std::vector<std::string> vspaces, uint32_t lifetime = 60,
+                bool active = true) {
+    DsrRegister reg;
+    reg.inr = MakeAddress(host);
+    reg.active = active;
+    reg.vspaces = std::move(vspaces);
+    reg.lifetime_s = lifetime;
+    client_socket->Send(MakeAddress(100), Encode(reg));
+    loop.RunFor(Milliseconds(50));
+  }
+};
+
+TEST(DsrTest, RegistrationsAppearInJoinOrder) {
+  DsrFixture f;
+  f.Register(3, {""});
+  f.Register(1, {""});
+  f.Register(2, {""});
+  EXPECT_EQ(f.dsr.ActiveInrs(),
+            (std::vector<NodeAddress>{MakeAddress(3), MakeAddress(1), MakeAddress(2)}));
+}
+
+TEST(DsrTest, RefreshKeepsJoinOrder) {
+  DsrFixture f;
+  f.Register(3, {""});
+  f.Register(1, {""});
+  f.Register(3, {""});  // refresh, not rejoin
+  EXPECT_EQ(f.dsr.ActiveInrs(),
+            (std::vector<NodeAddress>{MakeAddress(3), MakeAddress(1)}));
+}
+
+TEST(DsrTest, ListRequestAnswered) {
+  DsrFixture f;
+  f.Register(1, {""});
+  f.Register(2, {""});
+  f.client_socket->Send(MakeAddress(100), Encode(DsrListRequest{42}));
+  f.loop.RunFor(Milliseconds(50));
+  ASSERT_EQ(f.responses.size(), 1u);
+  const auto& resp = std::get<DsrListResponse>(f.responses[0].body);
+  EXPECT_EQ(resp.request_id, 42u);
+  EXPECT_EQ(resp.active_inrs, (std::vector<NodeAddress>{MakeAddress(1), MakeAddress(2)}));
+}
+
+TEST(DsrTest, VspaceLookupPrefersEarliestRegistrant) {
+  DsrFixture f;
+  f.Register(1, {"cams"});
+  f.Register(2, {"cams", "printers"});
+  EXPECT_EQ(f.dsr.InrForVspace("cams"), MakeAddress(1));
+  EXPECT_EQ(f.dsr.InrForVspace("printers"), MakeAddress(2));
+  EXPECT_EQ(f.dsr.InrForVspace("nope"), kInvalidAddress);
+
+  f.client_socket->Send(MakeAddress(100), Encode(DsrVspaceRequest{7, "printers"}));
+  f.loop.RunFor(Milliseconds(50));
+  ASSERT_EQ(f.responses.size(), 1u);
+  const auto& resp = std::get<DsrVspaceResponse>(f.responses[0].body);
+  EXPECT_EQ(resp.inr, MakeAddress(2));
+  EXPECT_EQ(resp.vspace, "printers");
+}
+
+TEST(DsrTest, SoftStateExpiry) {
+  DsrFixture f;
+  f.Register(1, {""}, /*lifetime=*/10);
+  f.Register(2, {""}, /*lifetime=*/60);
+  EXPECT_EQ(f.dsr.ActiveInrs().size(), 2u);
+  f.loop.RunFor(Seconds(20));  // sweeps run every 5 s
+  EXPECT_EQ(f.dsr.ActiveInrs(), std::vector<NodeAddress>{MakeAddress(2)});
+}
+
+TEST(DsrTest, RefreshPreventsExpiry) {
+  DsrFixture f;
+  f.Register(1, {""}, 10);
+  for (int i = 0; i < 5; ++i) {
+    f.loop.RunFor(Seconds(6));
+    f.Register(1, {""}, 10);
+  }
+  EXPECT_EQ(f.dsr.ActiveInrs().size(), 1u);
+}
+
+TEST(DsrTest, ZeroLifetimeUnregisters) {
+  DsrFixture f;
+  f.Register(1, {""});
+  f.Register(2, {""});
+  f.Register(1, {""}, /*lifetime=*/0);
+  EXPECT_EQ(f.dsr.ActiveInrs(), std::vector<NodeAddress>{MakeAddress(2)});
+}
+
+TEST(DsrTest, CandidatesTrackedSeparately) {
+  DsrFixture f;
+  f.dsr.AddCandidate(MakeAddress(9));
+  f.Register(8, {}, 60, /*active=*/false);
+  EXPECT_EQ(f.dsr.Candidates(),
+            (std::vector<NodeAddress>{MakeAddress(8), MakeAddress(9)}));
+  EXPECT_TRUE(f.dsr.ActiveInrs().empty());
+
+  f.client_socket->Send(MakeAddress(100), Encode(DsrCandidatesRequest{5}));
+  f.loop.RunFor(Milliseconds(50));
+  ASSERT_EQ(f.responses.size(), 1u);
+  EXPECT_EQ(std::get<DsrCandidatesResponse>(f.responses[0].body).candidates.size(), 2u);
+}
+
+TEST(DsrTest, ActivationRemovesFromCandidates) {
+  DsrFixture f;
+  f.dsr.AddCandidate(MakeAddress(9));
+  f.Register(9, {""});
+  EXPECT_TRUE(f.dsr.Candidates().empty());
+  EXPECT_EQ(f.dsr.ActiveInrs(), std::vector<NodeAddress>{MakeAddress(9)});
+}
+
+TEST(DsrTest, GarbageIgnored) {
+  DsrFixture f;
+  f.client_socket->Send(MakeAddress(100), Bytes{0xde, 0xad});
+  f.loop.RunFor(Milliseconds(50));
+  EXPECT_EQ(f.dsr.metrics().Counter("dsr.decode_errors"), 1u);
+}
+
+}  // namespace
+}  // namespace ins

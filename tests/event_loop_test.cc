@@ -1,0 +1,112 @@
+// Tests for the deterministic discrete-event loop.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ins/sim/event_loop.h"
+
+namespace ins::sim {
+namespace {
+
+TEST(EventLoopTest, StartsAtZeroAndIdle) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now().count(), 0);
+  EXPECT_FALSE(loop.Step());
+  EXPECT_EQ(loop.RunUntilIdle(), 0u);
+}
+
+TEST(EventLoopTest, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(Milliseconds(30), [&] { order.push_back(3); });
+  loop.ScheduleAt(Milliseconds(10), [&] { order.push_back(1); });
+  loop.ScheduleAt(Milliseconds(20), [&] { order.push_back(2); });
+  EXPECT_EQ(loop.RunUntilIdle(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), Milliseconds(30));
+}
+
+TEST(EventLoopTest, SameTimeRunsInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAt(Milliseconds(10), [&order, i] { order.push_back(i); });
+  }
+  loop.RunUntilIdle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, PastSchedulesClampToNow) {
+  EventLoop loop;
+  loop.ScheduleAt(Milliseconds(50), [] {});
+  loop.RunUntilIdle();
+  bool ran = false;
+  loop.ScheduleAt(Milliseconds(10), [&] { ran = true; });  // in the past
+  loop.RunUntilIdle();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.Now(), Milliseconds(50));  // time did not go backwards
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  TaskId id = loop.ScheduleAfter(Milliseconds(5), [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // already gone
+  loop.RunUntilIdle();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, CancelAfterRunReturnsFalse) {
+  EventLoop loop;
+  TaskId id = loop.ScheduleAfter(Milliseconds(1), [] {});
+  loop.RunUntilIdle();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, TasksCanScheduleTasks) {
+  EventLoop loop;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) {
+      loop.ScheduleAfter(Milliseconds(10), step);
+    }
+  };
+  loop.ScheduleAfter(Milliseconds(10), step);
+  loop.RunUntilIdle();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(loop.Now(), Milliseconds(50));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    ++count;
+    loop.ScheduleAfter(Milliseconds(10), tick);
+  };
+  loop.ScheduleAfter(Milliseconds(10), tick);
+  loop.RunUntil(Milliseconds(35));
+  EXPECT_EQ(count, 3);  // t=10,20,30
+  EXPECT_EQ(loop.Now(), Milliseconds(35));
+  loop.RunFor(Milliseconds(10));  // to t=45: tick at 40
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.RunUntil(Seconds(100));
+  EXPECT_EQ(loop.Now(), Seconds(100));
+}
+
+TEST(EventLoopTest, RunUntilIdleHonorsEventCap) {
+  EventLoop loop;
+  std::function<void()> forever = [&] { loop.ScheduleAfter(Milliseconds(1), forever); };
+  loop.ScheduleAfter(Milliseconds(1), forever);
+  EXPECT_EQ(loop.RunUntilIdle(100), 100u);
+  EXPECT_EQ(loop.pending_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ins::sim

@@ -1,0 +1,144 @@
+// Tests for the Floorplan discovery tool and the Locator map service.
+
+#include <gtest/gtest.h>
+
+#include "ins/apps/camera.h"
+#include "ins/apps/floorplan.h"
+#include "ins/apps/printer.h"
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct FloorplanFixture {
+  FloorplanFixture() {
+    inr = cluster.AddInr(1);
+    cluster.StabilizeTopology();
+  }
+  SimCluster cluster;
+  Inr* inr;
+};
+
+TEST(FloorplanTest, DiscoversServicesAsIcons) {
+  FloorplanFixture f;
+  AppHost cam_host(&f.cluster, 10, f.inr->address());
+  AppHost prn_host(&f.cluster, 11, f.inr->address());
+  AppHost ui_host(&f.cluster, 20, f.inr->address());
+
+  CameraTransmitter cam(cam_host.client.get(), "a", "510");
+  PrinterSpooler printer(prn_host.client.get(), "lw1", "517");
+  FloorplanApp ui(ui_host.client.get(), "disp1");
+  f.cluster.Settle();
+
+  Status status = InternalError("not called");
+  ui.Refresh([&](Status s) { status = s; });
+  f.cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+
+  ASSERT_EQ(ui.icons().size(), 2u);
+  int cameras = 0;
+  int printers = 0;
+  for (const auto& [key, icon] : ui.icons()) {
+    if (icon.service == "camera") {
+      ++cameras;
+      EXPECT_EQ(icon.room, "510");
+    }
+    if (icon.service == "printer") {
+      ++printers;
+      EXPECT_EQ(icon.room, "517");
+    }
+  }
+  EXPECT_EQ(cameras, 1);
+  EXPECT_EQ(printers, 1);
+}
+
+TEST(FloorplanTest, FilterRestrictsIcons) {
+  FloorplanFixture f;
+  AppHost cams(&f.cluster, 10, f.inr->address());
+  AppHost ui_host(&f.cluster, 20, f.inr->address());
+  CameraTransmitter c1(cams.client.get(), "a", "510");
+  // A second client host for the second camera (one OnData handler each).
+  AppHost cams2(&f.cluster, 11, f.inr->address());
+  CameraTransmitter c2(cams2.client.get(), "b", "520");
+  FloorplanApp ui(ui_host.client.get(), "disp1");
+  f.cluster.Settle();
+
+  NameSpecifier filter;
+  filter.AddPath({{"room", "510"}});
+  ui.SetFilter(filter);
+  ui.Refresh([](Status) {});
+  f.cluster.Settle();
+  ASSERT_EQ(ui.icons().size(), 1u);
+  EXPECT_EQ(ui.icons().begin()->second.room, "510");
+}
+
+TEST(FloorplanTest, IconsFollowSoftState) {
+  FloorplanFixture f;
+  AppHost ui_host(&f.cluster, 20, f.inr->address());
+  FloorplanApp ui(ui_host.client.get(), "disp1");
+  {
+    AppHost cam_host(&f.cluster, 10, f.inr->address());
+    CameraTransmitter cam(cam_host.client.get(), "a", "510");
+    f.cluster.Settle();
+    ui.Refresh([](Status) {});
+    f.cluster.Settle();
+    EXPECT_EQ(ui.icons().size(), 1u);
+  }
+  // The camera's host is gone; after the soft-state lifetime its icon
+  // disappears from the next refresh.
+  f.cluster.loop().RunFor(Seconds(60));
+  ui.Refresh([](Status) {});
+  f.cluster.Settle();
+  EXPECT_TRUE(ui.icons().empty());
+}
+
+TEST(FloorplanTest, LocatorServesMaps) {
+  FloorplanFixture f;
+  AppHost loc_host(&f.cluster, 10, f.inr->address());
+  AppHost ui_host(&f.cluster, 20, f.inr->address());
+  LocatorService locator(loc_host.client.get());
+  locator.AddMap("ne43-5", {0x4d, 0x41, 0x50});
+  FloorplanApp ui(ui_host.client.get(), "disp1");
+  f.cluster.Settle();
+
+  Status status = InternalError("not called");
+  Bytes map;
+  ui.RequestMap("ne43-5", [&](Status s, Bytes m) {
+    status = s;
+    map = std::move(m);
+  });
+  f.cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(map, (Bytes{0x4d, 0x41, 0x50}));
+  EXPECT_EQ(locator.requests_served(), 1u);
+}
+
+TEST(FloorplanTest, UnknownRegionReportsNotFound) {
+  FloorplanFixture f;
+  AppHost loc_host(&f.cluster, 10, f.inr->address());
+  AppHost ui_host(&f.cluster, 20, f.inr->address());
+  LocatorService locator(loc_host.client.get());
+  FloorplanApp ui(ui_host.client.get(), "disp1");
+  f.cluster.Settle();
+
+  Status status;
+  ui.RequestMap("atlantis", [&](Status s, Bytes) { status = s; });
+  f.cluster.Settle();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,146 @@
+// Tests for the GET-NAME extraction algorithm (paper Figure 6): extracting a
+// record's name-specifier from the superposed name-tree must reproduce the
+// originally grafted specifier exactly, for every record, under churn.
+
+#include <gtest/gtest.h>
+
+#include "ins/name/parser.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+AnnouncerId Id(uint32_t n) { return AnnouncerId{0x0a000000u + n, 1000, 0}; }
+
+NameRecord Rec(uint32_t n) {
+  NameRecord r;
+  r.announcer = Id(n);
+  r.endpoint.address = MakeAddress(n);
+  r.expires = Seconds(3600);
+  r.version = 1;
+  return r;
+}
+
+TEST(GetNameTest, SingleChain) {
+  NameTree t;
+  NameSpecifier ad = P("[service=camera[entity=transmitter[id=a]]]");
+  t.Upsert(ad, Rec(1));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), ad);
+}
+
+TEST(GetNameTest, MultipleLeavesShareTrace) {
+  // The specifier forks: GET-NAME must trace up from each leaf and graft onto
+  // the already-reconstructed part (the paper's Figure 7 situation).
+  NameTree t;
+  NameSpecifier ad = P(
+      "[service=camera[data-type=picture[format=jpg]][resolution=640x480]]"
+      "[room=510]");
+  t.Upsert(ad, Rec(1));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), ad);
+}
+
+TEST(GetNameTest, SuperpositionDoesNotBleedAcrossRecords) {
+  NameTree t;
+  NameSpecifier a = P("[service=camera[id=a]][room=510]");
+  NameSpecifier b = P("[service=camera[id=b]][room=510]");
+  NameSpecifier c = P("[service=printer][room=517]");
+  t.Upsert(a, Rec(1));
+  t.Upsert(b, Rec(2));
+  t.Upsert(c, Rec(3));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), a);
+  EXPECT_EQ(t.ExtractName(t.Find(Id(2))), b);
+  EXPECT_EQ(t.ExtractName(t.Find(Id(3))), c);
+}
+
+TEST(GetNameTest, SharedLeafValueNode) {
+  // Two records end at the same leaf value-node.
+  NameTree t;
+  NameSpecifier same = P("[service=camera][room=510]");
+  t.Upsert(same, Rec(1));
+  t.Upsert(same, Rec(2));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), same);
+  EXPECT_EQ(t.ExtractName(t.Find(Id(2))), same);
+}
+
+TEST(GetNameTest, InteriorRecordExtractsPrefixOnly) {
+  NameTree t;
+  NameSpecifier shallow = P("[service=camera]");
+  NameSpecifier deep = P("[service=camera[id=b]]");
+  t.Upsert(shallow, Rec(1));
+  t.Upsert(deep, Rec(2));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), shallow);
+  EXPECT_EQ(t.ExtractName(t.Find(Id(2))), deep);
+}
+
+TEST(GetNameTest, WildcardLeafRoundTrips) {
+  // Receivers may advertise an any-value id (used by Camera subscriptions).
+  NameTree t;
+  NameSpecifier ad = P("[service=camera[entity=receiver[id=*]]]");
+  t.Upsert(ad, Rec(1));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(1))), ad);
+}
+
+TEST(GetNameTest, SurvivesNeighborRemoval) {
+  NameTree t;
+  NameSpecifier a = P("[service=camera[id=a]][room=510]");
+  NameSpecifier b = P("[service=camera[id=b]][room=510]");
+  t.Upsert(a, Rec(1));
+  t.Upsert(b, Rec(2));
+  t.Remove(Id(1));
+  EXPECT_EQ(t.ExtractName(t.Find(Id(2))), b);
+}
+
+// Property sweep: graft/extract is the identity for random specifiers, at
+// every churn step, for every live record.
+class GetNameRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GetNameRoundTripTest, ExtractReturnsGraftedName) {
+  Rng rng(GetParam());
+  NameTree tree;
+  std::vector<std::pair<uint32_t, NameSpecifier>> live;
+  uint64_t version = 1;
+  for (int step = 0; step < 150; ++step) {
+    if (rng.NextDouble() < 0.65 || live.empty()) {
+      uint32_t id = static_cast<uint32_t>(rng.NextBelow(40)) + 1;
+      NameSpecifier ad = GenerateUniformName(rng, {4, 3, 2, 3});
+      NameRecord r = Rec(id);
+      r.version = version++;
+      tree.Upsert(ad, r);
+      bool found = false;
+      for (auto& [lid, lad] : live) {
+        if (lid == id) {
+          lad = ad;
+          found = true;
+        }
+      }
+      if (!found) {
+        live.emplace_back(id, ad);
+      }
+    } else {
+      size_t k = rng.NextBelow(live.size());
+      tree.Remove(Id(live[k].first));
+      live.erase(live.begin() + static_cast<long>(k));
+    }
+    for (const auto& [id, ad] : live) {
+      const NameRecord* rec = tree.Find(Id(id));
+      ASSERT_NE(rec, nullptr);
+      NameSpecifier extracted = tree.ExtractName(rec);
+      ASSERT_EQ(extracted, ad)
+          << "id " << id << "\nexpected: " << ad.ToString()
+          << "\nextracted: " << extracted.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GetNameRoundTripTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace ins

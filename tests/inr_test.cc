@@ -1,0 +1,169 @@
+// Resolver-level edge cases: message hygiene, stopped-resolver silence,
+// hop-limit loop protection, introspection, and lifecycle.
+
+#include <gtest/gtest.h>
+
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+Advertisement MakeAd(const std::string& name_text, const NodeAddress& endpoint) {
+  Advertisement ad;
+  ad.name_text = name_text;
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, 0};
+  ad.endpoint.address = endpoint;
+  ad.lifetime_s = 45;
+  ad.version = 1;
+  return ad;
+}
+
+TEST(InrTest, GarbageDatagramsCounted) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(10);
+  peer->socket().Send(inr->address(), Bytes{0xff, 0x00, 0x13});
+  peer->socket().Send(inr->address(), Bytes{});
+  cluster.Settle();
+  EXPECT_EQ(inr->metrics().Counter("inr.decode_errors"), 2u);
+}
+
+TEST(InrTest, StoppedResolverIsSilent) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(10);
+
+  inr->Stop();
+  cluster.Settle();
+  peer->Send(inr->address(), Envelope{MessageBody(Ping{1, 2})});
+  peer->Send(inr->address(), Envelope{MessageBody(MakeAd("[a=1]", peer->address()))});
+  cluster.Settle();
+  EXPECT_TRUE(peer->ReceivedOf<Pong>().empty());
+  EXPECT_GE(inr->metrics().Counter("inr.messages_while_stopped"), 2u);
+}
+
+TEST(InrTest, StartStopStartLifecycle) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  inr->Stop();
+  cluster.loop().RunFor(Seconds(10));
+  EXPECT_TRUE(cluster.dsr().ActiveInrs().empty());
+
+  inr->Start();
+  cluster.loop().RunFor(Seconds(5));
+  EXPECT_TRUE(inr->running());
+  EXPECT_TRUE(inr->topology().joined());
+  EXPECT_EQ(cluster.dsr().ActiveInrs().size(), 1u);
+}
+
+TEST(InrTest, BadDiscoveryFilterCounted) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto client = cluster.AddEndpoint(10);
+  DiscoveryRequest req;
+  req.request_id = 1;
+  req.filter_text = "[[[broken";
+  client->Send(inr->address(), Envelope{MessageBody(req)});
+  cluster.Settle();
+  EXPECT_EQ(inr->metrics().Counter("inr.bad_discovery_filters"), 1u);
+  EXPECT_TRUE(client->ReceivedOf<DiscoveryResponse>().empty());
+}
+
+TEST(InrTest, ForgedRoutingLoopBoundedByHopLimit) {
+  // Two resolvers are tricked into pointing a record at each other (forged
+  // same-version better-metric updates from each side). A packet for that
+  // name must die by hop limit instead of looping forever.
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto attacker = cluster.AddEndpoint(10);
+
+  // Plant inconsistent routing state directly in each tree (the situation
+  // transient distance-vector inconsistency could produce).
+  for (auto [inr, via] : {std::pair{a, b->address()}, std::pair{b, a->address()}}) {
+    NameRecord rec;
+    rec.announcer = AnnouncerId{0x0b000000u, 1000, 0};
+    rec.endpoint.address = MakeAddress(99);
+    rec.route.next_hop_inr = via;  // each points at the other: a loop
+    rec.route.overlay_metric = 1.0;
+    rec.expires = cluster.loop().Now() + Seconds(600);
+    rec.version = 1;
+    inr->vspaces().Tree("")->Upsert(*ParseNameSpecifier("[service=ghost]"), rec);
+  }
+
+  Packet p;
+  p.destination_name = "[service=ghost]";
+  p.hop_limit = kDefaultHopLimit;
+  attacker->Send(a->address(), Envelope{MessageBody(p)});
+  cluster.loop().RunFor(Seconds(5));
+
+  // The packet bounced a<->b at most hop_limit times, then died.
+  uint64_t forwarded = a->metrics().Counter("forwarding.tunneled") +
+                       b->metrics().Counter("forwarding.tunneled");
+  EXPECT_LE(forwarded, static_cast<uint64_t>(kDefaultHopLimit));
+  EXPECT_EQ(a->metrics().Counter("forwarding.hop_limit_exceeded") +
+                b->metrics().Counter("forwarding.hop_limit_exceeded"),
+            1u);
+}
+
+TEST(InrTest, DebugStringShowsDomainState) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1, {"", "cams"});
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address()))});
+  cluster.Settle();
+
+  std::string s = a->DebugString();
+  EXPECT_NE(s.find("INR 10.0.0.1"), std::string::npos);
+  EXPECT_NE(s.find(b->address().ToString()), std::string::npos);  // neighbor
+  EXPECT_NE(s.find("vspace ''"), std::string::npos);
+  EXPECT_NE(s.find("vspace 'cams'"), std::string::npos);
+  EXPECT_NE(s.find("camera"), std::string::npos);
+  EXPECT_NE(s.find("inr.messages"), std::string::npos);
+}
+
+TEST(InrTest, EarlyBindingWithNoMatchesReturnsEmptyList) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto client = cluster.AddEndpoint(10);
+  Packet req;
+  req.early_binding = true;
+  req.destination_name = "[service=unicorn]";
+  req.payload = EncodeEarlyBindingPayload(7, client->address());
+  client->Send(inr->address(), Envelope{MessageBody(req)});
+  cluster.Settle();
+  auto resps = client->ReceivedOf<EarlyBindingResponse>();
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].request_id, 7u);
+  EXPECT_TRUE(resps[0].items.empty());
+}
+
+TEST(InrTest, SelfAddressedPacketDelivers) {
+  // A service can anycast to its own name (degenerate but legal).
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(inr->address(), Envelope{MessageBody(MakeAd("[service=echo]", svc->address()))});
+  cluster.Settle();
+  Packet p;
+  p.destination_name = "[service=echo]";
+  p.payload = {1};
+  svc->Send(inr->address(), Envelope{MessageBody(p)});
+  cluster.Settle();
+  EXPECT_EQ(svc->ReceivedOf<Packet>().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,174 @@
+// Tests for load balancing: spawning a helper resolver under lookup load,
+// delegating a virtual space under update load, and idle termination.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+Advertisement MakeAd(const std::string& name_text, const NodeAddress& endpoint,
+                     uint32_t discriminator = 0) {
+  Advertisement ad;
+  ad.name_text = name_text;
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, discriminator};
+  ad.endpoint.address = endpoint;
+  ad.lifetime_s = 45;
+  ad.version = 1;
+  return ad;
+}
+
+Packet MakeData(const std::string& dst) {
+  Packet p;
+  p.destination_name = dst;
+  p.payload = {1};
+  return p;
+}
+
+// A candidate node that materializes a real Inr when asked to spawn.
+struct CandidateNode {
+  CandidateNode(SimCluster* cluster, uint32_t host_index) : cluster_(cluster) {
+    socket = cluster->net().Bind(MakeAddress(host_index));
+    listener = std::make_unique<SpawnListener>(
+        &cluster->loop(), socket.get(), cluster->dsr_address(),
+        [this](const SpawnRequest& req) {
+          InrConfig config;
+          config.dsr = cluster_->dsr_address();
+          config.vspaces = req.vspaces;
+          spawned = std::make_unique<Inr>(&cluster_->loop(), socket.get(), config);
+          spawned->Start();
+        });
+  }
+
+  SimCluster* cluster_;
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<SpawnListener> listener;
+  std::unique_ptr<Inr> spawned;
+};
+
+TEST(LoadBalancerTest, LookupOverloadSpawnsHelper) {
+  ClusterOptions options;
+  options.inr_template.load_balancer.enabled = true;
+  options.inr_template.load_balancer.eval_interval = Seconds(5);
+  options.inr_template.load_balancer.spawn_lookups_per_sec = 10.0;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  CandidateNode candidate(&cluster, 40);
+  cluster.loop().RunFor(Seconds(1));  // candidate registers with the DSR
+
+  auto svc = cluster.AddEndpoint(10);
+  auto client = cluster.AddEndpoint(20);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=printer]", svc->address()))});
+  cluster.Settle();
+
+  // Hammer lookups: 100 per ~1 s >> threshold of 10/s.
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 100; ++i) {
+      client->Send(a->address(), Envelope{MessageBody(MakeData("[service=printer]"))});
+    }
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.loop().RunFor(Seconds(10));
+
+  EXPECT_GE(a->load_balancer().spawns_requested(), 1u);
+  ASSERT_NE(candidate.spawned, nullptr);
+  EXPECT_TRUE(candidate.listener->consumed());
+  // The spawned resolver joined the overlay and routes the same spaces.
+  cluster.loop().RunFor(Seconds(5));
+  EXPECT_TRUE(candidate.spawned->topology().joined());
+  EXPECT_TRUE(candidate.spawned->vspaces().Routes(""));
+}
+
+TEST(LoadBalancerTest, UpdateOverloadDelegatesHeaviestSpace) {
+  ClusterOptions options;
+  options.inr_template.load_balancer.enabled = true;
+  options.inr_template.load_balancer.eval_interval = Seconds(5);
+  options.inr_template.load_balancer.delegate_update_entries_per_sec = 5.0;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1, {"alpha", "beta"});
+  cluster.StabilizeTopology();
+  CandidateNode candidate(&cluster, 40);
+  cluster.loop().RunFor(Seconds(1));
+
+  auto peer = cluster.AddEndpoint(30);
+  // Flood name updates into beta (as if a busy neighbor kept pushing).
+  for (int round = 0; round < 8; ++round) {
+    NameUpdate u;
+    u.vspace = "beta";
+    for (int i = 0; i < 40; ++i) {
+      NameUpdateEntry e;
+      e.name_text = "[vspace=beta][s=n" + std::to_string(round * 40 + i) + "]";
+      e.announcer = AnnouncerId{0x0b000000u + static_cast<uint32_t>(round * 40 + i), 1, 0};
+      e.endpoint.address = MakeAddress(30);
+      e.lifetime_s = 45;
+      e.version = 1;
+      u.entries.push_back(std::move(e));
+    }
+    peer->Send(a->address(), Envelope{MessageBody(std::move(u))});
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.loop().RunFor(Seconds(10));
+
+  EXPECT_GE(a->load_balancer().delegations(), 1u);
+  EXPECT_FALSE(a->vspaces().Routes("beta"));  // shed
+  EXPECT_TRUE(a->vspaces().Routes("alpha"));  // kept
+  ASSERT_NE(candidate.spawned, nullptr);
+  EXPECT_TRUE(candidate.spawned->vspaces().Routes("beta"));
+  // The delegated space's names moved over.
+  cluster.loop().RunFor(Seconds(2));
+  EXPECT_GT(candidate.spawned->vspaces().Tree("beta")->record_count(), 0u);
+}
+
+TEST(LoadBalancerTest, NoCandidatesMeansNoSpawn) {
+  ClusterOptions options;
+  options.inr_template.load_balancer.enabled = true;
+  options.inr_template.load_balancer.eval_interval = Seconds(5);
+  options.inr_template.load_balancer.spawn_lookups_per_sec = 1.0;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  auto client = cluster.AddEndpoint(20);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[s=1]", svc->address()))});
+  cluster.Settle();
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      client->Send(a->address(), Envelope{MessageBody(MakeData("[s=1]"))});
+    }
+    cluster.loop().RunFor(Seconds(2));
+  }
+  EXPECT_EQ(a->load_balancer().spawns_requested(), 0u);
+  EXPECT_GT(a->metrics().Counter("lb.no_candidates"), 0u);
+}
+
+TEST(LoadBalancerTest, IdleResolverTerminatesGracefully) {
+  ClusterOptions options;
+  options.inr_template.load_balancer.enabled = true;
+  options.inr_template.load_balancer.eval_interval = Seconds(5);
+  options.inr_template.load_balancer.terminate_below_lookups_per_sec = 1.0;
+  options.inr_template.load_balancer.idle_intervals_before_terminate = 2;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  EXPECT_TRUE(a->running());
+  cluster.loop().RunFor(Seconds(30));
+  EXPECT_FALSE(a->running());
+  cluster.loop().RunFor(Seconds(1));
+  EXPECT_TRUE(cluster.dsr().ActiveInrs().empty());
+}
+
+TEST(LoadBalancerTest, DisabledDoesNothing) {
+  SimCluster cluster;  // load balancer disabled by default
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(60));
+  EXPECT_TRUE(a->running());
+  EXPECT_EQ(a->load_balancer().spawns_requested(), 0u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,106 @@
+// Unit tests for specifier-vs-specifier matching semantics (paper §2.3.2).
+
+#include <gtest/gtest.h>
+
+#include "ins/name/matcher.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+TEST(MatcherTest, ExactMatch) {
+  EXPECT_TRUE(Matches(P("[service=camera]"), P("[service=camera]")));
+  EXPECT_FALSE(Matches(P("[service=camera]"), P("[service=printer]")));
+}
+
+TEST(MatcherTest, EmptyQueryMatchesEverything) {
+  EXPECT_TRUE(Matches(P("[service=camera[id=a]]"), P("")));
+}
+
+TEST(MatcherTest, OmittedQueryAttributesAreWildcards) {
+  // Advertisement is more specific than the query.
+  EXPECT_TRUE(Matches(P("[service=camera[id=a]][room=510]"), P("[service=camera]")));
+  EXPECT_TRUE(Matches(P("[service=camera[id=a]][room=510]"), P("[room=510]")));
+}
+
+TEST(MatcherTest, OmittedAdvertisementAttributesAreWildcards) {
+  // Advertisement chain is a prefix of the query chain: matches, because
+  // LOOKUP-NAME unions records attached at interior value-nodes.
+  EXPECT_TRUE(Matches(P("[service=camera]"), P("[service=camera[id=a]]")));
+  // Query attribute entirely absent from the advertisement: no constraint.
+  EXPECT_TRUE(Matches(P("[service=camera]"), P("[service=camera][room=510]")));
+}
+
+TEST(MatcherTest, ValueMismatchAtAnyLevelFails) {
+  EXPECT_FALSE(Matches(P("[service=camera[id=a]]"), P("[service=camera[id=b]]")));
+  EXPECT_FALSE(Matches(P("[a=1[b=2[c=3]]]"), P("[a=1[b=2[c=4]]]")));
+}
+
+TEST(MatcherTest, WildcardQueryValue) {
+  EXPECT_TRUE(Matches(P("[service=camera[id=a]]"), P("[service=camera[id=*]]")));
+  EXPECT_TRUE(Matches(P("[service=printer]"), P("[service=*]")));
+}
+
+TEST(MatcherTest, PairsBelowWildcardAreIgnored) {
+  // Per the paper, av-pairs after a wildcard are ignored (single pass).
+  EXPECT_TRUE(Matches(P("[room=510]"), P("[room=*[floor=9]]")));
+}
+
+TEST(MatcherTest, RangeQueryValues) {
+  EXPECT_TRUE(Matches(P("[service=printer[load=3]]"), P("[service=printer[load<5]]")));
+  EXPECT_FALSE(Matches(P("[service=printer[load=7]]"), P("[service=printer[load<5]]")));
+  EXPECT_TRUE(Matches(P("[load=5]"), P("[load<=5]")));
+  EXPECT_FALSE(Matches(P("[load=5]"), P("[load<5]")));
+  EXPECT_TRUE(Matches(P("[load=10]"), P("[load>=10]")));
+  // Non-numeric advertised value never satisfies a range.
+  EXPECT_FALSE(Matches(P("[load=idle]"), P("[load<5]")));
+}
+
+TEST(MatcherTest, PaperFigure2Example) {
+  const char* kAd =
+      "[city=washington[building=whitehouse[wing=west[room=oval-office]]]]"
+      "[service=camera[data-type=picture[format=jpg]][resolution=640x480]]"
+      "[accessibility=public]";
+  // All public 640x480 cameras in the West Wing (room wildcarded).
+  const char* kQuery =
+      "[city=washington[building=whitehouse[wing=west[room=*]]]]"
+      "[service=camera[resolution=640x480]][accessibility=public]";
+  EXPECT_TRUE(Matches(P(kAd), P(kQuery)));
+
+  // Different wing does not match.
+  const char* kEastQuery =
+      "[city=washington[building=whitehouse[wing=east[room=*]]]]";
+  EXPECT_FALSE(Matches(P(kAd), P(kEastQuery)));
+}
+
+TEST(MatcherTest, OrthogonalBranchesCheckedIndependently) {
+  NameSpecifier ad = P("[service=camera[data-type=picture][resolution=640x480]]");
+  EXPECT_TRUE(Matches(ad, P("[service=camera[resolution=640x480]]")));
+  EXPECT_TRUE(Matches(ad, P("[service=camera[data-type=picture]]")));
+  EXPECT_FALSE(Matches(ad, P("[service=camera[resolution=800x600]]")));
+}
+
+TEST(MatcherTest, AdvertisedWildcardMatchesAnyQueryValue) {
+  // An advertisement may declare "any value" for an attribute.
+  EXPECT_TRUE(Matches(P("[service=camera[id=*]]"), P("[service=camera[id=xyz]]")));
+}
+
+TEST(MatcherTest, MatchIsNotSymmetric) {
+  NameSpecifier general = P("[service=camera]");
+  NameSpecifier specific = P("[service=camera[id=a]]");
+  EXPECT_TRUE(Matches(general, specific));   // ad prefix of query: match
+  EXPECT_TRUE(Matches(specific, general));   // query prefix of ad: match
+  NameSpecifier wild = P("[service=*]");
+  EXPECT_TRUE(Matches(specific, wild));
+  // But a literal query does not accept a differing literal ad.
+  EXPECT_FALSE(Matches(P("[service=printer]"), P("[service=camera]")));
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,198 @@
+// Round-trip tests for every control-plane message codec.
+
+#include <gtest/gtest.h>
+
+#include "ins/wire/messages.h"
+
+namespace ins {
+namespace {
+
+template <typename T>
+T RoundTrip(const T& body) {
+  Bytes encoded = Encode(body);
+  auto decoded = DecodeMessage(encoded);
+  EXPECT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE(std::holds_alternative<T>(decoded->body));
+  return std::get<T>(decoded->body);
+}
+
+EndpointInfo SampleEndpoint() {
+  EndpointInfo e;
+  e.address = MakeAddress(3, 7001);
+  e.bindings = {{8080, "http"}, {5004, "rtp"}};
+  return e;
+}
+
+AnnouncerId SampleAnnouncer() { return AnnouncerId{0x0a000003, 123456789, 2}; }
+
+TEST(MessagesTest, Advertisement) {
+  Advertisement a;
+  a.vspace = "building-ne43";
+  a.name_text = "[service=camera[id=a]][room=510]";
+  a.announcer = SampleAnnouncer();
+  a.endpoint = SampleEndpoint();
+  a.app_metric = 2.5;
+  a.lifetime_s = 45;
+  a.version = 9;
+  Advertisement b = RoundTrip(a);
+  EXPECT_EQ(b.vspace, a.vspace);
+  EXPECT_EQ(b.name_text, a.name_text);
+  EXPECT_EQ(b.announcer, a.announcer);
+  EXPECT_EQ(b.endpoint, a.endpoint);
+  EXPECT_DOUBLE_EQ(b.app_metric, 2.5);
+  EXPECT_EQ(b.lifetime_s, 45u);
+  EXPECT_EQ(b.version, 9u);
+}
+
+TEST(MessagesTest, NameUpdateBatch) {
+  NameUpdate u;
+  u.vspace = "camera-ne43";
+  u.triggered = true;
+  for (int i = 0; i < 3; ++i) {
+    NameUpdateEntry e;
+    e.name_text = "[service=camera[id=c" + std::to_string(i) + "]]";
+    e.announcer = AnnouncerId{0x0a000000u + static_cast<uint32_t>(i), 42, 0};
+    e.endpoint = SampleEndpoint();
+    e.app_metric = i * 1.5;
+    e.route_metric = i * 0.25;
+    e.lifetime_s = 45;
+    e.version = static_cast<uint64_t>(i);
+    u.entries.push_back(e);
+  }
+  NameUpdate v = RoundTrip(u);
+  EXPECT_EQ(v.vspace, u.vspace);
+  EXPECT_TRUE(v.triggered);
+  ASSERT_EQ(v.entries.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(v.entries[i].name_text, u.entries[i].name_text);
+    EXPECT_EQ(v.entries[i].announcer, u.entries[i].announcer);
+    EXPECT_DOUBLE_EQ(v.entries[i].route_metric, u.entries[i].route_metric);
+    EXPECT_EQ(v.entries[i].version, u.entries[i].version);
+  }
+}
+
+TEST(MessagesTest, EmptyNameUpdateIsValid) {
+  NameUpdate u;
+  NameUpdate v = RoundTrip(u);
+  EXPECT_TRUE(v.entries.empty());
+  EXPECT_FALSE(v.triggered);
+}
+
+TEST(MessagesTest, Discovery) {
+  DiscoveryRequest req;
+  req.request_id = 77;
+  req.vspace = "wl";
+  req.filter_text = "[service=*]";
+  DiscoveryRequest req2 = RoundTrip(req);
+  EXPECT_EQ(req2.request_id, 77u);
+  EXPECT_EQ(req2.filter_text, "[service=*]");
+
+  DiscoveryResponse resp;
+  resp.request_id = 77;
+  resp.vspace = "wl";
+  resp.items.push_back({"[service=camera]", SampleEndpoint(), 1.0});
+  resp.items.push_back({"[service=printer]", SampleEndpoint(), 4.0});
+  DiscoveryResponse resp2 = RoundTrip(resp);
+  ASSERT_EQ(resp2.items.size(), 2u);
+  EXPECT_EQ(resp2.items[1].name_text, "[service=printer]");
+  EXPECT_DOUBLE_EQ(resp2.items[1].app_metric, 4.0);
+}
+
+TEST(MessagesTest, EarlyBindingResponse) {
+  EarlyBindingResponse e;
+  e.request_id = 5;
+  e.items.push_back({SampleEndpoint(), 0.5});
+  EarlyBindingResponse f = RoundTrip(e);
+  ASSERT_EQ(f.items.size(), 1u);
+  EXPECT_EQ(f.items[0].endpoint, SampleEndpoint());
+}
+
+TEST(MessagesTest, PingPong) {
+  Ping p{42, 9999};
+  Ping p2 = RoundTrip(p);
+  EXPECT_EQ(p2.nonce, 42u);
+  EXPECT_EQ(p2.send_time_us, 9999u);
+  Pong q{42, 9999};
+  Pong q2 = RoundTrip(q);
+  EXPECT_EQ(q2.nonce, 42u);
+  EXPECT_EQ(q2.echo_send_time_us, 9999u);
+}
+
+TEST(MessagesTest, Peering) {
+  EXPECT_EQ(RoundTrip(PeerRequest{MakeAddress(9)}).requester, MakeAddress(9));
+  EXPECT_EQ(RoundTrip(PeerAccept{MakeAddress(8)}).accepter, MakeAddress(8));
+  EXPECT_EQ(RoundTrip(PeerClose{MakeAddress(7)}).closer, MakeAddress(7));
+}
+
+TEST(MessagesTest, DsrMessages) {
+  DsrRegister reg;
+  reg.inr = MakeAddress(4);
+  reg.active = true;
+  reg.vspaces = {"a", "b"};
+  reg.lifetime_s = 60;
+  DsrRegister reg2 = RoundTrip(reg);
+  EXPECT_EQ(reg2.inr, MakeAddress(4));
+  EXPECT_EQ(reg2.vspaces, (std::vector<std::string>{"a", "b"}));
+
+  DsrListResponse list;
+  list.request_id = 3;
+  list.active_inrs = {MakeAddress(1), MakeAddress(2)};
+  DsrListResponse list2 = RoundTrip(list);
+  EXPECT_EQ(list2.active_inrs, list.active_inrs);
+
+  DsrVspaceResponse vr;
+  vr.request_id = 4;
+  vr.vspace = "cam";
+  vr.inr = MakeAddress(5);
+  DsrVspaceResponse vr2 = RoundTrip(vr);
+  EXPECT_EQ(vr2.inr, MakeAddress(5));
+
+  DsrCandidatesResponse cr;
+  cr.request_id = 6;
+  cr.candidates = {MakeAddress(10), MakeAddress(11)};
+  EXPECT_EQ(RoundTrip(cr).candidates, cr.candidates);
+
+  EXPECT_EQ(RoundTrip(DsrListRequest{12}).request_id, 12u);
+  EXPECT_EQ(RoundTrip(DsrVspaceRequest{13, "x"}).vspace, "x");
+  EXPECT_EQ(RoundTrip(DsrCandidatesRequest{14}).request_id, 14u);
+}
+
+TEST(MessagesTest, LoadBalancingMessages) {
+  SpawnRequest s;
+  s.requester = MakeAddress(2);
+  s.vspaces = {"cams"};
+  SpawnRequest s2 = RoundTrip(s);
+  EXPECT_EQ(s2.vspaces, s.vspaces);
+
+  DelegateVspace d{MakeAddress(2), "cams"};
+  DelegateVspace d2 = RoundTrip(d);
+  EXPECT_EQ(d2.vspace, "cams");
+  EXPECT_EQ(d2.from, MakeAddress(2));
+}
+
+TEST(MessagesTest, DataEnvelopeCarriesPacket) {
+  Packet p;
+  p.destination_name = "[service=printer]";
+  p.payload = {9, 9, 9};
+  Packet p2 = RoundTrip(p);
+  EXPECT_EQ(p2.destination_name, p.destination_name);
+  EXPECT_EQ(p2.payload, p.payload);
+}
+
+TEST(MessagesTest, RejectsGarbage) {
+  EXPECT_FALSE(DecodeMessage({}).ok());
+  EXPECT_FALSE(DecodeMessage({0xff, 1, 2}).ok());
+  Bytes truncated = Encode(DsrListRequest{1});
+  truncated.resize(truncated.size() - 1);
+  EXPECT_FALSE(DecodeMessage(truncated).ok());
+}
+
+TEST(MessagesTest, TypeTagsAreStable) {
+  EXPECT_EQ(Encode(Ping{})[0], static_cast<uint8_t>(MessageType::kPing));
+  EXPECT_EQ(Encode(DsrListRequest{})[0], static_cast<uint8_t>(MessageType::kDsrListRequest));
+  Packet p;
+  EXPECT_EQ(Encode(p)[0], static_cast<uint8_t>(MessageType::kData));
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,125 @@
+// Tests for MobilityManager: node mobility with transparent re-announcement
+// and session continuity through late binding.
+
+#include <gtest/gtest.h>
+
+#include "ins/client/api.h"
+#include "ins/client/mobility.h"
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+struct MobileClient {
+  MobileClient(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+    mobility = std::make_unique<MobilityManager>(
+        &cluster->loop(), client.get(),
+        [this](const NodeAddress& addr) { return socket->Rebind(addr); });
+  }
+
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+  std::unique_ptr<MobilityManager> mobility;
+};
+
+TEST(MobilityTest, MoveReAnnouncesFromNewAddress) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  MobileClient cam(&cluster, 10, inr->address());
+  auto handle = cam.client->Advertise(P("[service=camera][room=510]"));
+  cluster.Settle();
+
+  auto before = inr->vspaces().Tree("")->Lookup(P("[service=camera]"));
+  ASSERT_EQ(before.size(), 1u);
+  EXPECT_EQ(before[0]->endpoint.address, MakeAddress(10));
+
+  ASSERT_TRUE(cam.mobility->Move(MakeAddress(77)).ok());
+  cluster.Settle();
+
+  auto after = inr->vspaces().Tree("")->Lookup(P("[service=camera]"));
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(after[0]->endpoint.address, MakeAddress(77));
+  EXPECT_EQ(cam.mobility->moves_detected(), 1u);
+}
+
+TEST(MobilityTest, SessionContinuesAcrossMove) {
+  // The paper's core claim: a client using an intentional name keeps
+  // communicating with a service through a move, with zero client changes.
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  MobileClient cam(&cluster, 10, inr->address());
+  MobileClient viewer(&cluster, 20, inr->address());
+
+  auto cam_name = P("[service=camera][room=510]");
+  auto handle = cam.client->Advertise(cam_name);
+  cluster.Settle();
+
+  int received = 0;
+  cam.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+
+  viewer.client->SendAnycast(cam_name, {1});
+  cluster.Settle();
+  EXPECT_EQ(received, 1);
+
+  // The camera moves. Same intentional name, new network location.
+  ASSERT_TRUE(cam.mobility->Move(MakeAddress(78)).ok());
+  cluster.Settle();
+
+  viewer.client->SendAnycast(cam_name, {2});
+  cluster.Settle();
+  EXPECT_EQ(received, 2);
+}
+
+TEST(MobilityTest, PollDetectsExternalRebind) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  MobileClient cam(&cluster, 10, inr->address());
+  auto handle = cam.client->Advertise(P("[service=camera]"));
+  cluster.Settle();
+
+  // The interface changes underneath the client (no Move() call).
+  ASSERT_TRUE(cam.socket->Rebind(MakeAddress(79)).ok());
+  bool observed = false;
+  cam.mobility->on_moved = [&](const NodeAddress& from, const NodeAddress& to) {
+    EXPECT_EQ(from, MakeAddress(10));
+    EXPECT_EQ(to, MakeAddress(79));
+    observed = true;
+  };
+  cluster.loop().RunFor(Seconds(2));  // poll interval is 500 ms
+  EXPECT_TRUE(observed);
+
+  auto recs = inr->vspaces().Tree("")->Lookup(P("[service=camera]"));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0]->endpoint.address, MakeAddress(79));
+}
+
+TEST(MobilityTest, MoveToOccupiedAddressFailsCleanly) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  MobileClient a(&cluster, 10, inr->address());
+  MobileClient b(&cluster, 11, inr->address());
+  Status s = a.mobility->Move(MakeAddress(11));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(a.client->address(), MakeAddress(10));  // unchanged
+  EXPECT_EQ(a.mobility->moves_detected(), 0u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,177 @@
+// Unit tests for the NameSpecifier AST, builders, and canonical form.
+
+#include <gtest/gtest.h>
+
+#include "ins/name/name_specifier.h"
+
+namespace ins {
+namespace {
+
+// The paper's Figure 2/3 example name.
+NameSpecifier OvalOfficeCamera() {
+  NameSpecifier n;
+  n.AddPath({{"city", "washington"},
+             {"building", "whitehouse"},
+             {"wing", "west"},
+             {"room", "oval-office"}});
+  n.AddPath({{"service", "camera"}, {"data-type", "picture"}, {"format", "jpg"}});
+  n.AddPath({{"service", "camera"}, {"resolution", "640x480"}});
+  n.AddPath({{"accessibility", "public"}});
+  return n;
+}
+
+TEST(ValueTest, LiteralAccepts) {
+  Value v = Value::Literal("red");
+  EXPECT_TRUE(v.is_literal());
+  EXPECT_TRUE(v.Accepts("red"));
+  EXPECT_FALSE(v.Accepts("blue"));
+}
+
+TEST(ValueTest, WildcardAcceptsAnything) {
+  Value v = Value::Wildcard();
+  EXPECT_TRUE(v.is_wildcard());
+  EXPECT_TRUE(v.Accepts("anything"));
+  EXPECT_TRUE(v.Accepts(""));
+  EXPECT_EQ(v.ToToken(), "*");
+}
+
+TEST(ValueTest, RangeComparesNumerically) {
+  Value lt = Value::Range(Value::Kind::kLess, 5);
+  EXPECT_TRUE(lt.Accepts("4"));
+  EXPECT_TRUE(lt.Accepts("4.9"));
+  EXPECT_FALSE(lt.Accepts("5"));
+  EXPECT_FALSE(lt.Accepts("six"));  // non-numeric advertised value
+
+  Value ge = Value::Range(Value::Kind::kGreaterEqual, 10);
+  EXPECT_TRUE(ge.Accepts("10"));
+  EXPECT_FALSE(ge.Accepts("9.99"));
+  EXPECT_EQ(ge.ToToken(), ">=10");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value::Literal("a"), Value::Literal("a"));
+  EXPECT_FALSE(Value::Literal("a") == Value::Literal("b"));
+  EXPECT_EQ(Value::Wildcard(), Value::Wildcard());
+  EXPECT_FALSE(Value::Wildcard() == Value::Literal("*"));
+  EXPECT_EQ(Value::Range(Value::Kind::kLess, 5), Value::Range(Value::Kind::kLess, 5));
+  EXPECT_FALSE(Value::Range(Value::Kind::kLess, 5) ==
+               Value::Range(Value::Kind::kLessEqual, 5));
+}
+
+TEST(ParseNumericTest, AcceptsNumbersRejectsJunk) {
+  EXPECT_EQ(ParseNumeric("42"), 42.0);
+  EXPECT_EQ(ParseNumeric("-3.5"), -3.5);
+  EXPECT_FALSE(ParseNumeric("").has_value());
+  EXPECT_FALSE(ParseNumeric("12a").has_value());
+  EXPECT_FALSE(ParseNumeric("room").has_value());
+}
+
+TEST(NameSpecifierTest, EmptyByDefault) {
+  NameSpecifier n;
+  EXPECT_TRUE(n.empty());
+  EXPECT_EQ(n.PairCount(), 0u);
+  EXPECT_EQ(n.Depth(), 0u);
+  EXPECT_EQ(n.ToString(), "");
+}
+
+TEST(NameSpecifierTest, AddPathBuildsSharedPrefixes) {
+  NameSpecifier n = OvalOfficeCamera();
+  // service=camera appears once with two orthogonal children chains.
+  ASSERT_EQ(n.roots().size(), 3u);  // accessibility, city, service (sorted)
+  const AvPair* service = FindPair(n.roots(), "service");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->value.literal(), "camera");
+  EXPECT_EQ(service->children.size(), 2u);  // data-type, resolution
+}
+
+TEST(NameSpecifierTest, PairCountAndDepth) {
+  NameSpecifier n = OvalOfficeCamera();
+  // city,building,wing,room + service,data-type,format,resolution + accessibility
+  EXPECT_EQ(n.PairCount(), 9u);
+  EXPECT_EQ(n.Depth(), 4u);
+}
+
+TEST(NameSpecifierTest, CanonicalFormIsSortedAndMinimal) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"entity", "transmitter"}});
+  n.AddPath({{"room", "510"}});
+  EXPECT_EQ(n.ToString(), "[room=510][service=camera[entity=transmitter]]");
+}
+
+TEST(NameSpecifierTest, CanonicalFormIndependentOfInsertionOrder) {
+  NameSpecifier a;
+  a.AddPath({{"service", "printer"}});
+  a.AddPath({{"room", "517"}});
+  NameSpecifier b;
+  b.AddPath({{"room", "517"}});
+  b.AddPath({{"service", "printer"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(NameSpecifierTest, GetValueFollowsAttributePath) {
+  NameSpecifier n = OvalOfficeCamera();
+  EXPECT_EQ(n.GetValue({"city"}), "washington");
+  EXPECT_EQ(n.GetValue({"city", "building", "wing", "room"}), "oval-office");
+  EXPECT_EQ(n.GetValue({"service", "data-type", "format"}), "jpg");
+  EXPECT_FALSE(n.GetValue({"nope"}).has_value());
+  EXPECT_FALSE(n.GetValue({"city", "zip"}).has_value());
+}
+
+TEST(NameSpecifierTest, SetValueReplacesAndCreates) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"id", "a"}});
+  n.SetValue({"service", "id"}, "b");
+  EXPECT_EQ(n.GetValue({"service", "id"}), "b");
+  n.SetValue({"room"}, "510");
+  EXPECT_EQ(n.GetValue({"room"}), "510");
+}
+
+TEST(NameSpecifierTest, AddPathValueAttachesWildcardLeaf) {
+  NameSpecifier n;
+  n.AddPathValue({{"service", "camera"}, {"entity", "receiver"}}, "id", Value::Wildcard());
+  EXPECT_EQ(n.ToString(), "[service=camera[entity=receiver[id=*]]]");
+}
+
+TEST(NameSpecifierTest, WireSizeMatchesCanonicalText) {
+  NameSpecifier n = OvalOfficeCamera();
+  EXPECT_EQ(n.WireSize(), n.ToString().size());
+  EXPECT_GT(n.WireSize(), 50u);
+}
+
+TEST(NameSpecifierTest, PrettyStringIsIndented) {
+  NameSpecifier n;
+  n.AddPath({{"service", "camera"}, {"id", "a"}});
+  std::string pretty = n.ToPrettyString();
+  EXPECT_NE(pretty.find("[service=camera\n"), std::string::npos);
+  EXPECT_NE(pretty.find("  [id=a]"), std::string::npos);
+}
+
+TEST(NameSpecifierTest, StructuralEqualityIsDeep) {
+  NameSpecifier a = OvalOfficeCamera();
+  NameSpecifier b = OvalOfficeCamera();
+  EXPECT_EQ(a, b);
+  b.SetValue({"city", "building", "wing", "room"}, "east-room");
+  EXPECT_FALSE(a == b);
+}
+
+TEST(SiblingHelpersTest, FindAndInsertKeepOrder) {
+  std::vector<AvPair> sib;
+  InsertPair(sib, "c", Value::Literal("3"));
+  InsertPair(sib, "a", Value::Literal("1"));
+  InsertPair(sib, "b", Value::Literal("2"));
+  ASSERT_EQ(sib.size(), 3u);
+  EXPECT_EQ(sib[0].attribute, "a");
+  EXPECT_EQ(sib[1].attribute, "b");
+  EXPECT_EQ(sib[2].attribute, "c");
+  EXPECT_NE(FindPair(sib, "b"), nullptr);
+  EXPECT_EQ(FindPair(sib, "z"), nullptr);
+  // Inserting an existing attribute returns the existing pair.
+  AvPair* again = InsertPair(sib, "b", Value::Literal("9"));
+  EXPECT_EQ(again->value.literal(), "2");
+  EXPECT_EQ(sib.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ins

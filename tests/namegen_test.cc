@@ -1,0 +1,86 @@
+// Tests for the synthetic workload generator used by benches and sweeps.
+
+#include <gtest/gtest.h>
+
+#include "ins/name/matcher.h"
+#include "ins/name/parser.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+TEST(NamegenTest, UniformNameHasRequestedShape) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    NameSpecifier n = GenerateUniformName(rng, kPaperLookupParams);
+    EXPECT_EQ(n.Depth(), 3u);
+    EXPECT_EQ(n.roots().size(), 2u);  // na = 2
+    // na attributes per level, d levels: 2 + 4 + 8 pairs.
+    EXPECT_EQ(n.PairCount(), 14u);
+  }
+}
+
+TEST(NamegenTest, UniformNamesAreDeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(GenerateUniformName(a, kPaperLookupParams),
+              GenerateUniformName(b, kPaperLookupParams));
+  }
+}
+
+TEST(NamegenTest, UniformNamesVary) {
+  Rng rng(7);
+  NameSpecifier first = GenerateUniformName(rng, kPaperLookupParams);
+  bool differs = false;
+  for (int i = 0; i < 20 && !differs; ++i) {
+    differs = !(GenerateUniformName(rng, kPaperLookupParams) == first);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(NamegenTest, UniformNameRoundTripsThroughParser) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    NameSpecifier n = GenerateUniformName(rng, {4, 4, 3, 3});
+    auto parsed = ParseNameSpecifier(n.ToString());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, n);
+  }
+}
+
+TEST(NamegenTest, ChainNameIsAChain) {
+  Rng rng(5);
+  NameSpecifier n = GenerateChainName(rng, 6, 3, 3);
+  EXPECT_EQ(n.Depth(), 6u);
+  EXPECT_EQ(n.PairCount(), 6u);
+}
+
+TEST(NamegenTest, SizedNameApproximatesTarget) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    NameSpecifier n = GenerateSizedName(rng, 82);
+    // Within one pad-pair of the target, like the paper's "on average
+    // 82-byte" names.
+    EXPECT_GE(n.WireSize(), 60u);
+    EXPECT_LE(n.WireSize(), 95u);
+  }
+}
+
+TEST(NamegenTest, SizedNameCarriesVspace) {
+  Rng rng(13);
+  NameSpecifier n = GenerateSizedName(rng, 82, "building-ne43");
+  EXPECT_EQ(n.GetValue({"vspace"}), "building-ne43");
+}
+
+TEST(NamegenTest, DerivedQueryAlwaysMatchesItsAdvertisement) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    NameSpecifier ad = GenerateUniformName(rng, {4, 3, 2, 3});
+    NameSpecifier q = DeriveQuery(rng, ad, 0.7, 0.4);
+    EXPECT_TRUE(Matches(ad, q)) << "ad " << ad.ToString() << "\nq  " << q.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ins

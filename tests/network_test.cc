@@ -1,0 +1,207 @@
+// Tests for the simulated network: latency, bandwidth FIFO, loss, mobility
+// rebinding, and CPU modelling.
+
+#include <gtest/gtest.h>
+
+#include "ins/sim/network.h"
+
+namespace ins::sim {
+namespace {
+
+Bytes Payload(size_t n, uint8_t fill = 0xaa) { return Bytes(n, fill); }
+
+struct Fixture {
+  EventLoop loop;
+  Network net{&loop, /*seed=*/7};
+};
+
+TEST(NetworkTest, DeliversWithLinkLatency) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(5), 0, 0});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  TimePoint delivered_at{-1};
+  NodeAddress from;
+  b->SetReceiveHandler([&](const NodeAddress& src, const Bytes& data) {
+    delivered_at = f.loop.Now();
+    from = src;
+    EXPECT_EQ(data.size(), 10u);
+  });
+  ASSERT_TRUE(a->Send(MakeAddress(2), Payload(10)).ok());
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(delivered_at, Milliseconds(5));
+  EXPECT_EQ(from, MakeAddress(1));
+}
+
+TEST(NetworkTest, SameHostDeliveryIsImmediate) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(5), 0, 0});
+  auto a = f.net.Bind(MakeAddress(1, 5000));
+  auto b = f.net.Bind(MakeAddress(1, 5001));  // same ip, different port
+  TimePoint at{-1};
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { at = f.loop.Now(); });
+  ASSERT_TRUE(a->Send(MakeAddress(1, 5001), Payload(4)).ok());
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(at, Duration(0));
+}
+
+TEST(NetworkTest, BandwidthAddsSerializationDelay) {
+  Fixture f;
+  // 1 Mbps: 1250 bytes = 10 ms of transmission.
+  f.net.SetDefaultLink({Milliseconds(0), 1e6, 0});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  TimePoint at{-1};
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { at = f.loop.Now(); });
+  a->Send(MakeAddress(2), Payload(1250));
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(at, Milliseconds(10));
+}
+
+TEST(NetworkTest, LinkIsFifoUnderBandwidth) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(0), 1e6, 0});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  std::vector<TimePoint> at;
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { at.push_back(f.loop.Now()); });
+  a->Send(MakeAddress(2), Payload(1250));  // 10 ms
+  a->Send(MakeAddress(2), Payload(1250));  // queued behind: 20 ms
+  f.loop.RunUntilIdle();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], Milliseconds(10));
+  EXPECT_EQ(at[1], Milliseconds(20));
+}
+
+TEST(NetworkTest, PerLinkOverride) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(1), 0, 0});
+  f.net.SetLink(MakeAddress(1).ip, MakeAddress(2).ip, {Milliseconds(42), 0, 0});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  auto c = f.net.Bind(MakeAddress(3));
+  TimePoint at_b{-1};
+  TimePoint at_c{-1};
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { at_b = f.loop.Now(); });
+  c->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { at_c = f.loop.Now(); });
+  a->Send(MakeAddress(2), Payload(1));
+  a->Send(MakeAddress(3), Payload(1));
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(at_b, Milliseconds(42));
+  EXPECT_EQ(at_c, Milliseconds(1));
+}
+
+TEST(NetworkTest, LossDropsSilently) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(1), 0, 0.5});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  int received = 0;
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { ++received; });
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a->Send(MakeAddress(2), Payload(1)).ok());
+  }
+  f.loop.RunUntilIdle();
+  EXPECT_GT(received, 50);
+  EXPECT_LT(received, 150);
+  EXPECT_EQ(f.net.total_datagrams_dropped() + static_cast<uint64_t>(received), 200u);
+}
+
+TEST(NetworkTest, SendToUnboundAddressDrops) {
+  Fixture f;
+  auto a = f.net.Bind(MakeAddress(1));
+  EXPECT_TRUE(a->Send(MakeAddress(99), Payload(1)).ok());
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(f.net.total_datagrams_dropped(), 1u);
+}
+
+TEST(NetworkTest, RebindModelsNodeMobility) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(5), 0, 0});
+  auto a = f.net.Bind(MakeAddress(1));
+  auto m = f.net.Bind(MakeAddress(2));
+  int received = 0;
+  m->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { ++received; });
+
+  a->Send(MakeAddress(2), Payload(1));
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+
+  // The node moves; traffic in flight to the old address is lost.
+  a->Send(MakeAddress(2), Payload(1));
+  ASSERT_TRUE(m->Rebind(MakeAddress(9)).ok());
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(f.net.total_datagrams_dropped(), 1u);
+
+  // Traffic to the new address arrives.
+  a->Send(MakeAddress(9), Payload(1));
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(received, 2);
+  EXPECT_EQ(m->local_address(), MakeAddress(9));
+}
+
+TEST(NetworkTest, RebindToOccupiedAddressFails) {
+  Fixture f;
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  EXPECT_EQ(b->Rebind(MakeAddress(1)).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(NetworkTest, StatsAccumulate) {
+  Fixture f;
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  b->SetReceiveHandler([](const NodeAddress&, const Bytes&) {});
+  a->Send(MakeAddress(2), Payload(100));
+  a->Send(MakeAddress(2), Payload(50));
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(f.net.host_stats(MakeAddress(1).ip).datagrams_sent, 2u);
+  EXPECT_EQ(f.net.host_stats(MakeAddress(1).ip).bytes_sent, 150u);
+  EXPECT_EQ(f.net.host_stats(MakeAddress(2).ip).datagrams_received, 2u);
+  EXPECT_EQ(f.net.host_stats(MakeAddress(2).ip).bytes_received, 150u);
+  f.net.ResetStats();
+  EXPECT_EQ(f.net.host_stats(MakeAddress(1).ip).bytes_sent, 0u);
+}
+
+TEST(NetworkTest, CpuModelSerializesHandlers) {
+  Fixture f;
+  f.net.SetDefaultLink({Milliseconds(1), 0, 0});
+  // Huge scale so even a trivial handler busies the host measurably.
+  f.net.SetCpuScale(MakeAddress(2).ip, 1e6);
+  auto a = f.net.Bind(MakeAddress(1));
+  auto b = f.net.Bind(MakeAddress(2));
+  std::vector<TimePoint> at;
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) {
+    at.push_back(f.loop.Now());
+    // Burn a little real CPU so the meter sees nonzero time.
+    volatile uint64_t x = 0;
+    for (int i = 0; i < 20000; ++i) {
+      x = x + static_cast<uint64_t>(i);
+    }
+  });
+  for (int i = 0; i < 3; ++i) {
+    a->Send(MakeAddress(2), Payload(10));
+  }
+  f.loop.RunUntilIdle();
+  ASSERT_EQ(at.size(), 3u);
+  // Handlers start strictly after the previous one's charged busy period.
+  EXPECT_GT(at[1], at[0]);
+  EXPECT_GT(at[2], at[1]);
+  EXPECT_GT(f.net.host_stats(MakeAddress(2).ip).cpu_busy.count(), 0);
+}
+
+TEST(NetworkTest, CpuChargeAccounting) {
+  CpuAccount cpu;
+  cpu.scale = 2.0;
+  Duration busy = cpu.Charge(Milliseconds(10), Milliseconds(3));
+  EXPECT_EQ(busy, Milliseconds(6));
+  EXPECT_EQ(cpu.busy_until, Milliseconds(16));
+  // Second charge starting earlier queues behind the first.
+  cpu.Charge(Milliseconds(12), Milliseconds(1));
+  EXPECT_EQ(cpu.busy_until, Milliseconds(18));
+  EXPECT_EQ(cpu.total_busy, Milliseconds(8));
+}
+
+}  // namespace
+}  // namespace ins::sim

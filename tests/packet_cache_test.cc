@@ -1,0 +1,74 @@
+// Unit tests for the LRU packet cache.
+
+#include <gtest/gtest.h>
+
+#include "ins/inr/packet_cache.h"
+
+namespace ins {
+namespace {
+
+TEST(PacketCacheTest, InsertAndLookup) {
+  PacketCache cache(4);
+  cache.Insert("[a=1]", {1, 2}, Seconds(100));
+  const auto* e = cache.Lookup("[a=1]", Seconds(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->payload, (Bytes{1, 2}));
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(PacketCacheTest, MissOnUnknownKey) {
+  PacketCache cache(4);
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(1)), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PacketCacheTest, ExpiredEntryIsMissAndRemoved) {
+  PacketCache cache(4);
+  cache.Insert("[a=1]", {1}, Seconds(10));
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(11)), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PacketCacheTest, OverwriteReplacesPayload) {
+  PacketCache cache(4);
+  cache.Insert("[a=1]", {1}, Seconds(100));
+  cache.Insert("[a=1]", {2}, Seconds(200));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* e = cache.Lookup("[a=1]", Seconds(1));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->payload, Bytes{2});
+  EXPECT_EQ(e->expires, Seconds(200));
+}
+
+TEST(PacketCacheTest, EvictsLeastRecentlyUsed) {
+  PacketCache cache(2);
+  cache.Insert("[a=1]", {1}, Seconds(100));
+  cache.Insert("[b=2]", {2}, Seconds(100));
+  cache.Lookup("[a=1]", Seconds(1));       // a is now most recent
+  cache.Insert("[c=3]", {3}, Seconds(100));  // evicts b
+  EXPECT_NE(cache.Lookup("[a=1]", Seconds(1)), nullptr);
+  EXPECT_EQ(cache.Lookup("[b=2]", Seconds(1)), nullptr);
+  EXPECT_NE(cache.Lookup("[c=3]", Seconds(1)), nullptr);
+}
+
+TEST(PacketCacheTest, ZeroCapacityNeverStores) {
+  PacketCache cache(0);
+  cache.Insert("[a=1]", {1}, Seconds(100));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(1)), nullptr);
+}
+
+TEST(PacketCacheTest, CapacityBound) {
+  PacketCache cache(8);
+  for (int i = 0; i < 100; ++i) {
+    cache.Insert("[k=" + std::to_string(i) + "]", {static_cast<uint8_t>(i)}, Seconds(100));
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  // The 8 most recent survive.
+  EXPECT_NE(cache.Lookup("[k=99]", Seconds(1)), nullptr);
+  EXPECT_NE(cache.Lookup("[k=92]", Seconds(1)), nullptr);
+  EXPECT_EQ(cache.Lookup("[k=91]", Seconds(1)), nullptr);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,109 @@
+// Tests for the Figure-10 data packet codec.
+
+#include <gtest/gtest.h>
+
+#include "ins/wire/packet.h"
+
+namespace ins {
+namespace {
+
+Packet SamplePacket() {
+  Packet p;
+  p.early_binding = false;
+  p.deliver_all = true;
+  p.hop_limit = 7;
+  p.cache_lifetime_s = 30;
+  p.source_name = "[service=camera[entity=receiver[id=r]]][room=510]";
+  p.destination_name = "[service=camera[entity=transmitter]][room=510]";
+  p.payload = {1, 2, 3, 4, 5};
+  return p;
+}
+
+TEST(PacketTest, RoundTrip) {
+  Packet p = SamplePacket();
+  Bytes encoded = EncodePacket(p);
+  EXPECT_EQ(encoded.size(), p.EncodedSize());
+
+  auto decoded = DecodePacket(encoded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->early_binding, p.early_binding);
+  EXPECT_EQ(decoded->deliver_all, p.deliver_all);
+  EXPECT_EQ(decoded->answer_from_cache, false);
+  EXPECT_EQ(decoded->hop_limit, p.hop_limit);
+  EXPECT_EQ(decoded->cache_lifetime_s, p.cache_lifetime_s);
+  EXPECT_EQ(decoded->source_name, p.source_name);
+  EXPECT_EQ(decoded->destination_name, p.destination_name);
+  EXPECT_EQ(decoded->payload, p.payload);
+}
+
+TEST(PacketTest, FlagsEncodeIndependently) {
+  for (int mask = 0; mask < 8; ++mask) {
+    Packet p;
+    p.early_binding = (mask & 1) != 0;
+    p.deliver_all = (mask & 2) != 0;
+    p.answer_from_cache = (mask & 4) != 0;
+    p.destination_name = "[a=1]";
+    auto d = DecodePacket(EncodePacket(p));
+    ASSERT_TRUE(d.ok());
+    EXPECT_EQ(d->early_binding, p.early_binding);
+    EXPECT_EQ(d->deliver_all, p.deliver_all);
+    EXPECT_EQ(d->answer_from_cache, p.answer_from_cache);
+  }
+}
+
+TEST(PacketTest, EmptyNamesAndPayload) {
+  Packet p;
+  auto d = DecodePacket(EncodePacket(p));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->source_name, "");
+  EXPECT_EQ(d->destination_name, "");
+  EXPECT_TRUE(d->payload.empty());
+}
+
+TEST(PacketTest, LocatePayloadSkipsNames) {
+  Packet p = SamplePacket();
+  Bytes encoded = EncodePacket(p);
+  auto loc = LocatePayload(encoded);
+  ASSERT_TRUE(loc.ok());
+  auto [off, len] = *loc;
+  EXPECT_EQ(len, p.payload.size());
+  EXPECT_EQ(Bytes(encoded.begin() + static_cast<long>(off),
+                  encoded.begin() + static_cast<long>(off + len)),
+            p.payload);
+}
+
+TEST(PacketTest, RejectsTruncatedHeader) {
+  Bytes tiny = {1, 2, 3};
+  EXPECT_FALSE(DecodePacket(tiny).ok());
+}
+
+TEST(PacketTest, RejectsWrongVersion) {
+  Packet p = SamplePacket();
+  Bytes encoded = EncodePacket(p);
+  encoded[0] = 99;
+  EXPECT_FALSE(DecodePacket(encoded).ok());
+}
+
+TEST(PacketTest, RejectsCorruptPointers) {
+  Packet p = SamplePacket();
+  Bytes encoded = EncodePacket(p);
+  // Corrupt the destination-name pointer so offsets go backwards.
+  encoded[10] = 0;
+  encoded[11] = 1;
+  EXPECT_FALSE(DecodePacket(encoded).ok());
+}
+
+TEST(PacketTest, RejectsTruncatedBody) {
+  Packet p = SamplePacket();
+  Bytes encoded = EncodePacket(p);
+  encoded.resize(encoded.size() - 2);  // total-length field now disagrees
+  EXPECT_FALSE(DecodePacket(encoded).ok());
+}
+
+TEST(PacketTest, HeaderIsSixteenBytes) {
+  Packet p;
+  EXPECT_EQ(EncodePacket(p).size(), kPacketHeaderSize);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,131 @@
+// Tests for the INR-ping RTT agent.
+
+#include <gtest/gtest.h>
+
+#include "ins/harness/cluster.h"
+#include "ins/overlay/ping.h"
+#include "ins/sim/event_loop.h"
+
+namespace ins {
+namespace {
+
+// Direct agent tests against a scripted responder.
+struct PingFixture {
+  sim::EventLoop loop;
+  std::vector<std::pair<NodeAddress, Envelope>> sent;
+  PingAgent agent{&loop, [this](const NodeAddress& dst, const Envelope& env) {
+                    sent.emplace_back(dst, env);
+                  }};
+
+  // Simulates the target answering after `delay`.
+  void AnswerLastPingAfter(Duration delay) {
+    ASSERT_FALSE(sent.empty());
+    auto [dst, env] = sent.back();
+    const Ping& ping = std::get<Ping>(env.body);
+    Pong pong = PingAgent::PongFor(ping);
+    loop.ScheduleAfter(delay, [this, dst = dst, pong] { agent.HandlePong(dst, pong); });
+  }
+};
+
+TEST(PingAgentTest, MeasuresRtt) {
+  PingFixture f;
+  std::optional<Duration> got;
+  f.agent.SendPing(MakeAddress(2), Seconds(1), [&](std::optional<Duration> rtt) { got = rtt; });
+  ASSERT_EQ(f.sent.size(), 1u);
+  f.AnswerLastPingAfter(Milliseconds(12));
+  f.loop.RunUntilIdle();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, Milliseconds(12));
+  EXPECT_EQ(f.agent.SmoothedRtt(MakeAddress(2)), Milliseconds(12));
+}
+
+TEST(PingAgentTest, TimesOut) {
+  PingFixture f;
+  std::optional<Duration> got = Milliseconds(999);
+  bool called = false;
+  f.agent.SendPing(MakeAddress(2), Milliseconds(100), [&](std::optional<Duration> rtt) {
+    got = rtt;
+    called = true;
+  });
+  f.loop.RunUntilIdle();
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(got.has_value());
+  EXPECT_EQ(f.agent.pending_count(), 0u);
+}
+
+TEST(PingAgentTest, LatePongAfterTimeoutIgnored) {
+  PingFixture f;
+  int calls = 0;
+  f.agent.SendPing(MakeAddress(2), Milliseconds(10), [&](std::optional<Duration>) { ++calls; });
+  auto [dst, env] = f.sent.back();
+  Pong pong = PingAgent::PongFor(std::get<Ping>(env.body));
+  f.loop.RunUntilIdle();  // timeout fires
+  f.agent.HandlePong(dst, pong);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(PingAgentTest, SmoothingBlendsSamples) {
+  PingFixture f;
+  f.agent.SendPing(MakeAddress(2), Seconds(1), [](std::optional<Duration>) {});
+  f.AnswerLastPingAfter(Milliseconds(100));
+  f.loop.RunUntilIdle();
+  f.agent.SendPing(MakeAddress(2), Seconds(1), [](std::optional<Duration>) {});
+  f.AnswerLastPingAfter(Milliseconds(20));
+  f.loop.RunUntilIdle();
+  // EWMA with alpha 0.25: 0.25*20 + 0.75*100 = 80 ms.
+  EXPECT_EQ(f.agent.SmoothedRtt(MakeAddress(2)), Milliseconds(80));
+}
+
+TEST(PingAgentTest, UnknownPeerMetricIsLarge) {
+  PingFixture f;
+  EXPECT_FALSE(f.agent.SmoothedRtt(MakeAddress(5)).has_value());
+  EXPECT_GE(f.agent.LinkMetricMs(MakeAddress(5)), 1000.0);
+}
+
+TEST(PingAgentTest, ConcurrentPingsMatchedByNonce) {
+  PingFixture f;
+  std::optional<Duration> a;
+  std::optional<Duration> b;
+  f.agent.SendPing(MakeAddress(2), Seconds(1), [&](std::optional<Duration> rtt) { a = rtt; });
+  f.agent.SendPing(MakeAddress(3), Seconds(1), [&](std::optional<Duration> rtt) { b = rtt; });
+  ASSERT_EQ(f.sent.size(), 2u);
+  // Answer the second first.
+  Pong pong_b = PingAgent::PongFor(std::get<Ping>(f.sent[1].second.body));
+  Pong pong_a = PingAgent::PongFor(std::get<Ping>(f.sent[0].second.body));
+  f.loop.ScheduleAfter(Milliseconds(5),
+                       [&f, pong_b] { f.agent.HandlePong(MakeAddress(3), pong_b); });
+  f.loop.ScheduleAfter(Milliseconds(9),
+                       [&f, pong_a] { f.agent.HandlePong(MakeAddress(2), pong_a); });
+  f.loop.RunUntilIdle();
+  EXPECT_EQ(a, Milliseconds(9));
+  EXPECT_EQ(b, Milliseconds(5));
+}
+
+// End-to-end over the simulated network: a live INR answers pings.
+TEST(PingAgentTest, EndToEndAgainstLiveInr) {
+  SimCluster cluster;
+  cluster.net().SetDefaultLink({Milliseconds(3), 0, 0});
+  cluster.AddInr(1);
+  cluster.StabilizeTopology();
+
+  auto client = cluster.AddEndpoint(50);
+  PingAgent agent(&cluster.loop(), [&](const NodeAddress& dst, const Envelope& env) {
+    client->Send(dst, env);
+  });
+  std::optional<Duration> rtt;
+  // Pongs arrive at the endpoint; feed them to the agent.
+  client->socket().SetReceiveHandler([&](const NodeAddress& src, const Bytes& data) {
+    auto env = DecodeMessage(data);
+    ASSERT_TRUE(env.ok());
+    if (auto* pong = std::get_if<Pong>(&env->body)) {
+      agent.HandlePong(src, *pong);
+    }
+  });
+  agent.SendPing(MakeAddress(1), Seconds(1), [&](std::optional<Duration> r) { rtt = r; });
+  cluster.Settle();
+  ASSERT_TRUE(rtt.has_value());
+  EXPECT_EQ(*rtt, Milliseconds(6));  // 3 ms each way
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,205 @@
+// Tests for the Printer application: metric-driven load balancing via
+// intentional anycast, queue listing, job removal with permissions, and
+// error handling.
+
+#include <gtest/gtest.h>
+
+#include "ins/apps/printer.h"
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct PrinterFixture {
+  PrinterFixture() {
+    inr = cluster.AddInr(1);
+    cluster.StabilizeTopology();
+  }
+  SimCluster cluster;
+  Inr* inr;
+};
+
+TEST(PrinterTest, SubmitToNamedPrinter) {
+  PrinterFixture f;
+  AppHost p_host(&f.cluster, 10, f.inr->address());
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  PrinterSpooler lw1(p_host.client.get(), "lw1", "517");
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+
+  Status status = InternalError("pending");
+  PrinterClient::SubmitResult result;
+  user.SubmitToPrinter("lw1", Bytes(1000, 'x'), [&](Status s, auto r) {
+    status = s;
+    result = r;
+  });
+  f.cluster.Settle();
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(result.printer_id, "lw1");
+  EXPECT_EQ(lw1.queue().size(), 1u);
+  EXPECT_EQ(lw1.queue().front().user, "alice");
+  EXPECT_EQ(lw1.queue().front().size_bytes, 1000u);
+}
+
+TEST(PrinterTest, AnycastBalancesLoadAcrossPrinters) {
+  PrinterFixture f;
+  AppHost p1_host(&f.cluster, 10, f.inr->address());
+  AppHost p2_host(&f.cluster, 11, f.inr->address());
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  // Slow printers so queues persist during the burst.
+  PrinterSpooler::Options slow;
+  slow.bytes_per_tick = 1;
+  slow.tick_interval = Seconds(60);
+  PrinterSpooler p1(p1_host.client.get(), "lw1", "517", slow);
+  PrinterSpooler p2(p2_host.client.get(), "lw2", "517", slow);
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+
+  // Submit a burst by location; each job changes the chosen printer's
+  // metric, so anycast alternates rather than pile on one printer.
+  int acks = 0;
+  for (int i = 0; i < 6; ++i) {
+    user.SubmitToBest("517", Bytes(10000, 'x'), [&](Status s, auto) {
+      ASSERT_TRUE(s.ok()) << s;
+      ++acks;
+    });
+    f.cluster.Settle();
+  }
+  EXPECT_EQ(acks, 6);
+  EXPECT_EQ(p1.queue().size(), 3u);
+  EXPECT_EQ(p2.queue().size(), 3u);
+}
+
+TEST(PrinterTest, ErroredPrinterAvoided) {
+  PrinterFixture f;
+  AppHost p1_host(&f.cluster, 10, f.inr->address());
+  AppHost p2_host(&f.cluster, 11, f.inr->address());
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  PrinterSpooler::Options slow;
+  slow.tick_interval = Seconds(600);  // keep queues stable during the test
+  PrinterSpooler p1(p1_host.client.get(), "lw1", "517", slow);
+  PrinterSpooler p2(p2_host.client.get(), "lw2", "517", slow);
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+
+  p1.SetError(true);  // out of paper: huge metric penalty
+  f.cluster.Settle();
+  for (int i = 0; i < 3; ++i) {
+    user.SubmitToBest("517", Bytes(100, 'x'), [](Status, auto) {});
+    f.cluster.Settle();
+  }
+  EXPECT_EQ(p1.queue().size(), 0u);
+  EXPECT_EQ(p2.queue().size(), 3u);
+
+  // Paper fixed; p1 becomes attractive again.
+  p1.SetError(false);
+  f.cluster.Settle();
+  user.SubmitToBest("517", Bytes(100, 'x'), [](Status, auto) {});
+  f.cluster.Settle();
+  EXPECT_EQ(p1.queue().size(), 1u);
+}
+
+TEST(PrinterTest, JobsDrainOverTime) {
+  PrinterFixture f;
+  AppHost p_host(&f.cluster, 10, f.inr->address());
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  PrinterSpooler::Options fast;
+  fast.bytes_per_tick = 1000;
+  fast.tick_interval = Seconds(1);
+  PrinterSpooler lw1(p_host.client.get(), "lw1", "517", fast);
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+
+  user.SubmitToPrinter("lw1", Bytes(2500, 'x'), [](Status, auto) {});
+  f.cluster.Settle();
+  ASSERT_EQ(lw1.queue().size(), 1u);
+  f.cluster.loop().RunFor(Seconds(4));
+  EXPECT_EQ(lw1.queue().size(), 0u);
+  EXPECT_EQ(lw1.jobs_completed(), 1u);
+  EXPECT_DOUBLE_EQ(lw1.current_metric(), 0.0);
+}
+
+TEST(PrinterTest, ListJobsShowsQueue) {
+  PrinterFixture f;
+  AppHost p_host(&f.cluster, 10, f.inr->address());
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  PrinterSpooler::Options slow;
+  slow.tick_interval = Seconds(600);
+  PrinterSpooler lw1(p_host.client.get(), "lw1", "517", slow);
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+
+  user.SubmitToPrinter("lw1", Bytes(100, 'x'), [](Status, auto) {});
+  f.cluster.Settle();
+  user.SubmitToPrinter("lw1", Bytes(200, 'y'), [](Status, auto) {});
+  f.cluster.Settle();
+
+  std::vector<PrintJob> jobs;
+  user.ListJobs("lw1", [&](Status s, auto j) {
+    ASSERT_TRUE(s.ok()) << s;
+    jobs = std::move(j);
+  });
+  f.cluster.Settle();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].user, "alice");
+  EXPECT_EQ(jobs[1].size_bytes, 200u);
+}
+
+TEST(PrinterTest, RemoveJobRespectsOwnership) {
+  PrinterFixture f;
+  AppHost p_host(&f.cluster, 10, f.inr->address());
+  AppHost alice_host(&f.cluster, 20, f.inr->address());
+  AppHost bob_host(&f.cluster, 21, f.inr->address());
+  PrinterSpooler::Options slow;
+  slow.tick_interval = Seconds(600);
+  PrinterSpooler lw1(p_host.client.get(), "lw1", "517", slow);
+  PrinterClient alice(alice_host.client.get(), "alice");
+  PrinterClient bob(bob_host.client.get(), "bob");
+  f.cluster.Settle();
+
+  uint64_t job_id = 0;
+  alice.SubmitToPrinter("lw1", Bytes(100, 'x'), [&](Status, auto r) { job_id = r.job_id; });
+  f.cluster.Settle();
+  ASSERT_NE(job_id, 0u);
+
+  // Bob cannot remove Alice's job.
+  Status bob_status;
+  bob.RemoveJob("lw1", job_id, [&](Status s) { bob_status = s; });
+  f.cluster.Settle();
+  EXPECT_EQ(bob_status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(lw1.queue().size(), 1u);
+
+  // Alice can.
+  Status alice_status = InternalError("pending");
+  alice.RemoveJob("lw1", job_id, [&](Status s) { alice_status = s; });
+  f.cluster.Settle();
+  EXPECT_TRUE(alice_status.ok()) << alice_status;
+  EXPECT_EQ(lw1.queue().size(), 0u);
+}
+
+TEST(PrinterTest, SubmitToMissingPrinterTimesOut) {
+  PrinterFixture f;
+  AppHost u_host(&f.cluster, 20, f.inr->address());
+  PrinterClient user(u_host.client.get(), "alice");
+  f.cluster.Settle();
+  Status status;
+  user.SubmitToPrinter("ghost", Bytes(10, 'x'), [&](Status s, auto) { status = s; });
+  f.cluster.loop().RunFor(Seconds(5));
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace ins

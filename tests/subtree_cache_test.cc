@@ -1,0 +1,145 @@
+// Tests for the Figure-4 subtree record cache: a cached tree must behave
+// identically to the default tree under arbitrary churn, while maintaining
+// its internal cache invariants.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ins/name/parser.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+AnnouncerId Id(uint32_t n) { return AnnouncerId{0x0a000000u + n, 1000, 0}; }
+
+NameRecord Rec(uint32_t n) {
+  NameRecord r;
+  r.announcer = Id(n);
+  r.endpoint.address = MakeAddress(n);
+  r.expires = Seconds(3600);
+  r.version = 1;
+  return r;
+}
+
+NameTree::Options Cached() {
+  NameTree::Options o;
+  o.cache_subtree_records = true;
+  return o;
+}
+
+std::set<uint32_t> Ids(const std::vector<const NameRecord*>& recs) {
+  std::set<uint32_t> out;
+  for (const NameRecord* r : recs) {
+    out.insert(r->announcer.ip - 0x0a000000u);
+  }
+  return out;
+}
+
+TEST(SubtreeCacheTest, BasicLookupsIdenticalToDefault) {
+  NameTree cached(Cached());
+  cached.Upsert(P("[service=camera[id=a]]"), Rec(1));
+  cached.Upsert(P("[service=camera[id=b]]"), Rec(2));
+  cached.Upsert(P("[service=printer]"), Rec(3));
+  ASSERT_TRUE(cached.CheckInvariants().ok()) << cached.CheckInvariants();
+
+  EXPECT_EQ(Ids(cached.Lookup(P("[service=camera[id=*]]"))), (std::set<uint32_t>{1, 2}));
+  EXPECT_EQ(Ids(cached.Lookup(P("[service=camera]"))), (std::set<uint32_t>{1, 2}));
+  EXPECT_EQ(Ids(cached.Lookup(P("[service=*]"))), (std::set<uint32_t>{1, 2, 3}));
+}
+
+TEST(SubtreeCacheTest, CacheMaintainedThroughRemoveAndRename) {
+  NameTree t(Cached());
+  t.Upsert(P("[service=camera][room=510]"), Rec(1));
+  t.Upsert(P("[service=camera][room=517]"), Rec(2));
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+
+  t.Remove(Id(1));
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+  EXPECT_EQ(Ids(t.Lookup(P("[service=camera]"))), std::set<uint32_t>{2});
+
+  NameRecord moved = Rec(2);
+  moved.version = 2;
+  t.Upsert(P("[service=camera][room=520]"), moved);
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+  EXPECT_EQ(Ids(t.Lookup(P("[room=520]"))), std::set<uint32_t>{2});
+  EXPECT_TRUE(t.Lookup(P("[room=517]")).empty());
+}
+
+TEST(SubtreeCacheTest, StatsIncludeCacheMemory) {
+  NameTree plain;
+  NameTree cached(Cached());
+  Rng ra(1);
+  Rng rb(1);
+  for (uint32_t i = 1; i <= 200; ++i) {
+    NameSpecifier n1 = GenerateUniformName(ra, kPaperLookupParams);
+    NameSpecifier n2 = GenerateUniformName(rb, kPaperLookupParams);
+    plain.Upsert(n1, Rec(i));
+    cached.Upsert(n2, Rec(i));
+  }
+  EXPECT_GT(cached.ComputeStats().bytes, plain.ComputeStats().bytes);
+}
+
+struct ChurnParams {
+  uint64_t seed;
+  UniformNameParams shape;
+};
+
+class SubtreeCacheChurnTest : public ::testing::TestWithParam<ChurnParams> {};
+
+TEST_P(SubtreeCacheChurnTest, CachedTreeEquivalentToDefaultUnderChurn) {
+  const auto& params = GetParam();
+  Rng rng(params.seed);
+  NameTree plain;
+  NameTree cached(Cached());
+  uint64_t version = 1;
+
+  for (int step = 0; step < 300; ++step) {
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      uint32_t id = static_cast<uint32_t>(rng.NextBelow(50)) + 1;
+      NameSpecifier ad = GenerateUniformName(rng, params.shape);
+      NameRecord r = Rec(id);
+      r.version = version++;
+      plain.Upsert(ad, r);
+      cached.Upsert(ad, r);
+    } else if (dice < 0.75) {
+      uint32_t id = static_cast<uint32_t>(rng.NextBelow(50)) + 1;
+      EXPECT_EQ(plain.Remove(Id(id)), cached.Remove(Id(id)));
+    } else {
+      NameSpecifier q = GenerateUniformName(rng, params.shape);
+      EXPECT_EQ(Ids(plain.Lookup(q)), Ids(cached.Lookup(q))) << q.ToString();
+      // Also a wildcard-heavy derived query.
+      auto all = plain.AllRecords();
+      if (!all.empty()) {
+        NameSpecifier base = plain.ExtractName(all[rng.NextBelow(all.size())]);
+        NameSpecifier derived = DeriveQuery(rng, base, 0.7, 0.5);
+        EXPECT_EQ(Ids(plain.Lookup(derived)), Ids(cached.Lookup(derived)))
+            << derived.ToString();
+      }
+    }
+    if (step % 60 == 0) {
+      ASSERT_TRUE(cached.CheckInvariants().ok()) << cached.CheckInvariants();
+    }
+  }
+  ASSERT_TRUE(cached.CheckInvariants().ok()) << cached.CheckInvariants();
+  EXPECT_EQ(plain.record_count(), cached.record_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SubtreeCacheChurnTest,
+                         ::testing::Values(ChurnParams{1, {3, 3, 2, 3}},
+                                           ChurnParams{2, {2, 2, 1, 2}},
+                                           ChurnParams{3, {4, 5, 2, 2}},
+                                           ChurnParams{4, {3, 3, 2, 4}},
+                                           ChurnParams{5, {2, 4, 2, 3}}));
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,216 @@
+// Tests for the self-configuring spanning-tree overlay.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+// Counts undirected overlay links, verifying symmetric neighbor views.
+size_t CountLinks(std::vector<Inr*> inrs) {
+  std::map<NodeAddress, std::set<NodeAddress>> adj;
+  for (Inr* inr : inrs) {
+    for (const NodeAddress& n : inr->topology().NeighborAddresses()) {
+      adj[inr->address()].insert(n);
+    }
+  }
+  size_t links = 0;
+  for (const auto& [a, peers] : adj) {
+    for (const NodeAddress& b : peers) {
+      EXPECT_TRUE(adj[b].count(a) > 0)
+          << "asymmetric link " << a.ToString() << " <-> " << b.ToString();
+      if (a < b) {
+        ++links;
+      }
+    }
+  }
+  return links;
+}
+
+// Union-find connectivity check over the overlay.
+bool IsConnectedTree(std::vector<Inr*> inrs) {
+  if (inrs.empty()) {
+    return true;
+  }
+  std::map<NodeAddress, NodeAddress> parent;
+  std::function<NodeAddress(NodeAddress)> find = [&](NodeAddress x) {
+    while (parent[x] != x) {
+      x = parent[x] = parent[parent[x]];
+    }
+    return x;
+  };
+  for (Inr* inr : inrs) {
+    parent.emplace(inr->address(), inr->address());
+  }
+  size_t merges = 0;
+  for (Inr* inr : inrs) {
+    for (const NodeAddress& n : inr->topology().NeighborAddresses()) {
+      NodeAddress ra = find(inr->address());
+      NodeAddress rb = find(n);
+      if (ra != rb) {
+        parent[ra] = rb;
+        ++merges;
+      }
+    }
+  }
+  return merges == inrs.size() - 1 && CountLinks(inrs) == inrs.size() - 1;
+}
+
+TEST(TopologyTest, SingleInrJoinsAsRoot) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(2));
+  EXPECT_TRUE(a->topology().joined());
+  EXPECT_TRUE(a->topology().NeighborAddresses().empty());
+}
+
+TEST(TopologyTest, TwoInrsPeer) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  EXPECT_EQ(a->topology().NeighborAddresses(), std::vector<NodeAddress>{b->address()});
+  EXPECT_EQ(b->topology().NeighborAddresses(), std::vector<NodeAddress>{a->address()});
+  EXPECT_EQ(b->topology().parent(), a->address());
+}
+
+TEST(TopologyTest, SequentialJoinsFormSpanningTree) {
+  SimCluster cluster;
+  for (uint32_t i = 1; i <= 8; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology();
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+}
+
+TEST(TopologyTest, SimultaneousJoinsFormSpanningTree) {
+  SimCluster cluster;
+  // All at once: the DSR's linear order resolves the race.
+  for (uint32_t i = 1; i <= 6; ++i) {
+    cluster.AddInr(i);
+  }
+  cluster.StabilizeTopology();
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+}
+
+TEST(TopologyTest, NewInrPicksMinimumRttPeer) {
+  SimCluster cluster;
+  // Host 3 is much closer to host 2 than to host 1.
+  cluster.net().SetLink(MakeAddress(1).ip, MakeAddress(3).ip, {Milliseconds(50), 0, 0});
+  cluster.net().SetLink(MakeAddress(2).ip, MakeAddress(3).ip, {Milliseconds(2), 0, 0});
+  cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology();
+  EXPECT_EQ(c->topology().parent(), MakeAddress(2));
+}
+
+TEST(TopologyTest, ParentFailureTriggersRejoin) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology();
+  ASSERT_TRUE(c->topology().joined());
+
+  // Kill whoever c peers with (its parent), ungracefully.
+  NodeAddress dead = *c->topology().parent();
+  Inr* victim = dead == a->address() ? a : b;
+  Inr* survivor = victim == a ? b : a;
+  cluster.CrashInr(victim);
+
+  // Keepalives (5 s interval, 3 missed) detect the failure; c rejoins.
+  cluster.loop().RunFor(Seconds(40));
+  EXPECT_TRUE(c->topology().joined());
+  EXPECT_EQ(c->topology().parent(), survivor->address());
+  EXPECT_GT(c->metrics().Counter("topology.neighbor_failures"), 0u);
+}
+
+TEST(TopologyTest, GracefulStopNotifiesPeers) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  b->Stop();
+  cluster.loop().RunFor(Seconds(1));
+  // a learns immediately via PeerClose, no keepalive wait.
+  EXPECT_TRUE(a->topology().NeighborAddresses().empty());
+  // And the DSR no longer lists b.
+  EXPECT_EQ(cluster.dsr().ActiveInrs(), std::vector<NodeAddress>{a->address()});
+}
+
+TEST(TopologyTest, RelaxationImprovesParentChoice) {
+  ClusterOptions options;
+  options.inr_template.topology.enable_relaxation = true;
+  options.inr_template.topology.relaxation_interval = Seconds(10);
+  SimCluster cluster(options);
+
+  // At join time a is the closest peer for c, so c parents a.
+  cluster.net().SetLink(MakeAddress(1).ip, MakeAddress(3).ip, {Milliseconds(5), 0, 0});
+  cluster.net().SetLink(MakeAddress(2).ip, MakeAddress(3).ip, {Milliseconds(50), 0, 0});
+  cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  (void)b;
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology();
+  ASSERT_EQ(c->topology().parent(), MakeAddress(1));
+
+  // Network conditions change: the link to b becomes much faster. The
+  // relaxation phase re-probes and re-parents c under b (a legal parent —
+  // b joined before c in the DSR's linear order).
+  cluster.net().SetLink(MakeAddress(2).ip, MakeAddress(3).ip, {Milliseconds(1), 0, 0});
+  cluster.loop().RunFor(Seconds(60));
+  EXPECT_EQ(c->topology().parent(), MakeAddress(2));
+  EXPECT_GT(c->metrics().Counter("topology.relaxation_switches"), 0u);
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+}
+
+TEST(TopologyTest, RelaxationNeverAdoptsLaterJoiner) {
+  ClusterOptions options;
+  options.inr_template.topology.enable_relaxation = true;
+  options.inr_template.topology.relaxation_interval = Seconds(10);
+  SimCluster cluster(options);
+
+  // b's best RTT is to c, but c joined after b: switching would risk a cycle.
+  cluster.net().SetLink(MakeAddress(1).ip, MakeAddress(2).ip, {Milliseconds(20), 0, 0});
+  cluster.net().SetLink(MakeAddress(2).ip, MakeAddress(3).ip, {Milliseconds(1), 0, 0});
+  cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(3);
+  cluster.StabilizeTopology();
+
+  cluster.loop().RunFor(Seconds(60));
+  EXPECT_EQ(b->topology().parent(), MakeAddress(1));
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+}
+
+TEST(TopologyTest, TreeSurvivesLossyLinks) {
+  ClusterOptions options;
+  options.default_link = {Milliseconds(2), 0, 0.05};  // 5% loss
+  SimCluster cluster(options);
+  for (uint32_t i = 1; i <= 5; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology(Seconds(120));
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,134 @@
+// Tests for the loopback and real-UDP transports.
+
+#include <gtest/gtest.h>
+
+#include "ins/sim/event_loop.h"
+#include "ins/transport/loopback.h"
+#include "ins/transport/udp_transport.h"
+
+namespace ins {
+namespace {
+
+TEST(LoopbackTest, SynchronousDelivery) {
+  LoopbackNetwork net;
+  auto a = net.Bind(MakeAddress(1));
+  auto b = net.Bind(MakeAddress(2));
+  Bytes got;
+  NodeAddress from;
+  b->SetReceiveHandler([&](const NodeAddress& src, const Bytes& data) {
+    from = src;
+    got = data;
+  });
+  ASSERT_TRUE(a->Send(MakeAddress(2), {1, 2, 3}).ok());
+  EXPECT_EQ(got, (Bytes{1, 2, 3}));
+  EXPECT_EQ(from, MakeAddress(1));
+  EXPECT_EQ(net.delivered_count(), 1u);
+}
+
+TEST(LoopbackTest, DeferredThroughExecutor) {
+  sim::EventLoop loop;
+  LoopbackNetwork net(&loop);
+  auto a = net.Bind(MakeAddress(1));
+  auto b = net.Bind(MakeAddress(2));
+  int got = 0;
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { ++got; });
+  a->Send(MakeAddress(2), {1});
+  EXPECT_EQ(got, 0);  // not yet: delivery deferred
+  loop.RunUntilIdle();
+  EXPECT_EQ(got, 1);
+}
+
+TEST(LoopbackTest, UnknownDestinationDrops) {
+  LoopbackNetwork net;
+  auto a = net.Bind(MakeAddress(1));
+  EXPECT_TRUE(a->Send(MakeAddress(5), {1}).ok());
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST(LoopbackTest, BlackholeFaultInjection) {
+  LoopbackNetwork net;
+  auto a = net.Bind(MakeAddress(1));
+  auto b = net.Bind(MakeAddress(2));
+  int got = 0;
+  b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { ++got; });
+  net.SetBlackhole(MakeAddress(2), true);
+  a->Send(MakeAddress(2), {1});
+  EXPECT_EQ(got, 0);
+  net.SetBlackhole(MakeAddress(2), false);
+  a->Send(MakeAddress(2), {1});
+  EXPECT_EQ(got, 1);
+}
+
+TEST(LoopbackTest, EndpointUnbindsOnDestruction) {
+  LoopbackNetwork net;
+  auto a = net.Bind(MakeAddress(1));
+  {
+    auto b = net.Bind(MakeAddress(2));
+    b->SetReceiveHandler([](const NodeAddress&, const Bytes&) {});
+    a->Send(MakeAddress(2), {1});
+    EXPECT_EQ(net.delivered_count(), 1u);
+  }
+  a->Send(MakeAddress(2), {1});
+  EXPECT_EQ(net.dropped_count(), 1u);
+}
+
+TEST(UdpTransportTest, RoundTripOverLocalhost) {
+  RealEventLoop loop;
+  auto a = UdpTransport::Bind(&loop, MakeAddress(1, 42311));
+  auto b = UdpTransport::Bind(&loop, MakeAddress(2, 42312));
+  ASSERT_TRUE(a.ok()) << a.status();
+  ASSERT_TRUE(b.ok()) << b.status();
+
+  Bytes got;
+  NodeAddress from;
+  (*b)->SetReceiveHandler([&](const NodeAddress& src, const Bytes& data) {
+    from = src;
+    got = data;
+    loop.Stop();
+  });
+  ASSERT_TRUE((*a)->Send(MakeAddress(2, 42312), {7, 8, 9}).ok());
+  loop.RunFor(Seconds(2));
+  EXPECT_EQ(got, (Bytes{7, 8, 9}));
+  // The virtual source header preserves the sender's virtual identity.
+  EXPECT_EQ(from, MakeAddress(1, 42311));
+}
+
+TEST(UdpTransportTest, BindConflictFails) {
+  RealEventLoop loop;
+  auto a = UdpTransport::Bind(&loop, MakeAddress(1, 42321));
+  ASSERT_TRUE(a.ok());
+  auto b = UdpTransport::Bind(&loop, MakeAddress(2, 42321));
+  EXPECT_FALSE(b.ok());
+}
+
+TEST(UdpTransportTest, OversizeDatagramRejected) {
+  RealEventLoop loop;
+  auto a = UdpTransport::Bind(&loop, MakeAddress(1, 42331));
+  ASSERT_TRUE(a.ok());
+  Bytes huge(70000, 0);
+  EXPECT_EQ((*a)->Send(MakeAddress(2, 42332), huge).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RealEventLoopTest, TimersFire) {
+  RealEventLoop loop;
+  int fired = 0;
+  loop.ScheduleAfter(Milliseconds(10), [&] { ++fired; });
+  loop.ScheduleAfter(Milliseconds(20), [&] {
+    ++fired;
+    loop.Stop();
+  });
+  loop.RunFor(Seconds(2));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(RealEventLoopTest, CancelWorks) {
+  RealEventLoop loop;
+  bool ran = false;
+  TaskId id = loop.ScheduleAfter(Milliseconds(5), [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.RunFor(Milliseconds(30));
+  EXPECT_FALSE(ran);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,124 @@
+// Robustness property tests on the wire codecs and the parser: random and
+// mutated inputs must never crash, and valid inputs must round-trip. The
+// resolvers sit on an open UDP port (§2: any device can talk to an INR), so
+// decoder hardening is a correctness requirement, not a nicety.
+
+#include <gtest/gtest.h>
+
+#include "ins/name/parser.h"
+#include "ins/wire/messages.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, RandomBytesNeverCrashDecoder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage(rng.NextBelow(300));
+    for (uint8_t& b : garbage) {
+      b = static_cast<uint8_t>(rng.NextU64());
+    }
+    auto result = DecodeMessage(garbage);  // must return, never crash
+    (void)result;
+  }
+}
+
+TEST_P(WireFuzzTest, TruncationsOfValidMessagesNeverCrash) {
+  Rng rng(GetParam());
+  NameUpdate update;
+  update.vspace = "building";
+  for (int i = 0; i < 4; ++i) {
+    NameUpdateEntry e;
+    e.name_text = GenerateSizedName(rng, 82).ToString();
+    e.announcer = AnnouncerId{1, 2, static_cast<uint32_t>(i)};
+    e.endpoint.address = MakeAddress(3);
+    e.endpoint.bindings = {{80, "http"}, {554, "rtsp"}};
+    e.lifetime_s = 45;
+    update.entries.push_back(std::move(e));
+  }
+  Bytes valid = Encode(update);
+  for (size_t len = 0; len < valid.size(); ++len) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(len));
+    auto result = DecodeMessage(truncated);
+    EXPECT_FALSE(result.ok()) << "truncation to " << len << " decoded";
+  }
+}
+
+TEST_P(WireFuzzTest, SingleByteMutationsNeverCrash) {
+  Rng rng(GetParam());
+  Advertisement ad;
+  ad.vspace = "v";
+  ad.name_text = GenerateSizedName(rng, 82).ToString();
+  ad.announcer = AnnouncerId{7, 8, 9};
+  ad.endpoint.address = MakeAddress(3);
+  ad.endpoint.bindings = {{80, "http"}};
+  ad.lifetime_s = 45;
+  Bytes valid = Encode(ad);
+  for (int i = 0; i < 1000; ++i) {
+    Bytes mutated = valid;
+    size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    auto result = DecodeMessage(mutated);
+    (void)result;  // ok() either way; just must not crash or over-read
+  }
+}
+
+TEST_P(WireFuzzTest, RandomPacketsRoundTrip) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    Packet p;
+    p.early_binding = rng.NextBool(0.3);
+    p.deliver_all = rng.NextBool(0.3);
+    p.answer_from_cache = rng.NextBool(0.2);
+    p.hop_limit = static_cast<uint16_t>(rng.NextBelow(32));
+    p.cache_lifetime_s = static_cast<uint32_t>(rng.NextBelow(1000));
+    p.source_name = GenerateSizedName(rng, 40 + rng.NextBelow(80)).ToString();
+    p.destination_name = GenerateSizedName(rng, 40 + rng.NextBelow(80)).ToString();
+    p.payload = Bytes(rng.NextBelow(600), static_cast<uint8_t>(rng.NextU64()));
+    auto decoded = DecodePacket(EncodePacket(p));
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(decoded->source_name, p.source_name);
+    EXPECT_EQ(decoded->destination_name, p.destination_name);
+    EXPECT_EQ(decoded->payload, p.payload);
+    EXPECT_EQ(decoded->hop_limit, p.hop_limit);
+  }
+}
+
+TEST_P(WireFuzzTest, ParserNeverCrashesOnRandomText) {
+  Rng rng(GetParam());
+  const char alphabet[] = "[]=<>* \tabz019.-";
+  for (int i = 0; i < 3000; ++i) {
+    std::string text;
+    size_t len = rng.NextBelow(120);
+    for (size_t j = 0; j < len; ++j) {
+      text.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+    }
+    auto result = ParseNameSpecifier(text);  // must return, never crash
+    if (result.ok()) {
+      // Anything accepted must survive a canonicalization round trip.
+      auto again = ParseNameSpecifier(result->ToString());
+      ASSERT_TRUE(again.ok()) << "'" << text << "' -> '" << result->ToString() << "'";
+      EXPECT_EQ(*again, *result);
+    }
+  }
+}
+
+TEST_P(WireFuzzTest, GeneratedNamesAlwaysRoundTripThroughWireText) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    UniformNameParams shape{1 + rng.NextBelow(4), 1 + rng.NextBelow(4), 0, 1 + rng.NextBelow(4)};
+    shape.na = 1 + rng.NextBelow(shape.ra);
+    NameSpecifier n = GenerateUniformName(rng, shape);
+    auto parsed = ParseNameSpecifier(n.ToString());
+    ASSERT_TRUE(parsed.ok()) << n.ToString();
+    EXPECT_EQ(*parsed, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ins
