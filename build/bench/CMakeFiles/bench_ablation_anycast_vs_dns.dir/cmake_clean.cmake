@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_anycast_vs_dns.dir/bench_ablation_anycast_vs_dns.cc.o"
+  "CMakeFiles/bench_ablation_anycast_vs_dns.dir/bench_ablation_anycast_vs_dns.cc.o.d"
+  "bench_ablation_anycast_vs_dns"
+  "bench_ablation_anycast_vs_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_anycast_vs_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_update_vs_lookup.dir/bench_ablation_update_vs_lookup.cc.o"
+  "CMakeFiles/bench_ablation_update_vs_lookup.dir/bench_ablation_update_vs_lookup.cc.o.d"
+  "bench_ablation_update_vs_lookup"
+  "bench_ablation_update_vs_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_update_vs_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lookup.dir/bench_fig12_lookup.cc.o"
+  "CMakeFiles/bench_fig12_lookup.dir/bench_fig12_lookup.cc.o.d"
+  "bench_fig12_lookup"
+  "bench_fig12_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

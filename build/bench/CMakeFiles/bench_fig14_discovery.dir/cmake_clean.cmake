@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_discovery.dir/bench_fig14_discovery.cc.o"
+  "CMakeFiles/bench_fig14_discovery.dir/bench_fig14_discovery.cc.o.d"
+  "bench_fig14_discovery"
+  "bench_fig14_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

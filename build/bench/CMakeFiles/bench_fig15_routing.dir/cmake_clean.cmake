@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_routing.dir/bench_fig15_routing.cc.o"
+  "CMakeFiles/bench_fig15_routing.dir/bench_fig15_routing.cc.o.d"
+  "bench_fig15_routing"
+  "bench_fig15_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_demo.dir/camera_demo.cpp.o"
+  "CMakeFiles/camera_demo.dir/camera_demo.cpp.o.d"
+  "camera_demo"
+  "camera_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

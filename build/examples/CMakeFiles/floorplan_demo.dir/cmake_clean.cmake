@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/floorplan_demo.dir/floorplan_demo.cpp.o"
+  "CMakeFiles/floorplan_demo.dir/floorplan_demo.cpp.o.d"
+  "floorplan_demo"
+  "floorplan_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/floorplan_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_monitor.dir/overlay_monitor.cpp.o"
+  "CMakeFiles/overlay_monitor.dir/overlay_monitor.cpp.o.d"
+  "overlay_monitor"
+  "overlay_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/printer_demo.dir/printer_demo.cpp.o"
+  "CMakeFiles/printer_demo.dir/printer_demo.cpp.o.d"
+  "printer_demo"
+  "printer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/printer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_apps.dir/ins/apps/camera.cc.o"
+  "CMakeFiles/ins_apps.dir/ins/apps/camera.cc.o.d"
+  "CMakeFiles/ins_apps.dir/ins/apps/floorplan.cc.o"
+  "CMakeFiles/ins_apps.dir/ins/apps/floorplan.cc.o.d"
+  "CMakeFiles/ins_apps.dir/ins/apps/printer.cc.o"
+  "CMakeFiles/ins_apps.dir/ins/apps/printer.cc.o.d"
+  "libins_apps.a"
+  "libins_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

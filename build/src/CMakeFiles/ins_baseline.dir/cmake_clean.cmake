@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_baseline.dir/ins/baseline/dns_baseline.cc.o"
+  "CMakeFiles/ins_baseline.dir/ins/baseline/dns_baseline.cc.o.d"
+  "CMakeFiles/ins_baseline.dir/ins/baseline/linear_name_table.cc.o"
+  "CMakeFiles/ins_baseline.dir/ins/baseline/linear_name_table.cc.o.d"
+  "libins_baseline.a"
+  "libins_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

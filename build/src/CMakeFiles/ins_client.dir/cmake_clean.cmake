@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_client.dir/ins/client/api.cc.o"
+  "CMakeFiles/ins_client.dir/ins/client/api.cc.o.d"
+  "CMakeFiles/ins_client.dir/ins/client/mobility.cc.o"
+  "CMakeFiles/ins_client.dir/ins/client/mobility.cc.o.d"
+  "libins_client.a"
+  "libins_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ins/common/bytes.cc" "src/CMakeFiles/ins_common.dir/ins/common/bytes.cc.o" "gcc" "src/CMakeFiles/ins_common.dir/ins/common/bytes.cc.o.d"
+  "/root/repo/src/ins/common/logging.cc" "src/CMakeFiles/ins_common.dir/ins/common/logging.cc.o" "gcc" "src/CMakeFiles/ins_common.dir/ins/common/logging.cc.o.d"
+  "/root/repo/src/ins/common/metrics.cc" "src/CMakeFiles/ins_common.dir/ins/common/metrics.cc.o" "gcc" "src/CMakeFiles/ins_common.dir/ins/common/metrics.cc.o.d"
+  "/root/repo/src/ins/common/status.cc" "src/CMakeFiles/ins_common.dir/ins/common/status.cc.o" "gcc" "src/CMakeFiles/ins_common.dir/ins/common/status.cc.o.d"
+  "/root/repo/src/ins/common/string_util.cc" "src/CMakeFiles/ins_common.dir/ins/common/string_util.cc.o" "gcc" "src/CMakeFiles/ins_common.dir/ins/common/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

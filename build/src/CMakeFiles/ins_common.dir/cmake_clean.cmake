@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_common.dir/ins/common/bytes.cc.o"
+  "CMakeFiles/ins_common.dir/ins/common/bytes.cc.o.d"
+  "CMakeFiles/ins_common.dir/ins/common/logging.cc.o"
+  "CMakeFiles/ins_common.dir/ins/common/logging.cc.o.d"
+  "CMakeFiles/ins_common.dir/ins/common/metrics.cc.o"
+  "CMakeFiles/ins_common.dir/ins/common/metrics.cc.o.d"
+  "CMakeFiles/ins_common.dir/ins/common/status.cc.o"
+  "CMakeFiles/ins_common.dir/ins/common/status.cc.o.d"
+  "CMakeFiles/ins_common.dir/ins/common/string_util.cc.o"
+  "CMakeFiles/ins_common.dir/ins/common/string_util.cc.o.d"
+  "libins_common.a"
+  "libins_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

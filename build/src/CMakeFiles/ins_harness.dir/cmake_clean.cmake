@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_harness.dir/ins/harness/cluster.cc.o"
+  "CMakeFiles/ins_harness.dir/ins/harness/cluster.cc.o.d"
+  "libins_harness.a"
+  "libins_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

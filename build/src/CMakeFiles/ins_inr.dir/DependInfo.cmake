@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ins/inr/forwarding.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/forwarding.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/forwarding.cc.o.d"
+  "/root/repo/src/ins/inr/inr.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/inr.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/inr.cc.o.d"
+  "/root/repo/src/ins/inr/load_balancer.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/load_balancer.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/load_balancer.cc.o.d"
+  "/root/repo/src/ins/inr/name_discovery.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/name_discovery.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/name_discovery.cc.o.d"
+  "/root/repo/src/ins/inr/packet_cache.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/packet_cache.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/packet_cache.cc.o.d"
+  "/root/repo/src/ins/inr/vspace.cc" "src/CMakeFiles/ins_inr.dir/ins/inr/vspace.cc.o" "gcc" "src/CMakeFiles/ins_inr.dir/ins/inr/vspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ins_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_nametree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_name.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_inr.dir/ins/inr/forwarding.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/forwarding.cc.o.d"
+  "CMakeFiles/ins_inr.dir/ins/inr/inr.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/inr.cc.o.d"
+  "CMakeFiles/ins_inr.dir/ins/inr/load_balancer.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/load_balancer.cc.o.d"
+  "CMakeFiles/ins_inr.dir/ins/inr/name_discovery.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/name_discovery.cc.o.d"
+  "CMakeFiles/ins_inr.dir/ins/inr/packet_cache.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/packet_cache.cc.o.d"
+  "CMakeFiles/ins_inr.dir/ins/inr/vspace.cc.o"
+  "CMakeFiles/ins_inr.dir/ins/inr/vspace.cc.o.d"
+  "libins_inr.a"
+  "libins_inr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_inr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ins/name/matcher.cc" "src/CMakeFiles/ins_name.dir/ins/name/matcher.cc.o" "gcc" "src/CMakeFiles/ins_name.dir/ins/name/matcher.cc.o.d"
+  "/root/repo/src/ins/name/name_specifier.cc" "src/CMakeFiles/ins_name.dir/ins/name/name_specifier.cc.o" "gcc" "src/CMakeFiles/ins_name.dir/ins/name/name_specifier.cc.o.d"
+  "/root/repo/src/ins/name/parser.cc" "src/CMakeFiles/ins_name.dir/ins/name/parser.cc.o" "gcc" "src/CMakeFiles/ins_name.dir/ins/name/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_name.dir/ins/name/matcher.cc.o"
+  "CMakeFiles/ins_name.dir/ins/name/matcher.cc.o.d"
+  "CMakeFiles/ins_name.dir/ins/name/name_specifier.cc.o"
+  "CMakeFiles/ins_name.dir/ins/name/name_specifier.cc.o.d"
+  "CMakeFiles/ins_name.dir/ins/name/parser.cc.o"
+  "CMakeFiles/ins_name.dir/ins/name/parser.cc.o.d"
+  "libins_name.a"
+  "libins_name.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

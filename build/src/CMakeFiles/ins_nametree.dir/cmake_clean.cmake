@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_nametree.dir/ins/nametree/name_record.cc.o"
+  "CMakeFiles/ins_nametree.dir/ins/nametree/name_record.cc.o.d"
+  "CMakeFiles/ins_nametree.dir/ins/nametree/name_tree.cc.o"
+  "CMakeFiles/ins_nametree.dir/ins/nametree/name_tree.cc.o.d"
+  "libins_nametree.a"
+  "libins_nametree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_nametree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

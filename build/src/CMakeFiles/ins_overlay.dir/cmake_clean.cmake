@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_overlay.dir/ins/overlay/dsr.cc.o"
+  "CMakeFiles/ins_overlay.dir/ins/overlay/dsr.cc.o.d"
+  "CMakeFiles/ins_overlay.dir/ins/overlay/ping.cc.o"
+  "CMakeFiles/ins_overlay.dir/ins/overlay/ping.cc.o.d"
+  "CMakeFiles/ins_overlay.dir/ins/overlay/topology.cc.o"
+  "CMakeFiles/ins_overlay.dir/ins/overlay/topology.cc.o.d"
+  "libins_overlay.a"
+  "libins_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libins_overlay.a"
+)

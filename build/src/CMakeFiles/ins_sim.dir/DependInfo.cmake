@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ins/sim/cpu_meter.cc" "src/CMakeFiles/ins_sim.dir/ins/sim/cpu_meter.cc.o" "gcc" "src/CMakeFiles/ins_sim.dir/ins/sim/cpu_meter.cc.o.d"
+  "/root/repo/src/ins/sim/event_loop.cc" "src/CMakeFiles/ins_sim.dir/ins/sim/event_loop.cc.o" "gcc" "src/CMakeFiles/ins_sim.dir/ins/sim/event_loop.cc.o.d"
+  "/root/repo/src/ins/sim/network.cc" "src/CMakeFiles/ins_sim.dir/ins/sim/network.cc.o" "gcc" "src/CMakeFiles/ins_sim.dir/ins/sim/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

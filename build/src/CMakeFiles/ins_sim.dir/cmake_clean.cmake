@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_sim.dir/ins/sim/cpu_meter.cc.o"
+  "CMakeFiles/ins_sim.dir/ins/sim/cpu_meter.cc.o.d"
+  "CMakeFiles/ins_sim.dir/ins/sim/event_loop.cc.o"
+  "CMakeFiles/ins_sim.dir/ins/sim/event_loop.cc.o.d"
+  "CMakeFiles/ins_sim.dir/ins/sim/network.cc.o"
+  "CMakeFiles/ins_sim.dir/ins/sim/network.cc.o.d"
+  "libins_sim.a"
+  "libins_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

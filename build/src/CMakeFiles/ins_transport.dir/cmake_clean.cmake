@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_transport.dir/ins/transport/loopback.cc.o"
+  "CMakeFiles/ins_transport.dir/ins/transport/loopback.cc.o.d"
+  "CMakeFiles/ins_transport.dir/ins/transport/udp_transport.cc.o"
+  "CMakeFiles/ins_transport.dir/ins/transport/udp_transport.cc.o.d"
+  "libins_transport.a"
+  "libins_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

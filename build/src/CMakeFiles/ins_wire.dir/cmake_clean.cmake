@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_wire.dir/ins/wire/messages.cc.o"
+  "CMakeFiles/ins_wire.dir/ins/wire/messages.cc.o.d"
+  "CMakeFiles/ins_wire.dir/ins/wire/packet.cc.o"
+  "CMakeFiles/ins_wire.dir/ins/wire/packet.cc.o.d"
+  "libins_wire.a"
+  "libins_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

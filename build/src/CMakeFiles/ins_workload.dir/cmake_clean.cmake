@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ins_workload.dir/ins/workload/namegen.cc.o"
+  "CMakeFiles/ins_workload.dir/ins/workload/namegen.cc.o.d"
+  "libins_workload.a"
+  "libins_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ins_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_scenario_test.dir/app_scenario_test.cc.o"
+  "CMakeFiles/app_scenario_test.dir/app_scenario_test.cc.o.d"
+  "app_scenario_test"
+  "app_scenario_test.pdb"
+  "app_scenario_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/camera_test.dir/camera_test.cc.o"
+  "CMakeFiles/camera_test.dir/camera_test.cc.o.d"
+  "camera_test"
+  "camera_test.pdb"
+  "camera_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/camera_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

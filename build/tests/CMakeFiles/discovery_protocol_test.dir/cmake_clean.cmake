@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discovery_protocol_test.dir/discovery_protocol_test.cc.o"
+  "CMakeFiles/discovery_protocol_test.dir/discovery_protocol_test.cc.o.d"
+  "discovery_protocol_test"
+  "discovery_protocol_test.pdb"
+  "discovery_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discovery_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsr_test.dir/dsr_test.cc.o"
+  "CMakeFiles/dsr_test.dir/dsr_test.cc.o.d"
+  "dsr_test"
+  "dsr_test.pdb"
+  "dsr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

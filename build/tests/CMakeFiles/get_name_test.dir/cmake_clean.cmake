@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/get_name_test.dir/get_name_test.cc.o"
+  "CMakeFiles/get_name_test.dir/get_name_test.cc.o.d"
+  "get_name_test"
+  "get_name_test.pdb"
+  "get_name_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/get_name_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inr_test.dir/inr_test.cc.o"
+  "CMakeFiles/inr_test.dir/inr_test.cc.o.d"
+  "inr_test"
+  "inr_test.pdb"
+  "inr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

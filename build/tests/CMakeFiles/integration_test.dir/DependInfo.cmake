@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ins_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_inr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_overlay.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_nametree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_name.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ins_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_specifier_test.dir/name_specifier_test.cc.o"
+  "CMakeFiles/name_specifier_test.dir/name_specifier_test.cc.o.d"
+  "name_specifier_test"
+  "name_specifier_test.pdb"
+  "name_specifier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_specifier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/name_tree_test.dir/name_tree_test.cc.o"
+  "CMakeFiles/name_tree_test.dir/name_tree_test.cc.o.d"
+  "name_tree_test"
+  "name_tree_test.pdb"
+  "name_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/name_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/namegen_test.dir/namegen_test.cc.o"
+  "CMakeFiles/namegen_test.dir/namegen_test.cc.o.d"
+  "namegen_test"
+  "namegen_test.pdb"
+  "namegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/namegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/packet_cache_test.dir/packet_cache_test.cc.o"
+  "CMakeFiles/packet_cache_test.dir/packet_cache_test.cc.o.d"
+  "packet_cache_test"
+  "packet_cache_test.pdb"
+  "packet_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/packet_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subtree_cache_test.dir/subtree_cache_test.cc.o"
+  "CMakeFiles/subtree_cache_test.dir/subtree_cache_test.cc.o.d"
+  "subtree_cache_test"
+  "subtree_cache_test.pdb"
+  "subtree_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subtree_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vspace_inr_test.dir/vspace_inr_test.cc.o"
+  "CMakeFiles/vspace_inr_test.dir/vspace_inr_test.cc.o.d"
+  "vspace_inr_test"
+  "vspace_inr_test.pdb"
+  "vspace_inr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vspace_inr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
