@@ -3,9 +3,10 @@
 // Runs a five-resolver domain inside the deterministic simulator, populates
 // it with services, then prints what an operator console would show: the DSR
 // view, each resolver's spanning-tree neighbors and link metrics, per-vspace
-// name-trees, and protocol counters. It then injects a resolver crash and
-// shows the healed topology — watching the system's robustness machinery
-// (keepalive failure detection, rejoin, soft-state expiry) do its job.
+// name-trees, and protocol counters. It then injects a resolver crash, a
+// network partition, and a DSR crash/restart, showing the healed topology
+// after each — watching the system's robustness machinery (keepalive failure
+// detection, backoff re-join, split merging, soft-state expiry) do its job.
 //
 //   $ ./overlay_monitor
 
@@ -98,10 +99,46 @@ int main() {
   cluster.loop().RunFor(Seconds(90));
   PrintDomain(cluster, "after crash + self-healing");
 
-  bool ok = true;
+  // Partition the domain: resolvers on hosts 1-2 on one side, 3-5 plus the
+  // DSR (and the service endpoint) on the other. Each side keeps a working
+  // tree; on heal, the minority-side root demotes itself and the trees merge.
+  std::printf("\n>> partitioning {hosts 1,2} | {hosts 4,5, DSR}\n");
+  // Host 3's resolver crashed above; leaving it out of every group isolates
+  // it entirely, which is exactly right for a dead host.
+  cluster.Partition({{1, 2}, {4, 5, 100, SimCluster::kDsrHostIndex}});
+  cluster.loop().RunFor(Seconds(40));
+  PrintDomain(cluster, "during partition (two independent trees)");
+  cluster.Heal();
+  auto merge_took = cluster.MeasureReconvergence();
+  std::printf("\n>> healed; trees merged in %.1f s (invariant: %s)\n",
+              merge_took ? ToSeconds(*merge_took) : -1.0,
+              cluster.CheckTreeInvariant().empty() ? "ok"
+                                                   : cluster.CheckTreeInvariant().c_str());
+  PrintDomain(cluster, "after partition heal");
+
+  // Crash the DSR and bring it back empty: soft-state re-registration must
+  // rebuild its view within one refresh interval.
+  std::printf("\n>> crashing DSR, restarting it empty 5 s later\n");
+  cluster.CrashDsr();
+  cluster.loop().RunFor(Seconds(5));
+  cluster.RestartDsr();
+  // The overlay never depended on the DSR once built, so the tree is intact
+  // throughout; the DSR's view refills from soft-state re-registrations
+  // within one (jittered) refresh interval.
+  auto dsr_took = cluster.MeasureReconvergence();
+  cluster.loop().RunFor(cluster.options().inr_template.topology.dsr_refresh_interval);
+  std::printf(">> overlay intact (reconverged in %.1f s); DSR relearned %zu "
+              "resolvers within one refresh interval\n",
+              dsr_took ? ToSeconds(*dsr_took) : -1.0,
+              cluster.dsr().ActiveInrs().size());
+  PrintDomain(cluster, "after DSR restart");
+
+  bool ok = merge_took.has_value() && dsr_took.has_value() &&
+            cluster.dsr().ActiveInrs().size() == 4;
   for (Inr* inr : cluster.inrs()) {
     ok = ok && inr->topology().joined();
   }
+  ok = ok && cluster.CheckTreeInvariant().empty();
   std::printf("\noverlay_monitor: %s\n", ok ? "OK (domain healed)" : "FAILED");
   return ok ? 0 : 1;
 }

@@ -1,0 +1,72 @@
+// Jittered exponential backoff.
+//
+// Retry loops that fire on a fixed interval synchronize across nodes: after a
+// partition heals, every orphaned resolver re-joins (and re-registers) in the
+// same event-loop tick, hammering the DSR and each other — the classic
+// thundering herd. Every retry in the overlay therefore draws its delay from
+// a Backoff: exponential growth with a cap bounds the worst-case retry rate,
+// and per-node deterministic jitter decorrelates the fleet while keeping
+// simulation runs bit-reproducible from a seed.
+
+#ifndef INS_COMMON_BACKOFF_H_
+#define INS_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "ins/common/clock.h"
+#include "ins/common/rng.h"
+
+namespace ins {
+
+struct BackoffConfig {
+  Duration initial = Milliseconds(1000);
+  Duration max = Seconds(30);
+  double multiplier = 2.0;
+  // Fraction of the nominal delay randomized away: the k-th delay is drawn
+  // uniformly from [d*(1-jitter), d] where d = min(initial*multiplier^k, max).
+  double jitter = 0.3;
+};
+
+// Draws `base` scaled uniformly from [1-frac, 1]. Shaving the interval down
+// (never up) keeps jittered soft-state refreshes inside their lifetime.
+inline Duration ApplyJitter(Duration base, double frac, Rng& rng) {
+  double scale = 1.0 - frac * rng.NextDouble();
+  return Duration(static_cast<int64_t>(static_cast<double>(base.count()) * scale));
+}
+
+class Backoff {
+ public:
+  Backoff(const BackoffConfig& config, Rng* rng) : config_(config), rng_(rng) {}
+
+  // Delay to wait before the next attempt; successive calls grow the delay
+  // exponentially up to the cap.
+  Duration Next() {
+    Duration d = current_;
+    current_ = std::min(
+        config_.max,
+        Duration(static_cast<int64_t>(static_cast<double>(current_.count()) *
+                                      config_.multiplier)));
+    ++failures_;
+    return ApplyJitter(d, config_.jitter, *rng_);
+  }
+
+  // Back to the initial delay (call when the guarded operation succeeds).
+  void Reset() {
+    current_ = config_.initial;
+    failures_ = 0;
+  }
+
+  int failures() const { return failures_; }
+  const BackoffConfig& config() const { return config_; }
+
+ private:
+  BackoffConfig config_;
+  Rng* rng_;
+  Duration current_ = config_.initial;
+  int failures_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_BACKOFF_H_

@@ -10,7 +10,20 @@
 #include <map>
 #include <string>
 
+#include "ins/common/clock.h"
+
 namespace ins {
+
+// Aggregate of recorded durations (e.g. overlay reconvergence times after an
+// injected fault): enough for a benchmark to report count / mean / worst-case
+// time-to-heal without keeping every sample.
+struct DurationStat {
+  uint64_t count = 0;
+  Duration total{0};
+  Duration max{0};
+
+  Duration Mean() const { return count == 0 ? Duration(0) : total / static_cast<int64_t>(count); }
+};
 
 // A named bag of monotonic counters and settable gauges. Not thread-safe;
 // each node owns its registry and all access happens on that node's executor.
@@ -30,17 +43,33 @@ class MetricsRegistry {
     return it == gauges_.end() ? 0 : it->second;
   }
 
+  void RecordDuration(const std::string& name, Duration d) {
+    DurationStat& s = timings_[name];
+    s.count += 1;
+    s.total += d;
+    if (d > s.max) {
+      s.max = d;
+    }
+  }
+  DurationStat Timing(const std::string& name) const {
+    auto it = timings_.find(name);
+    return it == timings_.end() ? DurationStat{} : it->second;
+  }
+
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  const std::map<std::string, DurationStat>& timings() const { return timings_; }
 
   void Reset() {
     counters_.clear();
     gauges_.clear();
+    timings_.clear();
   }
 
  private:
   std::map<std::string, uint64_t> counters_;
   std::map<std::string, int64_t> gauges_;
+  std::map<std::string, DurationStat> timings_;
 };
 
 }  // namespace ins

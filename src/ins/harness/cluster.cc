@@ -2,18 +2,18 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
+#include <sstream>
 
 namespace ins {
 
-namespace {
-// The DSR lives on host 10.0.0.250.
-constexpr uint32_t kDsrHost = 250;
-}  // namespace
-
 SimCluster::SimCluster(ClusterOptions options)
-    : options_(std::move(options)), net_(&loop_, options_.seed) {
+    : options_(std::move(options)),
+      net_(&loop_, options_.seed),
+      faults_(&net_, options_.seed) {
   net_.SetDefaultLink(options_.default_link);
-  dsr_transport_ = net_.Bind(MakeAddress(kDsrHost));
+  dsr_address_ = MakeAddress(kDsrHostIndex);
+  dsr_transport_ = net_.Bind(dsr_address_);
   dsr_ = std::make_unique<Dsr>(&loop_, dsr_transport_.get());
 }
 
@@ -79,6 +79,124 @@ SimCluster::Endpoint::Endpoint(SimCluster* cluster,
 std::unique_ptr<SimCluster::Endpoint> SimCluster::AddEndpoint(uint32_t host_index,
                                                               uint16_t port) {
   return std::make_unique<Endpoint>(this, net_.Bind(MakeAddress(host_index, port)));
+}
+
+void SimCluster::Partition(const std::vector<std::vector<uint32_t>>& host_index_groups) {
+  std::vector<std::vector<uint32_t>> ip_groups;
+  ip_groups.reserve(host_index_groups.size());
+  for (const std::vector<uint32_t>& group : host_index_groups) {
+    std::vector<uint32_t> ips;
+    ips.reserve(group.size());
+    for (uint32_t host_index : group) {
+      ips.push_back(MakeAddress(host_index).ip);
+    }
+    ip_groups.push_back(std::move(ips));
+  }
+  faults_.Partition(std::move(ip_groups));
+}
+
+void SimCluster::CrashDsr() {
+  // Silent death: the socket disappears, so traffic to the DSR is dropped as
+  // "nobody home". Resolvers only notice through missing list responses.
+  dsr_.reset();
+  dsr_transport_.reset();
+}
+
+void SimCluster::RestartDsr() {
+  if (dsr_ != nullptr) {
+    return;
+  }
+  // Same address, empty state: join orders restart but stay monotonic from
+  // the resolvers' point of view only after they re-register.
+  dsr_transport_ = net_.Bind(dsr_address_);
+  dsr_ = std::make_unique<Dsr>(&loop_, dsr_transport_.get());
+}
+
+void SimCluster::ApplyFaultPlan(const sim::FaultPlan& plan) {
+  faults_.Schedule(plan);
+  for (const sim::FaultEvent& ev : plan.events) {
+    if (ev.kind == sim::FaultEvent::Kind::kCrashDsr) {
+      loop_.ScheduleAt(ev.at, [this] { CrashDsr(); });
+    } else if (ev.kind == sim::FaultEvent::Kind::kRestartDsr) {
+      loop_.ScheduleAt(ev.at, [this] { RestartDsr(); });
+    }
+  }
+}
+
+std::string SimCluster::CheckTreeInvariant() {
+  // Collect running resolvers and their addresses.
+  std::map<NodeAddress, Inr*> by_address;
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    if (h->inr->running()) {
+      by_address[h->inr->address()] = h->inr.get();
+    }
+  }
+  if (by_address.empty()) {
+    return "";
+  }
+
+  std::ostringstream problems;
+  size_t links = 0;
+  std::map<NodeAddress, NodeAddress> parent_of;  // union-find over addresses
+  for (const auto& [addr, inr] : by_address) {
+    parent_of[addr] = addr;
+  }
+  std::function<NodeAddress(NodeAddress)> find = [&](NodeAddress a) {
+    while (parent_of[a] != a) {
+      parent_of[a] = parent_of[parent_of[a]];
+      a = parent_of[a];
+    }
+    return a;
+  };
+
+  for (const auto& [addr, inr] : by_address) {
+    if (!inr->topology().joined()) {
+      problems << addr.ToString() << " not joined; ";
+    }
+    for (const NodeAddress& peer : inr->topology().NeighborAddresses()) {
+      ++links;
+      auto it = by_address.find(peer);
+      if (it == by_address.end()) {
+        problems << addr.ToString() << " links dead peer " << peer.ToString() << "; ";
+        continue;
+      }
+      if (!it->second->topology().IsNeighbor(addr)) {
+        problems << "asymmetric link " << addr.ToString() << "->" << peer.ToString() << "; ";
+        continue;
+      }
+      parent_of[find(addr)] = find(peer);
+    }
+  }
+
+  size_t n = by_address.size();
+  if (links != 2 * (n - 1)) {
+    problems << "expected " << 2 * (n - 1) << " directed links, have " << links << "; ";
+  }
+  size_t components = 0;
+  for (const auto& [addr, inr] : by_address) {
+    if (find(addr) == addr) {
+      ++components;
+    }
+  }
+  if (components != 1) {
+    problems << components << " components; ";
+  }
+  // n nodes, connected, n-1 symmetric links => acyclic: a spanning tree.
+  return problems.str();
+}
+
+std::optional<Duration> SimCluster::MeasureReconvergence(Duration budget) {
+  TimePoint start = loop_.Now();
+  TimePoint deadline = start + budget;
+  while (loop_.Now() < deadline) {
+    loop_.RunFor(Milliseconds(200));
+    if (CheckTreeInvariant().empty()) {
+      Duration elapsed = loop_.Now() - start;
+      metrics_.RecordDuration("cluster.reconverge", elapsed);
+      return elapsed;
+    }
+  }
+  return std::nullopt;
 }
 
 void SimCluster::StabilizeTopology(Duration budget) {

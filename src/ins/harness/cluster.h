@@ -10,11 +10,14 @@
 #define INS_HARNESS_CLUSTER_H_
 
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "ins/inr/inr.h"
 #include "ins/overlay/dsr.h"
 #include "ins/sim/event_loop.h"
+#include "ins/sim/fault_injector.h"
 #include "ins/sim/network.h"
 
 namespace ins {
@@ -29,12 +32,17 @@ struct ClusterOptions {
 
 class SimCluster {
  public:
+  // Host index of the DSR node (address 10.0.0.250); tests that partition
+  // the cluster use this to say which side keeps the DSR.
+  static constexpr uint32_t kDsrHostIndex = 250;
+
   explicit SimCluster(ClusterOptions options = {});
   ~SimCluster();
 
   sim::EventLoop& loop() { return loop_; }
   sim::Network& net() { return net_; }
-  NodeAddress dsr_address() const { return dsr_transport_->local_address(); }
+  sim::FaultInjector& faults() { return faults_; }
+  NodeAddress dsr_address() const { return dsr_address_; }
   Dsr& dsr() { return *dsr_; }
 
   // Creates, starts, and returns a resolver on host 10.0.0.<host_index>.
@@ -85,6 +93,39 @@ class SimCluster {
   // spanning tree has exactly (n-1) links. Asserts progress within `budget`.
   void StabilizeTopology(Duration budget = Seconds(30));
 
+  // --- Fault injection ------------------------------------------------------
+
+  // Partitions the cluster into mutually unreachable groups of host indexes
+  // (hosts not listed anywhere become isolated — include kDsrHostIndex in
+  // the side that should keep DSR reachability).
+  void Partition(const std::vector<std::vector<uint32_t>>& host_index_groups);
+  void Heal() { faults_.Heal(); }
+
+  // Kills the DSR silently; in-flight and future datagrams to it vanish.
+  void CrashDsr();
+  // Brings a fresh DSR up on the same address with EMPTY state — resolvers
+  // must re-register (soft state) before the overlay can grow again.
+  void RestartDsr();
+  bool dsr_running() const { return dsr_ != nullptr; }
+
+  // Schedules a whole fault script: traffic events go to the FaultInjector,
+  // DSR crash/restart events are executed by the cluster at their times.
+  void ApplyFaultPlan(const sim::FaultPlan& plan);
+
+  // --- Invariants and reconvergence ----------------------------------------
+
+  // Checks that the overlay of running resolvers is a spanning tree: all
+  // joined, neighbor views symmetric, exactly n-1 links, connected. Returns
+  // an empty string when the invariant holds, else a human-readable defect.
+  std::string CheckTreeInvariant();
+
+  // Runs until CheckTreeInvariant() passes (checked every 200 ms of virtual
+  // time); returns how long it took, or nullopt if `budget` elapsed first.
+  // Each success is recorded in metrics() under "cluster.reconverge".
+  std::optional<Duration> MeasureReconvergence(Duration budget = Seconds(120));
+
+  const MetricsRegistry& metrics() const { return metrics_; }
+
   // Advances virtual time far enough for in-flight message exchanges to
   // complete (links are ~1 ms). Resolver timers reschedule themselves, so
   // "run until idle" never terminates on a live cluster — bounded settling
@@ -104,9 +145,12 @@ class SimCluster {
   ClusterOptions options_;
   sim::EventLoop loop_;
   sim::Network net_;
+  sim::FaultInjector faults_;
+  NodeAddress dsr_address_;
   std::unique_ptr<sim::Network::Socket> dsr_transport_;
   std::unique_ptr<Dsr> dsr_;
   std::vector<std::unique_ptr<InrHandle>> handles_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace ins

@@ -44,6 +44,10 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   topology_->on_neighbor_up = [this](const NodeAddress& peer) {
     discovery_->SendFullStateTo(peer);
   };
+  // A dead link stops being a usable next hop right away.
+  topology_->on_neighbor_down = [this](const NodeAddress& peer) {
+    discovery_->PurgeRoutesVia(peer);
+  };
   // Default idle-termination policy: shut down gracefully.
   load_balancer_->on_should_terminate = [this] { Stop(); };
 
@@ -114,12 +118,18 @@ void Inr::OnMessage(const NodeAddress& src, const Bytes& data) {
   } else if (auto* ad = std::get_if<Advertisement>(&env->body)) {
     discovery_->HandleAdvertisement(src, *ad);
   } else if (auto* update = std::get_if<NameUpdate>(&env->body)) {
+    // Still processed when `src` is not an overlay neighbor (delegation
+    // seeds a new vspace owner this way), but the sender is told to close
+    // its half-open edge if it thinks this was a tree link.
+    topology_->NoteTreeEdgeTraffic(src);
     discovery_->HandleNameUpdate(src, *update);
   } else if (auto* disc = std::get_if<DiscoveryRequest>(&env->body)) {
     HandleDiscoveryRequest(src, *disc);
   } else if (auto* ping = std::get_if<Ping>(&env->body)) {
+    topology_->NoteNeighborAlive(src);
     transport_->Send(src, Encode(PingAgent::PongFor(*ping)));
   } else if (auto* pong = std::get_if<Pong>(&env->body)) {
+    topology_->NoteNeighborAlive(src);
     ping_agent_->HandlePong(src, *pong);
   } else if (auto* preq = std::get_if<PeerRequest>(&env->body)) {
     topology_->HandlePeerRequest(src, *preq);

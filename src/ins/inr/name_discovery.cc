@@ -289,6 +289,30 @@ void NameDiscovery::ExpiryTick() {
       executor_->ScheduleAfter(config_.expiry_sweep_interval, [this] { ExpiryTick(); });
 }
 
+void NameDiscovery::PurgeRoutesVia(const NodeAddress& next_hop) {
+  size_t purged = 0;
+  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
+    NameTree* tree = vspaces_->Tree(vspace);
+    if (tree == nullptr) {
+      continue;
+    }
+    std::vector<AnnouncerId> stale;
+    for (const NameRecord* rec : tree->AllRecords()) {
+      if (!rec->route.IsLocal() && rec->route.next_hop_inr == next_hop) {
+        stale.push_back(rec->announcer);
+      }
+    }
+    for (const AnnouncerId& id : stale) {
+      if (tree->Remove(id)) {
+        ++purged;
+      }
+    }
+  }
+  if (purged > 0) {
+    metrics_->Increment("discovery.routes_purged", purged);
+  }
+}
+
 void NameDiscovery::SendFullStateTo(const NodeAddress& peer) {
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
     SendVspaceStateTo(peer, vspace);

@@ -64,6 +64,12 @@ class NameDiscovery {
   void SendFullStateTo(const NodeAddress& peer);
   void SendVspaceStateTo(const NodeAddress& peer, const std::string& vspace);
 
+  // Drops every non-local route whose next hop is `next_hop` (called when an
+  // overlay link dies). Waiting for soft-state expiry would black-hole
+  // traffic for up to a lifetime; purged names re-converge from surviving
+  // links or the origin's next advertisement.
+  void PurgeRoutesVia(const NodeAddress& next_hop);
+
   // Observer hook: fired when a previously unknown name is grafted.
   std::function<void(const std::string& vspace, const NameSpecifier& name,
                      const NameRecord& record)>

@@ -22,20 +22,21 @@ void Dsr::AddCandidate(const NodeAddress& node) {
   candidates_[node] = TimePoint::max();
 }
 
-std::vector<NodeAddress> Dsr::ActiveInrs() const {
-  std::vector<const Registration*> regs;
-  regs.reserve(active_.size());
+std::vector<std::pair<NodeAddress, uint64_t>> Dsr::ActiveInrsOrdered() const {
+  std::vector<std::pair<NodeAddress, uint64_t>> out;
+  out.reserve(active_.size());
   for (const auto& [addr, reg] : active_) {
-    regs.push_back(&reg);
+    out.emplace_back(reg.inr, reg.join_order);
   }
-  std::sort(regs.begin(), regs.end(),
-            [](const Registration* a, const Registration* b) {
-              return a->join_order < b->join_order;
-            });
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  return out;
+}
+
+std::vector<NodeAddress> Dsr::ActiveInrs() const {
   std::vector<NodeAddress> out;
-  out.reserve(regs.size());
-  for (const Registration* r : regs) {
-    out.push_back(r->inr);
+  for (const auto& [inr, order] : ActiveInrsOrdered()) {
+    out.push_back(inr);
   }
   return out;
 }
@@ -112,7 +113,10 @@ void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
   if (const auto* list = std::get_if<DsrListRequest>(&env->body)) {
     DsrListResponse resp;
     resp.request_id = list->request_id;
-    resp.active_inrs = ActiveInrs();
+    for (const auto& [inr, order] : ActiveInrsOrdered()) {
+      resp.active_inrs.push_back(inr);
+      resp.join_orders.push_back(order);
+    }
     transport_->Send(src, Encode(resp));
     metrics_.Increment("dsr.list_requests");
     return;

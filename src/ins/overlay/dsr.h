@@ -42,6 +42,10 @@ class Dsr {
 
   // Introspection.
   std::vector<NodeAddress> ActiveInrs() const;       // in join order
+  // Active INRs with their monotonic join orders, in join order. Orders are
+  // never reused: an INR that expires and re-registers gets a fresh, larger
+  // order, which is how resolvers detect that their registration lapsed.
+  std::vector<std::pair<NodeAddress, uint64_t>> ActiveInrsOrdered() const;
   std::vector<NodeAddress> Candidates() const;
   NodeAddress InrForVspace(const std::string& vspace) const;
   const MetricsRegistry& metrics() const { return metrics_; }

@@ -8,6 +8,15 @@
 
 namespace ins {
 
+namespace {
+// Per-node deterministic seed: same cluster seed + same address = same
+// jitter sequence, so simulated runs stay bit-reproducible.
+uint64_t JitterSeed(uint64_t salt, const NodeAddress& self) {
+  return salt ^ ((static_cast<uint64_t>(self.ip) << 16) | self.port) ^
+         0x746f706f6c6f6779ull;  // "topology"
+}
+}  // namespace
+
 TopologyManager::TopologyManager(Executor* executor, PingAgent* ping_agent, SendFn send,
                                  NodeAddress self, TopologyConfig config,
                                  MetricsRegistry* metrics)
@@ -16,7 +25,9 @@ TopologyManager::TopologyManager(Executor* executor, PingAgent* ping_agent, Send
       send_(std::move(send)),
       self_(self),
       config_(config),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      rng_(JitterSeed(config.rng_salt, self)),
+      join_backoff_(config.join_backoff, &rng_) {}
 
 TopologyManager::~TopologyManager() {
   executor_->Cancel(register_task_);
@@ -28,12 +39,12 @@ TopologyManager::~TopologyManager() {
 void TopologyManager::Start(std::vector<std::string> vspaces) {
   vspaces_ = std::move(vspaces);
   started_ = true;
+  join_backoff_.Reset();
   RegisterWithDsr();
   RequestActiveList();
   keepalive_task_ =
       executor_->ScheduleAfter(config_.keepalive_interval, [this] { KeepaliveTick(); });
-  join_retry_task_ = executor_->ScheduleAfter(config_.keepalive_interval * 2,
-                                              [this] { EnsureJoinedTick(); });
+  ScheduleWatchdog(join_backoff_.Next());
   if (config_.enable_relaxation) {
     relaxation_task_ =
         executor_->ScheduleAfter(config_.relaxation_interval, [this] { RelaxationTick(); });
@@ -46,6 +57,9 @@ void TopologyManager::Stop() {
   }
   started_ = false;
   joined_ = false;
+  self_join_order_ = 0;
+  order_lapsed_ = false;
+  requested_parent_ = kInvalidAddress;
   executor_->Cancel(register_task_);
   executor_->Cancel(keepalive_task_);
   executor_->Cancel(relaxation_task_);
@@ -60,6 +74,9 @@ void TopologyManager::Stop() {
 void TopologyManager::CrashStop() {
   started_ = false;
   joined_ = false;
+  self_join_order_ = 0;
+  order_lapsed_ = false;
+  requested_parent_ = kInvalidAddress;
   executor_->Cancel(register_task_);
   executor_->Cancel(keepalive_task_);
   executor_->Cancel(relaxation_task_);
@@ -84,8 +101,12 @@ void TopologyManager::RegisterWithDsr() {
   send_(config_.dsr, Envelope{MessageBody(reg)});
 
   executor_->Cancel(register_task_);
-  register_task_ =
-      executor_->ScheduleAfter(config_.dsr_refresh_interval, [this] { RegisterWithDsr(); });
+  // Jittered refresh (never above the nominal interval, so the soft-state
+  // lifetime still covers it): decorrelates re-registration bursts after a
+  // partition heal or a DSR restart.
+  register_task_ = executor_->ScheduleAfter(
+      ApplyJitter(config_.dsr_refresh_interval, config_.register_jitter, rng_),
+      [this] { RegisterWithDsr(); });
 }
 
 void TopologyManager::RequestActiveList() {
@@ -95,11 +116,59 @@ void TopologyManager::RequestActiveList() {
   send_(config_.dsr, Envelope{MessageBody(req)});
 }
 
+void TopologyManager::NoteSelfOrder(const DsrListResponse& resp) {
+  if (resp.join_orders.size() != resp.active_inrs.size()) {
+    return;  // malformed; position information alone is not trustworthy
+  }
+  for (size_t i = 0; i < resp.active_inrs.size(); ++i) {
+    if (resp.active_inrs[i] != self_) {
+      continue;
+    }
+    uint64_t order = resp.join_orders[i];
+    if (self_join_order_ != 0 && order != self_join_order_) {
+      // Our registration expired (partition, DSR restart) and was re-created
+      // under a fresh order: edges built on the old order are now suspect.
+      order_lapsed_ = true;
+      metrics_->Increment("topology.order_lapses");
+    }
+    self_join_order_ = order;
+    return;
+  }
+}
+
+void TopologyManager::NoteNeighborAlive(const NodeAddress& src) {
+  auto it = neighbors_.find(src);
+  if (it != neighbors_.end()) {
+    it->second.last_heard = executor_->Now();
+  }
+}
+
+void TopologyManager::NoteTreeEdgeTraffic(const NodeAddress& src) {
+  auto it = neighbors_.find(src);
+  if (it != neighbors_.end()) {
+    it->second.last_heard = executor_->Now();
+    return;
+  }
+  if (src == requested_parent_) {
+    return;  // edge forming: their full-state push can outrun the PeerAccept
+  }
+  if (!started_) {
+    return;
+  }
+  metrics_->Increment("topology.half_open_repairs");
+  send_(src, Envelope{MessageBody(PeerClose{self_})});
+}
+
 void TopologyManager::HandleDsrListResponse(const DsrListResponse& resp) {
-  if (resp.request_id == join_request_id_ && !joined_) {
+  NoteSelfOrder(resp);
+  if (resp.request_id == join_request_id_ && join_request_id_ != 0) {
     join_request_id_ = 0;
     last_active_list_ = resp.active_inrs;
-    StartJoinProbe(resp.active_inrs);
+    if (!joined_ || !parent().has_value()) {
+      // Joining, re-joining after parent loss, or a root checking whether a
+      // healed partition exposed an earlier tree to merge under.
+      StartJoinProbe(resp);
+    }
     return;
   }
   if (resp.request_id == relaxation_request_id_) {
@@ -110,29 +179,42 @@ void TopologyManager::HandleDsrListResponse(const DsrListResponse& resp) {
   }
 }
 
-void TopologyManager::StartJoinProbe(const std::vector<NodeAddress>& actives) {
-  std::vector<NodeAddress> others;
-  for (const NodeAddress& a : actives) {
-    if (a != self_) {
-      others.push_back(a);
+void TopologyManager::StartJoinProbe(const DsrListResponse& resp) {
+  // Parent candidates are the resolvers that joined strictly before us: the
+  // DSR's linear order is what makes the overlay a tree, and adopting a
+  // later joiner could close a cycle when several nodes re-join at once. If
+  // we are absent from the list (our registration lapsed or is in flight),
+  // every listed resolver registered before our next refresh will — so all
+  // of them are safe candidates.
+  std::vector<NodeAddress> candidates;
+  for (const NodeAddress& a : resp.active_inrs) {
+    if (a == self_) {
+      break;
     }
+    candidates.push_back(a);
   }
-  if (others.empty()) {
-    // First resolver in the domain: the tree is just us.
-    joined_ = true;
-    metrics_->Increment("topology.joined_as_root");
+  if (candidates.empty()) {
+    // Nobody joined before us: we are (or remain) the tree root.
+    if (!joined_) {
+      joined_ = true;
+      join_backoff_.Reset();
+      metrics_->Increment("topology.joined_as_root");
+    }
     return;
   }
+  if (joined_) {
+    metrics_->Increment("topology.root_watch_probes");
+  }
 
-  // INR-ping every active resolver; peer with the minimum.
+  // INR-ping every candidate; peer with the minimum-RTT responder.
   struct Probe {
     size_t outstanding;
     double best_ms = std::numeric_limits<double>::infinity();
     NodeAddress best;
   };
   auto probe = std::make_shared<Probe>();
-  probe->outstanding = others.size();
-  for (const NodeAddress& target : others) {
+  probe->outstanding = candidates.size();
+  for (const NodeAddress& target : candidates) {
     ping_agent_->SendPing(target, config_.ping_timeout,
                           [this, probe, target](std::optional<Duration> rtt) {
                             if (rtt.has_value() && ToMillis(*rtt) < probe->best_ms) {
@@ -143,8 +225,9 @@ void TopologyManager::StartJoinProbe(const std::vector<NodeAddress>& actives) {
                               return;
                             }
                             if (!probe->best.IsValid()) {
-                              // Everyone timed out; the EnsureJoined
-                              // watchdog restarts the join procedure.
+                              // Everyone timed out (crashed, or across a
+                              // partition); the watchdog retries with
+                              // backoff, and their DSR entries expire.
                               metrics_->Increment("topology.join_retries");
                               return;
                             }
@@ -153,13 +236,38 @@ void TopologyManager::StartJoinProbe(const std::vector<NodeAddress>& actives) {
   }
 }
 
+void TopologyManager::ScheduleWatchdog(Duration delay) {
+  executor_->Cancel(join_retry_task_);
+  join_retry_task_ = executor_->ScheduleAfter(delay, [this] { EnsureJoinedTick(); });
+}
+
 void TopologyManager::EnsureJoinedTick() {
-  if (started_ && !joined_) {
+  if (!started_) {
+    return;
+  }
+  if (!joined_) {
     metrics_->Increment("topology.join_watchdog_retries");
     RequestActiveList();
+    ScheduleWatchdog(join_backoff_.Next());
+    return;
   }
-  join_retry_task_ = executor_->ScheduleAfter(config_.keepalive_interval * 2,
-                                              [this] { EnsureJoinedTick(); });
+  if (!parent().has_value()) {
+    // Root watch: a healed partition (or DSR restart) may have exposed a
+    // resolver that orders before us; poll and merge under it if so.
+    RequestActiveList();
+    ScheduleWatchdog(ApplyJitter(config_.root_watch_interval, 0.25, rng_));
+    return;
+  }
+  join_backoff_.Reset();
+  ScheduleWatchdog(config_.keepalive_interval * 2);
+}
+
+void TopologyManager::OnParentLost() {
+  joined_ = false;
+  join_backoff_.Reset();
+  metrics_->Increment("topology.rejoins");
+  RequestActiveList();
+  ScheduleWatchdog(join_backoff_.Next());
 }
 
 void TopologyManager::AdoptParent(const NodeAddress& parent) {
@@ -183,9 +291,34 @@ void TopologyManager::HandlePeerRequest(const NodeAddress& src, const PeerReques
 
 void TopologyManager::HandlePeerAccept(const NodeAddress& src, const PeerAccept& acc) {
   (void)src;
+  const bool already_neighbor = neighbors_.count(acc.accepter) > 0;
+  if (acc.accepter != requested_parent_) {
+    if (already_neighbor) {
+      neighbors_[acc.accepter].last_heard = executor_->Now();
+      return;
+    }
+    // Accept for a request we since withdrew: refuse, so no half-open edge
+    // survives on the accepter's side.
+    metrics_->Increment("topology.stale_accepts");
+    send_(acc.accepter, Envelope{MessageBody(PeerClose{self_})});
+    return;
+  }
+  if (order_lapsed_ && !already_neighbor) {
+    // Our join order lapsed and we are about to add a brand-new edge: close
+    // the old edges first. They were built under the old order, and one of
+    // them could connect us to a subtree that now contains our new parent —
+    // keeping both would close a cycle. The closed children re-join under
+    // the current order.
+    DissolveNeighborsExcept(acc.accepter);
+    metrics_->Increment("topology.lapse_dissolves");
+  }
+  order_lapsed_ = false;
   AddNeighbor(acc.accepter, /*is_parent=*/true);
-  joined_ = true;
-  metrics_->Increment("topology.joined");
+  if (!joined_) {
+    joined_ = true;
+    metrics_->Increment("topology.joined");
+  }
+  join_backoff_.Reset();
 }
 
 void TopologyManager::HandlePeerClose(const NodeAddress& src, const PeerClose& close) {
@@ -196,8 +329,7 @@ void TopologyManager::HandlePeerClose(const NodeAddress& src, const PeerClose& c
   bool was_parent = neighbors_[close.closer].is_parent;
   RemoveNeighbor(close.closer, /*notify_peer=*/false);
   if (was_parent && started_) {
-    joined_ = false;
-    RequestActiveList();  // reconnect the tree
+    OnParentLost();  // reconnect the tree
   }
 }
 
@@ -237,6 +369,15 @@ void TopologyManager::RemoveNeighbor(const NodeAddress& addr, bool notify_peer) 
   }
 }
 
+void TopologyManager::DissolveNeighborsExcept(const NodeAddress& keep) {
+  std::vector<NodeAddress> peers = NeighborAddresses();
+  for (const NodeAddress& p : peers) {
+    if (p != keep) {
+      RemoveNeighbor(p, /*notify_peer=*/true);
+    }
+  }
+}
+
 void TopologyManager::KeepaliveTick() {
   TimePoint now = executor_->Now();
   Duration dead_after = config_.keepalive_interval * config_.missed_keepalives_for_failure;
@@ -253,8 +394,7 @@ void TopologyManager::KeepaliveTick() {
     metrics_->Increment("topology.neighbor_failures");
     RemoveNeighbor(addr, /*notify_peer=*/false);
     if (was_parent && started_) {
-      joined_ = false;
-      RequestActiveList();
+      OnParentLost();
     }
   }
 
@@ -290,6 +430,12 @@ void TopologyManager::RelaxationTick() {
 void TopologyManager::HandleRelaxationList(const DsrListResponse& resp) {
   std::optional<NodeAddress> current_parent = parent();
   if (!current_parent.has_value()) {
+    return;
+  }
+  if (std::find(resp.active_inrs.begin(), resp.active_inrs.end(), self_) ==
+      resp.active_inrs.end()) {
+    // Our registration lapsed: the list carries no position for us, so the
+    // "joined before us" rule cannot be evaluated. Skip this round.
     return;
   }
   // Only peers that joined before us are cycle-safe parent candidates.

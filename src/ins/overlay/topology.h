@@ -1,15 +1,30 @@
 // Self-configuring spanning-tree overlay (paper §2.4).
 //
 // Join: a new INR registers with the DSR, fetches the active-INR list,
-// INR-pings every active resolver, and peers with the minimum-RTT one. The
-// DSR hands every joiner the same list in linear join order, so each node
-// after the first adds exactly one link: n nodes, n-1 links, connected —
-// a spanning tree by construction.
+// INR-pings every active resolver that joined before it, and peers with the
+// minimum-RTT one. The DSR hands every joiner the same list in linear join
+// order, so each node after the first adds exactly one link: n nodes, n-1
+// links, connected — a spanning tree by construction. Restricting parent
+// candidates to earlier joiners keeps the construction cycle-free even when
+// several nodes re-join concurrently after failures.
 //
 // Maintenance: neighbors exchange keepalive pings; a neighbor that misses
 // several keepalives is declared down and dropped. If the lost neighbor was
 // this node's parent (the peer it joined through), the node re-runs the join
-// procedure, reconnecting the tree.
+// procedure, reconnecting the tree. Join and re-join retries use jittered
+// exponential backoff (common/backoff.h) so a healed partition does not
+// trigger a thundering herd of simultaneous re-joins.
+//
+// Split healing: a node that believes it is the tree root (joined, no
+// parent) periodically re-fetches the active list; if a resolver earlier in
+// join order exists — e.g. the other half of a healed partition — the root
+// demotes itself and adopts a parent there, merging the two trees. The DSR's
+// join orders are monotonic and never reused, so a node whose own order
+// changed between responses knows its registration lapsed (it expired during
+// a partition and re-registered); before such a node adds a *new* parent
+// edge it first closes its existing edges, because ordering relationships
+// those edges were built on may be stale (a former descendant may now order
+// earlier, and adopting it over a fresh edge would close a cycle).
 //
 // Relaxation (the paper's announced future-work improvement, implemented
 // here as an option): nodes periodically re-ping the active set and switch
@@ -26,9 +41,11 @@
 #include <string>
 #include <vector>
 
+#include "ins/common/backoff.h"
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
+#include "ins/common/rng.h"
 #include "ins/overlay/ping.h"
 #include "ins/wire/messages.h"
 
@@ -41,6 +58,16 @@ struct TopologyConfig {
   int missed_keepalives_for_failure = 3;
   Duration dsr_refresh_interval = Seconds(20);
   uint32_t dsr_lifetime_s = 60;
+  // DSR refreshes are shaved by up to this fraction so re-registrations from
+  // many resolvers (e.g. after a DSR restart) do not arrive in lockstep.
+  double register_jitter = 0.25;
+  // Join / re-join retry pacing while not joined.
+  BackoffConfig join_backoff{Milliseconds(1000), Seconds(30), 2.0, 0.3};
+  // How often a root (joined, no parent) re-checks the DSR for an
+  // earlier-joined resolver to merge under (partition split healing).
+  Duration root_watch_interval = Seconds(20);
+  // Salt mixed with the node address to seed per-node deterministic jitter.
+  uint64_t rng_salt = 0;
   bool enable_relaxation = false;
   Duration relaxation_interval = Seconds(30);
   // Relaxation switches parent only when the candidate is better by this
@@ -74,6 +101,16 @@ class TopologyManager {
   void SetVspaces(std::vector<std::string> vspaces);
 
   // Dispatcher wire-in.
+  // Any datagram from a current neighbor proves it is alive; the owning node
+  // calls this for pings/pongs so keepalive death detection stays symmetric
+  // (a one-sided view would otherwise never correct itself).
+  void NoteNeighborAlive(const NodeAddress& src);
+  // Called when a tree-edge-scoped message (a NameUpdate) arrives from
+  // `src`. A non-neighbor sender — unless it is the parent we are mid-
+  // handshake with — believes an edge exists that we do not: a half-open
+  // edge, left by a PeerClose or keepalive verdict it never saw (e.g. lost
+  // to a partition). Replies PeerClose so the sender re-joins cleanly.
+  void NoteTreeEdgeTraffic(const NodeAddress& src);
   void HandleDsrListResponse(const DsrListResponse& resp);
   void HandlePeerRequest(const NodeAddress& src, const PeerRequest& req);
   void HandlePeerAccept(const NodeAddress& src, const PeerAccept& acc);
@@ -96,13 +133,26 @@ class TopologyManager {
  private:
   void RegisterWithDsr();
   void RequestActiveList();
-  // Watchdog: while started but not joined, periodically restarts the join
-  // procedure (lost DSR responses, lost peer handshakes, lossy links).
+  // Watchdog with three modes: while not joined it restarts the join
+  // procedure on a backoff schedule (lost DSR responses, lost peer
+  // handshakes, partitions); while joined as root it polls the DSR for an
+  // earlier-joined resolver to merge under; while joined with a parent it
+  // idles cheaply.
   void EnsureJoinedTick();
-  void StartJoinProbe(const std::vector<NodeAddress>& actives);
+  void ScheduleWatchdog(Duration delay);
+  // Records our join order from a list response; flags a lapse when the
+  // order changed (our DSR registration expired and was re-created).
+  void NoteSelfOrder(const DsrListResponse& resp);
+  // The parent link died (crash, partition): re-run the join procedure.
+  void OnParentLost();
+  void StartJoinProbe(const DsrListResponse& resp);
   void AdoptParent(const NodeAddress& parent);
   void AddNeighbor(const NodeAddress& addr, bool is_parent);
   void RemoveNeighbor(const NodeAddress& addr, bool notify_peer);
+  // Closes every edge except `keep` (PeerClose to each): used before adding
+  // a fresh parent edge when our join order lapsed and existing edges may
+  // contradict the current order.
+  void DissolveNeighborsExcept(const NodeAddress& keep);
   void KeepaliveTick();
   void RelaxationTick();
   void HandleRelaxationList(const DsrListResponse& resp);
@@ -113,12 +163,16 @@ class TopologyManager {
   NodeAddress self_;
   TopologyConfig config_;
   MetricsRegistry* metrics_;
+  Rng rng_;
+  Backoff join_backoff_;
 
   std::vector<std::string> vspaces_;
   bool started_ = false;
   bool joined_ = false;
+  uint64_t self_join_order_ = 0;  // last order observed for self (0 = never seen)
+  bool order_lapsed_ = false;     // self order changed: old edges are suspect
   uint64_t next_request_id_ = 1;
-  uint64_t join_request_id_ = 0;        // outstanding join list request
+  uint64_t join_request_id_ = 0;        // outstanding join/root-watch list request
   uint64_t relaxation_request_id_ = 0;  // outstanding relaxation list request
   NodeAddress requested_parent_;  // last peer we sent a PeerRequest to
   std::map<NodeAddress, Neighbor> neighbors_;

@@ -1,0 +1,135 @@
+#include "ins/sim/fault_injector.h"
+
+#include "ins/common/logging.h"
+
+namespace ins::sim {
+
+FaultInjector::FaultInjector(Network* network, uint64_t seed)
+    : network_(network), loop_(network->loop()), rng_(seed ^ 0x6661756c74ull /* "fault" */) {
+  network_->SetFaultFilter(
+      [this](const NodeAddress& src, const NodeAddress& dst, Bytes& data) {
+        return Filter(src, dst, data);
+      });
+}
+
+FaultInjector::~FaultInjector() { network_->SetFaultFilter(nullptr); }
+
+void FaultInjector::Partition(std::vector<std::vector<uint32_t>> groups) {
+  group_of_.clear();
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (uint32_t ip : groups[g]) {
+      group_of_[ip] = static_cast<int>(g);
+    }
+  }
+  partitioned_ = true;
+  metrics_.Increment("faults.partitions");
+  INS_LOG(kDebug) << "fault: partition into " << groups.size() << " groups";
+}
+
+void FaultInjector::Heal() {
+  if (!partitioned_) {
+    return;
+  }
+  partitioned_ = false;
+  group_of_.clear();
+  metrics_.Increment("faults.heals");
+  INS_LOG(kDebug) << "fault: partition healed";
+}
+
+void FaultInjector::StartLossBurst(double probability, Duration duration) {
+  loss_probability_ = probability;
+  loss_until_ = loop_->Now() + duration;
+  metrics_.Increment("faults.loss_bursts");
+}
+
+void FaultInjector::StartDelaySpike(Duration extra_delay, Duration duration) {
+  extra_delay_ = extra_delay;
+  delay_until_ = loop_->Now() + duration;
+  metrics_.Increment("faults.delay_spikes");
+}
+
+void FaultInjector::StartCorruptionStorm(double probability, Duration duration) {
+  corrupt_probability_ = probability;
+  corrupt_until_ = loop_->Now() + duration;
+  metrics_.Increment("faults.corruption_storms");
+}
+
+void FaultInjector::Schedule(const FaultPlan& plan) {
+  for (const FaultEvent& ev : plan.events) {
+    switch (ev.kind) {
+      case FaultEvent::Kind::kCrashDsr:
+      case FaultEvent::Kind::kRestartDsr:
+        continue;  // process faults belong to the harness
+      default:
+        break;
+    }
+    loop_->ScheduleAt(ev.at, [this, ev] {
+      switch (ev.kind) {
+        case FaultEvent::Kind::kPartition:
+          Partition(ev.groups);
+          break;
+        case FaultEvent::Kind::kHeal:
+          Heal();
+          break;
+        case FaultEvent::Kind::kLossBurst:
+          StartLossBurst(ev.probability, ev.duration);
+          break;
+        case FaultEvent::Kind::kDelaySpike:
+          StartDelaySpike(ev.extra_delay, ev.duration);
+          break;
+        case FaultEvent::Kind::kCorruptionStorm:
+          StartCorruptionStorm(ev.probability, ev.duration);
+          break;
+        case FaultEvent::Kind::kCrashDsr:
+        case FaultEvent::Kind::kRestartDsr:
+          break;  // filtered above
+      }
+    });
+  }
+}
+
+FaultDecision FaultInjector::Filter(const NodeAddress& src, const NodeAddress& dst,
+                                    Bytes& data) {
+  FaultDecision verdict;
+  if (partitioned_) {
+    // Hosts absent from every group are isolated — strict by design, so a
+    // forgotten host in a test plan fails loudly rather than leaking traffic.
+    auto s = group_of_.find(src.ip);
+    auto d = group_of_.find(dst.ip);
+    if (s == group_of_.end() || d == group_of_.end() || s->second != d->second) {
+      metrics_.Increment("faults.partition_dropped");
+      verdict.drop = true;
+      return verdict;
+    }
+  }
+  if (loop_->Now() < loss_until_ && rng_.NextBool(loss_probability_)) {
+    metrics_.Increment("faults.burst_dropped");
+    verdict.drop = true;
+    return verdict;
+  }
+  if (loop_->Now() < corrupt_until_ && rng_.NextBool(corrupt_probability_)) {
+    Corrupt(data);
+    metrics_.Increment("faults.corrupted");
+  }
+  if (loop_->Now() < delay_until_) {
+    verdict.extra_delay = extra_delay_;
+    metrics_.Increment("faults.delayed");
+  }
+  return verdict;
+}
+
+void FaultInjector::Corrupt(Bytes& data) {
+  if (data.empty()) {
+    return;
+  }
+  if (rng_.NextBool(0.5)) {
+    // Truncate to a random prefix (possibly empty).
+    data.resize(rng_.NextBelow(data.size()));
+  } else {
+    // Flip one random bit.
+    size_t byte = rng_.NextBelow(data.size());
+    data[byte] ^= static_cast<uint8_t>(1u << rng_.NextBelow(8));
+  }
+}
+
+}  // namespace ins::sim

@@ -1,0 +1,97 @@
+// Deterministic fault injection for the simulated network.
+//
+// A FaultInjector installs itself as the Network's fault filter and applies
+// scripted fault windows to inter-host traffic: partitions (hosts split into
+// mutually unreachable groups), correlated loss bursts, delay spikes, and
+// corruption storms that bit-flip or truncate datagrams in flight. All
+// randomness flows through a seeded Rng separate from the Network's own, so
+// the same seed and FaultPlan reproduce the same faulted run bit-for-bit.
+//
+// Windows expire lazily against the event loop's virtual clock: a window is
+// "active" exactly when Now() < its end, with no timer bookkeeping. Process-
+// level faults (DSR crash/restart) are FaultPlan events too, but the harness
+// executes them — the injector only shapes traffic.
+
+#ifndef INS_SIM_FAULT_INJECTOR_H_
+#define INS_SIM_FAULT_INJECTOR_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "ins/common/metrics.h"
+#include "ins/common/rng.h"
+#include "ins/sim/network.h"
+
+namespace ins::sim {
+
+struct FaultEvent {
+  enum class Kind {
+    kPartition,        // split hosts into the given groups; unlisted hosts are isolated
+    kHeal,             // dissolve the partition
+    kLossBurst,        // drop each datagram with `probability` for `duration`
+    kDelaySpike,       // add `extra_delay` to every datagram for `duration`
+    kCorruptionStorm,  // corrupt each datagram with `probability` for `duration`
+    kCrashDsr,         // kill the DSR process (executed by the harness)
+    kRestartDsr,       // restart the DSR with empty state (executed by the harness)
+  };
+  TimePoint at{0};  // virtual time the event fires
+  Kind kind;
+  std::vector<std::vector<uint32_t>> groups;  // kPartition: host IPs per side
+  double probability = 0;                     // kLossBurst / kCorruptionStorm
+  Duration duration{0};                       // window length
+  Duration extra_delay{0};                    // kDelaySpike
+};
+
+// A reproducible fault script: events applied at fixed virtual times.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(Network* network, uint64_t seed);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Immediate fault controls (also usable mid-run from tests).
+  void Partition(std::vector<std::vector<uint32_t>> groups);
+  void Heal();
+  void StartLossBurst(double probability, Duration duration);
+  void StartDelaySpike(Duration extra_delay, Duration duration);
+  void StartCorruptionStorm(double probability, Duration duration);
+
+  // Schedules the plan's traffic-shaping events on the event loop. DSR
+  // crash/restart events are skipped here; the harness owns process faults
+  // (see SimCluster::ApplyFaultPlan).
+  void Schedule(const FaultPlan& plan);
+
+  bool partitioned() const { return partitioned_; }
+  // Counters: faults.partition_dropped, faults.burst_dropped, faults.delayed,
+  // faults.corrupted.
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+ private:
+  FaultDecision Filter(const NodeAddress& src, const NodeAddress& dst, Bytes& data);
+  void Corrupt(Bytes& data);
+
+  Network* network_;
+  EventLoop* loop_;
+  Rng rng_;
+  MetricsRegistry metrics_;
+
+  bool partitioned_ = false;
+  std::unordered_map<uint32_t, int> group_of_;  // host IP -> partition side
+
+  TimePoint loss_until_{0};
+  double loss_probability_ = 0;
+  TimePoint delay_until_{0};
+  Duration extra_delay_{0};
+  TimePoint corrupt_until_{0};
+  double corrupt_probability_ = 0;
+};
+
+}  // namespace ins::sim
+
+#endif  // INS_SIM_FAULT_INJECTOR_H_

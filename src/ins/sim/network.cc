@@ -50,15 +50,28 @@ Status Network::SendFrom(Socket* s, const NodeAddress& dst, const Bytes& data) {
   const NodeAddress src = s->address_;
   const LinkParams& link = LinkFor(src.ip, dst.ip);
 
+  Bytes copy = data;
+  Duration fault_delay(0);
+  if (src.ip != dst.ip && fault_filter_ != nullptr) {
+    // Fault injection sees (and may mutate) the in-flight copy. Same-host
+    // traffic never traverses a link, so it is exempt, like loss below.
+    FaultDecision verdict = fault_filter_(src, dst, copy);
+    if (verdict.drop) {
+      ++dropped_;
+      return Status::Ok();
+    }
+    fault_delay = verdict.extra_delay;
+  }
+
   if (src.ip != dst.ip && link.loss_probability > 0 &&
       rng_.NextBool(link.loss_probability)) {
     ++dropped_;
     return Status::Ok();  // datagram loss is silent, like UDP
   }
 
-  Duration delay(0);
+  Duration delay = fault_delay;
   if (src.ip != dst.ip) {
-    delay = link.latency;
+    delay += link.latency;
     if (link.bandwidth_bps > 0) {
       // FIFO serialization on the directed link.
       auto tx = Duration(static_cast<int64_t>(static_cast<double>(data.size()) * 8.0 /
@@ -70,7 +83,6 @@ Status Network::SendFrom(Socket* s, const NodeAddress& dst, const Bytes& data) {
     }
   }
 
-  Bytes copy = data;
   loop_->ScheduleAt(loop_->Now() + delay,
                     [this, src, dst, data = std::move(copy)]() mutable {
                       Deliver(src, dst, std::move(data));

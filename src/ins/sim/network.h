@@ -18,6 +18,7 @@
 #ifndef INS_SIM_NETWORK_H_
 #define INS_SIM_NETWORK_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -38,8 +39,20 @@ struct LinkParams {
   double loss_probability = 0;          // [0,1)
 };
 
+// Verdict of the installed fault filter for one in-flight datagram. The
+// filter may also mutate the payload bytes in place (corruption injection).
+struct FaultDecision {
+  bool drop = false;
+  Duration extra_delay{0};
+};
+
 class Network {
  public:
+  // Consulted for every inter-host datagram before normal loss/latency
+  // modelling; `data` is the private in-flight copy, safe to mutate.
+  using FaultFilter =
+      std::function<FaultDecision(const NodeAddress& src, const NodeAddress& dst, Bytes& data)>;
+
   Network(EventLoop* loop, uint64_t seed = 1);
   ~Network();
 
@@ -74,6 +87,10 @@ class Network {
 
   uint64_t total_datagrams_dropped() const { return dropped_; }
 
+  // Installs (or clears, with nullptr) the fault-injection hook. At most one
+  // filter; the FaultInjector owns composition of concurrent fault windows.
+  void SetFaultFilter(FaultFilter filter) { fault_filter_ = std::move(filter); }
+
   EventLoop* loop() { return loop_; }
 
   class Socket : public Transport {
@@ -107,6 +124,7 @@ class Network {
 
   EventLoop* loop_;
   Rng rng_;
+  FaultFilter fault_filter_;
   LinkParams default_link_;
   std::map<std::pair<uint32_t, uint32_t>, LinkParams> links_;
   std::map<std::pair<uint32_t, uint32_t>, TimePoint> link_free_at_;

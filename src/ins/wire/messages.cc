@@ -303,12 +303,27 @@ void EncodeBody(ByteWriter& w, const DsrListRequest& d) { w.WriteU64(d.request_i
 void EncodeBody(ByteWriter& w, const DsrListResponse& d) {
   w.WriteU64(d.request_id);
   WriteAddressList(w, d.active_inrs);
+  w.WriteU16(static_cast<uint16_t>(d.join_orders.size()));
+  for (uint64_t order : d.join_orders) {
+    w.WriteU64(order);
+  }
 }
 
 Result<DsrListResponse> DecodeDsrListResponse(ByteReader& r) {
   DsrListResponse d;
   INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
   INS_ASSIGN_OR_RETURN(d.active_inrs, ReadAddressList(r));
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  if (n != d.active_inrs.size()) {
+    return InvalidArgumentError("join_orders/active_inrs length mismatch");
+  }
+  d.join_orders.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint64_t order = 0;
+    INS_ASSIGN_OR_RETURN(order, r.ReadU64());
+    d.join_orders.push_back(order);
+  }
   return d;
 }
 

@@ -157,6 +157,11 @@ struct DsrListRequest {
 struct DsrListResponse {
   uint64_t request_id = 0;
   std::vector<NodeAddress> active_inrs;  // in join (linear) order
+  // Parallel to active_inrs: the DSR's monotonic join order of each entry.
+  // An INR whose own order changed between two responses knows its soft-state
+  // registration lapsed (it expired and re-registered), i.e. that ordering
+  // relationships its overlay edges were built on may no longer hold.
+  std::vector<uint64_t> join_orders;
 };
 
 struct DsrVspaceRequest {

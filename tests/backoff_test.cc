@@ -1,0 +1,81 @@
+#include "ins/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace ins {
+namespace {
+
+TEST(BackoffTest, GrowsExponentiallyUpToCap) {
+  Rng rng(1);
+  BackoffConfig config;
+  config.initial = Milliseconds(100);
+  config.max = Milliseconds(1000);
+  config.multiplier = 2.0;
+  config.jitter = 0;  // exact values
+  Backoff backoff(config, &rng);
+
+  EXPECT_EQ(backoff.Next(), Milliseconds(100));
+  EXPECT_EQ(backoff.Next(), Milliseconds(200));
+  EXPECT_EQ(backoff.Next(), Milliseconds(400));
+  EXPECT_EQ(backoff.Next(), Milliseconds(800));
+  EXPECT_EQ(backoff.Next(), Milliseconds(1000));  // capped
+  EXPECT_EQ(backoff.Next(), Milliseconds(1000));
+  EXPECT_EQ(backoff.failures(), 6);
+}
+
+TEST(BackoffTest, ResetReturnsToInitial) {
+  Rng rng(1);
+  BackoffConfig config;
+  config.initial = Milliseconds(100);
+  config.jitter = 0;
+  Backoff backoff(config, &rng);
+
+  backoff.Next();
+  backoff.Next();
+  backoff.Reset();
+  EXPECT_EQ(backoff.failures(), 0);
+  EXPECT_EQ(backoff.Next(), Milliseconds(100));
+}
+
+TEST(BackoffTest, JitterShavesDownOnly) {
+  Rng rng(7);
+  BackoffConfig config;
+  config.initial = Milliseconds(1000);
+  config.max = Milliseconds(1000);
+  config.jitter = 0.3;
+  Backoff backoff(config, &rng);
+
+  for (int i = 0; i < 100; ++i) {
+    Duration d = backoff.Next();
+    EXPECT_LE(d, Milliseconds(1000));
+    EXPECT_GE(d, Milliseconds(700));
+  }
+}
+
+TEST(BackoffTest, JitterIsDeterministicPerSeed) {
+  BackoffConfig config;
+  Rng a(42);
+  Rng b(42);
+  Rng c(43);
+  Backoff ba(config, &a);
+  Backoff bb(config, &b);
+  Backoff bc(config, &c);
+
+  bool diverged = false;
+  for (int i = 0; i < 10; ++i) {
+    Duration da = ba.Next();
+    EXPECT_EQ(da, bb.Next());
+    if (da != bc.Next()) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);  // different seeds give a different jitter stream
+}
+
+TEST(ApplyJitterTest, ZeroFractionIsIdentity) {
+  Rng rng(1);
+  EXPECT_EQ(ApplyJitter(Seconds(5), 0, rng), Seconds(5));
+}
+
+}  // namespace
+}  // namespace ins

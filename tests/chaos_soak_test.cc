@@ -1,0 +1,180 @@
+// Chaos soak: a seeded generator scripts random fault windows — partitions,
+// loss bursts, delay spikes, corruption storms, DSR crash/restart — against a
+// live cluster, and after every window the overlay must reconverge to a valid
+// spanning tree and still resolve names end-to-end. The same seed must
+// reproduce the same run bit-for-bit (the determinism fingerprint).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ins/client/api.h"
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+constexpr uint32_t kNumInrs = 5;
+constexpr int kRounds = 5;
+
+NameSpecifier P(const std::string& text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+// A client co-located with a resolver (same host, its own port): client<->INR
+// traffic never crosses a link, so faults exercise the overlay, not the edge.
+struct AppHost {
+  AppHost(SimCluster* cluster, uint32_t host, uint16_t port, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host, port))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct SoakResult {
+  bool ok = true;
+  std::string failure;
+  std::string fingerprint;  // deterministic trace digest
+};
+
+// One full chaos run. All randomness comes from `seed`; two invocations with
+// the same seed must produce identical fingerprints.
+SoakResult RunSoak(uint64_t seed) {
+  SoakResult result;
+  std::ostringstream trace;
+  Rng chaos(seed * 7919 + 17);
+
+  ClusterOptions options;
+  options.seed = seed;
+  options.inr_template.topology.rng_salt = seed;
+  SimCluster cluster(options);
+  for (uint32_t i = 1; i <= kNumInrs; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology();
+
+  // Two services and a client, all co-located with resolvers.
+  AppHost svc1(&cluster, 1, 6001, cluster.inrs()[0]->address());
+  AppHost svc2(&cluster, 3, 6002, cluster.inrs()[2]->address());
+  AppHost user(&cluster, kNumInrs, 7000, cluster.inrs()[kNumInrs - 1]->address());
+  auto ad1 = svc1.client->Advertise(P("[service=chaos[id=one]]"));
+  auto ad2 = svc2.client->Advertise(P("[service=chaos[id=two]]"));
+  int received = 0;
+  svc1.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+  svc2.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+  cluster.loop().RunFor(Seconds(30));  // initial name convergence
+
+  auto fail = [&](const std::string& what) {
+    result.ok = false;
+    result.failure = what;
+  };
+
+  for (int round = 0; round < kRounds && result.ok; ++round) {
+    Duration window = Seconds(5 + static_cast<int64_t>(chaos.NextBelow(11)));
+    uint64_t kind = chaos.NextBelow(5);
+    trace << "r" << round << ":k" << kind << ":w" << window.count() << ";";
+    switch (kind) {
+      case 0: {
+        // Two-sided partition; the DSR lands on a random side.
+        uint32_t cut = 1 + static_cast<uint32_t>(chaos.NextBelow(kNumInrs - 1));
+        std::vector<uint32_t> left, right;
+        for (uint32_t i = 1; i <= kNumInrs; ++i) {
+          (i <= cut ? left : right).push_back(i);
+        }
+        (chaos.NextBool(0.5) ? left : right).push_back(SimCluster::kDsrHostIndex);
+        cluster.Partition({left, right});
+        cluster.loop().RunFor(window);
+        cluster.Heal();
+        break;
+      }
+      case 1:
+        cluster.faults().StartLossBurst(0.2 + 0.4 * chaos.NextDouble(), window);
+        cluster.loop().RunFor(window);
+        break;
+      case 2:
+        cluster.faults().StartDelaySpike(
+            Milliseconds(20 + static_cast<int64_t>(chaos.NextBelow(81))), window);
+        cluster.loop().RunFor(window);
+        break;
+      case 3:
+        cluster.faults().StartCorruptionStorm(0.1 + 0.3 * chaos.NextDouble(), window);
+        cluster.loop().RunFor(window);
+        break;
+      case 4:
+        cluster.CrashDsr();
+        cluster.loop().RunFor(window);
+        cluster.RestartDsr();
+        break;
+    }
+
+    auto took = cluster.MeasureReconvergence(Seconds(120));
+    if (!took.has_value()) {
+      fail("round " + std::to_string(round) + " (kind " + std::to_string(kind) +
+           "): no reconvergence within 120 s: " + cluster.CheckTreeInvariant());
+      break;
+    }
+    trace << "t" << took->count() << ";";
+
+    // Let name routes catch up (purge + full-state push + periodic refresh),
+    // then prove an end-to-end lookup works. Datagrams are best-effort, so
+    // allow a few attempts.
+    cluster.loop().RunFor(Seconds(35));
+    int before = received;
+    for (int attempt = 0; attempt < 5 && received == before; ++attempt) {
+      user.client->SendAnycast(P("[service=chaos]"), {static_cast<uint8_t>(round)});
+      cluster.loop().RunFor(Seconds(2));
+    }
+    if (received == before) {
+      fail("round " + std::to_string(round) + " (kind " + std::to_string(kind) +
+           "): anycast lookup failed after reconvergence");
+      break;
+    }
+    trace << "rx" << received << ";";
+  }
+
+  trace << "drop" << cluster.net().total_datagrams_dropped() << ";";
+  trace << "pd" << cluster.faults().metrics().Counter("faults.partition_dropped") << ";";
+  trace << "bd" << cluster.faults().metrics().Counter("faults.burst_dropped") << ";";
+  trace << "cr" << cluster.faults().metrics().Counter("faults.corrupted") << ";";
+  result.fingerprint = trace.str();
+  return result;
+}
+
+class ChaosSoakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSoakTest, ReconvergesAndResolvesAfterEveryFaultWindow) {
+  SoakResult r = RunSoak(GetParam());
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {
+  for (uint64_t seed : {3u, 8u}) {
+    SoakResult first = RunSoak(seed);
+    SoakResult second = RunSoak(seed);
+    ASSERT_TRUE(first.ok) << first.failure;
+    EXPECT_EQ(first.fingerprint, second.fingerprint) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSoakDeterminismTest, DifferentSeedsDiverge) {
+  SoakResult a = RunSoak(101);
+  SoakResult b = RunSoak(102);
+  ASSERT_TRUE(a.ok) << a.failure;
+  ASSERT_TRUE(b.ok) << b.failure;
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,90 @@
+// DSR crash/restart recovery: the DSR's state is pure soft state, so a
+// restarted, empty DSR must relearn the world from resolver re-registrations
+// within one dsr_refresh_interval (+ join backoff cap for overlay repair),
+// and the overlay must keep functioning throughout.
+
+#include <gtest/gtest.h>
+
+#include "ins/harness/cluster.h"
+
+namespace ins {
+namespace {
+
+TEST(DsrRestartTest, ResolversReRegisterWithinOneRefreshInterval) {
+  SimCluster cluster;
+  for (uint32_t i = 1; i <= 4; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology();
+  ASSERT_EQ(cluster.CheckTreeInvariant(), "");
+
+  cluster.CrashDsr();
+  cluster.loop().RunFor(Seconds(5));
+  cluster.RestartDsr();
+  ASSERT_EQ(cluster.dsr().ActiveInrs().size(), 0u);  // restarted empty
+
+  // Soft-state refresh: every resolver re-registers within one (jittered,
+  // hence <=) dsr_refresh_interval of the restart.
+  const Duration refresh = cluster.options().inr_template.topology.dsr_refresh_interval;
+  cluster.loop().RunFor(refresh);
+  EXPECT_EQ(cluster.dsr().ActiveInrs().size(), 4u);
+
+  // Overlay repair (the old root may demote itself under whichever resolver
+  // re-registered first, with lapse-dissolve churn) completes within the
+  // join-backoff cap: total recovery <= refresh interval + backoff cap.
+  auto took = cluster.MeasureReconvergence(
+      cluster.options().inr_template.topology.join_backoff.max);
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+}
+
+TEST(DsrRestartTest, NewResolverCanJoinAfterRestart) {
+  SimCluster cluster;
+  for (uint32_t i = 1; i <= 3; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology();
+
+  cluster.CrashDsr();
+  cluster.loop().RunFor(Seconds(3));
+  cluster.RestartDsr();
+
+  // A resolver arriving right after the restart joins the existing tree once
+  // the incumbents have re-registered (it must not conclude it is the root
+  // just because the DSR list was momentarily empty... it backs off and
+  // retries until the list stabilizes, then peers with an earlier joiner).
+  Inr* late = cluster.AddInr(7);
+  const Duration refresh = cluster.options().inr_template.topology.dsr_refresh_interval;
+  const Duration cap = cluster.options().inr_template.topology.join_backoff.max;
+  auto took = cluster.MeasureReconvergence(refresh + cap);
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+  EXPECT_TRUE(late->topology().joined());
+  // The overlay can finish healing before every incumbent's (jittered)
+  // refresh timer has fired; one more interval registers all of them.
+  cluster.loop().RunFor(refresh);
+  EXPECT_EQ(cluster.dsr().ActiveInrs().size(), 4u);
+}
+
+TEST(DsrRestartTest, CrashedDsrStallsJoinsUntilRestart) {
+  SimCluster cluster;
+  cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.StabilizeTopology();
+
+  cluster.CrashDsr();
+  cluster.Settle();
+  Inr* orphan = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(20));
+  EXPECT_FALSE(orphan->topology().joined());  // no DSR, no list, no join
+
+  cluster.RestartDsr();
+  auto took = cluster.MeasureReconvergence(
+      cluster.options().inr_template.topology.dsr_refresh_interval +
+      cluster.options().inr_template.topology.join_backoff.max);
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+  EXPECT_TRUE(orphan->topology().joined());
+}
+
+}  // namespace
+}  // namespace ins

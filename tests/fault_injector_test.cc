@@ -1,0 +1,151 @@
+#include "ins/sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "ins/sim/event_loop.h"
+#include "ins/sim/network.h"
+
+namespace ins::sim {
+namespace {
+
+// Two raw hosts with receive counters; links are lossless unless the
+// injector says otherwise.
+struct Rig {
+  EventLoop loop;
+  Network net{&loop, /*seed=*/1};
+  FaultInjector faults{&net, /*seed=*/1};
+  std::unique_ptr<Network::Socket> a{net.Bind(MakeAddress(1))};
+  std::unique_ptr<Network::Socket> b{net.Bind(MakeAddress(2))};
+  std::unique_ptr<Network::Socket> c{net.Bind(MakeAddress(3))};
+  std::vector<Bytes> at_b;
+  std::vector<Bytes> at_c;
+
+  Rig() {
+    b->SetReceiveHandler([this](const NodeAddress&, const Bytes& d) { at_b.push_back(d); });
+    c->SetReceiveHandler([this](const NodeAddress&, const Bytes& d) { at_c.push_back(d); });
+  }
+};
+
+TEST(FaultInjectorTest, PartitionDropsCrossGroupTraffic) {
+  Rig rig;
+  rig.faults.Partition({{MakeAddress(1).ip, MakeAddress(2).ip}, {MakeAddress(3).ip}});
+
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {1}).ok());
+  ASSERT_TRUE(rig.a->Send(MakeAddress(3), {2}).ok());
+  rig.loop.RunFor(Milliseconds(10));
+
+  EXPECT_EQ(rig.at_b.size(), 1u);  // same side: delivered
+  EXPECT_EQ(rig.at_c.size(), 0u);  // across the cut: dropped
+  EXPECT_EQ(rig.faults.metrics().Counter("faults.partition_dropped"), 1);
+
+  rig.faults.Heal();
+  ASSERT_TRUE(rig.a->Send(MakeAddress(3), {3}).ok());
+  rig.loop.RunFor(Milliseconds(10));
+  EXPECT_EQ(rig.at_c.size(), 1u);
+}
+
+TEST(FaultInjectorTest, UnlistedHostsAreIsolated) {
+  Rig rig;
+  rig.faults.Partition({{MakeAddress(1).ip}});  // 2 and 3 unlisted
+
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {1}).ok());
+  rig.loop.RunFor(Milliseconds(10));
+  EXPECT_TRUE(rig.at_b.empty());
+}
+
+TEST(FaultInjectorTest, LossBurstDropsOnlyDuringWindow) {
+  Rig rig;
+  rig.faults.StartLossBurst(1.0, Milliseconds(100));
+
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {1}).ok());
+  rig.loop.RunFor(Milliseconds(200));  // window over
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {2}).ok());
+  rig.loop.RunFor(Milliseconds(10));
+
+  ASSERT_EQ(rig.at_b.size(), 1u);
+  EXPECT_EQ(rig.at_b[0], Bytes{2});
+  EXPECT_EQ(rig.faults.metrics().Counter("faults.burst_dropped"), 1);
+}
+
+TEST(FaultInjectorTest, DelaySpikeAddsLatency) {
+  Rig rig;
+  rig.faults.StartDelaySpike(Milliseconds(50), Milliseconds(100));
+
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {1}).ok());
+  rig.loop.RunFor(Milliseconds(10));  // past the 1 ms base latency
+  EXPECT_TRUE(rig.at_b.empty());      // still in flight
+  rig.loop.RunFor(Milliseconds(50));
+  EXPECT_EQ(rig.at_b.size(), 1u);
+  EXPECT_EQ(rig.faults.metrics().Counter("faults.delayed"), 1);
+}
+
+TEST(FaultInjectorTest, CorruptionStormMutatesPayloads) {
+  Rig rig;
+  rig.faults.StartCorruptionStorm(1.0, Seconds(10));
+
+  const Bytes original(64, 0xAB);
+  int mutated = 0;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rig.a->Send(MakeAddress(2), original).ok());
+  }
+  rig.loop.RunFor(Milliseconds(10));
+  ASSERT_EQ(rig.at_b.size(), 20u);
+  for (const Bytes& got : rig.at_b) {
+    if (got != original) {
+      ++mutated;
+    }
+  }
+  // Every datagram was corrupted (p=1): a bit flip or a truncation always
+  // changes a non-empty payload.
+  EXPECT_EQ(mutated, 20);
+  EXPECT_EQ(rig.faults.metrics().Counter("faults.corrupted"), 20);
+}
+
+TEST(FaultInjectorTest, ScheduledPlanFiresAtVirtualTimes) {
+  Rig rig;
+  FaultPlan plan;
+  plan.events.push_back({TimePoint(0) + Milliseconds(100),
+                         FaultEvent::Kind::kPartition,
+                         {{MakeAddress(1).ip}, {MakeAddress(2).ip}}});
+  plan.events.push_back({TimePoint(0) + Milliseconds(300), FaultEvent::Kind::kHeal});
+  rig.faults.Schedule(plan);
+
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {1}).ok());  // before the partition
+  rig.loop.RunFor(Milliseconds(200));                  // now partitioned
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {2}).ok());
+  rig.loop.RunFor(Milliseconds(200));                  // healed at 300 ms
+  ASSERT_TRUE(rig.a->Send(MakeAddress(2), {3}).ok());
+  rig.loop.RunFor(Milliseconds(10));
+
+  ASSERT_EQ(rig.at_b.size(), 2u);
+  EXPECT_EQ(rig.at_b[0], Bytes{1});
+  EXPECT_EQ(rig.at_b[1], Bytes{3});
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaultStream) {
+  auto run = [](uint64_t seed) {
+    EventLoop loop;
+    Network net(&loop, seed);
+    FaultInjector faults(&net, seed);
+    auto a = net.Bind(MakeAddress(1));
+    auto b = net.Bind(MakeAddress(2));
+    uint64_t received = 0;
+    b->SetReceiveHandler([&](const NodeAddress&, const Bytes&) { ++received; });
+    faults.StartLossBurst(0.5, Seconds(10));
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_TRUE(a->Send(MakeAddress(2), {static_cast<uint8_t>(i)}).ok());
+    }
+    loop.RunFor(Seconds(1));
+    return received;
+  };
+  uint64_t r1 = run(9);
+  uint64_t r2 = run(9);
+  uint64_t r3 = run(10);
+  EXPECT_EQ(r1, r2);
+  EXPECT_NE(r1, r3);  // overwhelmingly likely over 200 p=0.5 draws
+  EXPECT_GT(r1, 0u);
+  EXPECT_LT(r1, 200u);
+}
+
+}  // namespace
+}  // namespace ins::sim

@@ -95,8 +95,12 @@ TEST_P(ConvergenceTest, AllResolversLearnAllNames) {
   for (auto& svc : services) {
     svc->client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
   }
-  user.client->SendAnycast(P("[service=sensor]"), {1});
-  cluster.loop().RunFor(Seconds(2));
+  // Datagram delivery is best-effort: under lossy links a single send can
+  // vanish, so retry a few times (any one arrival proves the route).
+  for (int attempt = 0; attempt < 5 && received == 0; ++attempt) {
+    user.client->SendAnycast(P("[service=sensor]"), {1});
+    cluster.loop().RunFor(Seconds(2));
+  }
   EXPECT_GE(received, 1);
 }
 

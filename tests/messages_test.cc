@@ -137,8 +137,18 @@ TEST(MessagesTest, DsrMessages) {
   DsrListResponse list;
   list.request_id = 3;
   list.active_inrs = {MakeAddress(1), MakeAddress(2)};
+  list.join_orders = {7, 12};
   DsrListResponse list2 = RoundTrip(list);
   EXPECT_EQ(list2.active_inrs, list.active_inrs);
+  EXPECT_EQ(list2.join_orders, list.join_orders);
+
+  // A response whose join_orders does not pair up with active_inrs is
+  // rejected at decode time.
+  DsrListResponse bad;
+  bad.request_id = 5;
+  bad.active_inrs = {MakeAddress(1), MakeAddress(2)};
+  bad.join_orders = {7};
+  EXPECT_FALSE(DecodeMessage(Encode(bad)).ok());
 
   DsrVspaceResponse vr;
   vr.request_id = 4;

@@ -212,5 +212,39 @@ TEST(TopologyTest, TreeSurvivesLossyLinks) {
   EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
 }
 
+TEST(TopologyTest, ParentCrashRecoversUnderHeavyLoss) {
+  // Parent-crash recovery while 15% of datagrams vanish: keepalive pings,
+  // list requests, and peer handshakes all get lost along the way, so this
+  // exercises the backoff-driven retry path end to end.
+  ClusterOptions options;
+  options.default_link = {Milliseconds(2), 0, 0.15};
+  SimCluster cluster(options);
+  for (uint32_t i = 1; i <= 5; ++i) {
+    cluster.AddInr(i);
+    cluster.loop().RunFor(Seconds(1));
+  }
+  cluster.StabilizeTopology(Seconds(120));
+  ASSERT_EQ(cluster.CheckTreeInvariant(), "");
+
+  // Crash a resolver that other nodes peer through (never the current root's
+  // own child-free leaf): pick the parent of the last joiner.
+  Inr* last = cluster.inrs().back();
+  NodeAddress dead = *last->topology().parent();
+  Inr* victim = nullptr;
+  for (Inr* inr : cluster.inrs()) {
+    if (inr->address() == dead) {
+      victim = inr;
+    }
+  }
+  ASSERT_NE(victim, nullptr);
+  cluster.CrashInr(victim);
+
+  // Everyone who peered through the victim re-joins despite the loss.
+  auto took = cluster.MeasureReconvergence(Seconds(120));
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+  EXPECT_TRUE(last->topology().joined());
+  EXPECT_NE(last->topology().parent(), dead);
+}
+
 }  // namespace
 }  // namespace ins
