@@ -1,0 +1,259 @@
+// Ablation — concurrent sharded lookup core: reader throughput vs threads.
+//
+// Builds a 50k-name store (8 hash shards over a family workload, left-right
+// concurrent mode) and sweeps reader thread counts 1 -> 8. Each reader drains
+// a shared op counter running 90% LOOKUP-NAME / 10% GET-NAME from a fixed
+// query set; every result is checked against a reference answer computed
+// single-threaded before the sweep, so a sweep only counts if the concurrent
+// readers return byte-identical results. A final series adds one background
+// writer (lease refreshes + version bumps) to show reader throughput under
+// write pressure.
+//
+// Writes a JSON report (argv[1], default bench_ablation_concurrency.json):
+//   {"bench": "ablation_concurrency", "hardware_concurrency": ...,
+//    "tree_records": 50000, "series": [{"threads": 1, "ops_per_s": ...}, ...]}
+//
+// The scaling claim (>= 3x at 8 threads vs 1) holds on multi-core hosts; the
+// report records hardware_concurrency so single-core CI runs are read for
+// what they are — a no-contention sanity check, not a scaling result.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ins/common/clock.h"
+#include "ins/common/rng.h"
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_record.h"
+#include "ins/nametree/sharded_name_tree.h"
+
+namespace {
+
+using namespace ins;
+
+constexpr size_t kRecords = 50000;
+constexpr size_t kShards = 8;
+constexpr size_t kFamilies = 16;
+constexpr size_t kQueries = 1024;
+constexpr uint64_t kOpsPerSweep = 60000;
+
+std::string FamilyAttr(uint64_t k) { return "svc_" + std::to_string(k % kFamilies); }
+
+// Each advertisement roots at a family attribute (svc_*: the shard key) and
+// additionally carries a `unit` root shared by EVERY shard. Queries always
+// constrain `unit`: an attribute present in all shards keeps the "absent
+// attribute is unconstrained" rule from turning cross-shard queries into
+// whole-store scans, so result sizes stay bounded and bench ops measure the
+// lookup machinery rather than bulk record copying.
+NameSpecifier MakeName(Rng& rng, uint32_t i) {
+  NameSpecifier n;
+  n.AddPath({{FamilyAttr(rng.NextBelow(kFamilies)), "v" + std::to_string(rng.NextBelow(8))},
+             {"kind", "k" + std::to_string(rng.NextBelow(8))}});
+  n.AddPath({{"unit", "u" + std::to_string(i % 1024)}});
+  return n;
+}
+
+AnnouncerId IdOf(uint32_t i) {
+  return AnnouncerId{0x0a000000u + i, 1000, i};
+}
+
+uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+// Deterministic op `op` against the store; returns a result fingerprint.
+uint64_t RunOp(const ShardedNameTree& store, const std::vector<NameSpecifier>& queries,
+               uint64_t op) {
+  uint64_t h = 0;
+  if (op % 10 == 9) {
+    // GET-NAME of a fixed announcer per op slot.
+    auto name = store.GetName("", IdOf(static_cast<uint32_t>(op * 677 % kRecords) + 1));
+    if (name.has_value()) {
+      h = Mix(h, std::hash<std::string>{}(name->ToString()));
+    }
+    return h;
+  }
+  for (const NameRecord& rec : store.Lookup("", queries[op % kQueries])) {
+    h = Mix(h, (static_cast<uint64_t>(rec.announcer.ip) << 20) ^ rec.version);
+  }
+  return h;
+}
+
+struct Sweep {
+  size_t threads = 0;
+  bool with_writer = false;
+  double ops_per_s = 0.0;
+  uint64_t mismatches = 0;
+};
+
+Sweep RunSweep(const ShardedNameTree& store, ShardedNameTree* mut_store,
+               const std::vector<NameSpecifier>& queries,
+               const std::vector<uint64_t>& reference, size_t threads, bool with_writer) {
+  std::atomic<uint64_t> next_op{0};
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<bool> writer_stop{false};
+
+  std::thread writer;
+  if (with_writer) {
+    writer = std::thread([mut_store, &writer_stop] {
+      Rng rng(99);
+      uint64_t v = 2;
+      while (!writer_stop.load(std::memory_order_acquire)) {
+        const uint32_t i = static_cast<uint32_t>(rng.NextBelow(kRecords)) + 1;
+        mut_store->RefreshExpiry("", IdOf(i), Seconds(1u << 30));
+        if (rng.NextBool(0.2)) {
+          Rng nrng(i);  // the record keeps its name; only the version moves
+          NameRecord rec;
+          rec.announcer = IdOf(i);
+          rec.expires = Seconds(1u << 30);
+          rec.version = ++v;
+          mut_store->Upsert("", MakeName(nrng, i), rec);
+        }
+        std::this_thread::yield();  // don't starve readers on small hosts
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> readers;
+  readers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    readers.emplace_back([&] {
+      uint64_t bad = 0;
+      for (uint64_t op = next_op.fetch_add(1, std::memory_order_relaxed);
+           op < kOpsPerSweep; op = next_op.fetch_add(1, std::memory_order_relaxed)) {
+        const uint64_t slot = op % reference.size();
+        const uint64_t h = RunOp(store, queries, slot);
+        // Under a concurrent writer results legitimately drift; otherwise
+        // every reader must reproduce the single-threaded answer exactly.
+        if (!with_writer && h != reference[slot]) {
+          ++bad;
+        }
+      }
+      mismatches.fetch_add(bad, std::memory_order_relaxed);
+    });
+  }
+  for (auto& r : readers) {
+    r.join();
+  }
+  const double secs = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+  if (with_writer) {
+    writer_stop.store(true, std::memory_order_release);
+    writer.join();
+  }
+
+  Sweep s;
+  s.threads = threads;
+  s.with_writer = with_writer;
+  s.ops_per_s = static_cast<double>(kOpsPerSweep) / secs;
+  s.mismatches = mismatches.load();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "bench_ablation_concurrency.json";
+
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  opts.concurrent = true;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  // 50k-name family workload, batch-published.
+  Rng rng(4242);
+  std::vector<std::pair<NameSpecifier, NameRecord>> batch;
+  batch.reserve(1000);
+  for (uint32_t i = 1; i <= kRecords; ++i) {
+    Rng nrng(i);  // name derivable from i alone (the writer reuses this)
+    NameRecord rec;
+    rec.announcer = IdOf(i);
+    rec.expires = Seconds(1u << 30);
+    rec.version = 1;
+    batch.emplace_back(MakeName(nrng, i), rec);
+    if (batch.size() == 1000) {
+      store.UpsertBatch("", batch);
+      batch.clear();
+    }
+  }
+
+  // Query mix, always unit-anchored: plain unit point queries, family
+  // wildcards, and nested kind constraints.
+  std::vector<NameSpecifier> queries;
+  queries.reserve(kQueries);
+  for (size_t q = 0; q < kQueries; ++q) {
+    NameSpecifier spec;
+    const std::string fam = FamilyAttr(rng.NextBelow(kFamilies));
+    const std::string unit = "u" + std::to_string(rng.NextBelow(1024));
+    if (q % 3 == 1) {
+      spec.AddPathValue({}, fam, Value::Wildcard());
+    } else if (q % 3 == 2) {
+      spec.AddPath({{fam, "v" + std::to_string(rng.NextBelow(8))},
+                    {"kind", "k" + std::to_string(rng.NextBelow(8))}});
+    }
+    spec.AddPath({{"unit", unit}});
+    queries.push_back(std::move(spec));
+  }
+
+  // Reference answers, computed single-threaded.
+  std::vector<uint64_t> reference(kQueries * 10);
+  for (uint64_t op = 0; op < reference.size(); ++op) {
+    reference[op] = RunOp(store, queries, op);
+  }
+
+  std::printf("concurrent sharded lookup core: %zu records, %zu shards, hw=%u\n",
+              store.TotalRecordCount(), kShards, std::thread::hardware_concurrency());
+  std::printf("%-10s %-12s %-14s %s\n", "threads", "writer", "ops/sec", "mismatches");
+
+  std::vector<Sweep> series;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    series.push_back(RunSweep(store, &store, queries, reference, threads, false));
+    const Sweep& s = series.back();
+    std::printf("%-10zu %-12s %-14.0f %llu\n", s.threads, "no", s.ops_per_s,
+                static_cast<unsigned long long>(s.mismatches));
+  }
+  for (size_t threads : {2u, 4u}) {
+    series.push_back(RunSweep(store, &store, queries, reference, threads, true));
+    const Sweep& s = series.back();
+    std::printf("%-10zu %-12s %-14.0f %s\n", s.threads, "yes", s.ops_per_s, "-");
+  }
+
+  uint64_t total_mismatches = 0;
+  for (const Sweep& s : series) {
+    total_mismatches += s.mismatches;
+  }
+  if (total_mismatches != 0 || !store.CheckInvariants().ok()) {
+    std::printf("FAILED: %llu result mismatches vs single-threaded reference\n",
+                static_cast<unsigned long long>(total_mismatches));
+    return 1;
+  }
+  std::printf("all sweeps byte-identical to the single-threaded reference\n");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_concurrency\",\n");
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"tree_records\": %zu,\n  \"fallback_shards\": %zu,\n", kRecords, kShards);
+  std::fprintf(f, "  \"ops_per_sweep\": %llu,\n  \"series\": [\n",
+               static_cast<unsigned long long>(kOpsPerSweep));
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Sweep& s = series[i];
+    std::fprintf(f, "    {\"threads\": %zu, \"background_writer\": %s, \"ops_per_s\": %.1f}%s\n",
+                 s.threads, s.with_writer ? "true" : "false", s.ops_per_s,
+                 i + 1 == series.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

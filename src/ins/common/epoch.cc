@@ -1,0 +1,57 @@
+#include "ins/common/epoch.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace ins {
+
+EpochDomain::Guard::Guard(EpochDomain* domain) : domain_(domain) {
+  // Announce-then-read ordering: the epoch is loaded BEFORE the slot claim
+  // becomes visible, so the announced value can only be stale-low — which
+  // makes writers wait conservatively, never reclaim early.
+  size_t start = std::hash<std::thread::id>{}(std::this_thread::get_id()) % kSlots;
+  for (;;) {
+    for (size_t i = 0; i < kSlots; ++i) {
+      std::atomic<uint64_t>& slot = domain_->slots_[(start + i) % kSlots].epoch;
+      uint64_t expected = kIdle;
+      uint64_t e = domain_->global_.load(std::memory_order_seq_cst);
+      if (slot.compare_exchange_strong(expected, e, std::memory_order_seq_cst)) {
+        slot_ = &slot;
+        epoch_ = e;
+        return;
+      }
+    }
+    std::this_thread::yield();  // every slot busy: more readers than kSlots
+  }
+}
+
+void EpochDomain::Guard::Release() {
+  if (slot_ != nullptr) {
+    slot_->store(kIdle, std::memory_order_seq_cst);
+    slot_ = nullptr;
+  }
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min = current();
+  for (const Slot& s : slots_) {
+    uint64_t e = s.epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min) {
+      min = e;
+    }
+  }
+  return min;
+}
+
+void EpochDomain::WaitForReadersBefore(uint64_t epoch) const {
+  for (int spin = 0; MinActiveEpoch() < epoch; ++spin) {
+    if (spin < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+}  // namespace ins

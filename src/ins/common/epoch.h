@@ -1,0 +1,104 @@
+// Epoch-based read reclamation for the concurrent lookup core.
+//
+// Readers of a shared structure announce the epoch they entered in a private
+// slot, do their reads against an immutable published version, and clear the
+// slot on exit — no locks, no reference-count ping-pong on the hot path.
+// Writers publish a new version, advance the global epoch, and wait until no
+// reader still announces an older epoch before reclaiming (or reusing) the
+// retired version. The resolver uses one EpochDomain per sharded name-tree;
+// the drain is what lets the per-shard writer recycle the previous tree copy
+// in the left-right scheme (see nametree/sharded_name_tree.h).
+//
+// Slots are claimed by compare-and-swap from a fixed array, so readers need
+// no registration step and arbitrary (bounded) thread counts work. Claiming
+// is lock-free: a reader retries from a thread-hashed starting index until a
+// free slot is won.
+
+#ifndef INS_COMMON_EPOCH_H_
+#define INS_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace ins {
+
+class EpochDomain {
+ public:
+  // More slots than any realistic reader-thread count (nested read guards on
+  // one thread consume one slot each).
+  static constexpr size_t kSlots = 64;
+  static constexpr uint64_t kIdle = ~0ull;
+
+  EpochDomain() = default;
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // RAII read-side critical section. While alive, no version published at or
+  // after the announced epoch is reclaimed.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(EpochDomain* domain);
+    ~Guard() { Release(); }
+
+    Guard(Guard&& other) noexcept : domain_(other.domain_), slot_(other.slot_),
+                                    epoch_(other.epoch_) {
+      other.domain_ = nullptr;
+      other.slot_ = nullptr;
+    }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        domain_ = other.domain_;
+        slot_ = other.slot_;
+        epoch_ = other.epoch_;
+        other.domain_ = nullptr;
+        other.slot_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+    bool active() const { return slot_ != nullptr; }
+    // The epoch this reader announced on entry.
+    uint64_t epoch() const { return epoch_; }
+
+   private:
+    void Release();
+
+    EpochDomain* domain_ = nullptr;
+    std::atomic<uint64_t>* slot_ = nullptr;
+    uint64_t epoch_ = 0;
+  };
+
+  Guard Enter() { return Guard(this); }
+
+  uint64_t current() const { return global_.load(std::memory_order_seq_cst); }
+
+  // Moves the domain to a new epoch; returns the new value. Called by a
+  // writer immediately after publishing a new version.
+  uint64_t Advance() { return global_.fetch_add(1, std::memory_order_seq_cst) + 1; }
+
+  // The reclamation counter: the oldest epoch still announced by any active
+  // reader, or `current()` when no reader is inside.
+  uint64_t MinActiveEpoch() const;
+
+  // Blocks (spin + yield) until every reader that announced an epoch older
+  // than `epoch` has left. After this returns, versions retired before
+  // `epoch` have no readers and may be reclaimed or rewritten.
+  void WaitForReadersBefore(uint64_t epoch) const;
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+  };
+
+  std::atomic<uint64_t> global_{1};
+  Slot slots_[kSlots];
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_EPOCH_H_

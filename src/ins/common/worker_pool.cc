@@ -1,0 +1,80 @@
+#include "ins/common/worker_pool.h"
+
+#include <atomic>
+
+namespace ins {
+
+WorkerPool::WorkerPool(size_t threads) {
+  threads_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::Post(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::RunAll(size_t n, const std::function<void(size_t)>& fn) {
+  if (threads_.empty() || n <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  auto barrier = std::make_shared<Barrier>();
+  barrier->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    Post([barrier, &fn, i] {
+      fn(i);
+      std::lock_guard<std::mutex> lock(barrier->mu);
+      if (--barrier->remaining == 0) {
+        barrier->done.notify_one();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(barrier->mu);
+  barrier->done.wait(lock, [&] { return barrier->remaining == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping and drained
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace ins

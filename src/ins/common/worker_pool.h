@@ -1,0 +1,62 @@
+// A fixed pool of worker threads for the concurrent lookup core.
+//
+// The resolver's protocol machinery stays single-threaded (it runs on an
+// Executor, under virtual time in the simulator), but LOOKUP-NAME / GET-NAME
+// are pure reads and parallelize across name-tree shards (paper §5, Figures 8
+// and 12 identify lookup throughput as the scaling bottleneck). WorkerPool is
+// the TaskRunner (common/executor.h) those reads run on: a fixed number of
+// threads created up front, a simple mutex-guarded queue feeding them, and a
+// completion barrier for scatter/gather fan-out.
+//
+// With zero threads the pool degenerates to inline execution, so the same
+// call sites work unchanged in single-threaded deployments and tests.
+
+#ifndef INS_COMMON_WORKER_POOL_H_
+#define INS_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "ins/common/executor.h"
+
+namespace ins {
+
+class WorkerPool : public TaskRunner {
+ public:
+  // `threads` == 0 builds an inline pool: Post/RunAll execute on the caller.
+  explicit WorkerPool(size_t threads);
+  ~WorkerPool() override;
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Enqueues fn for execution on some worker (or runs it inline when the
+  // pool has no threads).
+  void Post(std::function<void()> fn) override;
+
+  // Scatter/gather barrier: runs fn(0) .. fn(n-1) across the pool and blocks
+  // until all of them finish. Must not be called from a worker thread (the
+  // caller parks on a condition variable and would deadlock the pool if it
+  // occupied the last worker).
+  void RunAll(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t thread_count() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_WORKER_POOL_H_

@@ -57,29 +57,93 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
     return;
   }
   const std::string vspace = VspaceManager::VspaceOf(*dst);
-  NameTree* tree = vspaces_->Tree(vspace);
-  if (tree == nullptr) {
+  const ShardedNameTree& store = vspaces_->store();
+  if (!store.Routes(vspace)) {
     ForwardToVspaceOwner(packet, vspace);
     return;
   }
 
   metrics_->Increment("forwarding.lookups");
-  std::vector<const NameRecord*> records = tree->Lookup(*dst);
+
+  // Resolve against every shard of the space — in parallel on the worker
+  // pool when one is configured. The scan callback does pure per-shard
+  // reduction into its own slot (no sends, no metrics: those are not
+  // thread-safe and happen after the merge, on this thread).
+  const bool early_binding = packet.early_binding;
+  const bool deliver_all = packet.deliver_all;
+  const bool from_neighbor_inr = topology_->IsNeighbor(src);
+  std::vector<ShardPartial> parts(store.ShardCountOf(vspace));
+  store.ForEachShardMatch(
+      vspace, *dst,
+      [&](size_t shard, const NameTree& tree, const std::vector<const NameRecord*>& matches) {
+        (void)tree;
+        ShardPartial& p = parts[shard];
+        p.matches = matches.size();
+        if (early_binding) {
+          p.records.reserve(matches.size());
+          for (const NameRecord* rec : matches) {
+            p.records.push_back(rec->Detached());
+          }
+          return;
+        }
+        if (deliver_all) {
+          for (const NameRecord* rec : matches) {
+            if (rec->route.IsLocal()) {
+              p.locals.push_back(rec->Detached());
+            } else if (!(from_neighbor_inr && rec->route.next_hop_inr == src)) {
+              // Split horizon on the data path: never bounce a multicast
+              // copy back to the neighbor it came from.
+              p.next_hops.push_back(rec->route.next_hop_inr);
+            }
+          }
+          return;
+        }
+        for (const NameRecord* rec : matches) {
+          if (!p.best.has_value() || rec->app_metric < p.best->app_metric ||
+              (rec->app_metric == p.best->app_metric && rec->announcer < p.best->announcer)) {
+            p.best = rec->Detached();
+          }
+        }
+      });
 
   MaybeCache(packet);
 
-  if (packet.early_binding) {
-    HandleEarlyBinding(src, packet, records);
+  size_t total_matches = 0;
+  for (const ShardPartial& p : parts) {
+    total_matches += p.matches;
+  }
+
+  if (early_binding) {
+    std::vector<NameRecord> merged;
+    merged.reserve(total_matches);
+    for (ShardPartial& p : parts) {
+      std::move(p.records.begin(), p.records.end(), std::back_inserter(merged));
+    }
+    std::sort(merged.begin(), merged.end(), [](const NameRecord& a, const NameRecord& b) {
+      return a.announcer < b.announcer;
+    });
+    HandleEarlyBinding(src, packet, std::move(merged));
     return;
   }
-  if (records.empty()) {
+  if (total_matches == 0) {
     metrics_->Increment("forwarding.no_match");
     return;
   }
-  if (packet.deliver_all) {
-    HandleMulticast(src, packet, records);
+  if (deliver_all) {
+    HandleMulticast(packet, parts);
   } else {
-    HandleAnycast(packet, records);
+    // Late route merge: the global argmin over the shard-local winners.
+    const NameRecord* best = nullptr;
+    for (const ShardPartial& p : parts) {
+      if (!p.best.has_value()) {
+        continue;
+      }
+      if (best == nullptr || p.best->app_metric < best->app_metric ||
+          (p.best->app_metric == best->app_metric && p.best->announcer < best->announcer)) {
+        best = &*p.best;
+      }
+    }
+    HandleAnycast(packet, *best);
   }
 }
 
@@ -95,7 +159,7 @@ void ForwardingAgent::ForwardToVspaceOwner(const Packet& packet, const std::stri
 }
 
 void ForwardingAgent::HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
-                                         const std::vector<const NameRecord*>& records) {
+                                         std::vector<NameRecord> records) {
   metrics_->Increment("forwarding.early_binding");
   uint64_t request_id = 0;
   NodeAddress reply_to = src;
@@ -107,47 +171,38 @@ void ForwardingAgent::HandleEarlyBinding(const NodeAddress& src, const Packet& p
   }
   EarlyBindingResponse resp;
   resp.request_id = request_id;
-  for (const NameRecord* rec : records) {
-    resp.items.push_back({rec->endpoint, rec->app_metric});
+  for (const NameRecord& rec : records) {
+    resp.items.push_back({rec.endpoint, rec.app_metric});
   }
   send_(reply_to, Envelope{MessageBody(std::move(resp))});
 }
 
-void ForwardingAgent::HandleAnycast(const Packet& packet,
-                                    const std::vector<const NameRecord*>& records) {
+void ForwardingAgent::HandleAnycast(const Packet& packet, const NameRecord& best) {
   // Exactly one destination: the least application metric; announcer id is
-  // the deterministic tie-break.
-  const NameRecord* best = nullptr;
-  for (const NameRecord* rec : records) {
-    if (best == nullptr || rec->app_metric < best->app_metric ||
-        (rec->app_metric == best->app_metric && rec->announcer < best->announcer)) {
-      best = rec;
-    }
-  }
+  // the deterministic tie-break (applied per shard, then across shards).
   metrics_->Increment("forwarding.anycast");
-  if (best->route.IsLocal()) {
-    DeliverLocal(packet, *best);
+  if (best.route.IsLocal()) {
+    DeliverLocal(packet, best);
   } else {
-    ForwardToInr(packet, best->route.next_hop_inr);
+    ForwardToInr(packet, best.route.next_hop_inr);
   }
 }
 
-void ForwardingAgent::HandleMulticast(const NodeAddress& src, const Packet& packet,
-                                      const std::vector<const NameRecord*>& records) {
+void ForwardingAgent::HandleMulticast(const Packet& packet, std::vector<ShardPartial>& parts) {
   metrics_->Increment("forwarding.multicast");
-  const bool from_neighbor_inr = topology_->IsNeighbor(src);
+  // Deliver to locally attached matches in deterministic announcer order,
+  // and forward exactly one copy per distinct next-hop INR.
+  std::vector<NameRecord> locals;
   std::set<NodeAddress> next_hops;
-  for (const NameRecord* rec : records) {
-    if (rec->route.IsLocal()) {
-      DeliverLocal(packet, *rec);
-      continue;
-    }
-    // Split horizon on the data path: never bounce a multicast copy back to
-    // the neighbor it came from.
-    if (from_neighbor_inr && rec->route.next_hop_inr == src) {
-      continue;
-    }
-    next_hops.insert(rec->route.next_hop_inr);
+  for (ShardPartial& p : parts) {
+    std::move(p.locals.begin(), p.locals.end(), std::back_inserter(locals));
+    next_hops.insert(p.next_hops.begin(), p.next_hops.end());
+  }
+  std::sort(locals.begin(), locals.end(), [](const NameRecord& a, const NameRecord& b) {
+    return a.announcer < b.announcer;
+  });
+  for (const NameRecord& rec : locals) {
+    DeliverLocal(packet, rec);
   }
   for (const NodeAddress& hop : next_hops) {
     ForwardToInr(packet, hop);

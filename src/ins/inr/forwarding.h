@@ -21,6 +21,7 @@
 #define INS_INR_FORWARDING_H_
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,13 +50,23 @@ class ForwardingAgent {
   void HandleData(const NodeAddress& src, const Packet& packet);
 
  private:
+  // Per-shard partial resolution result, reduced inside the (possibly
+  // parallel) shard scan and route-merged afterwards on the protocol thread.
+  // Only the fields the packet's delivery mode needs are filled.
+  struct ShardPartial {
+    size_t matches = 0;
+    std::vector<NameRecord> records;     // early binding: all matches
+    std::optional<NameRecord> best;      // anycast: shard-local argmin
+    std::vector<NameRecord> locals;      // multicast: locally attached matches
+    std::vector<NodeAddress> next_hops;  // multicast: split-horizon-filtered hops
+  };
+
   void ResolveAndForward(const NodeAddress& src, const Packet& packet);
   void ForwardToVspaceOwner(const Packet& packet, const std::string& vspace);
   void HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
-                          const std::vector<const NameRecord*>& records);
-  void HandleAnycast(const Packet& packet, const std::vector<const NameRecord*>& records);
-  void HandleMulticast(const NodeAddress& src, const Packet& packet,
-                       const std::vector<const NameRecord*>& records);
+                          std::vector<NameRecord> records);
+  void HandleAnycast(const Packet& packet, const NameRecord& best);
+  void HandleMulticast(const Packet& packet, std::vector<ShardPartial>& parts);
   void DeliverLocal(const Packet& packet, const NameRecord& record);
   void ForwardToInr(const Packet& packet, const NodeAddress& next_hop);
   bool TryAnswerFromCache(const Packet& packet);

@@ -16,10 +16,18 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
     transport_->Send(dst, EncodeMessage(env));
   };
 
+  lookup_pool_ = std::make_unique<WorkerPool>(config_.lookup_threads);
   ping_agent_ = std::make_unique<PingAgent>(executor_, send);
   topology_ = std::make_unique<TopologyManager>(executor_, ping_agent_.get(), send,
                                                 address(), config_.topology, &metrics_);
-  vspaces_ = std::make_unique<VspaceManager>(executor_, send, config_.dsr, &metrics_);
+  ShardedNameTree::Options store_options;
+  store_options.fallback_shards = config_.fallback_shards;
+  store_options.pool = lookup_pool_.get();
+  // The protocol thread is the store's only mutator, and shard fan-out joins
+  // before it continues, so the store runs in inline (lock-free-by-absence)
+  // mode; the left-right concurrent mode is for the standalone lookup core.
+  vspaces_ = std::make_unique<VspaceManager>(executor_, send, config_.dsr, &metrics_,
+                                             store_options);
   cache_ = std::make_unique<PacketCache>(config_.cache_capacity);
   discovery_ = std::make_unique<NameDiscovery>(executor_, send, address(), vspaces_.get(),
                                                topology_.get(), &metrics_,
@@ -172,7 +180,6 @@ void Inr::HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest&
     return;
   }
 
-  const NameTree* tree = vspaces_->Tree(req.vspace);
   NameSpecifier filter;  // empty = match everything
   if (!req.filter_text.empty()) {
     auto parsed = ParseNameSpecifier(req.filter_text);
@@ -186,11 +193,11 @@ void Inr::HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest&
   DiscoveryResponse resp;
   resp.request_id = req.request_id;
   resp.vspace = req.vspace;
-  for (const NameRecord* rec : tree->Lookup(filter)) {
+  for (ShardedNameTree::NamedRecord& named : vspaces_->store().LookupNamed(req.vspace, filter)) {
     DiscoveryResponse::Item item;
-    item.name_text = tree->ExtractName(rec).ToString();
-    item.endpoint = rec->endpoint;
-    item.app_metric = rec->app_metric;
+    item.name_text = named.name.ToString();
+    item.endpoint = named.record.endpoint;
+    item.app_metric = named.record.app_metric;
     resp.items.push_back(std::move(item));
   }
   transport_->Send(reply_to, Encode(resp));
@@ -205,9 +212,16 @@ std::string Inr::DebugString() const {
   }
   os << "\n";
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
-    const NameTree* tree = vspaces_->Tree(vspace);
-    os << "vspace '" << vspace << "': " << tree->record_count() << " names\n";
-    os << tree->DebugString();
+    const ShardedNameTree& store = vspaces_->store();
+    os << "vspace '" << vspace << "': " << store.RecordCount(vspace) << " names in "
+       << store.ShardCountOf(vspace) << " shard(s)\n";
+    store.ForEachShardTree(vspace, [&os](const NameTree& tree) { os << tree.DebugString(); });
+  }
+  os << "shards:\n";
+  for (const ShardedNameTree::ShardStats& st : vspaces_->store().PerShardStats()) {
+    os << "  '" << st.vspace << "'/" << st.sub << ": " << st.records << " records, "
+       << st.bytes << " bytes, " << st.lookups << " lookups, " << st.updates
+       << " updates\n";
   }
   os << "counters:\n";
   for (const auto& [name, value] : metrics_.counters()) {

@@ -21,6 +21,7 @@
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
 #include "ins/common/transport.h"
+#include "ins/common/worker_pool.h"
 #include "ins/inr/forwarding.h"
 #include "ins/inr/load_balancer.h"
 #include "ins/inr/name_discovery.h"
@@ -40,6 +41,12 @@ struct InrConfig {
   TopologyConfig topology;  // .dsr is filled from `dsr` if unset
   LoadBalancerConfig load_balancer;
   size_t cache_capacity = 128;
+  // Worker threads for fanning lookups out across shards of a space; 0 (the
+  // default) resolves inline on the protocol thread — the simulator mode.
+  size_t lookup_threads = 0;
+  // Shards the default space "" is hash-split into. 1 (the default) keeps
+  // the seed's one-tree-per-space layout and exact lookup semantics.
+  size_t fallback_shards = 1;
 };
 
 class Inr {
@@ -87,6 +94,9 @@ class Inr {
   MetricsRegistry metrics_;
   bool running_ = false;
 
+  // Created before vspaces_ (the store keeps a plain pointer to it) and
+  // destroyed after it.
+  std::unique_ptr<WorkerPool> lookup_pool_;
   std::unique_ptr<PingAgent> ping_agent_;
   std::unique_ptr<TopologyManager> topology_;
   std::unique_ptr<VspaceManager> vspaces_;

@@ -1,5 +1,7 @@
 #include "ins/inr/load_balancer.h"
 
+#include <map>
+
 #include "ins/common/logging.h"
 #include "ins/inr/name_discovery.h"
 
@@ -79,12 +81,24 @@ void LoadBalancer::RequestCandidates(PendingAction action) {
 }
 
 std::string LoadBalancer::PickSpaceToDelegate() const {
+  // Shed the space whose shards absorb the most write traffic — delegation
+  // is triggered by update pressure, so update batches applied per shard are
+  // the primary signal; record count breaks ties (the seed's heuristic).
   std::string best;
+  uint64_t best_updates = 0;
   size_t best_names = 0;
-  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
-    const NameTree* tree = vspaces_->Tree(vspace);
-    if (tree->record_count() >= best_names) {
-      best_names = tree->record_count();
+  std::map<std::string, std::pair<uint64_t, size_t>> per_space;
+  for (const ShardedNameTree::ShardStats& st : vspaces_->store().PerShardStats()) {
+    auto& [updates, records] = per_space[st.vspace];
+    updates += st.updates;
+    records += st.records;
+  }
+  for (const auto& [vspace, load] : per_space) {
+    const auto& [updates, records] = load;
+    if (best.empty() || updates > best_updates ||
+        (updates == best_updates && records >= best_names)) {
+      best_updates = updates;
+      best_names = records;
       best = vspace;
     }
   }

@@ -63,7 +63,6 @@ void NameDiscovery::HandleAdvertisement(const NodeAddress& src, const Advertisem
     return;
   }
 
-  NameTree* tree = vspaces_->Tree(vspace);
   uint32_t lifetime = ad.lifetime_s != 0 ? ad.lifetime_s : config_.default_lifetime_s;
 
   NameRecord rec;
@@ -74,8 +73,9 @@ void NameDiscovery::HandleAdvertisement(const NodeAddress& src, const Advertisem
   rec.expires = executor_->Now() + Seconds(lifetime);
   rec.version = ad.version;
 
-  auto outcome = tree->Upsert(*name, rec);
-  metrics_->SetGauge("discovery.names", static_cast<int64_t>(tree->record_count()));
+  auto outcome = vspaces_->store().Upsert(vspace, *name, rec);
+  metrics_->SetGauge("discovery.names",
+                     static_cast<int64_t>(vspaces_->store().RecordCount(vspace)));
   switch (outcome.kind) {
     case NameTree::UpsertOutcome::kIgnored:
       metrics_->Increment("discovery.stale_advertisements");
@@ -95,7 +95,7 @@ void NameDiscovery::HandleAdvertisement(const NodeAddress& src, const Advertisem
   }
 
   if (config_.triggered_updates) {
-    NameUpdateEntry entry = EntryFromRecord(*tree, outcome.record);
+    NameUpdateEntry entry = EntryFromRecord(*outcome.tree, outcome.record);
     PropagateTriggered(vspace, {std::move(entry)}, kInvalidAddress);
   }
 }
@@ -120,20 +120,20 @@ void NameDiscovery::HandleNameUpdate(const NodeAddress& src, const NameUpdate& u
   metrics_->Increment("discovery.updates_received");
   metrics_->Increment("discovery.update_entries_received", update.entries.size());
 
-  NameTree* tree = vspaces_->Tree(update.vspace);
-  if (tree == nullptr) {
+  if (!vspaces_->Routes(update.vspace)) {
     metrics_->Increment("discovery.updates_unrouted_space");
     return;
   }
 
   std::vector<NameUpdateEntry> changed;
   for (const NameUpdateEntry& entry : update.entries) {
-    auto propagate = ApplyRemoteEntry(src, tree, update.vspace, entry);
+    auto propagate = ApplyRemoteEntry(src, update.vspace, entry);
     if (propagate.has_value()) {
       changed.push_back(std::move(*propagate));
     }
   }
-  metrics_->SetGauge("discovery.names", static_cast<int64_t>(tree->record_count()));
+  metrics_->SetGauge("discovery.names",
+                     static_cast<int64_t>(vspaces_->store().RecordCount(update.vspace)));
 
   if (config_.triggered_updates && !changed.empty()) {
     PropagateTriggered(update.vspace, std::move(changed), src);
@@ -141,8 +141,7 @@ void NameDiscovery::HandleNameUpdate(const NodeAddress& src, const NameUpdate& u
 }
 
 std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
-    const NodeAddress& src, NameTree* tree, const std::string& vspace,
-    const NameUpdateEntry& entry) {
+    const NodeAddress& src, const std::string& vspace, const NameUpdateEntry& entry) {
   auto name = ParseNameSpecifier(entry.name_text);
   if (!name.ok()) {
     metrics_->Increment("discovery.bad_update_entries");
@@ -155,8 +154,8 @@ std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
   const double link_ms = topology_->LinkMetricMs(src);
   const double new_metric = entry.route_metric + link_ms;
 
-  const NameRecord* existing = tree->Find(entry.announcer);
-  if (existing != nullptr) {
+  std::optional<NameRecord> existing = vspaces_->store().Find(vspace, entry.announcer);
+  if (existing.has_value()) {
     // Distance-vector acceptance rules for same-version information:
     //  * our own locally attached records always win over echoes;
     //  * refreshes from the current next hop are accepted;
@@ -180,9 +179,8 @@ std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
         // Damp RTT jitter: small metric drift is a refresh, not a change.
         double drift = std::abs(new_metric - old_metric);
         if (drift < config_.metric_change_threshold * std::max(old_metric, 1.0)) {
-          NameRecord* mut = tree->FindMutable(entry.announcer);
-          mut->expires = std::max(mut->expires,
-                                  executor_->Now() + Seconds(entry.lifetime_s));
+          vspaces_->store().RefreshExpiry(vspace, entry.announcer,
+                                          executor_->Now() + Seconds(entry.lifetime_s));
           return std::nullopt;
         }
       }
@@ -198,7 +196,7 @@ std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
   rec.expires = executor_->Now() + Seconds(entry.lifetime_s);
   rec.version = entry.version;
 
-  auto outcome = tree->Upsert(*name, rec);
+  auto outcome = vspaces_->store().Upsert(vspace, *name, rec);
   switch (outcome.kind) {
     case NameTree::UpsertOutcome::kIgnored:
       metrics_->Increment("discovery.stale_update_entries");
@@ -216,7 +214,7 @@ std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
       metrics_->Increment("discovery.names_changed");
       break;
   }
-  return EntryFromRecord(*tree, outcome.record);
+  return EntryFromRecord(*outcome.tree, outcome.record);
 }
 
 void NameDiscovery::PropagateTriggered(const std::string& vspace,
@@ -229,10 +227,9 @@ void NameDiscovery::PropagateTriggered(const std::string& vspace,
     // Also split-horizon per entry: never advertise a record back towards
     // its own next hop.
     std::vector<NameUpdateEntry> filtered;
-    const NameTree* tree = vspaces_->Tree(vspace);
     for (const NameUpdateEntry& e : entries) {
-      const NameRecord* rec = tree != nullptr ? tree->Find(e.announcer) : nullptr;
-      if (rec != nullptr && !rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
+      std::optional<NameRecord> rec = vspaces_->store().Find(vspace, e.announcer);
+      if (rec.has_value() && !rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
         continue;
       }
       filtered.push_back(e);
@@ -260,15 +257,16 @@ void NameDiscovery::SendUpdates(const NodeAddress& peer, const std::string& vspa
 
 void NameDiscovery::PeriodicTick() {
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
-    const NameTree* tree = vspaces_->Tree(vspace);
     for (const NodeAddress& peer : topology_->NeighborAddresses()) {
       std::vector<NameUpdateEntry> entries;
-      for (const NameRecord* rec : tree->AllRecords()) {
-        if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
-          continue;  // split horizon
+      vspaces_->store().ForEachShardTree(vspace, [&](const NameTree& tree) {
+        for (const NameRecord* rec : tree.AllRecords()) {
+          if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
+            continue;  // split horizon
+          }
+          entries.push_back(EntryFromRecord(tree, rec));
         }
-        entries.push_back(EntryFromRecord(*tree, rec));
-      }
+      });
       metrics_->Increment("discovery.periodic_updates_sent");
       SendUpdates(peer, vspace, std::move(entries), /*triggered=*/false);
     }
@@ -278,10 +276,7 @@ void NameDiscovery::PeriodicTick() {
 }
 
 void NameDiscovery::ExpiryTick() {
-  size_t expired = 0;
-  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
-    expired += vspaces_->Tree(vspace)->ExpireBefore(executor_->Now());
-  }
+  size_t expired = vspaces_->store().ExpireBefore(executor_->Now());
   if (expired > 0) {
     metrics_->Increment("discovery.names_expired", expired);
   }
@@ -292,18 +287,16 @@ void NameDiscovery::ExpiryTick() {
 void NameDiscovery::PurgeRoutesVia(const NodeAddress& next_hop) {
   size_t purged = 0;
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
-    NameTree* tree = vspaces_->Tree(vspace);
-    if (tree == nullptr) {
-      continue;
-    }
     std::vector<AnnouncerId> stale;
-    for (const NameRecord* rec : tree->AllRecords()) {
-      if (!rec->route.IsLocal() && rec->route.next_hop_inr == next_hop) {
-        stale.push_back(rec->announcer);
+    vspaces_->store().ForEachShardTree(vspace, [&](const NameTree& tree) {
+      for (const NameRecord* rec : tree.AllRecords()) {
+        if (!rec->route.IsLocal() && rec->route.next_hop_inr == next_hop) {
+          stale.push_back(rec->announcer);
+        }
       }
-    }
+    });
     for (const AnnouncerId& id : stale) {
-      if (tree->Remove(id)) {
+      if (vspaces_->store().Remove(vspace, id)) {
         ++purged;
       }
     }
@@ -320,17 +313,18 @@ void NameDiscovery::SendFullStateTo(const NodeAddress& peer) {
 }
 
 void NameDiscovery::SendVspaceStateTo(const NodeAddress& peer, const std::string& vspace) {
-  const NameTree* tree = vspaces_->Tree(vspace);
-  if (tree == nullptr) {
+  if (!vspaces_->Routes(vspace)) {
     return;
   }
   std::vector<NameUpdateEntry> entries;
-  for (const NameRecord* rec : tree->AllRecords()) {
-    if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
-      continue;
+  vspaces_->store().ForEachShardTree(vspace, [&](const NameTree& tree) {
+    for (const NameRecord* rec : tree.AllRecords()) {
+      if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
+        continue;
+      }
+      entries.push_back(EntryFromRecord(tree, rec));
     }
-    entries.push_back(EntryFromRecord(*tree, rec));
-  }
+  });
   if (!entries.empty()) {
     SendUpdates(peer, vspace, std::move(entries), /*triggered=*/true);
   }

@@ -83,9 +83,9 @@ class NameDiscovery {
                           const NodeAddress& except);
   void SendUpdates(const NodeAddress& peer, const std::string& vspace,
                    std::vector<NameUpdateEntry> entries, bool triggered);
-  // Applies one remote entry; returns the entry to propagate if it changed
-  // state, or nullopt.
-  std::optional<NameUpdateEntry> ApplyRemoteEntry(const NodeAddress& src, NameTree* tree,
+  // Applies one remote entry against the sharded store; returns the entry to
+  // propagate if it changed state, or nullopt.
+  std::optional<NameUpdateEntry> ApplyRemoteEntry(const NodeAddress& src,
                                                   const std::string& vspace,
                                                   const NameUpdateEntry& entry);
 

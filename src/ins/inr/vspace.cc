@@ -3,50 +3,34 @@
 namespace ins {
 
 VspaceManager::VspaceManager(Executor* executor, SendFn send, NodeAddress dsr,
-                             MetricsRegistry* metrics)
-    : executor_(executor), send_(std::move(send)), dsr_(dsr), metrics_(metrics) {}
+                             MetricsRegistry* metrics, ShardedNameTree::Options store_options)
+    : executor_(executor),
+      send_(std::move(send)),
+      dsr_(dsr),
+      metrics_(metrics),
+      store_(std::move(store_options)) {}
 
 void VspaceManager::AddSpace(const std::string& vspace) {
-  auto [it, inserted] = routed_.try_emplace(vspace);
-  if (!inserted) {
+  if (store_.Routes(vspace)) {
     return;
   }
-  it->second = std::make_unique<NameTree>();
+  store_.AddSpace(vspace);
   owner_cache_.erase(vspace);  // we are the owner now
-  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(routed_.size()));
+  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(store_.RoutedSpaces().size()));
   if (on_spaces_changed) {
     on_spaces_changed();
   }
 }
 
 bool VspaceManager::RemoveSpace(const std::string& vspace) {
-  if (routed_.erase(vspace) == 0) {
+  if (!store_.RemoveSpace(vspace)) {
     return false;
   }
-  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(routed_.size()));
+  metrics_->SetGauge("vspace.routed", static_cast<int64_t>(store_.RoutedSpaces().size()));
   if (on_spaces_changed) {
     on_spaces_changed();
   }
   return true;
-}
-
-std::vector<std::string> VspaceManager::RoutedSpaces() const {
-  std::vector<std::string> out;
-  out.reserve(routed_.size());
-  for (const auto& [name, tree] : routed_) {
-    out.push_back(name);
-  }
-  return out;
-}
-
-NameTree* VspaceManager::Tree(const std::string& vspace) {
-  auto it = routed_.find(vspace);
-  return it == routed_.end() ? nullptr : it->second.get();
-}
-
-const NameTree* VspaceManager::Tree(const std::string& vspace) const {
-  auto it = routed_.find(vspace);
-  return it == routed_.end() ? nullptr : it->second.get();
 }
 
 std::string VspaceManager::VspaceOf(const NameSpecifier& name) {

@@ -20,6 +20,7 @@
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
 #include "ins/nametree/name_tree.h"
+#include "ins/nametree/sharded_name_tree.h"
 #include "ins/overlay/ping.h"
 
 namespace ins {
@@ -33,17 +34,26 @@ class VspaceManager {
   // resolver routes the space. May fire synchronously on a cache hit.
   using ResolveCallback = std::function<void(const NodeAddress& owner)>;
 
-  VspaceManager(Executor* executor, SendFn send, NodeAddress dsr, MetricsRegistry* metrics);
+  VspaceManager(Executor* executor, SendFn send, NodeAddress dsr, MetricsRegistry* metrics,
+                ShardedNameTree::Options store_options = {});
 
   // Spaces this resolver routes. Adding an existing space is a no-op.
   void AddSpace(const std::string& vspace);
   bool RemoveSpace(const std::string& vspace);
-  bool Routes(const std::string& vspace) const { return routed_.count(vspace) > 0; }
-  std::vector<std::string> RoutedSpaces() const;
+  bool Routes(const std::string& vspace) const { return store_.Routes(vspace); }
+  std::vector<std::string> RoutedSpaces() const { return store_.RoutedSpaces(); }
 
-  // The name-tree for a routed space; nullptr when not routed.
-  NameTree* Tree(const std::string& vspace);
-  const NameTree* Tree(const std::string& vspace) const;
+  // The sharded record store: one shard per routed space plus the hashed
+  // fallback shards of the default space. All record reads/writes on the
+  // resolver path go through this.
+  ShardedNameTree& store() { return store_; }
+  const ShardedNameTree& store() const { return store_; }
+
+  // Compat: the first shard tree of a routed space; nullptr when not routed.
+  // Mutating through this pointer is legal only in inline (non-concurrent)
+  // store mode — which is how the protocol thread runs.
+  NameTree* Tree(const std::string& vspace) { return store_.Tree(vspace); }
+  const NameTree* Tree(const std::string& vspace) const { return store_.Tree(vspace); }
 
   // Extracts the root [vspace=...] value; "" when absent (the default space).
   static std::string VspaceOf(const NameSpecifier& name);
@@ -67,7 +77,7 @@ class VspaceManager {
   NodeAddress dsr_;
   MetricsRegistry* metrics_;
 
-  std::map<std::string, std::unique_ptr<NameTree>> routed_;
+  ShardedNameTree store_;
   std::unordered_map<std::string, NodeAddress> owner_cache_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, std::string> pending_by_id_;

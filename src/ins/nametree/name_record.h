@@ -110,6 +110,14 @@ struct NameRecord {
 
   std::string ToString() const;
 
+  // Value copy with the tree-internal terminal pointers cleared: safe to hand
+  // across shard/thread boundaries after the source tree version is retired.
+  NameRecord Detached() const {
+    NameRecord copy = *this;
+    copy.terminals_.clear();
+    return copy;
+  }
+
  private:
   friend class NameTree;
   // Leaf value-nodes of this record's specifier, maintained by the tree for

@@ -153,6 +153,7 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRe
     NameRecord* raw = rec.get();
     records_.emplace(info.announcer, std::move(rec));
     Graft(&root_, name.roots(), raw);
+    PushExpiry(raw->expires, raw->announcer);
     return {UpsertOutcome::kNew, raw};
   }
 
@@ -169,7 +170,10 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRe
   rec->app_metric = info.app_metric;
   rec->route = info.route;
   rec->version = info.version;
-  rec->expires = std::max(rec->expires, info.expires);
+  if (info.expires > rec->expires) {
+    rec->expires = info.expires;
+    PushExpiry(rec->expires, rec->announcer);  // the older heap entry goes stale
+  }
 
   if (renamed) {
     Ungraft(rec);
@@ -364,17 +368,49 @@ bool NameTree::Remove(const AnnouncerId& id) {
   return true;
 }
 
+bool NameTree::RefreshExpiry(const AnnouncerId& id, TimePoint expires) {
+  auto it = records_.find(id);
+  if (it == records_.end()) {
+    return false;
+  }
+  NameRecord* rec = it->second.get();
+  if (expires > rec->expires) {
+    rec->expires = expires;
+    PushExpiry(rec->expires, rec->announcer);
+  }
+  return true;
+}
+
+void NameTree::PushExpiry(TimePoint expires, const AnnouncerId& id) {
+  expiry_heap_.emplace_back(expires, id);
+  std::push_heap(expiry_heap_.begin(), expiry_heap_.end(),
+                 std::greater<std::pair<TimePoint, AnnouncerId>>());
+}
+
 size_t NameTree::ExpireBefore(TimePoint now) {
-  std::vector<AnnouncerId> doomed;
-  for (const auto& [id, rec] : records_) {
-    if (rec->expires < now) {
-      doomed.push_back(id);
+  // Every live record has a heap entry at its current deadline (pushed when
+  // the deadline was set), so popping entries with deadline < now visits a
+  // superset of the expired records: cost is O(expired + stale), never a
+  // full-tree walk.
+  size_t removed = 0;
+  auto cmp = std::greater<std::pair<TimePoint, AnnouncerId>>();
+  while (!expiry_heap_.empty() && expiry_heap_.front().first < now) {
+    ++expiry_scan_visits_;
+    std::pop_heap(expiry_heap_.begin(), expiry_heap_.end(), cmp);
+    auto [deadline, id] = expiry_heap_.back();
+    expiry_heap_.pop_back();
+    auto it = records_.find(id);
+    if (it == records_.end()) {
+      continue;  // stale: record already removed or renamed away
     }
+    if (it->second->expires >= now) {
+      continue;  // stale: refreshed since this entry was pushed
+    }
+    Ungraft(it->second.get());
+    records_.erase(it);
+    ++removed;
   }
-  for (const AnnouncerId& id : doomed) {
-    Remove(id);
-  }
-  return doomed.size();
+  return removed;
 }
 
 const NameRecord* NameTree::Find(const AnnouncerId& id) const {
@@ -431,6 +467,8 @@ NameTree::Stats NameTree::ComputeStats() const {
       st.bytes += b.transport.capacity();
     }
   }
+  st.expiry_heap_entries = expiry_heap_.size();
+  st.bytes += expiry_heap_.capacity() * sizeof(expiry_heap_[0]);
   return st;
 }
 
@@ -535,6 +573,25 @@ Status NameTree::CheckInvariants() const {
     return InternalError("terminal reference count mismatch: tree lists " +
                          std::to_string(listed) + ", records hold " +
                          std::to_string(terminal_refs));
+  }
+
+  // Expiry-heap invariants: heap-ordered, and every live record has an entry
+  // at its current deadline (else ExpireBefore could miss it).
+  if (!std::is_heap(expiry_heap_.begin(), expiry_heap_.end(),
+                    std::greater<std::pair<TimePoint, AnnouncerId>>())) {
+    return InternalError("expiry heap order violated");
+  }
+  for (const auto& [id, rec] : records_) {
+    bool covered = false;
+    for (const auto& [deadline, hid] : expiry_heap_) {
+      if (hid == id && deadline == rec->expires) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) {
+      return InternalError("record not covered by expiry heap: " + id.ToString());
+    }
   }
   return Status::Ok();
 }

@@ -16,7 +16,10 @@
 //                    fragments (Figure 6), used when sending updates.
 //
 // Soft state: records carry an expiry; ExpireBefore() sweeps them out and
-// prunes empty branches. The tree also accounts its memory precisely, which
+// prunes empty branches. Expiries are indexed in a lazy min-heap so a sweep
+// costs O(expired + stale entries popped), not a walk of the whole tree —
+// expiry_scan_visits() exposes the work done so tests can pin the bound.
+// The tree also accounts its memory precisely (heap included), which
 // reproduces the paper's Figure 13.
 
 #ifndef INS_NAMETREE_NAME_TREE_H_
@@ -95,10 +98,30 @@ class NameTree {
   // Removes the record for `id`. Returns false if unknown.
   bool Remove(const AnnouncerId& id);
 
+  // Extends the expiry of `id` to max(current, expires) without touching any
+  // other field, keeping the expiry index consistent. Returns false if the
+  // announcer is unknown.
+  bool RefreshExpiry(const AnnouncerId& id, TimePoint expires);
+
   // Removes every record with expires < now; returns how many were removed.
+  // Driven by the expiry min-heap: cost is proportional to the number of
+  // heap entries that have come due (expired records plus entries staled by
+  // refreshes/removals), independent of the live tree size.
   size_t ExpireBefore(TimePoint now);
 
+  // Cumulative count of expiry-heap entries examined by ExpireBefore calls;
+  // the sweep-cost accounting used by tests and the network-management view.
+  uint64_t expiry_scan_visits() const { return expiry_scan_visits_; }
+
+  // True when the expiry index has an entry due before `now` (possibly a
+  // stale one); a cheap pre-check for skipping a sweep entirely.
+  bool HasExpiryDueBefore(TimePoint now) const {
+    return !expiry_heap_.empty() && expiry_heap_.front().first < now;
+  }
+
   const NameRecord* Find(const AnnouncerId& id) const;
+  // Caution: do not set `expires` through this pointer — that bypasses the
+  // expiry index. Use RefreshExpiry() (or Upsert) instead.
   NameRecord* FindMutable(const AnnouncerId& id);
 
   // All live records, sorted by AnnouncerId.
@@ -110,6 +133,7 @@ class NameTree {
     size_t attribute_nodes = 0;
     size_t value_nodes = 0;
     size_t records = 0;
+    size_t expiry_heap_entries = 0;  // live + stale entries in the min-heap
     size_t bytes = 0;  // estimated resident bytes of the whole structure
   };
   Stats ComputeStats() const;
@@ -171,9 +195,20 @@ class NameTree {
   void AddToAncestorCaches(ValueNode* leaf, const NameRecord* rec);
   void RemoveFromAncestorCaches(ValueNode* leaf, const NameRecord* rec);
 
+  // Pushes a (deadline, id) entry when a record's expiry is set or extended.
+  // Entries are never erased in place; ExpireBefore pops lazily and skips
+  // entries whose deadline no longer matches the live record.
+  void PushExpiry(TimePoint expires, const AnnouncerId& id);
+
   Options options_;
   ValueNode root_;
   std::map<AnnouncerId, std::unique_ptr<NameRecord>> records_;
+
+  // Min-heap over (deadline, announcer), maintained with std::push/pop_heap
+  // on a greater-than comparator. Stale entries (refreshed or removed
+  // records) are skipped when popped.
+  std::vector<std::pair<TimePoint, AnnouncerId>> expiry_heap_;
+  uint64_t expiry_scan_visits_ = 0;
 };
 
 // Converts a stored value token back into a Value ("*" -> wildcard, "<5" ->

@@ -1,0 +1,498 @@
+#include "ins/nametree/sharded_name_tree.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ins {
+
+ShardedNameTree::ShardedNameTree(Options options) : options_(std::move(options)) {
+  if (options_.fallback_shards == 0) {
+    options_.fallback_shards = 1;
+  }
+}
+
+std::unique_ptr<ShardedNameTree::Shard> ShardedNameTree::MakeShard(const std::string& space,
+                                                                   size_t sub) const {
+  auto shard = std::make_unique<Shard>();
+  shard->space = space;
+  shard->sub = sub;
+  shard->sides[0] = std::make_unique<NameTree>(options_.tree_options);
+  if (options_.concurrent) {
+    shard->sides[1] = std::make_unique<NameTree>(options_.tree_options);
+  }
+  return shard;
+}
+
+void ShardedNameTree::AddSpace(const std::string& vspace) {
+  auto [it, inserted] = spaces_.try_emplace(vspace);
+  if (!inserted) {
+    return;
+  }
+  const size_t count = vspace.empty() ? options_.fallback_shards : 1;
+  it->second.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    it->second.push_back(MakeShard(vspace, i));
+  }
+}
+
+bool ShardedNameTree::RemoveSpace(const std::string& vspace) {
+  return spaces_.erase(vspace) > 0;
+}
+
+bool ShardedNameTree::Routes(const std::string& vspace) const {
+  return spaces_.count(vspace) > 0;
+}
+
+std::vector<std::string> ShardedNameTree::RoutedSpaces() const {
+  std::vector<std::string> out;
+  out.reserve(spaces_.size());
+  for (const auto& [space, shards] : spaces_) {
+    out.push_back(space);
+  }
+  return out;
+}
+
+size_t ShardedNameTree::ShardCountOf(const std::string& vspace) const {
+  auto it = spaces_.find(vspace);
+  return it == spaces_.end() ? 0 : it->second.size();
+}
+
+size_t ShardedNameTree::TotalShardCount() const {
+  size_t n = 0;
+  for (const auto& [space, shards] : spaces_) {
+    n += shards.size();
+  }
+  return n;
+}
+
+size_t ShardedNameTree::FallbackIndex(const NameSpecifier& name) const {
+  if (options_.fallback_shards <= 1 || name.roots().empty()) {
+    return 0;
+  }
+  return std::hash<std::string>{}(name.roots().front().attribute) % options_.fallback_shards;
+}
+
+const std::vector<std::unique_ptr<ShardedNameTree::Shard>>* ShardedNameTree::ShardsOf(
+    const std::string& vspace) const {
+  auto it = spaces_.find(vspace);
+  return it == spaces_.end() ? nullptr : &it->second;
+}
+
+ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
+                                                      const NameSpecifier& name,
+                                                      const NameRecord& info) {
+  auto it = spaces_.find(vspace);
+  if (it == spaces_.end()) {
+    UpsertResult r;
+    r.routed = false;
+    return r;
+  }
+  auto& shards = it->second;
+  const size_t target = shards.size() > 1 ? FallbackIndex(name) : 0;
+
+  // Lock the whole space so the cross-shard probe and the move are atomic
+  // against other writers (shards of one space share a writer under load, so
+  // this does not serialize independent spaces).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  if (options_.concurrent) {
+    locks.reserve(shards.size());
+    for (auto& s : shards) {
+      locks.emplace_back(s->write_mu);
+    }
+  }
+
+  // Service mobility across fallback shards: a re-announcement whose first
+  // attribute changed hashes elsewhere; evict the old graft first so the
+  // store never holds the announcer twice (what one tree's rename would do).
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (i == target) {
+      continue;
+    }
+    const NameRecord* old_rec = ReadSide(*shards[i]).Find(info.announcer);
+    if (old_rec == nullptr) {
+      continue;
+    }
+    if (info.version < old_rec->version) {
+      UpsertResult r;
+      r.kind = NameTree::UpsertOutcome::kIgnored;
+      return r;
+    }
+    AnnouncerId id = info.announcer;
+    ApplyLocked(*shards[i], [&id](NameTree& t) { return t.Remove(id); });
+    auto out = ApplyLocked(*shards[target],
+                           [&](NameTree& t) { return t.Upsert(name, info); });
+    UpsertResult r;
+    r.kind = out.kind == NameTree::UpsertOutcome::kIgnored
+                 ? NameTree::UpsertOutcome::kIgnored
+                 : NameTree::UpsertOutcome::kRenamed;
+    r.tree = &ReadSide(*shards[target]);
+    r.record = out.record;
+    return r;
+  }
+
+  auto out = ApplyLocked(*shards[target], [&](NameTree& t) { return t.Upsert(name, info); });
+  UpsertResult r;
+  r.kind = out.kind;
+  r.tree = &ReadSide(*shards[target]);
+  r.record = out.record;
+  return r;
+}
+
+size_t ShardedNameTree::UpsertBatch(
+    const std::string& vspace,
+    const std::vector<std::pair<NameSpecifier, NameRecord>>& batch) {
+  auto it = spaces_.find(vspace);
+  if (it == spaces_.end() || batch.empty()) {
+    return 0;
+  }
+  auto& shards = it->second;
+
+  std::vector<std::unique_lock<std::mutex>> locks;
+  if (options_.concurrent) {
+    locks.reserve(shards.size());
+    for (auto& s : shards) {
+      locks.emplace_back(s->write_mu);
+    }
+  }
+
+  // Route entries to their shard; evict cross-shard movers first (rare).
+  std::vector<std::vector<const std::pair<NameSpecifier, NameRecord>*>> per_shard(shards.size());
+  for (const auto& entry : batch) {
+    const size_t target = shards.size() > 1 ? FallbackIndex(entry.first) : 0;
+    for (size_t i = 0; i < shards.size(); ++i) {
+      if (i == target) {
+        continue;
+      }
+      const NameRecord* old_rec = ReadSide(*shards[i]).Find(entry.second.announcer);
+      if (old_rec != nullptr && entry.second.version >= old_rec->version) {
+        AnnouncerId id = entry.second.announcer;
+        ApplyLocked(*shards[i], [&id](NameTree& t) { return t.Remove(id); });
+      }
+    }
+    per_shard[target].push_back(&entry);
+  }
+
+  size_t applied = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    if (per_shard[i].empty()) {
+      continue;
+    }
+    // One snapshot publish covers the whole per-shard batch.
+    applied += ApplyLocked(*shards[i], [&ops = per_shard[i]](NameTree& t) {
+      size_t n = 0;
+      for (const auto* op : ops) {
+        if (t.Upsert(op->first, op->second).kind != NameTree::UpsertOutcome::kIgnored) {
+          ++n;
+        }
+      }
+      return n;
+    });
+  }
+  return applied;
+}
+
+bool ShardedNameTree::Remove(const std::string& vspace, const AnnouncerId& id) {
+  auto it = spaces_.find(vspace);
+  if (it == spaces_.end()) {
+    return false;
+  }
+  auto& shards = it->second;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  if (options_.concurrent) {
+    locks.reserve(shards.size());
+    for (auto& s : shards) {
+      locks.emplace_back(s->write_mu);
+    }
+  }
+  for (auto& s : shards) {
+    if (ReadSide(*s).Find(id) != nullptr) {
+      return ApplyLocked(*s, [&id](NameTree& t) { return t.Remove(id); });
+    }
+  }
+  return false;
+}
+
+bool ShardedNameTree::RefreshExpiry(const std::string& vspace, const AnnouncerId& id,
+                                    TimePoint expires) {
+  auto it = spaces_.find(vspace);
+  if (it == spaces_.end()) {
+    return false;
+  }
+  auto& shards = it->second;
+  std::vector<std::unique_lock<std::mutex>> locks;
+  if (options_.concurrent) {
+    locks.reserve(shards.size());
+    for (auto& s : shards) {
+      locks.emplace_back(s->write_mu);
+    }
+  }
+  for (auto& s : shards) {
+    if (ReadSide(*s).Find(id) != nullptr) {
+      return ApplyLocked(*s, [&](NameTree& t) { return t.RefreshExpiry(id, expires); });
+    }
+  }
+  return false;
+}
+
+size_t ShardedNameTree::ExpireBefore(TimePoint now) {
+  size_t removed = 0;
+  for (auto& [space, shards] : spaces_) {
+    for (auto& s : shards) {
+      std::unique_lock<std::mutex> lock(s->write_mu, std::defer_lock);
+      if (options_.concurrent) {
+        lock.lock();
+      }
+      // Peek is safe under the write lock: nobody can flip read_idx.
+      if (!ReadSide(*s).HasExpiryDueBefore(now)) {
+        continue;
+      }
+      removed += ApplyLocked(*s, [now](NameTree& t) { return t.ExpireBefore(now); });
+    }
+  }
+  return removed;
+}
+
+std::vector<NameRecord> ShardedNameTree::Lookup(const std::string& vspace,
+                                                const NameSpecifier& query) const {
+  const auto* shards = ShardsOf(vspace);
+  std::vector<NameRecord> out;
+  if (shards == nullptr) {
+    return out;
+  }
+  for (const auto& s : *shards) {
+    ReadShard(*s, [&](const NameTree& t) {
+      for (const NameRecord* rec : t.Lookup(query)) {
+        out.push_back(rec->Detached());
+      }
+      return 0;
+    });
+  }
+  std::sort(out.begin(), out.end(), [](const NameRecord& a, const NameRecord& b) {
+    if (!(a.announcer == b.announcer)) {
+      return a.announcer < b.announcer;
+    }
+    return a.version > b.version;  // duplicate announcer: keep the newest
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const NameRecord& a, const NameRecord& b) {
+                          return a.announcer == b.announcer;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<ShardedNameTree::NamedRecord> ShardedNameTree::LookupNamed(
+    const std::string& vspace, const NameSpecifier& query) const {
+  const auto* shards = ShardsOf(vspace);
+  std::vector<NamedRecord> out;
+  if (shards == nullptr) {
+    return out;
+  }
+  for (const auto& s : *shards) {
+    ReadShard(*s, [&](const NameTree& t) {
+      for (const NameRecord* rec : t.Lookup(query)) {
+        out.push_back(NamedRecord{t.ExtractName(rec), rec->Detached()});
+      }
+      return 0;
+    });
+  }
+  std::sort(out.begin(), out.end(), [](const NamedRecord& a, const NamedRecord& b) {
+    if (!(a.record.announcer == b.record.announcer)) {
+      return a.record.announcer < b.record.announcer;
+    }
+    return a.record.version > b.record.version;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const NamedRecord& a, const NamedRecord& b) {
+                          return a.record.announcer == b.record.announcer;
+                        }),
+            out.end());
+  return out;
+}
+
+std::optional<NameSpecifier> ShardedNameTree::GetName(const std::string& vspace,
+                                                      const AnnouncerId& id) const {
+  const auto* shards = ShardsOf(vspace);
+  if (shards == nullptr) {
+    return std::nullopt;
+  }
+  for (const auto& s : *shards) {
+    std::optional<NameSpecifier> name = ReadShard(*s, [&](const NameTree& t) {
+      const NameRecord* rec = t.Find(id);
+      return rec == nullptr ? std::optional<NameSpecifier>()
+                            : std::optional<NameSpecifier>(t.ExtractName(rec));
+    });
+    if (name.has_value()) {
+      return name;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<NameRecord> ShardedNameTree::Find(const std::string& vspace,
+                                                const AnnouncerId& id) const {
+  const auto* shards = ShardsOf(vspace);
+  if (shards == nullptr) {
+    return std::nullopt;
+  }
+  for (const auto& s : *shards) {
+    std::optional<NameRecord> rec = ReadShard(*s, [&](const NameTree& t) {
+      const NameRecord* r = t.Find(id);
+      return r == nullptr ? std::optional<NameRecord>() : std::optional<NameRecord>(r->Detached());
+    });
+    if (rec.has_value()) {
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+size_t ShardedNameTree::RecordCount(const std::string& vspace) const {
+  const auto* shards = ShardsOf(vspace);
+  if (shards == nullptr) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const auto& s : *shards) {
+    n += ReadShard(*s, [](const NameTree& t) { return t.record_count(); });
+  }
+  return n;
+}
+
+size_t ShardedNameTree::TotalRecordCount() const {
+  size_t n = 0;
+  for (const auto& [space, shards] : spaces_) {
+    for (const auto& s : shards) {
+      n += ReadShard(*s, [](const NameTree& t) { return t.record_count(); });
+    }
+  }
+  return n;
+}
+
+void ShardedNameTree::ForEachShardMatch(const std::string& vspace, const NameSpecifier& query,
+                                        const ShardMatchFn& fn) const {
+  const auto* shards = ShardsOf(vspace);
+  if (shards == nullptr) {
+    return;
+  }
+  auto scan = [&](size_t i) {
+    ReadShard(*(*shards)[i], [&](const NameTree& t) {
+      fn(i, t, t.Lookup(query));
+      return 0;
+    });
+  };
+  if (options_.pool != nullptr && options_.pool->thread_count() > 0 && shards->size() > 1) {
+    options_.pool->RunAll(shards->size(), scan);
+  } else {
+    for (size_t i = 0; i < shards->size(); ++i) {
+      scan(i);
+    }
+  }
+}
+
+void ShardedNameTree::ForEachShardTree(const std::string& vspace,
+                                       const std::function<void(const NameTree&)>& fn) const {
+  const auto* shards = ShardsOf(vspace);
+  if (shards == nullptr) {
+    return;
+  }
+  for (const auto& s : *shards) {
+    ReadShard(*s, [&](const NameTree& t) {
+      fn(t);
+      return 0;
+    });
+  }
+}
+
+std::vector<ShardedNameTree::ShardStats> ShardedNameTree::PerShardStats() const {
+  std::vector<ShardStats> out;
+  for (const auto& [space, shards] : spaces_) {
+    for (const auto& s : shards) {
+      ShardStats st;
+      st.vspace = space;
+      st.sub = s->sub;
+      NameTree::Stats ts = ReadShard(*s, [](const NameTree& t) { return t.ComputeStats(); });
+      st.records = ts.records;
+      st.bytes = ts.bytes;
+      st.lookups = s->lookups.load(std::memory_order_relaxed);
+      st.updates = s->updates.load(std::memory_order_relaxed);
+      out.push_back(std::move(st));
+    }
+  }
+  return out;
+}
+
+NameTree::Stats ShardedNameTree::ComputeStats() const {
+  NameTree::Stats total;
+  for (const auto& [space, shards] : spaces_) {
+    for (const auto& s : shards) {
+      NameTree::Stats ts = ReadShard(*s, [](const NameTree& t) { return t.ComputeStats(); });
+      total.attribute_nodes += ts.attribute_nodes;
+      total.value_nodes += ts.value_nodes;
+      total.records += ts.records;
+      total.expiry_heap_entries += ts.expiry_heap_entries;
+      total.bytes += ts.bytes;
+    }
+  }
+  return total;
+}
+
+Status ShardedNameTree::CheckInvariants() const {
+  for (const auto& [space, shards] : spaces_) {
+    for (const auto& s : shards) {
+      std::unique_lock<std::mutex> lock(s->write_mu, std::defer_lock);
+      if (options_.concurrent) {
+        lock.lock();
+      }
+      Status st = s->sides[0]->CheckInvariants();
+      if (!st.ok()) {
+        return st;
+      }
+      if (!options_.concurrent) {
+        continue;
+      }
+      st = s->sides[1]->CheckInvariants();
+      if (!st.ok()) {
+        return st;
+      }
+      // The two left-right sides must be replicas: same records, same names.
+      const NameTree& a = *s->sides[0];
+      const NameTree& b = *s->sides[1];
+      std::vector<const NameRecord*> ra = a.AllRecords();
+      std::vector<const NameRecord*> rb = b.AllRecords();
+      if (ra.size() != rb.size()) {
+        return InternalError("left-right sides diverge in record count for shard " + space +
+                             "/" + std::to_string(s->sub));
+      }
+      for (size_t i = 0; i < ra.size(); ++i) {
+        const bool same = ra[i]->announcer == rb[i]->announcer &&
+                          ra[i]->version == rb[i]->version &&
+                          ra[i]->expires == rb[i]->expires &&
+                          ra[i]->app_metric == rb[i]->app_metric &&
+                          ra[i]->endpoint == rb[i]->endpoint && ra[i]->route == rb[i]->route &&
+                          a.ExtractName(ra[i]) == b.ExtractName(rb[i]);
+        if (!same) {
+          return InternalError("left-right sides diverge at record " +
+                               ra[i]->announcer.ToString() + " in shard " + space + "/" +
+                               std::to_string(s->sub));
+        }
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+NameTree* ShardedNameTree::Tree(const std::string& vspace, size_t sub) {
+  auto it = spaces_.find(vspace);
+  if (it == spaces_.end() || sub >= it->second.size()) {
+    return nullptr;
+  }
+  Shard& s = *it->second[sub];
+  return s.sides[options_.concurrent ? s.read_idx.load(std::memory_order_seq_cst) : 0].get();
+}
+
+const NameTree* ShardedNameTree::Tree(const std::string& vspace, size_t sub) const {
+  return const_cast<ShardedNameTree*>(this)->Tree(vspace, sub);
+}
+
+}  // namespace ins

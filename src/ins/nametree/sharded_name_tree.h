@@ -1,0 +1,267 @@
+// The concurrent sharded lookup core.
+//
+// A ShardedNameTree partitions a resolver's record store into independent
+// shards: one shard per routed virtual space, plus `fallback_shards` shards
+// for the default space "" keyed by a hash of the name's first root attribute
+// (the paper's vspace partitioning, §2.5, extended with hash sharding so a
+// single hot space still scales across threads). With fallback_shards == 1
+// the layout — and every lookup result — is byte-identical to the seed's
+// one-tree-per-space map.
+//
+// Concurrency model (enabled with Options::concurrent):
+//
+//   * Each shard holds TWO NameTree instances in a left-right arrangement:
+//     readers follow an atomic `read_idx` to the published side and never
+//     take a lock; the hot lookup path costs one epoch announcement and one
+//     atomic load.
+//   * Each shard has a single writer at a time (a per-shard write mutex
+//     serializes mutators). A write batch is applied to the stale side,
+//     `read_idx` is flipped (the "epoch snapshot" publish), the global epoch
+//     advances, and the writer waits for readers announced before the flip
+//     to drain (common/epoch.h) before replaying the batch on the retired
+//     side. Readers therefore always see a tree state that existed at some
+//     epoch — never a torn intermediate.
+//   * Mutating operations are deterministic, so replaying them on the second
+//     side reproduces the published side exactly.
+//
+// LOOKUP-NAME over the store is the union of per-shard lookups. For the
+// named-space shards this is exact. For fallback_shards > 1 the union
+// coincides with a monolithic tree exactly when advertisements are
+// schema-complete at each position (see the semantics note in name_tree.h);
+// the differential tests pin this equivalence on schema-complete workloads.
+//
+// Shard topology changes (AddSpace/RemoveSpace/set-options) are NOT safe
+// concurrently with readers; configure the layout before spinning up reader
+// threads, as the resolver does at startup.
+
+#ifndef INS_NAMETREE_SHARDED_NAME_TREE_H_
+#define INS_NAMETREE_SHARDED_NAME_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ins/common/clock.h"
+#include "ins/common/epoch.h"
+#include "ins/common/status.h"
+#include "ins/common/worker_pool.h"
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_tree.h"
+
+namespace ins {
+
+class ShardedNameTree {
+ public:
+  struct Options {
+    // Shards the default space "" is split into (>= 1). Shard of a name =
+    // hash(first root attribute) % fallback_shards; a query against ""
+    // fans out to all of them and unions the results.
+    size_t fallback_shards = 1;
+    // Left-right + epoch-protected reads. Off (the default) keeps a single
+    // tree per shard with zero synchronization — the protocol-thread mode.
+    bool concurrent = false;
+    NameTree::Options tree_options;
+    // Used by ForEachShardMatch to fan shard scans out across threads.
+    // Not owned; may be null (scans run inline).
+    WorkerPool* pool = nullptr;
+  };
+
+  ShardedNameTree() : ShardedNameTree(Options{}) {}
+  explicit ShardedNameTree(Options options);
+
+  ShardedNameTree(const ShardedNameTree&) = delete;
+  ShardedNameTree& operator=(const ShardedNameTree&) = delete;
+
+  // ---- Shard topology (not thread-safe vs concurrent readers) ----
+
+  // Registers a space. "" (always implicitly routed here only if added, to
+  // mirror VspaceManager) gets `fallback_shards` shards; named spaces one.
+  void AddSpace(const std::string& vspace);
+  bool RemoveSpace(const std::string& vspace);
+  bool Routes(const std::string& vspace) const;
+  std::vector<std::string> RoutedSpaces() const;
+  size_t ShardCountOf(const std::string& vspace) const;
+  size_t TotalShardCount() const;
+
+  // ---- Writer API (serialized per shard; any thread in concurrent mode) ----
+
+  struct UpsertResult {
+    NameTree::UpsertOutcome::Kind kind = NameTree::UpsertOutcome::kIgnored;
+    // Read-side tree holding the record and the record itself; both null when
+    // the space is unrouted or the update was ignored. Valid until the next
+    // write to the shard — consume immediately.
+    const NameTree* tree = nullptr;
+    const NameRecord* record = nullptr;
+    bool routed = true;  // false: the name's space is not routed here
+  };
+
+  // Inserts or refreshes under the shard of `vspace` chosen by the fallback
+  // hash of `name`. If the announcer currently lives in a *different* shard
+  // of the same space (its first attribute changed), the old record is
+  // removed first and the outcome is kRenamed — exactly what a single tree
+  // would have reported.
+  UpsertResult Upsert(const std::string& vspace, const NameSpecifier& name,
+                      const NameRecord& info);
+
+  // Applies a batch of upserts to one space with one snapshot publish per
+  // touched shard (the batch-apply path writers should prefer under load).
+  // Returns how many entries were applied (not kIgnored).
+  size_t UpsertBatch(const std::string& vspace,
+                     const std::vector<std::pair<NameSpecifier, NameRecord>>& batch);
+
+  // Removes `id` from whichever shard of `vspace` holds it.
+  bool Remove(const std::string& vspace, const AnnouncerId& id);
+
+  // Extends `id`'s expiry to max(current, expires).
+  bool RefreshExpiry(const std::string& vspace, const AnnouncerId& id, TimePoint expires);
+
+  // Sweeps every shard; one snapshot publish per shard that expired records.
+  size_t ExpireBefore(TimePoint now);
+
+  // ---- Reader API (lock-free hot path in concurrent mode) ----
+
+  // LOOKUP-NAME across the shards of `vspace`: detached record copies,
+  // sorted by announcer. Empty when the space is unrouted.
+  std::vector<NameRecord> Lookup(const std::string& vspace,
+                                 const NameSpecifier& query) const;
+
+  struct NamedRecord {
+    NameSpecifier name;  // GET-NAME of the record at the snapshot
+    NameRecord record;
+  };
+  // Lookup plus GET-NAME per match, all against one per-shard snapshot.
+  std::vector<NamedRecord> LookupNamed(const std::string& vspace,
+                                       const NameSpecifier& query) const;
+
+  // GET-NAME for a single announcer; nullopt when absent.
+  std::optional<NameSpecifier> GetName(const std::string& vspace,
+                                       const AnnouncerId& id) const;
+
+  // Detached copy of the record for `id`; nullopt when absent.
+  std::optional<NameRecord> Find(const std::string& vspace, const AnnouncerId& id) const;
+
+  size_t RecordCount(const std::string& vspace) const;
+  size_t TotalRecordCount() const;
+
+  // Runs `fn(shard_index, tree, matches)` for every shard of `vspace`, with
+  // an epoch guard held around each call, fanning out on the worker pool when
+  // one is configured (fn must then be safe to call from multiple threads;
+  // use per-shard result slots and merge after). shard_index is dense in
+  // [0, ShardCountOf(vspace)). Must not be called from a pool worker.
+  using ShardMatchFn = std::function<void(
+      size_t shard_index, const NameTree& tree,
+      const std::vector<const NameRecord*>& matches)>;
+  void ForEachShardMatch(const std::string& vspace, const NameSpecifier& query,
+                         const ShardMatchFn& fn) const;
+
+  // Visits each shard's read-side tree (inline, guard held per shard).
+  void ForEachShardTree(const std::string& vspace,
+                        const std::function<void(const NameTree&)>& fn) const;
+
+  // ---- Accounting and invariants ----
+
+  struct ShardStats {
+    std::string vspace;
+    size_t sub = 0;          // fallback sub-shard index; 0 for named spaces
+    size_t records = 0;
+    size_t bytes = 0;        // read-side tree bytes (the Fig-13 accounting)
+    uint64_t lookups = 0;    // reader ops served by this shard
+    uint64_t updates = 0;    // write batches applied to this shard
+  };
+  std::vector<ShardStats> PerShardStats() const;
+  // Aggregate over read sides; bytes sum to the same Fig-13 total a single
+  // tree would report (per-shard accounting, no double count of the retired
+  // left-right sides).
+  NameTree::Stats ComputeStats() const;
+  Status CheckInvariants() const;
+
+  // ---- Compat accessors (inline mode / tests) ----
+
+  // The read-side tree of shard `sub` of a routed space; nullptr when
+  // unrouted. Mutating through this pointer is only legal in inline
+  // (non-concurrent) mode — the seed's single-threaded protocol path.
+  NameTree* Tree(const std::string& vspace, size_t sub = 0);
+  const NameTree* Tree(const std::string& vspace, size_t sub = 0) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::string space;
+    size_t sub = 0;
+    // sides[0] only in inline mode; both in concurrent mode.
+    std::unique_ptr<NameTree> sides[2];
+    std::atomic<int> read_idx{0};
+    mutable std::mutex write_mu;
+    mutable std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> updates{0};
+  };
+
+  Shard* ShardFor(const std::string& vspace, const NameSpecifier& name);
+  const std::vector<std::unique_ptr<Shard>>* ShardsOf(const std::string& vspace) const;
+  size_t FallbackIndex(const NameSpecifier& name) const;
+
+  // The side readers should use right now (callers in concurrent mode must
+  // hold an epoch guard across the access AND every dereference of the
+  // returned tree).
+  const NameTree& ReadSide(const Shard& s) const {
+    return *s.sides[options_.concurrent ? s.read_idx.load(std::memory_order_seq_cst) : 0];
+  }
+
+  // Left-right write protocol: applies `fn` to the stale side, publishes it,
+  // drains pre-flip readers, replays on the retired side. Returns `fn`'s
+  // result from the application that became the read side. `fn` must be
+  // deterministic. Caller holds s.write_mu in concurrent mode.
+  template <typename Fn>
+  auto ApplyLocked(Shard& s, Fn&& fn) -> decltype(fn(*s.sides[0])) {
+    s.updates.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.concurrent) {
+      return fn(*s.sides[0]);
+    }
+    const int r = s.read_idx.load(std::memory_order_relaxed);
+    auto result = fn(*s.sides[1 - r]);
+    s.read_idx.store(1 - r, std::memory_order_seq_cst);
+    const uint64_t flip_epoch = epochs_.Advance();
+    epochs_.WaitForReadersBefore(flip_epoch);
+    fn(*s.sides[r]);  // replay on the retired side
+    return result;
+  }
+
+  template <typename Fn>
+  auto ApplyToShard(Shard& s, Fn&& fn) -> decltype(fn(*s.sides[0])) {
+    if (!options_.concurrent) {
+      return ApplyLocked(s, std::forward<Fn>(fn));
+    }
+    std::lock_guard<std::mutex> lock(s.write_mu);
+    return ApplyLocked(s, std::forward<Fn>(fn));
+  }
+
+  // Runs `fn` against the shard's current read-side snapshot under an epoch
+  // guard (no-op guard in inline mode).
+  template <typename Fn>
+  auto ReadShard(const Shard& s, Fn&& fn) const -> decltype(fn(*s.sides[0])) {
+    s.lookups.fetch_add(1, std::memory_order_relaxed);
+    if (!options_.concurrent) {
+      return fn(*s.sides[0]);
+    }
+    EpochDomain::Guard guard = epochs_.Enter();
+    return fn(ReadSide(s));
+  }
+
+  std::unique_ptr<Shard> MakeShard(const std::string& space, size_t sub) const;
+
+  Options options_;
+  mutable EpochDomain epochs_;
+  std::map<std::string, std::vector<std::unique_ptr<Shard>>> spaces_;
+};
+
+}  // namespace ins
+
+#endif  // INS_NAMETREE_SHARDED_NAME_TREE_H_

@@ -1,0 +1,295 @@
+// Concurrency test for the sharded lookup core (runs under TSan in CI).
+//
+// N writer threads publish monotonically versioned advertisements (singles,
+// batches, removals, expiry sweeps) while M reader threads run LOOKUP-NAME /
+// GET-NAME continuously. Every record field is derived deterministically from
+// (announcer, version), so ANY torn read — a record whose fields mix two
+// versions, or a name that does not correspond to the record's version — is
+// detected. Epoch snapshots additionally guarantee per-reader monotonicity:
+// successive lookups never observe a version going backwards.
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ins/common/clock.h"
+#include "ins/common/node_address.h"
+#include "ins/common/rng.h"
+#include "ins/common/worker_pool.h"
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_record.h"
+#include "ins/nametree/sharded_name_tree.h"
+
+namespace ins {
+namespace {
+
+constexpr size_t kShards = 4;
+constexpr size_t kWriters = 2;
+constexpr size_t kReaders = 2;
+constexpr uint32_t kAnnouncersPerWriter = 8;
+constexpr uint64_t kFinalVersion = 50;
+constexpr size_t kFamilies = 8;
+
+AnnouncerId IdFor(size_t writer, uint32_t slot) {
+  return AnnouncerId{0x0a000000u + static_cast<uint32_t>(writer) + 1, 1000,
+                     static_cast<uint32_t>(writer) * 1000 + slot};
+}
+
+// The advertised name moves between hash shards as the version advances —
+// every writer continuously exercises the cross-shard rename path.
+NameSpecifier NameFor(const AnnouncerId& id, uint64_t version) {
+  NameSpecifier n;
+  n.AddPath({{"svc_" + std::to_string((id.discriminator + version) % kFamilies), "on"},
+             {"unit", std::to_string(id.discriminator)}});
+  return n;
+}
+
+NameRecord RecordFor(const AnnouncerId& id, uint64_t version) {
+  NameRecord rec;
+  rec.announcer = id;
+  rec.version = version;
+  rec.expires = Seconds(100000 + version);
+  rec.app_metric = static_cast<double>(version * 1000 + id.discriminator);
+  rec.endpoint.address = NodeAddress{id.ip, static_cast<uint16_t>(7000 + version % 1000)};
+  return rec;
+}
+
+// A single coherent (announcer, version) state — fails on any torn read.
+void ExpectCoherent(const NameRecord& rec) {
+  const NameRecord want = RecordFor(rec.announcer, rec.version);
+  EXPECT_EQ(rec.expires, want.expires) << rec.announcer.ToString();
+  EXPECT_EQ(rec.app_metric, want.app_metric) << rec.announcer.ToString();
+  EXPECT_TRUE(rec.endpoint.address == want.endpoint.address) << rec.announcer.ToString();
+}
+
+TEST(ConcurrentLookupTest, WritersAndReadersShareTheStore) {
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  opts.concurrent = true;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> lookups_served{0};
+
+  auto writer = [&](size_t w) {
+    Rng rng(w + 1);
+    for (uint64_t v = 1; v <= kFinalVersion; ++v) {
+      if (v % 3 == 0) {
+        // Batch publish: one snapshot flip per touched shard.
+        std::vector<std::pair<NameSpecifier, NameRecord>> batch;
+        for (uint32_t slot = 0; slot < kAnnouncersPerWriter; ++slot) {
+          const AnnouncerId id = IdFor(w, slot);
+          batch.emplace_back(NameFor(id, v), RecordFor(id, v));
+        }
+        store.UpsertBatch("", batch);
+      } else {
+        for (uint32_t slot = 0; slot < kAnnouncersPerWriter; ++slot) {
+          const AnnouncerId id = IdFor(w, slot);
+          if (v % 7 == 0 && slot == v % kAnnouncersPerWriter) {
+            // Drop one announcer; the next version re-announces it.
+            store.Remove("", id);
+            continue;
+          }
+          auto out = store.Upsert("", NameFor(id, v), RecordFor(id, v));
+          EXPECT_NE(out.kind, NameTree::UpsertOutcome::kIgnored);
+        }
+      }
+      if (v % 5 == 0) {
+        // Expiry sweep (all deadlines are far in the future: a no-op that
+        // still takes the write path) and a no-op lease refresh.
+        store.ExpireBefore(Seconds(1));
+        store.RefreshExpiry("", IdFor(w, 0), Seconds(100000 + v));
+      }
+      // Stale re-deliveries must lose against any concurrent state. Slot 0
+      // is never removed, so a version-0 update can only be ignored.
+      if (v > 1 && rng.NextBool(0.25)) {
+        const AnnouncerId id = IdFor(w, 0);
+        EXPECT_EQ(store.Upsert("", NameFor(id, 0), RecordFor(id, 0)).kind,
+                  NameTree::UpsertOutcome::kIgnored);
+      }
+    }
+  };
+
+  auto reader = [&](size_t r) {
+    Rng rng(100 + r);
+    // Epoch snapshots make versions monotone per announcer within a reader.
+    std::map<AnnouncerId, uint64_t> last_seen;
+    uint64_t served = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      NameSpecifier query;
+      query.AddPathValue({}, "svc_" + std::to_string(rng.NextBelow(kFamilies)),
+                         Value::Wildcard());
+      if (rng.NextBool(0.9)) {
+        for (const NameRecord& rec : store.Lookup("", query)) {
+          ExpectCoherent(rec);
+          uint64_t& last = last_seen[rec.announcer];
+          EXPECT_GE(rec.version, last) << "lookup observed an old epoch";
+          last = rec.version;
+          ++served;
+        }
+      } else {
+        // GET-NAME against the same snapshot as the lookup: the extracted
+        // name must be exactly the one advertised at the record's version.
+        for (const auto& named : store.LookupNamed("", query)) {
+          ExpectCoherent(named.record);
+          EXPECT_TRUE(named.name == NameFor(named.record.announcer, named.record.version))
+              << named.name.ToString();
+          ++served;
+        }
+      }
+    }
+    lookups_served.fetch_add(served, std::memory_order_relaxed);
+  };
+
+  std::vector<std::thread> threads;
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads.emplace_back(reader, r);
+  }
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads.emplace_back(writer, w);
+  }
+  for (size_t w = 0; w < kWriters; ++w) {
+    threads[kReaders + w].join();
+  }
+  done.store(true, std::memory_order_release);
+  for (size_t r = 0; r < kReaders; ++r) {
+    threads[r].join();
+  }
+
+  // Quiesced final state: every announcer at kFinalVersion with coherent
+  // fields and the name it advertised last, across both left-right sides.
+  EXPECT_EQ(store.RecordCount(""), kWriters * kAnnouncersPerWriter);
+  for (size_t w = 0; w < kWriters; ++w) {
+    for (uint32_t slot = 0; slot < kAnnouncersPerWriter; ++slot) {
+      const AnnouncerId id = IdFor(w, slot);
+      auto rec = store.Find("", id);
+      ASSERT_TRUE(rec.has_value()) << id.ToString();
+      EXPECT_EQ(rec->version, kFinalVersion);
+      ExpectCoherent(*rec);
+      auto name = store.GetName("", id);
+      ASSERT_TRUE(name.has_value());
+      EXPECT_TRUE(*name == NameFor(id, kFinalVersion));
+    }
+  }
+  EXPECT_TRUE(store.CheckInvariants().ok());
+
+  // The run was a real interleaving: readers served lookups and the
+  // advertisements spread over several hash shards.
+  EXPECT_GT(lookups_served.load(), 0u);
+  size_t populated = 0;
+  for (const ShardedNameTree::ShardStats& st : store.PerShardStats()) {
+    populated += st.records > 0 ? 1 : 0;
+  }
+  EXPECT_GE(populated, 2u);
+}
+
+// Batches and singles interleaved from many threads converge to the same
+// state as a sequential application (determinism of the replay protocol:
+// both left-right sides must agree — CheckInvariants compares them).
+TEST(ConcurrentLookupTest, BatchesFromManyWritersConverge) {
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  opts.concurrent = true;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  constexpr size_t kThreads = 4;
+  constexpr uint64_t kRounds = 40;
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&store, w] {
+      for (uint64_t v = 1; v <= kRounds; ++v) {
+        std::vector<std::pair<NameSpecifier, NameRecord>> batch;
+        for (uint32_t slot = 0; slot < 4; ++slot) {
+          const AnnouncerId id = IdFor(w, slot);
+          batch.emplace_back(NameFor(id, v), RecordFor(id, v));
+        }
+        ASSERT_EQ(store.UpsertBatch("", batch), batch.size());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  EXPECT_EQ(store.RecordCount(""), kThreads * 4);
+  for (size_t w = 0; w < kThreads; ++w) {
+    for (uint32_t slot = 0; slot < 4; ++slot) {
+      auto rec = store.Find("", IdFor(w, slot));
+      ASSERT_TRUE(rec.has_value());
+      EXPECT_EQ(rec->version, kRounds);
+      ExpectCoherent(*rec);
+    }
+  }
+  EXPECT_TRUE(store.CheckInvariants().ok());
+}
+
+// The resolver's fan-out path: ForEachShardMatch scatters shard scans onto a
+// WorkerPool (each scan under its own epoch guard on the pool thread) while
+// writer threads flip snapshots underneath. Match pointers handed to the
+// callback must stay coherent for the duration of the callback.
+TEST(ConcurrentLookupTest, PooledShardFanOutUnderWrites) {
+  WorkerPool pool(2);
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  opts.concurrent = true;
+  opts.pool = &pool;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  for (size_t w = 0; w < kWriters; ++w) {
+    for (uint32_t slot = 0; slot < kAnnouncersPerWriter; ++slot) {
+      const AnnouncerId id = IdFor(w, slot);
+      store.Upsert("", NameFor(id, 1), RecordFor(id, 1));
+    }
+  }
+
+  std::atomic<bool> done{false};
+  std::thread protocol([&store, &done] {
+    Rng rng(7);
+    while (!done.load(std::memory_order_acquire)) {
+      NameSpecifier query;
+      query.AddPathValue({}, "svc_" + std::to_string(rng.NextBelow(kFamilies)),
+                         Value::Wildcard());
+      store.ForEachShardMatch(
+          "", query,
+          [](size_t shard, const NameTree& tree,
+             const std::vector<const NameRecord*>& matches) {
+            (void)shard;
+            (void)tree;
+            for (const NameRecord* rec : matches) {
+              ExpectCoherent(*rec);
+            }
+          });
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&store, w] {
+      for (uint64_t v = 2; v <= 30; ++v) {
+        for (uint32_t slot = 0; slot < kAnnouncersPerWriter; ++slot) {
+          const AnnouncerId id = IdFor(w, slot);
+          store.Upsert("", NameFor(id, v), RecordFor(id, v));
+        }
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  done.store(true, std::memory_order_release);
+  protocol.join();
+
+  EXPECT_EQ(store.RecordCount(""), kWriters * kAnnouncersPerWriter);
+  EXPECT_TRUE(store.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,194 @@
+// Property tests for the name layer (satellite of the concurrent-core PR):
+//
+//   1. parse -> serialize -> parse is idempotent for every name the workload
+//      generators can produce, including wildcard-bearing queries;
+//   2. the matcher is monotone: adding an av-pair to a query never GROWS the
+//      match set (per-advertisement and at the Lookup level);
+//   3. on sparse (not schema-complete) workloads the Figure-5 tree lookup is
+//      a SUBSET of the prose Matches() semantics — the direction the
+//      name_tree.h semantics note promises.
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ins/baseline/linear_name_table.h"
+#include "ins/common/clock.h"
+#include "ins/common/rng.h"
+#include "ins/name/matcher.h"
+#include "ins/name/name_specifier.h"
+#include "ins/name/parser.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+void ExpectRoundTripIdempotent(const NameSpecifier& name) {
+  const std::string s1 = name.ToString();
+  auto p1 = ParseNameSpecifier(s1);
+  ASSERT_TRUE(p1.ok()) << "unparseable: " << s1 << " — " << p1.status();
+  // The generators build canonical (attribute-sorted) specifiers, so one
+  // round trip must reproduce the original exactly...
+  EXPECT_TRUE(*p1 == name) << s1;
+  // ...and a second round trip must be a fixed point.
+  const std::string s2 = p1->ToString();
+  EXPECT_EQ(s2, s1);
+  auto p2 = ParseNameSpecifier(s2);
+  ASSERT_TRUE(p2.ok()) << s2;
+  EXPECT_TRUE(*p2 == *p1) << s2;
+}
+
+TEST(NamePropertyTest, ParseSerializeParseIsIdempotent) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 25; ++i) {
+      NameSpecifier complete = GenerateUniformName(rng, UniformNameParams{3, 3, 3, 2});
+      NameSpecifier sparse = GenerateUniformName(rng, kPaperLookupParams);
+      NameSpecifier chain = GenerateChainName(rng, 4, 4, 3);
+      NameSpecifier sized = GenerateSizedName(rng, 82, "camera");
+      ExpectRoundTripIdempotent(complete);
+      ExpectRoundTripIdempotent(sparse);
+      ExpectRoundTripIdempotent(chain);
+      ExpectRoundTripIdempotent(sized);
+      // Queries with omitted pairs and wildcard leaves round-trip too.
+      ExpectRoundTripIdempotent(DeriveQuery(rng, complete, 0.7, 0.5));
+      ExpectRoundTripIdempotent(DeriveQuery(rng, sized, 0.5, 0.3));
+    }
+  }
+}
+
+// Appends one av-pair at a random node of `query`, using attributes from a
+// pool disjoint from the generators' so no node ever carries a duplicate
+// attribute. Returns the strengthened copy.
+NameSpecifier AddRandomPair(Rng& rng, const NameSpecifier& query) {
+  NameSpecifier out = query;
+  std::vector<std::pair<std::string, std::string>> prefix;
+  const std::vector<AvPair>* level = &out.roots();
+  // Random walk: descend with probability 1/2 while children exist.
+  while (!level->empty() && rng.NextBool(0.5)) {
+    const AvPair& pick = (*level)[rng.NextBelow(level->size())];
+    if (pick.attribute.rfind("extra", 0) == 0 || !pick.value.is_literal()) {
+      break;  // never descend below the injected pool or a wildcard leaf
+    }
+    prefix.emplace_back(pick.attribute, pick.value.literal());
+    level = &pick.children;
+  }
+  // Levels hold unique attributes: pick an "extra" attribute absent here
+  // (start at a random candidate, probe in order — 6 candidates always beat
+  // the <= 4 pairs a generated level can hold).
+  std::string attr;
+  const uint64_t start = rng.NextBelow(6);
+  for (uint64_t k = 0; k < 6 && attr.empty(); ++k) {
+    std::string candidate = "extra" + std::to_string((start + k) % 6);
+    bool present = false;
+    for (const AvPair& p : *level) {
+      present = present || p.attribute == candidate;
+    }
+    if (!present) {
+      attr = candidate;
+    }
+  }
+  std::vector<std::pair<std::string, std::string>> path = prefix;
+  path.emplace_back(attr, "w" + std::to_string(rng.NextBelow(3)));
+  out.AddPath(path);
+  return out;
+}
+
+TEST(NamePropertyTest, MatcherIsMonotoneUnderQueryStrengthening) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 17);
+    // A population where the "extra*" attributes genuinely discriminate:
+    // half the advertisements carry a random extra root pair.
+    std::vector<NameSpecifier> ads;
+    LinearNameTable table;
+    for (uint32_t i = 0; i < 150; ++i) {
+      NameSpecifier ad = GenerateUniformName(rng, kPaperLookupParams);
+      if (rng.NextBool(0.5)) {
+        ad.AddPath({{"extra" + std::to_string(rng.NextBelow(3)),
+                     "w" + std::to_string(rng.NextBelow(3))}});
+      }
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0b000000u + i, seed, i};
+      rec.expires = Seconds(3600);
+      rec.version = 1;
+      table.Upsert(ad, rec);
+      ads.push_back(std::move(ad));
+    }
+
+    for (int q = 0; q < 300; ++q) {
+      const NameSpecifier& ad = ads[rng.NextBelow(ads.size())];
+      NameSpecifier query = DeriveQuery(rng, ad, 0.6, 0.3);
+      NameSpecifier stronger = AddRandomPair(rng, query);
+
+      // Per-advertisement monotonicity: a stronger query matches a subset.
+      for (const NameSpecifier& other : ads) {
+        if (Matches(other, stronger)) {
+          EXPECT_TRUE(Matches(other, query))
+              << "ad " << other.ToString() << "\nmatched " << stronger.ToString()
+              << "\nbut not the weaker " << query.ToString();
+        }
+      }
+
+      // Lookup-level: the stronger query's match set is contained in the
+      // weaker's (and DeriveQuery guarantees the weak set is non-empty).
+      std::set<AnnouncerId> weak;
+      for (const NameRecord* r : table.Lookup(query)) {
+        weak.insert(r->announcer);
+      }
+      EXPECT_FALSE(weak.empty());
+      for (const NameRecord* r : table.Lookup(stronger)) {
+        EXPECT_TRUE(weak.count(r->announcer))
+            << stronger.ToString() << " grew the match set vs " << query.ToString();
+      }
+    }
+  }
+}
+
+TEST(NamePropertyTest, TreeLookupIsSubsetOfMatchesOnSparseWorkloads) {
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 101);
+    NameTree tree;
+    LinearNameTable oracle;
+    std::vector<NameSpecifier> ads;
+    for (uint32_t i = 0; i < 200; ++i) {
+      // Sparse shapes: na < ra plus chain names — ads omit attributes their
+      // siblings carry, the regime where tree and prose semantics diverge.
+      NameSpecifier ad = rng.NextBool(0.5)
+                             ? GenerateUniformName(rng, kPaperLookupParams)
+                             : GenerateChainName(rng, 3, 4, 3);
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0e000000u + i, seed, i};
+      rec.expires = Seconds(3600);
+      rec.version = 1;
+      ASSERT_EQ(tree.Upsert(ad, rec).kind, NameTree::UpsertOutcome::kNew);
+      oracle.Upsert(ad, rec);
+      ads.push_back(std::move(ad));
+    }
+
+    size_t nonempty = 0;
+    for (int q = 0; q < 400; ++q) {
+      const NameSpecifier& ad = ads[rng.NextBelow(ads.size())];
+      NameSpecifier query = DeriveQuery(rng, ad, 0.6, 0.4);
+      std::set<AnnouncerId> allowed;
+      for (const NameRecord* r : oracle.Lookup(query)) {
+        allowed.insert(r->announcer);
+      }
+      std::vector<const NameRecord*> got = tree.Lookup(query);
+      nonempty += got.empty() ? 0 : 1;
+      for (const NameRecord* r : got) {
+        EXPECT_TRUE(allowed.count(r->announcer))
+            << "tree returned a record Matches() rejects for " << query.ToString();
+      }
+    }
+    // The property must not hold vacuously.
+    EXPECT_GT(nonempty, 100u);
+    EXPECT_TRUE(tree.CheckInvariants().ok());
+  }
+}
+
+}  // namespace
+}  // namespace ins

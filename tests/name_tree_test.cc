@@ -391,5 +391,45 @@ TEST_P(ChurnTest, RandomChurnPreservesInvariants) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChurnTest, ::testing::Values(11, 22, 33, 44, 55));
 
+// The expiry min-heap makes the soft-state sweep O(expired + stale), not
+// O(records): expiring 1 record out of 100k must do one unit of work, and a
+// no-op sweep must do zero (a single heap-front peek).
+TEST(NameTreeTest, ExpirySweepTouchesOnlyDueRecords) {
+  NameTree t;
+  constexpr uint32_t kRecords = 100000;
+  for (uint32_t i = 1; i <= kRecords; ++i) {
+    NameSpecifier n;
+    n.AddPath({{"unit", std::to_string(i)}});
+    const TimePoint expires =
+        i == 1 ? Seconds(10) : (i == 2 ? Seconds(100) : Seconds(1000000));
+    ASSERT_EQ(t.Upsert(n, Rec(i, 0.0, expires)).kind, NameTree::UpsertOutcome::kNew);
+  }
+  EXPECT_EQ(t.ComputeStats().expiry_heap_entries, kRecords);
+
+  // Exactly one record due: the sweep pops one heap entry and never looks at
+  // the other 99999.
+  const uint64_t before = t.expiry_scan_visits();
+  EXPECT_EQ(t.ExpireBefore(Seconds(20)), 1u);
+  EXPECT_EQ(t.expiry_scan_visits() - before, 1u);
+  EXPECT_EQ(t.record_count(), kRecords - 1);
+  EXPECT_EQ(t.ComputeStats().expiry_heap_entries, kRecords - 1);
+
+  // Nothing due: no heap pops at all.
+  EXPECT_EQ(t.ExpireBefore(Seconds(50)), 0u);
+  EXPECT_EQ(t.expiry_scan_visits() - before, 1u);
+
+  // A lease extension leaves the old heap entry behind as a stale marker;
+  // sweeping past the OLD deadline visits just that marker, removes nothing,
+  // and the record survives under its extended lease.
+  ASSERT_TRUE(t.RefreshExpiry(Id(2), Seconds(1000000)));
+  EXPECT_EQ(t.ComputeStats().expiry_heap_entries, kRecords);  // 99999 live + 1 stale
+  const uint64_t before_stale = t.expiry_scan_visits();
+  EXPECT_EQ(t.ExpireBefore(Seconds(200)), 0u);
+  EXPECT_EQ(t.expiry_scan_visits() - before_stale, 1u);
+  EXPECT_EQ(t.record_count(), kRecords - 1);
+  EXPECT_NE(t.Find(Id(2)), nullptr);
+  ASSERT_TRUE(t.CheckInvariants().ok()) << t.CheckInvariants();
+}
+
 }  // namespace
 }  // namespace ins

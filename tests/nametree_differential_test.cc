@@ -1,0 +1,454 @@
+// Differential testing of the resolver's lookup structures.
+//
+// Drives randomized soft-state workloads — add / refresh / change / rename /
+// remove / expire / lookup / get-name — through three implementations at
+// once and demands identical answers:
+//
+//   * LinearNameTable  — the Matches()-scan reference model (baseline/);
+//   * NameTree         — the paper's superposed tree (Figure 5/6);
+//   * ShardedNameTree  — the concurrent sharded core, exercised here in
+//                        deterministic inline mode with several fallback
+//                        shards so the union-of-shards path is covered.
+//
+// The three-way equivalence is exact on schema-complete workloads (every
+// advertisement uses all r_a attributes per level, i.e. n_a == r_a): that is
+// when Figure 5's tree walk coincides with the per-advertisement Matches()
+// predicate, and when a hash-sharded union coincides with one tree (see the
+// semantics notes in name_tree.h and sharded_name_tree.h). A separate suite
+// pins NameTree == ShardedNameTree(fallback_shards=1) on schema-INcomplete
+// workloads, where the single-shard layout must be byte-identical by
+// construction.
+//
+// Workload invariants the generator maintains (both by protocol design and
+// because the reference model replaces records wholesale): per-announcer
+// versions strictly increase and expiry deadlines never move backwards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ins/baseline/linear_name_table.h"
+#include "ins/common/rng.h"
+#include "ins/nametree/name_tree.h"
+#include "ins/nametree/sharded_name_tree.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+// Schema-complete: every level uses all three attributes of its pool.
+constexpr UniformNameParams kCompleteParams{3, 3, 3, 2};
+// Schema-incomplete: names omit one of the three attributes per level.
+constexpr UniformNameParams kSparseParams{3, 3, 2, 2};
+
+constexpr size_t kSeeds = 10;
+constexpr size_t kOpsPerSeed = 1200;
+
+struct LiveName {
+  AnnouncerId id;
+  NameSpecifier name;
+  uint64_t version = 1;
+  TimePoint expires{0};
+};
+
+// One generated workload state: the three structures under test plus the
+// bookkeeping needed to generate valid next operations.
+class Harness {
+ public:
+  Harness(uint64_t seed, UniformNameParams params, size_t fallback_shards)
+      : rng_(seed), params_(params) {
+    ShardedNameTree::Options opts;
+    opts.fallback_shards = fallback_shards;
+    sharded_ = std::make_unique<ShardedNameTree>(opts);
+    sharded_->AddSpace("");
+  }
+
+  void RunOps(size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t dice = rng_.NextBelow(100);
+      if (dice < 30 || live_.empty()) {
+        OpAdd();
+      } else if (dice < 45) {
+        OpRefresh();
+      } else if (dice < 55) {
+        OpChange();
+      } else if (dice < 65) {
+        OpRename();
+      } else if (dice < 70) {
+        OpRemove();
+      } else if (dice < 80) {
+        OpExpire();
+      } else {
+        OpCompareLookup();
+      }
+    }
+    CompareAll("final");
+    ASSERT_TRUE(tree_.CheckInvariants().ok());
+    ASSERT_TRUE(sharded_->CheckInvariants().ok());
+  }
+
+ private:
+  NameRecord MakeRecord(const LiveName& ln) const {
+    NameRecord r;
+    r.announcer = ln.id;
+    r.endpoint.address = NodeAddress{ln.id.ip, 9000};
+    r.app_metric = static_cast<double>(ln.version % 7);
+    r.expires = ln.expires;
+    r.version = ln.version;
+    return r;
+  }
+
+  void UpsertEverywhere(const LiveName& ln) {
+    NameRecord rec = MakeRecord(ln);
+    oracle_.Upsert(ln.name, rec);
+    tree_.Upsert(ln.name, rec);
+    sharded_->Upsert("", ln.name, rec);
+  }
+
+  void OpAdd() {
+    LiveName ln;
+    const uint32_t n = next_announcer_++;
+    ln.id = AnnouncerId{0x0a000000u + n, 7, n};
+    ln.name = GenerateUniformName(rng_, params_);
+    ln.version = 1;
+    ln.expires = now_ + Seconds(static_cast<int64_t>(30 + rng_.NextBelow(300)));
+    UpsertEverywhere(ln);
+    live_.push_back(ln);
+  }
+
+  LiveName& PickLive() { return live_[rng_.NextBelow(live_.size())]; }
+
+  void OpRefresh() {
+    LiveName& ln = PickLive();
+    ln.version += 1;
+    ln.expires =
+        std::max(ln.expires, now_ + Seconds(static_cast<int64_t>(30 + rng_.NextBelow(300))));
+    UpsertEverywhere(ln);
+  }
+
+  void OpChange() {
+    LiveName& ln = PickLive();
+    ln.version += 1 + rng_.NextBelow(3);  // versions may skip, never repeat
+    UpsertEverywhere(ln);
+  }
+
+  void OpRename() {
+    LiveName& ln = PickLive();
+    ln.version += 1;
+    ln.name = GenerateUniformName(rng_, params_);
+    UpsertEverywhere(ln);
+  }
+
+  void OpRemove() {
+    size_t idx = rng_.NextBelow(live_.size());
+    const AnnouncerId id = live_[idx].id;
+    const bool a = oracle_.Remove(id);
+    const bool b = tree_.Remove(id);
+    const bool c = sharded_->Remove("", id);
+    ASSERT_EQ(a, b);
+    ASSERT_EQ(a, c);
+    live_.erase(live_.begin() + static_cast<long>(idx));
+  }
+
+  void OpExpire() {
+    now_ += Seconds(static_cast<int64_t>(rng_.NextBelow(120)));
+    const size_t a = oracle_.ExpireBefore(now_);
+    const size_t b = tree_.ExpireBefore(now_);
+    const size_t c = sharded_->ExpireBefore(now_);
+    ASSERT_EQ(a, b) << "expiry divergence at t=" << now_.count();
+    ASSERT_EQ(a, c) << "expiry divergence at t=" << now_.count();
+    std::erase_if(live_, [this](const LiveName& ln) { return ln.expires < now_; });
+  }
+
+  NameSpecifier MakeQuery() {
+    // Mix of fresh uniform specifiers (same pools, so they intersect the
+    // live set meaningfully) and wildcarded derivations of live names.
+    if (!live_.empty() && rng_.NextBool(0.5)) {
+      return DeriveQuery(rng_, PickLive().name, 0.8, 0.3);
+    }
+    return GenerateUniformName(rng_, params_);
+  }
+
+  static std::string Render(const std::vector<const NameRecord*>& recs) {
+    std::ostringstream os;
+    for (const NameRecord* r : recs) {
+      os << r->announcer.ToString() << " v" << r->version << " e" << r->expires.count()
+         << " m" << r->app_metric << "\n";
+    }
+    return os.str();
+  }
+
+  static std::string Render(const std::vector<NameRecord>& recs) {
+    std::ostringstream os;
+    for (const NameRecord& r : recs) {
+      os << r.announcer.ToString() << " v" << r.version << " e" << r.expires.count() << " m"
+         << r.app_metric << "\n";
+    }
+    return os.str();
+  }
+
+  void OpCompareLookup() {
+    const NameSpecifier q = MakeQuery();
+    const std::string oracle = Render(oracle_.Lookup(q));
+    EXPECT_EQ(oracle, Render(tree_.Lookup(q))) << "LOOKUP-NAME diverged on " << q.ToString();
+    EXPECT_EQ(oracle, Render(sharded_->Lookup("", q)))
+        << "sharded LOOKUP-NAME diverged on " << q.ToString();
+    if (!live_.empty()) {
+      // GET-NAME: all three agree on the record's canonical specifier.
+      const LiveName& ln = live_[rng_.NextBelow(live_.size())];
+      const NameRecord* rec = tree_.Find(ln.id);
+      ASSERT_NE(rec, nullptr);
+      auto sharded_name = sharded_->GetName("", ln.id);
+      ASSERT_TRUE(sharded_name.has_value());
+      EXPECT_EQ(ln.name.ToString(), tree_.ExtractName(rec).ToString());
+      EXPECT_EQ(ln.name.ToString(), sharded_name->ToString());
+    }
+  }
+
+  void CompareAll(const std::string& label) {
+    const NameSpecifier match_all;  // empty query matches everything
+    const std::string oracle = Render(oracle_.Lookup(match_all));
+    EXPECT_EQ(oracle, Render(tree_.Lookup(match_all))) << label;
+    EXPECT_EQ(oracle, Render(sharded_->Lookup("", match_all))) << label;
+    EXPECT_EQ(oracle_.size(), tree_.record_count()) << label;
+    EXPECT_EQ(oracle_.size(), sharded_->RecordCount("")) << label;
+  }
+
+  Rng rng_;
+  UniformNameParams params_;
+  TimePoint now_{0};
+  uint32_t next_announcer_ = 1;
+  std::vector<LiveName> live_;
+
+  LinearNameTable oracle_;
+  NameTree tree_;
+  std::unique_ptr<ShardedNameTree> sharded_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+// Three-way equivalence, schema-complete workload, hash-sharded store.
+TEST_P(DifferentialTest, OracleVsTreeVsShardedStore) {
+  Harness h(GetParam(), kCompleteParams, /*fallback_shards=*/4);
+  h.RunOps(kOpsPerSeed);
+}
+
+// Single-shard store must track the tree exactly on ANY workload — including
+// schema-incomplete names where advertisements omit attributes.
+TEST_P(DifferentialTest, SingleShardIsByteIdenticalOnSparseWorkload) {
+  Rng rng(GetParam() * 977 + 3);
+  NameTree tree;
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = 1;
+  ShardedNameTree sharded(opts);
+  sharded.AddSpace("");
+
+  std::vector<LiveName> live;
+  TimePoint now{0};
+  for (size_t i = 0; i < kOpsPerSeed; ++i) {
+    const uint64_t dice = rng.NextBelow(100);
+    if (dice < 40 || live.empty()) {
+      LiveName ln;
+      const uint32_t n = static_cast<uint32_t>(i) + 1;
+      ln.id = AnnouncerId{0x0b000000u + n, 11, n};
+      ln.name = GenerateUniformName(rng, kSparseParams);
+      ln.version = 1;
+      ln.expires = now + Seconds(static_cast<int64_t>(20 + rng.NextBelow(200)));
+      NameRecord rec;
+      rec.announcer = ln.id;
+      rec.expires = ln.expires;
+      rec.version = ln.version;
+      tree.Upsert(ln.name, rec);
+      sharded.Upsert("", ln.name, rec);
+      live.push_back(ln);
+    } else if (dice < 60) {
+      LiveName& ln = live[rng.NextBelow(live.size())];
+      ln.version += 1;
+      ln.name = GenerateUniformName(rng, kSparseParams);
+      NameRecord rec;
+      rec.announcer = ln.id;
+      rec.expires = ln.expires;
+      rec.version = ln.version;
+      tree.Upsert(ln.name, rec);
+      sharded.Upsert("", ln.name, rec);
+    } else if (dice < 70) {
+      now += Seconds(static_cast<int64_t>(rng.NextBelow(80)));
+      ASSERT_EQ(tree.ExpireBefore(now), sharded.ExpireBefore(now));
+      std::erase_if(live, [now](const LiveName& ln) { return ln.expires < now; });
+    } else {
+      // Arbitrary (sparse) query: the single shard must agree verbatim.
+      NameSpecifier q = GenerateUniformName(rng, kSparseParams);
+      std::vector<const NameRecord*> want = tree.Lookup(q);
+      std::vector<NameRecord> got = sharded.Lookup("", q);
+      ASSERT_EQ(want.size(), got.size()) << q.ToString();
+      for (size_t k = 0; k < want.size(); ++k) {
+        EXPECT_TRUE(want[k]->announcer == got[k].announcer);
+        EXPECT_EQ(want[k]->version, got[k].version);
+      }
+    }
+  }
+  EXPECT_EQ(tree.record_count(), sharded.RecordCount(""));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(sharded.CheckInvariants().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+// ---------------------------------------------------------------------------
+// Sharded-union semantics: with advertisements partitioned into "families"
+// that are schema-complete within their shard (every family roots at its own
+// single distinctive attribute, with a fixed child schema), the union of
+// per-shard LOOKUP-NAMEs equals the Matches() reference model EXACTLY — for
+// arbitrary queries, including ones mixing attributes of several families.
+// This is the semantic contract the concurrent store scales out under.
+// ---------------------------------------------------------------------------
+
+// Picks `want` family attribute names that land in pairwise-distinct
+// fallback shards of `shards` (the store hashes the first root attribute
+// with std::hash, which we replicate here).
+std::vector<std::string> DistinctShardFamilies(size_t want, size_t shards) {
+  std::vector<std::string> out;
+  std::vector<bool> used(shards, false);
+  for (char c = 'a'; c <= 'z' && out.size() < want; ++c) {
+    std::string attr = std::string("fam_") + c;
+    size_t idx = std::hash<std::string>{}(attr) % shards;
+    if (!used[idx]) {
+      used[idx] = true;
+      out.push_back(attr);
+    }
+  }
+  return out;
+}
+
+TEST(ShardedFamilyDifferentialTest, UnionOfShardsEqualsMatchesOracle) {
+  constexpr size_t kShards = 8;
+  const std::vector<std::string> families = DistinctShardFamilies(4, kShards);
+  ASSERT_EQ(families.size(), 4u);
+
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed * 1337);
+    ShardedNameTree::Options opts;
+    opts.fallback_shards = kShards;
+    ShardedNameTree store(opts);
+    store.AddSpace("");
+    LinearNameTable oracle;
+
+    auto family_value = [&rng] { return "v" + std::to_string(rng.NextBelow(4)); };
+    auto family_name = [&](const std::string& fam) {
+      // [fam_x=v? [kind=v? [room=v?]]] — one root per family, fixed child
+      // schema: schema-complete within the family's shard.
+      NameSpecifier n;
+      n.AddPath({{fam, family_value()}, {"kind", family_value()}, {"room", family_value()}});
+      return n;
+    };
+
+    for (uint32_t i = 1; i <= 120; ++i) {
+      const std::string& fam = families[rng.NextBelow(families.size())];
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0d000000u + i, seed, i};
+      rec.expires = Seconds(3600);
+      rec.version = 1;
+      NameSpecifier name = family_name(fam);
+      oracle.Upsert(name, rec);
+      store.Upsert("", name, rec);
+    }
+
+    // The workload genuinely spreads: several shards hold records.
+    size_t populated = 0;
+    for (const ShardedNameTree::ShardStats& st : store.PerShardStats()) {
+      populated += st.records > 0 ? 1 : 0;
+    }
+    EXPECT_GE(populated, 3u);
+
+    for (int q = 0; q < 200; ++q) {
+      // Queries constrain 1–2 random families, sometimes with wildcards,
+      // sometimes with child constraints — and sometimes mix families, the
+      // case where a monolithic Figure-5 tree and the prose semantics
+      // disagree but the sharded union must still track the oracle.
+      NameSpecifier query;
+      const size_t constraints = 1 + rng.NextBelow(2);
+      const size_t first = rng.NextBelow(families.size());
+      const size_t second = (first + 1 + rng.NextBelow(families.size() - 1)) % families.size();
+      for (size_t k = 0; k < constraints; ++k) {
+        const std::string& fam = families[k == 0 ? first : second];
+        if (rng.NextBool(0.3)) {
+          query.AddPathValue({}, fam, Value::Wildcard());
+        } else if (rng.NextBool(0.5)) {
+          query.AddPath({{fam, family_value()}, {"kind", family_value()}});
+        } else {
+          query.AddPath({{fam, family_value()}});
+        }
+      }
+      std::vector<const NameRecord*> want = oracle.Lookup(query);
+      std::vector<NameRecord> got = store.Lookup("", query);
+      ASSERT_EQ(want.size(), got.size()) << "query " << query.ToString();
+      for (size_t k = 0; k < want.size(); ++k) {
+        EXPECT_TRUE(want[k]->announcer == got[k].announcer) << query.ToString();
+      }
+    }
+    EXPECT_TRUE(store.CheckInvariants().ok());
+  }
+}
+
+// Cross-shard service mobility: a rename whose first attribute changes moves
+// the record between fallback shards; the store must report kRenamed and
+// never hold the announcer twice.
+TEST(ShardedMobilityTest, RenameAcrossFallbackShards) {
+  constexpr size_t kShards = 8;
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  auto name_with_root = [](const std::string& attr) {
+    NameSpecifier n;
+    n.AddPath({{attr, "on"}});
+    return n;
+  };
+  auto shard_of = [&](const std::string& attr) {
+    return std::hash<std::string>{}(attr) % kShards;
+  };
+
+  Rng rng(42);
+  size_t cross_shard_renames = 0;
+  for (uint32_t n = 1; n <= 64; ++n) {
+    AnnouncerId id{0x0c000000u + n, 5, n};
+    NameRecord rec;
+    rec.announcer = id;
+    rec.expires = Seconds(3600);
+    rec.version = 1;
+    std::string attr = "svc_" + std::to_string(rng.NextBelow(40));
+    ASSERT_EQ(store.Upsert("", name_with_root(attr), rec).kind,
+              NameTree::UpsertOutcome::kNew);
+
+    for (int attempt = 0; attempt < 20; ++attempt) {
+      std::string renamed_attr = "svc_" + std::to_string(rng.NextBelow(40));
+      rec.version += 1;
+      auto out = store.Upsert("", name_with_root(renamed_attr), rec);
+      ASSERT_NE(out.kind, NameTree::UpsertOutcome::kIgnored);
+      ASSERT_EQ(store.RecordCount(""), n) << "announcer duplicated or lost across shards";
+      if (shard_of(renamed_attr) != shard_of(attr)) {
+        EXPECT_EQ(out.kind, NameTree::UpsertOutcome::kRenamed);
+        ++cross_shard_renames;
+      }
+      attr = renamed_attr;
+    }
+    // Stale versions must lose even against a record in another shard.
+    NameRecord stale = rec;
+    stale.version = 0;
+    EXPECT_EQ(store.Upsert("", name_with_root("svc_0"), stale).kind,
+              NameTree::UpsertOutcome::kIgnored);
+    ASSERT_EQ(store.RecordCount(""), n);
+  }
+  EXPECT_GT(cross_shard_renames, 100u);  // the loop really exercised the path
+  EXPECT_TRUE(store.CheckInvariants().ok());
+}
+
+}  // namespace
+}  // namespace ins
