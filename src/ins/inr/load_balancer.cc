@@ -81,9 +81,10 @@ void LoadBalancer::RequestCandidates(PendingAction action) {
 }
 
 std::string LoadBalancer::PickSpaceToDelegate() const {
-  // Shed the space whose shards absorb the most write traffic — delegation
-  // is triggered by update pressure, so update batches applied per shard are
-  // the primary signal; record count breaks ties (the seed's heuristic).
+  // The seed's heuristic: shed the space holding the most records — the most
+  // state to stop maintaining, and the best proxy for sustained update load
+  // under soft-state refresh. Per-shard write-batch counts only break ties,
+  // so delegation choices match the pre-sharding resolver exactly.
   std::string best;
   uint64_t best_updates = 0;
   size_t best_names = 0;
@@ -95,8 +96,8 @@ std::string LoadBalancer::PickSpaceToDelegate() const {
   }
   for (const auto& [vspace, load] : per_space) {
     const auto& [updates, records] = load;
-    if (best.empty() || updates > best_updates ||
-        (updates == best_updates && records >= best_names)) {
+    if (best.empty() || records > best_names ||
+        (records == best_names && updates > best_updates)) {
       best_updates = updates;
       best_names = records;
       best = vspace;

@@ -95,24 +95,29 @@ void NameDiscovery::HandleAdvertisement(const NodeAddress& src, const Advertisem
   }
 
   if (config_.triggered_updates) {
-    NameUpdateEntry entry = EntryFromRecord(*outcome.tree, outcome.record);
+    NameUpdateEntry entry = EntryFromRecord(*outcome.name, *outcome.record);
     PropagateTriggered(vspace, {std::move(entry)}, kInvalidAddress);
   }
 }
 
 NameUpdateEntry NameDiscovery::EntryFromRecord(const NameTree& tree,
                                                const NameRecord* rec) const {
-  NameUpdateEntry e;
   // GET-NAME: reconstruct the specifier from the superposed tree.
-  e.name_text = tree.ExtractName(rec).ToString();
-  e.announcer = rec->announcer;
-  e.endpoint = rec->endpoint;
-  e.app_metric = rec->app_metric;
-  e.route_metric = rec->route.overlay_metric;
+  return EntryFromRecord(tree.ExtractName(rec), *rec);
+}
+
+NameUpdateEntry NameDiscovery::EntryFromRecord(const NameSpecifier& name,
+                                               const NameRecord& rec) const {
+  NameUpdateEntry e;
+  e.name_text = name.ToString();
+  e.announcer = rec.announcer;
+  e.endpoint = rec.endpoint;
+  e.app_metric = rec.app_metric;
+  e.route_metric = rec.route.overlay_metric;
   TimePoint now = executor_->Now();
-  auto remaining = rec->expires > now ? rec->expires - now : Duration(0);
+  auto remaining = rec.expires > now ? rec.expires - now : Duration(0);
   e.lifetime_s = static_cast<uint32_t>(remaining.count() / 1000000);
-  e.version = rec->version;
+  e.version = rec.version;
   return e;
 }
 
@@ -214,7 +219,7 @@ std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
       metrics_->Increment("discovery.names_changed");
       break;
   }
-  return EntryFromRecord(*outcome.tree, outcome.record);
+  return EntryFromRecord(*outcome.name, *outcome.record);
 }
 
 void NameDiscovery::PropagateTriggered(const std::string& vspace,

@@ -79,6 +79,7 @@ class NameDiscovery {
   void PeriodicTick();
   void ExpiryTick();
   NameUpdateEntry EntryFromRecord(const NameTree& tree, const NameRecord* rec) const;
+  NameUpdateEntry EntryFromRecord(const NameSpecifier& name, const NameRecord& rec) const;
   void PropagateTriggered(const std::string& vspace, std::vector<NameUpdateEntry> entries,
                           const NodeAddress& except);
   void SendUpdates(const NodeAddress& peer, const std::string& vspace,

@@ -1,6 +1,7 @@
 #include "ins/nametree/sharded_name_tree.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 namespace ins {
@@ -125,17 +126,29 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
     r.kind = out.kind == NameTree::UpsertOutcome::kIgnored
                  ? NameTree::UpsertOutcome::kIgnored
                  : NameTree::UpsertOutcome::kRenamed;
-    r.tree = &ReadSide(*shards[target]);
-    r.record = out.record;
+    FillResult(r, *shards[target], out.record);
     return r;
   }
 
   auto out = ApplyLocked(*shards[target], [&](NameTree& t) { return t.Upsert(name, info); });
   UpsertResult r;
   r.kind = out.kind;
-  r.tree = &ReadSide(*shards[target]);
-  r.record = out.record;
+  FillResult(r, *shards[target], out.record);
   return r;
+}
+
+void ShardedNameTree::FillResult(UpsertResult& r, const Shard& shard,
+                                 const NameRecord* rec) const {
+  // Detach under the caller-held write lock: no flip can retire the read side
+  // while we copy. kRefreshed carries no payload — its callers never consume
+  // it and the refresh path stays copy-free.
+  if (rec == nullptr || r.kind == NameTree::UpsertOutcome::kIgnored ||
+      r.kind == NameTree::UpsertOutcome::kRefreshed) {
+    return;
+  }
+  const NameTree& t = ReadSide(shard);
+  r.name = t.ExtractName(rec);
+  r.record = rec->Detached();
 }
 
 size_t ShardedNameTree::UpsertBatch(
@@ -155,19 +168,31 @@ size_t ShardedNameTree::UpsertBatch(
     }
   }
 
-  // Route entries to their shard; evict cross-shard movers first (rare).
+  // Route entries to their shard; evict cross-shard movers first (rare). An
+  // entry staler than the announcer's record in another shard is dropped
+  // outright — routing it to the target shard would duplicate the announcer,
+  // since the target tree's own version guard only sees its local record.
   std::vector<std::vector<const std::pair<NameSpecifier, NameRecord>*>> per_shard(shards.size());
   for (const auto& entry : batch) {
     const size_t target = shards.size() > 1 ? FallbackIndex(entry.first) : 0;
+    bool stale = false;
     for (size_t i = 0; i < shards.size(); ++i) {
       if (i == target) {
         continue;
       }
       const NameRecord* old_rec = ReadSide(*shards[i]).Find(entry.second.announcer);
-      if (old_rec != nullptr && entry.second.version >= old_rec->version) {
-        AnnouncerId id = entry.second.announcer;
-        ApplyLocked(*shards[i], [&id](NameTree& t) { return t.Remove(id); });
+      if (old_rec == nullptr) {
+        continue;
       }
+      if (entry.second.version < old_rec->version) {
+        stale = true;  // mirror Upsert's kIgnored
+        break;
+      }
+      AnnouncerId id = entry.second.announcer;
+      ApplyLocked(*shards[i], [&id](NameTree& t) { return t.Remove(id); });
+    }
+    if (stale) {
+      continue;
     }
     per_shard[target].push_back(&entry);
   }
@@ -439,6 +464,10 @@ NameTree::Stats ShardedNameTree::ComputeStats() const {
 
 Status ShardedNameTree::CheckInvariants() const {
   for (const auto& [space, shards] : spaces_) {
+    // Single-announcer invariant across the shards of one space: the
+    // cross-shard eviction in Upsert/UpsertBatch must never leave an
+    // announcer grafted in two fallback shards.
+    std::set<AnnouncerId> seen;
     for (const auto& s : shards) {
       std::unique_lock<std::mutex> lock(s->write_mu, std::defer_lock);
       if (options_.concurrent) {
@@ -447,6 +476,12 @@ Status ShardedNameTree::CheckInvariants() const {
       Status st = s->sides[0]->CheckInvariants();
       if (!st.ok()) {
         return st;
+      }
+      for (const NameRecord* rec : s->sides[0]->AllRecords()) {
+        if (!seen.insert(rec->announcer).second) {
+          return InternalError("announcer " + rec->announcer.ToString() +
+                               " present in two shards of space '" + space + "'");
+        }
       }
       if (!options_.concurrent) {
         continue;

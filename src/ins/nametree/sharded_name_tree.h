@@ -30,6 +30,14 @@
 // schema-complete at each position (see the semantics note in name_tree.h);
 // the differential tests pin this equivalence on schema-complete workloads.
 //
+// One deliberate relaxation vs a single tree: a cross-shard rename (service
+// mobility whose new first attribute hashes to a different fallback shard)
+// publishes the eviction and the re-insert as two per-shard snapshots, so a
+// concurrent reader between the flips can transiently miss the moving
+// announcer — it never observes it twice, and the next snapshot restores it.
+// A single tree's rename is atomic; fusing two shards' flips would need a
+// store-wide write lock on the reader path, which the design rejects.
+//
 // Shard topology changes (AddSpace/RemoveSpace/set-options) are NOT safe
 // concurrently with readers; configure the layout before spinning up reader
 // threads, as the resolver does at startup.
@@ -94,24 +102,33 @@ class ShardedNameTree {
 
   struct UpsertResult {
     NameTree::UpsertOutcome::Kind kind = NameTree::UpsertOutcome::kIgnored;
-    // Read-side tree holding the record and the record itself; both null when
-    // the space is unrouted or the update was ignored. Valid until the next
-    // write to the shard — consume immediately.
-    const NameTree* tree = nullptr;
-    const NameRecord* record = nullptr;
+    // Detached snapshot of the stored record and its canonical name
+    // (GET-NAME), captured under the shard write lock so they stay valid
+    // regardless of later writes from any thread. Populated for kNew /
+    // kChanged / kRenamed — the outcomes callers propagate; left empty for
+    // kRefreshed / kIgnored to keep the soft-state refresh path cheap.
+    std::optional<NameSpecifier> name;
+    std::optional<NameRecord> record;
     bool routed = true;  // false: the name's space is not routed here
   };
 
   // Inserts or refreshes under the shard of `vspace` chosen by the fallback
   // hash of `name`. If the announcer currently lives in a *different* shard
   // of the same space (its first attribute changed), the old record is
-  // removed first and the outcome is kRenamed — exactly what a single tree
-  // would have reported.
+  // removed first and the outcome is kRenamed — the same outcome a single
+  // tree would have reported. Concurrent-mode caveat: the remove and the
+  // insert publish as two snapshots (one per shard), so a reader between the
+  // flips can transiently miss the announcer entirely — unlike a single
+  // tree, whose rename is atomic. The store never holds the announcer twice;
+  // soft-state re-announcement bounds the anomaly to one rename window.
   UpsertResult Upsert(const std::string& vspace, const NameSpecifier& name,
                       const NameRecord& info);
 
   // Applies a batch of upserts to one space with one snapshot publish per
   // touched shard (the batch-apply path writers should prefer under load).
+  // Entries staler than the announcer's record in ANY shard are dropped,
+  // exactly as Upsert's kIgnored. Cross-shard movers see the same transient
+  // miss window as Upsert (evictions publish before the batched inserts).
   // Returns how many entries were applied (not kIgnored).
   size_t UpsertBatch(const std::string& vspace,
                      const std::vector<std::pair<NameSpecifier, NameRecord>>& batch);
@@ -207,6 +224,10 @@ class ShardedNameTree {
   Shard* ShardFor(const std::string& vspace, const NameSpecifier& name);
   const std::vector<std::unique_ptr<Shard>>* ShardsOf(const std::string& vspace) const;
   size_t FallbackIndex(const NameSpecifier& name) const;
+
+  // Copies `rec` (and its extracted name) out of `shard`'s read side into
+  // `r`; caller must hold the shard's write lock in concurrent mode.
+  void FillResult(UpsertResult& r, const Shard& shard, const NameRecord* rec) const;
 
   // The side readers should use right now (callers in concurrent mode must
   // hold an epoch guard across the access AND every dereference of the

@@ -119,6 +119,10 @@ TEST(ConcurrentLookupTest, WritersAndReadersShareTheStore) {
   auto reader = [&](size_t r) {
     Rng rng(100 + r);
     // Epoch snapshots make versions monotone per announcer within a reader.
+    // A cross-shard rename publishes as two snapshots (eviction, then
+    // insert; see sharded_name_tree.h), so a reader may transiently miss a
+    // moving announcer — the checks below deliberately constrain only the
+    // records that ARE observed, never absence.
     std::map<AnnouncerId, uint64_t> last_seen;
     uint64_t served = 0;
     while (!done.load(std::memory_order_acquire)) {

@@ -77,11 +77,13 @@ class Harness {
         OpRefresh();
       } else if (dice < 55) {
         OpChange();
-      } else if (dice < 65) {
+      } else if (dice < 63) {
         OpRename();
-      } else if (dice < 70) {
+      } else if (dice < 68) {
         OpRemove();
-      } else if (dice < 80) {
+      } else if (dice < 75) {
+        OpBatch();
+      } else if (dice < 82) {
         OpExpire();
       } else {
         OpCompareLookup();
@@ -163,6 +165,50 @@ class Harness {
     ASSERT_EQ(a, b) << "expiry divergence at t=" << now_.count();
     ASSERT_EQ(a, c) << "expiry divergence at t=" << now_.count();
     std::erase_if(live_, [this](const LiveName& ln) { return ln.expires < now_; });
+  }
+
+  void OpBatch() {
+    // One UpsertBatch call against the sharded store vs entry-by-entry
+    // application to the oracles — equivalent because announcers within a
+    // batch are distinct. Renames inside a batch exercise the cross-shard
+    // eviction path under the batched-publish protocol.
+    std::vector<size_t> picked;
+    const size_t want = 1 + rng_.NextBelow(6);
+    for (size_t k = 0; k < want; ++k) {
+      const uint64_t kind = rng_.NextBelow(3);
+      if (kind == 0 || live_.empty()) {
+        LiveName ln;
+        const uint32_t n = next_announcer_++;
+        ln.id = AnnouncerId{0x0a000000u + n, 7, n};
+        ln.name = GenerateUniformName(rng_, params_);
+        ln.version = 1;
+        ln.expires = now_ + Seconds(static_cast<int64_t>(30 + rng_.NextBelow(300)));
+        live_.push_back(ln);
+        picked.push_back(live_.size() - 1);
+      } else {
+        const size_t idx = rng_.NextBelow(live_.size());
+        if (std::find(picked.begin(), picked.end(), idx) != picked.end()) {
+          continue;  // one entry per announcer per batch
+        }
+        LiveName& ln = live_[idx];
+        ln.version += 1;
+        if (kind == 2) {
+          ln.name = GenerateUniformName(rng_, params_);  // rename, maybe cross-shard
+        }
+        picked.push_back(idx);
+      }
+    }
+    std::vector<std::pair<NameSpecifier, NameRecord>> batch;
+    for (size_t idx : picked) {
+      const LiveName& ln = live_[idx];
+      NameRecord rec = MakeRecord(ln);
+      oracle_.Upsert(ln.name, rec);
+      tree_.Upsert(ln.name, rec);
+      batch.emplace_back(ln.name, rec);
+    }
+    // Every entry is fresh (new announcer or bumped version): none may be
+    // dropped by the cross-shard staleness guard.
+    ASSERT_EQ(sharded_->UpsertBatch("", batch), batch.size());
   }
 
   NameSpecifier MakeQuery() {
@@ -447,6 +493,70 @@ TEST(ShardedMobilityTest, RenameAcrossFallbackShards) {
     ASSERT_EQ(store.RecordCount(""), n);
   }
   EXPECT_GT(cross_shard_renames, 100u);  // the loop really exercised the path
+  EXPECT_TRUE(store.CheckInvariants().ok());
+}
+
+// Regression: a batch entry STALER than the announcer's record in a
+// different fallback shard must be dropped entirely. Routing it to its
+// target shard would graft the announcer twice — the target tree's version
+// guard cannot see the other shard's record — leaving a duplicate that
+// corrupts Remove/Find/RecordCount.
+TEST(ShardedMobilityTest, BatchStaleCrossShardEntryIsIgnored) {
+  constexpr size_t kShards = 8;
+  ShardedNameTree::Options opts;
+  opts.fallback_shards = kShards;
+  ShardedNameTree store(opts);
+  store.AddSpace("");
+
+  auto name_with_root = [](const std::string& attr) {
+    NameSpecifier n;
+    n.AddPath({{attr, "on"}});
+    return n;
+  };
+  auto shard_of = [&](const std::string& attr) {
+    return std::hash<std::string>{}(attr) % kShards;
+  };
+  // Two root attributes landing in distinct fallback shards.
+  const std::string here = "svc_0";
+  std::string there;
+  for (int i = 1; there.empty(); ++i) {
+    std::string cand = "svc_" + std::to_string(i);
+    if (shard_of(cand) != shard_of(here)) {
+      there = cand;
+    }
+  }
+
+  AnnouncerId id{0x0e000000u, 5, 1};
+  NameRecord rec;
+  rec.announcer = id;
+  rec.expires = Seconds(3600);
+  rec.version = 2;
+  ASSERT_EQ(store.Upsert("", name_with_root(here), rec).kind,
+            NameTree::UpsertOutcome::kNew);
+
+  NameRecord stale = rec;
+  stale.version = 1;
+  EXPECT_EQ(store.UpsertBatch("", {{name_with_root(there), stale}}), 0u);
+  EXPECT_EQ(store.RecordCount(""), 1u);
+  std::optional<NameRecord> found = store.Find("", id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->version, 2u);
+  auto name = store.GetName("", id);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_TRUE(*name == name_with_root(here));
+  EXPECT_TRUE(store.CheckInvariants().ok());
+
+  // A fresh batch entry still migrates the announcer across shards.
+  NameRecord fresh = rec;
+  fresh.version = 3;
+  EXPECT_EQ(store.UpsertBatch("", {{name_with_root(there), fresh}}), 1u);
+  EXPECT_EQ(store.RecordCount(""), 1u);
+  found = store.Find("", id);
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->version, 3u);
+  auto moved = store.GetName("", id);
+  ASSERT_TRUE(moved.has_value());
+  EXPECT_TRUE(*moved == name_with_root(there));
   EXPECT_TRUE(store.CheckInvariants().ok());
 }
 
