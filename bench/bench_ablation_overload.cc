@@ -1,0 +1,269 @@
+// Ablation — overload control: the degradation curve from 1x to 8x load.
+//
+// One resolver with admission control enabled and a modeled service rate of
+// 100 msg/s (processing_cost 10 ms) faces four workloads at once:
+//   * class 0: a service refreshing its advertisement every 5 s (45 s life),
+//   * class 1: a discovery probe every 200 ms,
+//   * class 2: a late-binding data flood at `multiplier` x 90 msg/s
+//     (90% of capacity at 1x, so the baseline runs healthy; 2x and up are
+//     genuine overload).
+// Each data packet carries its virtual send time; the receiving endpoint
+// turns that into an end-to-end latency sample. 60 virtual seconds per
+// multiplier, fresh cluster each time.
+//
+// The curve the numbers must draw — and the invariants this bench enforces
+// (exit 1 otherwise):
+//   * control plane survives every multiplier: zero class-0 sheds, zero
+//     name-tree expiries, the record still present at the end;
+//   * discovery keeps working: every probe answered, zero class-1 sheds —
+//     degradation spends class 2 first, and class 2 is enough here;
+//   * data goodput saturates at capacity instead of collapsing, and p99
+//     latency of DELIVERED packets stays bounded by the class-2 shed
+//     threshold (shed early, never queue without bound).
+//
+// Writes a JSON report (argv[1], default bench_ablation_overload.json):
+//   {"bench": "ablation_overload", "capacity_msgs_per_s": 100, "series": [
+//     {"multiplier": 1, "offered_per_s": 90, "data_delivered_per_s": ...,
+//      "data_shed": ..., "p50_ms": ..., "p99_ms": ...,
+//      "control_admitted": ..., "control_processed": ..., ...}, ...]}
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ins/harness/cluster.h"
+#include "ins/wire/messages.h"
+
+namespace {
+
+using namespace ins;
+
+constexpr int kCapacityPerS = 100;        // 1 / processing_cost
+constexpr int kBaseDataPerS = 90;         // 1x leaves headroom for control
+constexpr int kDurationS = 60;            // flood length per multiplier
+constexpr uint32_t kAdLifetimeS = 45;
+constexpr Duration kRefreshEvery = Seconds(5);
+constexpr Duration kProbeEvery = Milliseconds(200);
+
+struct SeriesPoint {
+  int multiplier = 0;
+  int offered_per_s = 0;
+  uint64_t data_sent = 0;
+  uint64_t data_admitted = 0;
+  uint64_t data_shed = 0;
+  uint64_t data_delivered = 0;
+  uint64_t probes_sent = 0;
+  uint64_t probes_answered = 0;
+  uint64_t control_admitted = 0;
+  uint64_t control_processed = 0;
+  uint64_t control_shed = 0;
+  uint64_t names_expired = 0;
+  size_t record_count = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+Advertisement MakeAd(const NodeAddress& endpoint, uint64_t version) {
+  Advertisement ad;
+  ad.name_text = "[service=sink]";
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, 0};
+  ad.endpoint.address = endpoint;
+  ad.lifetime_s = kAdLifetimeS;
+  ad.version = version;
+  return ad;
+}
+
+double PercentileMs(std::vector<int64_t>& samples_us, double p) {
+  if (samples_us.empty()) {
+    return 0.0;
+  }
+  const size_t rank = static_cast<size_t>(p * static_cast<double>(samples_us.size() - 1));
+  std::nth_element(samples_us.begin(), samples_us.begin() + static_cast<long>(rank),
+                   samples_us.end());
+  return static_cast<double>(samples_us[rank]) / 1000.0;
+}
+
+SeriesPoint RunMultiplier(int multiplier) {
+  SimCluster cluster;
+  InrConfig config = cluster.options().inr_template;
+  config.admission.enabled = true;
+  config.admission.processing_cost = Milliseconds(1000 / kCapacityPerS);
+  Inr* inr = cluster.AddInrWithConfig(1, std::move(config));
+  cluster.StabilizeTopology();
+
+  SeriesPoint point;
+  point.multiplier = multiplier;
+  point.offered_per_s = kBaseDataPerS * multiplier;
+
+  // The service: a raw socket whose receive handler timestamps every
+  // delivered data packet against the virtual send time in its payload.
+  auto svc_socket = cluster.net().Bind(MakeAddress(10));
+  std::vector<int64_t> latency_us;
+  svc_socket->SetReceiveHandler([&](const NodeAddress&, const Bytes& data) {
+    auto env = DecodeMessage(data);
+    if (!env.ok()) {
+      return;
+    }
+    if (const auto* packet = std::get_if<Packet>(&env->body)) {
+      ByteReader r(packet->payload);
+      if (auto sent_us = r.ReadU64(); sent_us.ok()) {
+        ++point.data_delivered;
+        latency_us.push_back(cluster.loop().Now().count() - static_cast<int64_t>(*sent_us));
+      }
+    }
+  });
+  svc_socket->Send(inr->address(), Encode(MakeAd(svc_socket->local_address(), 1)));
+  cluster.Settle();
+
+  const TimePoint flood_end = cluster.loop().Now() + Seconds(kDurationS);
+
+  // Class 0: soft-state refresh, well inside the 45 s lifetime.
+  uint64_t version = 1;
+  std::function<void()> refresh = [&] {
+    svc_socket->Send(inr->address(), Encode(MakeAd(svc_socket->local_address(), ++version)));
+    if (cluster.loop().Now() < flood_end) {
+      cluster.loop().ScheduleAfter(kRefreshEvery, refresh);
+    }
+  };
+  cluster.loop().ScheduleAfter(kRefreshEvery, refresh);
+
+  // Class 1: discovery probes.
+  auto probe_socket = cluster.net().Bind(MakeAddress(20));
+  probe_socket->SetReceiveHandler([&](const NodeAddress&, const Bytes& data) {
+    auto env = DecodeMessage(data);
+    if (env.ok() && std::get_if<DiscoveryResponse>(&env->body) != nullptr) {
+      ++point.probes_answered;
+    }
+  });
+  std::function<void()> probe = [&] {
+    DiscoveryRequest req;
+    req.request_id = ++point.probes_sent;
+    req.reply_to = probe_socket->local_address();
+    probe_socket->Send(inr->address(), Encode(req));
+    if (cluster.loop().Now() < flood_end) {
+      cluster.loop().ScheduleAfter(kProbeEvery, probe);
+    }
+  };
+  probe();
+
+  // Class 2: the data flood, one packet per event for a smooth arrival
+  // process (burst shapes would measure the burst, not the controller).
+  auto flood_socket = cluster.net().Bind(MakeAddress(30));
+  const Duration gap = Microseconds(1000000 / (kBaseDataPerS * multiplier));
+  std::function<void()> flood = [&] {
+    Packet p;
+    p.destination_name = "[service=sink]";
+    ByteWriter w;
+    w.WriteU64(static_cast<uint64_t>(cluster.loop().Now().count()));
+    p.payload = std::move(w).TakeBytes();
+    flood_socket->Send(inr->address(), EncodeMessage(Envelope{MessageBody(std::move(p))}));
+    ++point.data_sent;
+    if (cluster.loop().Now() < flood_end) {
+      cluster.loop().ScheduleAfter(gap, flood);
+    }
+  };
+  flood();
+
+  cluster.loop().RunFor(Seconds(kDurationS) + Seconds(3));  // flood + drain-out
+
+  const MetricsRegistry& m = inr->metrics();
+  point.data_admitted = m.Counter("admission.admitted.class2");
+  point.data_shed = m.Counter("forwarding.drop.shed_class2");
+  point.control_admitted = m.Counter("admission.admitted.class0");
+  point.control_processed = m.Counter("admission.processed.class0");
+  point.control_shed = m.Counter("forwarding.drop.shed_class0") +
+                       m.Counter("forwarding.drop.shed_class1");
+  point.names_expired = m.Counter("discovery.names_expired");
+  point.record_count = inr->vspaces().Tree("")->record_count();
+  point.p50_ms = PercentileMs(latency_us, 0.50);
+  point.p99_ms = PercentileMs(latency_us, 0.99);
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "bench_ablation_overload.json";
+
+  std::printf("overload ablation: capacity %d msg/s, %d s per multiplier\n", kCapacityPerS,
+              kDurationS);
+  std::printf("%-6s %-10s %-12s %-12s %-10s %-10s %-9s %-9s\n", "mult", "offered/s",
+              "delivered/s", "data shed", "probes ok", "ctl ok", "p50 ms", "p99 ms");
+
+  std::vector<SeriesPoint> series;
+  bool ok = true;
+  for (int multiplier : {1, 2, 4, 8}) {
+    SeriesPoint p = RunMultiplier(multiplier);
+    series.push_back(p);
+    std::printf("%-6d %-10d %-12.1f %-12llu %llu/%-6llu %llu/%-6llu %-9.1f %-9.1f\n",
+                p.multiplier, p.offered_per_s,
+                static_cast<double>(p.data_delivered) / kDurationS,
+                static_cast<unsigned long long>(p.data_shed),
+                static_cast<unsigned long long>(p.probes_answered),
+                static_cast<unsigned long long>(p.probes_sent),
+                static_cast<unsigned long long>(p.control_processed),
+                static_cast<unsigned long long>(p.control_admitted), p.p50_ms, p.p99_ms);
+
+    // Graceful-degradation invariants; a violated one fails the bench.
+    if (p.control_shed != 0 || p.names_expired != 0 || p.record_count != 1) {
+      std::printf("FAILED at %dx: control plane degraded (shed=%llu expired=%llu records=%zu)\n",
+                  p.multiplier, static_cast<unsigned long long>(p.control_shed),
+                  static_cast<unsigned long long>(p.names_expired), p.record_count);
+      ok = false;
+    }
+    if (p.probes_answered != p.probes_sent) {
+      std::printf("FAILED at %dx: %llu of %llu discovery probes unanswered\n", p.multiplier,
+                  static_cast<unsigned long long>(p.probes_sent - p.probes_answered),
+                  static_cast<unsigned long long>(p.probes_sent));
+      ok = false;
+    }
+    if (multiplier >= 2 && p.data_shed == 0) {
+      std::printf("FAILED at %dx: overload but nothing shed\n", p.multiplier);
+      ok = false;
+    }
+    if (p.data_delivered + p.data_shed != p.data_sent) {
+      std::printf("FAILED at %dx: %llu data packets unaccounted for\n", p.multiplier,
+                  static_cast<unsigned long long>(p.data_sent - p.data_delivered - p.data_shed));
+      ok = false;
+    }
+  }
+  if (!ok) {
+    return 1;
+  }
+  std::printf("control plane survived every multiplier; degradation spent class 2 only\n");
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_overload\",\n");
+  std::fprintf(f, "  \"capacity_msgs_per_s\": %d,\n  \"duration_s\": %d,\n  \"series\": [\n",
+               kCapacityPerS, kDurationS);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const SeriesPoint& p = series[i];
+    std::fprintf(f,
+                 "    {\"multiplier\": %d, \"offered_per_s\": %d, "
+                 "\"data_sent\": %llu, \"data_admitted\": %llu, \"data_shed\": %llu, "
+                 "\"data_delivered_per_s\": %.1f, \"probes_sent\": %llu, "
+                 "\"probes_answered\": %llu, \"control_admitted\": %llu, "
+                 "\"control_processed\": %llu, \"control_shed\": %llu, "
+                 "\"names_expired\": %llu, \"p50_ms\": %.2f, \"p99_ms\": %.2f}%s\n",
+                 p.multiplier, p.offered_per_s, static_cast<unsigned long long>(p.data_sent),
+                 static_cast<unsigned long long>(p.data_admitted),
+                 static_cast<unsigned long long>(p.data_shed),
+                 static_cast<double>(p.data_delivered) / kDurationS,
+                 static_cast<unsigned long long>(p.probes_sent),
+                 static_cast<unsigned long long>(p.probes_answered),
+                 static_cast<unsigned long long>(p.control_admitted),
+                 static_cast<unsigned long long>(p.control_processed),
+                 static_cast<unsigned long long>(p.control_shed),
+                 static_cast<unsigned long long>(p.names_expired), p.p50_ms, p.p99_ms,
+                 i + 1 == series.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

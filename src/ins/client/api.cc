@@ -39,13 +39,18 @@ void AdvertisementHandle::SetName(NameSpecifier name) {
 // --- InsClient ----------------------------------------------------------------
 
 InsClient::InsClient(Executor* executor, Transport* transport, ClientConfig config)
-    : executor_(executor), transport_(transport), config_(config) {
+    : executor_(executor),
+      transport_(transport),
+      config_(config),
+      rng_(config_.jitter_seed ^ transport->local_address().ip),
+      attach_backoff_(config_.attach_backoff, &rng_) {
   transport_->SetReceiveHandler(
       [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
 }
 
 InsClient::~InsClient() {
   executor_->Cancel(refresh_task_);
+  executor_->Cancel(attach_retry_task_);
   for (auto& [id, pending] : pending_discovers_) {
     executor_->Cancel(pending.timeout_task);
   }
@@ -59,15 +64,61 @@ InsClient::~InsClient() {
 }
 
 void InsClient::Start() {
+  if (!started_) {
+    started_ = true;
+    refresh_task_ = executor_->ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+  }
   if (config_.inr.IsValid()) {
     inr_ = config_.inr;
-  } else {
-    attach_request_id_ = next_request_id_++;
-    DsrListRequest req;
-    req.request_id = attach_request_id_;
-    transport_->Send(config_.dsr, Encode(req));
+  } else if (!attached()) {
+    // Calling Start() again while unattached retries the attachment at once
+    // (the backoff loop keeps retrying on its own either way).
+    BeginAttach(excluded_inr_);
   }
-  refresh_task_ = executor_->ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
+}
+
+void InsClient::BeginAttach(const NodeAddress& exclude) {
+  excluded_inr_ = exclude;
+  attach_request_id_ = next_request_id_++;
+  DsrListRequest req;
+  req.request_id = attach_request_id_;
+  transport_->Send(config_.dsr, Encode(req));
+  metrics_.Increment("client.attach_attempts");
+  executor_->Cancel(attach_retry_task_);
+  attach_retry_task_ = executor_->ScheduleAfter(attach_backoff_.Next(), [this] {
+    attach_retry_task_ = kInvalidTaskId;
+    if (!attached()) {
+      BeginAttach(excluded_inr_);
+    }
+  });
+}
+
+void InsClient::NoteRequestTimeout() {
+  metrics_.Increment("client.request_timeouts");
+  if (++consecutive_timeouts_ < config_.failover_after_timeouts) {
+    return;
+  }
+  if (!attached() || !config_.dsr.IsValid()) {
+    return;
+  }
+  // The resolver stopped answering: presume it dead and find another. The
+  // attachment drops, so new operations queue until the DSR names a
+  // replacement; in-flight retries burn attempts but keep their deadlines.
+  consecutive_timeouts_ = 0;
+  resolver_pong_outstanding_ = false;
+  metrics_.Increment("client.failovers");
+  NodeAddress dead = inr_;
+  inr_ = kInvalidAddress;
+  BeginAttach(dead);
+}
+
+bool InsClient::QueuePending(std::function<void()> fn) {
+  if (pending_until_attached_.size() >= config_.max_pending_ops) {
+    metrics_.Increment("client.pending_overflow");
+    return false;
+  }
+  pending_until_attached_.push_back(std::move(fn));
+  return true;
 }
 
 AnnouncerId InsClient::NextAnnouncer() {
@@ -97,7 +148,9 @@ std::unique_ptr<AdvertisementHandle> InsClient::Advertise(NameSpecifier name,
 void InsClient::AnnounceNow(AdvertisementHandle* handle) {
   if (!attached()) {
     AdvertisementHandle* raw = handle;
-    pending_until_attached_.push_back([this, raw] {
+    // Overflow is fine to drop silently here: the handle stays registered,
+    // so the next refresh tick after attachment announces it anyway.
+    QueuePending([this, raw] {
       // The handle may have been destroyed while we waited.
       if (std::find(advertisements_.begin(), advertisements_.end(), raw) !=
           advertisements_.end()) {
@@ -123,14 +176,34 @@ void InsClient::RefreshTick() {
   for (AdvertisementHandle* handle : advertisements_) {
     AnnounceNow(handle);
   }
+  if (attached() && config_.dsr.IsValid()) {
+    // Attachment liveness: a client that only advertises gets no responses,
+    // so a dead resolver would silently eat its refreshes until every name
+    // expired. An unanswered ping from the previous tick counts like a
+    // request timeout and feeds the same failover counter.
+    if (resolver_pong_outstanding_) {
+      NoteRequestTimeout();
+    }
+    if (attached()) {  // NoteRequestTimeout may have dropped the attachment
+      Ping ping;
+      ping.nonce = next_request_id_++;
+      ping.send_time_us = static_cast<uint64_t>(executor_->Now().count());
+      resolver_pong_outstanding_ = true;
+      transport_->Send(inr_, Encode(ping));
+    }
+  }
   refresh_task_ = executor_->ScheduleAfter(config_.refresh_interval, [this] { RefreshTick(); });
 }
 
 void InsClient::Discover(const NameSpecifier& filter, const std::string& vspace,
                          DiscoverCallback cb) {
   if (!attached()) {
-    pending_until_attached_.push_back(
-        [this, filter, vspace, cb = std::move(cb)] { Discover(filter, vspace, cb); });
+    if (pending_until_attached_.size() >= config_.max_pending_ops) {
+      metrics_.Increment("client.pending_overflow");
+      cb(UnavailableError("client is not attached and its pending queue is full"), {});
+      return;
+    }
+    QueuePending([this, filter, vspace, cb = std::move(cb)] { Discover(filter, vspace, cb); });
     return;
   }
   uint64_t id = next_request_id_++;
@@ -140,24 +213,54 @@ void InsClient::Discover(const NameSpecifier& filter, const std::string& vspace,
   req.filter_text = filter.ToString();
   req.reply_to = transport_->local_address();
 
-  TaskId timeout = executor_->ScheduleAfter(config_.request_timeout, [this, id] {
-    auto it = pending_discovers_.find(id);
-    if (it == pending_discovers_.end()) {
-      return;
-    }
-    DiscoverCallback cb2 = std::move(it->second.callback);
-    pending_discovers_.erase(it);
-    cb2(DeadlineExceededError("discovery request timed out"), {});
-  });
-  pending_discovers_.emplace(id, PendingDiscover{std::move(cb), timeout});
+  TaskId timeout =
+      executor_->ScheduleAfter(config_.request_timeout, [this, id] { OnDiscoverTimeout(id); });
+  pending_discovers_.emplace(
+      id, PendingDiscover{req, std::move(cb), timeout, 1, Backoff(config_.retry_backoff, &rng_)});
   transport_->Send(inr_, Encode(req));
   metrics_.Increment("client.discoveries_sent");
 }
 
+void InsClient::OnDiscoverTimeout(uint64_t id) {
+  auto it = pending_discovers_.find(id);
+  if (it == pending_discovers_.end()) {
+    return;
+  }
+  NoteRequestTimeout();
+  if (it->second.attempts >= config_.max_request_attempts) {
+    DiscoverCallback cb = std::move(it->second.callback);
+    pending_discovers_.erase(it);
+    cb(DeadlineExceededError("discovery request timed out"), {});
+    return;
+  }
+  it->second.timeout_task = executor_->ScheduleAfter(it->second.backoff.Next(),
+                                                     [this, id] { ResendDiscover(id); });
+}
+
+void InsClient::ResendDiscover(uint64_t id) {
+  auto it = pending_discovers_.find(id);
+  if (it == pending_discovers_.end()) {
+    return;
+  }
+  ++it->second.attempts;
+  // Unattached mid-failover: the attempt still burns (total time stays
+  // bounded) but nothing is sent; the next one lands on the new resolver.
+  if (attached()) {
+    metrics_.Increment("client.discover_retries");
+    transport_->Send(inr_, Encode(it->second.request));
+  }
+  it->second.timeout_task =
+      executor_->ScheduleAfter(config_.request_timeout, [this, id] { OnDiscoverTimeout(id); });
+}
+
 void InsClient::ResolveEarly(const NameSpecifier& name, ResolveCallback cb) {
   if (!attached()) {
-    pending_until_attached_.push_back(
-        [this, name, cb = std::move(cb)] { ResolveEarly(name, cb); });
+    if (pending_until_attached_.size() >= config_.max_pending_ops) {
+      metrics_.Increment("client.pending_overflow");
+      cb(UnavailableError("client is not attached and its pending queue is full"), {});
+      return;
+    }
+    QueuePending([this, name, cb = std::move(cb)] { ResolveEarly(name, cb); });
     return;
   }
   uint64_t id = next_request_id_++;
@@ -166,18 +269,42 @@ void InsClient::ResolveEarly(const NameSpecifier& name, ResolveCallback cb) {
   req.destination_name = name.ToString();
   req.payload = EncodeEarlyBindingPayload(id, transport_->local_address());
 
-  TaskId timeout = executor_->ScheduleAfter(config_.request_timeout, [this, id] {
-    auto it = pending_resolves_.find(id);
-    if (it == pending_resolves_.end()) {
-      return;
-    }
-    ResolveCallback cb2 = std::move(it->second.callback);
-    pending_resolves_.erase(it);
-    cb2(DeadlineExceededError("early binding request timed out"), {});
-  });
-  pending_resolves_.emplace(id, PendingResolve{std::move(cb), timeout});
+  TaskId timeout =
+      executor_->ScheduleAfter(config_.request_timeout, [this, id] { OnResolveTimeout(id); });
+  pending_resolves_.emplace(
+      id, PendingResolve{req, std::move(cb), timeout, 1, Backoff(config_.retry_backoff, &rng_)});
   transport_->Send(inr_, Encode(req));
   metrics_.Increment("client.resolves_sent");
+}
+
+void InsClient::OnResolveTimeout(uint64_t id) {
+  auto it = pending_resolves_.find(id);
+  if (it == pending_resolves_.end()) {
+    return;
+  }
+  NoteRequestTimeout();
+  if (it->second.attempts >= config_.max_request_attempts) {
+    ResolveCallback cb = std::move(it->second.callback);
+    pending_resolves_.erase(it);
+    cb(DeadlineExceededError("early binding request timed out"), {});
+    return;
+  }
+  it->second.timeout_task =
+      executor_->ScheduleAfter(it->second.backoff.Next(), [this, id] { ResendResolve(id); });
+}
+
+void InsClient::ResendResolve(uint64_t id) {
+  auto it = pending_resolves_.find(id);
+  if (it == pending_resolves_.end()) {
+    return;
+  }
+  ++it->second.attempts;
+  if (attached()) {
+    metrics_.Increment("client.resolve_retries");
+    transport_->Send(inr_, Encode(it->second.request));
+  }
+  it->second.timeout_task =
+      executor_->ScheduleAfter(config_.request_timeout, [this, id] { OnResolveTimeout(id); });
 }
 
 Status InsClient::SendData(const NameSpecifier& destination, const Bytes& payload,
@@ -191,8 +318,9 @@ Status InsClient::SendData(const NameSpecifier& destination, const Bytes& payloa
     queued.answer_from_cache = answer_from_cache;
     queued.cache_lifetime_s = cache_lifetime_s;
     queued.payload = payload;
-    pending_until_attached_.push_back(
-        [this, queued = std::move(queued)] { transport_->Send(inr_, Encode(queued)); });
+    if (!QueuePending([this, queued = std::move(queued)] { transport_->Send(inr_, Encode(queued)); })) {
+      return UnavailableError("client is not attached and its pending queue is full");
+    }
     return Status::Ok();
   }
   Packet p;
@@ -251,12 +379,28 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
 
   if (auto* list = std::get_if<DsrListResponse>(&env->body)) {
     if (list->request_id == attach_request_id_ && !attached()) {
-      attach_request_id_ = 0;
       if (list->active_inrs.empty()) {
+        // Keep the backoff retry loop running until a resolver shows up.
         INS_LOG(kWarning) << "InsClient: no active resolvers in the domain";
         return;
       }
-      inr_ = list->active_inrs.front();
+      attach_request_id_ = 0;
+      // Prefer any resolver other than the one we just declared dead; take
+      // it anyway if it is the only one listed (it may have restarted).
+      NodeAddress chosen = list->active_inrs.front();
+      for (const NodeAddress& candidate : list->active_inrs) {
+        if (candidate != excluded_inr_) {
+          chosen = candidate;
+          break;
+        }
+      }
+      inr_ = chosen;
+      excluded_inr_ = kInvalidAddress;
+      consecutive_timeouts_ = 0;
+      resolver_pong_outstanding_ = false;
+      attach_backoff_.Reset();
+      executor_->Cancel(attach_retry_task_);
+      attach_retry_task_ = kInvalidTaskId;
       metrics_.Increment("client.attached");
       FlushPendingWhenAttached();
     }
@@ -271,6 +415,7 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
     executor_->Cancel(it->second.timeout_task);
     DiscoverCallback cb = std::move(it->second.callback);
     pending_discovers_.erase(it);
+    consecutive_timeouts_ = 0;
 
     std::vector<DiscoveredName> names;
     for (const DiscoveryResponse::Item& item : resp->items) {
@@ -292,6 +437,7 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
     executor_->Cancel(it->second.timeout_task);
     ResolveCallback cb = std::move(it->second.callback);
     pending_resolves_.erase(it);
+    consecutive_timeouts_ = 0;
 
     std::vector<Binding> bindings;
     for (const EarlyBindingResponse::Item& item : resp->items) {
@@ -319,6 +465,15 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
   if (std::get_if<Ping>(&env->body) != nullptr) {
     // Clients answer pings too (useful for diagnostics).
     transport_->Send(src, Encode(PingAgent::PongFor(std::get<Ping>(env->body))));
+    return;
+  }
+
+  if (std::get_if<Pong>(&env->body) != nullptr) {
+    if (src == inr_) {
+      // The attachment liveness probe came back: the resolver is alive.
+      resolver_pong_outstanding_ = false;
+      consecutive_timeouts_ = 0;
+    }
     return;
   }
 

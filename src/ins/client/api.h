@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ins/common/backoff.h"
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
 #include "ins/common/transport.h"
@@ -35,6 +36,25 @@ struct ClientConfig {
   Duration refresh_interval = Seconds(15);
   uint32_t advertisement_lifetime_s = 45;
   Duration request_timeout = Seconds(2);
+
+  // --- Resilience -----------------------------------------------------------
+  // Total send attempts per Discover/ResolveEarly before the callback fails
+  // with kDeadlineExceeded. Retries keep the request id, so a late answer to
+  // an earlier attempt still completes the operation. Total retry time is
+  // bounded: attempts * request_timeout plus the (capped) backoffs between.
+  int max_request_attempts = 3;
+  BackoffConfig retry_backoff{Milliseconds(250), Seconds(2), 2.0, 0.3};
+  // Consecutive request timeouts (or missed resolver pongs) after which the
+  // attached resolver is presumed dead and the client re-attaches through the
+  // DSR, preferring a different resolver. Needs a valid `dsr`.
+  int failover_after_timeouts = 2;
+  // Bound on operations queued while unattached; excess fails kUnavailable
+  // instead of growing without limit while the domain is down.
+  size_t max_pending_ops = 64;
+  BackoffConfig attach_backoff{Milliseconds(500), Seconds(8), 2.0, 0.3};
+  // Seed for retry jitter; per-client value keeps a fleet decorrelated while
+  // simulation runs stay reproducible.
+  uint64_t jitter_seed = 0xC11E57;
 };
 
 // Handle for one advertised name; destroying it stops refreshing (the name
@@ -159,30 +179,61 @@ class InsClient {
                   uint32_t cache_lifetime_s);
   void FlushPendingWhenAttached();
   AnnouncerId NextAnnouncer();
+  // Queues `fn` until attachment; false (and nothing queued) once the bound
+  // `max_pending_ops` is reached.
+  bool QueuePending(std::function<void()> fn);
+  // (Re-)requests the DSR's active list, retrying with jittered backoff until
+  // a resolver other than `exclude` (best effort) answers.
+  void BeginAttach(const NodeAddress& exclude);
+  // One Discover/Resolve attempt timed out: after `failover_after_timeouts`
+  // in a row the attached resolver is presumed dead and we re-attach.
+  void NoteRequestTimeout();
+  void OnDiscoverTimeout(uint64_t id);
+  void ResendDiscover(uint64_t id);
+  void OnResolveTimeout(uint64_t id);
+  void ResendResolve(uint64_t id);
 
   Executor* executor_;
   Transport* transport_;
   ClientConfig config_;
   MetricsRegistry metrics_;
+  Rng rng_;
+  Backoff attach_backoff_;
 
   NodeAddress inr_;
+  bool started_ = false;
   uint64_t attach_request_id_ = 0;
   uint64_t next_request_id_ = 1;
   uint32_t next_discriminator_ = 0;
   TaskId refresh_task_ = kInvalidTaskId;
+  TaskId attach_retry_task_ = kInvalidTaskId;
+  // Resolver skipped when choosing from the DSR list after a failover (the
+  // one we just declared dead); taken anyway if it is the only one listed.
+  NodeAddress excluded_inr_;
+  int consecutive_timeouts_ = 0;
+  // Liveness of the attachment itself: a resolver that only ever receives
+  // our advertisements would die unnoticed, so every refresh tick pings it
+  // and an unanswered ping counts like a request timeout.
+  bool resolver_pong_outstanding_ = false;
 
   std::vector<AdvertisementHandle*> advertisements_;
   std::vector<std::function<void()>> pending_until_attached_;
 
   struct PendingDiscover {
+    DiscoveryRequest request;  // kept for retries (same request id)
     DiscoverCallback callback;
     TaskId timeout_task;
+    int attempts;
+    Backoff backoff;
   };
   std::map<uint64_t, PendingDiscover> pending_discovers_;
 
   struct PendingResolve {
+    Packet request;  // kept for retries (payload embeds the request id)
     ResolveCallback callback;
     TaskId timeout_task;
+    int attempts;
+    Backoff backoff;
   };
   std::map<uint64_t, PendingResolve> pending_resolves_;
 

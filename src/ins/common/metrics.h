@@ -56,6 +56,18 @@ class MetricsRegistry {
     return it == timings_.end() ? DurationStat{} : it->second;
   }
 
+  // Sum of every counter whose name starts with `prefix` — e.g.
+  // FamilyTotal("forwarding.drop.") is the total packets dropped for any
+  // reason, without the caller having to know every reason that exists.
+  uint64_t FamilyTotal(const std::string& prefix) const {
+    uint64_t total = 0;
+    for (auto it = counters_.lower_bound(prefix);
+         it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
+      total += it->second;
+    }
+    return total;
+  }
+
   const std::map<std::string, uint64_t>& counters() const { return counters_; }
   const std::map<std::string, int64_t>& gauges() const { return gauges_; }
   const std::map<std::string, DurationStat>& timings() const { return timings_; }

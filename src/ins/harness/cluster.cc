@@ -34,6 +34,8 @@ Inr* SimCluster::AddInrWithConfig(uint32_t host_index, InrConfig config) {
   config.dsr = dsr_address();
   config.topology.dsr = dsr_address();
   auto handle = std::make_unique<InrHandle>();
+  handle->host_index = host_index;
+  handle->config = config;
   handle->socket = net_.Bind(MakeAddress(host_index));
   handle->inr = std::make_unique<Inr>(&loop_, handle->socket.get(), std::move(config));
   Inr* raw = handle->inr.get();
@@ -50,8 +52,25 @@ void SimCluster::RemoveInr(Inr* inr) {
 }
 
 void SimCluster::CrashInr(Inr* inr) {
+  auto it = std::find_if(handles_.begin(), handles_.end(),
+                         [inr](const std::unique_ptr<InrHandle>& h) { return h->inr.get() == inr; });
+  assert(it != handles_.end());
+  crash_sites_[(*it)->host_index] = (*it)->config;
   inr->Crash();
   RemoveInr(inr);  // Stop() is a no-op on a crashed resolver
+}
+
+Inr* SimCluster::RestartInr(uint32_t host_index) {
+  auto it = crash_sites_.find(host_index);
+  if (it == crash_sites_.end()) {
+    return nullptr;
+  }
+  InrConfig config = std::move(it->second);
+  crash_sites_.erase(it);
+  // Fresh process on the old address: empty name tree, empty overlay state.
+  // Start() recovers the vspace assignments from the DSR and rejoins the
+  // overlay; neighbors then push full name state (on_neighbor_up).
+  return AddInrWithConfig(host_index, std::move(config));
 }
 
 std::vector<Inr*> SimCluster::inrs() {

@@ -9,6 +9,7 @@
 #ifndef INS_HARNESS_CLUSTER_H_
 #define INS_HARNESS_CLUSTER_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -53,6 +54,14 @@ class SimCluster {
   // Kills a resolver silently (failure injection): no PeerClose, no DSR
   // unregister — peers must notice via keepalives and soft state.
   void CrashInr(Inr* inr);
+  // Brings a crashed resolver back on its original host with its original
+  // config but EMPTY runtime state (the INR counterpart of RestartDsr). The
+  // restarted node rejoins the overlay through the normal backoff path,
+  // re-acquires its virtual-space assignments from the DSR's still-live
+  // soft-state registration, and refills its name tree from neighbors' full
+  // updates plus services' next refresh. Returns nullptr if no resolver
+  // crashed on that host.
+  Inr* RestartInr(uint32_t host_index);
 
   std::vector<Inr*> inrs();
 
@@ -138,6 +147,8 @@ class SimCluster {
   // Heap-allocated so container reshuffles never destroy a handle's socket
   // before its resolver (Inr::Stop sends a last unregister datagram).
   struct InrHandle {
+    uint32_t host_index = 0;
+    InrConfig config;  // as-created copy; RestartInr rebuilds from this
     std::unique_ptr<sim::Network::Socket> socket;
     std::unique_ptr<Inr> inr;  // declared after socket: destroyed first
   };
@@ -150,6 +161,9 @@ class SimCluster {
   std::unique_ptr<sim::Network::Socket> dsr_transport_;
   std::unique_ptr<Dsr> dsr_;
   std::vector<std::unique_ptr<InrHandle>> handles_;
+  // Config of every crashed resolver, keyed by host index, so RestartInr can
+  // bring the same node back.
+  std::map<uint32_t, InrConfig> crash_sites_;
   MetricsRegistry metrics_;
 };
 

@@ -1,0 +1,160 @@
+#include "ins/inr/admission.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace ins {
+
+namespace {
+
+const char* kAdmittedCounter[3] = {"admission.admitted.class0", "admission.admitted.class1",
+                                   "admission.admitted.class2"};
+const char* kProcessedCounter[3] = {"admission.processed.class0",
+                                    "admission.processed.class1",
+                                    "admission.processed.class2"};
+const char* kShedCounter[3] = {"forwarding.drop.shed_class0", "forwarding.drop.shed_class1",
+                               "forwarding.drop.shed_class2"};
+
+}  // namespace
+
+int ClassifyMessage(const Envelope& env) {
+  return std::visit(
+      [](const auto& body) -> int {
+        using T = std::decay_t<decltype(body)>;
+        if constexpr (std::is_same_v<T, Packet>) {
+          return body.early_binding ? 1 : 2;
+        } else if constexpr (std::is_same_v<T, DiscoveryRequest>) {
+          return 1;
+        } else {
+          // Everything else keeps the namespace and the overlay alive:
+          // service advertisements, INR-to-INR name updates, keepalives/
+          // pings, peering, and the whole DSR protocol.
+          return 0;
+        }
+      },
+      env.body);
+}
+
+AdmissionController::AdmissionController(Executor* executor, MetricsRegistry* metrics,
+                                         AdmissionConfig config, DispatchFn dispatch)
+    : executor_(executor),
+      metrics_(metrics),
+      config_(config),
+      dispatch_(std::move(dispatch)) {}
+
+AdmissionController::~AdmissionController() { Clear(); }
+
+Duration AdmissionController::EstimatedWait() const {
+  // What a message admitted now would wait: the residual service time of the
+  // in-flight message plus one full service time per message already queued.
+  size_t queued = 0;
+  for (const auto& q : queues_) {
+    queued += q.size();
+  }
+  Duration wait = config_.processing_cost * static_cast<int64_t>(queued);
+  const TimePoint now = executor_->Now();
+  if (busy_until_ > now) {
+    wait += busy_until_ - now;
+  }
+  return wait;
+}
+
+Duration AdmissionController::LoadSignal() const { return std::max(lag_ewma_, EstimatedWait()); }
+
+void AdmissionController::Shed(int cls, const char* signal) {
+  metrics_->Increment(kShedCounter[cls]);
+  metrics_->Increment(std::string("admission.shed_") + signal);
+}
+
+void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
+  if (!config_.enabled) {
+    dispatch_(src, env, Duration{0});
+    return;
+  }
+  const int cls = ClassifyMessage(env);
+  const size_t idx = static_cast<size_t>(cls);
+
+  if (queues_[idx].size() >= config_.queue_capacity[idx]) {
+    Shed(cls, "queue_full");
+    return;
+  }
+  // Load shedding, lowest class first. Class 0 is exempt: soft-state
+  // refreshes must land however busy the resolver is, or the name tree
+  // expires under the very overload it is meant to survive.
+  const Duration load = LoadSignal();
+  if (cls == 2 && load >= config_.shed_class2_lag) {
+    Shed(cls, "lag");
+    return;
+  }
+  if (cls == 1 && load >= config_.shed_class1_lag) {
+    Shed(cls, "lag");
+    return;
+  }
+
+  metrics_->Increment(kAdmittedCounter[idx]);
+  queues_[idx].push_back(Pending{src, std::move(env), executor_->Now()});
+  ScheduleDrain();
+}
+
+void AdmissionController::ScheduleDrain() {
+  if (drain_task_ != kInvalidTaskId) {
+    return;
+  }
+  // The modeled server picks up the next message as soon as it is free.
+  const TimePoint when = std::max(busy_until_, executor_->Now());
+  drain_task_ = executor_->ScheduleAt(when, [this] {
+    drain_task_ = kInvalidTaskId;
+    DrainOne();
+  });
+}
+
+void AdmissionController::DrainOne() {
+  // Strict priority: always the highest non-empty class.
+  std::deque<Pending>* queue = nullptr;
+  size_t idx = 0;
+  for (size_t c = 0; c < queues_.size(); ++c) {
+    if (!queues_[c].empty()) {
+      queue = &queues_[c];
+      idx = c;
+      break;
+    }
+  }
+  if (queue == nullptr) {
+    return;
+  }
+  Pending msg = std::move(queue->front());
+  queue->pop_front();
+
+  const TimePoint now = executor_->Now();
+  const Duration queued = now - msg.enqueued;
+  const double alpha = config_.lag_ewma_alpha;
+  lag_ewma_ = Duration(static_cast<int64_t>(alpha * static_cast<double>(queued.count()) +
+                                            (1.0 - alpha) * static_cast<double>(lag_ewma_.count())));
+  metrics_->SetGauge("admission.lag_us", lag_ewma_.count());
+  metrics_->Increment(kProcessedCounter[idx]);
+
+  busy_until_ = now + config_.processing_cost;
+  dispatch_(msg.src, msg.env, queued);
+
+  for (const auto& q : queues_) {
+    if (!q.empty()) {
+      ScheduleDrain();
+      break;
+    }
+  }
+}
+
+void AdmissionController::Clear() {
+  for (auto& q : queues_) {
+    q.clear();
+  }
+  if (drain_task_ != kInvalidTaskId) {
+    executor_->Cancel(drain_task_);
+    drain_task_ = kInvalidTaskId;
+  }
+  busy_until_ = TimePoint{};
+  lag_ewma_ = Duration{0};
+}
+
+}  // namespace ins

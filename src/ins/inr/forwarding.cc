@@ -40,7 +40,7 @@ ForwardingAgent::ForwardingAgent(Executor* executor, SendFn send, NodeAddress se
 void ForwardingAgent::HandleData(const NodeAddress& src, const Packet& packet) {
   metrics_->Increment("forwarding.packets");
   if (packet.hop_limit == 0) {
-    metrics_->Increment("forwarding.hop_limit_exceeded");
+    metrics_->Increment("forwarding.drop.hop_limit");
     return;
   }
   if (packet.answer_from_cache && TryAnswerFromCache(packet)) {
@@ -52,7 +52,7 @@ void ForwardingAgent::HandleData(const NodeAddress& src, const Packet& packet) {
 void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& packet) {
   auto dst = ParseNameSpecifier(packet.destination_name);
   if (!dst.ok()) {
-    metrics_->Increment("forwarding.bad_destination");
+    metrics_->Increment("forwarding.drop.bad_destination");
     INS_LOG(kDebug) << self_.ToString() << ": undeliverable packet: " << dst.status();
     return;
   }
@@ -126,7 +126,7 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
     return;
   }
   if (total_matches == 0) {
-    metrics_->Increment("forwarding.no_match");
+    metrics_->Increment("forwarding.drop.no_match");
     return;
   }
   if (deliver_all) {
@@ -151,7 +151,7 @@ void ForwardingAgent::ForwardToVspaceOwner(const Packet& packet, const std::stri
   metrics_->Increment("forwarding.cross_vspace");
   vspaces_->ResolveOwner(vspace, [this, packet, vspace](const NodeAddress& owner) {
     if (!owner.IsValid() || owner == self_) {
-      metrics_->Increment("forwarding.vspace_unresolved");
+      metrics_->Increment("forwarding.drop.vspace_unresolved");
       return;
     }
     ForwardToInr(packet, owner);
@@ -217,6 +217,12 @@ void ForwardingAgent::DeliverLocal(const Packet& packet, const NameRecord& recor
 void ForwardingAgent::ForwardToInr(const Packet& packet, const NodeAddress& next_hop) {
   Packet copy = packet;
   copy.hop_limit -= 1;
+  // Each overlay hop also charges the deadline budget (1ms minimum): a packet
+  // whose budget dies here is dead work for every resolver downstream too.
+  if (!ConsumeDeadlineBudget(copy, kHopDeadlineCostMs)) {
+    metrics_->Increment("forwarding.drop.deadline");
+    return;
+  }
   metrics_->Increment("forwarding.tunneled");
   send_(next_hop, Envelope{MessageBody(std::move(copy))});
 }

@@ -34,6 +34,19 @@
 
 namespace ins {
 
+// Deadline charge per overlay hop, in milliseconds. The simulated overlay
+// links are fast relative to queueing, so the hop cost is the 1ms floor; what
+// actually consumes budgets under load is the admission controller charging
+// time spent queued.
+inline constexpr uint32_t kHopDeadlineCostMs = 1;
+
+// Every drop the forwarder (or the admission controller in front of it) takes
+// is accounted as forwarding.drop.<reason>:
+//   hop_limit, deadline, bad_destination, no_match, vspace_unresolved,
+//   shed_class1, shed_class2
+// so MetricsRegistry::FamilyTotal("forwarding.drop.") is the complete drop
+// count without the caller enumerating reasons.
+
 // Early-binding requests carry their request id and reply-to address at the
 // head of the packet payload, so any resolver along the path can answer
 // directly to the requester. Helpers shared with the client library:

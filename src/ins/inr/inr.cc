@@ -38,6 +38,11 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   load_balancer_ = std::make_unique<LoadBalancer>(executor_, send, address(), config_.dsr,
                                                   vspaces_.get(), discovery_.get(),
                                                   &metrics_, config_.load_balancer);
+  admission_ = std::make_unique<AdmissionController>(
+      executor_, &metrics_, config_.admission,
+      [this](const NodeAddress& src, const Envelope& env, Duration queued) {
+        DispatchEnvelope(src, env, queued);
+      });
 
   for (const std::string& vspace : config_.vspaces) {
     vspaces_->AddSpace(vspace);
@@ -73,6 +78,16 @@ void Inr::Start() {
     return;
   }
   running_ = true;
+  // Ask the DSR which spaces our (possibly still-live) soft-state
+  // registration routes, BEFORE topology_->Start() re-registers with the
+  // config's initial list and overwrites it. A fresh INR gets back at most
+  // what it already routes; a restarted one recovers the assignments its
+  // crashed predecessor held, instead of black-holing them until an operator
+  // notices.
+  DsrAssignmentsRequest recover;
+  recover.request_id = static_cast<uint64_t>(address().ip) << 16 | address().port;
+  recover.inr = address();
+  transport_->Send(config_.dsr, Encode(recover));
   topology_->Start(vspaces_->RoutedSpaces());
   discovery_->Start();
   load_balancer_->Start();
@@ -84,6 +99,7 @@ void Inr::Stop() {
     return;
   }
   running_ = false;
+  admission_->Clear();
   load_balancer_->Stop();
   discovery_->Stop();
   topology_->Stop();
@@ -101,6 +117,7 @@ void Inr::Crash() {
     return;
   }
   running_ = false;  // OnMessage now drops everything: the node is silent
+  admission_->Clear();
   load_balancer_->Stop();
   discovery_->Stop();
   topology_->CrashStop();
@@ -121,39 +138,74 @@ void Inr::OnMessage(const NodeAddress& src, const Bytes& data) {
     metrics_.Increment("inr.decode_errors");
     return;
   }
-  if (auto* packet = std::get_if<Packet>(&env->body)) {
+  admission_->Admit(src, std::move(env).value());
+}
+
+void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration queued) {
+  if (!running_) {
+    return;  // crashed/stopped while this message sat in the admission queue
+  }
+  if (auto* packet = std::get_if<Packet>(&env.body)) {
+    // Time spent queued comes out of the packet's deadline budget: resolving
+    // a request its client already abandoned is pure added load.
+    if (queued > Duration{0} && packet->deadline_budget_ms != 0) {
+      Packet charged = *packet;
+      const auto queued_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(queued).count();
+      if (!ConsumeDeadlineBudget(charged, static_cast<uint32_t>(queued_ms))) {
+        metrics_.Increment("forwarding.drop.deadline");
+        return;
+      }
+      forwarding_->HandleData(src, charged);
+      return;
+    }
     forwarding_->HandleData(src, *packet);
-  } else if (auto* ad = std::get_if<Advertisement>(&env->body)) {
+  } else if (auto* ad = std::get_if<Advertisement>(&env.body)) {
     discovery_->HandleAdvertisement(src, *ad);
-  } else if (auto* update = std::get_if<NameUpdate>(&env->body)) {
+  } else if (auto* update = std::get_if<NameUpdate>(&env.body)) {
     // Still processed when `src` is not an overlay neighbor (delegation
     // seeds a new vspace owner this way), but the sender is told to close
     // its half-open edge if it thinks this was a tree link.
     topology_->NoteTreeEdgeTraffic(src);
     discovery_->HandleNameUpdate(src, *update);
-  } else if (auto* disc = std::get_if<DiscoveryRequest>(&env->body)) {
+  } else if (auto* disc = std::get_if<DiscoveryRequest>(&env.body)) {
     HandleDiscoveryRequest(src, *disc);
-  } else if (auto* ping = std::get_if<Ping>(&env->body)) {
+  } else if (auto* ping = std::get_if<Ping>(&env.body)) {
     topology_->NoteNeighborAlive(src);
     transport_->Send(src, Encode(PingAgent::PongFor(*ping)));
-  } else if (auto* pong = std::get_if<Pong>(&env->body)) {
+  } else if (auto* pong = std::get_if<Pong>(&env.body)) {
     topology_->NoteNeighborAlive(src);
     ping_agent_->HandlePong(src, *pong);
-  } else if (auto* preq = std::get_if<PeerRequest>(&env->body)) {
+  } else if (auto* preq = std::get_if<PeerRequest>(&env.body)) {
     topology_->HandlePeerRequest(src, *preq);
-  } else if (auto* pacc = std::get_if<PeerAccept>(&env->body)) {
+  } else if (auto* pacc = std::get_if<PeerAccept>(&env.body)) {
     topology_->HandlePeerAccept(src, *pacc);
-  } else if (auto* pclose = std::get_if<PeerClose>(&env->body)) {
+  } else if (auto* pclose = std::get_if<PeerClose>(&env.body)) {
     topology_->HandlePeerClose(src, *pclose);
-  } else if (auto* list = std::get_if<DsrListResponse>(&env->body)) {
+  } else if (auto* keepalive = std::get_if<PeerKeepalive>(&env.body)) {
+    // From a neighbor: proof of life. From anyone else: a half-open edge
+    // (classically an amnesiac restart of this node, which keeps answering
+    // the sender's pings) — NoteTreeEdgeTraffic replies PeerClose.
+    topology_->NoteTreeEdgeTraffic(keepalive->from);
+  } else if (auto* list = std::get_if<DsrListResponse>(&env.body)) {
     topology_->HandleDsrListResponse(*list);
-  } else if (auto* vresp = std::get_if<DsrVspaceResponse>(&env->body)) {
+  } else if (auto* vresp = std::get_if<DsrVspaceResponse>(&env.body)) {
     vspaces_->HandleDsrVspaceResponse(*vresp);
-  } else if (auto* cands = std::get_if<DsrCandidatesResponse>(&env->body)) {
+  } else if (auto* cands = std::get_if<DsrCandidatesResponse>(&env.body)) {
     load_balancer_->HandleDsrCandidatesResponse(*cands);
-  } else if (auto* del = std::get_if<DelegateVspace>(&env->body)) {
+  } else if (auto* del = std::get_if<DelegateVspace>(&env.body)) {
     metrics_.Increment("inr.vspaces_accepted");
     vspaces_->AddSpace(del->vspace);
+  } else if (auto* assigned = std::get_if<DsrAssignmentsResponse>(&env.body)) {
+    // Crash-recovery answer: resume routing every space our pre-crash
+    // registration held. AddSpace fires on_spaces_changed, which re-registers
+    // the recovered list with the DSR right away.
+    for (const std::string& vspace : assigned->vspaces) {
+      if (!vspaces_->Routes(vspace)) {
+        metrics_.Increment("inr.vspaces_recovered");
+        vspaces_->AddSpace(vspace);
+      }
+    }
   } else {
     metrics_.Increment("inr.unexpected_messages");
   }

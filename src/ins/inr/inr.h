@@ -22,6 +22,7 @@
 #include "ins/common/metrics.h"
 #include "ins/common/transport.h"
 #include "ins/common/worker_pool.h"
+#include "ins/inr/admission.h"
 #include "ins/inr/forwarding.h"
 #include "ins/inr/load_balancer.h"
 #include "ins/inr/name_discovery.h"
@@ -40,6 +41,9 @@ struct InrConfig {
   DiscoveryConfig discovery;
   TopologyConfig topology;  // .dsr is filled from `dsr` if unset
   LoadBalancerConfig load_balancer;
+  // Overload control on the ingress path; disabled by default (seed
+  // behaviour: every message dispatches inline).
+  AdmissionConfig admission;
   size_t cache_capacity = 128;
   // Worker threads for fanning lookups out across shards of a space; 0 (the
   // default) resolves inline on the protocol thread — the simulator mode.
@@ -77,6 +81,7 @@ class Inr {
   LoadBalancer& load_balancer() { return *load_balancer_; }
   PacketCache& cache() { return *cache_; }
   PingAgent& pings() { return *ping_agent_; }
+  AdmissionController& admission() { return *admission_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
@@ -86,6 +91,10 @@ class Inr {
 
  private:
   void OnMessage(const NodeAddress& src, const Bytes& data);
+  // The post-admission dispatch chain; `queued` is the time the message spent
+  // in the admission queues (zero with admission disabled) and is charged
+  // against data packets' deadline budgets.
+  void DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration queued);
   void HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest& req);
 
   Executor* executor_;
@@ -104,6 +113,7 @@ class Inr {
   std::unique_ptr<NameDiscovery> discovery_;
   std::unique_ptr<ForwardingAgent> forwarding_;
   std::unique_ptr<LoadBalancer> load_balancer_;
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace ins

@@ -138,6 +138,18 @@ void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
     metrics_.Increment("dsr.candidate_requests");
     return;
   }
+  if (const auto* aq = std::get_if<DsrAssignmentsRequest>(&env->body)) {
+    // Crash-recovery query: what does this INR's (soft-state) registration
+    // still route? An expired or never-registered INR gets an empty answer.
+    DsrAssignmentsResponse resp;
+    resp.request_id = aq->request_id;
+    if (auto it = active_.find(aq->inr); it != active_.end()) {
+      resp.vspaces = it->second.vspaces;
+    }
+    transport_->Send(src, Encode(resp));
+    metrics_.Increment("dsr.assignments_requests");
+    return;
+  }
   metrics_.Increment("dsr.unexpected_messages");
 }
 

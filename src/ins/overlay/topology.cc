@@ -399,6 +399,10 @@ void TopologyManager::KeepaliveTick() {
   }
 
   for (auto& [addr, n] : neighbors_) {
+    // The keepalive asserts the edge. If the peer lost it — most notably by
+    // crashing and restarting on the same address, where it would still
+    // answer our pings — it replies PeerClose and we re-join cleanly.
+    send_(addr, Envelope{MessageBody(PeerKeepalive{self_})});
     NodeAddress target = addr;
     ping_agent_->SendPing(target, config_.ping_timeout,
                           [this, target](std::optional<Duration> rtt) {

@@ -391,6 +391,32 @@ Result<DelegateVspace> DecodeDelegateVspace(ByteReader& r) {
   return d;
 }
 
+void EncodeBody(ByteWriter& w, const DsrAssignmentsRequest& d) {
+  w.WriteU64(d.request_id);
+  WriteAddress(w, d.inr);
+}
+
+Result<DsrAssignmentsRequest> DecodeDsrAssignmentsRequest(ByteReader& r) {
+  DsrAssignmentsRequest d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.inr, ReadAddress(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrAssignmentsResponse& d) {
+  w.WriteU64(d.request_id);
+  WriteStringList(w, d.vspaces);
+}
+
+Result<DsrAssignmentsResponse> DecodeDsrAssignmentsResponse(ByteReader& r) {
+  DsrAssignmentsResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspaces, ReadStringList(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const PeerKeepalive& p) { WriteAddress(w, p.from); }
+
 }  // namespace
 
 MessageType Envelope::type() const {
@@ -425,6 +451,13 @@ MessageType Envelope::type() const {
     }
     MessageType operator()(const SpawnRequest&) { return MessageType::kSpawnRequest; }
     MessageType operator()(const DelegateVspace&) { return MessageType::kDelegateVspace; }
+    MessageType operator()(const DsrAssignmentsRequest&) {
+      return MessageType::kDsrAssignmentsRequest;
+    }
+    MessageType operator()(const DsrAssignmentsResponse&) {
+      return MessageType::kDsrAssignmentsResponse;
+    }
+    MessageType operator()(const PeerKeepalive&) { return MessageType::kPeerKeepalive; }
   };
   return std::visit(Visitor{}, body);
 }
@@ -525,6 +558,19 @@ Result<Envelope> DecodeMessage(const Bytes& buffer) {
     case MessageType::kDelegateVspace: {
       INS_ASSIGN_OR_RETURN(DelegateVspace d, DecodeDelegateVspace(r));
       return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrAssignmentsRequest: {
+      INS_ASSIGN_OR_RETURN(DsrAssignmentsRequest d, DecodeDsrAssignmentsRequest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrAssignmentsResponse: {
+      INS_ASSIGN_OR_RETURN(DsrAssignmentsResponse d, DecodeDsrAssignmentsResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kPeerKeepalive: {
+      PeerKeepalive p;
+      INS_ASSIGN_OR_RETURN(p.from, ReadAddress(r));
+      return Envelope{MessageBody(p)};
     }
   }
   return InvalidArgumentError("unknown message type " + std::to_string(raw_type));

@@ -44,6 +44,9 @@ enum class MessageType : uint8_t {
   kDsrCandidatesResponse = 18,
   kSpawnRequest = 19,  // INR -> candidate node: start a resolver
   kDelegateVspace = 20,  // INR -> INR: take over routing this vspace
+  kDsrAssignmentsRequest = 21,   // restarted INR -> DSR: which vspaces did I route?
+  kDsrAssignmentsResponse = 22,
+  kPeerKeepalive = 23,  // INR -> neighbor INR: I still consider us peered
 };
 
 // --- Service advertisement (client/service -> its INR) ---------------------
@@ -184,6 +187,21 @@ struct DsrCandidatesResponse {
   std::vector<NodeAddress> candidates;
 };
 
+// A crashed-then-restarted INR lost its in-memory vspace assignments, but the
+// DSR still holds its soft-state registration until the lifetime lapses. The
+// restarted resolver asks for that registration back so it resumes routing the
+// same spaces instead of rejoining empty-handed and black-holing them until an
+// operator re-assigns.
+struct DsrAssignmentsRequest {
+  uint64_t request_id = 0;
+  NodeAddress inr;  // asking about this INR's registration (normally self)
+};
+
+struct DsrAssignmentsResponse {
+  uint64_t request_id = 0;
+  std::vector<std::string> vspaces;  // empty = registration already expired
+};
+
 // --- Load balancing ----------------------------------------------------------
 
 struct SpawnRequest {
@@ -196,6 +214,16 @@ struct DelegateVspace {
   std::string vspace;
 };
 
+// Unlike the anonymous liveness Pings, a keepalive ASSERTS the tree edge: a
+// receiver that does not consider `from` a neighbor replies PeerClose, so a
+// half-open edge heals. This is what lets the overlay survive an amnesiac
+// reboot — a resolver restarting on its old address answers pings happily,
+// and without this message its former neighbors would hold the stale edge
+// forever.
+struct PeerKeepalive {
+  NodeAddress from;
+};
+
 // --- Envelope ----------------------------------------------------------------
 
 using MessageBody =
@@ -203,7 +231,8 @@ using MessageBody =
                  EarlyBindingResponse, Ping, Pong, PeerRequest, PeerAccept, PeerClose,
                  DsrRegister, DsrListRequest, DsrListResponse, DsrVspaceRequest,
                  DsrVspaceResponse, DsrCandidatesRequest, DsrCandidatesResponse,
-                 SpawnRequest, DelegateVspace>;
+                 SpawnRequest, DelegateVspace, DsrAssignmentsRequest, DsrAssignmentsResponse,
+                 PeerKeepalive>;
 
 struct Envelope {
   MessageBody body;

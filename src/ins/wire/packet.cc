@@ -6,6 +6,19 @@ size_t Packet::EncodedSize() const {
   return kPacketHeaderSize + source_name.size() + destination_name.size() + payload.size();
 }
 
+bool ConsumeDeadlineBudget(Packet& p, uint32_t elapsed_ms) {
+  if (p.deadline_budget_ms == 0) {
+    return true;  // no deadline
+  }
+  const uint32_t charge = elapsed_ms == 0 ? 1 : elapsed_ms;
+  if (charge >= p.deadline_budget_ms) {
+    p.deadline_budget_ms = 0;
+    return false;
+  }
+  p.deadline_budget_ms = static_cast<uint16_t>(p.deadline_budget_ms - charge);
+  return true;
+}
+
 Bytes EncodePacket(const Packet& p) {
   ByteWriter w;
   uint8_t flags = 0;
@@ -27,6 +40,8 @@ Bytes EncodePacket(const Packet& p) {
   w.WriteU8(flags);
   w.WriteU16(p.hop_limit);
   w.WriteU32(p.cache_lifetime_s);
+  w.WriteU16(p.deadline_budget_ms);
+  w.WriteU16(0);  // reserved
   w.WriteU16(static_cast<uint16_t>(src_off));
   w.WriteU16(static_cast<uint16_t>(dst_off));
   w.WriteU16(static_cast<uint16_t>(data_off));
@@ -45,6 +60,7 @@ struct HeaderFields {
   uint8_t flags;
   uint16_t hop_limit;
   uint32_t cache_lifetime_s;
+  uint16_t deadline_budget_ms;
   size_t src_off;
   size_t dst_off;
   size_t data_off;
@@ -65,6 +81,8 @@ Result<HeaderFields> ReadHeader(const Bytes& buffer) {
   h.flags = *r.ReadU8();
   h.hop_limit = *r.ReadU16();
   h.cache_lifetime_s = *r.ReadU32();
+  h.deadline_budget_ms = *r.ReadU16();
+  r.ReadU16();  // reserved; ignored on receive
   h.src_off = *r.ReadU16();
   h.dst_off = *r.ReadU16();
   h.data_off = *r.ReadU16();
@@ -90,6 +108,7 @@ Result<Packet> DecodePacket(const Bytes& buffer) {
   p.answer_from_cache = (h->flags & kFlagAnswerFromCache) != 0;
   p.hop_limit = h->hop_limit;
   p.cache_lifetime_s = h->cache_lifetime_s;
+  p.deadline_budget_ms = h->deadline_budget_ms;
   p.source_name.assign(reinterpret_cast<const char*>(buffer.data() + h->src_off),
                        h->dst_off - h->src_off);
   p.destination_name.assign(reinterpret_cast<const char*>(buffer.data() + h->dst_off),

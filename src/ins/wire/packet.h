@@ -36,6 +36,12 @@ struct Packet {
   bool answer_from_cache = false;
   uint16_t hop_limit = kDefaultHopLimit;
   uint32_t cache_lifetime_s = 0;  // 0 disallows caching
+  // Remaining end-to-end deadline budget in milliseconds; 0 = no deadline.
+  // Each INR charges the packet for overlay hops and (under overload) for
+  // the time it spent queued, and drops it once the budget is exhausted —
+  // doing dead work for a request the client already gave up on only deepens
+  // an overload. Carried in the reserved space of the Figure-10 header.
+  uint16_t deadline_budget_ms = 0;
   std::string source_name;        // wire text of the source name-specifier
   std::string destination_name;   // wire text of the destination name-specifier
   Bytes payload;
@@ -44,14 +50,22 @@ struct Packet {
   size_t EncodedSize() const;
 };
 
-// Fixed header layout (16 bytes), all fields big-endian:
+// Fixed header layout (20 bytes), all fields big-endian:
 //   u8  version        u8  flags          u16 hop limit
 //   u32 cache lifetime (seconds)
+//   u16 deadline budget (ms)  u16 reserved (must-be-zero on send, ignored)
 //   u16 ptr to source name   u16 ptr to destination name
 //   u16 ptr to data          u16 total length
 // followed by the two name-specifier texts and the payload at the offsets the
 // pointers give.
-inline constexpr size_t kPacketHeaderSize = 16;
+inline constexpr size_t kPacketHeaderSize = 20;
+
+// Charges `elapsed_ms` against the packet's deadline budget. Returns false —
+// and zeroes the budget — when the budget is exhausted and the packet should
+// be dropped instead of forwarded. A packet with no deadline (budget 0) is
+// never exhausted. Every charge is at least 1 ms so a finite budget always
+// decreases hop by hop.
+bool ConsumeDeadlineBudget(Packet& p, uint32_t elapsed_ms);
 
 Bytes EncodePacket(const Packet& p);
 Result<Packet> DecodePacket(const Bytes& buffer);

@@ -1,11 +1,23 @@
 // Chaos soak: a seeded generator scripts random fault windows — partitions,
-// loss bursts, delay spikes, corruption storms, DSR crash/restart — against a
-// live cluster, and after every window the overlay must reconverge to a valid
-// spanning tree and still resolve names end-to-end. The same seed must
-// reproduce the same run bit-for-bit (the determinism fingerprint).
+// loss bursts, delay spikes, corruption storms, DSR crash/restart, INR
+// crash/restart — against a live cluster, and after every window the overlay
+// must reconverge to a valid spanning tree and still resolve names
+// end-to-end. The same seed must reproduce the same run bit-for-bit (the
+// determinism fingerprint).
+//
+// Soak depth is tunable through the environment, so the nightly job can run
+// the same binary much harder than the quick tier does:
+//   INS_CHAOS_SEEDS   number of seeds to instantiate (default 10; seeds are
+//                     1..N). Extra seeds only take effect when the binary is
+//                     invoked directly — ctest pins the test list discovered
+//                     at build time, where the default applies.
+//   INS_CHAOS_ROUNDS  fault windows per run (default 5). Composes with
+//                     `ctest -L soak`: every discovered seed just runs
+//                     longer.
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
 #include "ins/client/api.h"
@@ -16,7 +28,26 @@ namespace ins {
 namespace {
 
 constexpr uint32_t kNumInrs = 5;
-constexpr int kRounds = 5;
+
+int EnvCount(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') {
+    return fallback;
+  }
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+int SoakRounds() { return EnvCount("INS_CHAOS_ROUNDS", 5); }
+
+std::vector<uint64_t> SoakSeeds() {
+  const int count = EnvCount("INS_CHAOS_SEEDS", 10);
+  std::vector<uint64_t> seeds(static_cast<size_t>(count));
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    seeds[i] = i + 1;
+  }
+  return seeds;
+}
 
 NameSpecifier P(const std::string& text) {
   auto r = ParseNameSpecifier(text);
@@ -78,9 +109,10 @@ SoakResult RunSoak(uint64_t seed) {
     result.failure = what;
   };
 
-  for (int round = 0; round < kRounds && result.ok; ++round) {
+  const int rounds = SoakRounds();
+  for (int round = 0; round < rounds && result.ok; ++round) {
     Duration window = Seconds(5 + static_cast<int64_t>(chaos.NextBelow(11)));
-    uint64_t kind = chaos.NextBelow(5);
+    uint64_t kind = chaos.NextBelow(6);
     trace << "r" << round << ":k" << kind << ":w" << window.count() << ";";
     switch (kind) {
       case 0: {
@@ -114,6 +146,20 @@ SoakResult RunSoak(uint64_t seed) {
         cluster.loop().RunFor(window);
         cluster.RestartDsr();
         break;
+      case 5: {
+        // Amnesiac resolver reboot: silent crash, dark window, then a fresh
+        // process on the same address. Survivors must drop the stale tree
+        // edge (keepalives assert it), the restarted node must re-acquire
+        // its DSR assignments, and any client attached to it must fail over.
+        std::vector<Inr*> running = cluster.inrs();
+        Inr* victim = running[chaos.NextBelow(running.size())];
+        const uint32_t host = victim->address().ip & 0xFFu;
+        trace << "h" << host << ";";
+        cluster.CrashInr(victim);
+        cluster.loop().RunFor(window);
+        cluster.RestartInr(host);
+        break;
+      }
     }
 
     auto took = cluster.MeasureReconvergence(Seconds(120));
@@ -156,8 +202,7 @@ TEST_P(ChaosSoakTest, ReconvergesAndResolvesAfterEveryFaultWindow) {
   EXPECT_TRUE(r.ok) << r.failure;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest, ::testing::ValuesIn(SoakSeeds()));
 
 TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {
   for (uint64_t seed : {3u, 8u}) {

@@ -18,11 +18,15 @@ NameSpecifier P(const char* text) {
 }
 
 struct ClientHarness {
-  explicit ClientHarness(SimCluster* cluster, uint32_t host, NodeAddress inr = {})
+  explicit ClientHarness(SimCluster* cluster, uint32_t host, NodeAddress inr = {},
+                         std::function<void(ClientConfig&)> tweak = {})
       : socket(cluster->net().Bind(MakeAddress(host))) {
     ClientConfig config;
     config.inr = inr;
     config.dsr = cluster->dsr_address();
+    if (tweak) {
+      tweak(config);
+    }
     client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
     client->Start();
   }
@@ -104,11 +108,78 @@ TEST(ClientApiTest, DiscoverReturnsMatchingNames) {
 
 TEST(ClientApiTest, DiscoverTimesOutWithoutResolver) {
   SimCluster cluster;  // note: no INR at all
-  ClientHarness user(&cluster, 20, MakeAddress(99));  // attached to a ghost
+  // Attached to a ghost; a single attempt pins the per-request deadline.
+  ClientHarness user(&cluster, 20, MakeAddress(99),
+                     [](ClientConfig& c) { c.max_request_attempts = 1; });
   Status status;
   user.client->Discover(NameSpecifier(), "", [&](Status s, auto) { status = s; });
   cluster.loop().RunFor(Seconds(5));
   EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ClientApiTest, DiscoverRetriesHaveBoundedTotalTime) {
+  SimCluster cluster;  // no INR at all
+  ClientHarness user(&cluster, 20, MakeAddress(99));
+  Status status = InternalError("not called");
+  bool called = false;
+  user.client->Discover(NameSpecifier(), "", [&](Status s, auto) {
+    status = s;
+    called = true;
+  });
+  // Still retrying after the first per-attempt deadline...
+  cluster.loop().RunFor(Seconds(3));
+  EXPECT_FALSE(called);
+  // ...but the default 3 attempts + capped backoffs finish well inside 10 s.
+  cluster.loop().RunFor(Seconds(7));
+  ASSERT_TRUE(called);
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(user.client->metrics().Counter("client.discover_retries"), 1u);
+}
+
+TEST(ClientApiTest, FailsOverToNextResolverWhenAttachedInrDies) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  ClientHarness svc(&cluster, 10, b->address());
+  auto handle = svc.client->Advertise(P("[service=printer]"));
+  cluster.Settle();
+
+  ClientHarness user(&cluster, 20);  // attaches via the DSR: first = a
+  cluster.loop().RunFor(Seconds(1));
+  ASSERT_TRUE(user.client->attached());
+  ASSERT_EQ(user.client->resolver(), a->address());
+
+  cluster.CrashInr(a);
+  Status status = InternalError("not called");
+  std::vector<InsClient::DiscoveredName> got;
+  user.client->Discover(P("[service=printer]"), "", [&](Status s, auto names) {
+    status = s;
+    got = std::move(names);
+  });
+  // Timeouts accumulate, the client re-attaches to b, and a retry of the SAME
+  // request (same id) succeeds there — all transparently to the caller.
+  cluster.loop().RunFor(Seconds(15));
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(user.client->resolver(), b->address());
+  EXPECT_GE(user.client->metrics().Counter("client.failovers"), 1u);
+}
+
+TEST(ClientApiTest, PendingOperationsAreBounded) {
+  SimCluster cluster;  // no resolver, so nothing ever attaches
+  ClientHarness user(&cluster, 20, NodeAddress{},
+                     [](ClientConfig& c) { c.max_pending_ops = 2; });
+  EXPECT_TRUE(user.client->SendAnycast(P("[service=x]"), {1}).ok());
+  EXPECT_TRUE(user.client->SendAnycast(P("[service=x]"), {2}).ok());
+  EXPECT_EQ(user.client->SendAnycast(P("[service=x]"), {3}).code(),
+            StatusCode::kUnavailable);
+  Status status = InternalError("not called");
+  user.client->Discover(NameSpecifier(), "", [&](Status s, auto) { status = s; });
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);  // failed immediately
+  EXPECT_GE(user.client->metrics().Counter("client.pending_overflow"), 2u);
 }
 
 TEST(ClientApiTest, ResolveEarlyReturnsBindings) {

@@ -186,7 +186,7 @@ TEST(ForwardingTest, HopLimitDropsPacket) {
   client->Send(inr->address(), Envelope{MessageBody(p)});
   cluster.Settle();
   EXPECT_TRUE(svc->ReceivedOf<Packet>().empty());
-  EXPECT_EQ(inr->metrics().Counter("forwarding.hop_limit_exceeded"), 1u);
+  EXPECT_EQ(inr->metrics().Counter("forwarding.drop.hop_limit"), 1u);
 }
 
 TEST(ForwardingTest, NoMatchCounted) {
@@ -196,7 +196,61 @@ TEST(ForwardingTest, NoMatchCounted) {
   auto client = cluster.AddEndpoint(20);
   client->Send(inr->address(), Envelope{MessageBody(MakeData("[service=nothing]", {1}))});
   cluster.Settle();
-  EXPECT_EQ(inr->metrics().Counter("forwarding.no_match"), 1u);
+  EXPECT_EQ(inr->metrics().Counter("forwarding.drop.no_match"), 1u);
+}
+
+TEST(ForwardingTest, DeadlineExhaustionDropsBeforeTunneling) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  auto tx = cluster.AddEndpoint(20);
+  svc->Send(b->address(), Envelope{MessageBody(MakeAd("[s=far]", svc->address()))});
+  cluster.loop().RunFor(Seconds(1));
+
+  // Budget of 1ms dies on the first overlay hop (a -> b); the service never
+  // sees the packet and `a` accounts the drop.
+  Packet doomed = MakeData("[s=far]", {1});
+  doomed.deadline_budget_ms = 1;
+  tx->Send(a->address(), Envelope{MessageBody(doomed)});
+  cluster.Settle();
+  EXPECT_TRUE(svc->ReceivedOf<Packet>().empty());
+  EXPECT_EQ(a->metrics().Counter("forwarding.drop.deadline"), 1u);
+
+  // A roomy budget survives the hop and arrives decremented.
+  Packet fine = MakeData("[s=far]", {2});
+  fine.deadline_budget_ms = 200;
+  tx->Send(a->address(), Envelope{MessageBody(fine)});
+  cluster.Settle();
+  auto got = svc->ReceivedOf<Packet>();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_LT(got[0].deadline_budget_ms, 200u);
+  EXPECT_GT(got[0].deadline_budget_ms, 0u);
+}
+
+TEST(ForwardingTest, DropFamilyTotalsAccountEveryDrop) {
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto client = cluster.AddEndpoint(20);
+
+  Packet dead = MakeData("[s=1]", {1});
+  dead.hop_limit = 0;
+  client->Send(inr->address(), Envelope{MessageBody(dead)});
+  client->Send(inr->address(), Envelope{MessageBody(MakeData("[service=nothing]", {1}))});
+  cluster.Settle();
+
+  // Every drop reason lives under the one forwarding.drop.* family, so the
+  // family total is the complete drop count.
+  const MetricsRegistry& m = inr->metrics();
+  EXPECT_EQ(m.FamilyTotal("forwarding.drop."), 2u);
+  EXPECT_EQ(m.FamilyTotal("forwarding.drop."),
+            m.Counter("forwarding.drop.hop_limit") + m.Counter("forwarding.drop.no_match"));
+  // No drop is accounted outside the family under the old flat names.
+  EXPECT_EQ(m.Counter("forwarding.hop_limit_exceeded"), 0u);
+  EXPECT_EQ(m.Counter("forwarding.no_match"), 0u);
 }
 
 TEST(ForwardingTest, EarlyBindingReturnsEndpointsAndMetrics) {
@@ -342,7 +396,7 @@ TEST(ForwardingTest, UnresolvableVspaceDropsPacket) {
   auto client = cluster.AddEndpoint(20);
   client->Send(a->address(), Envelope{MessageBody(MakeData("[vspace=ghost][x=1]", {1}))});
   cluster.Settle();
-  EXPECT_EQ(a->metrics().Counter("forwarding.vspace_unresolved"), 1u);
+  EXPECT_EQ(a->metrics().Counter("forwarding.drop.vspace_unresolved"), 1u);
 }
 
 }  // namespace

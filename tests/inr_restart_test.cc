@@ -1,0 +1,166 @@
+// INR crash/restart recovery (the resolver counterpart of dsr_restart_test):
+// a restarted resolver comes back with empty runtime state and must rebuild
+// everything from the protocols alone — overlay membership via the normal
+// join/backoff path, virtual-space assignments from the DSR's still-live
+// soft-state registration (DsrAssignmentsRequest), and its name tree from
+// neighbors' full-state push plus services' periodic re-advertisement. All of
+// that completes within one advertisement refresh period, with no duplicate
+// announcer records anywhere.
+
+#include <gtest/gtest.h>
+
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+Advertisement MakeAd(const std::string& name_text, const NodeAddress& endpoint,
+                     uint64_t version = 1) {
+  Advertisement ad;
+  ad.name_text = name_text;
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, 0};
+  ad.endpoint.address = endpoint;
+  ad.endpoint.bindings = {{8080, "http"}};
+  ad.lifetime_s = 45;
+  ad.version = version;
+  return ad;
+}
+
+Packet MakeData(const std::string& dst, Bytes payload) {
+  Packet p;
+  p.destination_name = dst;
+  p.payload = std::move(payload);
+  return p;
+}
+
+TEST(InrRestartTest, RestartedInrServesNamesWithinOneRefreshPeriod) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(3);
+  cluster.StabilizeTopology();
+
+  auto svc = cluster.AddEndpoint(10);
+  auto client = cluster.AddEndpoint(20);
+  svc->Send(b->address(), Envelope{MessageBody(MakeAd("[service=printer]", svc->address()))});
+  cluster.Settle();
+
+  // Baseline: the name resolves through a (tunneled to b, delivered to svc).
+  client->Send(a->address(), Envelope{MessageBody(MakeData("[service=printer]", {1}))});
+  cluster.Settle();
+  ASSERT_EQ(svc->ReceivedOf<Packet>().size(), 1u);
+
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(5));
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  EXPECT_TRUE(a2->running());
+
+  // Reconvergence — tree invariant clean again — within one advertisement
+  // refresh period of the restart.
+  const Duration refresh = cluster.options().inr_template.discovery.update_interval;
+  auto took = cluster.MeasureReconvergence(refresh);
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+
+  // The restarted resolver's tree was refilled by its neighbors' full-state
+  // push: the same name resolves through a2 without any service action.
+  client->Send(a2->address(), Envelope{MessageBody(MakeData("[service=printer]", {2}))});
+  cluster.Settle();
+  ASSERT_EQ(svc->ReceivedOf<Packet>().size(), 2u);
+
+  // No duplicate announcer records anywhere.
+  for (Inr* inr : cluster.inrs()) {
+    EXPECT_TRUE(inr->vspaces().store().CheckInvariants().ok()) << inr->address().ToString();
+  }
+  auto q = *ParseNameSpecifier("[service=printer]");
+  EXPECT_EQ(a2->vspaces().Tree("")->Lookup(q).size(), 1u);
+}
+
+TEST(InrRestartTest, RestartedInrRecoversDelegatedVspaceFromDsr) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(10);
+
+  // "cams" arrives by delegation at runtime — it is NOT in a's start config,
+  // so only the DSR recovery path can bring it back after a crash.
+  peer->Send(a->address(), Envelope{MessageBody(DelegateVspace{peer->address(), "cams"})});
+  cluster.Settle();
+  ASSERT_TRUE(a->vspaces().Routes("cams"));
+  ASSERT_EQ(cluster.dsr().InrForVspace("cams"), a->address());
+
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(5));  // well inside the 60 s DSR lifetime
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  cluster.loop().RunFor(Seconds(2));
+
+  EXPECT_TRUE(a2->vspaces().Routes("cams"));
+  EXPECT_GE(a2->metrics().Counter("inr.vspaces_recovered"), 1u);
+  EXPECT_EQ(cluster.dsr().InrForVspace("cams"), a2->address());
+}
+
+TEST(InrRestartTest, AssignmentsAreGoneOnceTheRegistrationExpires) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  auto peer = cluster.AddEndpoint(10);
+  peer->Send(a->address(), Envelope{MessageBody(DelegateVspace{peer->address(), "cams"})});
+  cluster.Settle();
+  ASSERT_TRUE(a->vspaces().Routes("cams"));
+
+  cluster.CrashInr(a);
+  // Stay down past the DSR registration lifetime: the soft state lapses and
+  // there is nothing left to recover — by design.
+  const uint32_t lifetime_s = cluster.options().inr_template.topology.dsr_lifetime_s;
+  cluster.loop().RunFor(Seconds(lifetime_s + 10));
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  cluster.loop().RunFor(Seconds(2));
+
+  EXPECT_FALSE(a2->vspaces().Routes("cams"));
+  EXPECT_EQ(a2->metrics().Counter("inr.vspaces_recovered"), 0u);
+  // The resolver itself is fine: joined, routing its configured spaces.
+  EXPECT_TRUE(a2->topology().joined());
+  EXPECT_TRUE(a2->vspaces().Routes(""));
+}
+
+TEST(InrRestartTest, ReAdvertisementAfterRestartDoesNotDuplicate) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+
+  // Service attached to a: its record lives in a's tree and propagates to b.
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=scanner]", svc->address(), 1))});
+  cluster.Settle();
+  auto q = *ParseNameSpecifier("[service=scanner]");
+  ASSERT_EQ(b->vspaces().Tree("")->Lookup(q).size(), 1u);
+
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(5));
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  auto took = cluster.MeasureReconvergence(Seconds(15));
+  ASSERT_TRUE(took.has_value()) << cluster.CheckTreeInvariant();
+
+  // The service's next soft-state refresh lands on the restarted resolver.
+  // Between the neighbor push (b still had the record, routed via a) and the
+  // fresh local advertisement, exactly one record per announcer must remain.
+  svc->Send(a2->address(), Envelope{MessageBody(MakeAd("[service=scanner]", svc->address(), 2))});
+  cluster.loop().RunFor(Seconds(2));
+
+  EXPECT_EQ(a2->vspaces().Tree("")->Lookup(q).size(), 1u);
+  EXPECT_EQ(b->vspaces().Tree("")->Lookup(q).size(), 1u);
+  for (Inr* inr : cluster.inrs()) {
+    EXPECT_TRUE(inr->vspaces().store().CheckInvariants().ok()) << inr->address().ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ins

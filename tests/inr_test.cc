@@ -108,8 +108,8 @@ TEST(InrTest, ForgedRoutingLoopBoundedByHopLimit) {
   uint64_t forwarded = a->metrics().Counter("forwarding.tunneled") +
                        b->metrics().Counter("forwarding.tunneled");
   EXPECT_LE(forwarded, static_cast<uint64_t>(kDefaultHopLimit));
-  EXPECT_EQ(a->metrics().Counter("forwarding.hop_limit_exceeded") +
-                b->metrics().Counter("forwarding.hop_limit_exceeded"),
+  EXPECT_EQ(a->metrics().Counter("forwarding.drop.hop_limit") +
+                b->metrics().Counter("forwarding.drop.hop_limit"),
             1u);
 }
 

@@ -165,6 +165,20 @@ TEST(MessagesTest, DsrMessages) {
   EXPECT_EQ(RoundTrip(DsrListRequest{12}).request_id, 12u);
   EXPECT_EQ(RoundTrip(DsrVspaceRequest{13, "x"}).vspace, "x");
   EXPECT_EQ(RoundTrip(DsrCandidatesRequest{14}).request_id, 14u);
+
+  DsrAssignmentsRequest ar;
+  ar.request_id = 15;
+  ar.inr = MakeAddress(6);
+  DsrAssignmentsRequest ar2 = RoundTrip(ar);
+  EXPECT_EQ(ar2.request_id, 15u);
+  EXPECT_EQ(ar2.inr, MakeAddress(6));
+
+  DsrAssignmentsResponse asr;
+  asr.request_id = 15;
+  asr.vspaces = {"cam", "building"};
+  EXPECT_EQ(RoundTrip(asr).vspaces, asr.vspaces);
+
+  EXPECT_EQ(RoundTrip(PeerKeepalive{MakeAddress(7)}).from, MakeAddress(7));
 }
 
 TEST(MessagesTest, LoadBalancingMessages) {

@@ -109,6 +109,39 @@ TEST(MobilityTest, PollDetectsExternalRebind) {
   EXPECT_EQ(recs[0]->endpoint.address, MakeAddress(79));
 }
 
+TEST(MobilityTest, AdvertiserFailsOverWhenItsResolverDies) {
+  // A service that only advertises gets no responses, so resolver death is
+  // detected by the attachment liveness probe (missed pongs on the refresh
+  // tick) — the name must re-appear via a surviving resolver without any
+  // application involvement.
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  MobileClient cam(&cluster, 10, NodeAddress{});  // attaches via DSR: first = a
+  cluster.loop().RunFor(Seconds(1));
+  ASSERT_EQ(cam.client->resolver(), a->address());
+  auto handle = cam.client->Advertise(P("[service=camera][room=510]"));
+  MobileClient viewer(&cluster, 20, b->address());
+  cluster.Settle();
+
+  cluster.CrashInr(a);
+  // Two missed liveness pongs (one per 15 s refresh tick) trigger failover;
+  // the next refresh announces to b. Well under two advertisement lifetimes.
+  cluster.loop().RunFor(Seconds(80));
+  EXPECT_EQ(cam.client->resolver(), b->address());
+  EXPECT_GE(cam.client->metrics().Counter("client.failovers"), 1u);
+  ASSERT_EQ(b->vspaces().Tree("")->Lookup(P("[service=camera]")).size(), 1u);
+
+  int received = 0;
+  cam.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+  viewer.client->SendAnycast(P("[service=camera][room=510]"), {1});
+  cluster.Settle();
+  EXPECT_EQ(received, 1);
+}
+
 TEST(MobilityTest, MoveToOccupiedAddressFailsCleanly) {
   SimCluster cluster;
   Inr* inr = cluster.AddInr(1);

@@ -58,6 +58,61 @@ TEST(PacketCacheTest, ZeroCapacityNeverStores) {
   EXPECT_EQ(cache.Lookup("[a=1]", Seconds(1)), nullptr);
 }
 
+// --- Eviction vs expiry: two different removal mechanisms ------------------
+//
+// Expiry is lazy: an entry past its lifetime is only removed when a lookup
+// touches it. Eviction is purely recency-based: when the cache is full, the
+// LRU tail goes — even if a dead entry sits closer to the front. The four
+// tests below pin that interplay.
+
+TEST(PacketCacheTest, EvictionIsByRecencyNotLiveness) {
+  PacketCache cache(2);
+  cache.Insert("[a=1]", {1}, Seconds(100));  // long-lived
+  cache.Insert("[b=2]", {2}, Seconds(10));   // short-lived
+  cache.Lookup("[b=2]", Seconds(5));         // b is now most recent (and live)
+  // At t=20, b is expired but untouched, so it still occupies the front of
+  // the LRU list; inserting evicts the tail — the perfectly live a.
+  cache.Insert("[c=3]", {3}, Seconds(100));
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(20)), nullptr);  // evicted
+  EXPECT_EQ(cache.Lookup("[b=2]", Seconds(20)), nullptr);  // expired at lookup
+  EXPECT_NE(cache.Lookup("[c=3]", Seconds(20)), nullptr);
+}
+
+TEST(PacketCacheTest, ExpiredLookupFreesTheSlotForInsert) {
+  PacketCache cache(2);
+  cache.Insert("[a=1]", {1}, Seconds(10));
+  cache.Insert("[b=2]", {2}, Seconds(100));
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(20)), nullptr);  // removed on the spot
+  EXPECT_EQ(cache.size(), 1u);
+  // The freed slot absorbs the insert; the live b is not evicted.
+  cache.Insert("[c=3]", {3}, Seconds(100));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(cache.Lookup("[b=2]", Seconds(20)), nullptr);
+  EXPECT_NE(cache.Lookup("[c=3]", Seconds(20)), nullptr);
+}
+
+TEST(PacketCacheTest, ExpiredLookupsCountAsMissesNeverHits) {
+  PacketCache cache(2);
+  cache.Insert("[a=1]", {1}, Seconds(10));
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(11)), nullptr);
+  EXPECT_EQ(cache.Lookup("[a=1]", Seconds(12)), nullptr);  // already removed
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PacketCacheTest, OverwriteResurrectsAnExpiredEntry) {
+  PacketCache cache(2);
+  cache.Insert("[a=1]", {1}, Seconds(10));
+  // Past the lifetime but never looked up: the dead entry still sits in the
+  // map, and a fresh insert simply replaces it (no double-count, no stale
+  // payload).
+  cache.Insert("[a=1]", {2}, Seconds(100));
+  EXPECT_EQ(cache.size(), 1u);
+  const auto* e = cache.Lookup("[a=1]", Seconds(50));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->payload, Bytes{2});
+}
+
 TEST(PacketCacheTest, CapacityBound) {
   PacketCache cache(8);
   for (int i = 0; i < 100; ++i) {

@@ -13,6 +13,7 @@ Packet SamplePacket() {
   p.deliver_all = true;
   p.hop_limit = 7;
   p.cache_lifetime_s = 30;
+  p.deadline_budget_ms = 250;
   p.source_name = "[service=camera[entity=receiver[id=r]]][room=510]";
   p.destination_name = "[service=camera[entity=transmitter]][room=510]";
   p.payload = {1, 2, 3, 4, 5};
@@ -31,6 +32,7 @@ TEST(PacketTest, RoundTrip) {
   EXPECT_EQ(decoded->answer_from_cache, false);
   EXPECT_EQ(decoded->hop_limit, p.hop_limit);
   EXPECT_EQ(decoded->cache_lifetime_s, p.cache_lifetime_s);
+  EXPECT_EQ(decoded->deadline_budget_ms, p.deadline_budget_ms);
   EXPECT_EQ(decoded->source_name, p.source_name);
   EXPECT_EQ(decoded->destination_name, p.destination_name);
   EXPECT_EQ(decoded->payload, p.payload);
@@ -88,8 +90,8 @@ TEST(PacketTest, RejectsCorruptPointers) {
   Packet p = SamplePacket();
   Bytes encoded = EncodePacket(p);
   // Corrupt the destination-name pointer so offsets go backwards.
-  encoded[10] = 0;
-  encoded[11] = 1;
+  encoded[14] = 0;
+  encoded[15] = 1;
   EXPECT_FALSE(DecodePacket(encoded).ok());
 }
 
@@ -100,9 +102,37 @@ TEST(PacketTest, RejectsTruncatedBody) {
   EXPECT_FALSE(DecodePacket(encoded).ok());
 }
 
-TEST(PacketTest, HeaderIsSixteenBytes) {
+TEST(PacketTest, HeaderIsTwentyBytes) {
   Packet p;
   EXPECT_EQ(EncodePacket(p).size(), kPacketHeaderSize);
+}
+
+TEST(PacketTest, NoDeadlineIsNeverExhausted) {
+  Packet p;  // deadline_budget_ms defaults to 0: no deadline
+  EXPECT_TRUE(ConsumeDeadlineBudget(p, 0));
+  EXPECT_TRUE(ConsumeDeadlineBudget(p, 100000));
+  EXPECT_EQ(p.deadline_budget_ms, 0);
+}
+
+TEST(PacketTest, DeadlineBudgetDecrements) {
+  Packet p;
+  p.deadline_budget_ms = 100;
+  EXPECT_TRUE(ConsumeDeadlineBudget(p, 40));
+  EXPECT_EQ(p.deadline_budget_ms, 60);
+  // Zero elapsed still charges the 1ms floor so budgets strictly decrease.
+  EXPECT_TRUE(ConsumeDeadlineBudget(p, 0));
+  EXPECT_EQ(p.deadline_budget_ms, 59);
+}
+
+TEST(PacketTest, DeadlineBudgetExhausts) {
+  Packet p;
+  p.deadline_budget_ms = 10;
+  EXPECT_FALSE(ConsumeDeadlineBudget(p, 10));
+  EXPECT_EQ(p.deadline_budget_ms, 0);
+  // A fresh 1ms budget dies on any charge (charge >= budget).
+  p.deadline_budget_ms = 1;
+  EXPECT_FALSE(ConsumeDeadlineBudget(p, 0));
+  EXPECT_EQ(p.deadline_budget_ms, 0);
 }
 
 }  // namespace

@@ -206,6 +206,9 @@ std::vector<Bytes> EncodedSpecimens() {
   specimens.push_back(Encode(DsrCandidatesResponse{13, {MakeAddress(7)}}));
   specimens.push_back(Encode(SpawnRequest{MakeAddress(1), {"cam"}}));
   specimens.push_back(Encode(DelegateVspace{MakeAddress(1), "cam"}));
+  specimens.push_back(Encode(DsrAssignmentsRequest{14, MakeAddress(2)}));
+  specimens.push_back(Encode(DsrAssignmentsResponse{14, {"cam", "building"}}));
+  specimens.push_back(Encode(PeerKeepalive{MakeAddress(3)}));
   return specimens;
 }
 
