@@ -1,0 +1,165 @@
+// Ablation — symbol interning on the LOOKUP-NAME hot path.
+//
+// Compares the resolver's interned core (SymbolTable + CompiledName +
+// SymbolId-keyed flat node maps + reused lookup scratch) against the
+// pre-interning string-keyed tree (ins/baseline/string_name_tree.h):
+// per-node `unordered_map<std::string, ...>`, strings re-hashed per probe,
+// range tokens re-parsed per candidate, intersection vectors allocated per
+// query. Same Figure 12 workload shape (r_a=3, r_v=3, n_a=2, d=3), same
+// seeds, 10^2–10^4 names; both sides return identical results (asserted at
+// setup), so the ratio isolates the constant-factor change.
+//
+// Run with --benchmark_format=json (the CI bench job does) and the
+// acceptance bar is >= 2x median lookups_per_s for interned/string at 10^4
+// names.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_support.h"
+#include "ins/baseline/string_name_tree.h"
+#include "ins/name/compiled_name.h"
+#include "ins/workload/namegen.h"
+
+namespace {
+
+using namespace ins;
+
+// Both trees are populated from identical (name, record) streams; queries are
+// drawn from the same generator state so every (impl, n) pair measures the
+// same work.
+constexpr uint64_t kSeed = 42;
+constexpr int kQueryCount = 1000;
+
+std::vector<NameSpecifier> MakeQueries(Rng& rng) {
+  std::vector<NameSpecifier> queries;
+  queries.reserve(kQueryCount);
+  for (int i = 0; i < kQueryCount; ++i) {
+    queries.push_back(GenerateUniformName(rng, kPaperLookupParams));
+  }
+  return queries;
+}
+
+void BM_LookupStringKeyed(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  StringNameTree tree;
+  {
+    // Populate with the exact stream PopulateTree feeds the interned tree.
+    Rng pop_rng(kSeed);
+    NameTree reference;
+    std::vector<NameSpecifier> ads = bench::PopulateTree(&reference, n, pop_rng);
+    for (size_t i = 0; i < ads.size(); ++i) {
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0a000000u + static_cast<uint32_t>(i + 1), 1000,
+                                  static_cast<uint32_t>(i)};
+      rec.endpoint.address = MakeAddress(static_cast<uint32_t>(i % 250 + 1));
+      rec.expires = Seconds(1u << 30);
+      rec.version = 1;
+      tree.Insert(ads[i], rec);
+    }
+    rng = pop_rng;  // continue the stream where population left it
+  }
+  std::vector<NameSpecifier> queries = MakeQueries(rng);
+
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto records = tree.Lookup(queries[qi]);
+    benchmark::DoNotOptimize(records);
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["lookups_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["names_in_tree"] = static_cast<double>(n);
+  state.counters["memory_bytes"] = static_cast<double>(tree.MemoryBytes());
+}
+
+void BM_LookupInterned(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(kSeed);
+  NameTree tree;
+  bench::PopulateTree(&tree, n, rng);
+  std::vector<NameSpecifier> queries = MakeQueries(rng);
+
+  // The per-store-operation path: compile once per query against the tree's
+  // intern table, reuse an explicit scratch across calls.
+  std::vector<CompiledName> compiled;
+  compiled.reserve(queries.size());
+  for (const NameSpecifier& q : queries) {
+    compiled.push_back(CompiledName::ForQuery(q, tree.symbols()));
+  }
+  NameTree::LookupScratch scratch;
+
+  size_t qi = 0;
+  for (auto _ : state) {
+    auto records = tree.Lookup(compiled[qi], &scratch);
+    benchmark::DoNotOptimize(records);
+    qi = (qi + 1) % queries.size();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.counters["lookups_per_s"] =
+      benchmark::Counter(static_cast<double>(state.iterations()),
+                         benchmark::Counter::kIsRate);
+  state.counters["names_in_tree"] = static_cast<double>(n);
+  state.counters["memory_bytes"] =
+      static_cast<double>(tree.ComputeStats().bytes);
+}
+
+// Result-equality check: the ablation is meaningless if the two cores
+// disagree. Runs once at startup over every population size.
+void VerifyIdenticalResults() {
+  for (size_t n : {100u, 1000u, 10000u}) {
+    Rng rng(kSeed);
+    NameTree interned;
+    std::vector<NameSpecifier> ads = bench::PopulateTree(&interned, n, rng);
+    StringNameTree stringly;
+    for (size_t i = 0; i < ads.size(); ++i) {
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0a000000u + static_cast<uint32_t>(i + 1), 1000,
+                                  static_cast<uint32_t>(i)};
+      rec.endpoint.address = MakeAddress(static_cast<uint32_t>(i % 250 + 1));
+      rec.expires = Seconds(1u << 30);
+      rec.version = 1;
+      stringly.Insert(ads[i], rec);
+    }
+    std::vector<NameSpecifier> queries = MakeQueries(rng);
+    for (const NameSpecifier& q : queries) {
+      auto a = interned.Lookup(q);
+      auto b = stringly.Lookup(q);
+      bool same = a.size() == b.size();
+      for (size_t i = 0; same && i < a.size(); ++i) {
+        same = a[i]->announcer == b[i]->announcer;
+      }
+      if (!same) {
+        std::fprintf(stderr,
+                     "FATAL: interned and string-keyed lookup disagree at n=%zu "
+                     "query=%s\n",
+                     n, q.ToString().c_str());
+        std::exit(1);
+      }
+    }
+  }
+}
+
+BENCHMARK(BM_LookupStringKeyed)->Arg(100)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_LookupInterned)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner(
+      "Ablation: symbol interning on the LOOKUP-NAME hot path "
+      "(string-keyed baseline vs interned core, Fig-12 workload)",
+      "n/a (implementation ablation; acceptance: >= 2x median lookups_per_s "
+      "at 10^4 names)");
+  VerifyIdenticalResults();
+  std::printf("result check: interned == string-keyed on all seeds\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "ins/baseline/string_name_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace ins {
+
+StringNameTree::StringNameTree() {
+  root_.parent_attr = nullptr;
+}
+
+StringNameTree::~StringNameTree() = default;
+
+void StringNameTree::CandidateSet::IntersectWith(std::vector<const NameRecord*> other) {
+  std::sort(other.begin(), other.end());
+  other.erase(std::unique(other.begin(), other.end()), other.end());
+  if (universal) {
+    universal = false;
+    items = std::move(other);
+    return;
+  }
+  std::vector<const NameRecord*> out;
+  out.reserve(std::min(items.size(), other.size()));
+  std::set_intersection(items.begin(), items.end(), other.begin(), other.end(),
+                        std::back_inserter(out));
+  items = std::move(out);
+}
+
+void StringNameTree::Graft(ValueNode* parent, const std::vector<AvPair>& pairs,
+                           NameRecord* rec) {
+  for (const AvPair& p : pairs) {
+    std::unique_ptr<AttributeNode>& attr_slot = parent->attributes[p.attribute];
+    if (attr_slot == nullptr) {
+      attr_slot = std::make_unique<AttributeNode>();
+      attr_slot->attribute = p.attribute;
+      attr_slot->parent = parent;
+    }
+    AttributeNode* ta = attr_slot.get();
+
+    const std::string token = p.value.ToToken();
+    std::unique_ptr<ValueNode>& value_slot = ta->values[token];
+    if (value_slot == nullptr) {
+      value_slot = std::make_unique<ValueNode>();
+      value_slot->value = token;
+      value_slot->parent_attr = ta;
+    }
+    ValueNode* tv = value_slot.get();
+
+    if (p.children.empty()) {
+      tv->records.push_back(rec);
+    } else {
+      Graft(tv, p.children, rec);
+    }
+  }
+}
+
+void StringNameTree::Insert(const NameSpecifier& name, const NameRecord& info) {
+  assert(!name.empty());
+  auto rec = std::make_unique<NameRecord>(info);
+  NameRecord* raw = rec.get();
+  auto [it, inserted] = records_.emplace(info.announcer, std::move(rec));
+  assert(inserted && "baseline tree only supports fresh announcers");
+  (void)it;
+  (void)inserted;
+  Graft(&root_, name.roots(), raw);
+}
+
+void StringNameTree::SubtreeRecords(const ValueNode* node,
+                                    std::vector<const NameRecord*>* out) const {
+  out->insert(out->end(), node->records.begin(), node->records.end());
+  for (const auto& [attr, child] : node->attributes) {
+    SubtreeRecords(child.get(), out);
+  }
+}
+
+void StringNameTree::SubtreeRecords(const AttributeNode* node,
+                                    std::vector<const NameRecord*>* out) const {
+  for (const auto& [val, child] : node->values) {
+    SubtreeRecords(child.get(), out);
+  }
+}
+
+void StringNameTree::LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
+                                 CandidateSet* s) const {
+  for (const AvPair& p : pairs) {
+    if (s->Empty()) {
+      return;
+    }
+    auto ait = node->attributes.find(p.attribute);
+    if (ait == node->attributes.end()) {
+      continue;  // `if Ta = null then continue`
+    }
+    const AttributeNode* ta = ait->second.get();
+
+    if (p.value.is_wildcard()) {
+      std::vector<const NameRecord*> sub;
+      SubtreeRecords(ta, &sub);
+      s->IntersectWith(std::move(sub));
+      continue;
+    }
+
+    if (p.value.is_range()) {
+      // The pre-interning cost model under measurement: every candidate
+      // token re-parsed per query.
+      std::vector<const NameRecord*> sub;
+      for (const auto& [token, child] : ta->values) {
+        if (p.value.Accepts(token)) {
+          SubtreeRecords(child.get(), &sub);
+        }
+      }
+      s->IntersectWith(std::move(sub));
+      continue;
+    }
+
+    auto vit = ta->values.find(p.value.literal());
+    if (vit == ta->values.end()) {
+      s->IntersectWith({});
+      return;
+    }
+    const ValueNode* tv = vit->second.get();
+
+    if (p.children.empty()) {
+      std::vector<const NameRecord*> sub;
+      SubtreeRecords(tv, &sub);
+      s->IntersectWith(std::move(sub));
+    } else if (tv->attributes.empty()) {
+      s->IntersectWith({tv->records.begin(), tv->records.end()});
+    } else {
+      CandidateSet sub;
+      LookupLevel(tv, p.children, &sub);
+      if (!sub.universal) {
+        std::vector<const NameRecord*> merged = std::move(sub.items);
+        merged.insert(merged.end(), tv->records.begin(), tv->records.end());
+        s->IntersectWith(std::move(merged));
+      }
+    }
+  }
+}
+
+std::vector<const NameRecord*> StringNameTree::Lookup(const NameSpecifier& query) const {
+  CandidateSet s;
+  LookupLevel(&root_, query.roots(), &s);
+  if (s.universal) {
+    std::vector<const NameRecord*> out;
+    out.reserve(records_.size());
+    for (const auto& [id, rec] : records_) {
+      out.push_back(rec.get());
+    }
+    return out;
+  }
+  std::vector<const NameRecord*> out = std::move(s.items);
+  std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
+    return a->announcer < b->announcer;
+  });
+  return out;
+}
+
+size_t StringNameTree::MemoryBytes() const {
+  // The pre-interning accounting: node structs, per-key heap strings, and
+  // unordered_map bucket arrays (approximated as one pointer per bucket plus
+  // one heap node per element, the libstdc++ layout).
+  size_t bytes = 0;
+  auto string_bytes = [](const std::string& s) {
+    return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+  };
+  std::function<void(const ValueNode&)> walk = [&](const ValueNode& v) {
+    bytes += sizeof(ValueNode) + string_bytes(v.value) +
+             v.records.capacity() * sizeof(NameRecord*);
+    bytes += v.attributes.bucket_count() * sizeof(void*);
+    for (const auto& [attr, child] : v.attributes) {
+      bytes += sizeof(std::string) + string_bytes(attr) + 2 * sizeof(void*);  // map node
+      bytes += sizeof(AttributeNode) + string_bytes(child->attribute);
+      bytes += child->values.bucket_count() * sizeof(void*);
+      for (const auto& [val, grandchild] : child->values) {
+        bytes += sizeof(std::string) + string_bytes(val) + 2 * sizeof(void*);
+        walk(*grandchild);
+      }
+    }
+  };
+  walk(root_);
+  bytes += records_.size() * (72 + sizeof(NameRecord));  // map nodes + records
+  return bytes;
+}
+
+}  // namespace ins

@@ -1,0 +1,86 @@
+// Baseline name-tree: the pre-interning, string-keyed LOOKUP-NAME core.
+//
+// This preserves the resolver's original hot-path data layout so the
+// interning ablation (bench_ablation_interning) has a live comparator:
+// per-node `unordered_map<std::string, unique_ptr<...>>` children probed with
+// freshly hashed strings, range matching that re-parses each candidate token
+// per query (Value::Accepts -> strtod), and intersection vectors allocated
+// anew on every call. Algorithmically identical to NameTree (same Figure 5
+// single pass, same results, same candidate-set semantics); only the constant
+// factors differ. Update/expiry bookkeeping is trimmed to what the bench
+// exercises: Upsert of fresh announcers plus Lookup.
+
+#ifndef INS_BASELINE_STRING_NAME_TREE_H_
+#define INS_BASELINE_STRING_NAME_TREE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ins/name/name_specifier.h"
+#include "ins/nametree/name_record.h"
+
+namespace ins {
+
+class StringNameTree {
+ public:
+  StringNameTree();
+  ~StringNameTree();
+
+  StringNameTree(const StringNameTree&) = delete;
+  StringNameTree& operator=(const StringNameTree&) = delete;
+
+  // Inserts `info` under `name`. The announcer must be new (the ablation
+  // populates once, then measures lookups).
+  void Insert(const NameSpecifier& name, const NameRecord& info);
+
+  // LOOKUP-NAME, string-keyed: results sorted by announcer, identical to
+  // NameTree::Lookup on the same contents.
+  std::vector<const NameRecord*> Lookup(const NameSpecifier& query) const;
+
+  size_t record_count() const { return records_.size(); }
+
+  // Estimated resident bytes, mirroring the accounting NameTree::ComputeStats
+  // used before interning (per-node string keys counted here).
+  size_t MemoryBytes() const;
+
+ private:
+  struct AttributeNode;
+  struct ValueNode;
+
+  struct AttributeNode {
+    std::string attribute;
+    ValueNode* parent;
+    std::unordered_map<std::string, std::unique_ptr<ValueNode>> values;
+  };
+
+  struct ValueNode {
+    std::string value;
+    AttributeNode* parent_attr = nullptr;
+    std::unordered_map<std::string, std::unique_ptr<AttributeNode>> attributes;
+    std::vector<NameRecord*> records;
+  };
+
+  struct CandidateSet {
+    bool universal = true;
+    std::vector<const NameRecord*> items;
+
+    bool Empty() const { return !universal && items.empty(); }
+    void IntersectWith(std::vector<const NameRecord*> other);
+  };
+
+  void Graft(ValueNode* parent, const std::vector<AvPair>& pairs, NameRecord* rec);
+  void LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
+                   CandidateSet* s) const;
+  void SubtreeRecords(const ValueNode* node, std::vector<const NameRecord*>* out) const;
+  void SubtreeRecords(const AttributeNode* node, std::vector<const NameRecord*>* out) const;
+
+  ValueNode root_;
+  std::map<AnnouncerId, std::unique_ptr<NameRecord>> records_;
+};
+
+}  // namespace ins
+
+#endif  // INS_BASELINE_STRING_NAME_TREE_H_

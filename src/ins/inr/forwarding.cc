@@ -43,20 +43,23 @@ void ForwardingAgent::HandleData(const NodeAddress& src, const Packet& packet) {
     metrics_->Increment("forwarding.drop.hop_limit");
     return;
   }
-  if (packet.answer_from_cache && TryAnswerFromCache(packet)) {
-    return;
-  }
-  ResolveAndForward(src, packet);
-}
-
-void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& packet) {
-  auto dst = ParseNameSpecifier(packet.destination_name);
+  // Decode the destination once per packet; the memoizing decoder makes the
+  // steady-state cost of a repeated destination one probe, not a re-parse.
+  auto dst = decoder_.Decode(packet.destination_name);
   if (!dst.ok()) {
     metrics_->Increment("forwarding.drop.bad_destination");
     INS_LOG(kDebug) << self_.ToString() << ": undeliverable packet: " << dst.status();
     return;
   }
-  const std::string vspace = VspaceManager::VspaceOf(*dst);
+  if (packet.answer_from_cache && TryAnswerFromCache(packet, **dst)) {
+    return;
+  }
+  ResolveAndForward(src, packet, **dst);
+}
+
+void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& packet,
+                                        const NameSpecifier& dst) {
+  const std::string vspace = VspaceManager::VspaceOf(dst);
   const ShardedNameTree& store = vspaces_->store();
   if (!store.Routes(vspace)) {
     ForwardToVspaceOwner(packet, vspace);
@@ -74,7 +77,7 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
   const bool from_neighbor_inr = topology_->IsNeighbor(src);
   std::vector<ShardPartial> parts(store.ShardCountOf(vspace));
   store.ForEachShardMatch(
-      vspace, *dst,
+      vspace, dst,
       [&](size_t shard, const NameTree& tree, const std::vector<const NameRecord*>& matches) {
         (void)tree;
         ShardPartial& p = parts[shard];
@@ -227,12 +230,8 @@ void ForwardingAgent::ForwardToInr(const Packet& packet, const NodeAddress& next
   send_(next_hop, Envelope{MessageBody(std::move(copy))});
 }
 
-bool ForwardingAgent::TryAnswerFromCache(const Packet& packet) {
-  auto dst = ParseNameSpecifier(packet.destination_name);
-  if (!dst.ok()) {
-    return false;
-  }
-  const PacketCache::Entry* entry = cache_->Lookup(dst->ToString(), executor_->Now());
+bool ForwardingAgent::TryAnswerFromCache(const Packet& packet, const NameSpecifier& dst) {
+  const PacketCache::Entry* entry = cache_->Lookup(dst.ToString(), executor_->Now());
   if (entry == nullptr) {
     return false;
   }
@@ -252,11 +251,11 @@ void ForwardingAgent::MaybeCache(const Packet& packet) {
   if (packet.cache_lifetime_s == 0 || packet.source_name.empty()) {
     return;
   }
-  auto src_name = ParseNameSpecifier(packet.source_name);
+  auto src_name = decoder_.Decode(packet.source_name);
   if (!src_name.ok()) {
     return;
   }
-  cache_->Insert(src_name->ToString(), packet.payload,
+  cache_->Insert((*src_name)->ToString(), packet.payload,
                  executor_->Now() + Seconds(packet.cache_lifetime_s));
   metrics_->Increment("forwarding.cache_inserts");
 }

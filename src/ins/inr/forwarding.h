@@ -31,6 +31,7 @@
 #include "ins/inr/vspace.h"
 #include "ins/overlay/topology.h"
 #include "ins/wire/messages.h"
+#include "ins/wire/name_decoder.h"
 
 namespace ins {
 
@@ -74,7 +75,10 @@ class ForwardingAgent {
     std::vector<NodeAddress> next_hops;  // multicast: split-horizon-filtered hops
   };
 
-  void ResolveAndForward(const NodeAddress& src, const Packet& packet);
+  // `dst` is the packet's destination name, decoded exactly once per packet
+  // in HandleData (via the memoizing wire decoder) and threaded through.
+  void ResolveAndForward(const NodeAddress& src, const Packet& packet,
+                         const NameSpecifier& dst);
   void ForwardToVspaceOwner(const Packet& packet, const std::string& vspace);
   void HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
                           std::vector<NameRecord> records);
@@ -82,7 +86,7 @@ class ForwardingAgent {
   void HandleMulticast(const Packet& packet, std::vector<ShardPartial>& parts);
   void DeliverLocal(const Packet& packet, const NameRecord& record);
   void ForwardToInr(const Packet& packet, const NodeAddress& next_hop);
-  bool TryAnswerFromCache(const Packet& packet);
+  bool TryAnswerFromCache(const Packet& packet, const NameSpecifier& dst);
   void MaybeCache(const Packet& packet);
 
   Executor* executor_;
@@ -92,6 +96,9 @@ class ForwardingAgent {
   TopologyManager* topology_;
   PacketCache* cache_;
   MetricsRegistry* metrics_;
+  // Protocol-thread-only memo of recent wire-text parses: a forwarding path
+  // sees the same destination text per packet, hop after hop.
+  NameDecoder decoder_;
 };
 
 }  // namespace ins

@@ -1,0 +1,124 @@
+#include "ins/name/compiled_name.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ins {
+
+namespace {
+
+size_t CountPairs(const std::vector<AvPair>& pairs) {
+  size_t n = pairs.size();
+  for (const AvPair& p : pairs) {
+    n += CountPairs(p.children);
+  }
+  return n;
+}
+
+}  // namespace
+
+void CompiledName::CompileInto(const NameSpecifier& name, SymbolTable* intern_into,
+                               const SymbolTable& table, CompiledName* out_ptr) {
+  CompiledName& out = *out_ptr;
+  out.nodes_.clear();
+  // Exact-size the node array up front: compilation runs once per query on
+  // the lookup path, so its own allocations are hot.
+  out.nodes_.reserve(CountPairs(name.roots()));
+  // Worklist of sibling groups; each entry remembers which emitted node must
+  // be patched with the group's placement.
+  struct Group {
+    const std::vector<AvPair>* pairs;
+    uint32_t parent;  // index into out.nodes_, or UINT32_MAX for roots
+  };
+  std::vector<Group> queue;
+  queue.reserve(8);
+  queue.push_back(Group{&name.roots(), UINT32_MAX});
+  out.root_count_ = static_cast<uint32_t>(name.roots().size());
+
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    const Group g = queue[qi];
+    const uint32_t begin = static_cast<uint32_t>(out.nodes_.size());
+    if (g.parent != UINT32_MAX) {
+      out.nodes_[g.parent].child_begin = begin;
+      out.nodes_[g.parent].child_count = static_cast<uint32_t>(g.pairs->size());
+    }
+    for (const AvPair& p : *g.pairs) {
+      CompiledAvNode n;
+      // Literal tokens are the value string itself: intern the view without
+      // the ToToken() copy. Wildcard/range tokens compose a string, but they
+      // are rare in both names and queries.
+      if (p.value.is_literal()) {
+        n.attribute = intern_into != nullptr ? intern_into->Intern(p.attribute)
+                                             : table.Find(p.attribute);
+        n.token = intern_into != nullptr ? intern_into->Intern(p.value.literal())
+                                         : table.Find(p.value.literal());
+      } else {
+        const std::string token = p.value.ToToken();
+        if (intern_into != nullptr) {
+          n.attribute = intern_into->Intern(p.attribute);
+          n.token = intern_into->Intern(token);
+        } else {
+          n.attribute = table.Find(p.attribute);
+          n.token = table.Find(token);
+        }
+      }
+      n.kind = p.value.kind();
+      if (p.value.is_range()) {
+        n.number = p.value.bound();
+        n.has_number = true;
+      } else if (p.value.is_literal()) {
+        std::optional<double> num = p.value.numeric();
+        n.has_number = num.has_value();
+        n.number = num.value_or(0.0);
+      }
+      out.nodes_.push_back(n);
+    }
+    for (size_t i = 0; i < g.pairs->size(); ++i) {
+      const AvPair& p = (*g.pairs)[i];
+      if (!p.children.empty()) {
+        queue.push_back(Group{&p.children, begin + static_cast<uint32_t>(i)});
+      }
+    }
+  }
+}
+
+CompiledName CompiledName::ForUpdate(const NameSpecifier& name, SymbolTable* table) {
+  assert(table != nullptr);
+  CompiledName out;
+  CompileInto(name, table, *table, &out);
+  return out;
+}
+
+CompiledName CompiledName::ForQuery(const NameSpecifier& name, const SymbolTable& table) {
+  CompiledName out;
+  CompileInto(name, nullptr, table, &out);
+  return out;
+}
+
+void CompiledName::ForQueryInto(const NameSpecifier& name, const SymbolTable& table,
+                                CompiledName* out) {
+  CompileInto(name, nullptr, table, out);
+}
+
+NameSpecifier CompiledName::Decompile(const SymbolTable& table) const {
+  NameSpecifier out;
+  // Rebuild recursively; InsertPair keeps sibling order canonical.
+  struct Rebuilder {
+    const std::vector<CompiledAvNode>& nodes;
+    const SymbolTable& table;
+    void Build(uint32_t begin, uint32_t count, std::vector<AvPair>* siblings) const {
+      for (uint32_t i = begin; i < begin + count; ++i) {
+        const CompiledAvNode& n = nodes[i];
+        assert(n.attribute != kInvalidSymbol && n.token != kInvalidSymbol);
+        AvPair* pair =
+            InsertPair(*siblings, std::string(table.NameOf(n.attribute)),
+                       ValueFromToken(std::string(table.NameOf(n.token))));
+        Build(n.child_begin, n.child_count, &pair->children);
+      }
+    }
+  };
+  Rebuilder{nodes_, table}.Build(0, root_count_, &out.mutable_roots());
+  return out;
+}
+
+}  // namespace ins

@@ -28,8 +28,8 @@ bool MatchLevel(const std::vector<AvPair>& adv, const std::vector<AvPair>& query
       }
       return false;
     }
-    if (!q.value.Accepts(a->value.literal())) {
-      return false;
+    if (!q.value.AcceptsValue(a->value)) {
+      return false;  // range kinds compare against the cached numeric
     }
     if (a->children.empty()) {
       // Advertisement chain ends here: its omitted descendants are

@@ -13,6 +13,11 @@ Value Value::Literal(std::string s) {
   Value v;
   v.kind_ = Kind::kLiteral;
   v.literal_ = std::move(s);
+  // Parse once here — at construction, i.e. parse/decode time — so range
+  // matching against this literal is a cached double compare forever after.
+  std::optional<double> n = ParseNumeric(v.literal_);
+  v.has_numeric_ = n.has_value();
+  v.numeric_ = n.value_or(0.0);
   return v;
 }
 
@@ -58,26 +63,44 @@ bool Value::Accepts(const std::string& advertised_literal) const {
     case Kind::kLess:
     case Kind::kLessEqual:
     case Kind::kGreater:
-    case Kind::kGreaterEqual: {
-      std::optional<double> n = ParseNumeric(advertised_literal);
-      if (!n.has_value()) {
-        return false;
-      }
-      switch (kind_) {
-        case Kind::kLess:
-          return *n < bound_;
-        case Kind::kLessEqual:
-          return *n <= bound_;
-        case Kind::kGreater:
-          return *n > bound_;
-        case Kind::kGreaterEqual:
-          return *n >= bound_;
-        default:
-          return false;
-      }
-    }
+    case Kind::kGreaterEqual:
+      return AcceptsNumeric(ParseNumeric(advertised_literal));
   }
   return false;
+}
+
+bool Value::AcceptsNumeric(std::optional<double> n) const {
+  if (kind_ == Kind::kWildcard) {
+    return true;
+  }
+  if (!n.has_value()) {
+    return false;
+  }
+  switch (kind_) {
+    case Kind::kLess:
+      return *n < bound_;
+    case Kind::kLessEqual:
+      return *n <= bound_;
+    case Kind::kGreater:
+      return *n > bound_;
+    case Kind::kGreaterEqual:
+      return *n >= bound_;
+    default:
+      return false;
+  }
+}
+
+bool Value::AcceptsValue(const Value& advertised) const {
+  if (kind_ == Kind::kWildcard || advertised.kind_ == Kind::kWildcard) {
+    return true;  // either side wildcard: no constraint
+  }
+  if (advertised.kind_ != Kind::kLiteral) {
+    return false;  // an advertised range constrains nothing concrete
+  }
+  if (kind_ == Kind::kLiteral) {
+    return literal_ == advertised.literal_;
+  }
+  return AcceptsNumeric(advertised.numeric());
 }
 
 std::string Value::ToToken() const {
@@ -96,6 +119,30 @@ std::string Value::ToToken() const {
       return ">=" + literal_;
   }
   return "?";
+}
+
+Value ValueFromToken(const std::string& token) {
+  if (token == "*") {
+    return Value::Wildcard();
+  }
+  if (!token.empty() && (token[0] == '<' || token[0] == '>')) {
+    size_t skip = 1;
+    bool or_equal = token.size() > 1 && token[1] == '=';
+    if (or_equal) {
+      skip = 2;
+    }
+    std::optional<double> bound = ParseNumeric(std::string_view(token).substr(skip));
+    if (bound.has_value()) {
+      Value::Kind kind;
+      if (token[0] == '<') {
+        kind = or_equal ? Value::Kind::kLessEqual : Value::Kind::kLess;
+      } else {
+        kind = or_equal ? Value::Kind::kGreaterEqual : Value::Kind::kGreater;
+      }
+      return Value::Range(kind, *bound);
+    }
+  }
+  return Value::Literal(token);
 }
 
 bool operator==(const Value& a, const Value& b) {

@@ -53,9 +53,29 @@ class Value {
   // Valid only for range kinds.
   double bound() const { return bound_; }
 
+  // For literals: the literal parsed as a number, cached at construction so
+  // range matching never re-runs strtod per candidate. Nullopt when the
+  // literal is not numeric (or for non-literal kinds).
+  std::optional<double> numeric() const {
+    if (kind_ == Kind::kLiteral && has_numeric_) {
+      return numeric_;
+    }
+    return std::nullopt;
+  }
+
   // True if a concrete advertised literal satisfies this (query) value.
   // Range kinds require the advertised literal to parse as a number.
   bool Accepts(const std::string& advertised_literal) const;
+
+  // As Accepts, against an advertised Value: literals compare exactly; range
+  // kinds use the advertisement's cached numeric (no re-parse). An advertised
+  // wildcard satisfies everything; an advertised range satisfies nothing.
+  bool AcceptsValue(const Value& advertised) const;
+
+  // True when an advertised value with cached numeric `n` (absent = not
+  // numeric) satisfies this value — the integer-compare core of range
+  // matching shared by the tree and the matcher.
+  bool AcceptsNumeric(std::optional<double> n) const;
 
   // Token as it appears after the attribute in the text form, including the
   // operator for ranges (the `=` separator is owned by the serializer).
@@ -67,7 +87,14 @@ class Value {
   Kind kind_;
   std::string literal_;  // literal text, or textual bound for ranges
   double bound_ = 0.0;
+  double numeric_ = 0.0;      // literal parsed as a number (kLiteral only)
+  bool has_numeric_ = false;  // whether numeric_ is valid
 };
+
+// Converts a stored value token back into a Value ("*" -> wildcard, "<5" ->
+// range, anything else -> literal). Shared by the name-tree, the compiled
+// name decompiler, and the wire codecs.
+Value ValueFromToken(const std::string& token);
 
 // Attempts to parse a value literal as a number (used by range matching and
 // by intentional-anycast metric comparison). Returns nullopt on failure.

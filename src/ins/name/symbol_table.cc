@@ -1,0 +1,165 @@
+#include "ins/name/symbol_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ins {
+
+namespace {
+constexpr size_t kInitialCapacity = 256;
+constexpr uint64_t kEmptySlot = 0;
+
+uint64_t PackSlot(uint32_t hash, SymbolId id) {
+  return (static_cast<uint64_t>(hash) << 32) | (static_cast<uint64_t>(id) + 1);
+}
+}  // namespace
+
+SymbolTable::Table::Table(size_t cap)
+    : capacity(cap), slots(std::make_unique<std::atomic<uint64_t>[]>(cap)) {
+  for (size_t i = 0; i < cap; ++i) {
+    slots[i].store(kEmptySlot, std::memory_order_relaxed);
+  }
+}
+
+SymbolTable::SymbolTable() {
+  auto t = std::make_unique<Table>(kInitialCapacity);
+  table_.store(t.get(), std::memory_order_release);
+  all_tables_.push_back(std::move(t));
+}
+
+SymbolTable::~SymbolTable() {
+  const size_t n = count_.load(std::memory_order_acquire);
+  for (size_t c = 0; c * kChunkSize < n; ++c) {
+    delete[] chunks_[c].load(std::memory_order_acquire);
+  }
+}
+
+uint32_t SymbolTable::HashString(std::string_view s) {
+  // FNV-1a, folded to 32 bits; zero is remapped so a packed slot of an
+  // interned symbol can never equal kEmptySlot.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  uint32_t folded = static_cast<uint32_t>(h ^ (h >> 32));
+  return folded == 0 ? 1 : folded;
+}
+
+SymbolId SymbolTable::FindIn(const Table& t, std::string_view s, uint32_t hash) const {
+  const size_t mask = t.capacity - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const uint64_t v = t.slots[i].load(std::memory_order_acquire);
+    if (v == kEmptySlot) {
+      return kInvalidSymbol;
+    }
+    if (static_cast<uint32_t>(v >> 32) == hash) {
+      const SymbolId id = static_cast<SymbolId>(v & 0xFFFFFFFFull) - 1;
+      if (NameOf(id) == s) {
+        return id;
+      }
+    }
+  }
+}
+
+SymbolId SymbolTable::Find(std::string_view s) const {
+  const Table* t = table_.load(std::memory_order_acquire);
+  return FindIn(*t, s, HashString(s));
+}
+
+std::string_view SymbolTable::NameOf(SymbolId id) const {
+  const std::string* chunk = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  assert(chunk != nullptr && "NameOf on an unpublished SymbolId");
+  return chunk[id & (kChunkSize - 1)];
+}
+
+void SymbolTable::Grow() {
+  const Table* old_table = table_.load(std::memory_order_relaxed);
+  auto grown = std::make_unique<Table>(old_table->capacity * 2);
+  const size_t mask = grown->capacity - 1;
+  for (size_t i = 0; i < old_table->capacity; ++i) {
+    const uint64_t v = old_table->slots[i].load(std::memory_order_relaxed);
+    if (v == kEmptySlot) {
+      continue;
+    }
+    const uint32_t hash = static_cast<uint32_t>(v >> 32);
+    size_t j = hash & mask;
+    while (grown->slots[j].load(std::memory_order_relaxed) != kEmptySlot) {
+      j = (j + 1) & mask;
+    }
+    grown->slots[j].store(v, std::memory_order_relaxed);
+  }
+  // Publish fully built; the old table is retired but kept alive for readers
+  // still probing it (they simply see a slightly stale snapshot).
+  table_.store(grown.get(), std::memory_order_release);
+  all_tables_.push_back(std::move(grown));
+}
+
+SymbolId SymbolTable::Intern(std::string_view s) {
+  const uint32_t hash = HashString(s);
+  // Fast path: already interned (lock-free probe).
+  SymbolId id = FindIn(*table_.load(std::memory_order_acquire), s, hash);
+  if (id != kInvalidSymbol) {
+    return id;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-check under the lock: another writer may have interned it.
+  Table* t = table_.load(std::memory_order_relaxed);
+  id = FindIn(*t, s, hash);
+  if (id != kInvalidSymbol) {
+    return id;
+  }
+
+  const size_t n = count_.load(std::memory_order_relaxed);
+  assert(n < kMaxChunks * kChunkSize && "symbol table exhausted");
+  if (n + 1 > t->capacity - t->capacity / 4) {  // keep load factor <= 3/4
+    Grow();
+    t = table_.load(std::memory_order_relaxed);
+  }
+
+  // Write the string bytes first, then publish the slot (release) so any
+  // reader that sees the slot also sees the completed string.
+  const size_t chunk_idx = n >> kChunkBits;
+  std::string* chunk = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new std::string[kChunkSize];
+    chunks_[chunk_idx].store(chunk, std::memory_order_release);
+  }
+  chunk[n & (kChunkSize - 1)] = std::string(s);
+
+  id = static_cast<SymbolId>(n);
+  const size_t mask = t->capacity - 1;
+  size_t i = hash & mask;
+  while (t->slots[i].load(std::memory_order_relaxed) != kEmptySlot) {
+    i = (i + 1) & mask;
+  }
+  t->slots[i].store(PackSlot(hash, id), std::memory_order_release);
+  count_.store(n + 1, std::memory_order_release);
+  return id;
+}
+
+size_t SymbolTable::MemoryBytes() const {
+  size_t bytes = sizeof(SymbolTable);
+  const size_t n = count_.load(std::memory_order_acquire);
+  for (size_t c = 0; c * kChunkSize < n; ++c) {
+    const std::string* chunk = chunks_[c].load(std::memory_order_acquire);
+    if (chunk == nullptr) {
+      continue;
+    }
+    bytes += kChunkSize * sizeof(std::string);
+    const size_t in_chunk = std::min(kChunkSize, n - c * kChunkSize);
+    for (size_t i = 0; i < in_chunk; ++i) {
+      if (chunk[i].capacity() > sizeof(std::string)) {  // beyond SSO
+        bytes += chunk[i].capacity();
+      }
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : all_tables_) {
+    bytes += sizeof(Table) + t->capacity * sizeof(std::atomic<uint64_t>);
+  }
+  return bytes;
+}
+
+}  // namespace ins

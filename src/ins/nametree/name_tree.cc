@@ -5,34 +5,18 @@
 #include <deque>
 #include <functional>
 #include <sstream>
+#include <unordered_map>
 
 namespace ins {
 
-Value ValueFromToken(const std::string& token) {
-  if (token == "*") {
-    return Value::Wildcard();
+NameTree::NameTree(Options options) : options_(std::move(options)) {
+  if (options_.symbols != nullptr) {
+    symbols_ = options_.symbols;
+    owns_symbols_ = false;
+  } else {
+    symbols_ = std::make_shared<SymbolTable>();
+    owns_symbols_ = true;
   }
-  if (!token.empty() && (token[0] == '<' || token[0] == '>')) {
-    size_t skip = 1;
-    bool or_equal = token.size() > 1 && token[1] == '=';
-    if (or_equal) {
-      skip = 2;
-    }
-    std::optional<double> bound = ParseNumeric(std::string_view(token).substr(skip));
-    if (bound.has_value()) {
-      Value::Kind kind;
-      if (token[0] == '<') {
-        kind = or_equal ? Value::Kind::kLessEqual : Value::Kind::kLess;
-      } else {
-        kind = or_equal ? Value::Kind::kGreaterEqual : Value::Kind::kGreater;
-      }
-      return Value::Range(kind, *bound);
-    }
-  }
-  return Value::Literal(token);
-}
-
-NameTree::NameTree(Options options) : options_(options) {
   root_.parent_attr = nullptr;
 }
 
@@ -41,51 +25,132 @@ NameTree::~NameTree() = default;
 // ---------------------------------------------------------------------------
 // Candidate sets
 
-void NameTree::CandidateSet::IntersectWith(std::vector<const NameRecord*> other) {
-  std::sort(other.begin(), other.end());
-  other.erase(std::unique(other.begin(), other.end()), other.end());
-  if (universal) {
-    universal = false;
-    items = std::move(other);
+namespace {
+
+// Tombstone for erased set slots; never a valid NameRecord pointer.
+const NameRecord* const kErasedSlot = reinterpret_cast<const NameRecord*>(1);
+
+inline size_t PtrSlot(const NameRecord* p, size_t mask) {
+  const uint64_t h = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(p)) *
+                     UINT64_C(0x9e3779b97f4a7c15);
+  return static_cast<size_t>(h >> 32) & mask;
+}
+
+}  // namespace
+
+void NameTree::IntersectWith(CandidateSet* s, const std::vector<const NameRecord*>* other,
+                             LookupScratch* scratch) {
+  // Size the stamped set for this round; bumping the generation empties it
+  // without touching memory, so steady-state cost is pure probes.
+  const size_t need = std::max(s->universal ? size_t{0} : s->items->size(), other->size());
+  size_t want = 64;
+  while (want < 2 * need) {
+    want <<= 1;
+  }
+  if (want > scratch->set_slots_.size()) {
+    scratch->set_slots_.assign(want, LookupScratch::SetSlot{});
+    scratch->set_gen_ = 0;
+  }
+  auto* slots = scratch->set_slots_.data();
+  const size_t mask = scratch->set_slots_.size() - 1;
+  const uint64_t gen = ++scratch->set_gen_;
+
+  auto insert = [&](const NameRecord* p) {  // true when newly inserted
+    size_t i = PtrSlot(p, mask);
+    while (true) {
+      auto& slot = slots[i];
+      if (slot.gen != gen) {
+        slot.gen = gen;
+        slot.ptr = p;
+        return true;
+      }
+      if (slot.ptr == p) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+  };
+
+  if (s->universal) {
+    // First constraint: adopt `other`, collapsing duplicate terminals.
+    s->universal = false;
+    s->items->clear();
+    for (const NameRecord* p : *other) {
+      if (insert(p)) {
+        s->items->push_back(p);
+      }
+    }
     return;
   }
-  std::vector<const NameRecord*> out;
-  out.reserve(std::min(items.size(), other.size()));
-  std::set_intersection(items.begin(), items.end(), other.begin(), other.end(),
-                        std::back_inserter(out));
-  items = std::move(out);
+
+  std::vector<const NameRecord*>& items = *s->items;
+  if (items.empty()) {
+    return;
+  }
+  for (const NameRecord* p : items) {
+    insert(p);
+  }
+  // Erase-on-match keeps each record at most once even when `other` holds
+  // duplicates; matches compact into the front of `items`.
+  auto erase = [&](const NameRecord* p) {  // true when present and erased
+    size_t i = PtrSlot(p, mask);
+    while (true) {
+      auto& slot = slots[i];
+      if (slot.gen != gen) {
+        return false;
+      }
+      if (slot.ptr == p) {
+        slot.ptr = kErasedSlot;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+  };
+  size_t write = 0;
+  for (const NameRecord* p : *other) {
+    if (erase(p)) {
+      items[write++] = p;
+    }
+  }
+  items.resize(write);
 }
 
 // ---------------------------------------------------------------------------
 // Graft / ungraft
 
-void NameTree::Graft(ValueNode* parent, const std::vector<AvPair>& pairs, NameRecord* rec) {
-  for (const AvPair& p : pairs) {
-    std::unique_ptr<AttributeNode>& attr_slot = parent->attributes[p.attribute];
+void NameTree::Graft(ValueNode* parent, const CompiledName& name, uint32_t begin,
+                     uint32_t count, NameRecord* rec) {
+  const std::vector<CompiledAvNode>& nodes = name.nodes();
+  for (uint32_t i = begin; i < begin + count; ++i) {
+    const CompiledAvNode& n = nodes[i];
+    assert(n.attribute != kInvalidSymbol && n.token != kInvalidSymbol &&
+           "grafting requires a ForUpdate-compiled name");
+    std::unique_ptr<AttributeNode>& attr_slot = parent->attributes.FindOrInsert(n.attribute);
     if (attr_slot == nullptr) {
       attr_slot = std::make_unique<AttributeNode>();
-      attr_slot->attribute = p.attribute;
+      attr_slot->attribute = n.attribute;
       attr_slot->parent = parent;
     }
     AttributeNode* ta = attr_slot.get();
 
-    const std::string token = p.value.ToToken();
-    std::unique_ptr<ValueNode>& value_slot = ta->values[token];
+    std::unique_ptr<ValueNode>& value_slot = ta->values.FindOrInsert(n.token);
     if (value_slot == nullptr) {
       value_slot = std::make_unique<ValueNode>();
-      value_slot->value = token;
+      value_slot->token = n.token;
+      value_slot->has_number = n.has_number;
+      value_slot->number = n.number;
       value_slot->parent_attr = ta;
     }
     ValueNode* tv = value_slot.get();
 
-    if (p.children.empty()) {
+    if (n.child_count == 0) {
       tv->records.push_back(rec);
       rec->terminals_.push_back(tv);
       if (options_.cache_subtree_records) {
         AddToAncestorCaches(tv, rec);
       }
     } else {
-      Graft(tv, p.children, rec);
+      Graft(tv, name, n.child_begin, n.child_count, rec);
     }
   }
 }
@@ -131,12 +196,12 @@ void NameTree::Ungraft(NameRecord* rec) {
 void NameTree::PruneUpward(ValueNode* v) {
   while (v != &root_ && v->records.empty() && v->attributes.empty()) {
     AttributeNode* ta = v->parent_attr;
-    ta->values.erase(v->value);  // destroys *v
+    ta->values.Erase(v->token);  // destroys *v
     if (!ta->values.empty()) {
       return;
     }
     ValueNode* up = ta->parent;
-    up->attributes.erase(ta->attribute);  // destroys *ta
+    up->attributes.Erase(ta->attribute);  // destroys *ta
     v = up;
   }
 }
@@ -145,6 +210,12 @@ void NameTree::PruneUpward(ValueNode* v) {
 // Upsert
 
 NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRecord& info) {
+  return Upsert(name, CompiledName::ForUpdate(name, symbols_.get()), info);
+}
+
+NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name,
+                                         const CompiledName& compiled,
+                                         const NameRecord& info) {
   assert(!name.empty() && "cannot advertise an empty name-specifier");
   auto it = records_.find(info.announcer);
   if (it == records_.end()) {
@@ -152,7 +223,7 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRe
     rec->terminals_.clear();
     NameRecord* raw = rec.get();
     records_.emplace(info.announcer, std::move(rec));
-    Graft(&root_, name.roots(), raw);
+    Graft(&root_, compiled, 0, compiled.root_count(), raw);
     PushExpiry(raw->expires, raw->announcer);
     return {UpsertOutcome::kNew, raw};
   }
@@ -177,7 +248,7 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name, const NameRe
 
   if (renamed) {
     Ungraft(rec);
-    Graft(&root_, name.roots(), rec);
+    Graft(&root_, compiled, 0, compiled.root_count(), rec);
     return {UpsertOutcome::kRenamed, rec};
   }
   return {changed ? UpsertOutcome::kChanged : UpsertOutcome::kRefreshed, rec};
@@ -193,81 +264,111 @@ void NameTree::SubtreeRecords(const ValueNode* node,
     return;
   }
   out->insert(out->end(), node->records.begin(), node->records.end());
-  for (const auto& [attr, child] : node->attributes) {
+  node->attributes.ForEach([&](SymbolId, const std::unique_ptr<AttributeNode>& child) {
     SubtreeRecords(child.get(), out);
-  }
+  });
 }
 
 void NameTree::SubtreeRecords(const AttributeNode* node,
                               std::vector<const NameRecord*>* out) const {
-  for (const auto& [val, child] : node->values) {
+  node->values.ForEach([&](SymbolId, const std::unique_ptr<ValueNode>& child) {
     SubtreeRecords(child.get(), out);
-  }
+  });
 }
 
-void NameTree::LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
-                           CandidateSet* s) const {
-  for (const AvPair& p : pairs) {
+void NameTree::LookupLevel(const ValueNode* node, const CompiledName& query, uint32_t begin,
+                           uint32_t count, CandidateSet* s, LookupScratch* scratch) const {
+  const std::vector<CompiledAvNode>& qnodes = query.nodes();
+  for (uint32_t qi = begin; qi < begin + count; ++qi) {
+    const CompiledAvNode& q = qnodes[qi];
     if (s->Empty()) {
       return;  // intersection can only shrink; nothing left to find
     }
-    auto ait = node->attributes.find(p.attribute);
-    if (ait == node->attributes.end()) {
-      // LOOKUP-NAME: `if Ta = null then continue` — omitted attributes in
-      // advertisements are wildcards, so an attribute unknown to the tree
-      // does not constrain the candidate set.
+    // An attribute never interned probes absent here exactly like an
+    // attribute this tree has not grafted: `if Ta = null then continue`.
+    const std::unique_ptr<AttributeNode>* attr_slot = node->attributes.Find(q.attribute);
+    if (attr_slot == nullptr) {
       continue;
     }
-    const AttributeNode* ta = ait->second.get();
+    const AttributeNode* ta = attr_slot->get();
 
-    if (p.value.is_wildcard()) {
+    if (q.kind == Value::Kind::kWildcard) {
       // Union of all records in the subtree rooted at the attribute-node.
-      std::vector<const NameRecord*> sub;
-      SubtreeRecords(ta, &sub);
-      s->IntersectWith(std::move(sub));
+      std::vector<const NameRecord*>* sub = scratch->Acquire();
+      SubtreeRecords(ta, sub);
+      IntersectWith(s, sub, scratch);
       continue;
     }
 
-    if (p.value.is_range()) {
+    if (q.kind != Value::Kind::kLiteral) {
       // Range-selection extension: like a wildcard filtered to the value
-      // children whose token numerically satisfies the constraint.
-      std::vector<const NameRecord*> sub;
-      for (const auto& [token, child] : ta->values) {
-        if (p.value.Accepts(token)) {
-          SubtreeRecords(child.get(), &sub);
+      // children whose cached numeric satisfies the constraint — integer
+      // compares against graft-time parses, no strtod per candidate.
+      std::vector<const NameRecord*>* sub = scratch->Acquire();
+      ta->values.ForEach([&](SymbolId, const std::unique_ptr<ValueNode>& child) {
+        if (!child->has_number) {
+          return;  // non-numeric token: a range matches nothing here
         }
-      }
-      s->IntersectWith(std::move(sub));
+        const double n = child->number;
+        bool ok = false;
+        switch (q.kind) {
+          case Value::Kind::kLess:
+            ok = n < q.number;
+            break;
+          case Value::Kind::kLessEqual:
+            ok = n <= q.number;
+            break;
+          case Value::Kind::kGreater:
+            ok = n > q.number;
+            break;
+          case Value::Kind::kGreaterEqual:
+            ok = n >= q.number;
+            break;
+          default:
+            break;
+        }
+        if (ok) {
+          SubtreeRecords(child.get(), sub);
+        }
+      });
+      IntersectWith(s, sub, scratch);
       continue;
     }
 
-    auto vit = ta->values.find(p.value.literal());
-    if (vit == ta->values.end()) {
+    // Literal: one integer-keyed probe (an uninterned query token — value
+    // advertised nowhere — probes absent and correctly matches nothing).
+    const std::unique_ptr<ValueNode>* value_slot = ta->values.Find(q.token);
+    if (value_slot == nullptr) {
       // The advertised values for this attribute all differ: no match.
-      s->IntersectWith({});
+      if (s->universal) {
+        s->universal = false;
+      }
+      s->items->clear();
       return;
     }
-    const ValueNode* tv = vit->second.get();
+    const ValueNode* tv = value_slot->get();
 
-    if (p.children.empty()) {
+    if (q.child_count == 0) {
       // Query chain ends here: everything at or below this value matches
       // (interior value-nodes "correspond to" all records beneath them).
-      std::vector<const NameRecord*> sub;
-      SubtreeRecords(tv, &sub);
-      s->IntersectWith(std::move(sub));
+      std::vector<const NameRecord*>* sub = scratch->Acquire();
+      SubtreeRecords(tv, sub);
+      IntersectWith(s, sub, scratch);
     } else if (tv->attributes.empty()) {
       // Tree chain ends here: the advertisements' omitted descendants are
       // wildcards, so the records at this leaf satisfy the deeper query.
-      s->IntersectWith({tv->records.begin(), tv->records.end()});
+      std::vector<const NameRecord*>* sub = scratch->Acquire();
+      sub->assign(tv->records.begin(), tv->records.end());
+      IntersectWith(s, sub, scratch);
     } else {
       // Recurse; the recursive result unions in the records attached at the
       // subtree root (advertisement chains that end at `tv`).
       CandidateSet sub;
-      LookupLevel(tv, p.children, &sub);
+      sub.items = scratch->Acquire();
+      LookupLevel(tv, query, q.child_begin, q.child_count, &sub, scratch);
       if (!sub.universal) {
-        std::vector<const NameRecord*> merged = std::move(sub.items);
-        merged.insert(merged.end(), tv->records.begin(), tv->records.end());
-        s->IntersectWith(std::move(merged));
+        sub.items->insert(sub.items->end(), tv->records.begin(), tv->records.end());
+        IntersectWith(s, sub.items, scratch);
       }
       // A universal sub-result means no constraint applied below; S ∩
       // (universal ∪ records) = S.
@@ -276,13 +377,24 @@ void NameTree::LookupLevel(const ValueNode* node, const std::vector<AvPair>& pai
 }
 
 std::vector<const NameRecord*> NameTree::Lookup(const NameSpecifier& query) const {
+  thread_local CompiledName compiled;  // reused node capacity across lookups
+  CompiledName::ForQueryInto(query, *symbols_, &compiled);
+  return Lookup(compiled);
+}
+
+std::vector<const NameRecord*> NameTree::Lookup(const CompiledName& query,
+                                                LookupScratch* scratch) const {
+  thread_local LookupScratch tls_scratch;
+  LookupScratch* sc = scratch != nullptr ? scratch : &tls_scratch;
+  sc->Reset();
+
   CandidateSet s;
-  LookupLevel(&root_, query.roots(), &s);
-  std::vector<const NameRecord*> out;
+  s.items = sc->Acquire();
+  LookupLevel(&root_, query, 0, query.root_count(), &s, sc);
   if (s.universal) {
     return AllRecords();
   }
-  out = std::move(s.items);
+  std::vector<const NameRecord*> out(s.items->begin(), s.items->end());
   std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
     return a->announcer < b->announcer;
   });
@@ -338,7 +450,9 @@ NameSpecifier NameTree::ExtractName(const NameRecord* record) const {
           }
           return;
         }
-        ExtractedPair* pair = ex.Alloc(tv->parent_attr->attribute, tv->value);
+        ExtractedPair* pair =
+            ex.Alloc(std::string(symbols_->NameOf(tv->parent_attr->attribute)),
+                     std::string(symbols_->NameOf(tv->token)));
         ptr.emplace(tv, pair);
         if (fragment != nullptr) {
           pair->children.push_back(fragment);
@@ -436,25 +550,22 @@ NameTree::Stats NameTree::ComputeStats() const {
   Stats st;
   st.records = records_.size();
 
-  // Estimated per-element overhead of the node-based hash maps (bucket entry
-  // + list node + pointers). Constants match libstdc++'s unordered_map.
-  constexpr size_t kHashSlot = 56;
+  // Node strings live in the symbol table (counted below, once); per node we
+  // charge the struct itself plus its flat-map and vector footprints.
   constexpr size_t kMapNode = 72;  // std::map red-black node overhead
 
   std::function<void(const ValueNode&)> walk_value = [&](const ValueNode& v) {
     st.value_nodes += 1;
-    st.bytes += sizeof(ValueNode) + v.value.capacity() +
+    st.bytes += sizeof(ValueNode) + v.attributes.MemoryBytes() +
                 v.records.capacity() * sizeof(NameRecord*) +
                 v.subtree_cache.capacity() * sizeof(const NameRecord*);
-    for (const auto& [attr, child] : v.attributes) {
+    v.attributes.ForEach([&](SymbolId, const std::unique_ptr<AttributeNode>& child) {
       st.attribute_nodes += 1;
-      st.bytes += kHashSlot + attr.capacity();  // map key duplicates the name
-      st.bytes += sizeof(AttributeNode) + child->attribute.capacity();
-      for (const auto& [val, grandchild] : child->values) {
-        st.bytes += kHashSlot + val.capacity();
+      st.bytes += sizeof(AttributeNode) + child->values.MemoryBytes();
+      child->values.ForEach([&](SymbolId, const std::unique_ptr<ValueNode>& grandchild) {
         walk_value(*grandchild);
-      }
-    }
+      });
+    });
   };
   walk_value(root_);
   st.value_nodes -= 1;  // do not count the pseudo-root
@@ -469,16 +580,41 @@ NameTree::Stats NameTree::ComputeStats() const {
   }
   st.expiry_heap_entries = expiry_heap_.size();
   st.bytes += expiry_heap_.capacity() * sizeof(expiry_heap_[0]);
+
+  // A privately owned intern table is part of this tree's footprint; a
+  // shared one is accounted once by the owning ShardedNameTree.
+  if (owns_symbols_) {
+    st.symbol_bytes = symbols_->MemoryBytes();
+    st.bytes += st.symbol_bytes;
+  }
   return st;
 }
 
 std::string NameTree::DebugString() const {
   std::ostringstream os;
+  // Sort children by their resolved strings so the rendering is stable
+  // regardless of flat-map slot order.
   std::function<void(const ValueNode&, int)> walk = [&](const ValueNode& v, int indent) {
-    for (const auto& [attr, child] : v.attributes) {
-      os << std::string(static_cast<size_t>(indent) * 2, ' ') << attr << ":\n";
-      for (const auto& [val, grandchild] : child->values) {
-        os << std::string(static_cast<size_t>(indent) * 2 + 2, ' ') << "= " << val;
+    std::vector<const AttributeNode*> attrs;
+    v.attributes.ForEach([&](SymbolId, const std::unique_ptr<AttributeNode>& child) {
+      attrs.push_back(child.get());
+    });
+    std::sort(attrs.begin(), attrs.end(), [&](const AttributeNode* a, const AttributeNode* b) {
+      return symbols_->NameOf(a->attribute) < symbols_->NameOf(b->attribute);
+    });
+    for (const AttributeNode* child : attrs) {
+      os << std::string(static_cast<size_t>(indent) * 2, ' ')
+         << symbols_->NameOf(child->attribute) << ":\n";
+      std::vector<const ValueNode*> vals;
+      child->values.ForEach([&](SymbolId, const std::unique_ptr<ValueNode>& grandchild) {
+        vals.push_back(grandchild.get());
+      });
+      std::sort(vals.begin(), vals.end(), [&](const ValueNode* a, const ValueNode* b) {
+        return symbols_->NameOf(a->token) < symbols_->NameOf(b->token);
+      });
+      for (const ValueNode* grandchild : vals) {
+        os << std::string(static_cast<size_t>(indent) * 2 + 2, ' ') << "= "
+           << symbols_->NameOf(grandchild->token);
         if (!grandchild->records.empty()) {
           os << "  (" << grandchild->records.size() << " record"
              << (grandchild->records.size() == 1 ? "" : "s") << ")";
@@ -496,52 +632,76 @@ Status NameTree::CheckInvariants() const {
   // Every record's terminals must point back at value-nodes that list it.
   std::unordered_map<const ValueNode*, size_t> seen;
   std::function<Status(const ValueNode&)> walk = [&](const ValueNode& v) -> Status {
-    for (const auto& [attr, child] : v.attributes) {
-      if (child->attribute != attr) {
-        return InternalError("attribute-node key mismatch: " + attr);
+    Status result = Status::Ok();
+    v.attributes.ForEach([&](SymbolId key, const std::unique_ptr<AttributeNode>& child) {
+      if (!result.ok()) {
+        return;
+      }
+      const std::string attr(symbols_->NameOf(child->attribute));
+      if (child->attribute != key) {
+        result = InternalError("attribute-node key mismatch: " + attr);
+        return;
       }
       if (child->parent != &v) {
-        return InternalError("attribute-node parent pointer broken at " + attr);
+        result = InternalError("attribute-node parent pointer broken at " + attr);
+        return;
       }
       if (child->values.empty()) {
-        return InternalError("empty attribute-node not pruned: " + attr);
+        result = InternalError("empty attribute-node not pruned: " + attr);
+        return;
       }
-      for (const auto& [val, grandchild] : child->values) {
-        if (grandchild->value != val) {
-          return InternalError("value-node key mismatch: " + val);
+      child->values.ForEach([&](SymbolId vkey, const std::unique_ptr<ValueNode>& grandchild) {
+        if (!result.ok()) {
+          return;
+        }
+        const std::string val(symbols_->NameOf(grandchild->token));
+        if (grandchild->token != vkey) {
+          result = InternalError("value-node key mismatch: " + val);
+          return;
         }
         if (grandchild->parent_attr != child.get()) {
-          return InternalError("value-node parent pointer broken at " + val);
+          result = InternalError("value-node parent pointer broken at " + val);
+          return;
         }
         if (grandchild->records.empty() && grandchild->attributes.empty()) {
-          return InternalError("empty value-node not pruned: " + val);
+          result = InternalError("empty value-node not pruned: " + val);
+          return;
+        }
+        // The graft-time numeric cache must agree with a fresh parse.
+        std::optional<double> parsed = ParseNumeric(val);
+        if (parsed.has_value() != grandchild->has_number ||
+            (parsed.has_value() && *parsed != grandchild->number)) {
+          result = InternalError("stale cached numeric at value " + val);
+          return;
         }
         seen[grandchild.get()] = grandchild->records.size();
         if (options_.cache_subtree_records) {
           if (!std::is_sorted(grandchild->subtree_cache.begin(),
                               grandchild->subtree_cache.end())) {
-            return InternalError("subtree cache not sorted at " + val);
+            result = InternalError("subtree cache not sorted at " + val);
+            return;
           }
           std::vector<const NameRecord*> expected;
           // Collect terminals the slow way and compare as multisets.
           std::function<void(const ValueNode&)> gather = [&](const ValueNode& node) {
             expected.insert(expected.end(), node.records.begin(), node.records.end());
-            for (const auto& [a2, c2] : node.attributes) {
-              for (const auto& [v2, g2] : c2->values) {
-                gather(*g2);
-              }
-            }
+            node.attributes.ForEach(
+                [&](SymbolId, const std::unique_ptr<AttributeNode>& c2) {
+                  c2->values.ForEach(
+                      [&](SymbolId, const std::unique_ptr<ValueNode>& g2) { gather(*g2); });
+                });
           };
           gather(*grandchild);
           std::sort(expected.begin(), expected.end());
           if (expected != grandchild->subtree_cache) {
-            return InternalError("subtree cache out of sync at " + val);
+            result = InternalError("subtree cache out of sync at " + val);
+            return;
           }
         }
-        INS_RETURN_IF_ERROR(walk(*grandchild));
-      }
-    }
-    return Status::Ok();
+        result = walk(*grandchild);
+      });
+    });
+    return result;
   };
   INS_RETURN_IF_ERROR(walk(root_));
 

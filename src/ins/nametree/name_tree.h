@@ -15,12 +15,21 @@
 //                    its leaf value-nodes and grafting onto already-extracted
 //                    fragments (Figure 6), used when sending updates.
 //
+// Hot-path data layout: attribute and value strings are interned once into a
+// SymbolTable (name/symbol_table.h); tree nodes key their children by u32
+// SymbolId in small-size-optimized flat maps (symbol_map.h), and specifiers
+// are compiled (name/compiled_name.h) once per update or per store query.
+// The asymptotics are the paper's; the constant factor per probe drops from
+// a std::string hash + node-based bucket chase to an integer compare over a
+// contiguous array. Range matching compares against a numeric cached on the
+// value-node at graft time instead of re-parsing the token per candidate.
+//
 // Soft state: records carry an expiry; ExpireBefore() sweeps them out and
 // prunes empty branches. Expiries are indexed in a lazy min-heap so a sweep
 // costs O(expired + stale entries popped), not a walk of the whole tree —
 // expiry_scan_visits() exposes the work done so tests can pin the bound.
-// The tree also accounts its memory precisely (heap included), which
-// reproduces the paper's Figure 13.
+// The tree also accounts its memory precisely (heap included, symbol table
+// and flat-map footprints counted), which reproduces the paper's Figure 13.
 
 #ifndef INS_NAMETREE_NAME_TREE_H_
 #define INS_NAMETREE_NAME_TREE_H_
@@ -29,13 +38,15 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "ins/common/clock.h"
 #include "ins/common/status.h"
+#include "ins/name/compiled_name.h"
 #include "ins/name/name_specifier.h"
+#include "ins/name/symbol_table.h"
 #include "ins/nametree/name_record.h"
+#include "ins/nametree/symbol_map.h"
 
 namespace ins {
 
@@ -50,6 +61,11 @@ class NameTree {
     // updates, more memory — quantified in bench_ablation_subtree_cache).
     // The default (off) collects on demand.
     bool cache_subtree_records = false;
+    // Intern table for attribute/value tokens. Null (the default): the tree
+    // owns a private table. ShardedNameTree passes one shared table to every
+    // shard and both left-right sides, so a name compiled once is valid
+    // against all of them (the table is append-only and ids are stable).
+    std::shared_ptr<SymbolTable> symbols;
   };
 
   NameTree() : NameTree(Options{}) {}
@@ -58,6 +74,47 @@ class NameTree {
 
   NameTree(const NameTree&) = delete;
   NameTree& operator=(const NameTree&) = delete;
+
+  // The intern table this tree grafts against. Compile queries with
+  // CompiledName::ForQuery(query, tree.symbols()) to reuse across calls.
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_.get(); }
+  std::shared_ptr<SymbolTable> shared_symbols() const { return symbols_; }
+
+  // Reusable per-lookup scratch: the intersection working vectors of
+  // LOOKUP-NAME, pooled so repeated queries allocate nothing in steady
+  // state. Lookup() without one uses a thread-local instance; callers with
+  // their own threading discipline (bench loops, shard fan-out slots) can
+  // pass one explicitly. Not thread-safe; contents are transient per call.
+  class LookupScratch {
+   public:
+    void Reset() { used_ = 0; }
+    std::vector<const NameRecord*>* Acquire() {
+      if (used_ == pool_.size()) {
+        pool_.push_back(std::make_unique<std::vector<const NameRecord*>>());
+      }
+      std::vector<const NameRecord*>* v = pool_[used_++].get();
+      v->clear();
+      return v;
+    }
+
+   private:
+    friend class NameTree;
+
+    // Open-addressing pointer-set scratch backing IntersectWith: generation
+    // stamping makes "clear" O(1), so intersecting candidate lists costs one
+    // linear pass with no sort and no allocation in steady state.
+    struct SetSlot {
+      const NameRecord* ptr = nullptr;
+      uint64_t gen = 0;
+    };
+    std::vector<SetSlot> set_slots_;
+    uint64_t set_gen_ = 0;
+
+    // unique_ptr elements keep acquired pointers stable across pool growth.
+    std::vector<std::unique_ptr<std::vector<const NameRecord*>>> pool_;
+    size_t used_ = 0;
+  };
 
   // Outcome of merging an advertisement.
   struct UpsertOutcome {
@@ -77,6 +134,12 @@ class NameTree {
   // a version lower than the stored one are ignored.
   UpsertOutcome Upsert(const NameSpecifier& name, const NameRecord& info);
 
+  // As above with the name already compiled (CompiledName::ForUpdate against
+  // this tree's symbols()). The sharded store compiles once per entry and
+  // replays the same compiled name on both left-right sides.
+  UpsertOutcome Upsert(const NameSpecifier& name, const CompiledName& compiled,
+                       const NameRecord& info);
+
   // LOOKUP-NAME: all records matching the query. Results are sorted by
   // AnnouncerId for deterministic output. An empty query matches everything.
   //
@@ -91,6 +154,12 @@ class NameTree {
   // advertisements are schema-complete at each position; otherwise Lookup()
   // returns a subset. Property tests pin down both relationships.
   std::vector<const NameRecord*> Lookup(const NameSpecifier& query) const;
+
+  // As above with the query already compiled (ForQuery against symbols());
+  // the per-store-operation path: compile once, run per shard. A null
+  // scratch uses the thread-local pool.
+  std::vector<const NameRecord*> Lookup(const CompiledName& query,
+                                        LookupScratch* scratch = nullptr) const;
 
   // GET-NAME: reconstructs the name-specifier of a record owned by this tree.
   NameSpecifier ExtractName(const NameRecord* record) const;
@@ -135,6 +204,10 @@ class NameTree {
     size_t records = 0;
     size_t expiry_heap_entries = 0;  // live + stale entries in the min-heap
     size_t bytes = 0;  // estimated resident bytes of the whole structure
+    // Portion of `bytes` that is the intern table. Zero when the table is
+    // shared (ShardedNameTree accounts it once at the store level instead,
+    // so Figure 13 totals never double-count it).
+    size_t symbol_bytes = 0;
   };
   Stats ComputeStats() const;
 
@@ -142,8 +215,8 @@ class NameTree {
   std::string DebugString() const;
 
   // Verifies internal invariants (parent pointers, terminal back-pointers,
-  // sorted sibling order); used by tests. Returns an error describing the
-  // first violation found.
+  // flat-map key consistency, cached numerics); used by tests. Returns an
+  // error describing the first violation found.
   Status CheckInvariants() const;
 
  private:
@@ -151,17 +224,21 @@ class NameTree {
   struct ValueNode;
 
   struct AttributeNode {
-    std::string attribute;
+    SymbolId attribute = kInvalidSymbol;
     ValueNode* parent;  // owning value-node (never null; root is a ValueNode)
-    // Hash-based child lookup: the paper's Θ(1) find of a value.
-    std::unordered_map<std::string, std::unique_ptr<ValueNode>> values;
+    // Interned-key flat child map: the paper's Θ(1) find of a value.
+    SymbolMap<std::unique_ptr<ValueNode>> values;
   };
 
   struct ValueNode {
-    std::string value;          // empty for the root pseudo-node
-    AttributeNode* parent_attr; // null for root
-    // Hash-based child lookup of orthogonal attributes.
-    std::unordered_map<std::string, std::unique_ptr<AttributeNode>> attributes;
+    SymbolId token = kInvalidSymbol;  // kInvalidSymbol only for the root
+    // The token parsed as a number, cached at graft time: range queries
+    // compare doubles instead of calling strtod per candidate.
+    bool has_number = false;
+    double number = 0.0;
+    AttributeNode* parent_attr = nullptr;  // null for root
+    // Interned-key flat child map of orthogonal attributes.
+    SymbolMap<std::unique_ptr<AttributeNode>> attributes;
     // Records whose specifier has a leaf ending at this value-node.
     std::vector<NameRecord*> records;
     // With Options::cache_subtree_records: every record in this subtree,
@@ -172,23 +249,33 @@ class NameTree {
 
   // A sorted set of record pointers, or "the universal set" before the first
   // intersection (paper: S starts as the set of all possible name-records).
+  // The items vector is owned by the active LookupScratch.
   struct CandidateSet {
     bool universal = true;
-    std::vector<const NameRecord*> items;  // sorted by pointer
+    std::vector<const NameRecord*>* items = nullptr;
 
-    void IntersectWith(std::vector<const NameRecord*> other);
-    bool Empty() const { return !universal && items.empty(); }
+    bool Empty() const { return !universal && items->empty(); }
   };
 
-  // Grafts `pairs` below `parent`, attaching `rec` at leaf value-nodes.
-  void Graft(ValueNode* parent, const std::vector<AvPair>& pairs, NameRecord* rec);
+  // Intersects `other` into `s` (duplicates in either side collapse). Uses
+  // the scratch's stamped pointer set: one O(|items| + |other|) pass, no
+  // sorting, no allocation in steady state. Candidate order afterwards is
+  // `other`'s traversal order; Lookup sorts the final result by announcer.
+  static void IntersectWith(CandidateSet* s, const std::vector<const NameRecord*>* other,
+                            LookupScratch* scratch);
+
+  // Grafts compiled nodes [begin, begin+count) below `parent`, attaching
+  // `rec` at leaf value-nodes.
+  void Graft(ValueNode* parent, const CompiledName& name, uint32_t begin, uint32_t count,
+             NameRecord* rec);
   // Detaches `rec` from its terminal value-nodes and prunes empty branches.
   void Ungraft(NameRecord* rec);
   void PruneUpward(ValueNode* v);
 
-  // One recursion level of LOOKUP-NAME rooted at value-node `node`.
-  void LookupLevel(const ValueNode* node, const std::vector<AvPair>& pairs,
-                   CandidateSet* s) const;
+  // One recursion level of LOOKUP-NAME rooted at value-node `node`, over
+  // compiled query nodes [begin, begin+count).
+  void LookupLevel(const ValueNode* node, const CompiledName& query, uint32_t begin,
+                   uint32_t count, CandidateSet* s, LookupScratch* scratch) const;
   void SubtreeRecords(const ValueNode* node, std::vector<const NameRecord*>* out) const;
   void SubtreeRecords(const AttributeNode* node, std::vector<const NameRecord*>* out) const;
   // Adds/removes one cache entry for `rec` on every ancestor of `leaf`.
@@ -201,6 +288,8 @@ class NameTree {
   void PushExpiry(TimePoint expires, const AnnouncerId& id);
 
   Options options_;
+  std::shared_ptr<SymbolTable> symbols_;
+  bool owns_symbols_ = false;
   ValueNode root_;
   std::map<AnnouncerId, std::unique_ptr<NameRecord>> records_;
 
@@ -210,10 +299,6 @@ class NameTree {
   std::vector<std::pair<TimePoint, AnnouncerId>> expiry_heap_;
   uint64_t expiry_scan_visits_ = 0;
 };
-
-// Converts a stored value token back into a Value ("*" -> wildcard, "<5" ->
-// range, anything else -> literal). Shared with the wire codecs.
-Value ValueFromToken(const std::string& token);
 
 }  // namespace ins
 

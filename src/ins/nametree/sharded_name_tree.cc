@@ -10,6 +10,10 @@ ShardedNameTree::ShardedNameTree(Options options) : options_(std::move(options))
   if (options_.fallback_shards == 0) {
     options_.fallback_shards = 1;
   }
+  if (options_.tree_options.symbols == nullptr) {
+    options_.tree_options.symbols = std::make_shared<SymbolTable>();
+  }
+  symbols_ = options_.tree_options.symbols;
 }
 
 std::unique_ptr<ShardedNameTree::Shard> ShardedNameTree::MakeShard(const std::string& space,
@@ -91,6 +95,10 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
   auto& shards = it->second;
   const size_t target = shards.size() > 1 ? FallbackIndex(name) : 0;
 
+  // Compile once; the shared intern table makes the compiled form valid on
+  // every shard and both left-right sides (the replay reuses it too).
+  const CompiledName compiled = CompiledName::ForUpdate(name, symbols_.get());
+
   // Lock the whole space so the cross-shard probe and the move are atomic
   // against other writers (shards of one space share a writer under load, so
   // this does not serialize independent spaces).
@@ -121,7 +129,7 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
     AnnouncerId id = info.announcer;
     ApplyLocked(*shards[i], [&id](NameTree& t) { return t.Remove(id); });
     auto out = ApplyLocked(*shards[target],
-                           [&](NameTree& t) { return t.Upsert(name, info); });
+                           [&](NameTree& t) { return t.Upsert(name, compiled, info); });
     UpsertResult r;
     r.kind = out.kind == NameTree::UpsertOutcome::kIgnored
                  ? NameTree::UpsertOutcome::kIgnored
@@ -130,7 +138,8 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
     return r;
   }
 
-  auto out = ApplyLocked(*shards[target], [&](NameTree& t) { return t.Upsert(name, info); });
+  auto out =
+      ApplyLocked(*shards[target], [&](NameTree& t) { return t.Upsert(name, compiled, info); });
   UpsertResult r;
   r.kind = out.kind;
   FillResult(r, *shards[target], out.record);
@@ -172,7 +181,13 @@ size_t ShardedNameTree::UpsertBatch(
   // entry staler than the announcer's record in another shard is dropped
   // outright — routing it to the target shard would duplicate the announcer,
   // since the target tree's own version guard only sees its local record.
-  std::vector<std::vector<const std::pair<NameSpecifier, NameRecord>*>> per_shard(shards.size());
+  // Each surviving entry is compiled exactly once; the compiled form is
+  // replayed verbatim on both left-right sides of its shard.
+  struct RoutedOp {
+    const std::pair<NameSpecifier, NameRecord>* entry;
+    CompiledName compiled;
+  };
+  std::vector<std::vector<RoutedOp>> per_shard(shards.size());
   for (const auto& entry : batch) {
     const size_t target = shards.size() > 1 ? FallbackIndex(entry.first) : 0;
     bool stale = false;
@@ -194,7 +209,8 @@ size_t ShardedNameTree::UpsertBatch(
     if (stale) {
       continue;
     }
-    per_shard[target].push_back(&entry);
+    per_shard[target].push_back(
+        RoutedOp{&entry, CompiledName::ForUpdate(entry.first, symbols_.get())});
   }
 
   size_t applied = 0;
@@ -205,8 +221,9 @@ size_t ShardedNameTree::UpsertBatch(
     // One snapshot publish covers the whole per-shard batch.
     applied += ApplyLocked(*shards[i], [&ops = per_shard[i]](NameTree& t) {
       size_t n = 0;
-      for (const auto* op : ops) {
-        if (t.Upsert(op->first, op->second).kind != NameTree::UpsertOutcome::kIgnored) {
+      for (const auto& op : ops) {
+        if (t.Upsert(op.entry->first, op.compiled, op.entry->second).kind !=
+            NameTree::UpsertOutcome::kIgnored) {
           ++n;
         }
       }
@@ -284,9 +301,11 @@ std::vector<NameRecord> ShardedNameTree::Lookup(const std::string& vspace,
   if (shards == nullptr) {
     return out;
   }
+  // One compile serves every shard probe (ForQuery never mutates the table).
+  const CompiledName compiled = CompiledName::ForQuery(query, *symbols_);
   for (const auto& s : *shards) {
     ReadShard(*s, [&](const NameTree& t) {
-      for (const NameRecord* rec : t.Lookup(query)) {
+      for (const NameRecord* rec : t.Lookup(compiled)) {
         out.push_back(rec->Detached());
       }
       return 0;
@@ -313,9 +332,10 @@ std::vector<ShardedNameTree::NamedRecord> ShardedNameTree::LookupNamed(
   if (shards == nullptr) {
     return out;
   }
+  const CompiledName compiled = CompiledName::ForQuery(query, *symbols_);
   for (const auto& s : *shards) {
     ReadShard(*s, [&](const NameTree& t) {
-      for (const NameRecord* rec : t.Lookup(query)) {
+      for (const NameRecord* rec : t.Lookup(compiled)) {
         out.push_back(NamedRecord{t.ExtractName(rec), rec->Detached()});
       }
       return 0;
@@ -400,9 +420,11 @@ void ShardedNameTree::ForEachShardMatch(const std::string& vspace, const NameSpe
   if (shards == nullptr) {
     return;
   }
+  const CompiledName compiled = CompiledName::ForQuery(query, *symbols_);
   auto scan = [&](size_t i) {
+    // Each pool worker's thread-local LookupScratch serves its shard scans.
     ReadShard(*(*shards)[i], [&](const NameTree& t) {
-      fn(i, t, t.Lookup(query));
+      fn(i, t, t.Lookup(compiled));
       return 0;
     });
   };
@@ -459,6 +481,10 @@ NameTree::Stats ShardedNameTree::ComputeStats() const {
       total.bytes += ts.bytes;
     }
   }
+  // The shared intern table is part of the store's footprint; count it
+  // exactly once (per-tree stats skip it because it is shared).
+  total.symbol_bytes = symbols_->MemoryBytes();
+  total.bytes += total.symbol_bytes;
   return total;
 }
 

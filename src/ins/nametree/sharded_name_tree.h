@@ -84,6 +84,13 @@ class ShardedNameTree {
   ShardedNameTree() : ShardedNameTree(Options{}) {}
   explicit ShardedNameTree(Options options);
 
+  // The intern table shared by every shard and both left-right sides. A
+  // CompiledName built against it (ForUpdate/ForQuery) is valid on any
+  // shard's tree; store operations compile their specifier once and fan the
+  // compiled form out.
+  const SymbolTable& symbols() const { return *symbols_; }
+  SymbolTable* mutable_symbols() { return symbols_.get(); }
+
   ShardedNameTree(const ShardedNameTree&) = delete;
   ShardedNameTree& operator=(const ShardedNameTree&) = delete;
 
@@ -279,6 +286,11 @@ class ShardedNameTree {
   std::unique_ptr<Shard> MakeShard(const std::string& space, size_t sub) const;
 
   Options options_;
+  // Created at construction (or adopted from Options::tree_options.symbols)
+  // and injected into every shard tree, so compiled names are portable
+  // across shards and sides. Append-only: safe to share with lock-free
+  // readers.
+  std::shared_ptr<SymbolTable> symbols_;
   mutable EpochDomain epochs_;
   std::map<std::string, std::vector<std::unique_ptr<Shard>>> spaces_;
 };

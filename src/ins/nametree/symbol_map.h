@@ -1,0 +1,207 @@
+// Small-size-optimized flat map keyed by interned SymbolId.
+//
+// The name-tree's per-node child maps are overwhelmingly tiny (a handful of
+// orthogonal attributes, a handful of values) with occasional huge fan-out
+// nodes (a `unit=u0..u1023` style attribute). This container serves both
+// regimes without per-node heap graphs:
+//
+//   * up to kInlineMax entries: one contiguous array, sorted by key, found
+//     by linear scan of 4-byte keys — a single cache line for typical nodes;
+//   * above that: open-addressing hash table (multiply-shift hash, linear
+//     probing, backward-shift deletion — no tombstones), power-of-two
+//     capacity, max 7/8 load.
+//
+// Keys are real SymbolIds; kInvalidSymbol is the empty-slot sentinel, so
+// probing for kInvalidSymbol (an uninterned query token) returns "absent"
+// immediately. Values are movable (the tree stores unique_ptr nodes).
+// Iteration order is unspecified; callers that need determinism sort.
+
+#ifndef INS_NAMETREE_SYMBOL_MAP_H_
+#define INS_NAMETREE_SYMBOL_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "ins/name/symbol_table.h"
+
+namespace ins {
+
+template <typename T>
+class SymbolMap {
+ public:
+  struct Entry {
+    SymbolId key = kInvalidSymbol;
+    T value{};
+  };
+
+  static constexpr size_t kInlineMax = 8;
+
+  SymbolMap() = default;
+  SymbolMap(SymbolMap&&) noexcept = default;
+  SymbolMap& operator=(SymbolMap&&) noexcept = default;
+  SymbolMap(const SymbolMap&) = delete;
+  SymbolMap& operator=(const SymbolMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Pointer to the value for `key`, or nullptr. Probing kInvalidSymbol is
+  // allowed and always misses.
+  T* Find(SymbolId key) {
+    if (key == kInvalidSymbol || size_ == 0) {
+      return nullptr;
+    }
+    if (inline_mode()) {
+      for (Entry& e : entries_) {
+        if (e.key == key) {
+          return &e.value;
+        }
+        if (e.key > key) {
+          break;  // inline entries are sorted
+        }
+      }
+      return nullptr;
+    }
+    const size_t mask = entries_.size() - 1;
+    for (size_t i = Slot(key, mask);; i = (i + 1) & mask) {
+      if (entries_[i].key == key) {
+        return &entries_[i].value;
+      }
+      if (entries_[i].key == kInvalidSymbol) {
+        return nullptr;
+      }
+    }
+  }
+  const T* Find(SymbolId key) const { return const_cast<SymbolMap*>(this)->Find(key); }
+
+  // Value for `key`, default-constructing (and inserting) if absent.
+  T& FindOrInsert(SymbolId key) {
+    assert(key != kInvalidSymbol);
+    if (T* found = Find(key)) {
+      return *found;
+    }
+    if (inline_mode()) {
+      if (size_ < kInlineMax) {
+        size_t pos = 0;
+        while (pos < size_ && entries_[pos].key < key) {
+          ++pos;
+        }
+        entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(pos), Entry{key, T{}});
+        ++size_;
+        return entries_[pos].value;
+      }
+      Rehash(kInlineMax * 4);  // spill to the hash regime
+    } else if ((size_ + 1) * 8 > entries_.size() * 7) {
+      Rehash(entries_.size() * 2);
+    }
+    const size_t mask = entries_.size() - 1;
+    size_t i = Slot(key, mask);
+    while (entries_[i].key != kInvalidSymbol) {
+      i = (i + 1) & mask;
+    }
+    entries_[i].key = key;
+    ++size_;
+    return entries_[i].value;
+  }
+
+  // Removes `key`; returns whether it was present.
+  bool Erase(SymbolId key) {
+    if (size_ == 0 || key == kInvalidSymbol) {
+      return false;
+    }
+    if (inline_mode()) {
+      for (size_t i = 0; i < size_; ++i) {
+        if (entries_[i].key == key) {
+          entries_.erase(entries_.begin() + static_cast<ptrdiff_t>(i));
+          --size_;
+          return true;
+        }
+      }
+      return false;
+    }
+    const size_t mask = entries_.size() - 1;
+    size_t i = Slot(key, mask);
+    while (entries_[i].key != key) {
+      if (entries_[i].key == kInvalidSymbol) {
+        return false;
+      }
+      i = (i + 1) & mask;
+    }
+    // Backward-shift deletion: slide the probe chain left so no tombstone is
+    // needed and probe distances stay minimal.
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask;; j = (j + 1) & mask) {
+      if (entries_[j].key == kInvalidSymbol) {
+        break;
+      }
+      const size_t home = Slot(entries_[j].key, mask);
+      // Move j into the hole only if the hole lies within [home, j].
+      const size_t dist_hole = (hole - home) & mask;
+      const size_t dist_j = (j - home) & mask;
+      if (dist_hole <= dist_j) {
+        entries_[hole] = std::move(entries_[j]);
+        hole = j;
+      }
+    }
+    entries_[hole] = Entry{};
+    --size_;
+    return true;
+  }
+
+  // Visits every (key, value); mutation of the map during the visit is not
+  // allowed. `fn(SymbolId, T&)` / `fn(SymbolId, const T&)`.
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (Entry& e : entries_) {
+      if (e.key != kInvalidSymbol) {
+        fn(e.key, e.value);
+      }
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      if (e.key != kInvalidSymbol) {
+        fn(e.key, e.value);
+      }
+    }
+  }
+
+  // Heap footprint of the entry storage (the Figure 13 accounting).
+  size_t MemoryBytes() const { return entries_.capacity() * sizeof(Entry); }
+
+ private:
+  // In inline mode `entries_` holds exactly size_ sorted entries; in hash
+  // mode it is the power-of-two slot array with empty sentinels.
+  bool inline_mode() const { return entries_.size() <= kInlineMax; }
+
+  static size_t Slot(SymbolId key, size_t mask) {
+    return (static_cast<size_t>(key) * 2654435761u) & mask;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Entry> old = std::move(entries_);
+    entries_.clear();
+    entries_.resize(new_capacity);
+    const size_t mask = new_capacity - 1;
+    for (Entry& e : old) {
+      if (e.key == kInvalidSymbol) {
+        continue;
+      }
+      size_t i = Slot(e.key, mask);
+      while (entries_[i].key != kInvalidSymbol) {
+        i = (i + 1) & mask;
+      }
+      entries_[i] = std::move(e);
+    }
+  }
+
+  std::vector<Entry> entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_NAMETREE_SYMBOL_MAP_H_

@@ -1,0 +1,34 @@
+#include "ins/wire/name_decoder.h"
+
+#include <functional>
+
+#include "ins/name/parser.h"
+
+namespace ins {
+
+NameDecoder::NameDecoder(size_t slots) {
+  size_t cap = 1;
+  while (cap < slots) {
+    cap <<= 1;
+  }
+  slots_.resize(cap);
+  mask_ = cap - 1;
+}
+
+Result<std::shared_ptr<const NameSpecifier>> NameDecoder::Decode(const std::string& wire_text) {
+  Slot& slot = slots_[std::hash<std::string>{}(wire_text) & mask_];
+  if (slot.name != nullptr && slot.text == wire_text) {
+    ++hits_;
+    return slot.name;
+  }
+  ++misses_;
+  Result<NameSpecifier> parsed = ParseNameSpecifier(wire_text);
+  if (!parsed.ok()) {
+    return parsed.status();
+  }
+  slot.text = wire_text;
+  slot.name = std::make_shared<const NameSpecifier>(std::move(parsed).value());
+  return slot.name;
+}
+
+}  // namespace ins

@@ -1,0 +1,60 @@
+// Memoized wire-text -> NameSpecifier decoding.
+//
+// Names cross the wire as canonical text (Figure 3) and every recipient used
+// to re-tokenize them: a forwarding agent on a stable overlay path parses the
+// SAME destination text once per packet, hop after hop. The decoder keeps a
+// small direct-mapped memo of recent parses so the steady-state cost of
+// decoding a repeated name is one hash probe and one string compare — the
+// wire-layer analogue of the name-tree's interned hot path (a CompiledName is
+// built once per store operation; this makes the NameSpecifier it is built
+// from cost nothing to re-materialize per packet).
+//
+// Parsing is deterministic, so memoization is invisible: Decode(text) returns
+// exactly what ParseNameSpecifier(text) would. Parse errors are not cached
+// (malformed packets are the rare path and should not evict good entries).
+//
+// Not thread-safe: each protocol-thread owner (forwarding agent, discovery
+// agent) embeds its own decoder.
+
+#ifndef INS_WIRE_NAME_DECODER_H_
+#define INS_WIRE_NAME_DECODER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ins/common/status.h"
+#include "ins/name/name_specifier.h"
+
+namespace ins {
+
+class NameDecoder {
+ public:
+  // `slots` is rounded up to a power of two; default covers a resolver's
+  // working set of distinct in-flight destinations.
+  explicit NameDecoder(size_t slots = 64);
+
+  // Parses `wire_text`, memoized. The returned pointer stays valid for as
+  // long as the caller holds it (slots hold shared ownership, so a colliding
+  // decode evicts the slot without invalidating outstanding results).
+  Result<std::shared_ptr<const NameSpecifier>> Decode(const std::string& wire_text);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  struct Slot {
+    std::string text;
+    std::shared_ptr<const NameSpecifier> name;
+  };
+
+  std::vector<Slot> slots_;
+  size_t mask_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_WIRE_NAME_DECODER_H_

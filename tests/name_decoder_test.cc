@@ -1,0 +1,91 @@
+// Memoized wire-text decoding: hits must be invisible (identical to a fresh
+// parse), errors must not be cached, and eviction must never invalidate a
+// result a caller still holds.
+
+#include "ins/wire/name_decoder.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ins/common/rng.h"
+#include "ins/name/parser.h"
+#include "ins/workload/namegen.h"
+
+namespace ins {
+namespace {
+
+TEST(NameDecoderTest, HitReturnsSameParseAsCold) {
+  NameDecoder decoder;
+  const std::string text = "[building=ne43 [floor=5]] [service=camera]";
+  auto first = decoder.Decode(text);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(decoder.misses(), 1u);
+  auto second = decoder.Decode(text);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(decoder.hits(), 1u);
+  // Same memo entry, and equal to an unmemoized parse.
+  EXPECT_EQ(first->get(), second->get());
+  auto fresh = ParseNameSpecifier(text);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(**first == *fresh);
+}
+
+TEST(NameDecoderTest, ErrorsAreReturnedNotCached) {
+  NameDecoder decoder;
+  const std::string bad = "[building=ne43";  // unbalanced
+  EXPECT_FALSE(decoder.Decode(bad).ok());
+  EXPECT_FALSE(decoder.Decode(bad).ok());
+  EXPECT_EQ(decoder.hits(), 0u);
+  // A good name still decodes after the failures.
+  EXPECT_TRUE(decoder.Decode("[service=printer]").ok());
+}
+
+TEST(NameDecoderTest, EvictionKeepsOutstandingResultsAlive) {
+  // A 1-slot decoder: every distinct name evicts the previous one. Held
+  // results must stay valid and correct regardless.
+  NameDecoder decoder(1);
+  Rng rng(5);
+  std::vector<std::shared_ptr<const NameSpecifier>> held;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 50; ++i) {
+    texts.push_back(GenerateUniformName(rng, kPaperLookupParams).ToString());
+    auto decoded = decoder.Decode(texts.back());
+    ASSERT_TRUE(decoded.ok());
+    held.push_back(*decoded);
+  }
+  for (size_t i = 0; i < held.size(); ++i) {
+    EXPECT_EQ(held[i]->ToString(), texts[i]);
+  }
+}
+
+TEST(NameDecoderTest, RepeatedForwardingWorkloadMostlyHits) {
+  // The forwarding steady state: a handful of destination names re-decoded
+  // per packet. After warmup the decoder must serve from the memo.
+  NameDecoder decoder;
+  Rng rng(9);
+  std::vector<std::string> destinations;
+  for (int i = 0; i < 8; ++i) {
+    destinations.push_back(GenerateUniformName(rng, kPaperLookupParams).ToString());
+  }
+  for (int round = 0; round < 100; ++round) {
+    for (const std::string& d : destinations) {
+      ASSERT_TRUE(decoder.Decode(d).ok());
+    }
+  }
+  // Direct-mapped slots may collide within the working set, so the exact
+  // ratio is layout-dependent — but a stable single destination (the
+  // forwarding common case) must hit every time after warmup.
+  EXPECT_GT(decoder.hits(), decoder.misses());
+  NameDecoder single;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(single.Decode(destinations[0]).ok());
+  }
+  EXPECT_EQ(single.hits(), 99u);
+  EXPECT_EQ(single.misses(), 1u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -18,9 +18,11 @@
 #include "ins/baseline/linear_name_table.h"
 #include "ins/common/clock.h"
 #include "ins/common/rng.h"
+#include "ins/name/compiled_name.h"
 #include "ins/name/matcher.h"
 #include "ins/name/name_specifier.h"
 #include "ins/name/parser.h"
+#include "ins/name/symbol_table.h"
 #include "ins/nametree/name_tree.h"
 #include "ins/workload/namegen.h"
 
@@ -59,6 +61,68 @@ TEST(NamePropertyTest, ParseSerializeParseIsIdempotent) {
       ExpectRoundTripIdempotent(DeriveQuery(rng, sized, 0.5, 0.3));
     }
   }
+}
+
+// Compile -> decompile is the identity for every generated shape (the
+// interned hot path loses no information), and ForQuery compiles against a
+// table that has seen the name's vocabulary exactly like ForUpdate — while
+// against an EMPTY table its unknown symbols make tree lookups miss, which
+// is the "advertised nowhere" semantics the decoder relies on.
+TEST(NamePropertyTest, CompileDecompileIsIdentity) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 31);
+    SymbolTable table;
+    for (int i = 0; i < 25; ++i) {
+      for (const NameSpecifier& name :
+           {GenerateUniformName(rng, UniformNameParams{3, 3, 3, 2}),
+            GenerateUniformName(rng, kPaperLookupParams), GenerateChainName(rng, 4, 4, 3),
+            DeriveQuery(rng, GenerateSizedName(rng, 82, "camera"), 0.6, 0.4)}) {
+        const CompiledName up = CompiledName::ForUpdate(name, &table);
+        EXPECT_TRUE(up.Decompile(table) == name) << name.ToString();
+        // After ForUpdate interned the vocabulary, a read-only compile of the
+        // same name resolves every symbol and decompiles identically.
+        const CompiledName q = CompiledName::ForQuery(name, table);
+        EXPECT_TRUE(q.Decompile(table) == name) << name.ToString();
+      }
+    }
+  }
+}
+
+TEST(NamePropertyTest, UnknownSymbolsPreserveFigure5Semantics) {
+  Rng rng(7);
+  NameTree tree;
+  NameSpecifier first_ad;
+  for (uint32_t i = 0; i < 100; ++i) {
+    NameSpecifier ad = GenerateUniformName(rng, kPaperLookupParams);
+    if (i == 0) {
+      first_ad = ad;
+    }
+    NameRecord rec;
+    rec.announcer = AnnouncerId{0x1a000000u + i, 1, i};
+    rec.expires = Seconds(3600);
+    rec.version = 1;
+    tree.Upsert(ad, rec);
+  }
+  const size_t interned = tree.symbols().size();
+
+  // An attribute the resolver has never seen compiles to kInvalidSymbol and
+  // probes absent at every node — Figure 5's `if Ta = null then continue`,
+  // so the pair does not constrain. Must agree with the string path, and
+  // ForQuery must not grow the table.
+  NameSpecifier alien_attr;
+  alien_attr.AddPath({{"never-seen-attr", "on"}});
+  EXPECT_EQ(tree.Lookup(CompiledName::ForQuery(alien_attr, tree.symbols())).size(),
+            tree.Lookup(alien_attr).size());
+  EXPECT_EQ(tree.symbols().size(), interned);
+
+  // An unknown VALUE under a known attribute is "advertised nowhere": the
+  // flat-map probe misses and the candidate set empties.
+  ASSERT_FALSE(first_ad.roots().empty());
+  NameSpecifier alien_value;
+  alien_value.AddPath({{first_ad.roots()[0].attribute, "never-seen-value"}});
+  EXPECT_TRUE(tree.Lookup(CompiledName::ForQuery(alien_value, tree.symbols())).empty());
+  EXPECT_TRUE(tree.Lookup(alien_value).empty());
+  EXPECT_EQ(tree.symbols().size(), interned);
 }
 
 // Appends one av-pair at a random node of `query`, using attributes from a

@@ -33,7 +33,9 @@
 #include <vector>
 
 #include "ins/baseline/linear_name_table.h"
+#include "ins/baseline/string_name_tree.h"
 #include "ins/common/rng.h"
+#include "ins/name/compiled_name.h"
 #include "ins/nametree/name_tree.h"
 #include "ins/nametree/sharded_name_tree.h"
 #include "ins/workload/namegen.h"
@@ -242,6 +244,14 @@ class Harness {
     const NameSpecifier q = MakeQuery();
     const std::string oracle = Render(oracle_.Lookup(q));
     EXPECT_EQ(oracle, Render(tree_.Lookup(q))) << "LOOKUP-NAME diverged on " << q.ToString();
+    // The pre-compiled query path (what ShardedNameTree compiles once per
+    // store operation) must be byte-identical to the string entry point, with
+    // both a caller-provided and the thread-local scratch.
+    const CompiledName cq = CompiledName::ForQuery(q, tree_.symbols());
+    EXPECT_EQ(oracle, Render(tree_.Lookup(cq, &scratch_)))
+        << "compiled LOOKUP-NAME (explicit scratch) diverged on " << q.ToString();
+    EXPECT_EQ(oracle, Render(tree_.Lookup(cq)))
+        << "compiled LOOKUP-NAME (thread-local scratch) diverged on " << q.ToString();
     EXPECT_EQ(oracle, Render(sharded_->Lookup("", q)))
         << "sharded LOOKUP-NAME diverged on " << q.ToString();
     if (!live_.empty()) {
@@ -273,6 +283,7 @@ class Harness {
 
   LinearNameTable oracle_;
   NameTree tree_;
+  NameTree::LookupScratch scratch_;  // reused across every compiled lookup
   std::unique_ptr<ShardedNameTree> sharded_;
 };
 
@@ -345,6 +356,88 @@ TEST_P(DifferentialTest, SingleShardIsByteIdenticalOnSparseWorkload) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
                          ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+// ---------------------------------------------------------------------------
+// Interned core vs the pre-interning string-keyed layout (baseline/
+// string_name_tree.h, the ablation baseline): insert-only workloads across
+// both schema shapes, identical results on every query. This pins the
+// SymbolTable / CompiledName / flat-map rewrite to the old layout's
+// observable behavior, independent of the Matches() oracle.
+// ---------------------------------------------------------------------------
+
+class InternedVsStringKeyedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InternedVsStringKeyedTest, IdenticalLookupResults) {
+  for (const UniformNameParams& params : {kCompleteParams, kSparseParams}) {
+    Rng rng(GetParam() * 7919 + 17);
+    NameTree interned;
+    StringNameTree stringly;
+    for (uint32_t i = 1; i <= 400; ++i) {
+      NameSpecifier name = GenerateUniformName(rng, params);
+      NameRecord rec;
+      rec.announcer = AnnouncerId{0x0f000000u + i, 13, i};
+      rec.expires = Seconds(3600);
+      rec.version = 1;
+      interned.Upsert(name, rec);
+      stringly.Insert(name, rec);
+    }
+    NameTree::LookupScratch scratch;
+    for (int q = 0; q < 300; ++q) {
+      NameSpecifier query = GenerateUniformName(rng, params);
+      std::vector<const NameRecord*> a =
+          interned.Lookup(CompiledName::ForQuery(query, interned.symbols()), &scratch);
+      std::vector<const NameRecord*> b = stringly.Lookup(query);
+      ASSERT_EQ(a.size(), b.size()) << query.ToString();
+      for (size_t k = 0; k < a.size(); ++k) {
+        EXPECT_TRUE(a[k]->announcer == b[k]->announcer) << query.ToString();
+      }
+    }
+    EXPECT_TRUE(interned.CheckInvariants().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InternedVsStringKeyedTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+// A CompiledName built against a shared symbol table grafts identically into
+// every tree attached to that table — the property ShardedNameTree relies on
+// to compile once and apply to any shard and both left-right sides.
+TEST(SharedSymbolTableTest, CompileOncePortableAcrossTrees) {
+  auto symbols = std::make_shared<SymbolTable>();
+  NameTree::Options opts;
+  opts.symbols = symbols;
+  NameTree left(opts);
+  NameTree right(opts);
+  ASSERT_EQ(&left.symbols(), symbols.get());
+  ASSERT_EQ(&right.symbols(), symbols.get());
+
+  Rng rng(99);
+  for (uint32_t i = 1; i <= 200; ++i) {
+    NameSpecifier name = GenerateUniformName(rng, kSparseParams);
+    const CompiledName compiled = CompiledName::ForUpdate(name, symbols.get());
+    NameRecord rec;
+    rec.announcer = AnnouncerId{0x10000000u + i, 3, i};
+    rec.expires = Seconds(3600);
+    rec.version = 1;
+    left.Upsert(name, compiled, rec);
+    right.Upsert(name, compiled, rec);
+  }
+  for (int q = 0; q < 200; ++q) {
+    NameSpecifier query = GenerateUniformName(rng, kSparseParams);
+    const CompiledName cq = CompiledName::ForQuery(query, *symbols);
+    std::vector<const NameRecord*> a = left.Lookup(cq);
+    std::vector<const NameRecord*> b = right.Lookup(cq);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t k = 0; k < a.size(); ++k) {
+      EXPECT_TRUE(a[k]->announcer == b[k]->announcer);
+    }
+  }
+  // One table, no per-tree copies: both trees report zero owned symbol bytes.
+  EXPECT_EQ(left.ComputeStats().symbol_bytes, 0u);
+  EXPECT_EQ(right.ComputeStats().symbol_bytes, 0u);
+  EXPECT_TRUE(left.CheckInvariants().ok());
+  EXPECT_TRUE(right.CheckInvariants().ok());
+}
 
 // ---------------------------------------------------------------------------
 // Sharded-union semantics: with advertisements partitioned into "families"
