@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "bench_support.h"
+#include "ins/common/metrics.h"
 #include "ins/harness/cluster.h"
 #include "ins/wire/messages.h"
 
@@ -45,6 +47,9 @@ constexpr int kDurationS = 60;            // flood length per multiplier
 constexpr uint32_t kAdLifetimeS = 45;
 constexpr Duration kRefreshEvery = Seconds(5);
 constexpr Duration kProbeEvery = Milliseconds(200);
+// Every Nth flood packet carries a trace id: when the accounting invariant
+// fails, the journeys of the sampled packets say exactly where they went.
+constexpr uint64_t kTraceSampleEvery = 16;
 
 struct SeriesPoint {
   int multiplier = 0;
@@ -62,6 +67,7 @@ struct SeriesPoint {
   size_t record_count = 0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
+  std::string metrics_json;  // the resolver's full registry snapshot
 };
 
 Advertisement MakeAd(const NodeAddress& endpoint, uint64_t version) {
@@ -72,16 +78,6 @@ Advertisement MakeAd(const NodeAddress& endpoint, uint64_t version) {
   ad.lifetime_s = kAdLifetimeS;
   ad.version = version;
   return ad;
-}
-
-double PercentileMs(std::vector<int64_t>& samples_us, double p) {
-  if (samples_us.empty()) {
-    return 0.0;
-  }
-  const size_t rank = static_cast<size_t>(p * static_cast<double>(samples_us.size() - 1));
-  std::nth_element(samples_us.begin(), samples_us.begin() + static_cast<long>(rank),
-                   samples_us.end());
-  return static_cast<double>(samples_us[rank]) / 1000.0;
 }
 
 SeriesPoint RunMultiplier(int multiplier) {
@@ -99,7 +95,7 @@ SeriesPoint RunMultiplier(int multiplier) {
   // The service: a raw socket whose receive handler timestamps every
   // delivered data packet against the virtual send time in its payload.
   auto svc_socket = cluster.net().Bind(MakeAddress(10));
-  std::vector<int64_t> latency_us;
+  Histogram latency_us;  // end-to-end, log2-bucketed like the registry's own
   svc_socket->SetReceiveHandler([&](const NodeAddress&, const Bytes& data) {
     auto env = DecodeMessage(data);
     if (!env.ok()) {
@@ -109,7 +105,8 @@ SeriesPoint RunMultiplier(int multiplier) {
       ByteReader r(packet->payload);
       if (auto sent_us = r.ReadU64(); sent_us.ok()) {
         ++point.data_delivered;
-        latency_us.push_back(cluster.loop().Now().count() - static_cast<int64_t>(*sent_us));
+        const int64_t us = cluster.loop().Now().count() - static_cast<int64_t>(*sent_us);
+        latency_us.Record(static_cast<uint64_t>(std::max<int64_t>(us, 0)));
       }
     }
   });
@@ -157,6 +154,9 @@ SeriesPoint RunMultiplier(int multiplier) {
     ByteWriter w;
     w.WriteU64(static_cast<uint64_t>(cluster.loop().Now().count()));
     p.payload = std::move(w).TakeBytes();
+    if (point.data_sent % kTraceSampleEvery == 0) {
+      p.trace_id = (0x0B5E001ull << 32) ^ (point.data_sent + 1);
+    }
     flood_socket->Send(inr->address(), EncodeMessage(Envelope{MessageBody(std::move(p))}));
     ++point.data_sent;
     if (cluster.loop().Now() < flood_end) {
@@ -176,8 +176,15 @@ SeriesPoint RunMultiplier(int multiplier) {
                        m.Counter("forwarding.drop.shed_class1");
   point.names_expired = m.Counter("discovery.names_expired");
   point.record_count = inr->vspaces().Tree("")->record_count();
-  point.p50_ms = PercentileMs(latency_us, 0.50);
-  point.p99_ms = PercentileMs(latency_us, 0.99);
+  point.p50_ms = static_cast<double>(latency_us.P50()) / 1000.0;
+  point.p99_ms = static_cast<double>(latency_us.P99()) / 1000.0;
+  point.metrics_json = bench::MetricsJson(m, 6);
+
+  // Sampled packets that neither arrived nor left a drop event vanished
+  // somewhere; dump their journeys (to INS_TRACE_DUMP_DIR when set).
+  if (point.data_delivered + point.data_shed != point.data_sent) {
+    cluster.DumpLostJourneys("overload_x" + std::to_string(multiplier));
+  }
   return point;
 }
 
@@ -249,7 +256,8 @@ int main(int argc, char** argv) {
                  "\"data_delivered_per_s\": %.1f, \"probes_sent\": %llu, "
                  "\"probes_answered\": %llu, \"control_admitted\": %llu, "
                  "\"control_processed\": %llu, \"control_shed\": %llu, "
-                 "\"names_expired\": %llu, \"p50_ms\": %.2f, \"p99_ms\": %.2f}%s\n",
+                 "\"names_expired\": %llu, \"p50_ms\": %.2f, \"p99_ms\": %.2f,\n"
+                 "     \"metrics\": %s}%s\n",
                  p.multiplier, p.offered_per_s, static_cast<unsigned long long>(p.data_sent),
                  static_cast<unsigned long long>(p.data_admitted),
                  static_cast<unsigned long long>(p.data_shed),
@@ -260,7 +268,7 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(p.control_processed),
                  static_cast<unsigned long long>(p.control_shed),
                  static_cast<unsigned long long>(p.names_expired), p.p50_ms, p.p99_ms,
-                 i + 1 == series.size() ? "" : ",");
+                 p.metrics_json.c_str(), i + 1 == series.size() ? "" : ",");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

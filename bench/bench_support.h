@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ins/common/metrics.h"
 #include "ins/common/rng.h"
 #include "ins/nametree/name_tree.h"
 #include "ins/workload/namegen.h"
@@ -50,6 +51,14 @@ inline std::vector<ins::NameSpecifier> PopulateTree(
     ads.push_back(std::move(name));
   }
   return ads;
+}
+
+// A registry's full snapshot as a JSON object ({"counters": ..., "gauges":
+// ..., "histograms": ..., "timings": ...}), for embedding in bench reports so
+// a regression investigation starts from the numbers, not from a re-run.
+// `indent` is the left margin of the emitted block.
+inline std::string MetricsJson(const ins::MetricsRegistry& registry, int indent = 2) {
+  return ins::MetricsSnapshotJson(registry.Snapshot(), indent);
 }
 
 }  // namespace bench

@@ -1,0 +1,170 @@
+#include "ins/apps/netmon.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace ins {
+
+namespace {
+
+// Sum of every counter in `snapshot` whose name starts with `prefix` — the
+// snapshot-side analogue of MetricsRegistry::FamilyTotal.
+uint64_t SnapshotFamilyTotal(const MetricsSnapshot& snapshot, const std::string& prefix) {
+  uint64_t total = 0;
+  for (auto it = snapshot.counters.lower_bound(prefix);
+       it != snapshot.counters.end() && it->first.compare(0, prefix.size(), prefix) == 0;
+       ++it) {
+    total += it->second;
+  }
+  return total;
+}
+
+uint64_t SnapshotCounter(const MetricsSnapshot& snapshot, const std::string& name) {
+  auto it = snapshot.counters.find(name);
+  return it == snapshot.counters.end() ? 0 : it->second;
+}
+
+}  // namespace
+
+NetworkMonitor::NetworkMonitor(Executor* executor, Transport* transport, Options options)
+    : executor_(executor), transport_(transport), options_(std::move(options)) {
+  transport_->SetReceiveHandler(
+      [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
+}
+
+NetworkMonitor::~NetworkMonitor() {
+  Stop();
+  transport_->SetReceiveHandler(nullptr);
+}
+
+void NetworkMonitor::Start() {
+  if (running_) {
+    return;
+  }
+  running_ = true;
+  PollOnce();
+}
+
+void NetworkMonitor::Stop() {
+  running_ = false;
+  if (poll_task_ != kInvalidTaskId) {
+    executor_->Cancel(poll_task_);
+    poll_task_ = kInvalidTaskId;
+  }
+}
+
+void NetworkMonitor::PollOnce() {
+  ++polls_sent_;
+  ForgetStale();
+  // Round 1: who is out there? Resolvers self-advertise under
+  // [service=netmon]; any one resolver can answer for the whole namespace.
+  DiscoveryRequest req;
+  req.request_id = next_request_id_++;
+  req.vspace = options_.vspace;
+  req.filter_text = "[service=netmon]";
+  req.reply_to = transport_->local_address();
+  transport_->Send(options_.inr, Encode(req));
+  // Round 2 for already-known resolvers happens immediately; newly discovered
+  // ones are polled when the discovery response arrives.
+  for (const auto& [addr, status] : resolvers_) {
+    RequestSnapshot(addr);
+  }
+  if (running_) {
+    poll_task_ = executor_->ScheduleAfter(options_.poll_interval, [this] {
+      poll_task_ = kInvalidTaskId;
+      PollOnce();
+    });
+  }
+}
+
+void NetworkMonitor::RequestSnapshot(const NodeAddress& resolver) {
+  MetricsRequest req;
+  req.request_id = next_request_id_++;
+  req.reply_to = transport_->local_address();
+  transport_->Send(resolver, Encode(req));
+}
+
+void NetworkMonitor::OnMessage(const NodeAddress& src, const Bytes& data) {
+  (void)src;
+  auto env = DecodeMessage(data);
+  if (!env.ok()) {
+    return;
+  }
+  if (const auto* disc = std::get_if<DiscoveryResponse>(&env->body)) {
+    HandleDiscoveryResponse(*disc);
+  } else if (const auto* metrics = std::get_if<MetricsResponse>(&env->body)) {
+    HandleMetricsResponse(*metrics);
+  }
+}
+
+void NetworkMonitor::HandleDiscoveryResponse(const DiscoveryResponse& resp) {
+  for (const DiscoveryResponse::Item& item : resp.items) {
+    const NodeAddress resolver = item.endpoint.address;
+    if (!resolver.IsValid()) {
+      continue;
+    }
+    if (resolvers_.find(resolver) == resolvers_.end()) {
+      ResolverStatus status;
+      status.address = resolver;
+      status.last_update = executor_->Now();
+      resolvers_.emplace(resolver, std::move(status));
+      RequestSnapshot(resolver);
+    }
+  }
+}
+
+void NetworkMonitor::HandleMetricsResponse(const MetricsResponse& resp) {
+  ++snapshots_received_;
+  ResolverStatus& status = resolvers_[resp.inr];
+  status.address = resp.inr;
+  status.snapshot = SnapshotFromResponse(resp);
+  status.last_update = executor_->Now();
+}
+
+void NetworkMonitor::ForgetStale() {
+  const TimePoint now = executor_->Now();
+  for (auto it = resolvers_.begin(); it != resolvers_.end();) {
+    if (now - it->second.last_update > options_.forget_after) {
+      it = resolvers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string NetworkMonitor::Report() const {
+  std::ostringstream os;
+  const TimePoint now = executor_->Now();
+  os << "netmon: " << resolvers_.size() << " resolver(s) @ " << now.count() << " us\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-21s %8s %9s %8s %10s %7s %12s %12s\n", "resolver",
+                "names", "packets", "lookups", "delivered", "drops", "lookup_p50us",
+                "lookup_p99us");
+  os << line;
+  for (const auto& [addr, status] : resolvers_) {
+    const MetricsSnapshot& s = status.snapshot;
+    int64_t names = 0;
+    if (auto it = s.gauges.find("inr.names"); it != s.gauges.end()) {
+      names = it->second;
+    }
+    uint64_t p50 = 0;
+    uint64_t p99 = 0;
+    if (auto it = s.histograms.find("forwarding.lookup_us"); it != s.histograms.end()) {
+      p50 = it->second.P50();
+      p99 = it->second.P99();
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-21s %8" PRId64 " %9" PRIu64 " %8" PRIu64 " %10" PRIu64 " %7" PRIu64
+                  " %12" PRIu64 " %12" PRIu64 "\n",
+                  addr.ToString().c_str(), names, SnapshotCounter(s, "forwarding.packets"),
+                  SnapshotCounter(s, "forwarding.lookups"),
+                  SnapshotCounter(s, "forwarding.local_deliveries"),
+                  SnapshotFamilyTotal(s, "forwarding.drop."), p50, p99);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace ins

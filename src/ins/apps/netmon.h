@@ -1,0 +1,89 @@
+// NetworkMonitor: the paper's NetworkManagement application (§3.3), headless.
+//
+// The paper's monitor displays the INR overlay and per-resolver statistics by
+// querying the resolvers themselves. This version works the same way and is
+// bootstrapped intentionally: resolvers running with NetmonConfig.advertise
+// announce [service=netmon][node=<addr>] into the namespace, the monitor
+// discovers them with one DiscoveryRequest against that filter, then polls
+// each with MetricsRequest and assembles the MetricsResponse snapshots into a
+// cluster-wide status report (key counters plus lookup-latency quantiles per
+// resolver). Resolver state here is soft like everything else: entries for
+// resolvers that stop answering are aged out after `forget_after`.
+
+#ifndef INS_APPS_NETMON_H_
+#define INS_APPS_NETMON_H_
+
+#include <map>
+#include <string>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/common/transport.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+class NetworkMonitor {
+ public:
+  struct Options {
+    NodeAddress inr;           // resolver the discovery query is sent to
+    std::string vspace;        // vspace the netmon names live in ("" default)
+    Duration poll_interval = Seconds(5);
+    // Drop a resolver from the report when it has not answered for this long
+    // (it crashed, or its netmon advertisement expired).
+    Duration forget_after = Seconds(30);
+  };
+
+  struct ResolverStatus {
+    NodeAddress address;
+    MetricsSnapshot snapshot;
+    TimePoint last_update{0};
+  };
+
+  NetworkMonitor(Executor* executor, Transport* transport, Options options);
+  ~NetworkMonitor();
+
+  NetworkMonitor(const NetworkMonitor&) = delete;
+  NetworkMonitor& operator=(const NetworkMonitor&) = delete;
+
+  // Begins periodic polling (first round immediately).
+  void Start();
+  void Stop();
+
+  // One poll round: discover resolvers, then request a snapshot from every
+  // one discovered (and every one already known). Usable without Start() for
+  // single-shot polls.
+  void PollOnce();
+
+  // Latest snapshot per resolver, keyed by resolver address.
+  const std::map<NodeAddress, ResolverStatus>& resolvers() const { return resolvers_; }
+
+  // The cluster-wide status table: one row per resolver with its key
+  // counters (packets, lookups, deliveries, total drops) and lookup-latency
+  // p50/p99 — the moral equivalent of the paper's NetworkManagement GUI.
+  std::string Report() const;
+
+  uint64_t polls_sent() const { return polls_sent_; }
+  uint64_t snapshots_received() const { return snapshots_received_; }
+
+ private:
+  void OnMessage(const NodeAddress& src, const Bytes& data);
+  void HandleDiscoveryResponse(const DiscoveryResponse& resp);
+  void HandleMetricsResponse(const MetricsResponse& resp);
+  void RequestSnapshot(const NodeAddress& resolver);
+  void ForgetStale();
+
+  Executor* executor_;
+  Transport* transport_;
+  Options options_;
+  bool running_ = false;
+  TaskId poll_task_ = kInvalidTaskId;
+  uint64_t next_request_id_ = 1;
+  uint64_t polls_sent_ = 0;
+  uint64_t snapshots_received_ = 0;
+  std::map<NodeAddress, ResolverStatus> resolvers_;
+};
+
+}  // namespace ins
+
+#endif  // INS_APPS_NETMON_H_

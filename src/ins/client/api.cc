@@ -318,6 +318,7 @@ Status InsClient::SendData(const NameSpecifier& destination, const Bytes& payloa
     queued.answer_from_cache = answer_from_cache;
     queued.cache_lifetime_s = cache_lifetime_s;
     queued.payload = payload;
+    queued.trace_id = NextTraceId();
     if (!QueuePending([this, queued = std::move(queued)] { transport_->Send(inr_, Encode(queued)); })) {
       return UnavailableError("client is not attached and its pending queue is full");
     }
@@ -330,8 +331,24 @@ Status InsClient::SendData(const NameSpecifier& destination, const Bytes& payloa
   p.answer_from_cache = answer_from_cache;
   p.cache_lifetime_s = cache_lifetime_s;
   p.payload = payload;
+  p.trace_id = NextTraceId();
   metrics_.Increment(deliver_all ? "client.multicasts_sent" : "client.anycasts_sent");
   return transport_->Send(inr_, Encode(p));
+}
+
+uint64_t InsClient::NextTraceId() {
+  const uint64_t n = ++data_packets_sent_;
+  if (config_.trace_sample_every == 0 || n % config_.trace_sample_every != 0) {
+    return 0;
+  }
+  const NodeAddress self = address();
+  uint64_t id = (static_cast<uint64_t>(self.ip) << 32) ^
+                (static_cast<uint64_t>(self.port) << 16) ^ n;
+  if (id == 0) {
+    id = 1;  // 0 on the wire means "untraced"
+  }
+  last_trace_id_ = id;
+  return id;
 }
 
 Status InsClient::SendAnycast(const NameSpecifier& destination, const Bytes& payload,

@@ -55,6 +55,12 @@ struct ClientConfig {
   // Seed for retry jitter; per-client value keeps a fleet decorrelated while
   // simulation runs stay reproducible.
   uint64_t jitter_seed = 0xC11E57;
+
+  // Hop-by-hop tracing: every Nth data packet this client sends carries a
+  // trace id (and the kFlagTraceSampled wire bit), leaving events in each
+  // resolver's trace ring along its path. 0 (the default) disables sampling —
+  // the wire format is then byte-identical to the untraced seed.
+  uint64_t trace_sample_every = 0;
 };
 
 // Handle for one advertised name; destroying it stops refreshing (the name
@@ -164,6 +170,10 @@ class InsClient {
 
   MetricsRegistry& metrics() { return metrics_; }
 
+  // Trace id stamped on the most recent sampled data packet (0 if none yet).
+  // Tests use it to pull the matching journey out of the harness collector.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
   // The executor the client runs on; applications built on the API use it
   // for their own timers (request timeouts, periodic work).
   Executor* executor() { return executor_; }
@@ -188,6 +198,10 @@ class InsClient {
   // One Discover/Resolve attempt timed out: after `failover_after_timeouts`
   // in a row the attached resolver is presumed dead and we re-attach.
   void NoteRequestTimeout();
+  // The trace id for the next data packet: nonzero every
+  // config_.trace_sample_every-th send, derived from this client's address
+  // plus a per-client counter so concurrent clients never collide.
+  uint64_t NextTraceId();
   void OnDiscoverTimeout(uint64_t id);
   void ResendDiscover(uint64_t id);
   void OnResolveTimeout(uint64_t id);
@@ -211,6 +225,8 @@ class InsClient {
   // one we just declared dead); taken anyway if it is the only one listed.
   NodeAddress excluded_inr_;
   int consecutive_timeouts_ = 0;
+  uint64_t data_packets_sent_ = 0;
+  uint64_t last_trace_id_ = 0;
   // Liveness of the attachment itself: a resolver that only ever receives
   // our advertisements would die unnoticed, so every refresh tick pings it
   // and an unanswered ping counts like a request timeout.

@@ -4,10 +4,25 @@
 #include <cstdio>
 #include <cstring>
 
+#include "ins/common/clock.h"
+
 namespace ins {
 
 namespace {
+
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarning)};
+
+// Thread-local log context. The node tag is a fixed buffer (not std::string)
+// so installing it never allocates and is safe at any point of a handler.
+thread_local const Clock* t_log_clock = nullptr;
+thread_local char t_log_node[48] = {0};
+
+void CopyNodeTag(char (&dst)[48], std::string_view node) {
+  const size_t n = node.size() < sizeof(dst) - 1 ? node.size() : sizeof(dst) - 1;
+  std::memcpy(dst, node.data(), n);
+  dst[n] = '\0';
+}
+
 }  // namespace
 
 void SetMinLogLevel(LogLevel level) {
@@ -17,6 +32,17 @@ void SetMinLogLevel(LogLevel level) {
 LogLevel MinLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
+
+void SetThreadLogClock(const Clock* clock) { t_log_clock = clock; }
+
+void SetThreadLogNode(std::string_view node) { CopyNodeTag(t_log_node, node); }
+
+ScopedLogNode::ScopedLogNode(std::string_view node) {
+  std::memcpy(previous_, t_log_node, sizeof(previous_));
+  CopyNodeTag(t_log_node, node);
+}
+
+ScopedLogNode::~ScopedLogNode() { std::memcpy(t_log_node, previous_, sizeof(t_log_node)); }
 
 std::string_view LogLevelName(LogLevel level) {
   switch (level) {
@@ -40,8 +66,19 @@ namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LogLevelName(level) << " " << (base != nullptr ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[" << LogLevelName(level);
+  if (t_log_clock != nullptr) {
+    // Virtual time in seconds with microsecond resolution, e.g. "12.345678s".
+    const int64_t us = t_log_clock->Now().count();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " %lld.%06llds", static_cast<long long>(us / 1000000),
+                  static_cast<long long>(us % 1000000));
+    stream_ << buf;
+  }
+  if (t_log_node[0] != '\0') {
+    stream_ << " " << t_log_node;
+  }
+  stream_ << " " << (base != nullptr ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

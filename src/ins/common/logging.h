@@ -2,14 +2,25 @@
 //
 // Usage: INS_LOG(kInfo) << "discovered " << n << " names";
 // Messages below the global minimum level are discarded without formatting.
+//
+// Log lines carry the node context of the thread that emits them: the
+// simulation harness installs its virtual clock (SetThreadLogClock) and each
+// resolver scopes its own address around message handling (ScopedLogNode), so
+// a chaos-soak line reads
+//   [WARN 12.345s 10.0.0.3:5678 forwarding.cc:42] ...
+// instead of an anonymous interleaving of thirty resolvers.
 
 #ifndef INS_COMMON_LOGGING_H_
 #define INS_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 #include <string_view>
 
 namespace ins {
+
+class Clock;
 
 enum class LogLevel : int {
   kTrace = 0,
@@ -25,6 +36,29 @@ void SetMinLogLevel(LogLevel level);
 LogLevel MinLogLevel();
 
 std::string_view LogLevelName(LogLevel level);
+
+// Installs `clock` as this thread's log timestamp source (nullptr clears it).
+// With no clock installed, lines carry no timestamp — the real-UDP examples
+// keep the seed format.
+void SetThreadLogClock(const Clock* clock);
+
+// Sets this thread's node tag ("" clears it). Prefer ScopedLogNode.
+void SetThreadLogNode(std::string_view node);
+
+// RAII node tag for the duration of a message-handling scope; restores the
+// previous tag on exit, so nested scopes (an INR dispatching to a co-located
+// client callback) unwind correctly.
+class ScopedLogNode {
+ public:
+  explicit ScopedLogNode(std::string_view node);
+  ~ScopedLogNode();
+
+  ScopedLogNode(const ScopedLogNode&) = delete;
+  ScopedLogNode& operator=(const ScopedLogNode&) = delete;
+
+ private:
+  char previous_[48];
+};
 
 namespace internal {
 
@@ -56,5 +90,22 @@ class LogMessage {
   if (::ins::LogLevel::level < ::ins::MinLogLevel()) {        \
   } else                                                      \
     ::ins::internal::LogMessage(::ins::LogLevel::level, __FILE__, __LINE__)
+
+// Rate-limited variant: emits the 1st, (n+1)th, (2n+1)th... execution of this
+// statement, so a per-packet warning cannot flood a chaos run. The counter
+// still advances when the level is suppressed, keeping "every N" anchored to
+// occurrences, not to the log level in force. Unlike INS_LOG this expands to
+// a declaration plus a statement, so it cannot be the body of an unbraced
+// `if`/`for` — wrap such uses in braces.
+#define INS_LOG_EVERY_N_CAT_(a, b) a##b
+#define INS_LOG_EVERY_N_CAT(a, b) INS_LOG_EVERY_N_CAT_(a, b)
+#define INS_LOG_EVERY_N(level, n)                                                       \
+  static ::std::atomic<uint64_t> INS_LOG_EVERY_N_CAT(ins_log_occurrences_, __LINE__){0}; \
+  if (INS_LOG_EVERY_N_CAT(ins_log_occurrences_, __LINE__)                               \
+              .fetch_add(1, ::std::memory_order_relaxed) %                              \
+          static_cast<uint64_t>(n) !=                                                   \
+      0) {                                                                              \
+  } else                                                                                \
+    INS_LOG(level)
 
 #endif  // INS_COMMON_LOGGING_H_

@@ -1,3 +1,165 @@
 #include "ins/common/metrics.h"
 
-// MetricsRegistry is header-only; this translation unit anchors the library.
+#include <algorithm>
+#include <sstream>
+
+namespace ins {
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based; walk the buckets to find where it sits.
+  const double rank = q * static_cast<double>(count_);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    if (counts_[b] == 0) {
+      continue;
+    }
+    const uint64_t before = cumulative;
+    cumulative += counts_[b];
+    if (static_cast<double>(cumulative) < rank) {
+      continue;
+    }
+    // Interpolate inside the winning bucket, tightened by the observed
+    // extremes — a single-bucket distribution answers exactly.
+    const double low = static_cast<double>(std::max(BucketLow(b), min_));
+    const double high = static_cast<double>(std::min(BucketHigh(b), max_));
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts_[b]);
+    return low + (high - low) * within;
+  }
+  return static_cast<double>(max_);
+}
+
+std::vector<std::pair<uint8_t, uint64_t>> Histogram::SparseBuckets() const {
+  std::vector<std::pair<uint8_t, uint64_t>> out;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    if (counts_[b] != 0) {
+      out.emplace_back(static_cast<uint8_t>(b), counts_[b]);
+    }
+  }
+  return out;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (count_ == 0 || other.min_ < min_) {
+    min_ = other.min_;
+  }
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (size_t b = 0; b < kBucketCount; ++b) {
+    counts_[b] += other.counts_[b];
+  }
+}
+
+Histogram Histogram::FromParts(uint64_t sum, uint64_t min, uint64_t max,
+                               const std::vector<std::pair<uint8_t, uint64_t>>& buckets) {
+  Histogram h;
+  for (const auto& [index, count] : buckets) {
+    if (index < kBucketCount) {
+      h.counts_[index] += count;
+      h.count_ += count;
+    }
+  }
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = counters();
+  snap.gauges = gauges();
+  for (const auto& [name, slot] : histograms_) {
+    snap.histograms.emplace(name, *slot);
+  }
+  snap.timings = timings_;
+  return snap;
+}
+
+namespace {
+
+// Metric names are dot-separated identifiers, but escape the JSON specials
+// anyway so a surprising name can never corrupt a dump.
+void AppendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string MetricsSnapshotJson(const MetricsSnapshot& snapshot, int indent) {
+  const std::string pad(static_cast<size_t>(indent < 0 ? 0 : indent), ' ');
+  const std::string pad2 = pad + pad;
+  std::ostringstream os;
+  os << "{\n";
+
+  os << pad << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    os << (first ? "\n" : ",\n") << pad2;
+    AppendJsonString(os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n";
+
+  os << pad << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    os << (first ? "\n" : ",\n") << pad2;
+    AppendJsonString(os, name);
+    os << ": " << value;
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n";
+
+  os << pad << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    os << (first ? "\n" : ",\n") << pad2;
+    AppendJsonString(os, name);
+    os << ": {\"count\": " << h.count() << ", \"sum\": " << h.sum()
+       << ", \"min\": " << h.min() << ", \"max\": " << h.max() << ", \"p50\": " << h.P50()
+       << ", \"p90\": " << h.P90() << ", \"p99\": " << h.P99() << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (const auto& [index, count] : h.SparseBuckets()) {
+      os << (first_bucket ? "" : ", ") << "[" << static_cast<int>(index) << ", " << count
+         << "]";
+      first_bucket = false;
+    }
+    os << "]}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "},\n";
+
+  os << pad << "\"timings\": {";
+  first = true;
+  for (const auto& [name, stat] : snapshot.timings) {
+    os << (first ? "\n" : ",\n") << pad2;
+    AppendJsonString(os, name);
+    os << ": {\"count\": " << stat.count << ", \"total_us\": " << stat.total.count()
+       << ", \"min_us\": " << stat.min.count() << ", \"max_us\": " << stat.max.count()
+       << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n" + pad) << "}\n";
+
+  os << "}";
+  return os.str();
+}
+
+}  // namespace ins

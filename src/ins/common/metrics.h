@@ -1,55 +1,222 @@
 // Lightweight in-process metrics, the moral equivalent of the paper's
-// NetworkManagement monitoring application: every INR exposes counters and
-// gauges (names known, updates processed, packets forwarded, bytes sent) that
-// tests and benchmarks read to observe system behaviour.
+// NetworkManagement monitoring application: every INR exposes counters,
+// gauges, and latency histograms (names known, updates processed, packets
+// forwarded, lookup/queueing/delivery times) that tests, benchmarks, and the
+// netmon app read to observe system behaviour.
+//
+// Two access paths share one value store:
+//  * the string API (Increment/Counter/SetGauge/...) — cold paths, tests,
+//    and ad-hoc instrumentation; one map lookup per call;
+//  * pre-registered handles (RegisterCounter/...) — the packet path; a
+//    handle is a stable pointer into the registry, so an increment is one
+//    add with no hashing, no string compare, no allocation.
 
 #ifndef INS_COMMON_METRICS_H_
 #define INS_COMMON_METRICS_H_
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "ins/common/clock.h"
 
 namespace ins {
 
 // Aggregate of recorded durations (e.g. overlay reconvergence times after an
-// injected fault): enough for a benchmark to report count / mean / worst-case
-// time-to-heal without keeping every sample.
+// injected fault): enough for a benchmark to report count / mean / best /
+// worst-case time-to-heal without keeping every sample.
 struct DurationStat {
   uint64_t count = 0;
   Duration total{0};
+  Duration min{0};
   Duration max{0};
 
   Duration Mean() const { return count == 0 ? Duration(0) : total / static_cast<int64_t>(count); }
 };
 
-// A named bag of monotonic counters and settable gauges. Not thread-safe;
-// each node owns its registry and all access happens on that node's executor.
+// Fixed-shape log2-bucketed histogram of non-negative integer samples
+// (microseconds on every current use). Bucket b holds the values whose
+// bit_width is b, i.e. [2^(b-1), 2^b): constant-time record, 65 buckets
+// cover the whole u64 range, and a quantile estimate is always within the
+// 2x width of its bucket (exact when clamped by the observed min/max).
+class Histogram {
+ public:
+  static constexpr size_t kBucketCount = 65;  // bucket 0 = the value zero
+
+  static constexpr size_t BucketOf(uint64_t value) {
+    return static_cast<size_t>(std::bit_width(value));
+  }
+  // Inclusive value range covered by bucket b.
+  static constexpr uint64_t BucketLow(size_t b) {
+    return b == 0 ? 0 : uint64_t{1} << (b - 1);
+  }
+  static constexpr uint64_t BucketHigh(size_t b) {
+    return b >= 64 ? ~uint64_t{0} : (uint64_t{1} << b) - 1;
+  }
+
+  void Record(uint64_t value) {
+    counts_[BucketOf(value)] += 1;
+    if (count_ == 0 || value < min_) {
+      min_ = value;
+    }
+    if (value > max_) {
+      max_ = value;
+    }
+    count_ += 1;
+    sum_ += value;
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return min_; }
+  uint64_t max() const { return max_; }
+  double Mean() const { return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_); }
+
+  // Quantile estimate for q in [0, 1]: linear interpolation inside the
+  // bucket holding the q-th sample, clamped to the observed [min, max].
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P90() const { return Quantile(0.90); }
+  double P99() const { return Quantile(0.99); }
+
+  const std::array<uint64_t, kBucketCount>& bucket_counts() const { return counts_; }
+  // The non-empty buckets as (index, count) pairs — the wire/JSON encoding.
+  std::vector<std::pair<uint8_t, uint64_t>> SparseBuckets() const;
+
+  void Merge(const Histogram& other);
+  void Reset() { *this = Histogram{}; }
+
+  // Rebuilds a histogram from its transported parts (netmon polling).
+  static Histogram FromParts(uint64_t sum, uint64_t min, uint64_t max,
+                             const std::vector<std::pair<uint8_t, uint64_t>>& buckets);
+
+ private:
+  std::array<uint64_t, kBucketCount> counts_{};
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// O(1) handles into a registry. A default-constructed handle is a no-op sink
+// (writes vanish, reads are zero), so optional instrumentation needs no null
+// checks at the call sites. Handles stay valid across Reset() — the registry
+// zeroes values in place, it never moves them.
+class CounterHandle {
+ public:
+  CounterHandle() = default;
+  void Increment(uint64_t delta = 1) {
+    if (slot_ != nullptr) {
+      *slot_ += delta;
+    }
+  }
+  uint64_t value() const { return slot_ == nullptr ? 0 : *slot_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit CounterHandle(uint64_t* slot) : slot_(slot) {}
+  uint64_t* slot_ = nullptr;
+};
+
+class GaugeHandle {
+ public:
+  GaugeHandle() = default;
+  void Set(int64_t value) {
+    if (slot_ != nullptr) {
+      *slot_ = value;
+    }
+  }
+  int64_t value() const { return slot_ == nullptr ? 0 : *slot_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit GaugeHandle(int64_t* slot) : slot_(slot) {}
+  int64_t* slot_ = nullptr;
+};
+
+class HistogramHandle {
+ public:
+  HistogramHandle() = default;
+  void Record(uint64_t value) {
+    if (slot_ != nullptr) {
+      slot_->Record(value);
+    }
+  }
+  const Histogram* get() const { return slot_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit HistogramHandle(Histogram* slot) : slot_(slot) {}
+  Histogram* slot_ = nullptr;
+};
+
+// A point-in-time copy of a registry: what the wire protocol ships to the
+// netmon app and bench JSON embeds.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, Histogram> histograms;
+  std::map<std::string, DurationStat> timings;
+};
+
+// A named bag of monotonic counters, settable gauges, histograms, and
+// duration aggregates. Not thread-safe; each node owns its registry and all
+// access happens on that node's executor.
 class MetricsRegistry {
  public:
-  void Increment(const std::string& name, uint64_t delta = 1) {
-    counters_[name] += delta;
+  // --- Pre-registration (hot paths) ----------------------------------------
+  // Registering the same name twice returns a handle to the same slot, so a
+  // handle and the string API always observe one value.
+
+  CounterHandle RegisterCounter(const std::string& name) {
+    return CounterHandle(CounterSlot(name));
   }
+  GaugeHandle RegisterGauge(const std::string& name) { return GaugeHandle(GaugeSlot(name)); }
+  HistogramHandle RegisterHistogram(const std::string& name) {
+    return HistogramHandle(HistogramSlot(name));
+  }
+
+  // --- String API (cold paths, tests) --------------------------------------
+
+  void Increment(const std::string& name, uint64_t delta = 1) { *CounterSlot(name) += delta; }
   uint64_t Counter(const std::string& name) const {
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : *it->second;
   }
 
-  void SetGauge(const std::string& name, int64_t value) { gauges_[name] = value; }
+  void SetGauge(const std::string& name, int64_t value) { *GaugeSlot(name) = value; }
   int64_t Gauge(const std::string& name) const {
     auto it = gauges_.find(name);
-    return it == gauges_.end() ? 0 : it->second;
+    return it == gauges_.end() ? 0 : *it->second;
   }
 
+  void RecordValue(const std::string& name, uint64_t value) {
+    HistogramSlot(name)->Record(value);
+  }
+  // Copy of the named histogram (empty if never recorded).
+  Histogram HistogramOf(const std::string& name) const {
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? Histogram{} : *it->second;
+  }
+
+  // Records into both views of a duration series: the DurationStat aggregate
+  // and a same-named histogram of microseconds (the quantile view).
   void RecordDuration(const std::string& name, Duration d) {
     DurationStat& s = timings_[name];
-    s.count += 1;
-    s.total += d;
+    if (s.count == 0 || d < s.min) {
+      s.min = d;
+    }
     if (d > s.max) {
       s.max = d;
     }
+    s.count += 1;
+    s.total += d;
+    HistogramSlot(name)->Record(d.count() < 0 ? 0 : static_cast<uint64_t>(d.count()));
   }
   DurationStat Timing(const std::string& name) const {
     auto it = timings_.find(name);
@@ -63,26 +230,89 @@ class MetricsRegistry {
     uint64_t total = 0;
     for (auto it = counters_.lower_bound(prefix);
          it != counters_.end() && it->first.compare(0, prefix.size(), prefix) == 0; ++it) {
-      total += it->second;
+      total += *it->second;
     }
     return total;
   }
 
-  const std::map<std::string, uint64_t>& counters() const { return counters_; }
-  const std::map<std::string, int64_t>& gauges() const { return gauges_; }
+  // Materialized name->value views (values live in slot storage now, so
+  // these return copies, not references).
+  std::map<std::string, uint64_t> counters() const {
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, slot] : counters_) {
+      out.emplace(name, *slot);
+    }
+    return out;
+  }
+  std::map<std::string, int64_t> gauges() const {
+    std::map<std::string, int64_t> out;
+    for (const auto& [name, slot] : gauges_) {
+      out.emplace(name, *slot);
+    }
+    return out;
+  }
   const std::map<std::string, DurationStat>& timings() const { return timings_; }
 
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every value in place. Registered names and outstanding handles
+  // stay valid (a handle held by a subsystem must survive a mid-run Reset).
   void Reset() {
-    counters_.clear();
-    gauges_.clear();
+    for (uint64_t& v : counter_slots_) {
+      v = 0;
+    }
+    for (int64_t& v : gauge_slots_) {
+      v = 0;
+    }
+    for (Histogram& h : histogram_slots_) {
+      h.Reset();
+    }
     timings_.clear();
   }
 
  private:
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, int64_t> gauges_;
+  // Slot storage is a deque: push_back never moves existing elements, so the
+  // pointers held by index maps and handles are stable for the registry's
+  // lifetime.
+  uint64_t* CounterSlot(const std::string& name) {
+    auto it = counters_.find(name);
+    if (it == counters_.end()) {
+      counter_slots_.push_back(0);
+      it = counters_.emplace(name, &counter_slots_.back()).first;
+    }
+    return it->second;
+  }
+  int64_t* GaugeSlot(const std::string& name) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end()) {
+      gauge_slots_.push_back(0);
+      it = gauges_.emplace(name, &gauge_slots_.back()).first;
+    }
+    return it->second;
+  }
+  Histogram* HistogramSlot(const std::string& name) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histogram_slots_.emplace_back();
+      it = histograms_.emplace(name, &histogram_slots_.back()).first;
+    }
+    return it->second;
+  }
+
+  std::deque<uint64_t> counter_slots_;
+  std::deque<int64_t> gauge_slots_;
+  std::deque<Histogram> histogram_slots_;
+  std::map<std::string, uint64_t*> counters_;
+  std::map<std::string, int64_t*> gauges_;
+  std::map<std::string, Histogram*> histograms_;
   std::map<std::string, DurationStat> timings_;
 };
+
+// Renders a snapshot as JSON: {"counters": {...}, "gauges": {...},
+// "histograms": {name: {count, sum, min, max, p50, p90, p99,
+// buckets: [[index, count], ...]}}, "timings": {...}}. Shared by the bench
+// JSON writers and the netmon report.
+std::string MetricsSnapshotJson(const MetricsSnapshot& snapshot, int indent = 2);
 
 }  // namespace ins
 

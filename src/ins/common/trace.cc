@@ -1,0 +1,47 @@
+#include "ins/common/trace.h"
+
+namespace ins {
+
+std::string_view TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kReceived:
+      return "received";
+    case TraceEventKind::kQueued:
+      return "queued";
+    case TraceEventKind::kAdmitted:
+      return "admitted";
+    case TraceEventKind::kLookup:
+      return "lookup";
+    case TraceEventKind::kNextHopChosen:
+      return "next-hop-chosen";
+    case TraceEventKind::kDelivered:
+      return "delivered";
+    case TraceEventKind::kDropped:
+      return "dropped";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Record(const TraceEvent& event) {
+  ring_[recorded_ % ring_.size()] = event;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRing::Events() const {
+  std::vector<TraceEvent> out;
+  const size_t n = recorded_ < ring_.size() ? static_cast<size_t>(recorded_) : ring_.size();
+  out.reserve(n);
+  const uint64_t start = recorded_ - n;
+  for (uint64_t i = start; i < recorded_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  recorded_ = 0;
+}
+
+}  // namespace ins

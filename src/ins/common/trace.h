@@ -1,0 +1,75 @@
+// Hop-by-hop packet tracing (the observability side of the paper's
+// NetworkManagement service).
+//
+// A sampled data packet carries a 64-bit trace id in its header (wire format
+// in wire/packet.h); every resolver that touches it appends TraceEvents to a
+// fixed-capacity per-node ring. The harness merges the rings into causal
+// per-packet journeys (harness/trace_collector.h) — which path a packet
+// took, where it was queued, and exactly why it was dropped. An unsampled
+// packet (trace id 0) records nothing: the cost on the seed path is one
+// branch per event site.
+
+#ifndef INS_COMMON_TRACE_H_
+#define INS_COMMON_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "ins/common/clock.h"
+#include "ins/common/node_address.h"
+
+namespace ins {
+
+enum class TraceEventKind : uint8_t {
+  kReceived = 0,       // datagram decoded on a node; value = hop limit left
+  kQueued = 1,         // held by admission control; value = queue depth
+  kAdmitted = 2,       // released to dispatch; value = microseconds queued
+  kLookup = 3,         // resolved against the name tree; value = match count
+  kNextHopChosen = 4,  // tunneled on; peer = next-hop INR, value = hop limit
+  kDelivered = 5,      // handed to an attached endpoint; peer = endpoint
+  kDropped = 6,        // detail = the forwarding.drop.* reason suffix
+};
+
+std::string_view TraceEventKindName(TraceEventKind kind);
+
+struct TraceEvent {
+  uint64_t trace_id = 0;
+  TimePoint at{0};   // node-local (simulated) time of the event
+  NodeAddress node;  // resolver that recorded the event
+  TraceEventKind kind = TraceEventKind::kReceived;
+  // Kind-specific annotation with static storage (drop reason, delivery
+  // flavor); never owned, so recording an event allocates nothing.
+  const char* detail = "";
+  NodeAddress peer;   // next hop / delivery endpoint when meaningful
+  uint64_t value = 0; // kind-specific scalar (see the kind comments)
+};
+
+// Fixed-capacity overwrite-oldest event ring. Bounded memory per node however
+// long a soak runs; when it wraps, the newest events win — the tail of a
+// journey is what diagnoses a loss.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 1024);
+
+  void Record(const TraceEvent& event);
+
+  // The retained events, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  size_t capacity() const { return ring_.size(); }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t overwritten() const {
+    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+  }
+  void Clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  uint64_t recorded_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_COMMON_TRACE_H_

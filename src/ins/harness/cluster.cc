@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
+
+#include "ins/common/logging.h"
 
 namespace ins {
 
@@ -12,6 +16,8 @@ SimCluster::SimCluster(ClusterOptions options)
       net_(&loop_, options_.seed),
       faults_(&net_, options_.seed) {
   net_.SetDefaultLink(options_.default_link);
+  // Log lines from everything this cluster runs carry virtual-time stamps.
+  SetThreadLogClock(&loop_);
   dsr_address_ = MakeAddress(kDsrHostIndex);
   dsr_transport_ = net_.Bind(dsr_address_);
   dsr_ = std::make_unique<Dsr>(&loop_, dsr_transport_.get());
@@ -22,6 +28,7 @@ SimCluster::~SimCluster() {
   handles_.clear();
   dsr_.reset();
   dsr_transport_.reset();
+  SetThreadLogClock(nullptr);
 }
 
 Inr* SimCluster::AddInr(uint32_t host_index, std::vector<std::string> vspaces) {
@@ -48,6 +55,11 @@ void SimCluster::RemoveInr(Inr* inr) {
   auto it = std::find_if(handles_.begin(), handles_.end(),
                          [inr](const std::unique_ptr<InrHandle>& h) { return h->inr.get() == inr; });
   assert(it != handles_.end());
+  // Harvest the ring before the node is destroyed: the last hop of a lost
+  // packet is often exactly the resolver that just died.
+  for (const TraceEvent& ev : inr->trace_ring().Events()) {
+    retired_trace_events_.push_back(ev);
+  }
   handles_.erase(it);
 }
 
@@ -202,6 +214,35 @@ std::string SimCluster::CheckTreeInvariant() {
   }
   // n nodes, connected, n-1 symmetric links => acyclic: a spanning tree.
   return problems.str();
+}
+
+TraceCollector SimCluster::CollectTraces() {
+  TraceCollector collector;
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    collector.Add(h->inr->trace_ring());
+  }
+  collector.AddEvents(retired_trace_events_);
+  return collector;
+}
+
+size_t SimCluster::DumpLostJourneys(const std::string& label) {
+  TraceCollector collector = CollectTraces();
+  const std::vector<PacketJourney> lost = collector.LostJourneys();
+  if (lost.empty()) {
+    return 0;
+  }
+  INS_LOG(kWarning) << label << ": " << lost.size() << " sampled packet(s) lost:\n"
+                    << TraceCollector::Text(lost);
+  const char* dir = std::getenv("INS_TRACE_DUMP_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    const std::string base = std::string(dir) + "/" + label;
+    std::ofstream text(base + ".journeys.txt");
+    text << TraceCollector::Text(lost);
+    std::ofstream json(base + ".trace.json");
+    json << collector.ChromeTraceJson();
+    INS_LOG(kWarning) << label << ": journeys dumped to " << base << ".{journeys.txt,trace.json}";
+  }
+  return lost.size();
 }
 
 std::optional<Duration> SimCluster::MeasureReconvergence(Duration budget) {

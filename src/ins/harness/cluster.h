@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "ins/harness/trace_collector.h"
 #include "ins/inr/inr.h"
 #include "ins/overlay/dsr.h"
 #include "ins/sim/event_loop.h"
@@ -135,6 +136,20 @@ class SimCluster {
 
   const MetricsRegistry& metrics() const { return metrics_; }
 
+  // --- Tracing --------------------------------------------------------------
+
+  // Merges every resolver's trace ring (including rings harvested from
+  // resolvers that crashed or were removed) into one collector. Collect once
+  // per run boundary: the rings are not drained, so collecting twice doubles
+  // events.
+  TraceCollector CollectTraces();
+
+  // Failure forensics: renders the journeys of all sampled-but-undelivered
+  // packets. When the INS_TRACE_DUMP_DIR environment variable is set, also
+  // writes <label>.journeys.txt and <label>.trace.json there (the CI uploads
+  // them as artifacts). Returns the number of lost journeys.
+  size_t DumpLostJourneys(const std::string& label);
+
   // Advances virtual time far enough for in-flight message exchanges to
   // complete (links are ~1 ms). Resolver timers reschedule themselves, so
   // "run until idle" never terminates on a live cluster — bounded settling
@@ -164,6 +179,9 @@ class SimCluster {
   // Config of every crashed resolver, keyed by host index, so RestartInr can
   // bring the same node back.
   std::map<uint32_t, InrConfig> crash_sites_;
+  // Trace events of resolvers that left the cluster (crash or removal): a
+  // lost packet's last hop is often exactly the node that died.
+  std::vector<TraceEvent> retired_trace_events_;
   MetricsRegistry metrics_;
 };
 

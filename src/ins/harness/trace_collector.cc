@@ -1,0 +1,241 @@
+#include "ins/harness/trace_collector.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace ins {
+
+namespace {
+
+// Seconds with microsecond precision, e.g. "12.345678s".
+std::string FormatTime(TimePoint at) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%06" PRId64 "s", at.count() / 1000000,
+                at.count() % 1000000);
+  return buf;
+}
+
+std::string FormatTraceId(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, id);
+  return buf;
+}
+
+void SortCausally(std::vector<TraceEvent>& events) {
+  // Simulated time is a single global clock, so time order IS causal order;
+  // stable sort keeps each node's recording order for same-instant events.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.at < b.at; });
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+bool PacketJourney::delivered() const {
+  return std::any_of(events.begin(), events.end(), [](const TraceEvent& e) {
+    return e.kind == TraceEventKind::kDelivered;
+  });
+}
+
+bool PacketJourney::dropped() const {
+  return std::any_of(events.begin(), events.end(), [](const TraceEvent& e) {
+    return e.kind == TraceEventKind::kDropped;
+  });
+}
+
+const char* PacketJourney::drop_reason() const {
+  for (const TraceEvent& e : events) {
+    if (e.kind == TraceEventKind::kDropped) {
+      return e.detail;
+    }
+  }
+  return "";
+}
+
+Duration PacketJourney::Elapsed() const {
+  if (events.empty()) {
+    return Duration{0};
+  }
+  return events.back().at - events.front().at;
+}
+
+std::string PacketJourney::ToString() const {
+  std::ostringstream os;
+  os << "trace " << FormatTraceId(trace_id);
+  if (delivered()) {
+    os << " (delivered, " << Elapsed().count() << " us)";
+  } else if (dropped()) {
+    os << " (DROPPED: " << drop_reason() << ")";
+  } else {
+    os << " (LOST: no delivery, no drop event)";
+  }
+  os << "\n";
+  for (const TraceEvent& e : events) {
+    os << "  [" << FormatTime(e.at) << "] " << e.node.ToString() << " "
+       << TraceEventKindName(e.kind);
+    if (e.detail != nullptr && e.detail[0] != '\0') {
+      os << " " << e.detail;
+    }
+    if (e.peer.IsValid()) {
+      os << " peer=" << e.peer.ToString();
+    }
+    switch (e.kind) {
+      case TraceEventKind::kReceived:
+      case TraceEventKind::kNextHopChosen:
+        os << " hop_limit=" << e.value;
+        break;
+      case TraceEventKind::kQueued:
+        os << " depth=" << e.value;
+        break;
+      case TraceEventKind::kAdmitted:
+        os << " queued_us=" << e.value;
+        break;
+      case TraceEventKind::kLookup:
+        os << " matches=" << e.value;
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void TraceCollector::Add(const TraceRing& ring) { AddEvents(ring.Events()); }
+
+void TraceCollector::AddEvents(const std::vector<TraceEvent>& events) {
+  for (const TraceEvent& e : events) {
+    by_trace_[e.trace_id].push_back(e);
+    ++event_count_;
+  }
+}
+
+std::vector<PacketJourney> TraceCollector::Journeys() const {
+  std::vector<PacketJourney> out;
+  out.reserve(by_trace_.size());
+  for (const auto& [id, events] : by_trace_) {
+    PacketJourney j;
+    j.trace_id = id;
+    j.events = events;
+    SortCausally(j.events);
+    out.push_back(std::move(j));
+  }
+  std::stable_sort(out.begin(), out.end(), [](const PacketJourney& a, const PacketJourney& b) {
+    const TimePoint ta = a.events.empty() ? TimePoint{0} : a.events.front().at;
+    const TimePoint tb = b.events.empty() ? TimePoint{0} : b.events.front().at;
+    if (ta != tb) {
+      return ta < tb;
+    }
+    return a.trace_id < b.trace_id;
+  });
+  return out;
+}
+
+std::optional<PacketJourney> TraceCollector::JourneyOf(uint64_t trace_id) const {
+  auto it = by_trace_.find(trace_id);
+  if (it == by_trace_.end()) {
+    return std::nullopt;
+  }
+  PacketJourney j;
+  j.trace_id = trace_id;
+  j.events = it->second;
+  SortCausally(j.events);
+  return j;
+}
+
+std::vector<PacketJourney> TraceCollector::LostJourneys() const {
+  std::vector<PacketJourney> out;
+  for (PacketJourney& j : Journeys()) {
+    if (!j.delivered()) {
+      out.push_back(std::move(j));
+    }
+  }
+  return out;
+}
+
+std::string TraceCollector::Text() const { return Text(Journeys()); }
+
+std::string TraceCollector::Text(const std::vector<PacketJourney>& journeys) {
+  std::string out;
+  for (const PacketJourney& j : journeys) {
+    out += j.ToString();
+  }
+  return out;
+}
+
+std::string TraceCollector::ChromeTraceJson() const {
+  // One "process" per journey and one "thread" per resolver within it, so the
+  // timeline shows each packet as a lane and its hops as rows.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  int pid = 0;
+  for (const PacketJourney& j : Journeys()) {
+    ++pid;
+    auto emit = [&](const std::string& line) {
+      if (!first) {
+        out += ",";
+      }
+      first = false;
+      out += "\n";
+      out += line;
+    };
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"args\":{\"name\":\"trace " + FormatTraceId(j.trace_id) + "\"}}");
+    std::map<std::string, int> tids;
+    for (const TraceEvent& e : j.events) {
+      const std::string node = e.node.ToString();
+      auto [it, inserted] = tids.emplace(node, static_cast<int>(tids.size()) + 1);
+      if (inserted) {
+        std::string meta = "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+                           std::to_string(pid) + ",\"tid\":" + std::to_string(it->second) +
+                           ",\"args\":{\"name\":\"";
+        AppendJsonEscaped(meta, node);
+        meta += "\"}}";
+        emit(meta);
+      }
+      std::string line = "{\"name\":\"";
+      AppendJsonEscaped(line, TraceEventKindName(e.kind));
+      line += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(it->second) +
+              ",\"ts\":" + std::to_string(e.at.count()) + ",\"args\":{\"detail\":\"";
+      AppendJsonEscaped(line, e.detail == nullptr ? "" : e.detail);
+      line += "\",\"value\":" + std::to_string(e.value);
+      if (e.peer.IsValid()) {
+        line += ",\"peer\":\"";
+        AppendJsonEscaped(line, e.peer.ToString());
+        line += "\"";
+      }
+      line += "}}";
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Histogram TraceCollector::DeliveryHistogram() const {
+  Histogram h;
+  for (const PacketJourney& j : Journeys()) {
+    if (j.delivered()) {
+      h.Record(static_cast<uint64_t>(j.Elapsed().count()));
+    }
+  }
+  return h;
+}
+
+void TraceCollector::Clear() {
+  by_trace_.clear();
+  event_count_ = 0;
+}
+
+}  // namespace ins

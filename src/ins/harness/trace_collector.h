@@ -1,0 +1,80 @@
+// Merges per-node trace rings into causal per-packet journeys.
+//
+// Each resolver records TraceEvents for sampled packets into its own ring
+// (common/trace.h); node-local order is only meaningful per node. The
+// collector groups events by trace id and orders them by simulated time
+// (identical under the discrete-event clock across nodes), yielding the
+// packet's journey: which resolvers touched it, where it queued, where it was
+// delivered — or the exact drop reason when it was not. Journeys render as
+// text for failure logs and as Chrome trace-event JSON (chrome://tracing,
+// Perfetto) for visual inspection.
+
+#ifndef INS_HARNESS_TRACE_COLLECTOR_H_
+#define INS_HARNESS_TRACE_COLLECTOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ins/common/metrics.h"
+#include "ins/common/trace.h"
+
+namespace ins {
+
+struct PacketJourney {
+  uint64_t trace_id = 0;
+  std::vector<TraceEvent> events;  // ordered by time, then insertion
+
+  bool delivered() const;
+  bool dropped() const;
+  // The first kDropped event's detail — a forwarding.drop.* suffix such as
+  // "no_match" or "shed_class2" — or "" when the journey was not dropped.
+  const char* drop_reason() const;
+  // Span from the first event to the last; end-to-end delivery time for a
+  // delivered journey.
+  Duration Elapsed() const;
+
+  std::string ToString() const;
+};
+
+class TraceCollector {
+ public:
+  // Folds one node's retained events into the collector. Rings may be added
+  // in any order and more than once per run boundary is NOT supported (events
+  // would double); collect once, after the traffic of interest.
+  void Add(const TraceRing& ring);
+  void AddEvents(const std::vector<TraceEvent>& events);
+
+  // All journeys, ordered by first-event time (ties by trace id).
+  std::vector<PacketJourney> Journeys() const;
+  std::optional<PacketJourney> JourneyOf(uint64_t trace_id) const;
+
+  // Journeys with no kDelivered event: every sampled packet that vanished.
+  // A journey both dropped and undelivered appears here with its drop reason;
+  // one with neither event ended on a crashed node or an overwritten ring.
+  std::vector<PacketJourney> LostJourneys() const;
+
+  // Human-readable dump of the given journeys (all of them by default).
+  std::string Text() const;
+  static std::string Text(const std::vector<PacketJourney>& journeys);
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}): one process per
+  // journey, one thread per resolver, instant events per hop. Loadable in
+  // chrome://tracing or Perfetto as-is.
+  std::string ChromeTraceJson() const;
+
+  // End-to-end delivery time (µs) of every delivered journey.
+  Histogram DeliveryHistogram() const;
+
+  size_t event_count() const { return event_count_; }
+  void Clear();
+
+ private:
+  std::map<uint64_t, std::vector<TraceEvent>> by_trace_;
+  size_t event_count_ = 0;
+};
+
+}  // namespace ins
+
+#endif  // INS_HARNESS_TRACE_COLLECTOR_H_

@@ -15,6 +15,9 @@ const char* kProcessedCounter[3] = {"admission.processed.class0",
                                     "admission.processed.class2"};
 const char* kShedCounter[3] = {"forwarding.drop.shed_class0", "forwarding.drop.shed_class1",
                                "forwarding.drop.shed_class2"};
+// Trace detail of a shed drop: the same suffix its counter carries, so a
+// journey's kDropped event names the forwarding.drop.* family member.
+const char* kShedReason[3] = {"shed_class0", "shed_class1", "shed_class2"};
 
 }  // namespace
 
@@ -37,11 +40,24 @@ int ClassifyMessage(const Envelope& env) {
 }
 
 AdmissionController::AdmissionController(Executor* executor, MetricsRegistry* metrics,
-                                         AdmissionConfig config, DispatchFn dispatch)
+                                         AdmissionConfig config, DispatchFn dispatch,
+                                         TraceRing* trace, NodeAddress self)
     : executor_(executor),
       metrics_(metrics),
       config_(config),
-      dispatch_(std::move(dispatch)) {}
+      dispatch_(std::move(dispatch)),
+      trace_(trace),
+      self_(self),
+      shed_queue_full_(metrics->RegisterCounter("admission.shed_queue_full")),
+      shed_lag_(metrics->RegisterCounter("admission.shed_lag")),
+      lag_gauge_(metrics->RegisterGauge("admission.lag_us")),
+      queued_us_(metrics->RegisterHistogram("admission.queued_us")) {
+  for (size_t c = 0; c < 3; ++c) {
+    admitted_[c] = metrics->RegisterCounter(kAdmittedCounter[c]);
+    processed_[c] = metrics->RegisterCounter(kProcessedCounter[c]);
+    shed_[c] = metrics->RegisterCounter(kShedCounter[c]);
+  }
+}
 
 AdmissionController::~AdmissionController() { Clear(); }
 
@@ -62,13 +78,34 @@ Duration AdmissionController::EstimatedWait() const {
 
 Duration AdmissionController::LoadSignal() const { return std::max(lag_ewma_, EstimatedWait()); }
 
-void AdmissionController::Shed(int cls, const char* signal) {
-  metrics_->Increment(kShedCounter[cls]);
-  metrics_->Increment(std::string("admission.shed_") + signal);
+void AdmissionController::Trace(const Envelope& env, TraceEventKind kind, const char* detail,
+                                uint64_t value) {
+  if (trace_ == nullptr) {
+    return;
+  }
+  const Packet* packet = std::get_if<Packet>(&env.body);
+  if (packet == nullptr || !packet->traced()) {
+    return;
+  }
+  TraceEvent ev;
+  ev.trace_id = packet->trace_id;
+  ev.at = executor_->Now();
+  ev.node = self_;
+  ev.kind = kind;
+  ev.detail = detail;
+  ev.value = value;
+  trace_->Record(ev);
+}
+
+void AdmissionController::Shed(int cls, const char* signal, const Envelope& env) {
+  shed_[cls].Increment();
+  (*signal == 'q' ? shed_queue_full_ : shed_lag_).Increment();
+  Trace(env, TraceEventKind::kDropped, kShedReason[cls]);
 }
 
 void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
   if (!config_.enabled) {
+    Trace(env, TraceEventKind::kAdmitted);
     dispatch_(src, env, Duration{0});
     return;
   }
@@ -76,7 +113,7 @@ void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
   const size_t idx = static_cast<size_t>(cls);
 
   if (queues_[idx].size() >= config_.queue_capacity[idx]) {
-    Shed(cls, "queue_full");
+    Shed(cls, "queue_full", env);
     return;
   }
   // Load shedding, lowest class first. Class 0 is exempt: soft-state
@@ -84,15 +121,16 @@ void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
   // expires under the very overload it is meant to survive.
   const Duration load = LoadSignal();
   if (cls == 2 && load >= config_.shed_class2_lag) {
-    Shed(cls, "lag");
+    Shed(cls, "lag", env);
     return;
   }
   if (cls == 1 && load >= config_.shed_class1_lag) {
-    Shed(cls, "lag");
+    Shed(cls, "lag", env);
     return;
   }
 
-  metrics_->Increment(kAdmittedCounter[idx]);
+  admitted_[idx].Increment();
+  Trace(env, TraceEventKind::kQueued, "", queues_[idx].size() + 1);
   queues_[idx].push_back(Pending{src, std::move(env), executor_->Now()});
   ScheduleDrain();
 }
@@ -131,8 +169,11 @@ void AdmissionController::DrainOne() {
   const double alpha = config_.lag_ewma_alpha;
   lag_ewma_ = Duration(static_cast<int64_t>(alpha * static_cast<double>(queued.count()) +
                                             (1.0 - alpha) * static_cast<double>(lag_ewma_.count())));
-  metrics_->SetGauge("admission.lag_us", lag_ewma_.count());
-  metrics_->Increment(kProcessedCounter[idx]);
+  lag_gauge_.Set(lag_ewma_.count());
+  processed_[idx].Increment();
+  queued_us_.Record(static_cast<uint64_t>(std::max<int64_t>(queued.count(), 0)));
+  Trace(msg.env, TraceEventKind::kAdmitted, "",
+        static_cast<uint64_t>(std::max<int64_t>(queued.count(), 0)));
 
   busy_until_ = now + config_.processing_cost;
   dispatch_(msg.src, msg.env, queued);

@@ -41,6 +41,7 @@
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
+#include "ins/common/trace.h"
 #include "ins/wire/messages.h"
 
 namespace ins {
@@ -69,8 +70,11 @@ class AdmissionController {
   using DispatchFn =
       std::function<void(const NodeAddress& src, const Envelope& env, Duration queued)>;
 
+  // `trace`/`self` are optional (standalone tests construct without them):
+  // when set, sampled data packets leave kQueued/kAdmitted/kDropped events in
+  // the ring as they cross the admission boundary.
   AdmissionController(Executor* executor, MetricsRegistry* metrics, AdmissionConfig config,
-                      DispatchFn dispatch);
+                      DispatchFn dispatch, TraceRing* trace = nullptr, NodeAddress self = {});
   ~AdmissionController();
 
   AdmissionController(const AdmissionController&) = delete;
@@ -99,12 +103,27 @@ class AdmissionController {
   void ScheduleDrain();
   void DrainOne();
   Duration EstimatedWait() const;
-  void Shed(int cls, const char* signal);
+  void Shed(int cls, const char* signal, const Envelope& env);
+  // Records a trace event when `env` carries a sampled data packet.
+  void Trace(const Envelope& env, TraceEventKind kind, const char* detail = "",
+             uint64_t value = 0);
 
   Executor* executor_;
   MetricsRegistry* metrics_;
   AdmissionConfig config_;
   DispatchFn dispatch_;
+  TraceRing* trace_;
+  NodeAddress self_;
+
+  // Pre-registered handles: admission sits on the ingress path of every
+  // message, so its accounting must not do string-map lookups per packet.
+  CounterHandle admitted_[3];
+  CounterHandle processed_[3];
+  CounterHandle shed_[3];
+  CounterHandle shed_queue_full_;
+  CounterHandle shed_lag_;
+  GaugeHandle lag_gauge_;
+  HistogramHandle queued_us_;
 
   std::array<std::deque<Pending>, 3> queues_;
   TaskId drain_task_ = kInvalidTaskId;

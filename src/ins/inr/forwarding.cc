@@ -1,6 +1,7 @@
 #include "ins/inr/forwarding.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "ins/common/logging.h"
@@ -28,27 +29,66 @@ Result<std::pair<uint64_t, NodeAddress>> DecodeEarlyBindingPayload(const Bytes& 
 
 ForwardingAgent::ForwardingAgent(Executor* executor, SendFn send, NodeAddress self,
                                  VspaceManager* vspaces, TopologyManager* topology,
-                                 PacketCache* cache, MetricsRegistry* metrics)
+                                 PacketCache* cache, MetricsRegistry* metrics,
+                                 TraceRing* trace)
     : executor_(executor),
       send_(std::move(send)),
       self_(self),
       vspaces_(vspaces),
       topology_(topology),
       cache_(cache),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      trace_(trace),
+      packets_(metrics->RegisterCounter("forwarding.packets")),
+      lookups_(metrics->RegisterCounter("forwarding.lookups")),
+      anycasts_(metrics->RegisterCounter("forwarding.anycast")),
+      multicasts_(metrics->RegisterCounter("forwarding.multicast")),
+      early_bindings_(metrics->RegisterCounter("forwarding.early_binding")),
+      local_deliveries_(metrics->RegisterCounter("forwarding.local_deliveries")),
+      tunneled_(metrics->RegisterCounter("forwarding.tunneled")),
+      cross_vspace_(metrics->RegisterCounter("forwarding.cross_vspace")),
+      cache_answers_(metrics->RegisterCounter("forwarding.cache_answers")),
+      cache_inserts_(metrics->RegisterCounter("forwarding.cache_inserts")),
+      lookup_us_(metrics->RegisterHistogram("forwarding.lookup_us")) {
+  for (size_t i = 0; i < kForwardingDropReasonCount; ++i) {
+    drops_[i] = metrics->RegisterCounter(std::string("forwarding.drop.") +
+                                         kForwardingDropReasonNames[i]);
+  }
+}
+
+void ForwardingAgent::Trace(const Packet& packet, TraceEventKind kind, const char* detail,
+                            NodeAddress peer, uint64_t value) {
+  if (!packet.traced() || trace_ == nullptr) {
+    return;
+  }
+  TraceEvent ev;
+  ev.trace_id = packet.trace_id;
+  ev.at = executor_->Now();
+  ev.node = self_;
+  ev.kind = kind;
+  ev.detail = detail;
+  ev.peer = peer;
+  ev.value = value;
+  trace_->Record(ev);
+}
+
+void ForwardingAgent::NoteDrop(const Packet& packet, ForwardingDropReason reason) {
+  drops_[static_cast<size_t>(reason)].Increment();
+  Trace(packet, TraceEventKind::kDropped, ForwardingDropReasonName(reason));
+}
 
 void ForwardingAgent::HandleData(const NodeAddress& src, const Packet& packet) {
-  metrics_->Increment("forwarding.packets");
+  packets_.Increment();
   if (packet.hop_limit == 0) {
-    metrics_->Increment("forwarding.drop.hop_limit");
+    NoteDrop(packet, ForwardingDropReason::kHopLimit);
     return;
   }
   // Decode the destination once per packet; the memoizing decoder makes the
   // steady-state cost of a repeated destination one probe, not a re-parse.
   auto dst = decoder_.Decode(packet.destination_name);
   if (!dst.ok()) {
-    metrics_->Increment("forwarding.drop.bad_destination");
-    INS_LOG(kDebug) << self_.ToString() << ": undeliverable packet: " << dst.status();
+    NoteDrop(packet, ForwardingDropReason::kBadDestination);
+    INS_LOG(kDebug) << "undeliverable packet: " << dst.status();
     return;
   }
   if (packet.answer_from_cache && TryAnswerFromCache(packet, **dst)) {
@@ -66,7 +106,8 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
     return;
   }
 
-  metrics_->Increment("forwarding.lookups");
+  lookups_.Increment();
+  const auto lookup_start = std::chrono::steady_clock::now();
 
   // Resolve against every shard of the space — in parallel on the worker
   // pool when one is configured. The scan callback does pure per-shard
@@ -109,12 +150,18 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
         }
       });
 
+  lookup_us_.Record(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - lookup_start)
+          .count()));
+
   MaybeCache(packet);
 
   size_t total_matches = 0;
   for (const ShardPartial& p : parts) {
     total_matches += p.matches;
   }
+  Trace(packet, TraceEventKind::kLookup, "", {}, total_matches);
 
   if (early_binding) {
     std::vector<NameRecord> merged;
@@ -129,7 +176,7 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
     return;
   }
   if (total_matches == 0) {
-    metrics_->Increment("forwarding.drop.no_match");
+    NoteDrop(packet, ForwardingDropReason::kNoMatch);
     return;
   }
   if (deliver_all) {
@@ -151,10 +198,10 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
 }
 
 void ForwardingAgent::ForwardToVspaceOwner(const Packet& packet, const std::string& vspace) {
-  metrics_->Increment("forwarding.cross_vspace");
+  cross_vspace_.Increment();
   vspaces_->ResolveOwner(vspace, [this, packet, vspace](const NodeAddress& owner) {
     if (!owner.IsValid() || owner == self_) {
-      metrics_->Increment("forwarding.drop.vspace_unresolved");
+      NoteDrop(packet, ForwardingDropReason::kVspaceUnresolved);
       return;
     }
     ForwardToInr(packet, owner);
@@ -163,7 +210,7 @@ void ForwardingAgent::ForwardToVspaceOwner(const Packet& packet, const std::stri
 
 void ForwardingAgent::HandleEarlyBinding(const NodeAddress& src, const Packet& packet,
                                          std::vector<NameRecord> records) {
-  metrics_->Increment("forwarding.early_binding");
+  early_bindings_.Increment();
   uint64_t request_id = 0;
   NodeAddress reply_to = src;
   if (auto parsed = DecodeEarlyBindingPayload(packet.payload); parsed.ok()) {
@@ -177,13 +224,14 @@ void ForwardingAgent::HandleEarlyBinding(const NodeAddress& src, const Packet& p
   for (const NameRecord& rec : records) {
     resp.items.push_back({rec.endpoint, rec.app_metric});
   }
+  Trace(packet, TraceEventKind::kDelivered, "early_binding", reply_to, records.size());
   send_(reply_to, Envelope{MessageBody(std::move(resp))});
 }
 
 void ForwardingAgent::HandleAnycast(const Packet& packet, const NameRecord& best) {
   // Exactly one destination: the least application metric; announcer id is
   // the deterministic tie-break (applied per shard, then across shards).
-  metrics_->Increment("forwarding.anycast");
+  anycasts_.Increment();
   if (best.route.IsLocal()) {
     DeliverLocal(packet, best);
   } else {
@@ -192,7 +240,7 @@ void ForwardingAgent::HandleAnycast(const Packet& packet, const NameRecord& best
 }
 
 void ForwardingAgent::HandleMulticast(const Packet& packet, std::vector<ShardPartial>& parts) {
-  metrics_->Increment("forwarding.multicast");
+  multicasts_.Increment();
   // Deliver to locally attached matches in deterministic announcer order,
   // and forward exactly one copy per distinct next-hop INR.
   std::vector<NameRecord> locals;
@@ -213,7 +261,8 @@ void ForwardingAgent::HandleMulticast(const Packet& packet, std::vector<ShardPar
 }
 
 void ForwardingAgent::DeliverLocal(const Packet& packet, const NameRecord& record) {
-  metrics_->Increment("forwarding.local_deliveries");
+  local_deliveries_.Increment();
+  Trace(packet, TraceEventKind::kDelivered, "", record.endpoint.address);
   send_(record.endpoint.address, Envelope{MessageBody(packet)});
 }
 
@@ -223,10 +272,11 @@ void ForwardingAgent::ForwardToInr(const Packet& packet, const NodeAddress& next
   // Each overlay hop also charges the deadline budget (1ms minimum): a packet
   // whose budget dies here is dead work for every resolver downstream too.
   if (!ConsumeDeadlineBudget(copy, kHopDeadlineCostMs)) {
-    metrics_->Increment("forwarding.drop.deadline");
+    NoteDrop(copy, ForwardingDropReason::kDeadline);
     return;
   }
-  metrics_->Increment("forwarding.tunneled");
+  tunneled_.Increment();
+  Trace(copy, TraceEventKind::kNextHopChosen, "", next_hop, copy.hop_limit);
   send_(next_hop, Envelope{MessageBody(std::move(copy))});
 }
 
@@ -235,7 +285,8 @@ bool ForwardingAgent::TryAnswerFromCache(const Packet& packet, const NameSpecifi
   if (entry == nullptr) {
     return false;
   }
-  metrics_->Increment("forwarding.cache_answers");
+  cache_answers_.Increment();
+  Trace(packet, TraceEventKind::kDelivered, "cache_answer", self_);
   Packet reply;
   reply.source_name = entry->name_key;
   reply.destination_name = packet.source_name;
@@ -257,7 +308,7 @@ void ForwardingAgent::MaybeCache(const Packet& packet) {
   }
   cache_->Insert((*src_name)->ToString(), packet.payload,
                  executor_->Now() + Seconds(packet.cache_lifetime_s));
-  metrics_->Increment("forwarding.cache_inserts");
+  cache_inserts_.Increment();
 }
 
 }  // namespace ins

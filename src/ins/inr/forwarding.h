@@ -27,6 +27,7 @@
 
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
+#include "ins/common/trace.h"
 #include "ins/inr/packet_cache.h"
 #include "ins/inr/vspace.h"
 #include "ins/overlay/topology.h"
@@ -42,11 +43,34 @@ namespace ins {
 inline constexpr uint32_t kHopDeadlineCostMs = 1;
 
 // Every drop the forwarder (or the admission controller in front of it) takes
-// is accounted as forwarding.drop.<reason>:
-//   hop_limit, deadline, bad_destination, no_match, vspace_unresolved,
-//   shed_class1, shed_class2
-// so MetricsRegistry::FamilyTotal("forwarding.drop.") is the complete drop
-// count without the caller enumerating reasons.
+// is accounted as forwarding.drop.<reason>, so
+// MetricsRegistry::FamilyTotal("forwarding.drop.") is the complete drop count
+// without the caller enumerating reasons. The reasons are a closed enum: each
+// one increments its counter AND records a kDropped trace event with the same
+// suffix as its detail, which is what lets the harness explain a lost packet.
+// Adding a drop site means adding an enumerator here (trace_test fails on a
+// forwarding.drop.* counter whose suffix is not in this list).
+enum class ForwardingDropReason : size_t {
+  kHopLimit = 0,
+  kDeadline,
+  kBadDestination,
+  kNoMatch,
+  kVspaceUnresolved,
+  kShedClass0,
+  kShedClass1,
+  kShedClass2,
+};
+
+inline constexpr const char* kForwardingDropReasonNames[] = {
+    "hop_limit",         "deadline",    "bad_destination", "no_match",
+    "vspace_unresolved", "shed_class0", "shed_class1",     "shed_class2",
+};
+inline constexpr size_t kForwardingDropReasonCount =
+    sizeof(kForwardingDropReasonNames) / sizeof(kForwardingDropReasonNames[0]);
+
+constexpr const char* ForwardingDropReasonName(ForwardingDropReason reason) {
+  return kForwardingDropReasonNames[static_cast<size_t>(reason)];
+}
 
 // Early-binding requests carry their request id and reply-to address at the
 // head of the packet payload, so any resolver along the path can answer
@@ -56,12 +80,21 @@ Result<std::pair<uint64_t, NodeAddress>> DecodeEarlyBindingPayload(const Bytes& 
 
 class ForwardingAgent {
  public:
+  // `trace` may be null (standalone tests): sampled packets then still
+  // forward normally, they just leave no events behind.
   ForwardingAgent(Executor* executor, SendFn send, NodeAddress self, VspaceManager* vspaces,
-                  TopologyManager* topology, PacketCache* cache, MetricsRegistry* metrics);
+                  TopologyManager* topology, PacketCache* cache, MetricsRegistry* metrics,
+                  TraceRing* trace = nullptr);
 
   // Entry point for every kData envelope this resolver receives; `src` is
   // the datagram source (a client or a neighbor INR).
   void HandleData(const NodeAddress& src, const Packet& packet);
+
+  // Accounts one dropped packet: counter plus (for sampled packets) the
+  // kDropped trace event. Public because the drop family spans layers — the
+  // INR's dispatch path charges queueing time against deadlines and drops
+  // here too.
+  void NoteDrop(const Packet& packet, ForwardingDropReason reason);
 
  private:
   // Per-shard partial resolution result, reduced inside the (possibly
@@ -89,6 +122,10 @@ class ForwardingAgent {
   bool TryAnswerFromCache(const Packet& packet, const NameSpecifier& dst);
   void MaybeCache(const Packet& packet);
 
+  // Records a trace event for a sampled packet; no-op (one branch) otherwise.
+  void Trace(const Packet& packet, TraceEventKind kind, const char* detail = "",
+             NodeAddress peer = {}, uint64_t value = 0);
+
   Executor* executor_;
   SendFn send_;
   NodeAddress self_;
@@ -96,6 +133,25 @@ class ForwardingAgent {
   TopologyManager* topology_;
   PacketCache* cache_;
   MetricsRegistry* metrics_;
+  TraceRing* trace_;
+
+  // Pre-registered handles: the per-packet counters are plain pointer adds,
+  // not string-map lookups (the last string work on the data path after the
+  // interning of the resolver hot path).
+  CounterHandle packets_;
+  CounterHandle lookups_;
+  CounterHandle anycasts_;
+  CounterHandle multicasts_;
+  CounterHandle early_bindings_;
+  CounterHandle local_deliveries_;
+  CounterHandle tunneled_;
+  CounterHandle cross_vspace_;
+  CounterHandle cache_answers_;
+  CounterHandle cache_inserts_;
+  CounterHandle drops_[kForwardingDropReasonCount];
+  // Wall-clock time of the name-tree resolution step, in microseconds (the
+  // simulator's virtual clock does not advance inside a lookup).
+  HistogramHandle lookup_us_;
   // Protocol-thread-only memo of recent wire-text parses: a forwarding path
   // sees the same destination text per packet, hop after hop.
   NameDecoder decoder_;

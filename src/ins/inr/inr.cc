@@ -8,7 +8,13 @@
 namespace ins {
 
 Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
-    : executor_(executor), transport_(transport), config_(std::move(config)) {
+    : executor_(executor),
+      transport_(transport),
+      config_(std::move(config)),
+      trace_ring_(config_.trace_ring_capacity),
+      log_tag_(transport->local_address().ToString()),
+      messages_(metrics_.RegisterCounter("inr.messages")),
+      bytes_received_(metrics_.RegisterCounter("inr.bytes_received")) {
   if (!config_.topology.dsr.IsValid()) {
     config_.topology.dsr = config_.dsr;
   }
@@ -34,7 +40,7 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
                                                config_.discovery);
   forwarding_ = std::make_unique<ForwardingAgent>(executor_, send, address(),
                                                   vspaces_.get(), topology_.get(),
-                                                  cache_.get(), &metrics_);
+                                                  cache_.get(), &metrics_, &trace_ring_);
   load_balancer_ = std::make_unique<LoadBalancer>(executor_, send, address(), config_.dsr,
                                                   vspaces_.get(), discovery_.get(),
                                                   &metrics_, config_.load_balancer);
@@ -42,7 +48,8 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
       executor_, &metrics_, config_.admission,
       [this](const NodeAddress& src, const Envelope& env, Duration queued) {
         DispatchEnvelope(src, env, queued);
-      });
+      },
+      &trace_ring_, address());
 
   for (const std::string& vspace : config_.vspaces) {
     vspaces_->AddSpace(vspace);
@@ -91,6 +98,9 @@ void Inr::Start() {
   topology_->Start(vspaces_->RoutedSpaces());
   discovery_->Start();
   load_balancer_->Start();
+  if (config_.netmon.advertise) {
+    AdvertiseNetmon();
+  }
   INS_LOG(kDebug) << "INR " << address().ToString() << " started";
 }
 
@@ -100,6 +110,10 @@ void Inr::Stop() {
   }
   running_ = false;
   admission_->Clear();
+  if (netmon_task_ != kInvalidTaskId) {
+    executor_->Cancel(netmon_task_);
+    netmon_task_ = kInvalidTaskId;
+  }
   load_balancer_->Stop();
   discovery_->Stop();
   topology_->Stop();
@@ -118,6 +132,10 @@ void Inr::Crash() {
   }
   running_ = false;  // OnMessage now drops everything: the node is silent
   admission_->Clear();
+  if (netmon_task_ != kInvalidTaskId) {
+    executor_->Cancel(netmon_task_);
+    netmon_task_ = kInvalidTaskId;
+  }
   load_balancer_->Stop();
   discovery_->Stop();
   topology_->CrashStop();
@@ -131,12 +149,24 @@ void Inr::OnMessage(const NodeAddress& src, const Bytes& data) {
     metrics_.Increment("inr.messages_while_stopped");
     return;
   }
-  metrics_.Increment("inr.messages");
-  metrics_.Increment("inr.bytes_received", data.size());
+  ScopedLogNode log_scope(log_tag_);
+  messages_.Increment();
+  bytes_received_.Increment(data.size());
   auto env = DecodeMessage(data);
   if (!env.ok()) {
     metrics_.Increment("inr.decode_errors");
     return;
+  }
+  if (const Packet* packet = std::get_if<Packet>(&env->body);
+      packet != nullptr && packet->traced()) {
+    TraceEvent ev;
+    ev.trace_id = packet->trace_id;
+    ev.at = executor_->Now();
+    ev.node = address();
+    ev.kind = TraceEventKind::kReceived;
+    ev.peer = src;
+    ev.value = packet->hop_limit;
+    trace_ring_.Record(ev);
   }
   admission_->Admit(src, std::move(env).value());
 }
@@ -145,6 +175,7 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
   if (!running_) {
     return;  // crashed/stopped while this message sat in the admission queue
   }
+  ScopedLogNode log_scope(log_tag_);
   if (auto* packet = std::get_if<Packet>(&env.body)) {
     // Time spent queued comes out of the packet's deadline budget: resolving
     // a request its client already abandoned is pure added load.
@@ -153,7 +184,7 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
       const auto queued_ms =
           std::chrono::duration_cast<std::chrono::milliseconds>(queued).count();
       if (!ConsumeDeadlineBudget(charged, static_cast<uint32_t>(queued_ms))) {
-        metrics_.Increment("forwarding.drop.deadline");
+        forwarding_->NoteDrop(charged, ForwardingDropReason::kDeadline);
         return;
       }
       forwarding_->HandleData(src, charged);
@@ -170,6 +201,8 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     discovery_->HandleNameUpdate(src, *update);
   } else if (auto* disc = std::get_if<DiscoveryRequest>(&env.body)) {
     HandleDiscoveryRequest(src, *disc);
+  } else if (auto* mreq = std::get_if<MetricsRequest>(&env.body)) {
+    HandleMetricsRequest(src, *mreq);
   } else if (auto* ping = std::get_if<Ping>(&env.body)) {
     topology_->NoteNeighborAlive(src);
     transport_->Send(src, Encode(PingAgent::PongFor(*ping)));
@@ -253,6 +286,47 @@ void Inr::HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest&
     resp.items.push_back(std::move(item));
   }
   transport_->Send(reply_to, Encode(resp));
+}
+
+void Inr::RefreshInventoryGauges() {
+  size_t names = 0;
+  const std::vector<std::string> spaces = vspaces_->RoutedSpaces();
+  for (const std::string& vspace : spaces) {
+    names += vspaces_->store().RecordCount(vspace);
+  }
+  metrics_.SetGauge("inr.names", static_cast<int64_t>(names));
+  metrics_.SetGauge("inr.neighbors",
+                    static_cast<int64_t>(topology_->NeighborAddresses().size()));
+  metrics_.SetGauge("inr.vspaces", static_cast<int64_t>(spaces.size()));
+}
+
+void Inr::HandleMetricsRequest(const NodeAddress& src, const MetricsRequest& req) {
+  metrics_.Increment("inr.metrics_requests");
+  // Inventory gauges are poll-time state, not per-event accounting: refresh
+  // them only when a snapshot is about to leave the node.
+  RefreshInventoryGauges();
+  const NodeAddress reply_to = req.reply_to.IsValid() ? req.reply_to : src;
+  transport_->Send(reply_to,
+                   Encode(BuildMetricsResponse(req.request_id, address(), metrics_.Snapshot())));
+}
+
+void Inr::AdvertiseNetmon() {
+  Advertisement ad;
+  ad.vspace = config_.netmon.vspace;
+  ad.name_text = "[service=netmon][node=" + address().ToString() + "]";
+  // IP + fixed discriminator: re-advertisements from the same resolver
+  // refresh one record instead of accreting new ones.
+  ad.announcer = AnnouncerId{address().ip, 0, 0xADu};
+  ad.endpoint.address = address();
+  ad.lifetime_s = config_.netmon.lifetime_s;
+  ad.version = ++netmon_version_;
+  discovery_->HandleAdvertisement(address(), ad);
+  netmon_task_ = executor_->ScheduleAfter(config_.netmon.refresh, [this] {
+    netmon_task_ = kInvalidTaskId;
+    if (running_) {
+      AdvertiseNetmon();
+    }
+  });
 }
 
 std::string Inr::DebugString() const {

@@ -20,6 +20,7 @@
 
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
+#include "ins/common/trace.h"
 #include "ins/common/transport.h"
 #include "ins/common/worker_pool.h"
 #include "ins/inr/admission.h"
@@ -32,6 +33,19 @@
 #include "ins/overlay/topology.h"
 
 namespace ins {
+
+// The paper's NetworkManagement service, resolver side: when enabled, the
+// resolver periodically advertises [service=netmon][node=<addr>] into its own
+// name tree. The advertisement propagates like any other name, so the netmon
+// app discovers every resolver from a single DiscoveryRequest and polls each
+// one with MetricsRequest. Off by default: the self-advertisement changes
+// record counts, which seed tests and benches assert on.
+struct NetmonConfig {
+  bool advertise = false;
+  std::string vspace;  // "" = the default space
+  Duration refresh = Seconds(15);
+  uint32_t lifetime_s = 45;  // soft-state lifetime of the advertisement
+};
 
 struct InrConfig {
   NodeAddress dsr;
@@ -51,6 +65,10 @@ struct InrConfig {
   // Shards the default space "" is hash-split into. 1 (the default) keeps
   // the seed's one-tree-per-space layout and exact lookup semantics.
   size_t fallback_shards = 1;
+  // Capacity of the per-node trace-event ring (entries, not bytes). Sampled
+  // packets append events here; the harness merges rings into journeys.
+  size_t trace_ring_capacity = 1024;
+  NetmonConfig netmon;
 };
 
 class Inr {
@@ -84,6 +102,8 @@ class Inr {
   AdmissionController& admission() { return *admission_; }
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
+  TraceRing& trace_ring() { return trace_ring_; }
+  const TraceRing& trace_ring() const { return trace_ring_; }
 
   // Renders the resolver's state (name-trees, neighbors, counters) — the
   // moral equivalent of the paper's NetworkManagement GUI.
@@ -96,12 +116,26 @@ class Inr {
   // against data packets' deadline budgets.
   void DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration queued);
   void HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest& req);
+  void HandleMetricsRequest(const NodeAddress& src, const MetricsRequest& req);
+  // Updates the inventory gauges (inr.names / inr.neighbors / inr.vspaces)
+  // that only need to be current when a snapshot leaves the node.
+  void RefreshInventoryGauges();
+  // Periodic [service=netmon] self-advertisement (NetmonConfig.advertise).
+  void AdvertiseNetmon();
 
   Executor* executor_;
   Transport* transport_;
   InrConfig config_;
   MetricsRegistry metrics_;
+  TraceRing trace_ring_;
+  // Cached address().ToString(): the log-context tag installed around every
+  // message this resolver handles.
+  std::string log_tag_;
   bool running_ = false;
+  TaskId netmon_task_ = kInvalidTaskId;
+  uint64_t netmon_version_ = 0;
+  CounterHandle messages_;
+  CounterHandle bytes_received_;
 
   // Created before vspaces_ (the store keeps a plain pointer to it) and
   // destroyed after it.

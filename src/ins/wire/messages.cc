@@ -417,6 +417,91 @@ Result<DsrAssignmentsResponse> DecodeDsrAssignmentsResponse(ByteReader& r) {
 
 void EncodeBody(ByteWriter& w, const PeerKeepalive& p) { WriteAddress(w, p.from); }
 
+void EncodeBody(ByteWriter& w, const MetricsRequest& m) {
+  w.WriteU64(m.request_id);
+  WriteAddress(w, m.reply_to);
+}
+
+Result<MetricsRequest> DecodeMetricsRequest(ByteReader& r) {
+  MetricsRequest m;
+  INS_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(m.reply_to, ReadAddress(r));
+  return m;
+}
+
+void EncodeBody(ByteWriter& w, const MetricsResponse& m) {
+  w.WriteU64(m.request_id);
+  WriteAddress(w, m.inr);
+  w.WriteU16(static_cast<uint16_t>(m.counters.size()));
+  for (const MetricsResponse::CounterItem& c : m.counters) {
+    w.WriteString(c.name);
+    w.WriteU64(c.value);
+  }
+  w.WriteU16(static_cast<uint16_t>(m.gauges.size()));
+  for (const MetricsResponse::GaugeItem& g : m.gauges) {
+    w.WriteString(g.name);
+    w.WriteU64(static_cast<uint64_t>(g.value));
+  }
+  w.WriteU16(static_cast<uint16_t>(m.histograms.size()));
+  for (const MetricsResponse::HistogramItem& h : m.histograms) {
+    w.WriteString(h.name);
+    w.WriteU64(h.sum);
+    w.WriteU64(h.min);
+    w.WriteU64(h.max);
+    w.WriteU8(static_cast<uint8_t>(h.buckets.size()));
+    for (const auto& [index, count] : h.buckets) {
+      w.WriteU8(index);
+      w.WriteU64(count);
+    }
+  }
+}
+
+Result<MetricsResponse> DecodeMetricsResponse(ByteReader& r) {
+  MetricsResponse m;
+  INS_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(m.inr, ReadAddress(r));
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  m.counters.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::CounterItem c;
+    INS_ASSIGN_OR_RETURN(c.name, r.ReadString());
+    INS_ASSIGN_OR_RETURN(c.value, r.ReadU64());
+    m.counters.push_back(std::move(c));
+  }
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  m.gauges.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::GaugeItem g;
+    INS_ASSIGN_OR_RETURN(g.name, r.ReadString());
+    uint64_t raw = 0;
+    INS_ASSIGN_OR_RETURN(raw, r.ReadU64());
+    g.value = static_cast<int64_t>(raw);
+    m.gauges.push_back(std::move(g));
+  }
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  m.histograms.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::HistogramItem h;
+    INS_ASSIGN_OR_RETURN(h.name, r.ReadString());
+    INS_ASSIGN_OR_RETURN(h.sum, r.ReadU64());
+    INS_ASSIGN_OR_RETURN(h.min, r.ReadU64());
+    INS_ASSIGN_OR_RETURN(h.max, r.ReadU64());
+    uint8_t buckets = 0;
+    INS_ASSIGN_OR_RETURN(buckets, r.ReadU8());
+    h.buckets.reserve(buckets);
+    for (uint8_t b = 0; b < buckets; ++b) {
+      uint8_t index = 0;
+      uint64_t count = 0;
+      INS_ASSIGN_OR_RETURN(index, r.ReadU8());
+      INS_ASSIGN_OR_RETURN(count, r.ReadU64());
+      h.buckets.emplace_back(index, count);
+    }
+    m.histograms.push_back(std::move(h));
+  }
+  return m;
+}
+
 }  // namespace
 
 MessageType Envelope::type() const {
@@ -458,6 +543,8 @@ MessageType Envelope::type() const {
       return MessageType::kDsrAssignmentsResponse;
     }
     MessageType operator()(const PeerKeepalive&) { return MessageType::kPeerKeepalive; }
+    MessageType operator()(const MetricsRequest&) { return MessageType::kMetricsRequest; }
+    MessageType operator()(const MetricsResponse&) { return MessageType::kMetricsResponse; }
   };
   return std::visit(Visitor{}, body);
 }
@@ -572,8 +659,56 @@ Result<Envelope> DecodeMessage(const Bytes& buffer) {
       INS_ASSIGN_OR_RETURN(p.from, ReadAddress(r));
       return Envelope{MessageBody(p)};
     }
+    case MessageType::kMetricsRequest: {
+      INS_ASSIGN_OR_RETURN(MetricsRequest m, DecodeMetricsRequest(r));
+      return Envelope{MessageBody(m)};
+    }
+    case MessageType::kMetricsResponse: {
+      INS_ASSIGN_OR_RETURN(MetricsResponse m, DecodeMetricsResponse(r));
+      return Envelope{MessageBody(std::move(m))};
+    }
   }
   return InvalidArgumentError("unknown message type " + std::to_string(raw_type));
+}
+
+MetricsResponse BuildMetricsResponse(uint64_t request_id, const NodeAddress& inr,
+                                     const MetricsSnapshot& snapshot) {
+  MetricsResponse resp;
+  resp.request_id = request_id;
+  resp.inr = inr;
+  resp.counters.reserve(snapshot.counters.size());
+  for (const auto& [name, value] : snapshot.counters) {
+    resp.counters.push_back({name, value});
+  }
+  resp.gauges.reserve(snapshot.gauges.size());
+  for (const auto& [name, value] : snapshot.gauges) {
+    resp.gauges.push_back({name, value});
+  }
+  resp.histograms.reserve(snapshot.histograms.size());
+  for (const auto& [name, h] : snapshot.histograms) {
+    MetricsResponse::HistogramItem item;
+    item.name = name;
+    item.sum = h.sum();
+    item.min = h.min();
+    item.max = h.max();
+    item.buckets = h.SparseBuckets();
+    resp.histograms.push_back(std::move(item));
+  }
+  return resp;
+}
+
+MetricsSnapshot SnapshotFromResponse(const MetricsResponse& resp) {
+  MetricsSnapshot snap;
+  for (const MetricsResponse::CounterItem& c : resp.counters) {
+    snap.counters[c.name] = c.value;
+  }
+  for (const MetricsResponse::GaugeItem& g : resp.gauges) {
+    snap.gauges[g.name] = g.value;
+  }
+  for (const MetricsResponse::HistogramItem& h : resp.histograms) {
+    snap.histograms[h.name] = Histogram::FromParts(h.sum, h.min, h.max, h.buckets);
+  }
+  return snap;
 }
 
 }  // namespace ins

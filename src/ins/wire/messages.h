@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "ins/common/bytes.h"
+#include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
 #include "ins/common/status.h"
 #include "ins/nametree/name_record.h"
@@ -47,6 +48,8 @@ enum class MessageType : uint8_t {
   kDsrAssignmentsRequest = 21,   // restarted INR -> DSR: which vspaces did I route?
   kDsrAssignmentsResponse = 22,
   kPeerKeepalive = 23,  // INR -> neighbor INR: I still consider us peered
+  kMetricsRequest = 24,   // netmon -> INR: send me your metrics snapshot
+  kMetricsResponse = 25,  // INR -> netmon
 };
 
 // --- Service advertisement (client/service -> its INR) ---------------------
@@ -224,6 +227,44 @@ struct PeerKeepalive {
   NodeAddress from;
 };
 
+// --- Metrics polling (the paper's NetworkManagement service) -----------------
+
+// The netmon app asks a resolver for its metrics. Classified as control
+// traffic by admission (the monitor must see an overloaded resolver, not be
+// shed by it).
+struct MetricsRequest {
+  uint64_t request_id = 0;
+  NodeAddress reply_to;  // invalid = answer to the datagram source
+};
+
+// A resolver's registry snapshot: counters, gauges, and histograms (as
+// sparse non-empty log2 buckets plus the moments needed to re-quantile on
+// the monitor side). DurationStat aggregates travel as histograms already —
+// RecordDuration feeds both views under one name.
+struct MetricsResponse {
+  uint64_t request_id = 0;
+  NodeAddress inr;  // who is answering
+
+  struct CounterItem {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeItem {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramItem {
+    std::string name;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::vector<std::pair<uint8_t, uint64_t>> buckets;  // (bucket index, count)
+  };
+  std::vector<CounterItem> counters;
+  std::vector<GaugeItem> gauges;
+  std::vector<HistogramItem> histograms;
+};
+
 // --- Envelope ----------------------------------------------------------------
 
 using MessageBody =
@@ -232,7 +273,7 @@ using MessageBody =
                  DsrRegister, DsrListRequest, DsrListResponse, DsrVspaceRequest,
                  DsrVspaceResponse, DsrCandidatesRequest, DsrCandidatesResponse,
                  SpawnRequest, DelegateVspace, DsrAssignmentsRequest, DsrAssignmentsResponse,
-                 PeerKeepalive>;
+                 PeerKeepalive, MetricsRequest, MetricsResponse>;
 
 struct Envelope {
   MessageBody body;
@@ -248,6 +289,14 @@ template <typename T>
 Bytes Encode(T body) {
   return EncodeMessage(Envelope{MessageBody(std::move(body))});
 }
+
+// Conversions between a registry snapshot and its wire form, shared by the
+// resolver's metrics responder and the netmon poller. DurationStat timings
+// are not shipped separately: RecordDuration mirrors them into same-named
+// histograms, which carry strictly more information.
+MetricsResponse BuildMetricsResponse(uint64_t request_id, const NodeAddress& inr,
+                                     const MetricsSnapshot& snapshot);
+MetricsSnapshot SnapshotFromResponse(const MetricsResponse& resp);
 
 }  // namespace ins
 

@@ -3,7 +3,8 @@
 namespace ins {
 
 size_t Packet::EncodedSize() const {
-  return kPacketHeaderSize + source_name.size() + destination_name.size() + payload.size();
+  return kPacketHeaderSize + (traced() ? kPacketTraceExtensionSize : 0) +
+         source_name.size() + destination_name.size() + payload.size();
 }
 
 bool ConsumeDeadlineBudget(Packet& p, uint32_t elapsed_ms) {
@@ -31,7 +32,10 @@ Bytes EncodePacket(const Packet& p) {
   if (p.answer_from_cache) {
     flags |= kFlagAnswerFromCache;
   }
-  const size_t src_off = kPacketHeaderSize;
+  if (p.traced()) {
+    flags |= kFlagTraceSampled;
+  }
+  const size_t src_off = kPacketHeaderSize + (p.traced() ? kPacketTraceExtensionSize : 0);
   const size_t dst_off = src_off + p.source_name.size();
   const size_t data_off = dst_off + p.destination_name.size();
   const size_t total = data_off + p.payload.size();
@@ -46,6 +50,9 @@ Bytes EncodePacket(const Packet& p) {
   w.WriteU16(static_cast<uint16_t>(dst_off));
   w.WriteU16(static_cast<uint16_t>(data_off));
   w.WriteU16(static_cast<uint16_t>(total));
+  if (p.traced()) {
+    w.WriteU64(p.trace_id);
+  }
   w.WriteBytes(reinterpret_cast<const uint8_t*>(p.source_name.data()), p.source_name.size());
   w.WriteBytes(reinterpret_cast<const uint8_t*>(p.destination_name.data()),
                p.destination_name.size());
@@ -61,6 +68,7 @@ struct HeaderFields {
   uint16_t hop_limit;
   uint32_t cache_lifetime_s;
   uint16_t deadline_budget_ms;
+  uint64_t trace_id;
   size_t src_off;
   size_t dst_off;
   size_t data_off;
@@ -87,9 +95,23 @@ Result<HeaderFields> ReadHeader(const Bytes& buffer) {
   h.dst_off = *r.ReadU16();
   h.data_off = *r.ReadU16();
   h.total = *r.ReadU16();
-  if (h.src_off != kPacketHeaderSize || h.dst_off < h.src_off || h.data_off < h.dst_off ||
+  // The source name starts right after the fixed header — or after the trace
+  // extension when the trace flag says one is present. Either way every
+  // truncation or pointer inversion is rejected here.
+  const bool traced = (h.flags & kFlagTraceSampled) != 0;
+  const size_t expected_src_off =
+      kPacketHeaderSize + (traced ? kPacketTraceExtensionSize : 0);
+  if (h.src_off != expected_src_off || h.dst_off < h.src_off || h.data_off < h.dst_off ||
       h.total < h.data_off || h.total != buffer.size()) {
     return InvalidArgumentError("inconsistent packet pointers");
+  }
+  h.trace_id = 0;
+  if (traced) {
+    auto id = r.ReadU64();
+    if (!id.ok()) {
+      return id.status();
+    }
+    h.trace_id = *id;
   }
   return h;
 }
@@ -109,6 +131,7 @@ Result<Packet> DecodePacket(const Bytes& buffer) {
   p.hop_limit = h->hop_limit;
   p.cache_lifetime_s = h->cache_lifetime_s;
   p.deadline_budget_ms = h->deadline_budget_ms;
+  p.trace_id = h->trace_id;
   p.source_name.assign(reinterpret_cast<const char*>(buffer.data() + h->src_off),
                        h->dst_off - h->src_off);
   p.destination_name.assign(reinterpret_cast<const char*>(buffer.data() + h->dst_off),

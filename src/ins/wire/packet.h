@@ -24,10 +24,15 @@ inline constexpr uint8_t kInsVersion = 1;
 inline constexpr uint16_t kDefaultHopLimit = 16;
 
 // Flag bits (the paper's B and D single-bit flags, plus the cache-probe bit
-// added by the application-independent caching extension of §3.2).
+// added by the application-independent caching extension of §3.2, plus the
+// trace-sampled bit of the observability layer).
 inline constexpr uint8_t kFlagEarlyBinding = 0x01;  // B: 1 = early binding
 inline constexpr uint8_t kFlagDeliverAll = 0x02;    // D: 1 = multicast (all)
 inline constexpr uint8_t kFlagAnswerFromCache = 0x04;
+// 1 = an 8-byte trace id follows the fixed header (hop-by-hop tracing). The
+// bit is set exactly when trace_id != 0, so untraced packets are byte-for-
+// byte the seed wire format.
+inline constexpr uint8_t kFlagTraceSampled = 0x08;
 
 struct Packet {
   uint8_t version = kInsVersion;
@@ -42,9 +47,15 @@ struct Packet {
   // doing dead work for a request the client already gave up on only deepens
   // an overload. Carried in the reserved space of the Figure-10 header.
   uint16_t deadline_budget_ms = 0;
+  // Trace context: non-zero = this packet is sampled for hop-by-hop tracing
+  // and its id travels in a header extension behind kFlagTraceSampled. Zero
+  // (the default) adds no wire bytes and no per-hop work.
+  uint64_t trace_id = 0;
   std::string source_name;        // wire text of the source name-specifier
   std::string destination_name;   // wire text of the destination name-specifier
   Bytes payload;
+
+  bool traced() const { return trace_id != 0; }
 
   // Total encoded size in bytes.
   size_t EncodedSize() const;
@@ -58,7 +69,14 @@ struct Packet {
 //   u16 ptr to data          u16 total length
 // followed by the two name-specifier texts and the payload at the offsets the
 // pointers give.
+//
+// When the trace flag (0x08) is set, a u64 trace id sits between the fixed
+// header and the source name — the pointer fields already locate every
+// section, so a seed-era reader that checked offsets instead of hard-coding
+// them would still find names and payload. Untraced packets carry no
+// extension: their bytes are identical to the seed format.
 inline constexpr size_t kPacketHeaderSize = 20;
+inline constexpr size_t kPacketTraceExtensionSize = 8;
 
 // Charges `elapsed_ms` against the packet's deadline budget. Returns false —
 // and zeroes the budget — when the budget is exhausted and the packet should

@@ -58,11 +58,13 @@ NameSpecifier P(const std::string& text) {
 // A client co-located with a resolver (same host, its own port): client<->INR
 // traffic never crosses a link, so faults exercise the overlay, not the edge.
 struct AppHost {
-  AppHost(SimCluster* cluster, uint32_t host, uint16_t port, NodeAddress inr)
+  AppHost(SimCluster* cluster, uint32_t host, uint16_t port, NodeAddress inr,
+          uint64_t trace_sample_every = 0)
       : socket(cluster->net().Bind(MakeAddress(host, port))) {
     ClientConfig config;
     config.inr = inr;
     config.dsr = cluster->dsr_address();
+    config.trace_sample_every = trace_sample_every;
     client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
     client->Start();
   }
@@ -96,7 +98,10 @@ SoakResult RunSoak(uint64_t seed) {
   // Two services and a client, all co-located with resolvers.
   AppHost svc1(&cluster, 1, 6001, cluster.inrs()[0]->address());
   AppHost svc2(&cluster, 3, 6002, cluster.inrs()[2]->address());
-  AppHost user(&cluster, kNumInrs, 7000, cluster.inrs()[kNumInrs - 1]->address());
+  // Every probe the user sends is trace-sampled: when a run fails, the
+  // journeys of the lost probes say which node dropped them and why.
+  AppHost user(&cluster, kNumInrs, 7000, cluster.inrs()[kNumInrs - 1]->address(),
+               /*trace_sample_every=*/1);
   auto ad1 = svc1.client->Advertise(P("[service=chaos[id=one]]"));
   auto ad2 = svc2.client->Advertise(P("[service=chaos[id=two]]"));
   int received = 0;
@@ -107,6 +112,9 @@ SoakResult RunSoak(uint64_t seed) {
   auto fail = [&](const std::string& what) {
     result.ok = false;
     result.failure = what;
+    // Failure forensics: dump the journeys of every sampled-but-undelivered
+    // packet (written to INS_TRACE_DUMP_DIR when set; CI uploads them).
+    cluster.DumpLostJourneys("chaos_seed" + std::to_string(seed));
   };
 
   const int rounds = SoakRounds();

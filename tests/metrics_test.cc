@@ -1,0 +1,247 @@
+// Tests for the metrics layer: registered handles and the string API sharing
+// one value store, log2-bucketed histogram quantiles, snapshot/JSON
+// rendering, and the Reset() contract the benches rely on (handles survive).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "ins/common/metrics.h"
+#include "ins/common/rng.h"
+
+namespace ins {
+namespace {
+
+TEST(MetricsRegistryTest, HandleAndStringApiObserveOneValue) {
+  MetricsRegistry m;
+  CounterHandle c = m.RegisterCounter("forwarding.packets");
+  c.Increment();
+  m.Increment("forwarding.packets", 2);
+  EXPECT_EQ(c.value(), 3u);
+  EXPECT_EQ(m.Counter("forwarding.packets"), 3u);
+
+  // Registering the same name again hands back the same slot.
+  CounterHandle again = m.RegisterCounter("forwarding.packets");
+  again.Increment();
+  EXPECT_EQ(c.value(), 4u);
+
+  GaugeHandle g = m.RegisterGauge("inr.names");
+  g.Set(-7);
+  EXPECT_EQ(m.Gauge("inr.names"), -7);
+  m.SetGauge("inr.names", 12);
+  EXPECT_EQ(g.value(), 12);
+
+  HistogramHandle h = m.RegisterHistogram("forwarding.lookup_us");
+  h.Record(100);
+  m.RecordValue("forwarding.lookup_us", 300);
+  EXPECT_EQ(m.HistogramOf("forwarding.lookup_us").count(), 2u);
+  EXPECT_EQ(h.get()->sum(), 400u);
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreNoOpSinks) {
+  CounterHandle c;
+  GaugeHandle g;
+  HistogramHandle h;
+  c.Increment(5);
+  g.Set(9);
+  h.Record(9);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.get(), nullptr);
+}
+
+TEST(MetricsRegistryTest, HandlesStayValidAcrossManyRegistrations) {
+  // Slot storage must be pointer-stable however many metrics appear after a
+  // handle was taken (the deque contract).
+  MetricsRegistry m;
+  CounterHandle first = m.RegisterCounter("first");
+  std::vector<CounterHandle> handles;
+  for (int i = 0; i < 1000; ++i) {
+    handles.push_back(m.RegisterCounter("counter." + std::to_string(i)));
+  }
+  first.Increment();
+  for (auto& h : handles) {
+    h.Increment();
+  }
+  EXPECT_EQ(m.Counter("first"), 1u);
+  EXPECT_EQ(m.Counter("counter.0"), 1u);
+  EXPECT_EQ(m.Counter("counter.999"), 1u);
+}
+
+TEST(MetricsRegistryTest, FamilyTotalRespectsPrefixBoundaries) {
+  MetricsRegistry m;
+  m.Increment("forwarding.drop.no_match", 3);
+  m.Increment("forwarding.drop.hop_limit", 5);
+  m.Increment("forwarding.dropped", 100);   // no trailing dot: not family
+  m.Increment("forwarding.drops2", 100);    // sorts after the family
+  m.Increment("forwarding.drop", 100);      // the bare prefix-minus-dot
+  m.Increment("gother.counter", 100);
+  EXPECT_EQ(m.FamilyTotal("forwarding.drop."), 8u);
+  EXPECT_EQ(m.FamilyTotal("no.such.family."), 0u);
+  // An empty prefix sums everything.
+  EXPECT_EQ(m.FamilyTotal(""), 408u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceAndHandlesSurvive) {
+  MetricsRegistry m;
+  CounterHandle c = m.RegisterCounter("c");
+  GaugeHandle g = m.RegisterGauge("g");
+  HistogramHandle h = m.RegisterHistogram("h");
+  c.Increment(4);
+  g.Set(4);
+  h.Record(4);
+  m.RecordDuration("t", Milliseconds(3));
+
+  m.Reset();
+  EXPECT_EQ(m.Counter("c"), 0u);
+  EXPECT_EQ(m.Gauge("g"), 0);
+  EXPECT_EQ(m.HistogramOf("h").count(), 0u);
+  EXPECT_EQ(m.Timing("t").count, 0u);
+
+  // The old handles still write into the (zeroed) registry.
+  c.Increment();
+  g.Set(1);
+  h.Record(7);
+  EXPECT_EQ(m.Counter("c"), 1u);
+  EXPECT_EQ(m.Gauge("g"), 1);
+  EXPECT_EQ(m.HistogramOf("h").count(), 1u);
+  EXPECT_EQ(m.HistogramOf("h").max(), 7u);
+}
+
+TEST(MetricsRegistryTest, RecordDurationFeedsStatAndHistogramViews) {
+  MetricsRegistry m;
+  m.RecordDuration("cluster.reconverge", Milliseconds(10));
+  m.RecordDuration("cluster.reconverge", Milliseconds(2));
+  m.RecordDuration("cluster.reconverge", Milliseconds(40));
+
+  DurationStat s = m.Timing("cluster.reconverge");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, Milliseconds(2));
+  EXPECT_EQ(s.max, Milliseconds(40));
+  EXPECT_EQ(s.total, Milliseconds(52));
+  EXPECT_EQ(s.Mean(), Milliseconds(52) / 3);
+
+  // The same series is a histogram of microseconds for quantile queries.
+  Histogram h = m.HistogramOf("cluster.reconverge");
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 2000u);
+  EXPECT_EQ(h.max(), 40000u);
+}
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketOf(0), 0u);
+  EXPECT_EQ(Histogram::BucketOf(1), 1u);
+  EXPECT_EQ(Histogram::BucketOf(2), 2u);
+  EXPECT_EQ(Histogram::BucketOf(3), 2u);
+  EXPECT_EQ(Histogram::BucketOf(4), 3u);
+  EXPECT_EQ(Histogram::BucketOf(~uint64_t{0}), 64u);
+  for (size_t b = 1; b < Histogram::kBucketCount; ++b) {
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketLow(b)), b);
+    EXPECT_EQ(Histogram::BucketOf(Histogram::BucketHigh(b)), b);
+  }
+}
+
+TEST(HistogramTest, SingleValueDistributionsAnswerExactly) {
+  Histogram h;
+  for (int i = 0; i < 10; ++i) {
+    h.Record(700);
+  }
+  // min == max clamps the interpolation to the exact value.
+  EXPECT_DOUBLE_EQ(h.P50(), 700.0);
+  EXPECT_DOUBLE_EQ(h.P99(), 700.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 700.0);
+}
+
+TEST(HistogramTest, QuantilesWithinBucketWidthOfExact) {
+  Rng rng(7);
+  Histogram h;
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    // A long-tailed mix, the shape of latency data.
+    uint64_t v = rng.NextBelow(200) + 1;
+    if (rng.NextBool(0.05)) {
+      v = 10000 + rng.NextBelow(90000);
+    }
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (double q : {0.50, 0.90, 0.99}) {
+    const size_t rank = std::min(
+        samples.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(samples.size())));
+    const double exact = static_cast<double>(samples[rank]);
+    const double est = h.Quantile(q);
+    // A log2 bucket's width is at most its low edge, so the estimate is
+    // always within a factor of two of any sample in the same bucket.
+    EXPECT_GE(est, exact / 2.0) << "q=" << q;
+    EXPECT_LE(est, exact * 2.0) << "q=" << q;
+    EXPECT_GE(est, static_cast<double>(h.min()));
+    EXPECT_LE(est, static_cast<double>(h.max()));
+  }
+  EXPECT_EQ(h.count(), samples.size());
+}
+
+TEST(HistogramTest, SparseBucketsRoundTripThroughFromParts) {
+  Histogram h;
+  for (uint64_t v : {0u, 1u, 5u, 5u, 900u, 100000u}) {
+    h.Record(v);
+  }
+  Histogram back = Histogram::FromParts(h.sum(), h.min(), h.max(), h.SparseBuckets());
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.sum(), h.sum());
+  EXPECT_EQ(back.min(), h.min());
+  EXPECT_EQ(back.max(), h.max());
+  EXPECT_EQ(back.bucket_counts(), h.bucket_counts());
+  EXPECT_DOUBLE_EQ(back.P99(), h.P99());
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.Record(10);
+  a.Record(20);
+  b.Record(1);
+  b.Record(100000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 1u);
+  EXPECT_EQ(a.max(), 100000u);
+  EXPECT_EQ(a.sum(), 100031u);
+  // Merging an empty histogram changes nothing.
+  a.Merge(Histogram{});
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(MetricsSnapshotTest, JsonRendersEverySection) {
+  MetricsRegistry m;
+  m.Increment("forwarding.packets", 41);
+  m.SetGauge("inr.names", 7);
+  m.RecordValue("forwarding.lookup_us", 128);
+  m.RecordDuration("cluster.reconverge", Milliseconds(5));
+
+  const std::string json = MetricsSnapshotJson(m.Snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"forwarding.packets\": 41"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"inr.names\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": [[8, 1]]"), std::string::npos);
+  EXPECT_NE(json.find("\"timings\""), std::string::npos);
+  EXPECT_NE(json.find("\"min_us\": 5000"), std::string::npos);
+  // The duration series appears in BOTH views.
+  EXPECT_NE(json.find("\"cluster.reconverge\": {\"count\": 1, \"sum\": 5000"),
+            std::string::npos);
+}
+
+TEST(MetricsSnapshotTest, EmptyRegistryRendersEmptyObjects) {
+  MetricsRegistry m;
+  const std::string json = MetricsSnapshotJson(m.Snapshot());
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"timings\": {}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,151 @@
+// Tests for the NetworkMonitor app: intentional bootstrap off [service=netmon]
+// advertisements, metrics polling over the wire, the cluster-wide report, and
+// soft-state aging of resolvers that stop answering.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "ins/apps/netmon.h"
+#include "ins/client/api.h"
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+struct ClientHarness {
+  ClientHarness(SimCluster* cluster, uint32_t host, NodeAddress inr)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+struct MonitorHarness {
+  MonitorHarness(SimCluster* cluster, uint32_t host, NetworkMonitor::Options options)
+      : socket(cluster->net().Bind(MakeAddress(host))),
+        monitor(std::make_unique<NetworkMonitor>(&cluster->loop(), socket.get(),
+                                                 std::move(options))) {}
+
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<NetworkMonitor> monitor;
+};
+
+ClusterOptions AdvertisingOptions() {
+  ClusterOptions options;
+  options.inr_template.netmon.advertise = true;
+  return options;
+}
+
+TEST(NetmonTest, DiscoversEveryResolverAndPollsSnapshots) {
+  SimCluster cluster(AdvertisingOptions());
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(2));  // netmon self-ads propagate overlay-wide
+
+  // Some real traffic so the polled counters are non-trivial: a client at `a`
+  // reaches a service behind `b`.
+  ClientHarness service(&cluster, 30, b->address());
+  auto ad = service.client->Advertise(P("[service=camera]"));
+  cluster.loop().RunFor(Seconds(3));
+  ClientHarness user(&cluster, 20, a->address());
+  cluster.Settle();
+  ASSERT_TRUE(user.client->SendAnycast(P("[service=camera]"), {7}).ok());
+  cluster.Settle();
+
+  NetworkMonitor::Options options;
+  options.inr = a->address();
+  MonitorHarness mh(&cluster, 40, options);
+  mh.monitor->PollOnce();
+  cluster.Settle(Seconds(1));
+
+  const auto& resolvers = mh.monitor->resolvers();
+  ASSERT_EQ(resolvers.size(), 2u);
+  ASSERT_TRUE(resolvers.count(a->address()));
+  ASSERT_TRUE(resolvers.count(b->address()));
+  EXPECT_GE(mh.monitor->snapshots_received(), 2u);
+
+  // The polled snapshot carries `a`'s live counters and histograms over the
+  // wire — including the lookup the data packet triggered.
+  const MetricsSnapshot& snap = resolvers.at(a->address()).snapshot;
+  EXPECT_GE(snap.counters.at("forwarding.packets"), 1u);
+  EXPECT_GE(snap.counters.at("forwarding.lookups"), 1u);
+  ASSERT_TRUE(snap.histograms.count("forwarding.lookup_us"));
+  EXPECT_GE(snap.histograms.at("forwarding.lookup_us").count(), 1u);
+  // Inventory gauges are refreshed when the snapshot leaves the node; `a`
+  // knows at least the camera name plus the netmon self-advertisements.
+  EXPECT_GE(snap.gauges.at("inr.names"), 2);
+
+  // One row per resolver, with the key-counter and latency-quantile columns.
+  const std::string report = mh.monitor->Report();
+  EXPECT_NE(report.find("2 resolver(s)"), std::string::npos);
+  EXPECT_NE(report.find(a->address().ToString()), std::string::npos);
+  EXPECT_NE(report.find(b->address().ToString()), std::string::npos);
+  EXPECT_NE(report.find("lookup_p99us"), std::string::npos);
+  EXPECT_NE(report.find("delivered"), std::string::npos);
+}
+
+TEST(NetmonTest, AdvertisementIsOptInSoDefaultClustersStayInvisible) {
+  SimCluster cluster;  // default: NetmonConfig.advertise == false
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(2));
+  // The seed contract benches rely on: no self-advertisement in the tree.
+  EXPECT_EQ(a->vspaces().Tree("")->record_count(), 0u);
+
+  NetworkMonitor::Options options;
+  options.inr = a->address();
+  MonitorHarness mh(&cluster, 40, options);
+  mh.monitor->PollOnce();
+  cluster.Settle(Seconds(1));
+  EXPECT_TRUE(mh.monitor->resolvers().empty());
+  EXPECT_EQ(mh.monitor->snapshots_received(), 0u);
+}
+
+TEST(NetmonTest, ForgetsResolversThatStopAnswering) {
+  SimCluster cluster(AdvertisingOptions());
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(2));
+
+  NetworkMonitor::Options options;
+  options.inr = a->address();
+  options.poll_interval = Seconds(2);
+  options.forget_after = Seconds(8);
+  MonitorHarness mh(&cluster, 40, options);
+  mh.monitor->Start();
+  cluster.Settle(Seconds(1));
+  ASSERT_EQ(mh.monitor->resolvers().size(), 2u);
+
+  // `b` dies silently. Its netmon advertisement survives in `a`'s tree until
+  // the soft-state lifetime runs out, so the monitor may briefly re-discover
+  // it — but with no snapshots coming back, aging wins once the ad expires.
+  cluster.CrashInr(b);
+  cluster.loop().RunFor(Seconds(60));
+  ASSERT_EQ(mh.monitor->resolvers().size(), 1u);
+  EXPECT_TRUE(mh.monitor->resolvers().count(a->address()));
+  // `a` keeps answering the whole time.
+  EXPECT_NE(mh.monitor->Report().find(a->address().ToString()), std::string::npos);
+  mh.monitor->Stop();
+}
+
+}  // namespace
+}  // namespace ins

@@ -1,0 +1,377 @@
+// Hop-by-hop tracing tests: the wire-format trace extension (and its absence
+// — untraced packets must be byte-identical to the seed layout), the per-node
+// event ring, journey assembly across a live overlay, and the closed
+// forwarding.drop.* reason enumeration — every drop site must leave a
+// kDropped trace event whose detail names the counter it incremented.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ins/client/api.h"
+#include "ins/common/trace.h"
+#include "ins/harness/cluster.h"
+#include "ins/inr/admission.h"
+#include "ins/inr/forwarding.h"
+#include "ins/name/parser.h"
+#include "ins/sim/event_loop.h"
+#include "ins/wire/packet.h"
+
+namespace ins {
+namespace {
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status();
+  return std::move(r).value();
+}
+
+// --- Wire format -------------------------------------------------------------
+
+Packet SamplePacket() {
+  Packet p;
+  p.hop_limit = 9;
+  p.cache_lifetime_s = 30;
+  p.deadline_budget_ms = 250;
+  p.source_name = "[service=src]";
+  p.destination_name = "[service=dst][room=510]";
+  p.payload = {0xde, 0xad, 0xbe, 0xef};
+  return p;
+}
+
+TEST(TraceWireTest, TracedPacketRoundTripsAndGrowsByTheExtension) {
+  Packet plain = SamplePacket();
+  Packet traced = SamplePacket();
+  traced.trace_id = 0x1122334455667788ull;
+
+  const Bytes plain_bytes = EncodePacket(plain);
+  const Bytes traced_bytes = EncodePacket(traced);
+  EXPECT_EQ(plain_bytes.size() + kPacketTraceExtensionSize, traced_bytes.size());
+  EXPECT_EQ(plain.EncodedSize(), plain_bytes.size());
+  EXPECT_EQ(traced.EncodedSize(), traced_bytes.size());
+  EXPECT_EQ(plain_bytes[1] & kFlagTraceSampled, 0);
+  EXPECT_NE(traced_bytes[1] & kFlagTraceSampled, 0);
+
+  auto decoded = DecodePacket(traced_bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->trace_id, traced.trace_id);
+  EXPECT_TRUE(decoded->traced());
+  EXPECT_EQ(decoded->source_name, traced.source_name);
+  EXPECT_EQ(decoded->destination_name, traced.destination_name);
+  EXPECT_EQ(decoded->payload, traced.payload);
+  EXPECT_EQ(decoded->deadline_budget_ms, traced.deadline_budget_ms);
+
+  auto plain_decoded = DecodePacket(plain_bytes);
+  ASSERT_TRUE(plain_decoded.ok());
+  EXPECT_EQ(plain_decoded->trace_id, 0u);
+  EXPECT_FALSE(plain_decoded->traced());
+}
+
+TEST(TraceWireTest, UntracedEncodingIsByteIdenticalToTheSeedLayout) {
+  // The seed wire format, built by hand from the Figure-10 layout: if the
+  // trace extension leaks a single byte into the untraced encoding, deployed
+  // seed nodes stop interoperating.
+  Packet p = SamplePacket();
+  p.early_binding = true;
+
+  Bytes expected;
+  auto u16 = [&](uint16_t v) {
+    expected.push_back(static_cast<uint8_t>(v >> 8));
+    expected.push_back(static_cast<uint8_t>(v & 0xff));
+  };
+  expected.push_back(kInsVersion);
+  expected.push_back(kFlagEarlyBinding);  // flags: B only, no trace bit
+  u16(9);                                 // hop limit
+  expected.push_back(0);                  // cache lifetime u32
+  expected.push_back(0);
+  expected.push_back(0);
+  expected.push_back(30);
+  u16(250);  // deadline budget
+  u16(0);    // reserved
+  const uint16_t src_off = 20;
+  const uint16_t dst_off = src_off + static_cast<uint16_t>(p.source_name.size());
+  const uint16_t data_off = dst_off + static_cast<uint16_t>(p.destination_name.size());
+  u16(src_off);
+  u16(dst_off);
+  u16(data_off);
+  u16(data_off + static_cast<uint16_t>(p.payload.size()));
+  expected.insert(expected.end(), p.source_name.begin(), p.source_name.end());
+  expected.insert(expected.end(), p.destination_name.begin(), p.destination_name.end());
+  expected.insert(expected.end(), p.payload.begin(), p.payload.end());
+
+  EXPECT_EQ(EncodePacket(p), expected);
+}
+
+// --- The per-node ring -------------------------------------------------------
+
+TEST(TraceRingTest, OverwritesOldestWhenFull) {
+  TraceRing ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    TraceEvent ev;
+    ev.trace_id = i;
+    ev.at = TimePoint{Microseconds(static_cast<int64_t>(i))};
+    ring.Record(ev);
+  }
+  EXPECT_EQ(ring.recorded(), 6u);
+  EXPECT_EQ(ring.overwritten(), 2u);
+  std::vector<TraceEvent> events = ring.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first; the newest events won.
+  EXPECT_EQ(events.front().trace_id, 3u);
+  EXPECT_EQ(events.back().trace_id, 6u);
+
+  ring.Clear();
+  EXPECT_EQ(ring.recorded(), 0u);
+  EXPECT_TRUE(ring.Events().empty());
+}
+
+TEST(TraceRingTest, KindNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (auto kind : {TraceEventKind::kReceived, TraceEventKind::kQueued,
+                    TraceEventKind::kAdmitted, TraceEventKind::kLookup,
+                    TraceEventKind::kNextHopChosen, TraceEventKind::kDelivered,
+                    TraceEventKind::kDropped}) {
+    auto name = TraceEventKindName(kind);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// --- Journey assembly across a live overlay ----------------------------------
+
+struct ClientHarness {
+  ClientHarness(SimCluster* cluster, uint32_t host, NodeAddress inr,
+                uint64_t trace_sample_every = 0)
+      : socket(cluster->net().Bind(MakeAddress(host))) {
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster->dsr_address();
+    config.trace_sample_every = trace_sample_every;
+    client = std::make_unique<InsClient>(&cluster->loop(), socket.get(), config);
+    client->Start();
+  }
+
+  std::unique_ptr<sim::Network::Socket> socket;
+  std::unique_ptr<InsClient> client;
+};
+
+TEST(TraceJourneyTest, SampledAnycastAssemblesAMultiHopJourney) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3);
+  cluster.StabilizeTopology();
+
+  ClientHarness service(&cluster, 30, c->address());
+  Bytes delivered_payload;
+  service.client->OnData([&](const NameSpecifier&, const Bytes& payload) {
+    delivered_payload = payload;
+  });
+  auto ad = service.client->Advertise(P("[service=camera][room=510]"));
+  cluster.loop().RunFor(Seconds(3));  // propagate the name to every resolver
+
+  // 1-in-1 sampling: every data packet this client sends carries a trace id.
+  ClientHarness user(&cluster, 20, a->address(), /*trace_sample_every=*/1);
+  cluster.Settle();
+  ASSERT_TRUE(user.client->attached());
+  ASSERT_TRUE(
+      user.client->SendAnycast(P("[service=camera][room=510]"), {1, 2, 3}).ok());
+  cluster.Settle();
+  EXPECT_EQ(delivered_payload, Bytes({1, 2, 3}));
+
+  const uint64_t id = user.client->last_trace_id();
+  ASSERT_NE(id, 0u);
+
+  TraceCollector collector = cluster.CollectTraces();
+  auto journey = collector.JourneyOf(id);
+  ASSERT_TRUE(journey.has_value());
+  EXPECT_TRUE(journey->delivered());
+  EXPECT_FALSE(journey->dropped());
+  EXPECT_STREQ(journey->drop_reason(), "");
+  ASSERT_FALSE(journey->events.empty());
+
+  // Causal shape: entered at the user's resolver, resolved somewhere, handed
+  // to the service's resolver, crossing at least one overlay link.
+  EXPECT_EQ(journey->events.front().kind, TraceEventKind::kReceived);
+  EXPECT_EQ(journey->events.front().node, a->address());
+  EXPECT_EQ(journey->events.back().kind, TraceEventKind::kDelivered);
+  EXPECT_EQ(journey->events.back().node, c->address());
+
+  std::set<NodeAddress> nodes;
+  bool saw_lookup = false;
+  bool saw_next_hop = false;
+  for (const TraceEvent& ev : journey->events) {
+    nodes.insert(ev.node);
+    saw_lookup |= ev.kind == TraceEventKind::kLookup;
+    saw_next_hop |= ev.kind == TraceEventKind::kNextHopChosen;
+  }
+  EXPECT_GE(nodes.size(), 2u);
+  EXPECT_TRUE(saw_lookup);
+  EXPECT_TRUE(saw_next_hop);
+  EXPECT_GT(journey->Elapsed(), Duration{0});
+
+  // The renderings carry the journey: text names the delivery, the Chrome
+  // JSON is loadable ({"traceEvents": ...}) and labels the journey process.
+  EXPECT_NE(journey->ToString().find("delivered"), std::string::npos);
+  EXPECT_NE(collector.Text().find("delivered"), std::string::npos);
+  const std::string json = collector.ChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("next-hop-chosen"), std::string::npos);
+
+  EXPECT_EQ(collector.DeliveryHistogram().count(), 1u);
+  EXPECT_TRUE(collector.LostJourneys().empty());
+  EXPECT_EQ(cluster.DumpLostJourneys("trace_test"), 0u);
+}
+
+// --- Drop reasons ------------------------------------------------------------
+
+// Every forwarding drop must leave a kDropped event whose detail equals the
+// suffix of the forwarding.drop.* counter it incremented. Exercises each
+// forwarding-layer reason end-to-end against a live cluster and checks both
+// sides of the contract per journey.
+TEST(TraceDropTest, EveryForwardingDropReasonExplainsItsJourney) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  // A service behind the *other* resolver, so records at `a` are remote.
+  ClientHarness service(&cluster, 30, b->address());
+  auto ad = service.client->Advertise(P("[service=camera]"));
+  cluster.loop().RunFor(Seconds(3));
+
+  auto sender = cluster.AddEndpoint(20);
+  auto send = [&](uint64_t trace_id, auto mutate) {
+    Packet p;
+    p.trace_id = trace_id;
+    p.source_name = "[service=test]";
+    p.destination_name = "[service=camera]";
+    mutate(p);
+    sender->Send(a->address(), Envelope{MessageBody(std::move(p))});
+    cluster.Settle();
+  };
+
+  send(0x101, [](Packet& p) { p.hop_limit = 0; });
+  send(0x102, [](Packet& p) { p.destination_name = "[[[not a name"; });
+  send(0x103, [](Packet& p) { p.destination_name = "[service=ghost]"; });
+  // One overlay hop charges at least 1 ms: a 1 ms budget dies at `a`.
+  send(0x104, [](Packet& p) { p.deadline_budget_ms = 1; });
+  // A virtual space nobody registered: the DSR answers "no owner".
+  send(0x105, [](Packet& p) { p.destination_name = "[vspace=ghost][service=x]"; });
+  cluster.Settle(Seconds(2));
+
+  const std::pair<uint64_t, const char*> expected[] = {
+      {0x101, "hop_limit"},          {0x102, "bad_destination"},
+      {0x103, "no_match"},           {0x104, "deadline"},
+      {0x105, "vspace_unresolved"},
+  };
+
+  TraceCollector collector = cluster.CollectTraces();
+  for (const auto& [trace_id, reason] : expected) {
+    auto journey = collector.JourneyOf(trace_id);
+    ASSERT_TRUE(journey.has_value()) << reason;
+    EXPECT_TRUE(journey->dropped()) << reason;
+    EXPECT_FALSE(journey->delivered()) << reason;
+    EXPECT_STREQ(journey->drop_reason(), reason);
+    // The matching counter moved, and the reason is a member of the closed
+    // enumeration (a drop counter outside it cannot produce a trace event).
+    EXPECT_GE(a->metrics().Counter(std::string("forwarding.drop.") + reason), 1u)
+        << reason;
+    bool enumerated = false;
+    for (const char* name : kForwardingDropReasonNames) {
+      enumerated |= std::string(name) == reason;
+    }
+    EXPECT_TRUE(enumerated) << reason;
+    EXPECT_NE(journey->ToString().find(reason), std::string::npos);
+  }
+
+  // All five sampled packets vanished, and forensics says why.
+  EXPECT_EQ(collector.LostJourneys().size(), 5u);
+  EXPECT_EQ(a->metrics().FamilyTotal("forwarding.drop."), 5u);
+}
+
+// Admission sheds are forwarding.drop.shed_class* drops and must leave the
+// same paired evidence on sampled packets.
+TEST(TraceDropTest, AdmissionShedsRecordDropEventsWithClassReasons) {
+  sim::EventLoop loop;
+  MetricsRegistry metrics;
+  TraceRing ring(64);
+  AdmissionConfig config;
+  config.enabled = true;
+  config.queue_capacity = {8, 1, 1};
+  size_t dispatched = 0;
+  AdmissionController admission(
+      &loop, &metrics, config,
+      [&](const NodeAddress&, const Envelope&, Duration) { ++dispatched; }, &ring,
+      MakeAddress(1));
+
+  auto data_packet = [](uint64_t trace_id, bool early_binding) {
+    Packet p;
+    p.trace_id = trace_id;
+    p.early_binding = early_binding;
+    p.destination_name = "[service=x]";
+    return Envelope{MessageBody(p)};
+  };
+
+  // Class 2 (late binding): first fills the 1-slot queue, second sheds.
+  admission.Admit(MakeAddress(9), data_packet(0x201, false));
+  admission.Admit(MakeAddress(9), data_packet(0x202, false));
+  // Class 1 (early binding): same again.
+  admission.Admit(MakeAddress(9), data_packet(0x301, true));
+  admission.Admit(MakeAddress(9), data_packet(0x302, true));
+
+  EXPECT_EQ(metrics.Counter("forwarding.drop.shed_class2"), 1u);
+  EXPECT_EQ(metrics.Counter("forwarding.drop.shed_class1"), 1u);
+
+  TraceCollector collector;
+  collector.Add(ring);
+  auto shed2 = collector.JourneyOf(0x202);
+  ASSERT_TRUE(shed2.has_value());
+  EXPECT_STREQ(shed2->drop_reason(), "shed_class2");
+  auto shed1 = collector.JourneyOf(0x302);
+  ASSERT_TRUE(shed1.has_value());
+  EXPECT_STREQ(shed1->drop_reason(), "shed_class1");
+  // The queued survivors left kQueued events, not drops.
+  auto queued = collector.JourneyOf(0x201);
+  ASSERT_TRUE(queued.has_value());
+  EXPECT_FALSE(queued->dropped());
+  EXPECT_EQ(queued->events.front().kind, TraceEventKind::kQueued);
+
+  loop.RunFor(Seconds(1));
+  EXPECT_EQ(dispatched, 2u);
+}
+
+// The drop-reason family is CLOSED: a resolver registers exactly the
+// enumerated forwarding.drop.* counters at construction. Someone adding a new
+// drop counter without adding its enumerator (and thus its trace event) fails
+// here — FamilyTotal-based accounting and journey forensics must never
+// diverge. shed_class0 never carries trace context (class 0 is control
+// traffic, not data packets), so membership is exactly what this checks.
+TEST(TraceDropTest, DropCounterFamilyMatchesTheReasonEnumeration) {
+  static_assert(kForwardingDropReasonCount == 8);
+  SimCluster cluster;
+  Inr* inr = cluster.AddInr(1);
+  cluster.Settle();
+
+  const std::string prefix = "forwarding.drop.";
+  std::set<std::string> registered;
+  for (const auto& [name, value] : inr->metrics().counters()) {
+    if (name.compare(0, prefix.size(), prefix) == 0) {
+      registered.insert(name.substr(prefix.size()));
+    }
+  }
+  std::set<std::string> enumerated(
+      kForwardingDropReasonNames,
+      kForwardingDropReasonNames + kForwardingDropReasonCount);
+  EXPECT_EQ(registered, enumerated);
+}
+
+}  // namespace
+}  // namespace ins

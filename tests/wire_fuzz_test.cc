@@ -78,12 +78,16 @@ TEST_P(WireFuzzTest, RandomPacketsRoundTrip) {
     p.source_name = GenerateSizedName(rng, 40 + rng.NextBelow(80)).ToString();
     p.destination_name = GenerateSizedName(rng, 40 + rng.NextBelow(80)).ToString();
     p.payload = Bytes(rng.NextBelow(600), static_cast<uint8_t>(rng.NextU64()));
+    if (rng.NextBool(0.3)) {
+      p.trace_id = rng.NextU64();  // sampled: header grows by the extension
+    }
     auto decoded = DecodePacket(EncodePacket(p));
     ASSERT_TRUE(decoded.ok()) << decoded.status();
     EXPECT_EQ(decoded->source_name, p.source_name);
     EXPECT_EQ(decoded->destination_name, p.destination_name);
     EXPECT_EQ(decoded->payload, p.payload);
     EXPECT_EQ(decoded->hop_limit, p.hop_limit);
+    EXPECT_EQ(decoded->trace_id, p.trace_id);
   }
 }
 
@@ -209,12 +213,38 @@ std::vector<Bytes> EncodedSpecimens() {
   specimens.push_back(Encode(DsrAssignmentsRequest{14, MakeAddress(2)}));
   specimens.push_back(Encode(DsrAssignmentsResponse{14, {"cam", "building"}}));
   specimens.push_back(Encode(PeerKeepalive{MakeAddress(3)}));
+
+  MetricsRequest mreq;
+  mreq.request_id = 15;
+  mreq.reply_to = MakeAddress(9);
+  specimens.push_back(Encode(mreq));
+
+  MetricsResponse mresp;
+  mresp.request_id = 15;
+  mresp.inr = MakeAddress(1);
+  mresp.counters = {{"forwarding.packets", 123}, {"forwarding.drop.no_match", 4}};
+  mresp.gauges = {{"inr.names", 17}, {"admission.lag_us", -1}};
+  MetricsResponse::HistogramItem h;
+  h.name = "forwarding.lookup_us";
+  h.sum = 900;
+  h.min = 100;
+  h.max = 500;
+  h.buckets = {{7, 2}, {9, 1}};
+  mresp.histograms.push_back(std::move(h));
+  specimens.push_back(Encode(mresp));
+
+  // A 26th specimen beyond the one-per-type set: a SAMPLED packet, whose
+  // header carries the trace extension — the sweep must cover both layouts.
+  Packet traced = p;
+  traced.trace_id = 0xDEADBEEFCAFEF00Dull;
+  specimens.push_back(Encode(traced));
   return specimens;
 }
 
 TEST(WireCorruptionSweepTest, EveryBitFlipOfEveryMessageTypeIsSafe) {
   std::vector<Bytes> specimens = EncodedSpecimens();
-  ASSERT_EQ(specimens.size(), std::variant_size_v<MessageBody>);
+  // One specimen per message type plus the traced-packet variant.
+  ASSERT_EQ(specimens.size(), std::variant_size_v<MessageBody> + 1);
   for (const Bytes& valid : specimens) {
     ASSERT_TRUE(DecodeMessage(valid).ok());
     for (size_t byte = 0; byte < valid.size(); ++byte) {
