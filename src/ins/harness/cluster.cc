@@ -245,6 +245,72 @@ size_t SimCluster::DumpLostJourneys(const std::string& label) {
   return lost.size();
 }
 
+std::string SimCluster::CheckReplicationConvergence() {
+  // vspace -> (resolver, announcer -> replicated content) of every running
+  // resolver routing that space. The signature covers what replication
+  // promises to converge: the name and the announcer's endpoint. Versions are
+  // deliberately NOT compared — a service refresh bumps the version with
+  // identical content, which is a soft-state refresh (not journaled), so
+  // remote versions may lag the origin between transfers by design.
+  std::map<std::string, std::vector<std::pair<NodeAddress, std::map<AnnouncerId, std::string>>>>
+      views;
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    if (!h->inr->running()) {
+      continue;
+    }
+    for (const std::string& vspace : h->inr->vspaces().RoutedSpaces()) {
+      std::map<AnnouncerId, std::string> view;
+      h->inr->vspaces().store().ForEachShardTree(vspace, [&](const NameTree& tree) {
+        for (const NameRecord* rec : tree.AllRecords()) {
+          view[rec->announcer] =
+              tree.ExtractName(rec).ToString() + " @" + rec->endpoint.address.ToString();
+        }
+      });
+      views[vspace].emplace_back(h->inr->address(), std::move(view));
+    }
+  }
+  std::ostringstream problems;
+  for (const auto& [vspace, resolvers] : views) {
+    for (size_t i = 1; i < resolvers.size(); ++i) {
+      if (resolvers[i].second == resolvers[0].second) {
+        continue;
+      }
+      problems << "vspace '" << vspace << "': " << resolvers[0].first.ToString() << " has "
+               << resolvers[0].second.size() << " records, " << resolvers[i].first.ToString()
+               << " has " << resolvers[i].second.size();
+      for (const auto& [id, sig] : resolvers[0].second) {
+        auto it = resolvers[i].second.find(id);
+        if (it == resolvers[i].second.end()) {
+          problems << "; " << id.ToString() << " missing at " << resolvers[i].first.ToString();
+        } else if (it->second != sig) {
+          problems << "; " << id.ToString() << " '" << sig << "' vs '" << it->second << "'";
+        }
+      }
+      for (const auto& [id, sig] : resolvers[i].second) {
+        if (resolvers[0].second.count(id) == 0) {
+          problems << "; " << id.ToString() << " extra at " << resolvers[i].first.ToString();
+        }
+      }
+      problems << ". ";
+    }
+  }
+  return problems.str();
+}
+
+std::optional<Duration> SimCluster::MeasureReplicationConvergence(Duration budget) {
+  TimePoint start = loop_.Now();
+  TimePoint deadline = start + budget;
+  while (loop_.Now() < deadline) {
+    loop_.RunFor(Milliseconds(200));
+    if (CheckTreeInvariant().empty() && CheckReplicationConvergence().empty()) {
+      Duration elapsed = loop_.Now() - start;
+      metrics_.RecordDuration("cluster.replica_converge", elapsed);
+      return elapsed;
+    }
+  }
+  return std::nullopt;
+}
+
 std::optional<Duration> SimCluster::MeasureReconvergence(Duration budget) {
   TimePoint start = loop_.Now();
   TimePoint deadline = start + budget;

@@ -134,6 +134,18 @@ class SimCluster {
   // Each success is recorded in metrics() under "cluster.reconverge".
   std::optional<Duration> MeasureReconvergence(Duration budget = Seconds(120));
 
+  // Replica convergence: for every vspace, every running resolver that routes
+  // it must hold the same announcer -> (name, endpoint) map. Route metrics,
+  // expiries, and versions legitimately differ per resolver — a refresh bumps
+  // the version with identical content and is not journaled. Empty string
+  // when converged, else a human-readable description of the divergence.
+  std::string CheckReplicationConvergence();
+
+  // Runs until CheckReplicationConvergence() AND CheckTreeInvariant() pass
+  // (every 200 ms); returns elapsed time, or nullopt if `budget` ran out.
+  // Successes are recorded under "cluster.replica_converge".
+  std::optional<Duration> MeasureReplicationConvergence(Duration budget = Seconds(120));
+
   const MetricsRegistry& metrics() const { return metrics_; }
 
   // --- Tracing --------------------------------------------------------------

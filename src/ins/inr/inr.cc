@@ -29,6 +29,10 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   ShardedNameTree::Options store_options;
   store_options.fallback_shards = config_.fallback_shards;
   store_options.pool = lookup_pool_.get();
+  // Journaling costs one entry copy per state-changing write; only pay it
+  // when replication will consume the journal.
+  store_options.journal_capacity =
+      config_.replication.enabled ? config_.replication.journal_capacity : 0;
   // The protocol thread is the store's only mutator, and shard fan-out joins
   // before it continues, so the store runs in inline (lock-free-by-absence)
   // mode; the left-right concurrent mode is for the standalone lookup core.
@@ -44,6 +48,15 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   load_balancer_ = std::make_unique<LoadBalancer>(executor_, send, address(), config_.dsr,
                                                   vspaces_.get(), discovery_.get(),
                                                   &metrics_, config_.load_balancer);
+  replication_ = std::make_unique<ReplicationAgent>(executor_, send, address(),
+                                                    vspaces_.get(), topology_.get(),
+                                                    discovery_.get(), &metrics_,
+                                                    config_.replication);
+  if (config_.replication.enabled) {
+    // Digests carry liveness, deltas carry changes: the periodic O(names)
+    // re-announcement becomes redundant bytes.
+    discovery_->SetPeriodicSuppressed(true);
+  }
   admission_ = std::make_unique<AdmissionController>(
       executor_, &metrics_, config_.admission,
       [this](const NodeAddress& src, const Envelope& env, Duration queued) {
@@ -64,9 +77,12 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   topology_->on_neighbor_up = [this](const NodeAddress& peer) {
     discovery_->SendFullStateTo(peer);
   };
-  // A dead link stops being a usable next hop right away.
+  // A dead link stops being a usable next hop right away. The replication
+  // cursor for the peer dies with the edge, so a re-formed edge starts from
+  // serial 0 — a full resynchronization, never a silent gap.
   topology_->on_neighbor_down = [this](const NodeAddress& peer) {
     discovery_->PurgeRoutesVia(peer);
+    replication_->ForgetPeer(peer);
   };
   // Default idle-termination policy: shut down gracefully.
   load_balancer_->on_should_terminate = [this] { Stop(); };
@@ -98,6 +114,7 @@ void Inr::Start() {
   topology_->Start(vspaces_->RoutedSpaces());
   discovery_->Start();
   load_balancer_->Start();
+  replication_->Start();
   if (config_.netmon.advertise) {
     AdvertiseNetmon();
   }
@@ -115,6 +132,7 @@ void Inr::Stop() {
     netmon_task_ = kInvalidTaskId;
   }
   load_balancer_->Stop();
+  replication_->Stop();
   discovery_->Stop();
   topology_->Stop();
   // Tell the DSR to drop us immediately (lifetime 0 = unregister).
@@ -137,6 +155,7 @@ void Inr::Crash() {
     netmon_task_ = kInvalidTaskId;
   }
   load_balancer_->Stop();
+  replication_->Stop();
   discovery_->Stop();
   topology_->CrashStop();
   INS_LOG(kDebug) << "INR " << address().ToString() << " crashed (injected)";
@@ -220,6 +239,16 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     // (classically an amnesiac restart of this node, which keeps answering
     // the sender's pings) — NoteTreeEdgeTraffic replies PeerClose.
     topology_->NoteTreeEdgeTraffic(keepalive->from);
+  } else if (auto* digest = std::get_if<JournalDigest>(&env.body)) {
+    // Tree-edge-scoped like NameUpdate: a digest from a non-neighbor means a
+    // half-open edge, and the sender is told to close it. The agent itself
+    // also ignores non-neighbor digests.
+    topology_->NoteTreeEdgeTraffic(digest->from);
+    replication_->HandleDigest(src, *digest);
+  } else if (auto* dreq = std::get_if<JournalDeltaRequest>(&env.body)) {
+    replication_->HandleDeltaRequest(src, *dreq);
+  } else if (auto* dresp = std::get_if<JournalDeltaResponse>(&env.body)) {
+    replication_->HandleDeltaResponse(src, *dresp);
   } else if (auto* list = std::get_if<DsrListResponse>(&env.body)) {
     topology_->HandleDsrListResponse(*list);
   } else if (auto* vresp = std::get_if<DsrVspaceResponse>(&env.body)) {

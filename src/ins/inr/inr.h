@@ -28,6 +28,7 @@
 #include "ins/inr/load_balancer.h"
 #include "ins/inr/name_discovery.h"
 #include "ins/inr/packet_cache.h"
+#include "ins/inr/replication.h"
 #include "ins/inr/vspace.h"
 #include "ins/overlay/ping.h"
 #include "ins/overlay/topology.h"
@@ -58,6 +59,10 @@ struct InrConfig {
   // Overload control on the ingress path; disabled by default (seed
   // behaviour: every message dispatches inline).
   AdmissionConfig admission;
+  // Journaled delta replication with anti-entropy digests; disabled by
+  // default (seed behaviour: periodic full re-announcement only). Enabling it
+  // turns on store journaling and suppresses the periodic refresh storm.
+  ReplicationConfig replication;
   size_t cache_capacity = 128;
   // Worker threads for fanning lookups out across shards of a space; 0 (the
   // default) resolves inline on the protocol thread — the simulator mode.
@@ -97,6 +102,7 @@ class Inr {
   ForwardingAgent& forwarding() { return *forwarding_; }
   TopologyManager& topology() { return *topology_; }
   LoadBalancer& load_balancer() { return *load_balancer_; }
+  ReplicationAgent& replication() { return *replication_; }
   PacketCache& cache() { return *cache_; }
   PingAgent& pings() { return *ping_agent_; }
   AdmissionController& admission() { return *admission_; }
@@ -147,6 +153,7 @@ class Inr {
   std::unique_ptr<NameDiscovery> discovery_;
   std::unique_ptr<ForwardingAgent> forwarding_;
   std::unique_ptr<LoadBalancer> load_balancer_;
+  std::unique_ptr<ReplicationAgent> replication_;
   std::unique_ptr<AdmissionController> admission_;
 };
 

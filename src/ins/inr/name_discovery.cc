@@ -145,6 +145,28 @@ void NameDiscovery::HandleNameUpdate(const NodeAddress& src, const NameUpdate& u
   }
 }
 
+size_t NameDiscovery::ApplyReplicatedEntries(const NodeAddress& src,
+                                             const std::string& vspace,
+                                             const std::vector<NameUpdateEntry>& entries) {
+  if (!vspaces_->Routes(vspace)) {
+    return 0;
+  }
+  std::vector<NameUpdateEntry> changed;
+  for (const NameUpdateEntry& entry : entries) {
+    auto propagate = ApplyRemoteEntry(src, vspace, entry);
+    if (propagate.has_value()) {
+      changed.push_back(std::move(*propagate));
+    }
+  }
+  metrics_->SetGauge("discovery.names",
+                     static_cast<int64_t>(vspaces_->store().RecordCount(vspace)));
+  const size_t applied = changed.size();
+  if (config_.triggered_updates && !changed.empty()) {
+    PropagateTriggered(vspace, std::move(changed), src);
+  }
+  return applied;
+}
+
 std::optional<NameUpdateEntry> NameDiscovery::ApplyRemoteEntry(
     const NodeAddress& src, const std::string& vspace, const NameUpdateEntry& entry) {
   auto name = ParseNameSpecifier(entry.name_text);
@@ -261,6 +283,11 @@ void NameDiscovery::SendUpdates(const NodeAddress& peer, const std::string& vspa
 }
 
 void NameDiscovery::PeriodicTick() {
+  if (periodic_suppressed_) {
+    periodic_task_ =
+        executor_->ScheduleAfter(config_.update_interval, [this] { PeriodicTick(); });
+    return;
+  }
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
     for (const NodeAddress& peer : topology_->NeighborAddresses()) {
       std::vector<NameUpdateEntry> entries;

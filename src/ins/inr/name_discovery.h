@@ -59,6 +59,20 @@ class NameDiscovery {
   // A batch update from a neighbor resolver.
   void HandleNameUpdate(const NodeAddress& src, const NameUpdate& update);
 
+  // Applies journal-replicated upserts from `src` (inr/replication.h) through
+  // the same distance-vector acceptance rules as HandleNameUpdate, including
+  // onward triggered propagation, so a delta repair crosses the overlay hop
+  // by hop. Returns how many entries changed local state.
+  size_t ApplyReplicatedEntries(const NodeAddress& src, const std::string& vspace,
+                                const std::vector<NameUpdateEntry>& entries);
+
+  // With replication enabled the periodic O(names) full re-announcement is
+  // redundant — journal digests carry liveness and deltas carry changes — so
+  // the ReplicationAgent suppresses it. The tick keeps rescheduling (cheap),
+  // triggered updates and expiry sweeps are untouched, and flipping this back
+  // off restores the seed behavior on the next tick.
+  void SetPeriodicSuppressed(bool suppressed) { periodic_suppressed_ = suppressed; }
+
   // Pushes full state for every routed space to one neighbor (called when a
   // neighbor comes up) or for one space to any address (vspace delegation).
   void SendFullStateTo(const NodeAddress& peer);
@@ -100,6 +114,7 @@ class NameDiscovery {
 
   TaskId periodic_task_ = kInvalidTaskId;
   TaskId expiry_task_ = kInvalidTaskId;
+  bool periodic_suppressed_ = false;
 };
 
 }  // namespace ins

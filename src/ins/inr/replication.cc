@@ -1,0 +1,400 @@
+#include "ins/inr/replication.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ins/common/logging.h"
+
+namespace ins {
+
+ReplicationAgent::ReplicationAgent(Executor* executor, SendFn send, NodeAddress self,
+                                   VspaceManager* vspaces, TopologyManager* topology,
+                                   NameDiscovery* discovery, MetricsRegistry* metrics,
+                                   ReplicationConfig config)
+    : executor_(executor),
+      send_(std::move(send)),
+      self_(self),
+      vspaces_(vspaces),
+      topology_(topology),
+      discovery_(discovery),
+      metrics_(metrics),
+      config_(config) {}
+
+ReplicationAgent::~ReplicationAgent() { Stop(); }
+
+void ReplicationAgent::Start() {
+  if (!config_.enabled || running_) {
+    return;
+  }
+  running_ = true;
+  digest_task_ = executor_->ScheduleAfter(config_.digest_interval, [this] { DigestTick(); });
+  retry_task_ = executor_->ScheduleAfter(config_.transfer_timeout, [this] { RetryTick(); });
+}
+
+void ReplicationAgent::Stop() {
+  running_ = false;
+  executor_->Cancel(digest_task_);
+  executor_->Cancel(retry_task_);
+  digest_task_ = retry_task_ = kInvalidTaskId;
+  peers_.clear();
+}
+
+void ReplicationAgent::DigestTick() {
+  SendDigests();
+  digest_task_ = executor_->ScheduleAfter(config_.digest_interval, [this] { DigestTick(); });
+}
+
+void ReplicationAgent::SendDigests() {
+  JournalDigest digest;
+  digest.from = self_;
+  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
+    digest.items.push_back({vspace, vspaces_->store().JournalHead(vspace)});
+  }
+  for (const NodeAddress& peer : topology_->NeighborAddresses()) {
+    metrics_->Increment("replication.digests_sent");
+    send_(peer, Envelope{MessageBody(digest)});
+  }
+}
+
+void ReplicationAgent::RetryTick() {
+  const TimePoint now = executor_->Now();
+  for (auto& [key, ps] : peers_) {
+    if (!ps.awaiting || now < ps.deadline) {
+      continue;
+    }
+    if (ps.retries >= config_.max_transfer_retries) {
+      metrics_->Increment("replication.transfer_aborts");
+      AbortTransfer(ps);
+      continue;
+    }
+    // Restart the whole transfer: the server regenerates every chunk, so the
+    // sequence cursor and any partial snapshot inventory reset with it.
+    ++ps.retries;
+    ps.next_seq = 0;
+    ps.snapshot_seen.clear();
+    ps.deadline = now + config_.transfer_timeout;
+    metrics_->Increment("replication.transfer_retries");
+    SendRequest(key.first, key.second, ps);
+  }
+  retry_task_ = executor_->ScheduleAfter(config_.transfer_timeout, [this] { RetryTick(); });
+}
+
+void ReplicationAgent::AbortTransfer(PeerSpace& ps) {
+  ps.awaiting = false;
+  ps.full = false;
+  ps.next_seq = 0;
+  ps.retries = 0;
+  ps.snapshot_seen.clear();
+}
+
+void ReplicationAgent::ForgetPeer(const NodeAddress& peer) {
+  for (auto it = peers_.begin(); it != peers_.end();) {
+    if (it->first.first == peer) {
+      it = peers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+uint64_t ReplicationAgent::AppliedSerial(const NodeAddress& peer,
+                                         const std::string& vspace) const {
+  auto it = peers_.find({peer, vspace});
+  return it == peers_.end() ? 0 : it->second.applied_serial;
+}
+
+bool ReplicationAgent::TransferInFlight() const {
+  for (const auto& [key, ps] : peers_) {
+    if (ps.awaiting) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReplicationAgent::HandleDigest(const NodeAddress& src, const JournalDigest& digest) {
+  if (!config_.enabled || !running_) {
+    return;
+  }
+  if (!topology_->IsNeighbor(digest.from)) {
+    metrics_->Increment("replication.non_neighbor_messages");
+    return;
+  }
+  metrics_->Increment("replication.digests_received");
+  for (const JournalDigest::Item& item : digest.items) {
+    if (!vspaces_->Routes(item.vspace)) {
+      continue;
+    }
+    PeerSpace& ps = peers_[{src, item.vspace}];
+    if (item.serial == ps.applied_serial) {
+      // Current: the digest is the liveness lease for everything we route
+      // via this peer — the replacement for per-record re-announcement.
+      if (!ps.awaiting) {
+        RefreshReplicasVia(src, item.vspace);
+      }
+      continue;
+    }
+    if (ps.awaiting) {
+      continue;  // one outstanding transfer per (peer, vspace)
+    }
+    if (item.serial > ps.applied_serial) {
+      StartTransfer(src, item.vspace, ps, /*full=*/false);
+    } else {
+      // Serial regression: the peer restarted with a fresh journal. Our
+      // cursor is meaningless — reset and take a snapshot.
+      metrics_->Increment("replication.serial_regressions");
+      ps.applied_serial = 0;
+      StartTransfer(src, item.vspace, ps, /*full=*/true);
+    }
+  }
+}
+
+void ReplicationAgent::StartTransfer(const NodeAddress& peer, const std::string& vspace,
+                                     PeerSpace& ps, bool full) {
+  ps.awaiting = true;
+  ps.full = full;
+  ps.next_seq = 0;
+  ps.retries = 0;
+  ps.snapshot_seen.clear();
+  ps.behind_since = executor_->Now();
+  ps.deadline = executor_->Now() + config_.transfer_timeout;
+  SendRequest(peer, vspace, ps);
+}
+
+void ReplicationAgent::SendRequest(const NodeAddress& peer, const std::string& vspace,
+                                   const PeerSpace& ps) {
+  JournalDeltaRequest req;
+  req.from = self_;
+  req.vspace = vspace;
+  req.after_serial = ps.applied_serial;
+  req.full = ps.full;
+  metrics_->Increment("replication.delta_requests_sent");
+  send_(peer, Envelope{MessageBody(std::move(req))});
+}
+
+uint32_t ReplicationAgent::RemainingLifetimeS(TimePoint expires) const {
+  const TimePoint now = executor_->Now();
+  if (expires <= now) {
+    return 0;
+  }
+  return static_cast<uint32_t>((expires - now).count() / 1000000);
+}
+
+void ReplicationAgent::HandleDeltaRequest(const NodeAddress& src,
+                                          const JournalDeltaRequest& req) {
+  if (!config_.enabled || !running_) {
+    return;
+  }
+  metrics_->Increment("replication.delta_requests_received");
+  if (!vspaces_->Routes(req.vspace)) {
+    // Delegated away since the digest; the requester's transfer times out
+    // and the next digest round (without this vspace) clears the confusion.
+    metrics_->Increment("replication.requests_unrouted_space");
+    return;
+  }
+  ShardedNameTree& store = vspaces_->store();
+  const NameJournal* journal = store.journal(req.vspace);
+
+  bool snapshot = req.full || journal == nullptr;
+  std::vector<JournalEntry> raw;
+  if (!snapshot &&
+      !journal->ReadSince(req.after_serial, std::numeric_limits<size_t>::max(), &raw)) {
+    // The requester's cursor fell off the ring: history is gone, fall back
+    // to the full snapshot transfer.
+    raw.clear();
+    snapshot = true;
+  }
+
+  std::vector<JournalDeltaResponse::Entry> entries;
+  uint64_t to_serial = 0;
+  if (snapshot) {
+    metrics_->Increment("replication.snapshots_sent");
+    to_serial = journal == nullptr ? 0 : journal->head_serial();
+    store.ForEachShardTree(req.vspace, [&](const NameTree& tree) {
+      for (const NameRecord* rec : tree.AllRecords()) {
+        if (!rec->route.IsLocal() && rec->route.next_hop_inr == src) {
+          continue;  // split horizon: never hand records back to their source
+        }
+        JournalDeltaResponse::Entry e;
+        e.op = static_cast<uint8_t>(JournalOp::kUpsert);
+        e.name_text = tree.ExtractName(rec).ToString();
+        e.announcer = rec->announcer;
+        e.endpoint = rec->endpoint;
+        e.app_metric = rec->app_metric;
+        e.route_metric = rec->route.overlay_metric;
+        e.lifetime_s = RemainingLifetimeS(rec->expires);
+        e.version = rec->version;
+        entries.push_back(std::move(e));
+      }
+    });
+  } else {
+    to_serial = raw.empty() ? journal->head_serial() : raw.back().serial;
+    entries.reserve(raw.size());
+    for (const JournalEntry& je : raw) {
+      JournalDeltaResponse::Entry e;
+      e.op = static_cast<uint8_t>(je.op);
+      e.announcer = je.announcer;
+      if (je.op == JournalOp::kUpsert) {
+        e.name_text = je.name_text;
+        e.endpoint = je.endpoint;
+        e.app_metric = je.app_metric;
+        e.route_metric = je.route_metric;
+        e.version = je.version;
+        // The captured expiry is stale the moment a soft-state refresh lands
+        // (refreshes are not journaled); serve the CURRENT record's remaining
+        // lifetime when it is still alive. A dead record keeps its captured
+        // (lapsed) expiry — a later delete/expire entry in this same delta
+        // removes it at the receiver anyway.
+        std::optional<NameRecord> live = store.Find(req.vspace, je.announcer);
+        e.lifetime_s = RemainingLifetimeS(live.has_value() ? live->expires : je.expires);
+      }
+      entries.push_back(std::move(e));
+    }
+    metrics_->Increment("replication.delta_entries_sent", entries.size());
+  }
+  SendChunked(src, req.vspace, snapshot, to_serial, std::move(entries));
+}
+
+void ReplicationAgent::SendChunked(const NodeAddress& peer, const std::string& vspace,
+                                   bool snapshot, uint64_t to_serial,
+                                   std::vector<JournalDeltaResponse::Entry> entries) {
+  const size_t per_chunk = std::max<size_t>(1, config_.max_entries_per_response);
+  uint32_t seq = 0;
+  size_t i = 0;
+  do {
+    JournalDeltaResponse resp;
+    resp.from = self_;
+    resp.vspace = vspace;
+    resp.snapshot = snapshot;
+    resp.to_serial = to_serial;
+    resp.seq = seq++;
+    const size_t end = std::min(entries.size(), i + per_chunk);
+    resp.entries.assign(std::make_move_iterator(entries.begin() + static_cast<long>(i)),
+                        std::make_move_iterator(entries.begin() + static_cast<long>(end)));
+    i = end;
+    resp.last = i >= entries.size();
+    send_(peer, Envelope{MessageBody(std::move(resp))});
+  } while (i < entries.size());
+}
+
+void ReplicationAgent::HandleDeltaResponse(const NodeAddress& src,
+                                           const JournalDeltaResponse& resp) {
+  if (!config_.enabled || !running_) {
+    return;
+  }
+  auto it = peers_.find({src, resp.vspace});
+  if (it == peers_.end() || !it->second.awaiting) {
+    metrics_->Increment("replication.unexpected_responses");
+    return;  // duplicate, or a chunk of a transfer we already aborted
+  }
+  PeerSpace& ps = it->second;
+  if (resp.seq != ps.next_seq) {
+    // A chunk vanished (UDP): this transfer cannot complete. Leave it
+    // awaiting; the retry tick re-requests the whole thing.
+    metrics_->Increment("replication.chunk_gaps");
+    return;
+  }
+  if (ps.next_seq == 0) {
+    // The server decides delta-vs-snapshot (our cursor may have fallen off
+    // its ring); adopt its choice on the first chunk.
+    ps.full = resp.snapshot;
+  } else if (resp.snapshot != ps.full) {
+    metrics_->Increment("replication.chunk_gaps");
+    return;  // interleaved chunks of two different transfers
+  }
+
+  std::vector<NameUpdateEntry> upserts;
+  for (const JournalDeltaResponse::Entry& e : resp.entries) {
+    const JournalOp op = static_cast<JournalOp>(e.op);
+    if (op == JournalOp::kUpsert) {
+      if (ps.full) {
+        ps.snapshot_seen.insert(e.announcer);
+      }
+      NameUpdateEntry u;
+      u.name_text = e.name_text;
+      u.announcer = e.announcer;
+      u.endpoint = e.endpoint;
+      u.app_metric = e.app_metric;
+      u.route_metric = e.route_metric;
+      u.lifetime_s = e.lifetime_s;
+      u.version = e.version;
+      upserts.push_back(std::move(u));
+    } else {
+      // Tombstone: only meaningful for state we route via the sender — a
+      // record reached over another path (or our own local one) has its own
+      // journal feed and must not be killed by this peer's history.
+      std::optional<NameRecord> rec = vspaces_->store().Find(resp.vspace, e.announcer);
+      if (rec.has_value() && !rec->route.IsLocal() && rec->route.next_hop_inr == src) {
+        if (vspaces_->store().Remove(resp.vspace, e.announcer)) {
+          metrics_->Increment("replication.tombstones_applied");
+        }
+      }
+    }
+  }
+  if (!upserts.empty()) {
+    // The delta rides the same distance-vector acceptance rules as a
+    // NameUpdate (local wins, better path adopted, echoes ignored) and
+    // triggers onward propagation, so repair crosses the overlay hop by hop.
+    const size_t applied = discovery_->ApplyReplicatedEntries(src, resp.vspace, upserts);
+    metrics_->Increment("replication.delta_entries_applied", applied);
+  }
+  ps.next_seq++;
+  if (!resp.last) {
+    ps.deadline = executor_->Now() + config_.transfer_timeout;  // progress
+    return;
+  }
+
+  if (ps.full) {
+    metrics_->Increment("replication.snapshots_applied");
+    PurgeUnseenVia(src, resp.vspace, ps.snapshot_seen);
+  }
+  ps.applied_serial = resp.to_serial;
+  metrics_->RecordDuration("replication.catchup_us", executor_->Now() - ps.behind_since);
+  AbortTransfer(ps);  // transfer done: reset the state machine
+  // The records untouched by this transfer still hold their old leases; the
+  // digest that triggered the transfer could not refresh them (we were
+  // behind), so re-arm now that we are current.
+  RefreshReplicasVia(src, resp.vspace);
+}
+
+void ReplicationAgent::RefreshReplicasVia(const NodeAddress& peer, const std::string& vspace) {
+  ShardedNameTree& store = vspaces_->store();
+  std::vector<AnnouncerId> via;
+  store.ForEachShardTree(vspace, [&](const NameTree& tree) {
+    for (const NameRecord* rec : tree.AllRecords()) {
+      if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
+        via.push_back(rec->announcer);
+      }
+    }
+  });
+  const TimePoint lease = executor_->Now() + Seconds(config_.replica_lifetime_s);
+  for (const AnnouncerId& id : via) {
+    store.RefreshExpiry(vspace, id, lease);
+  }
+  if (!via.empty()) {
+    metrics_->Increment("replication.leases_renewed", via.size());
+  }
+}
+
+void ReplicationAgent::PurgeUnseenVia(const NodeAddress& peer, const std::string& vspace,
+                                      const std::set<AnnouncerId>& seen) {
+  ShardedNameTree& store = vspaces_->store();
+  std::vector<AnnouncerId> stale;
+  store.ForEachShardTree(vspace, [&](const NameTree& tree) {
+    for (const NameRecord* rec : tree.AllRecords()) {
+      if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer &&
+          seen.count(rec->announcer) == 0) {
+        stale.push_back(rec->announcer);
+      }
+    }
+  });
+  for (const AnnouncerId& id : stale) {
+    // Remove() journals a delete, so the purge propagates to OUR neighbors
+    // on their next digest round — snapshot repair crosses the overlay too.
+    if (store.Remove(vspace, id)) {
+      metrics_->Increment("replication.snapshot_purged");
+    }
+  }
+}
+
+}  // namespace ins

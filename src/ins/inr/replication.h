@@ -1,0 +1,154 @@
+// Journaled delta replication with anti-entropy (the robustness layer on top
+// of the soft-state name-discovery protocol).
+//
+// Every resolver keeps a per-vspace change journal (nametree/journal.h). The
+// ReplicationAgent exchanges (vspace, serial) digests with overlay neighbors
+// on keepalive cadence and repairs divergence with O(changes) transfers:
+//
+//   * digest equal     -> the receiver's replica of the sender is current;
+//                         the digest doubles as a liveness lease and the
+//                         receiver re-arms the expiry of every record it
+//                         routes via the sender (no per-record refresh).
+//   * digest ahead     -> the receiver requests a delta stream
+//                         (JournalDeltaRequest) and applies the journal
+//                         entries through the normal distance-vector rules.
+//   * serial fell off  -> the sender answers with a full snapshot transfer
+//     the journal ring    (the AXFR fallback): replace-all semantics for
+//                         records routed via the sender.
+//   * serial regressed -> the sender restarted with a fresh journal; the
+//                         receiver resets its cursor and takes a snapshot.
+//
+// Transfers are chunked over UDP with consecutive sequence numbers, a
+// deadline, and bounded retries; a seq gap or timeout aborts the transfer
+// and the next digest round restarts it. With replication enabled the
+// periodic full re-announcement of NameDiscovery is suppressed — digests are
+// O(vspaces) per keepalive instead of O(names) per refresh period, which is
+// where the refresh-storm bytes go.
+//
+// Everything is feature-flagged: ReplicationConfig::enabled defaults to
+// false and the seed soft-state path is untouched.
+
+#ifndef INS_INR_REPLICATION_H_
+#define INS_INR_REPLICATION_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
+#include "ins/inr/name_discovery.h"
+#include "ins/inr/vspace.h"
+#include "ins/overlay/topology.h"
+#include "ins/wire/messages.h"
+
+namespace ins {
+
+struct ReplicationConfig {
+  // Master switch. Off (the seed default): no journaling, no digests, the
+  // soft-state refresh path is exactly the seed's.
+  bool enabled = false;
+  // Ring capacity of each per-vspace journal. A peer that falls further
+  // behind than this takes a snapshot instead of a delta.
+  size_t journal_capacity = 1024;
+  // Anti-entropy cadence; aligned with the overlay keepalive interval so a
+  // healed partition converges within one keepalive round.
+  Duration digest_interval = Seconds(5);
+  // Transfer state machine: a request unanswered past this deadline is
+  // retried, up to max_transfer_retries, then aborted (the next digest round
+  // starts over).
+  Duration transfer_timeout = Seconds(2);
+  int max_transfer_retries = 3;
+  // Entries per JournalDeltaResponse chunk (mirrors DiscoveryConfig's
+  // max_entries_per_update datagram bound).
+  size_t max_entries_per_response = 64;
+  // Lease granted to replicated records by a current digest. Must exceed the
+  // overlay's failure-detection window (missed_keepalives * keepalive
+  // interval): any partition long enough to expire replicas also kills the
+  // edge, whose repair does a full resynchronization — so silent divergence
+  // ("serials equal but my replica lapsed") cannot happen.
+  uint32_t replica_lifetime_s = 45;
+};
+
+class ReplicationAgent {
+ public:
+  ReplicationAgent(Executor* executor, SendFn send, NodeAddress self,
+                   VspaceManager* vspaces, TopologyManager* topology,
+                   NameDiscovery* discovery, MetricsRegistry* metrics,
+                   ReplicationConfig config);
+  ~ReplicationAgent();
+
+  void Start();
+  void Stop();
+
+  void HandleDigest(const NodeAddress& src, const JournalDigest& digest);
+  void HandleDeltaRequest(const NodeAddress& src, const JournalDeltaRequest& req);
+  void HandleDeltaResponse(const NodeAddress& src, const JournalDeltaResponse& resp);
+
+  // Drops every per-(peer, vspace) cursor for `peer` (overlay edge died).
+  // The state its records carried is purged by NameDiscovery::PurgeRoutesVia;
+  // when the edge re-forms, the zeroed cursor forces a full resync.
+  void ForgetPeer(const NodeAddress& peer);
+
+  // The journal serial of `peer`'s `vspace` this resolver has fully applied.
+  uint64_t AppliedSerial(const NodeAddress& peer, const std::string& vspace) const;
+  // True while any (peer, vspace) transfer is awaiting chunks.
+  bool TransferInFlight() const;
+
+  const ReplicationConfig& config() const { return config_; }
+
+ private:
+  struct PeerSpace {
+    uint64_t applied_serial = 0;
+    // Transfer state machine (one outstanding transfer per (peer, vspace)).
+    bool awaiting = false;
+    bool full = false;  // requested (or fell back to) a snapshot
+    uint32_t next_seq = 0;
+    TimePoint deadline{0};
+    int retries = 0;
+    TimePoint behind_since{0};  // for the catch-up latency histogram
+    // Announcers named by the snapshot chunks so far; on the last chunk,
+    // records via the peer that are NOT in here are purged (replace-all).
+    std::set<AnnouncerId> snapshot_seen;
+  };
+
+  void DigestTick();
+  void RetryTick();
+  void SendDigests();
+  void StartTransfer(const NodeAddress& peer, const std::string& vspace, PeerSpace& ps,
+                     bool full);
+  void SendRequest(const NodeAddress& peer, const std::string& vspace, const PeerSpace& ps);
+  void AbortTransfer(PeerSpace& ps);
+  // Sends `entries` to `peer` as a chunked transfer with consecutive seqs.
+  void SendChunked(const NodeAddress& peer, const std::string& vspace, bool snapshot,
+                   uint64_t to_serial, std::vector<JournalDeltaResponse::Entry> entries);
+  // Re-arms the soft-state expiry of every record routed via `peer` in
+  // `vspace` to now + replica_lifetime_s (the digest liveness lease).
+  void RefreshReplicasVia(const NodeAddress& peer, const std::string& vspace);
+  // Snapshot replace-all: removes records routed via `peer` whose announcer
+  // the snapshot did not mention.
+  void PurgeUnseenVia(const NodeAddress& peer, const std::string& vspace,
+                      const std::set<AnnouncerId>& seen);
+  uint32_t RemainingLifetimeS(TimePoint expires) const;
+
+  Executor* executor_;
+  SendFn send_;
+  NodeAddress self_;
+  VspaceManager* vspaces_;
+  TopologyManager* topology_;
+  NameDiscovery* discovery_;
+  MetricsRegistry* metrics_;
+  ReplicationConfig config_;
+
+  bool running_ = false;
+  TaskId digest_task_ = kInvalidTaskId;
+  TaskId retry_task_ = kInvalidTaskId;
+  std::map<std::pair<NodeAddress, std::string>, PeerSpace> peers_;
+};
+
+}  // namespace ins
+
+#endif  // INS_INR_REPLICATION_H_

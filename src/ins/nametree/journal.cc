@@ -1,0 +1,60 @@
+#include "ins/nametree/journal.h"
+
+namespace ins {
+
+uint64_t NameJournal::Append(JournalEntry e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  e.serial = ++head_serial_;
+  ring_.push_back(std::move(e));
+  if (ring_.size() > capacity_) {
+    ring_.pop_front();
+  }
+  return head_serial_;
+}
+
+uint64_t NameJournal::head_serial() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_serial_;
+}
+
+uint64_t NameJournal::tail_serial() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? 0 : ring_.front().serial;
+}
+
+bool NameJournal::ReadSince(uint64_t from, size_t max, std::vector<JournalEntry>* out,
+                            bool* more) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (more != nullptr) {
+    *more = false;
+  }
+  if (from >= head_serial_) {
+    return true;  // caller is current (or ahead, which digests catch)
+  }
+  // Servable iff every serial in (from, head] is still ringed, i.e. the
+  // first entry we owe — from + 1 — has not been evicted.
+  if (ring_.empty() || ring_.front().serial > from + 1) {
+    return false;
+  }
+  // Entries are contiguous by serial: index of serial s is s - front.serial.
+  size_t begin = static_cast<size_t>(from + 1 - ring_.front().serial);
+  size_t end = ring_.size();
+  if (end - begin > max) {
+    end = begin + max;
+    if (more != nullptr) {
+      *more = true;
+    }
+  }
+  out->reserve(out->size() + (end - begin));
+  for (size_t i = begin; i < end; ++i) {
+    out->push_back(ring_[i]);
+  }
+  return true;
+}
+
+size_t NameJournal::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+}  // namespace ins

@@ -501,7 +501,7 @@ void NameTree::PushExpiry(TimePoint expires, const AnnouncerId& id) {
                  std::greater<std::pair<TimePoint, AnnouncerId>>());
 }
 
-size_t NameTree::ExpireBefore(TimePoint now) {
+size_t NameTree::ExpireBefore(TimePoint now, std::vector<AnnouncerId>* expired) {
   // Every live record has a heap entry at its current deadline (pushed when
   // the deadline was set), so popping entries with deadline < now visits a
   // superset of the expired records: cost is O(expired + stale), never a
@@ -522,6 +522,9 @@ size_t NameTree::ExpireBefore(TimePoint now) {
     }
     Ungraft(it->second.get());
     records_.erase(it);
+    if (expired != nullptr) {
+      expired->push_back(id);
+    }
     ++removed;
   }
   return removed;

@@ -175,8 +175,10 @@ class NameTree {
   // Removes every record with expires < now; returns how many were removed.
   // Driven by the expiry min-heap: cost is proportional to the number of
   // heap entries that have come due (expired records plus entries staled by
-  // refreshes/removals), independent of the live tree size.
-  size_t ExpireBefore(TimePoint now);
+  // refreshes/removals), independent of the live tree size. When `expired`
+  // is non-null the announcers of the removed records are appended to it, in
+  // removal order (deterministic: heap order), so callers can journal them.
+  size_t ExpireBefore(TimePoint now, std::vector<AnnouncerId>* expired = nullptr);
 
   // Cumulative count of expiry-heap entries examined by ExpireBefore calls;
   // the sweep-cost accounting used by tests and the network-management view.

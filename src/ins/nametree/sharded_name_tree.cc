@@ -38,10 +38,58 @@ void ShardedNameTree::AddSpace(const std::string& vspace) {
   for (size_t i = 0; i < count; ++i) {
     it->second.push_back(MakeShard(vspace, i));
   }
+  if (options_.journal_capacity > 0) {
+    journals_.emplace(vspace, std::make_unique<NameJournal>(options_.journal_capacity));
+  }
 }
 
 bool ShardedNameTree::RemoveSpace(const std::string& vspace) {
+  journals_.erase(vspace);
   return spaces_.erase(vspace) > 0;
+}
+
+NameJournal* ShardedNameTree::journal(const std::string& vspace) {
+  auto it = journals_.find(vspace);
+  return it == journals_.end() ? nullptr : it->second.get();
+}
+
+const NameJournal* ShardedNameTree::journal(const std::string& vspace) const {
+  return const_cast<ShardedNameTree*>(this)->journal(vspace);
+}
+
+uint64_t ShardedNameTree::JournalHead(const std::string& vspace) const {
+  const NameJournal* j = journal(vspace);
+  return j == nullptr ? 0 : j->head_serial();
+}
+
+void ShardedNameTree::JournalUpsert(const std::string& vspace, const NameSpecifier& name,
+                                    const NameRecord& record) {
+  NameJournal* j = journal(vspace);
+  if (j == nullptr) {
+    return;
+  }
+  JournalEntry e;
+  e.op = JournalOp::kUpsert;
+  e.name_text = name.ToString();
+  e.announcer = record.announcer;
+  e.endpoint = record.endpoint;
+  e.app_metric = record.app_metric;
+  e.route_metric = record.route.overlay_metric;
+  e.expires = record.expires;
+  e.version = record.version;
+  j->Append(std::move(e));
+}
+
+void ShardedNameTree::JournalTombstone(const std::string& vspace, JournalOp op,
+                                       const AnnouncerId& id) {
+  NameJournal* j = journal(vspace);
+  if (j == nullptr) {
+    return;
+  }
+  JournalEntry e;
+  e.op = op;
+  e.announcer = id;
+  j->Append(std::move(e));
 }
 
 bool ShardedNameTree::Routes(const std::string& vspace) const {
@@ -135,6 +183,9 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
                  ? NameTree::UpsertOutcome::kIgnored
                  : NameTree::UpsertOutcome::kRenamed;
     FillResult(r, *shards[target], out.record);
+    if (r.name.has_value() && r.record.has_value()) {
+      JournalUpsert(vspace, *r.name, *r.record);
+    }
     return r;
   }
 
@@ -143,6 +194,11 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
   UpsertResult r;
   r.kind = out.kind;
   FillResult(r, *shards[target], out.record);
+  // FillResult populates name/record exactly for the journaled outcomes
+  // (kNew / kChanged / kRenamed); refreshes and ignores stay off the journal.
+  if (r.name.has_value() && r.record.has_value()) {
+    JournalUpsert(vspace, *r.name, *r.record);
+  }
   return r;
 }
 
@@ -218,17 +274,30 @@ size_t ShardedNameTree::UpsertBatch(
     if (per_shard[i].empty()) {
       continue;
     }
-    // One snapshot publish covers the whole per-shard batch.
-    applied += ApplyLocked(*shards[i], [&ops = per_shard[i]](NameTree& t) {
-      size_t n = 0;
-      for (const auto& op : ops) {
-        if (t.Upsert(op.entry->first, op.compiled, op.entry->second).kind !=
-            NameTree::UpsertOutcome::kIgnored) {
-          ++n;
-        }
+    // One snapshot publish covers the whole per-shard batch. The lambda
+    // reports per-op outcomes by return value (not by side effect): the
+    // left-right protocol applies it twice, and only the first application's
+    // result is used — journal capture happens here, outside the lambda.
+    std::vector<NameTree::UpsertOutcome::Kind> kinds =
+        ApplyLocked(*shards[i], [&ops = per_shard[i]](NameTree& t) {
+          std::vector<NameTree::UpsertOutcome::Kind> out;
+          out.reserve(ops.size());
+          for (const auto& op : ops) {
+            out.push_back(t.Upsert(op.entry->first, op.compiled, op.entry->second).kind);
+          }
+          return out;
+        });
+    for (size_t k = 0; k < kinds.size(); ++k) {
+      if (kinds[k] == NameTree::UpsertOutcome::kIgnored) {
+        continue;
       }
-      return n;
-    });
+      ++applied;
+      if (kinds[k] != NameTree::UpsertOutcome::kRefreshed) {
+        // The stored record equals the batch input (Upsert copies it
+        // verbatim), so the journal snapshot comes from the input entry.
+        JournalUpsert(vspace, per_shard[i][k].entry->first, per_shard[i][k].entry->second);
+      }
+    }
   }
   return applied;
 }
@@ -248,7 +317,11 @@ bool ShardedNameTree::Remove(const std::string& vspace, const AnnouncerId& id) {
   }
   for (auto& s : shards) {
     if (ReadSide(*s).Find(id) != nullptr) {
-      return ApplyLocked(*s, [&id](NameTree& t) { return t.Remove(id); });
+      const bool removed = ApplyLocked(*s, [&id](NameTree& t) { return t.Remove(id); });
+      if (removed) {
+        JournalTombstone(vspace, JournalOp::kDelete, id);
+      }
+      return removed;
     }
   }
   return false;
@@ -288,7 +361,18 @@ size_t ShardedNameTree::ExpireBefore(TimePoint now) {
       if (!ReadSide(*s).HasExpiryDueBefore(now)) {
         continue;
       }
-      removed += ApplyLocked(*s, [now](NameTree& t) { return t.ExpireBefore(now); });
+      // The sweep reports who it removed by return value: ApplyLocked runs
+      // the lambda twice in concurrent mode, and only the first (published)
+      // application's list feeds the journal.
+      std::vector<AnnouncerId> swept = ApplyLocked(*s, [now](NameTree& t) {
+        std::vector<AnnouncerId> ids;
+        t.ExpireBefore(now, &ids);
+        return ids;
+      });
+      removed += swept.size();
+      for (const AnnouncerId& id : swept) {
+        JournalTombstone(space, JournalOp::kExpire, id);
+      }
     }
   }
   return removed;

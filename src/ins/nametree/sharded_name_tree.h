@@ -61,6 +61,7 @@
 #include "ins/common/status.h"
 #include "ins/common/worker_pool.h"
 #include "ins/name/name_specifier.h"
+#include "ins/nametree/journal.h"
 #include "ins/nametree/name_tree.h"
 
 namespace ins {
@@ -79,6 +80,10 @@ class ShardedNameTree {
     // Used by ForEachShardMatch to fan shard scans out across threads.
     // Not owned; may be null (scans run inline).
     WorkerPool* pool = nullptr;
+    // Ring capacity of the per-vspace change journal (journal.h). 0 — the
+    // seed default — disables journaling entirely: write paths skip capture
+    // and journal() returns nullptr. Enabled by the replication subsystem.
+    size_t journal_capacity = 0;
   };
 
   ShardedNameTree() : ShardedNameTree(Options{}) {}
@@ -148,6 +153,17 @@ class ShardedNameTree {
 
   // Sweeps every shard; one snapshot publish per shard that expired records.
   size_t ExpireBefore(TimePoint now);
+
+  // ---- Change journal (Options::journal_capacity > 0) ----
+
+  // The change journal of a routed space: every kNew/kChanged/kRenamed
+  // upsert, Remove, and expiry sweep appends one serial-stamped entry
+  // (refreshes do not — see journal.h). nullptr when the space is unrouted
+  // or journaling is off.
+  NameJournal* journal(const std::string& vspace);
+  const NameJournal* journal(const std::string& vspace) const;
+  // Convenience: the journal's head serial, 0 when absent.
+  uint64_t JournalHead(const std::string& vspace) const;
 
   // ---- Reader API (lock-free hot path in concurrent mode) ----
 
@@ -236,6 +252,13 @@ class ShardedNameTree {
   // `r`; caller must hold the shard's write lock in concurrent mode.
   void FillResult(UpsertResult& r, const Shard& shard, const NameRecord* rec) const;
 
+  // Journal capture helpers: no-ops when the space has no journal. Called
+  // once per logical write, OUTSIDE ApplyLocked's lambda — the left-right
+  // protocol applies that lambda twice and would double-record.
+  void JournalUpsert(const std::string& vspace, const NameSpecifier& name,
+                     const NameRecord& record);
+  void JournalTombstone(const std::string& vspace, JournalOp op, const AnnouncerId& id);
+
   // The side readers should use right now (callers in concurrent mode must
   // hold an epoch guard across the access AND every dereference of the
   // returned tree).
@@ -293,6 +316,9 @@ class ShardedNameTree {
   std::shared_ptr<SymbolTable> symbols_;
   mutable EpochDomain epochs_;
   std::map<std::string, std::vector<std::unique_ptr<Shard>>> spaces_;
+  // One journal per routed space (not per shard): the serial orders changes
+  // across all fallback shards of the space. Empty when journaling is off.
+  std::map<std::string, std::unique_ptr<NameJournal>> journals_;
 };
 
 }  // namespace ins

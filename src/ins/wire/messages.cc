@@ -417,6 +417,98 @@ Result<DsrAssignmentsResponse> DecodeDsrAssignmentsResponse(ByteReader& r) {
 
 void EncodeBody(ByteWriter& w, const PeerKeepalive& p) { WriteAddress(w, p.from); }
 
+void EncodeBody(ByteWriter& w, const JournalDigest& d) {
+  WriteAddress(w, d.from);
+  w.WriteU16(static_cast<uint16_t>(d.items.size()));
+  for (const JournalDigest::Item& it : d.items) {
+    w.WriteString(it.vspace);
+    w.WriteU64(it.serial);
+  }
+}
+
+Result<JournalDigest> DecodeJournalDigest(ByteReader& r) {
+  JournalDigest d;
+  INS_ASSIGN_OR_RETURN(d.from, ReadAddress(r));
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  d.items.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    JournalDigest::Item it;
+    INS_ASSIGN_OR_RETURN(it.vspace, r.ReadString());
+    INS_ASSIGN_OR_RETURN(it.serial, r.ReadU64());
+    d.items.push_back(std::move(it));
+  }
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const JournalDeltaRequest& d) {
+  WriteAddress(w, d.from);
+  w.WriteString(d.vspace);
+  w.WriteU64(d.after_serial);
+  w.WriteU8(d.full ? 1 : 0);
+}
+
+Result<JournalDeltaRequest> DecodeJournalDeltaRequest(ByteReader& r) {
+  JournalDeltaRequest d;
+  INS_ASSIGN_OR_RETURN(d.from, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  INS_ASSIGN_OR_RETURN(d.after_serial, r.ReadU64());
+  uint8_t full = 0;
+  INS_ASSIGN_OR_RETURN(full, r.ReadU8());
+  d.full = full != 0;
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const JournalDeltaResponse& d) {
+  WriteAddress(w, d.from);
+  w.WriteString(d.vspace);
+  w.WriteU8(d.snapshot ? 1 : 0);
+  w.WriteU64(d.to_serial);
+  w.WriteU32(d.seq);
+  w.WriteU8(d.last ? 1 : 0);
+  w.WriteU16(static_cast<uint16_t>(d.entries.size()));
+  for (const JournalDeltaResponse::Entry& e : d.entries) {
+    w.WriteU8(e.op);
+    w.WriteString(e.name_text);
+    WriteAnnouncer(w, e.announcer);
+    WriteEndpoint(w, e.endpoint);
+    WriteDouble(w, e.app_metric);
+    WriteDouble(w, e.route_metric);
+    w.WriteU32(e.lifetime_s);
+    w.WriteU64(e.version);
+  }
+}
+
+Result<JournalDeltaResponse> DecodeJournalDeltaResponse(ByteReader& r) {
+  JournalDeltaResponse d;
+  INS_ASSIGN_OR_RETURN(d.from, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  uint8_t snapshot = 0;
+  INS_ASSIGN_OR_RETURN(snapshot, r.ReadU8());
+  d.snapshot = snapshot != 0;
+  INS_ASSIGN_OR_RETURN(d.to_serial, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.seq, r.ReadU32());
+  uint8_t last = 0;
+  INS_ASSIGN_OR_RETURN(last, r.ReadU8());
+  d.last = last != 0;
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  d.entries.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    JournalDeltaResponse::Entry e;
+    INS_ASSIGN_OR_RETURN(e.op, r.ReadU8());
+    INS_ASSIGN_OR_RETURN(e.name_text, r.ReadString());
+    INS_ASSIGN_OR_RETURN(e.announcer, ReadAnnouncer(r));
+    INS_ASSIGN_OR_RETURN(e.endpoint, ReadEndpoint(r));
+    INS_ASSIGN_OR_RETURN(e.app_metric, ReadDouble(r));
+    INS_ASSIGN_OR_RETURN(e.route_metric, ReadDouble(r));
+    INS_ASSIGN_OR_RETURN(e.lifetime_s, r.ReadU32());
+    INS_ASSIGN_OR_RETURN(e.version, r.ReadU64());
+    d.entries.push_back(std::move(e));
+  }
+  return d;
+}
+
 void EncodeBody(ByteWriter& w, const MetricsRequest& m) {
   w.WriteU64(m.request_id);
   WriteAddress(w, m.reply_to);
@@ -545,6 +637,13 @@ MessageType Envelope::type() const {
     MessageType operator()(const PeerKeepalive&) { return MessageType::kPeerKeepalive; }
     MessageType operator()(const MetricsRequest&) { return MessageType::kMetricsRequest; }
     MessageType operator()(const MetricsResponse&) { return MessageType::kMetricsResponse; }
+    MessageType operator()(const JournalDigest&) { return MessageType::kJournalDigest; }
+    MessageType operator()(const JournalDeltaRequest&) {
+      return MessageType::kJournalDeltaRequest;
+    }
+    MessageType operator()(const JournalDeltaResponse&) {
+      return MessageType::kJournalDeltaResponse;
+    }
   };
   return std::visit(Visitor{}, body);
 }
@@ -666,6 +765,18 @@ Result<Envelope> DecodeMessage(const Bytes& buffer) {
     case MessageType::kMetricsResponse: {
       INS_ASSIGN_OR_RETURN(MetricsResponse m, DecodeMetricsResponse(r));
       return Envelope{MessageBody(std::move(m))};
+    }
+    case MessageType::kJournalDigest: {
+      INS_ASSIGN_OR_RETURN(JournalDigest d, DecodeJournalDigest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kJournalDeltaRequest: {
+      INS_ASSIGN_OR_RETURN(JournalDeltaRequest d, DecodeJournalDeltaRequest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kJournalDeltaResponse: {
+      INS_ASSIGN_OR_RETURN(JournalDeltaResponse d, DecodeJournalDeltaResponse(r));
+      return Envelope{MessageBody(std::move(d))};
     }
   }
   return InvalidArgumentError("unknown message type " + std::to_string(raw_type));

@@ -50,6 +50,9 @@ enum class MessageType : uint8_t {
   kPeerKeepalive = 23,  // INR -> neighbor INR: I still consider us peered
   kMetricsRequest = 24,   // netmon -> INR: send me your metrics snapshot
   kMetricsResponse = 25,  // INR -> netmon
+  kJournalDigest = 26,        // INR -> neighbor INR: my per-vspace serials
+  kJournalDeltaRequest = 27,  // behind INR -> neighbor: send me the changes
+  kJournalDeltaResponse = 28,  // delta stream or full-snapshot chunk
 };
 
 // --- Service advertisement (client/service -> its INR) ---------------------
@@ -227,6 +230,59 @@ struct PeerKeepalive {
   NodeAddress from;
 };
 
+// --- Journal replication (anti-entropy between neighbor INRs) ----------------
+
+// Sent on keepalive cadence to every overlay neighbor: the head serial of
+// every routed vspace's change journal. A receiver whose applied serial for
+// (sender, vspace) is lower asks for a delta; an equal serial doubles as a
+// liveness lease on every record learned from the sender (no per-record
+// refresh needed); a HIGHER applied serial means the sender restarted with a
+// fresh journal, and the receiver resynchronizes from scratch.
+struct JournalDigest {
+  NodeAddress from;
+  struct Item {
+    std::string vspace;
+    uint64_t serial = 0;
+  };
+  std::vector<Item> items;
+};
+
+// "Send me every change after `after_serial`" — or, when `full` is set (the
+// requester's serial fell off the sender's journal ring, or the sender's
+// serial regressed), a full snapshot of the vspace.
+struct JournalDeltaRequest {
+  NodeAddress from;
+  std::string vspace;
+  uint64_t after_serial = 0;
+  bool full = false;
+};
+
+// One chunk of a delta stream or snapshot transfer. Chunks of one transfer
+// carry consecutive `seq` numbers and the same `to_serial`; the last chunk
+// sets `last`. A requester seeing a seq gap aborts and re-requests (UDP
+// transport: chunks can vanish). For snapshots, entries are all kUpsert and
+// the receiver drops any record it learned from this peer that the snapshot
+// does not mention (the AXFR replace-all semantics).
+struct JournalDeltaResponse {
+  NodeAddress from;
+  std::string vspace;
+  bool snapshot = false;
+  uint64_t to_serial = 0;  // applied serial after the final chunk lands
+  uint32_t seq = 0;
+  bool last = true;
+  struct Entry {
+    uint8_t op = 0;  // JournalOp: 0 upsert, 1 delete, 2 expire
+    std::string name_text;
+    AnnouncerId announcer;
+    EndpointInfo endpoint;
+    double app_metric = 0.0;
+    double route_metric = 0.0;  // sender's distance (Bellman-Ford input)
+    uint32_t lifetime_s = 0;    // remaining soft-state lifetime at send time
+    uint64_t version = 0;
+  };
+  std::vector<Entry> entries;
+};
+
 // --- Metrics polling (the paper's NetworkManagement service) -----------------
 
 // The netmon app asks a resolver for its metrics. Classified as control
@@ -273,7 +329,8 @@ using MessageBody =
                  DsrRegister, DsrListRequest, DsrListResponse, DsrVspaceRequest,
                  DsrVspaceResponse, DsrCandidatesRequest, DsrCandidatesResponse,
                  SpawnRequest, DelegateVspace, DsrAssignmentsRequest, DsrAssignmentsResponse,
-                 PeerKeepalive, MetricsRequest, MetricsResponse>;
+                 PeerKeepalive, MetricsRequest, MetricsResponse, JournalDigest,
+                 JournalDeltaRequest, JournalDeltaResponse>;
 
 struct Envelope {
   MessageBody body;

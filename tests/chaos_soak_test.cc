@@ -79,8 +79,11 @@ struct SoakResult {
 };
 
 // One full chaos run. All randomness comes from `seed`; two invocations with
-// the same seed must produce identical fingerprints.
-SoakResult RunSoak(uint64_t seed) {
+// the same seed must produce identical fingerprints. With `replication` the
+// cluster runs journaled delta replication and the fault menu gains the
+// partition-heal-converge window (kind 6), which additionally demands
+// serial-level replica convergence within one anti-entropy round.
+SoakResult RunSoak(uint64_t seed, bool replication = false) {
   SoakResult result;
   std::ostringstream trace;
   Rng chaos(seed * 7919 + 17);
@@ -88,6 +91,7 @@ SoakResult RunSoak(uint64_t seed) {
   ClusterOptions options;
   options.seed = seed;
   options.inr_template.topology.rng_salt = seed;
+  options.inr_template.replication.enabled = replication;
   SimCluster cluster(options);
   for (uint32_t i = 1; i <= kNumInrs; ++i) {
     cluster.AddInr(i);
@@ -118,9 +122,12 @@ SoakResult RunSoak(uint64_t seed) {
   };
 
   const int rounds = SoakRounds();
+  // Names flooded during partition windows (kind 6); handles kept so their
+  // owners keep refreshing them for the rest of the run.
+  std::vector<std::unique_ptr<AdvertisementHandle>> flood_ads;
   for (int round = 0; round < rounds && result.ok; ++round) {
     Duration window = Seconds(5 + static_cast<int64_t>(chaos.NextBelow(11)));
-    uint64_t kind = chaos.NextBelow(6);
+    uint64_t kind = chaos.NextBelow(replication ? 7 : 6);
     trace << "r" << round << ":k" << kind << ":w" << window.count() << ";";
     switch (kind) {
       case 0: {
@@ -168,6 +175,29 @@ SoakResult RunSoak(uint64_t seed) {
         cluster.RestartInr(host);
         break;
       }
+      case 6: {
+        // PartitionHealConverge (replication mode only): cut the cluster in
+        // two MID-FLOOD — fresh names keep landing on one side while the
+        // other can't hear about them — then heal. The journal/anti-entropy
+        // machinery must reach serial-level convergence within one digest
+        // round; checked after the generic tree reconvergence below.
+        uint32_t cut = 1 + static_cast<uint32_t>(chaos.NextBelow(kNumInrs - 1));
+        std::vector<uint32_t> left, right;
+        for (uint32_t i = 1; i <= kNumInrs; ++i) {
+          (i <= cut ? left : right).push_back(i);
+        }
+        // Clients/DSR stay with svc1's side so the flood keeps landing.
+        left.push_back(SimCluster::kDsrHostIndex);
+        cluster.Partition({left, right});
+        for (int n = 0; n < 6; ++n) {
+          flood_ads.push_back(svc1.client->Advertise(
+              P("[service=flood[round=r" + std::to_string(round) + "][id=n" +
+                std::to_string(n) + "]]")));
+          cluster.loop().RunFor(window / 6);
+        }
+        cluster.Heal();
+        break;
+      }
     }
 
     auto took = cluster.MeasureReconvergence(Seconds(120));
@@ -177,6 +207,19 @@ SoakResult RunSoak(uint64_t seed) {
       break;
     }
     trace << "t" << took->count() << ";";
+
+    if (kind == 6) {
+      // One anti-entropy round: a digest interval plus the delta transfer.
+      auto caught_up = cluster.MeasureReplicationConvergence(
+          options.inr_template.replication.digest_interval + Seconds(3));
+      if (!caught_up.has_value()) {
+        fail("round " + std::to_string(round) +
+             ": replicas diverged after partition heal: " +
+             cluster.CheckReplicationConvergence());
+        break;
+      }
+      trace << "rc" << caught_up->count() << ";";
+    }
 
     // Let name routes catch up (purge + full-state push + periodic refresh),
     // then prove an end-to-end lookup works. Datagrams are best-effort, so
@@ -212,6 +255,19 @@ TEST_P(ChaosSoakTest, ReconvergesAndResolvesAfterEveryFaultWindow) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest, ::testing::ValuesIn(SoakSeeds()));
 
+// Same menu plus the PartitionHealConverge window, with journaled delta
+// replication on everywhere: every heal must reach serial-level replica
+// convergence within one anti-entropy round.
+class ChaosSoakReplicationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSoakReplicationTest, ReplicasConvergeAfterEveryFaultWindow) {
+  SoakResult r = RunSoak(GetParam(), /*replication=*/true);
+  EXPECT_TRUE(r.ok) << r.failure;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakReplicationTest,
+                         ::testing::ValuesIn(SoakSeeds()));
+
 TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {
   for (uint64_t seed : {3u, 8u}) {
     SoakResult first = RunSoak(seed);
@@ -219,6 +275,13 @@ TEST(ChaosSoakDeterminismTest, SameSeedSameTrace) {
     ASSERT_TRUE(first.ok) << first.failure;
     EXPECT_EQ(first.fingerprint, second.fingerprint) << "seed " << seed;
   }
+}
+
+TEST(ChaosSoakDeterminismTest, ReplicationModeIsDeterministicToo) {
+  SoakResult first = RunSoak(5, /*replication=*/true);
+  SoakResult second = RunSoak(5, /*replication=*/true);
+  ASSERT_TRUE(first.ok) << first.failure;
+  EXPECT_EQ(first.fingerprint, second.fingerprint);
 }
 
 TEST(ChaosSoakDeterminismTest, DifferentSeedsDiverge) {

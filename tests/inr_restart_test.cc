@@ -162,5 +162,49 @@ TEST(InrRestartTest, ReAdvertisementAfterRestartDoesNotDuplicate) {
   }
 }
 
+TEST(InrRestartTest, ReplicationJournalCatchUpCompletesWithinAKeepaliveInterval) {
+  // Flagged-on variant of RestartedInrServesNamesWithinOneRefreshPeriod: with
+  // journaled replication the restarted resolver must not wait out a refresh
+  // period — the first anti-entropy digest round after the overlay rejoin
+  // (digest cadence == keepalive cadence) repopulates it from a neighbor's
+  // journal.
+  ClusterOptions options;
+  options.inr_template.replication.enabled = true;
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  auto svc = cluster.AddEndpoint(10);
+  for (int i = 0; i < 20; ++i) {
+    Advertisement ad = MakeAd("[service=fleet][id=" + std::to_string(i) + "]", svc->address());
+    ad.announcer.discriminator = static_cast<uint32_t>(i);
+    svc->Send(b->address(), Envelope{MessageBody(ad)});
+  }
+  cluster.loop().RunFor(Seconds(2));
+  ASSERT_TRUE(cluster.CheckReplicationConvergence().empty());
+
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(20));  // past the keepalive failure window
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  auto rejoined = cluster.MeasureReconvergence(Seconds(15));
+  ASSERT_TRUE(rejoined.has_value()) << cluster.CheckTreeInvariant();
+
+  // From the moment the overlay is whole again, one keepalive interval is
+  // the budget for serial-level convergence — no service refresh, no
+  // periodic update involved (both are 15 s+ away).
+  auto caught_up = cluster.MeasureReplicationConvergence(
+      cluster.options().inr_template.topology.keepalive_interval);
+  ASSERT_TRUE(caught_up.has_value()) << cluster.CheckReplicationConvergence();
+
+  auto q = *ParseNameSpecifier("[service=fleet]");
+  EXPECT_EQ(a2->vspaces().Tree("")->Lookup(q).size(), 20u);
+  for (Inr* inr : cluster.inrs()) {
+    EXPECT_TRUE(inr->vspaces().store().CheckInvariants().ok()) << inr->address().ToString();
+  }
+}
+
 }  // namespace
 }  // namespace ins

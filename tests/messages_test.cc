@@ -194,6 +194,74 @@ TEST(MessagesTest, LoadBalancingMessages) {
   EXPECT_EQ(d2.from, MakeAddress(2));
 }
 
+TEST(MessagesTest, ReplicationMessages) {
+  JournalDigest d;
+  d.from = MakeAddress(1, 5001);
+  d.items = {{"", 42}, {"camera-ne43", 7}};
+  JournalDigest d2 = RoundTrip(d);
+  EXPECT_EQ(d2.from, d.from);
+  ASSERT_EQ(d2.items.size(), 2u);
+  EXPECT_EQ(d2.items[0].vspace, "");
+  EXPECT_EQ(d2.items[0].serial, 42u);
+  EXPECT_EQ(d2.items[1].vspace, "camera-ne43");
+  EXPECT_EQ(d2.items[1].serial, 7u);
+
+  JournalDeltaRequest req;
+  req.from = MakeAddress(2, 5002);
+  req.vspace = "camera-ne43";
+  req.after_serial = 7;
+  req.full = true;
+  JournalDeltaRequest req2 = RoundTrip(req);
+  EXPECT_EQ(req2.from, req.from);
+  EXPECT_EQ(req2.vspace, req.vspace);
+  EXPECT_EQ(req2.after_serial, 7u);
+  EXPECT_TRUE(req2.full);
+
+  JournalDeltaResponse resp;
+  resp.from = MakeAddress(1, 5001);
+  resp.vspace = "camera-ne43";
+  resp.snapshot = true;
+  resp.to_serial = 42;
+  resp.seq = 3;
+  resp.last = false;
+  JournalDeltaResponse::Entry upsert;
+  upsert.op = 0;
+  upsert.name_text = "[service=camera[id=c1]]";
+  upsert.announcer = SampleAnnouncer();
+  upsert.endpoint = SampleEndpoint();
+  upsert.app_metric = 1.5;
+  upsert.route_metric = 3.25;
+  upsert.lifetime_s = 45;
+  upsert.version = 9;
+  resp.entries.push_back(upsert);
+  JournalDeltaResponse::Entry tombstone;
+  tombstone.op = 2;
+  tombstone.announcer = AnnouncerId{0x0a000009, 11, 1};
+  resp.entries.push_back(tombstone);
+  JournalDeltaResponse resp2 = RoundTrip(resp);
+  EXPECT_EQ(resp2.from, resp.from);
+  EXPECT_EQ(resp2.vspace, resp.vspace);
+  EXPECT_TRUE(resp2.snapshot);
+  EXPECT_EQ(resp2.to_serial, 42u);
+  EXPECT_EQ(resp2.seq, 3u);
+  EXPECT_FALSE(resp2.last);
+  ASSERT_EQ(resp2.entries.size(), 2u);
+  EXPECT_EQ(resp2.entries[0].op, 0);
+  EXPECT_EQ(resp2.entries[0].name_text, upsert.name_text);
+  EXPECT_EQ(resp2.entries[0].announcer, upsert.announcer);
+  EXPECT_EQ(resp2.entries[0].endpoint, upsert.endpoint);
+  EXPECT_DOUBLE_EQ(resp2.entries[0].app_metric, 1.5);
+  EXPECT_DOUBLE_EQ(resp2.entries[0].route_metric, 3.25);
+  EXPECT_EQ(resp2.entries[0].lifetime_s, 45u);
+  EXPECT_EQ(resp2.entries[0].version, 9u);
+  EXPECT_EQ(resp2.entries[1].op, 2);
+  EXPECT_EQ(resp2.entries[1].announcer, tombstone.announcer);
+  EXPECT_EQ(resp2.entries[1].name_text, "");
+  EXPECT_EQ(Encode(d)[0], static_cast<uint8_t>(MessageType::kJournalDigest));
+  EXPECT_EQ(Encode(req)[0], static_cast<uint8_t>(MessageType::kJournalDeltaRequest));
+  EXPECT_EQ(Encode(resp)[0], static_cast<uint8_t>(MessageType::kJournalDeltaResponse));
+}
+
 TEST(MessagesTest, DataEnvelopeCarriesPacket) {
   Packet p;
   p.destination_name = "[service=printer]";

@@ -36,6 +36,8 @@
 #include "ins/baseline/string_name_tree.h"
 #include "ins/common/rng.h"
 #include "ins/name/compiled_name.h"
+#include "ins/name/parser.h"
+#include "ins/nametree/journal.h"
 #include "ins/nametree/name_tree.h"
 #include "ins/nametree/sharded_name_tree.h"
 #include "ins/workload/namegen.h"
@@ -66,9 +68,18 @@ class Harness {
       : rng_(seed), params_(params) {
     ShardedNameTree::Options opts;
     opts.fallback_shards = fallback_shards;
+    // Small ring on purpose: stretches between replica syncs regularly
+    // overflow it, so the snapshot-fallback path runs alongside deltas.
+    opts.journal_capacity = 32;
     sharded_ = std::make_unique<ShardedNameTree>(opts);
     sharded_->AddSpace("");
+    ShardedNameTree::Options replica_opts;
+    replica_opts.fallback_shards = fallback_shards;
+    replica_ = std::make_unique<ShardedNameTree>(replica_opts);
+    replica_->AddSpace("");
   }
+
+  size_t replica_syncs() const { return replica_syncs_; }
 
   void RunOps(size_t n) {
     for (size_t i = 0; i < n; ++i) {
@@ -87,13 +98,17 @@ class Harness {
         OpBatch();
       } else if (dice < 82) {
         OpExpire();
-      } else {
+      } else if (dice < 92) {
         OpCompareLookup();
+      } else {
+        OpReplicateAndCompare();
       }
     }
+    OpReplicateAndCompare();
     CompareAll("final");
     ASSERT_TRUE(tree_.CheckInvariants().ok());
     ASSERT_TRUE(sharded_->CheckInvariants().ok());
+    ASSERT_TRUE(replica_->CheckInvariants().ok());
   }
 
  private:
@@ -266,6 +281,49 @@ class Harness {
     }
   }
 
+  // Replicate-then-compare: catch the replica up from the primary's change
+  // journal — an O(changes) delta while its cursor is still on the ring, a
+  // full AXFR-style rebuild once it has fallen off — then demand the replica
+  // matches the Matches()-scan oracle record-for-record. This is the exact
+  // data path the resolver replication protocol serves, minus the wire.
+  void OpReplicateAndCompare() {
+    const NameJournal* journal = sharded_->journal("");
+    ASSERT_NE(journal, nullptr);
+    std::vector<JournalEntry> entries;
+    if (!journal->ReadSince(replica_serial_, SIZE_MAX, &entries)) {
+      replica_->RemoveSpace("");
+      replica_->AddSpace("");
+      sharded_->ForEachShardTree("", [&](const NameTree& tree) {
+        for (const NameRecord* rec : tree.AllRecords()) {
+          replica_->Upsert("", tree.ExtractName(rec), *rec);
+        }
+      });
+    } else {
+      for (const JournalEntry& e : entries) {
+        if (e.op == JournalOp::kUpsert) {
+          auto name = ParseNameSpecifier(e.name_text);
+          ASSERT_TRUE(name.ok()) << "unparseable journal name: " << e.name_text;
+          NameRecord rec;
+          rec.announcer = e.announcer;
+          rec.endpoint = e.endpoint;
+          rec.app_metric = e.app_metric;
+          rec.expires = e.expires;
+          rec.version = e.version;
+          replica_->Upsert("", name.value(), rec);
+        } else {
+          replica_->Remove("", e.announcer);
+        }
+      }
+    }
+    replica_serial_ = journal->head_serial();
+    ++replica_syncs_;
+
+    const NameSpecifier match_all;
+    EXPECT_EQ(Render(oracle_.Lookup(match_all)), Render(replica_->Lookup("", match_all)))
+        << "replica diverged from oracle after sync " << replica_syncs_;
+    EXPECT_EQ(oracle_.size(), replica_->RecordCount(""));
+  }
+
   void CompareAll(const std::string& label) {
     const NameSpecifier match_all;  // empty query matches everything
     const std::string oracle = Render(oracle_.Lookup(match_all));
@@ -285,6 +343,10 @@ class Harness {
   NameTree tree_;
   NameTree::LookupScratch scratch_;  // reused across every compiled lookup
   std::unique_ptr<ShardedNameTree> sharded_;
+  // Journal-fed replica of sharded_ (see OpReplicateAndCompare).
+  std::unique_ptr<ShardedNameTree> replica_;
+  uint64_t replica_serial_ = 0;
+  size_t replica_syncs_ = 0;
 };
 
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
@@ -293,6 +355,7 @@ class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(DifferentialTest, OracleVsTreeVsShardedStore) {
   Harness h(GetParam(), kCompleteParams, /*fallback_shards=*/4);
   h.RunOps(kOpsPerSeed);
+  EXPECT_GT(h.replica_syncs(), 1u);  // the replication op really ran
 }
 
 // Single-shard store must track the tree exactly on ANY workload — including

@@ -233,7 +233,40 @@ std::vector<Bytes> EncodedSpecimens() {
   mresp.histograms.push_back(std::move(h));
   specimens.push_back(Encode(mresp));
 
-  // A 26th specimen beyond the one-per-type set: a SAMPLED packet, whose
+  JournalDigest jd;
+  jd.from = MakeAddress(1);
+  jd.items = {{"", 42}, {"cam", 7}};
+  specimens.push_back(Encode(jd));
+
+  JournalDeltaRequest jreq;
+  jreq.from = MakeAddress(2);
+  jreq.vspace = "cam";
+  jreq.after_serial = 7;
+  specimens.push_back(Encode(jreq));
+
+  JournalDeltaResponse jresp;
+  jresp.from = MakeAddress(1);
+  jresp.vspace = "cam";
+  jresp.to_serial = 42;
+  jresp.seq = 0;
+  jresp.last = true;
+  JournalDeltaResponse::Entry upsert;
+  upsert.op = 0;
+  upsert.name_text = GenerateSizedName(rng, 82).ToString();
+  upsert.announcer = AnnouncerId{1, 2, 3};
+  upsert.endpoint = EndpointInfo{MakeAddress(4), {{554, "rtsp"}}};
+  upsert.app_metric = 1.5;
+  upsert.route_metric = 3.25;
+  upsert.lifetime_s = 45;
+  upsert.version = 9;
+  jresp.entries.push_back(std::move(upsert));
+  JournalDeltaResponse::Entry tombstone;
+  tombstone.op = 1;
+  tombstone.announcer = AnnouncerId{1, 2, 4};
+  jresp.entries.push_back(std::move(tombstone));
+  specimens.push_back(Encode(jresp));
+
+  // One specimen beyond the one-per-type set: a SAMPLED packet, whose
   // header carries the trace extension — the sweep must cover both layouts.
   Packet traced = p;
   traced.trace_id = 0xDEADBEEFCAFEF00Dull;
