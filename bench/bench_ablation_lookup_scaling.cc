@@ -1,5 +1,5 @@
 // Ablation — §5.1.1 lookup-cost analysis: hash-based name-tree vs. linear
-// structures.
+// structures, and the posting-list index vs. the Figure-5 tree walk.
 //
 // The paper derives T(d) = Θ(n_a^d (r_a + r_v + b)) for linear attribute/
 // value search and Θ(n_a^d (1 + b)) with hash tables, and argues d stays
@@ -10,8 +10,22 @@
 // across tree size n and name depth d, confirming (i) the tree's lookup cost
 // is roughly flat in n while the linear scan degrades linearly, and (ii)
 // cost grows with n_a^d (the per-name work), not with vocabulary size.
+//
+// The *Conjunctive pair extends the ablation to the million-name regime the
+// index targets: a service-directory-shaped workload (a broad svc family ×
+// a narrow unit id per record) where the walk's cost is dominated by
+// collecting the broad conjunct's subtree while the index streams the rare
+// posting and probes a bitmap. Both engines run against the SAME tree —
+// BM_IndexConjunctive through Lookup() (posting-list path), and
+// BM_WalkConjunctive through LookupTreeWalk() (index bypassed) — and the
+// binary REFUSES to run (exit 1) unless both return hash-identical result
+// sets on every query at 10^5 names. CI's gate additionally requires
+// index-on >= 5x walk throughput at 10^5 (see ci.yml), using the
+// `result_hash` counters emitted here to re-assert set identity from JSON.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
 
 #include "bench_support.h"
 #include "ins/baseline/linear_name_table.h"
@@ -20,6 +34,155 @@
 namespace {
 
 using namespace ins;
+
+// ---------------------------------------------------------------------------
+// Conjunctive million-name workload (index-on/off ablation).
+// ---------------------------------------------------------------------------
+
+// Record i advertises [svc=s{i%32} [inst=n{i%4096}]] [unit=u{i%509}]:
+// svc selects 1/32 of the tree (a dense bitmap posting), unit 1/509 (a rare
+// sorted posting; 509 is prime so the two moduli stay independent). Their
+// conjunction matches ~n/16k records.
+constexpr size_t kSvcFamilies = 32;
+constexpr size_t kInstSlots = 4096;
+constexpr size_t kUnitSlots = 509;
+
+NameSpecifier ConjName(size_t i) {
+  NameSpecifier n;
+  n.AddPath({{"svc", "s" + std::to_string(i % kSvcFamilies)},
+             {"inst", "n" + std::to_string(i % kInstSlots)}});
+  n.AddPath({{"unit", "u" + std::to_string(i % kUnitSlots)}});
+  return n;
+}
+
+void PopulateConjTree(NameTree* tree, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    NameRecord rec;
+    rec.announcer = AnnouncerId{0x0a000000u + static_cast<uint32_t>(i + 1), 1000,
+                                static_cast<uint32_t>(i)};
+    rec.expires = Seconds(1u << 30);
+    rec.version = 1;
+    tree->Upsert(ConjName(i), rec);
+  }
+}
+
+// 256 two-conjunct literal queries [svc=s?][unit=u?] cycling over the
+// families; the 7q+3 stride decorrelates the pair from the population.
+std::vector<CompiledName> MakeConjQueries(const NameTree& tree) {
+  std::vector<CompiledName> out;
+  out.reserve(256);
+  for (size_t q = 0; q < 256; ++q) {
+    NameSpecifier spec;
+    spec.AddPath({{"svc", "s" + std::to_string(q % kSvcFamilies)}});
+    spec.AddPath({{"unit", "u" + std::to_string((q * 7 + 3) % kUnitSlots)}});
+    out.push_back(CompiledName::ForQuery(spec, tree.symbols()));
+  }
+  return out;
+}
+
+// FNV-1a over the announcer identities of every query's result set, in
+// result order. Identical across engines iff the result sets are identical.
+uint64_t ResultHash(const std::vector<const NameRecord*>& recs) {
+  uint64_t h = UINT64_C(0xcbf29ce484222325);
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= UINT64_C(0x100000001b3);
+  };
+  for (const NameRecord* r : recs) {
+    mix(r->announcer.ip);
+    mix(r->announcer.start_time_us);
+    mix(r->announcer.discriminator);
+  }
+  return h;
+}
+
+template <typename LookupFn>
+uint64_t HashAllQueries(const std::vector<CompiledName>& queries, LookupFn&& lookup) {
+  uint64_t h = UINT64_C(0x84222325cbf29ce4);
+  for (const CompiledName& q : queries) {
+    h ^= ResultHash(lookup(q));
+    h *= UINT64_C(0x100000001b3);
+  }
+  return h;
+}
+
+// Exits the process unless the index path and the tree walk return
+// hash-identical result sets for every query at `n` names. Runs before the
+// benchmarks so a semantic divergence can never be reported as a speedup.
+void VerifyConjParityOrDie(size_t n) {
+  NameTree tree;
+  PopulateConjTree(&tree, n);
+  const std::vector<CompiledName> queries = MakeConjQueries(tree);
+  NameTree::LookupScratch scratch;
+  size_t nonempty = 0;
+  for (const CompiledName& q : queries) {
+    const auto via_index = tree.Lookup(q, &scratch);
+    const auto via_walk = tree.LookupTreeWalk(q, &scratch);
+    nonempty += via_index.empty() ? 0 : 1;
+    if (ResultHash(via_index) != ResultHash(via_walk)) {
+      std::fprintf(stderr,
+                   "FATAL: index/walk result divergence at n=%zu "
+                   "(index=%zu records, walk=%zu records)\n",
+                   n, via_index.size(), via_walk.size());
+      std::exit(1);
+    }
+  }
+  const PostingIndexStats stats = tree.index_stats();
+  if (stats.index_lookups == 0 || nonempty == 0) {
+    std::fprintf(stderr,
+                 "FATAL: parity check did not exercise the index path "
+                 "(index_lookups=%llu, nonempty=%zu)\n",
+                 static_cast<unsigned long long>(stats.index_lookups), nonempty);
+    std::exit(1);
+  }
+  std::printf("parity: %zu queries at n=%zu, index==walk, %zu non-empty\n",
+              queries.size(), n, nonempty);
+}
+
+void BM_IndexConjunctive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  NameTree tree;
+  PopulateConjTree(&tree, n);
+  const std::vector<CompiledName> queries = MakeConjQueries(tree);
+  NameTree::LookupScratch scratch;
+  state.counters["result_hash"] = static_cast<double>(
+      HashAllQueries(queries, [&](const CompiledName& q) { return tree.Lookup(q, &scratch); }) >>
+      24);  // truncated to stay exact in a double
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Lookup(queries[qi], &scratch));
+    qi = (qi + 1) % queries.size();
+  }
+  state.counters["lookups_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+  state.counters["index_bytes"] = static_cast<double>(tree.ComputeStats().index_bytes);
+}
+
+void BM_WalkConjunctive(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  NameTree tree;
+  PopulateConjTree(&tree, n);
+  const std::vector<CompiledName> queries = MakeConjQueries(tree);
+  NameTree::LookupScratch scratch;
+  state.counters["result_hash"] = static_cast<double>(
+      HashAllQueries(
+          queries, [&](const CompiledName& q) { return tree.LookupTreeWalk(q, &scratch); }) >>
+      24);
+  size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.LookupTreeWalk(queries[qi], &scratch));
+    qi = (qi + 1) % queries.size();
+  }
+  state.counters["lookups_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_IndexConjunctive)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_WalkConjunctive)->Arg(100000)->Arg(1000000)->Unit(benchmark::kMicrosecond);
+
+// ---------------------------------------------------------------------------
+// Hash tree vs linear scan (the original §5.1.1 ablation).
+// ---------------------------------------------------------------------------
 
 std::vector<NameSpecifier> MakeQueries(Rng& rng, const UniformNameParams& shape) {
   std::vector<NameSpecifier> queries;
@@ -84,6 +247,7 @@ int main(int argc, char** argv) {
       "Ablation (analysis 5.1.1): hash name-tree vs linear scan",
       "T(d) = Theta(n_a^d (1+b)) hashed vs Theta(n_a^d (r_a+r_v+b)) linear; the "
       "tree's advantage grows with the number of names");
+  VerifyConjParityOrDie(100000);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -282,7 +282,26 @@ void NameDiscovery::SendUpdates(const NodeAddress& peer, const std::string& vspa
   }
 }
 
+void NameDiscovery::PublishIndexMetrics() {
+  const PostingIndexStats s = vspaces_->store().IndexStatsTotal();
+  metrics_->SetGauge("index.lookups", static_cast<int64_t>(s.index_lookups));
+  metrics_->SetGauge("index.empty", static_cast<int64_t>(s.empty_lookups));
+  metrics_->SetGauge("index.universal", static_cast<int64_t>(s.universal_lookups));
+  metrics_->SetGauge("index.fallback.wildcard", static_cast<int64_t>(s.fallback_wildcard));
+  metrics_->SetGauge("index.fallback.range", static_cast<int64_t>(s.fallback_range));
+  metrics_->SetGauge("index.fallback.union", static_cast<int64_t>(s.fallback_union));
+  metrics_->SetGauge("index.plan_cache.hits", static_cast<int64_t>(s.plan_hits));
+  metrics_->SetGauge("index.plan_cache.misses", static_cast<int64_t>(s.plan_misses));
+  metrics_->SetGauge("index.promotions", static_cast<int64_t>(s.promotions));
+  metrics_->SetGauge("index.demotions", static_cast<int64_t>(s.demotions));
+  metrics_->SetGauge("index.posting_keys", static_cast<int64_t>(s.posting_keys));
+  metrics_->SetGauge("index.bytes", static_cast<int64_t>(s.bytes));
+}
+
 void NameDiscovery::PeriodicTick() {
+  // Refresh the index.* gauges even when periodic updates are suppressed —
+  // the management view should keep reflecting lookup traffic either way.
+  PublishIndexMetrics();
   if (periodic_suppressed_) {
     periodic_task_ =
         executor_->ScheduleAfter(config_.update_interval, [this] { PeriodicTick(); });

@@ -92,6 +92,9 @@ class NameDiscovery {
  private:
   void PeriodicTick();
   void ExpiryTick();
+  // Publishes the store's posting-index counters as the index.* metric
+  // family (gauges: the index owns the counters; metrics mirror them).
+  void PublishIndexMetrics();
   NameUpdateEntry EntryFromRecord(const NameTree& tree, const NameRecord* rec) const;
   NameUpdateEntry EntryFromRecord(const NameSpecifier& name, const NameRecord& rec) const;
   void PropagateTriggered(const std::string& vspace, std::vector<NameUpdateEntry> entries,

@@ -115,6 +115,7 @@ struct NameRecord {
   NameRecord Detached() const {
     NameRecord copy = *this;
     copy.terminals_.clear();
+    copy.slot_ = 0xFFFFFFFFu;
     return copy;
   }
 
@@ -123,6 +124,9 @@ struct NameRecord {
   // Leaf value-nodes of this record's specifier, maintained by the tree for
   // removal and for GET-NAME extraction. Opaque outside the tree.
   std::vector<void*> terminals_;
+  // Dense posting-index record id (posting_index.h), assigned by the owning
+  // tree's index for the record's lifetime; 0xFFFFFFFF when unindexed.
+  uint32_t slot_ = 0xFFFFFFFFu;
 };
 
 }  // namespace ins

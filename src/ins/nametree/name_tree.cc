@@ -17,6 +17,9 @@ NameTree::NameTree(Options options) : options_(std::move(options)) {
     symbols_ = std::make_shared<SymbolTable>();
     owns_symbols_ = true;
   }
+  if (options_.enable_posting_index) {
+    index_ = std::make_unique<PostingIndex>();
+  }
   root_.parent_attr = nullptr;
 }
 
@@ -119,7 +122,7 @@ void NameTree::IntersectWith(CandidateSet* s, const std::vector<const NameRecord
 // Graft / ungraft
 
 void NameTree::Graft(ValueNode* parent, const CompiledName& name, uint32_t begin,
-                     uint32_t count, NameRecord* rec) {
+                     uint32_t count, NameRecord* rec, uint64_t fp) {
   const std::vector<CompiledAvNode>& nodes = name.nodes();
   for (uint32_t i = begin; i < begin + count; ++i) {
     const CompiledAvNode& n = nodes[i];
@@ -143,6 +146,13 @@ void NameTree::Graft(ValueNode* parent, const CompiledName& name, uint32_t begin
     }
     ValueNode* tv = value_slot.get();
 
+    // Sibling attributes of a specifier level are unique, so each compiled
+    // node maps to a distinct value path: one AddTerm per node, no dedup.
+    uint64_t child_fp = 0;
+    if (index_ != nullptr) {
+      child_fp = index_->AddTerm(fp, n.attribute, n.token, n.child_count == 0, rec->slot_);
+    }
+
     if (n.child_count == 0) {
       tv->records.push_back(rec);
       rec->terminals_.push_back(tv);
@@ -150,7 +160,7 @@ void NameTree::Graft(ValueNode* parent, const CompiledName& name, uint32_t begin
         AddToAncestorCaches(tv, rec);
       }
     } else {
-      Graft(tv, name, n.child_begin, n.child_count, rec);
+      Graft(tv, name, n.child_begin, n.child_count, rec, child_fp);
     }
   }
 }
@@ -176,6 +186,45 @@ void NameTree::RemoveFromAncestorCaches(ValueNode* leaf, const NameRecord* rec) 
     if (v == &root_) {
       break;
     }
+  }
+}
+
+void NameTree::IndexRemoveTerms(NameRecord* rec) {
+  if (index_ == nullptr) {
+    return;
+  }
+  // Recompute the record's value-path fingerprints from the tree instead of
+  // storing them per record: walk leaf -> root from each terminal, then hash
+  // the chains root -> leaf. Terminals of one record share path prefixes, so
+  // the collected keys are deduped by vfp (a vfp names exactly one tree
+  // node, and graft added exactly one term per node).
+  struct TermKey {
+    uint64_t vfp;
+    uint64_t afp;
+    bool terminal;
+  };
+  std::vector<TermKey> keys;
+  std::vector<std::pair<SymbolId, SymbolId>> chain;  // (attribute, token), leaf -> root
+  for (void* t : rec->terminals_) {
+    chain.clear();
+    for (ValueNode* v = static_cast<ValueNode*>(t); v != &root_; v = v->parent_attr->parent) {
+      chain.emplace_back(v->parent_attr->attribute, v->token);
+    }
+    uint64_t fp = PostingIndex::kRootFp;
+    for (size_t i = chain.size(); i-- > 0;) {
+      const uint64_t afp = PostingIndex::AttrFp(fp, chain[i].first);
+      const uint64_t vfp = PostingIndex::ValueFp(fp, chain[i].first, chain[i].second);
+      keys.push_back({vfp, afp, /*terminal=*/i == 0});
+      fp = vfp;
+    }
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const TermKey& a, const TermKey& b) { return a.vfp < b.vfp; });
+  keys.erase(std::unique(keys.begin(), keys.end(),
+                         [](const TermKey& a, const TermKey& b) { return a.vfp == b.vfp; }),
+             keys.end());
+  for (const TermKey& k : keys) {
+    index_->RemoveTerm(k.vfp, k.afp, k.terminal, rec->slot_);
   }
 }
 
@@ -223,7 +272,10 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name,
     rec->terminals_.clear();
     NameRecord* raw = rec.get();
     records_.emplace(info.announcer, std::move(rec));
-    Graft(&root_, compiled, 0, compiled.root_count(), raw);
+    if (index_ != nullptr) {
+      raw->slot_ = index_->AcquireSlot(raw);
+    }
+    Graft(&root_, compiled, 0, compiled.root_count(), raw, PostingIndex::kRootFp);
     PushExpiry(raw->expires, raw->announcer);
     return {UpsertOutcome::kNew, raw};
   }
@@ -247,8 +299,9 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name,
   }
 
   if (renamed) {
+    IndexRemoveTerms(rec);  // before Ungraft prunes the chains it walks
     Ungraft(rec);
-    Graft(&root_, compiled, 0, compiled.root_count(), rec);
+    Graft(&root_, compiled, 0, compiled.root_count(), rec, PostingIndex::kRootFp);
     return {UpsertOutcome::kRenamed, rec};
   }
   return {changed ? UpsertOutcome::kChanged : UpsertOutcome::kRefreshed, rec};
@@ -382,23 +435,110 @@ std::vector<const NameRecord*> NameTree::Lookup(const NameSpecifier& query) cons
   return Lookup(compiled);
 }
 
+namespace {
+
+thread_local NameTree::LookupScratch tls_lookup_scratch;
+
+}  // namespace
+
 std::vector<const NameRecord*> NameTree::Lookup(const CompiledName& query,
                                                 LookupScratch* scratch) const {
-  thread_local LookupScratch tls_scratch;
-  LookupScratch* sc = scratch != nullptr ? scratch : &tls_scratch;
+  LookupScratch* sc = scratch != nullptr ? scratch : &tls_lookup_scratch;
+  if (index_ == nullptr) {
+    return LookupTreeWalk(query, sc);
+  }
+
+  // Plan, from the scratch's memo when this (index state, query) pair was
+  // seen before — the hot-destination case the NameDecoder memo feeds.
+  const uint64_t qfp = QueryFingerprint(query);
+  const QueryPlan* plan = sc->plan_cache_.Find(index_->id(), index_->version(), qfp);
+  const bool cache_hit = plan != nullptr;
+  if (!cache_hit) {
+    QueryPlan* fresh = sc->plan_cache_.Insert(index_->id(), index_->version(), qfp);
+    index_->DerivePlan(query, fresh);
+    plan = fresh;
+  }
+  index_->CountOutcome(plan->kind, cache_hit);
+
+  if (plan->NeedsTreeWalk()) {
+    return LookupTreeWalk(query, sc);
+  }
+  std::vector<const NameRecord*> out;
+  switch (plan->kind) {
+    case QueryPlan::Kind::kUniversal:
+      out = AllRecords();
+      break;
+    case QueryPlan::Kind::kEmpty:
+      break;
+    case QueryPlan::Kind::kIndex: {
+      index_->Evaluate(*plan, &sc->slot_scratch_, &sc->word_scratch_);
+      out.reserve(sc->slot_scratch_.size());
+      for (uint32_t slot : sc->slot_scratch_) {
+        out.push_back(index_->RecordAt(slot));
+      }
+      std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
+        return a->announcer < b->announcer;
+      });
+      break;
+    }
+    default:
+      break;  // fallbacks handled above
+  }
+  sc->Trim();
+  return out;
+}
+
+std::vector<const NameRecord*> NameTree::LookupTreeWalk(const CompiledName& query,
+                                                        LookupScratch* scratch) const {
+  LookupScratch* sc = scratch != nullptr ? scratch : &tls_lookup_scratch;
   sc->Reset();
 
   CandidateSet s;
   s.items = sc->Acquire();
   LookupLevel(&root_, query, 0, query.root_count(), &s, sc);
   if (s.universal) {
+    sc->Trim();
     return AllRecords();
   }
   std::vector<const NameRecord*> out(s.items->begin(), s.items->end());
   std::sort(out.begin(), out.end(), [](const NameRecord* a, const NameRecord* b) {
     return a->announcer < b->announcer;
   });
+  sc->Trim();
   return out;
+}
+
+void NameTree::LookupScratch::Trim() {
+  if (pool_.size() > kMaxRetainedPoolVectors) {
+    pool_.resize(kMaxRetainedPoolVectors);
+    used_ = std::min(used_, pool_.size());
+  }
+  for (auto& v : pool_) {
+    if (v->capacity() > kMaxRetainedVecEntries) {
+      std::vector<const NameRecord*>().swap(*v);
+    }
+  }
+  if (set_slots_.capacity() > kMaxRetainedSetSlots) {
+    std::vector<SetSlot>().swap(set_slots_);
+    set_gen_ = 0;
+  }
+  if (slot_scratch_.capacity() > kMaxRetainedSlotEntries) {
+    std::vector<uint32_t>().swap(slot_scratch_);
+  }
+  if (word_scratch_.capacity() > kMaxRetainedSlotEntries) {
+    std::vector<uint64_t>().swap(word_scratch_);
+  }
+}
+
+size_t NameTree::LookupScratch::RetainedBytes() const {
+  size_t bytes = set_slots_.capacity() * sizeof(SetSlot) +
+                 slot_scratch_.capacity() * sizeof(uint32_t) +
+                 word_scratch_.capacity() * sizeof(uint64_t) +
+                 pool_.capacity() * sizeof(pool_[0]) + plan_cache_.MemoryBytes();
+  for (const auto& v : pool_) {
+    bytes += sizeof(*v) + v->capacity() * sizeof(const NameRecord*);
+  }
+  return bytes;
 }
 
 // ---------------------------------------------------------------------------
@@ -477,7 +617,11 @@ bool NameTree::Remove(const AnnouncerId& id) {
   if (it == records_.end()) {
     return false;
   }
+  IndexRemoveTerms(it->second.get());
   Ungraft(it->second.get());
+  if (index_ != nullptr) {
+    index_->ReleaseSlot(it->second->slot_);
+  }
   records_.erase(it);
   return true;
 }
@@ -520,7 +664,11 @@ size_t NameTree::ExpireBefore(TimePoint now, std::vector<AnnouncerId>* expired) 
     if (it->second->expires >= now) {
       continue;  // stale: refreshed since this entry was pushed
     }
+    IndexRemoveTerms(it->second.get());
     Ungraft(it->second.get());
+    if (index_ != nullptr) {
+      index_->ReleaseSlot(it->second->slot_);
+    }
     records_.erase(it);
     if (expired != nullptr) {
       expired->push_back(id);
@@ -583,6 +731,11 @@ NameTree::Stats NameTree::ComputeStats() const {
   }
   st.expiry_heap_entries = expiry_heap_.size();
   st.bytes += expiry_heap_.capacity() * sizeof(expiry_heap_[0]);
+
+  if (index_ != nullptr) {
+    st.index_bytes = index_->MemoryBytes();
+    st.bytes += st.index_bytes;
+  }
 
   // A privately owned intern table is part of this tree's footprint; a
   // shared one is accounted once by the owning ShardedNameTree.
@@ -755,6 +908,55 @@ Status NameTree::CheckInvariants() const {
     if (!covered) {
       return InternalError("record not covered by expiry heap: " + id.ToString());
     }
+  }
+
+  // Posting-index invariants: rebuild the expected maps from the tree (path
+  // fingerprints chained root -> leaf; subtree slot sets deduped, a record
+  // with several terminals below a node is one posting member) and demand
+  // exact key-set and membership equality.
+  if (index_ != nullptr) {
+    std::unordered_map<uint64_t, std::vector<uint32_t>> expected_sub;
+    std::unordered_map<uint64_t, uint32_t> expected_end;
+    std::unordered_map<uint64_t, uint32_t> expected_attr;
+    // Returns the sorted-unique slot set of the subtree rooted at `v`.
+    std::function<std::vector<uint32_t>(const ValueNode&, uint64_t)> walk_index =
+        [&](const ValueNode& v, uint64_t fp) -> std::vector<uint32_t> {
+      std::vector<uint32_t> slots;
+      for (const NameRecord* rec : v.records) {
+        slots.push_back(rec->slot_);
+      }
+      if (!v.records.empty()) {
+        expected_end[fp] = static_cast<uint32_t>(v.records.size());
+      }
+      v.attributes.ForEach([&](SymbolId, const std::unique_ptr<AttributeNode>& child) {
+        const uint64_t afp = PostingIndex::AttrFp(fp, child->attribute);
+        std::vector<uint32_t> under_attr;
+        child->values.ForEach([&](SymbolId, const std::unique_ptr<ValueNode>& grandchild) {
+          const uint64_t vfp =
+              PostingIndex::ValueFp(fp, child->attribute, grandchild->token);
+          std::vector<uint32_t> sub = walk_index(*grandchild, vfp);
+          expected_sub[vfp] = sub;
+          under_attr.insert(under_attr.end(), sub.begin(), sub.end());
+        });
+        std::sort(under_attr.begin(), under_attr.end());
+        under_attr.erase(std::unique(under_attr.begin(), under_attr.end()),
+                         under_attr.end());
+        expected_attr[afp] = static_cast<uint32_t>(under_attr.size());
+        slots.insert(slots.end(), under_attr.begin(), under_attr.end());
+      });
+      std::sort(slots.begin(), slots.end());
+      slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+      return slots;
+    };
+    walk_index(root_, PostingIndex::kRootFp);
+    for (const auto& [id, rec] : records_) {
+      if (rec->slot_ == 0xFFFFFFFFu || index_->RecordAt(rec->slot_) != rec.get()) {
+        return InternalError("record slot does not round-trip through the index: " +
+                             id.ToString());
+      }
+    }
+    INS_RETURN_IF_ERROR(
+        index_->VerifyAgainst(expected_sub, expected_end, expected_attr, records_.size()));
   }
   return Status::Ok();
 }

@@ -46,6 +46,8 @@
 #include "ins/name/name_specifier.h"
 #include "ins/name/symbol_table.h"
 #include "ins/nametree/name_record.h"
+#include "ins/nametree/posting_index.h"
+#include "ins/nametree/query_plan.h"
 #include "ins/nametree/symbol_map.h"
 
 namespace ins {
@@ -66,6 +68,12 @@ class NameTree {
     // shard and both left-right sides, so a name compiled once is valid
     // against all of them (the table is append-only and ids are stable).
     std::shared_ptr<SymbolTable> symbols;
+    // Maintain a posting-list secondary index (posting_index.h) alongside
+    // the tree, and serve conjunctive literal queries by posting-list
+    // intersection; wildcard/range/union queries keep the tree walk. The
+    // index is provably result-identical to the walk (differential and
+    // property tests pin it); off reproduces the pre-index layout exactly.
+    bool enable_posting_index = true;
   };
 
   NameTree() : NameTree(Options{}) {}
@@ -98,6 +106,24 @@ class NameTree {
       return v;
     }
 
+    // Retained-capacity caps, enforced by Trim() at the end of every Lookup.
+    // Pooled vectors and the stamped set are sized by result fan-out: one
+    // degenerate query against a 10^6-name tree (a single common attribute)
+    // inflates them to tens of MB, and without a cap every long-lived lookup
+    // thread pins that high-water mark forever.
+    static constexpr size_t kMaxRetainedPoolVectors = 32;
+    static constexpr size_t kMaxRetainedVecEntries = 1 << 16;   // 512 KB each
+    static constexpr size_t kMaxRetainedSetSlots = 1 << 17;     // 2 MB
+    static constexpr size_t kMaxRetainedSlotEntries = 1 << 17;  // 512 KB
+
+    // Releases any scratch block grown past its cap. Transient allocations
+    // within a lookup are unaffected; only what survives between lookups is
+    // bounded.
+    void Trim();
+
+    // Bytes currently pinned between lookups (the quantity Trim bounds).
+    size_t RetainedBytes() const;
+
    private:
     friend class NameTree;
 
@@ -114,6 +140,14 @@ class NameTree {
     // unique_ptr elements keep acquired pointers stable across pool growth.
     std::vector<std::unique_ptr<std::vector<const NameRecord*>>> pool_;
     size_t used_ = 0;
+
+    // Index-path scratch: the intersection's slot output and the bitmap
+    // AND kernel's word buffer.
+    std::vector<uint32_t> slot_scratch_;
+    std::vector<uint64_t> word_scratch_;
+    // Per-thread plan memo (query_plan.h); keyed by index id + version, so
+    // it never serves stale plans across mutations or side flips.
+    QueryPlanCache plan_cache_;
   };
 
   // Outcome of merging an advertisement.
@@ -157,9 +191,18 @@ class NameTree {
 
   // As above with the query already compiled (ForQuery against symbols());
   // the per-store-operation path: compile once, run per shard. A null
-  // scratch uses the thread-local pool.
+  // scratch uses the thread-local pool. With the posting index enabled,
+  // conjunctive literal queries are served by posting-list intersection
+  // (plan memoized in the scratch's QueryPlanCache); wildcard/range/union
+  // queries fall back to LookupTreeWalk. Results are identical either way.
   std::vector<const NameRecord*> Lookup(const CompiledName& query,
                                         LookupScratch* scratch = nullptr) const;
+
+  // The Figure-5 tree walk, bypassing the posting index unconditionally.
+  // Lookup()'s fallback path, public so tests and the index ablation bench
+  // can compare both engines on the same tree.
+  std::vector<const NameRecord*> LookupTreeWalk(const CompiledName& query,
+                                                LookupScratch* scratch = nullptr) const;
 
   // GET-NAME: reconstructs the name-specifier of a record owned by this tree.
   NameSpecifier ExtractName(const NameRecord* record) const;
@@ -210,8 +253,18 @@ class NameTree {
     // shared (ShardedNameTree accounts it once at the store level instead,
     // so Figure 13 totals never double-count it).
     size_t symbol_bytes = 0;
+    // Portion of `bytes` that is the posting index (zero when disabled).
+    size_t index_bytes = 0;
   };
   Stats ComputeStats() const;
+
+  // The posting index, or nullptr when Options::enable_posting_index is off.
+  // Exposed read-only for tests, stats aggregation, and the ablation bench.
+  const PostingIndex* posting_index() const { return index_.get(); }
+  // Counter snapshot; zeroed struct when the index is disabled.
+  PostingIndexStats index_stats() const {
+    return index_ != nullptr ? index_->Stats() : PostingIndexStats{};
+  }
 
   // Renders the tree for debugging (NetworkManagement-style view).
   std::string DebugString() const;
@@ -267,12 +320,17 @@ class NameTree {
                             LookupScratch* scratch);
 
   // Grafts compiled nodes [begin, begin+count) below `parent`, attaching
-  // `rec` at leaf value-nodes.
+  // `rec` at leaf value-nodes. `fp` is `parent`'s value-path fingerprint
+  // (PostingIndex::kRootFp at the root); index terms are added per node.
   void Graft(ValueNode* parent, const CompiledName& name, uint32_t begin, uint32_t count,
-             NameRecord* rec);
+             NameRecord* rec, uint64_t fp);
   // Detaches `rec` from its terminal value-nodes and prunes empty branches.
   void Ungraft(NameRecord* rec);
   void PruneUpward(ValueNode* v);
+  // Removes `rec`'s posting-index terms by recomputing its value-path
+  // fingerprints from the live tree structure. Must run BEFORE Ungraft —
+  // pruning destroys the parent chain the recomputation walks.
+  void IndexRemoveTerms(NameRecord* rec);
 
   // One recursion level of LOOKUP-NAME rooted at value-node `node`, over
   // compiled query nodes [begin, begin+count).
@@ -294,6 +352,10 @@ class NameTree {
   bool owns_symbols_ = false;
   ValueNode root_;
   std::map<AnnouncerId, std::unique_ptr<NameRecord>> records_;
+  // The posting-list secondary index (null when disabled). Mutated only on
+  // this tree's write path, so the left-right protocol flips and replays it
+  // together with the tree.
+  std::unique_ptr<PostingIndex> index_;
 
   // Min-heap over (deadline, announcer), maintained with std::push/pop_heap
   // on a greater-than comparator. Stale entries (refreshed or removed

@@ -1,0 +1,32 @@
+#include "ins/nametree/query_plan.h"
+
+namespace ins {
+
+namespace {
+
+inline uint64_t Mix(uint64_t h, uint64_t v) {
+  h ^= v + UINT64_C(0x9e3779b97f4a7c15) + (h << 6) + (h >> 2);
+  h *= UINT64_C(0xbf58476d1ce4e5b9);
+  return h ^ (h >> 29);
+}
+
+}  // namespace
+
+uint64_t QueryFingerprint(const CompiledName& query) {
+  uint64_t h = UINT64_C(0x84222325cbf29ce4) ^ query.root_count();
+  for (const CompiledAvNode& n : query.nodes()) {
+    h = Mix(h, (static_cast<uint64_t>(n.attribute) << 32) | n.token);
+    uint64_t bits = 0;
+    if (n.kind != Value::Kind::kLiteral) {
+      // Only range kinds carry a bound that matters; literal `number` is a
+      // graft-time cache and must not perturb the fingerprint.
+      static_assert(sizeof(bits) == sizeof(n.number));
+      __builtin_memcpy(&bits, &n.number, sizeof(bits));
+    }
+    h = Mix(h, bits ^ (static_cast<uint64_t>(n.kind) << 56));
+    h = Mix(h, (static_cast<uint64_t>(n.child_begin) << 32) | n.child_count);
+  }
+  return h;
+}
+
+}  // namespace ins

@@ -563,12 +563,38 @@ NameTree::Stats ShardedNameTree::ComputeStats() const {
       total.records += ts.records;
       total.expiry_heap_entries += ts.expiry_heap_entries;
       total.bytes += ts.bytes;
+      total.index_bytes += ts.index_bytes;
     }
   }
   // The shared intern table is part of the store's footprint; count it
   // exactly once (per-tree stats skip it because it is shared).
   total.symbol_bytes = symbols_->MemoryBytes();
   total.bytes += total.symbol_bytes;
+  return total;
+}
+
+PostingIndexStats ShardedNameTree::IndexStatsTotal() const {
+  PostingIndexStats total;
+  for (const auto& [space, shards] : spaces_) {
+    for (const auto& s : shards) {
+      // Counters accumulate on whichever side served each lookup, and flips
+      // interleave the sides arbitrarily — sum both. Size fields describe
+      // state, not events: count the read side's only. The shard write lock
+      // quiesces the writer so the non-atomic size/structural fields are
+      // safe to read on both sides (readers only touch atomic counters).
+      if (!options_.concurrent) {
+        total += s->sides[0]->index_stats();
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(s->write_mu);
+      const int r = s->read_idx.load(std::memory_order_seq_cst);
+      total += s->sides[r]->index_stats();
+      PostingIndexStats retired = s->sides[1 - r]->index_stats();
+      retired.posting_keys = 0;
+      retired.bytes = 0;
+      total += retired;
+    }
+  }
   return total;
 }
 

@@ -220,6 +220,11 @@ class ShardedNameTree {
   // tree would report (per-shard accounting, no double count of the retired
   // left-right sides).
   NameTree::Stats ComputeStats() const;
+  // Posting-index counters summed across every shard — lookup-outcome
+  // counters from BOTH left-right sides (lookups land on whichever side was
+  // published, and flips interleave them), size fields (posting_keys, bytes)
+  // from the read side only. Zeroed struct when the index is disabled.
+  PostingIndexStats IndexStatsTotal() const;
   Status CheckInvariants() const;
 
   // ---- Compat accessors (inline mode / tests) ----
