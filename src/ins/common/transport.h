@@ -11,10 +11,22 @@
 #include <functional>
 
 #include "ins/common/bytes.h"
+#include "ins/common/clock.h"
 #include "ins/common/node_address.h"
 #include "ins/common/status.h"
 
 namespace ins {
+
+class MetricsRegistry;
+
+// Which wire path an endpoint runs on. Sim stays the default everywhere —
+// the whole tier-1 suite is deterministic virtual time — while the real
+// transports carry byte-identical frames over actual sockets.
+enum class TransportKind {
+  kSim,        // sim::Network virtual-time socket (deterministic tests)
+  kUdp,        // one sendto/recv syscall per datagram
+  kBatchedUdp  // sendmmsg/recvmmsg batching + pacing (the fast path)
+};
 
 class Transport {
  public:
@@ -29,6 +41,17 @@ class Transport {
   virtual void SetReceiveHandler(ReceiveHandler handler) = 0;
 
   virtual NodeAddress local_address() const = 0;
+
+  // Re-points the transport's `transport.*` instrumentation at the owning
+  // node's registry, so drops and batch sizes show up beside the node's own
+  // metrics. Default: the transport keeps its private registry (sim and
+  // loopback transports have nothing to report).
+  virtual void AttachMetrics(MetricsRegistry* metrics) { (void)metrics; }
+
+  // Load feedback from the owning node (the AdmissionController's smoothed
+  // queueing-delay signal). Pacing transports slow their send rate as the
+  // node saturates; everything else ignores it.
+  virtual void OnLoadSignal(Duration load) { (void)load; }
 };
 
 }  // namespace ins

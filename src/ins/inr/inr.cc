@@ -87,6 +87,9 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   // Default idle-termination policy: shut down gracefully.
   load_balancer_->on_should_terminate = [this] { Stop(); };
 
+  // Real transports report their transport.* counters (drops, batch sizes)
+  // into this node's registry; sim transports ignore the call.
+  transport_->AttachMetrics(&metrics_);
   transport_->SetReceiveHandler(
       [this](const NodeAddress& src, const Bytes& data) { OnMessage(src, data); });
 }
@@ -118,6 +121,9 @@ void Inr::Start() {
   if (config_.netmon.advertise) {
     AdvertiseNetmon();
   }
+  if (config_.admission.enabled && config_.pacer_feedback_interval.count() > 0) {
+    PacerFeedbackTick();
+  }
   INS_LOG(kDebug) << "INR " << address().ToString() << " started";
 }
 
@@ -130,6 +136,10 @@ void Inr::Stop() {
   if (netmon_task_ != kInvalidTaskId) {
     executor_->Cancel(netmon_task_);
     netmon_task_ = kInvalidTaskId;
+  }
+  if (pacer_task_ != kInvalidTaskId) {
+    executor_->Cancel(pacer_task_);
+    pacer_task_ = kInvalidTaskId;
   }
   load_balancer_->Stop();
   replication_->Stop();
@@ -153,6 +163,10 @@ void Inr::Crash() {
   if (netmon_task_ != kInvalidTaskId) {
     executor_->Cancel(netmon_task_);
     netmon_task_ = kInvalidTaskId;
+  }
+  if (pacer_task_ != kInvalidTaskId) {
+    executor_->Cancel(pacer_task_);
+    pacer_task_ = kInvalidTaskId;
   }
   load_balancer_->Stop();
   replication_->Stop();
@@ -354,6 +368,16 @@ void Inr::AdvertiseNetmon() {
     netmon_task_ = kInvalidTaskId;
     if (running_) {
       AdvertiseNetmon();
+    }
+  });
+}
+
+void Inr::PacerFeedbackTick() {
+  transport_->OnLoadSignal(admission_->LoadSignal());
+  pacer_task_ = executor_->ScheduleAfter(config_.pacer_feedback_interval, [this] {
+    pacer_task_ = kInvalidTaskId;
+    if (running_) {
+      PacerFeedbackTick();
     }
   });
 }

@@ -59,6 +59,10 @@ struct InrConfig {
   // Overload control on the ingress path; disabled by default (seed
   // behaviour: every message dispatches inline).
   AdmissionConfig admission;
+  // How often the admission load signal is fed to the transport's pacer
+  // (Transport::OnLoadSignal); only runs while admission is enabled. Zero
+  // disables the feedback loop.
+  Duration pacer_feedback_interval = Milliseconds(100);
   // Journaled delta replication with anti-entropy digests; disabled by
   // default (seed behaviour: periodic full re-announcement only). Enabling it
   // turns on store journaling and suppresses the periodic refresh storm.
@@ -128,6 +132,9 @@ class Inr {
   void RefreshInventoryGauges();
   // Periodic [service=netmon] self-advertisement (NetmonConfig.advertise).
   void AdvertiseNetmon();
+  // Feeds the admission load signal into the transport's pacer and
+  // reschedules itself (InrConfig.pacer_feedback_interval).
+  void PacerFeedbackTick();
 
   Executor* executor_;
   Transport* transport_;
@@ -139,6 +146,7 @@ class Inr {
   std::string log_tag_;
   bool running_ = false;
   TaskId netmon_task_ = kInvalidTaskId;
+  TaskId pacer_task_ = kInvalidTaskId;
   uint64_t netmon_version_ = 0;
   CounterHandle messages_;
   CounterHandle bytes_received_;

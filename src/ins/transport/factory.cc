@@ -1,0 +1,58 @@
+#include "ins/transport/factory.h"
+
+#include "ins/transport/udp_transport.h"
+
+namespace ins {
+
+Result<std::unique_ptr<Transport>> MakeRealTransport(
+    TransportKind kind, RealEventLoop* loop, const NodeAddress& address,
+    const BatchedUdpConfig& batched_config) {
+  switch (kind) {
+    case TransportKind::kUdp: {
+      Result<std::unique_ptr<UdpTransport>> t = UdpTransport::Bind(loop, address);
+      if (!t.ok()) {
+        return t.status();
+      }
+      return std::unique_ptr<Transport>(std::move(*t));
+    }
+    case TransportKind::kBatchedUdp: {
+      Result<std::unique_ptr<BatchedUdpTransport>> t =
+          BatchedUdpTransport::Bind(loop, address, batched_config);
+      if (!t.ok()) {
+        return t.status();
+      }
+      return std::unique_ptr<Transport>(std::move(*t));
+    }
+    case TransportKind::kSim:
+      break;
+  }
+  return InvalidArgumentError("sim transports are created via sim::Network, not bound");
+}
+
+Result<TransportKind> ParseTransportKind(const std::string& name) {
+  if (name == "sim") {
+    return TransportKind::kSim;
+  }
+  if (name == "udp") {
+    return TransportKind::kUdp;
+  }
+  if (name == "batched" || name == "batched-udp") {
+    return TransportKind::kBatchedUdp;
+  }
+  return InvalidArgumentError("unknown transport \"" + name +
+                              "\" (want sim|udp|batched)");
+}
+
+const char* TransportKindName(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kSim:
+      return "sim";
+    case TransportKind::kUdp:
+      return "udp";
+    case TransportKind::kBatchedUdp:
+      return "batched";
+  }
+  return "?";
+}
+
+}  // namespace ins

@@ -1,0 +1,32 @@
+// Real-transport selection by TransportKind.
+//
+// Examples and benches pick their wire path with one flag: kUdp for the
+// one-syscall-per-datagram transport, kBatchedUdp for the sendmmsg/recvmmsg
+// fast path. kSim is rejected here — sim endpoints are created by
+// sim::Network, which owns virtual time; there is nothing to bind.
+
+#ifndef INS_TRANSPORT_FACTORY_H_
+#define INS_TRANSPORT_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "ins/common/transport.h"
+#include "ins/transport/batched_udp_transport.h"
+#include "ins/transport/real_event_loop.h"
+
+namespace ins {
+
+// Binds a real socket transport of the requested kind on
+// 127.0.0.1:<address.port>.
+Result<std::unique_ptr<Transport>> MakeRealTransport(
+    TransportKind kind, RealEventLoop* loop, const NodeAddress& address,
+    const BatchedUdpConfig& batched_config = {});
+
+// "udp" / "batched" / "sim" → TransportKind, for command-line flags.
+Result<TransportKind> ParseTransportKind(const std::string& name);
+const char* TransportKindName(TransportKind kind);
+
+}  // namespace ins
+
+#endif  // INS_TRANSPORT_FACTORY_H_

@@ -1,0 +1,67 @@
+#include "ins/transport/pacer.h"
+
+#include <algorithm>
+
+namespace ins {
+
+Pacer::Pacer(const PacerConfig& config, TimePoint now)
+    : config_(config),
+      tokens_(static_cast<double>(config.burst_bytes)),
+      last_refill_(now) {}
+
+uint64_t Pacer::current_rate() const {
+  const double rate = static_cast<double>(config_.rate_bytes_per_sec) *
+                      config_.pacing_gain * load_factor_;
+  return rate < 1.0 ? 1 : static_cast<uint64_t>(rate);
+}
+
+void Pacer::Refill(TimePoint now) {
+  if (now <= last_refill_) {
+    return;
+  }
+  const double elapsed_s =
+      static_cast<double>((now - last_refill_).count()) / 1e6;
+  last_refill_ = now;
+  tokens_ = std::min(tokens_ + elapsed_s * static_cast<double>(current_rate()),
+                     static_cast<double>(config_.burst_bytes));
+}
+
+Duration Pacer::DelayFor(uint64_t bytes, TimePoint now) {
+  if (!config_.enabled) {
+    return Duration(0);
+  }
+  Refill(now);
+  const double need = static_cast<double>(bytes);
+  if (tokens_ >= need) {
+    return Duration(0);
+  }
+  const double deficit = need - tokens_;
+  const double wait_us = deficit * 1e6 / static_cast<double>(current_rate());
+  // Round up: waking a tick early would re-poll and reschedule.
+  return Duration(static_cast<int64_t>(wait_us) + 1);
+}
+
+void Pacer::Commit(uint64_t bytes) {
+  if (!config_.enabled) {
+    return;
+  }
+  tokens_ -= static_cast<double>(bytes);
+  // Bound the debt to one burst so a forced flush cannot stall the pacer
+  // arbitrarily far into the future.
+  const double floor = -static_cast<double>(config_.burst_bytes);
+  if (tokens_ < floor) {
+    tokens_ = floor;
+  }
+}
+
+void Pacer::OnLoadSignal(Duration load) {
+  if (load <= config_.load_floor || config_.load_floor.count() <= 0) {
+    load_factor_ = 1.0;
+    return;
+  }
+  const double factor = static_cast<double>(config_.load_floor.count()) /
+                        static_cast<double>(load.count());
+  load_factor_ = std::max(config_.min_rate_fraction, factor);
+}
+
+}  // namespace ins

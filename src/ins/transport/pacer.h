@@ -1,0 +1,68 @@
+// Rate-based send pacer for the batched UDP fast path.
+//
+// Replication digests and update fan-out leave the resolver in bursts; fired
+// straight into a loopback (or real) socket they overrun the receiver's
+// buffer long before the link is saturated. The pacer smooths those bursts
+// the way the FreeBSD RACK/BBR stacks pace TCP: a token bucket refilled at
+// `rate_bytes_per_sec * pacing_gain` with a bounded burst budget, so short
+// bursts go out immediately and sustained load is spaced at the configured
+// rate. The pacing gain (>1) deliberately overshoots the nominal rate so
+// pacing never becomes the bottleneck when the path has headroom.
+//
+// The owning node feeds its AdmissionController load signal (smoothed
+// queueing delay) back via OnLoadSignal(): once the node's queueing delay
+// exceeds `load_floor`, the effective rate is reduced hyperbolically
+// (factor = load_floor / load, floored at `min_rate_fraction`), trading
+// throughput for keeping the resolver's own queues short.
+
+#ifndef INS_TRANSPORT_PACER_H_
+#define INS_TRANSPORT_PACER_H_
+
+#include <cstdint>
+
+#include "ins/common/clock.h"
+
+namespace ins {
+
+struct PacerConfig {
+  bool enabled = false;
+  uint64_t rate_bytes_per_sec = 64ull * 1024 * 1024;  // nominal send rate
+  uint64_t burst_bytes = 256 * 1024;                  // bucket depth
+  double pacing_gain = 1.25;                          // RACK/BBR-style overshoot
+  // Load-feedback knee: below this queueing delay the node is healthy and
+  // the pacer runs at full rate; above it the rate backs off hyperbolically.
+  Duration load_floor = Milliseconds(5);
+  double min_rate_fraction = 0.125;  // back-off floor (never fully stall)
+};
+
+class Pacer {
+ public:
+  Pacer(const PacerConfig& config, TimePoint now);
+
+  // How long the caller must wait before `bytes` may be sent (zero = now).
+  // Pure query: refills the bucket to `now` but consumes nothing.
+  Duration DelayFor(uint64_t bytes, TimePoint now);
+
+  // Debits the bucket for bytes actually handed to the kernel.
+  void Commit(uint64_t bytes);
+
+  // AdmissionController feedback (see file comment).
+  void OnLoadSignal(Duration load);
+
+  bool enabled() const { return config_.enabled; }
+  // Effective refill rate after gain and load feedback, bytes/sec.
+  uint64_t current_rate() const;
+  double load_factor() const { return load_factor_; }
+
+ private:
+  void Refill(TimePoint now);
+
+  PacerConfig config_;
+  double tokens_;        // bytes available; may go negative after Commit
+  TimePoint last_refill_;
+  double load_factor_ = 1.0;
+};
+
+}  // namespace ins
+
+#endif  // INS_TRANSPORT_PACER_H_

@@ -1,0 +1,151 @@
+#include "ins/transport/real_event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+
+namespace ins {
+
+namespace {
+constexpr int kMaxEvents = 64;
+}  // namespace
+
+RealEventLoop::RealEventLoop() : wheel_(clock_.Now()) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (epoll_fd_ >= 0 && wake_fd_ >= 0) {
+    struct epoll_event ev = {};
+    ev.events = EPOLLIN;
+    ev.data.fd = wake_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  }
+}
+
+RealEventLoop::~RealEventLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+TaskId RealEventLoop::ScheduleAt(TimePoint when, std::function<void()> fn) {
+  return wheel_.Schedule(when, std::move(fn));
+}
+
+bool RealEventLoop::Cancel(TaskId id) { return wheel_.Cancel(id); }
+
+void RealEventLoop::RegisterFd(int fd, std::function<void()> on_readable) {
+  FdEntry& entry = fds_[fd];
+  entry.on_readable = std::move(on_readable);
+  entry.want_write = false;
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN | EPOLLET;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+}
+
+void RealEventLoop::SetWritableHandler(int fd, std::function<void()> on_writable) {
+  auto it = fds_.find(fd);
+  if (it != fds_.end()) {
+    it->second.on_writable = std::move(on_writable);
+  }
+}
+
+void RealEventLoop::SetWriteInterest(int fd, bool want_write) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.want_write == want_write) {
+    return;
+  }
+  it->second.want_write = want_write;
+  struct epoll_event ev = {};
+  ev.events = EPOLLIN | EPOLLET | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void RealEventLoop::UnregisterFd(int fd) {
+  if (fds_.erase(fd) > 0) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  }
+}
+
+void RealEventLoop::PollOnce(std::optional<Duration> max_wait) {
+  // The poll timeout comes from the earliest timer the wheel could fire
+  // (conservative bound: possibly early, never late), clamped by the caller's
+  // budget. An idle loop with no timers parks in epoll_wait indefinitely
+  // until Stop() pokes the eventfd or a socket becomes readable.
+  int timeout_ms = -1;
+  const std::optional<TimePoint> due = wheel_.NextDueBound();
+  if (due.has_value()) {
+    const Duration until = *due - Now();
+    const int64_t ms = until.count() <= 0 ? 0 : (until.count() + 999) / 1000;
+    timeout_ms = static_cast<int>(ms > 60'000 ? 60'000 : ms);
+  }
+  if (max_wait.has_value()) {
+    const int64_t ms = max_wait->count() <= 0 ? 0 : (max_wait->count() + 999) / 1000;
+    const int capped = static_cast<int>(ms > 60'000 ? 60'000 : ms);
+    if (timeout_ms < 0 || capped < timeout_ms) {
+      timeout_ms = capped;
+    }
+  }
+
+  struct epoll_event events[kMaxEvents];
+  const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout_ms);
+  ++wakeups_;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      uint64_t drain = 0;
+      while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+      auto it = fds_.find(fd);
+      if (it != fds_.end() && it->second.on_readable) {
+        // The handler may unregister this (or any) fd; don't hold iterators
+        // across the call.
+        auto handler = it->second.on_readable;
+        handler();
+      }
+    }
+    if ((events[i].events & EPOLLOUT) != 0) {
+      auto it = fds_.find(fd);
+      if (it != fds_.end() && it->second.want_write && it->second.on_writable) {
+        auto handler = it->second.on_writable;
+        handler();
+      }
+    }
+  }
+  wheel_.Advance(Now());
+}
+
+void RealEventLoop::Run() {
+  stopped_.store(false, std::memory_order_relaxed);
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    PollOnce(std::nullopt);
+  }
+}
+
+void RealEventLoop::RunFor(Duration d) {
+  stopped_.store(false, std::memory_order_relaxed);
+  const TimePoint deadline = Now() + d;
+  while (!stopped_.load(std::memory_order_relaxed)) {
+    const Duration remaining = deadline - Now();
+    if (remaining.count() <= 0) {
+      break;
+    }
+    PollOnce(remaining);
+  }
+}
+
+void RealEventLoop::Stop() {
+  stopped_.store(true, std::memory_order_relaxed);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+}  // namespace ins

@@ -2,164 +2,134 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
-#include <vector>
-
-#include "ins/common/logging.h"
+#include <string>
 
 namespace ins {
 
-// --- RealEventLoop -----------------------------------------------------------
+namespace udp_internal {
 
-TaskId RealEventLoop::ScheduleAt(TimePoint when, std::function<void()> fn) {
-  if (when < Now()) {
-    when = Now();
-  }
-  TaskId id = next_id_++;
-  timers_.emplace(std::make_pair(when, id), std::move(fn));
-  timer_index_.emplace(id, when);
-  return id;
-}
-
-bool RealEventLoop::Cancel(TaskId id) {
-  auto it = timer_index_.find(id);
-  if (it == timer_index_.end()) {
-    return false;
-  }
-  timers_.erase(std::make_pair(it->second, id));
-  timer_index_.erase(it);
-  return true;
-}
-
-void RealEventLoop::RegisterFd(int fd, std::function<void()> on_readable) {
-  fds_[fd] = std::move(on_readable);
-}
-
-void RealEventLoop::UnregisterFd(int fd) { fds_.erase(fd); }
-
-void RealEventLoop::RunDueTimers() {
-  while (!timers_.empty() && timers_.begin()->first.first <= Now()) {
-    auto it = timers_.begin();
-    std::function<void()> fn = std::move(it->second);
-    timer_index_.erase(it->first.second);
-    timers_.erase(it);
-    fn();
-  }
-}
-
-void RealEventLoop::PollOnce(Duration max_wait) {
-  Duration wait = max_wait;
-  if (!timers_.empty()) {
-    Duration until_timer = timers_.begin()->first.first - Now();
-    if (until_timer < wait) {
-      wait = until_timer;
-    }
-  }
-  if (wait.count() < 0) {
-    wait = Duration(0);
-  }
-
-  std::vector<pollfd> pfds;
-  pfds.reserve(fds_.size());
-  for (const auto& [fd, cb] : fds_) {
-    pfds.push_back(pollfd{fd, POLLIN, 0});
-  }
-  int timeout_ms = static_cast<int>((wait.count() + 999) / 1000);
-  int n = ::poll(pfds.empty() ? nullptr : pfds.data(),
-                 static_cast<nfds_t>(pfds.size()), timeout_ms);
-  if (n > 0) {
-    for (const pollfd& p : pfds) {
-      if ((p.revents & POLLIN) != 0) {
-        auto it = fds_.find(p.fd);
-        if (it != fds_.end()) {
-          it->second();
-        }
-      }
-    }
-  }
-  RunDueTimers();
-}
-
-void RealEventLoop::Run() {
-  stopped_ = false;
-  while (!stopped_) {
-    PollOnce(Milliseconds(100));
-  }
-}
-
-void RealEventLoop::RunFor(Duration d) {
-  stopped_ = false;
-  TimePoint deadline = Now() + d;
-  while (!stopped_ && Now() < deadline) {
-    Duration remaining = deadline - Now();
-    PollOnce(std::min(remaining, Milliseconds(100)));
-  }
-}
-
-// --- UdpTransport ------------------------------------------------------------
-
-namespace {
-constexpr size_t kVirtualHeader = 6;  // u32 virtual ip + u16 virtual port
-constexpr size_t kMaxDatagram = 65507;
-}  // namespace
-
-Result<std::unique_ptr<UdpTransport>> UdpTransport::Bind(RealEventLoop* loop,
-                                                         const NodeAddress& address) {
-  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK, 0);
+Result<int> OpenBoundSocket(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return InternalError(std::string("socket(): ") + std::strerror(errno));
   }
+  // Deep kernel buffers: the bench floods loopback far past the 212 KiB
+  // default, and a resolver handling a burst should absorb it rather than
+  // shed at the socket. Best effort — the kernel clamps to rmem_max/wmem_max.
+  const int kBufBytes = 4 * 1024 * 1024;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &kBufBytes, sizeof(kBufBytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &kBufBytes, sizeof(kBufBytes));
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
-  sa.sin_port = htons(address.port);
+  sa.sin_port = htons(port);
   sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    const std::string err = std::strerror(errno);
     ::close(fd);
-    return UnavailableError("bind(127.0.0.1:" + std::to_string(address.port) +
-                            "): " + std::strerror(errno));
+    return UnavailableError("bind(127.0.0.1:" + std::to_string(port) + "): " + err);
   }
-  auto t = std::unique_ptr<UdpTransport>(new UdpTransport(loop, address, fd));
-  loop->RegisterFd(fd, [raw = t.get()] { raw->OnReadable(); });
+  return fd;
+}
+
+void WriteVirtualHeader(const NodeAddress& self, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(self.ip >> 24);
+  out[1] = static_cast<uint8_t>(self.ip >> 16);
+  out[2] = static_cast<uint8_t>(self.ip >> 8);
+  out[3] = static_cast<uint8_t>(self.ip);
+  out[4] = static_cast<uint8_t>(self.port >> 8);
+  out[5] = static_cast<uint8_t>(self.port);
+}
+
+bool ReadVirtualHeader(const uint8_t* data, size_t size, NodeAddress* src) {
+  if (size < kVirtualHeader) {
+    return false;
+  }
+  src->ip = static_cast<uint32_t>(data[0]) << 24 | static_cast<uint32_t>(data[1]) << 16 |
+            static_cast<uint32_t>(data[2]) << 8 | static_cast<uint32_t>(data[3]);
+  src->port = static_cast<uint16_t>(static_cast<uint16_t>(data[4]) << 8 | data[5]);
+  return true;
+}
+
+}  // namespace udp_internal
+
+using udp_internal::kMaxDatagram;
+using udp_internal::kVirtualHeader;
+
+Result<std::unique_ptr<UdpTransport>> UdpTransport::Bind(RealEventLoop* loop,
+                                                         const NodeAddress& address) {
+  Result<int> fd = udp_internal::OpenBoundSocket(address.port);
+  if (!fd.ok()) {
+    return fd.status();
+  }
+  auto t = std::unique_ptr<UdpTransport>(new UdpTransport(loop, address, *fd));
+  loop->RegisterFd(*fd, [raw = t.get()] { raw->OnReadable(); });
   return t;
 }
 
 UdpTransport::UdpTransport(RealEventLoop* loop, NodeAddress address, int fd)
-    : loop_(loop), address_(address), fd_(fd) {}
+    : loop_(loop), address_(address), fd_(fd) {
+  RegisterMetrics(&own_metrics_);
+}
 
 UdpTransport::~UdpTransport() {
   loop_->UnregisterFd(fd_);
   ::close(fd_);
 }
 
+void UdpTransport::RegisterMetrics(MetricsRegistry* metrics) {
+  sent_datagrams_ = metrics->RegisterCounter("transport.send.datagrams");
+  recv_datagrams_ = metrics->RegisterCounter("transport.recv.datagrams");
+  drop_full_ = metrics->RegisterCounter("transport.drop.backpressure");
+  drop_error_ = metrics->RegisterCounter("transport.drop.error");
+  drop_oversize_ = metrics->RegisterCounter("transport.drop.oversize");
+  short_writes_ = metrics->RegisterCounter("transport.drop.short_write");
+}
+
+void UdpTransport::AttachMetrics(MetricsRegistry* metrics) {
+  RegisterMetrics(metrics != nullptr ? metrics : &own_metrics_);
+}
+
 Status UdpTransport::Send(const NodeAddress& destination, const Bytes& data) {
   if (data.size() + kVirtualHeader > kMaxDatagram) {
+    drop_oversize_.Increment();
     return InvalidArgumentError("datagram too large: " + std::to_string(data.size()));
   }
-  Bytes framed;
-  framed.reserve(kVirtualHeader + data.size());
-  framed.push_back(static_cast<uint8_t>(address_.ip >> 24));
-  framed.push_back(static_cast<uint8_t>(address_.ip >> 16));
-  framed.push_back(static_cast<uint8_t>(address_.ip >> 8));
-  framed.push_back(static_cast<uint8_t>(address_.ip));
-  framed.push_back(static_cast<uint8_t>(address_.port >> 8));
-  framed.push_back(static_cast<uint8_t>(address_.port));
-  framed.insert(framed.end(), data.begin(), data.end());
+  uint8_t frame[kMaxDatagram];
+  udp_internal::WriteVirtualHeader(address_, frame);
+  std::memcpy(frame + kVirtualHeader, data.data(), data.size());
+  const size_t frame_len = kVirtualHeader + data.size();
 
   sockaddr_in sa{};
   sa.sin_family = AF_INET;
   sa.sin_port = htons(destination.port);
   sa.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  ssize_t sent = ::sendto(fd_, framed.data(), framed.size(), 0,
-                          reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  ssize_t sent;
+  do {
+    sent = ::sendto(fd_, frame, frame_len, 0, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (sent < 0 && errno == EINTR);
   if (sent < 0) {
-    // Best-effort, like UDP: log and continue.
-    INS_LOG(kDebug) << "sendto " << destination.ToString() << ": " << std::strerror(errno);
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS) {
+      drop_full_.Increment();
+      return ResourceExhaustedError("udp send backpressure: " +
+                                    std::string(std::strerror(errno)));
+    }
+    drop_error_.Increment();
+    return UnavailableError("sendto " + destination.ToString() + ": " +
+                            std::strerror(errno));
   }
+  if (static_cast<size_t>(sent) != frame_len) {
+    // UDP never truncates a datagram it accepts, but keep the invariant
+    // observable rather than assumed.
+    short_writes_.Increment();
+    return UnavailableError("short udp write: " + std::to_string(sent) + "/" +
+                            std::to_string(frame_len));
+  }
+  sent_datagrams_.Increment();
   return Status::Ok();
 }
 
@@ -168,19 +138,22 @@ void UdpTransport::SetReceiveHandler(ReceiveHandler handler) {
 }
 
 void UdpTransport::OnReadable() {
+  // Edge-triggered registration: drain until EAGAIN.
   uint8_t buf[kMaxDatagram];
   for (;;) {
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
     if (n < 0) {
-      break;  // EAGAIN or a transient error; poll will call us again
-    }
-    if (static_cast<size_t>(n) < kVirtualHeader || handler_ == nullptr) {
-      continue;
+      if (errno == EINTR) {
+        continue;
+      }
+      break;  // EAGAIN: fully drained
     }
     NodeAddress src;
-    src.ip = static_cast<uint32_t>(buf[0]) << 24 | static_cast<uint32_t>(buf[1]) << 16 |
-             static_cast<uint32_t>(buf[2]) << 8 | static_cast<uint32_t>(buf[3]);
-    src.port = static_cast<uint16_t>(static_cast<uint16_t>(buf[4]) << 8 | buf[5]);
+    if (!udp_internal::ReadVirtualHeader(buf, static_cast<size_t>(n), &src) ||
+        handler_ == nullptr) {
+      continue;
+    }
+    recv_datagrams_.Increment();
     Bytes data(buf + kVirtualHeader, buf + n);
     handler_(src, data);
   }

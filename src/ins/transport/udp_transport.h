@@ -1,59 +1,36 @@
-// Real UDP transport and a poll(2)-based real-time event loop.
+// Real UDP transport: one socket, one syscall per datagram.
 //
 // The runnable examples deploy INRs, services, and clients as actual UDP
 // endpoints on the loopback interface. INS NodeAddresses are virtual: each
 // datagram carries a 6-byte virtual-source header (ip, port) and is sent to
 // 127.0.0.1:<virtual port>, so a multi-process demo needs no configuration
 // beyond distinct ports. All components run single-threaded on one
-// RealEventLoop per process.
+// RealEventLoop per process. For the batched fast path (sendmmsg/recvmmsg +
+// pacing) see batched_udp_transport.h; both speak the same wire format.
 
 #ifndef INS_TRANSPORT_UDP_TRANSPORT_H_
 #define INS_TRANSPORT_UDP_TRANSPORT_H_
 
-#include <atomic>
-#include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
 
-#include "ins/common/clock.h"
-#include "ins/common/executor.h"
+#include "ins/common/metrics.h"
 #include "ins/common/transport.h"
+#include "ins/transport/real_event_loop.h"
 
 namespace ins {
 
-// Executor + I/O multiplexer over real time.
-class RealEventLoop : public Executor, public Clock {
- public:
-  RealEventLoop() = default;
-  ~RealEventLoop() override = default;
+namespace udp_internal {
+constexpr size_t kVirtualHeader = 6;  // u32 virtual ip + u16 virtual port
+constexpr size_t kMaxDatagram = 65507;
 
-  // Executor:
-  TaskId ScheduleAt(TimePoint when, std::function<void()> fn) override;
-  bool Cancel(TaskId id) override;
-  TimePoint Now() const override { return clock_.Now(); }
-
-  // File-descriptor readiness callbacks (level-triggered readable).
-  void RegisterFd(int fd, std::function<void()> on_readable);
-  void UnregisterFd(int fd);
-
-  // Polls I/O and runs due timers until Stop() is called.
-  void Run();
-  // Runs for (approximately) the given real duration; handy for examples.
-  void RunFor(Duration d);
-  void Stop() { stopped_ = true; }
-
- private:
-  void PollOnce(Duration max_wait);
-  void RunDueTimers();
-
-  RealClock clock_;
-  std::atomic<bool> stopped_{false};
-  TaskId next_id_ = 1;
-  std::map<std::pair<TimePoint, TaskId>, std::function<void()>> timers_;
-  std::unordered_map<TaskId, TimePoint> timer_index_;
-  std::unordered_map<int, std::function<void()>> fds_;
-};
+// Opens a non-blocking AF_INET UDP socket bound to 127.0.0.1:<port> with
+// enlarged kernel buffers. Returns the fd or a Status.
+Result<int> OpenBoundSocket(uint16_t port);
+// Writes the 6-byte virtual-source header for `self` into `out`.
+void WriteVirtualHeader(const NodeAddress& self, uint8_t* out);
+// Parses the header into `src`; false if the frame is too short.
+bool ReadVirtualHeader(const uint8_t* data, size_t size, NodeAddress* src);
+}  // namespace udp_internal
 
 class UdpTransport : public Transport {
  public:
@@ -63,18 +40,32 @@ class UdpTransport : public Transport {
                                                     const NodeAddress& address);
   ~UdpTransport() override;
 
+  // Returns a typed error instead of pretending the datagram left the host:
+  // kResourceExhausted when the socket buffer is full (EAGAIN) or the kernel
+  // is out of buffers (ENOBUFS), kUnavailable for other socket errors. EINTR
+  // is retried. Every failure is counted under transport.drop.*.
   Status Send(const NodeAddress& destination, const Bytes& data) override;
   void SetReceiveHandler(ReceiveHandler handler) override;
   NodeAddress local_address() const override { return address_; }
+  void AttachMetrics(MetricsRegistry* metrics) override;
 
  private:
   UdpTransport(RealEventLoop* loop, NodeAddress address, int fd);
   void OnReadable();
+  void RegisterMetrics(MetricsRegistry* metrics);
 
   RealEventLoop* loop_;
   NodeAddress address_;
   int fd_;
   ReceiveHandler handler_;
+
+  MetricsRegistry own_metrics_;
+  CounterHandle sent_datagrams_;
+  CounterHandle recv_datagrams_;
+  CounterHandle drop_full_;      // transport.drop.backpressure (EAGAIN/ENOBUFS)
+  CounterHandle drop_error_;     // transport.drop.error (other errno)
+  CounterHandle drop_oversize_;  // transport.drop.oversize
+  CounterHandle short_writes_;   // transport.drop.short_write
 };
 
 }  // namespace ins

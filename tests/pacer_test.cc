@@ -1,0 +1,97 @@
+// Tests for the token-bucket send pacer and its load feedback.
+
+#include <gtest/gtest.h>
+
+#include "ins/transport/pacer.h"
+
+namespace ins {
+namespace {
+
+PacerConfig Enabled() {
+  PacerConfig c;
+  c.enabled = true;
+  c.rate_bytes_per_sec = 1'000'000;  // 1 MB/s nominal
+  c.burst_bytes = 10'000;
+  c.pacing_gain = 1.0;  // exact arithmetic for the tests
+  return c;
+}
+
+TEST(PacerTest, DisabledNeverDelays) {
+  PacerConfig c;  // enabled = false
+  Pacer p(c, TimePoint(0));
+  EXPECT_EQ(p.DelayFor(100'000'000, TimePoint(0)).count(), 0);
+  p.Commit(100'000'000);
+  EXPECT_EQ(p.DelayFor(100'000'000, TimePoint(0)).count(), 0);
+}
+
+TEST(PacerTest, BurstBudgetPassesImmediately) {
+  Pacer p(Enabled(), TimePoint(0));
+  EXPECT_EQ(p.DelayFor(10'000, TimePoint(0)).count(), 0);
+  p.Commit(10'000);
+  // Bucket empty: the next batch must wait for refill at ~1 byte/us.
+  const Duration d = p.DelayFor(5'000, TimePoint(0));
+  EXPECT_GT(d.count(), 4'000);
+  EXPECT_LT(d.count(), 6'000);
+}
+
+TEST(PacerTest, RefillRestoresBudgetOverTime) {
+  Pacer p(Enabled(), TimePoint(0));
+  p.Commit(10'000);  // drain the bucket
+  // After 10 ms at 1 MB/s, 10 KB refilled (capped at burst).
+  EXPECT_EQ(p.DelayFor(10'000, TimePoint(10'000)).count(), 0);
+  // But never beyond the burst budget, no matter how long the idle gap.
+  EXPECT_GT(p.DelayFor(20'000, TimePoint(10'000'000)).count(), 0);
+}
+
+TEST(PacerTest, SustainedLoadIsSpacedAtTheRate) {
+  Pacer p(Enabled(), TimePoint(0));
+  // Send 100 KB in 10 KB batches as fast as the pacer allows.
+  TimePoint now(0);
+  for (int i = 0; i < 10; ++i) {
+    now += p.DelayFor(10'000, now);
+    EXPECT_EQ(p.DelayFor(10'000, now).count(), 0);
+    p.Commit(10'000);
+  }
+  // 100 KB minus the 10 KB initial burst at 1 MB/s => ~90 ms total.
+  EXPECT_GT(now.count(), 80'000);
+  EXPECT_LT(now.count(), 100'000);
+}
+
+TEST(PacerTest, LoadSignalReducesRateHyperbolically) {
+  PacerConfig c = Enabled();
+  c.load_floor = Milliseconds(5);
+  c.min_rate_fraction = 0.125;
+  Pacer p(c, TimePoint(0));
+  EXPECT_EQ(p.current_rate(), 1'000'000u);
+
+  p.OnLoadSignal(Milliseconds(2));  // healthy: below the knee
+  EXPECT_EQ(p.current_rate(), 1'000'000u);
+
+  p.OnLoadSignal(Milliseconds(10));  // 2x the knee => half rate
+  EXPECT_NEAR(static_cast<double>(p.current_rate()), 500'000.0, 1'000.0);
+
+  p.OnLoadSignal(Seconds(10));  // absurd overload: clamped at the floor
+  EXPECT_NEAR(static_cast<double>(p.current_rate()), 125'000.0, 1'000.0);
+
+  p.OnLoadSignal(Duration(0));  // recovered
+  EXPECT_EQ(p.current_rate(), 1'000'000u);
+}
+
+TEST(PacerTest, PacingGainOvershootsNominalRate) {
+  PacerConfig c = Enabled();
+  c.pacing_gain = 1.25;
+  Pacer p(c, TimePoint(0));
+  EXPECT_EQ(p.current_rate(), 1'250'000u);
+}
+
+TEST(PacerTest, CommitDebtIsBoundedByOneBurst) {
+  Pacer p(Enabled(), TimePoint(0));
+  // A forced flush far past the budget must not stall the pacer forever:
+  // the debt is capped at one burst, so the wait is at most 2 bursts' worth.
+  p.Commit(1'000'000);
+  const Duration d = p.DelayFor(10'000, TimePoint(0));
+  EXPECT_LE(d.count(), 21'000);
+}
+
+}  // namespace
+}  // namespace ins
