@@ -1,0 +1,235 @@
+// Ablation — k-replica lookup availability vs the single-owner seed.
+//
+// In the seed, each virtual space has exactly one owning resolver: when it
+// dies, every name in the space is unreachable until the owner's soft state
+// is rebuilt from scratch (and the records themselves are simply gone from
+// the overlay). Replica mode assigns each vspace a k-replica set; a dead
+// member is detected by digest silence, reported to the DSR, and routed
+// around, so lookups keep flowing off the survivors with zero names lost.
+//
+// One measurement per mode (off = seed, on = k=2), same script: announce
+// 10^2 names into the "ha" vspace, flood lookups through a NON-member
+// resolver, then kill the member serving the space mid-flood and keep
+// flooding.
+//   * steady_delivered / kill_delivered: probes answered before / after the
+//     kill (40-probe window, one per 500 ms of virtual time).
+//   * failover_ms: virtual time from the kill to the first delivered probe.
+//   * names_surviving: records still held by a live replica after the kill.
+// Invariants (exit 1), replica mode only:
+//   * kill-window goodput >= (k-1)/k = 1/2 of the window's probes,
+//   * failover within one keepalive interval (5 s),
+//   * zero names lost.
+//
+// Writes a JSON report (argv[1], default bench_ablation_availability.json):
+//   {"bench": "ablation_availability", "names": 100, "goodput_floor": 0.5,
+//    "series": [{"replica_mode": false, "steady_delivered": ...,
+//     "kill_delivered": ..., "kill_probes": ..., "failover_ms": ...,
+//     "names_surviving": ...}, {"replica_mode": true, ...}]}
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "ins/common/metrics.h"
+#include "ins/harness/cluster.h"
+#include "ins/wire/messages.h"
+
+namespace {
+
+using namespace ins;
+
+constexpr uint32_t kNames = 100;
+constexpr int kSteadyProbes = 20;
+constexpr int kKillProbes = 40;  // x 500 ms = a 20 s flood window
+constexpr double kGoodputFloor = 0.5;  // (k-1)/k at k=2
+constexpr double kFailoverBudgetMs = 5000.0;  // one keepalive interval
+
+struct Mode {
+  bool replica_mode = false;
+  int steady_delivered = 0;
+  int kill_delivered = 0;
+  double failover_ms = -1.0;  // -1: no probe ever delivered post-kill
+  uint64_t names_surviving = 0;
+  std::string metrics_json;  // surviving replica's registry (on-mode only)
+};
+
+std::string ProbeName(uint32_t index) {
+  return "[vspace=ha][service=cam][id=c" + std::to_string(index) + "]";
+}
+
+Advertisement MakeAd(const NodeAddress& endpoint, uint32_t index) {
+  Advertisement ad;
+  ad.vspace = "ha";
+  ad.name_text = ProbeName(index);
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, index};
+  ad.endpoint.address = endpoint;
+  ad.lifetime_s = 120;  // outlives the run: losses are failover losses
+  ad.version = 1;
+  return ad;
+}
+
+Mode RunMode(bool replica_mode) {
+  Mode mode;
+  mode.replica_mode = replica_mode;
+
+  // Test-speed failover timers (mirrors replica_failover_test): 1 s digests,
+  // 2 missed digests to declare death, 1 s owner-cache TTL — the whole chain
+  // fits well inside one 5 s keepalive interval.
+  ClusterOptions options;
+  auto& repl = options.inr_template.replication;
+  repl.enabled = replica_mode;
+  repl.replica_k = replica_mode ? 2 : 1;
+  repl.digest_interval = Seconds(1);
+  repl.replica_missed_digests = 2;
+  repl.owner_cache_ttl = Seconds(1);
+  options.inr_template.load_balancer.replica_interval = Seconds(2);
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2, {""});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(3, {""});
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(6));  // replica-set formation window
+
+  std::vector<Inr*> members = cluster.ReplicasOf("ha");
+  if (replica_mode && members.size() != 2) {
+    std::printf("FAILED: replica set did not form (got %zu members)\n", members.size());
+    std::exit(1);
+  }
+  Inr* outsider = nullptr;
+  for (Inr* inr : cluster.inrs()) {
+    bool member = false;
+    for (Inr* m : members) {
+      member = member || m == inr;
+    }
+    if (!member) {
+      outsider = inr;
+      break;
+    }
+  }
+
+  // All names announced through the space's original owner; in replica mode
+  // the journal cross-replicates them to the recruit.
+  auto svc = cluster.AddEndpoint(10);
+  for (uint32_t i = 0; i < kNames; ++i) {
+    svc->Send(a->address(), Envelope{MessageBody(MakeAd(svc->address(), i))});
+  }
+  cluster.loop().RunFor(Seconds(4));
+
+  auto probe = cluster.AddEndpoint(20);
+  uint32_t next_name = 0;
+  auto send_probe = [&] {
+    Packet p;
+    p.destination_name = ProbeName(next_name++ % kNames);
+    p.payload = {0xab};
+    probe->Send(outsider->address(), Envelope{MessageBody(std::move(p))});
+  };
+
+  // Steady state: every probe should land on the service endpoint.
+  for (int n = 0; n < kSteadyProbes; ++n) {
+    send_probe();
+    cluster.loop().RunFor(Milliseconds(500));
+  }
+  mode.steady_delivered = static_cast<int>(svc->ReceivedOf<Packet>().size());
+
+  // Kill the resolver serving "ha" mid-flood and keep probing.
+  svc->ClearReceived();
+  const TimePoint killed = cluster.loop().Now();
+  cluster.CrashInr(a);
+  size_t seen = 0;
+  for (int n = 0; n < kKillProbes; ++n) {
+    send_probe();
+    cluster.loop().RunFor(Milliseconds(500));
+    const size_t now_delivered = svc->ReceivedOf<Packet>().size();
+    if (now_delivered > seen && mode.failover_ms < 0.0) {
+      mode.failover_ms =
+          static_cast<double>((cluster.loop().Now() - killed).count()) / 1000.0;
+    }
+    seen = now_delivered;
+  }
+  mode.kill_delivered = static_cast<int>(svc->ReceivedOf<Packet>().size());
+
+  // Zero-names-lost check: a live replica must still hold the full table
+  // (ReplicasOf only returns running resolvers, so the crashed `a` is gone).
+  for (Inr* inr : cluster.ReplicasOf("ha")) {
+    if (const NameTree* tree = inr->vspaces().Tree("ha")) {
+      mode.names_surviving = tree->record_count();
+      mode.metrics_json = bench::MetricsJson(inr->metrics(), 6);
+    }
+  }
+  if (mode.metrics_json.empty()) {
+    mode.metrics_json = "{}";
+  }
+  return mode;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "bench_ablation_availability.json";
+
+  std::printf("availability ablation: %u names, %d-probe kill window\n", kNames, kKillProbes);
+  std::printf("%-12s %-10s %-10s %-12s %-10s\n", "replicas", "steady", "post-kill",
+              "failover ms", "surviving");
+
+  std::vector<Mode> series;
+  for (bool replica_mode : {false, true}) {
+    Mode m = RunMode(replica_mode);
+    series.push_back(m);
+    std::printf("%-12s %d/%-8d %d/%-8d %-12.1f %llu\n", replica_mode ? "k=2" : "k=1 (seed)",
+                m.steady_delivered, kSteadyProbes, m.kill_delivered, kKillProbes,
+                m.failover_ms, static_cast<unsigned long long>(m.names_surviving));
+  }
+
+  const Mode& on = series[1];
+  bool ok = true;
+  if (on.steady_delivered < kSteadyProbes) {
+    std::printf("FAILED: replica mode dropped probes in steady state (%d/%d)\n",
+                on.steady_delivered, kSteadyProbes);
+    ok = false;
+  }
+  if (on.kill_delivered < static_cast<int>(kGoodputFloor * kKillProbes)) {
+    std::printf("FAILED: post-kill goodput below the (k-1)/k floor (%d/%d < %.0f%%)\n",
+                on.kill_delivered, kKillProbes, kGoodputFloor * 100.0);
+    ok = false;
+  }
+  if (on.failover_ms < 0.0 || on.failover_ms > kFailoverBudgetMs) {
+    std::printf("FAILED: failover took %.1f ms (budget: one keepalive interval, %.0f ms)\n",
+                on.failover_ms, kFailoverBudgetMs);
+    ok = false;
+  }
+  if (on.names_surviving != kNames) {
+    std::printf("FAILED: names lost in failover (%llu/%u survive)\n",
+                static_cast<unsigned long long>(on.names_surviving), kNames);
+    ok = false;
+  }
+  if (!ok) {
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_availability\",\n");
+  std::fprintf(f, "  \"names\": %u,\n  \"steady_probes\": %d,\n  \"kill_probes\": %d,\n",
+               kNames, kSteadyProbes, kKillProbes);
+  std::fprintf(f, "  \"goodput_floor\": %.2f,\n  \"series\": [\n", kGoodputFloor);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const Mode& m = series[i];
+    std::fprintf(f,
+                 "    {\"replica_mode\": %s, \"steady_delivered\": %d, "
+                 "\"kill_delivered\": %d, \"failover_ms\": %.1f, "
+                 "\"names_surviving\": %llu,\n     \"metrics\": %s}%s\n",
+                 m.replica_mode ? "true" : "false", m.steady_delivered, m.kill_delivered,
+                 m.failover_ms, static_cast<unsigned long long>(m.names_surviving),
+                 m.metrics_json.c_str(), i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("report: %s\n", out_path.c_str());
+  return 0;
+}

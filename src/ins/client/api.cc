@@ -73,12 +73,14 @@ void InsClient::Start() {
   } else if (!attached()) {
     // Calling Start() again while unattached retries the attachment at once
     // (the backoff loop keeps retrying on its own either way).
-    BeginAttach(excluded_inr_);
+    BeginAttach(kInvalidAddress);
   }
 }
 
 void InsClient::BeginAttach(const NodeAddress& exclude) {
-  excluded_inr_ = exclude;
+  if (exclude.IsValid()) {
+    excluded_inrs_.insert(exclude);
+  }
   attach_request_id_ = next_request_id_++;
   DsrListRequest req;
   req.request_id = attach_request_id_;
@@ -88,7 +90,7 @@ void InsClient::BeginAttach(const NodeAddress& exclude) {
   attach_retry_task_ = executor_->ScheduleAfter(attach_backoff_.Next(), [this] {
     attach_retry_task_ = kInvalidTaskId;
     if (!attached()) {
-      BeginAttach(excluded_inr_);
+      BeginAttach(kInvalidAddress);
     }
   });
 }
@@ -110,6 +112,13 @@ void InsClient::NoteRequestTimeout() {
   NodeAddress dead = inr_;
   inr_ = kInvalidAddress;
   BeginAttach(dead);
+}
+
+void InsClient::NoteResolverHealthy() {
+  consecutive_timeouts_ = 0;
+  // A working attachment ends the failover hunt: resolvers excluded along
+  // the way are forgiven, so one that recovers is eligible next time.
+  excluded_inrs_.clear();
 }
 
 bool InsClient::QueuePending(std::function<void()> fn) {
@@ -402,17 +411,19 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
         return;
       }
       attach_request_id_ = 0;
-      // Prefer any resolver other than the one we just declared dead; take
-      // it anyway if it is the only one listed (it may have restarted).
+      // Prefer any resolver not excluded by the ongoing failover hunt; take
+      // the first anyway if every listed one is excluded (one may have
+      // restarted). The exclusion set survives until the new attachment
+      // proves healthy — back-to-back failovers must not bounce between two
+      // dead resolvers.
       NodeAddress chosen = list->active_inrs.front();
       for (const NodeAddress& candidate : list->active_inrs) {
-        if (candidate != excluded_inr_) {
+        if (excluded_inrs_.count(candidate) == 0) {
           chosen = candidate;
           break;
         }
       }
       inr_ = chosen;
-      excluded_inr_ = kInvalidAddress;
       consecutive_timeouts_ = 0;
       resolver_pong_outstanding_ = false;
       attach_backoff_.Reset();
@@ -432,7 +443,7 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
     executor_->Cancel(it->second.timeout_task);
     DiscoverCallback cb = std::move(it->second.callback);
     pending_discovers_.erase(it);
-    consecutive_timeouts_ = 0;
+    NoteResolverHealthy();
 
     std::vector<DiscoveredName> names;
     for (const DiscoveryResponse::Item& item : resp->items) {
@@ -454,7 +465,7 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
     executor_->Cancel(it->second.timeout_task);
     ResolveCallback cb = std::move(it->second.callback);
     pending_resolves_.erase(it);
-    consecutive_timeouts_ = 0;
+    NoteResolverHealthy();
 
     std::vector<Binding> bindings;
     for (const EarlyBindingResponse::Item& item : resp->items) {
@@ -489,7 +500,7 @@ void InsClient::OnMessage(const NodeAddress& src, const Bytes& data) {
     if (src == inr_) {
       // The attachment liveness probe came back: the resolver is alive.
       resolver_pong_outstanding_ = false;
-      consecutive_timeouts_ = 0;
+      NoteResolverHealthy();
     }
     return;
   }

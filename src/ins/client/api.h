@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -193,11 +194,17 @@ class InsClient {
   // `max_pending_ops` is reached.
   bool QueuePending(std::function<void()> fn);
   // (Re-)requests the DSR's active list, retrying with jittered backoff until
-  // a resolver other than `exclude` (best effort) answers.
+  // a resolver outside the exclusion set (best effort) answers. A valid
+  // `exclude` is ADDED to the set — consecutive failovers accumulate, so a
+  // chain of dead resolvers is not revisited while hunting for a live one.
   void BeginAttach(const NodeAddress& exclude);
   // One Discover/Resolve attempt timed out: after `failover_after_timeouts`
   // in a row the attached resolver is presumed dead and we re-attach.
   void NoteRequestTimeout();
+  // The attached resolver actually answered something: reset the timeout
+  // strike counter AND clear the exclusion set, so a resolver excluded
+  // during the last failover hunt becomes eligible again once it recovers.
+  void NoteResolverHealthy();
   // The trace id for the next data packet: nonzero every
   // config_.trace_sample_every-th send, derived from this client's address
   // plus a per-client counter so concurrent clients never collide.
@@ -221,9 +228,10 @@ class InsClient {
   uint32_t next_discriminator_ = 0;
   TaskId refresh_task_ = kInvalidTaskId;
   TaskId attach_retry_task_ = kInvalidTaskId;
-  // Resolver skipped when choosing from the DSR list after a failover (the
-  // one we just declared dead); taken anyway if it is the only one listed.
-  NodeAddress excluded_inr_;
+  // Resolvers skipped when choosing from the DSR list after failovers (the
+  // ones declared dead since the last healthy response); one is taken anyway
+  // if every listed resolver is excluded. Cleared by NoteResolverHealthy.
+  std::set<NodeAddress> excluded_inrs_;
   int consecutive_timeouts_ = 0;
   uint64_t data_packets_sent_ = 0;
   uint64_t last_trace_id_ = 0;

@@ -94,6 +94,16 @@ std::vector<Inr*> SimCluster::inrs() {
   return out;
 }
 
+std::vector<Inr*> SimCluster::ReplicasOf(const std::string& vspace) {
+  std::vector<Inr*> out;
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    if (h->inr->running() && h->inr->vspaces().Routes(vspace)) {
+      out.push_back(h->inr.get());
+    }
+  }
+  return out;
+}
+
 SimCluster::Endpoint::Endpoint(SimCluster* cluster,
                                std::unique_ptr<sim::Network::Socket> socket)
     : socket_(std::move(socket)) {

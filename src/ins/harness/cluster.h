@@ -66,6 +66,10 @@ class SimCluster {
 
   std::vector<Inr*> inrs();
 
+  // Running resolvers that route `vspace` — a replica set's current live
+  // members, from the resolvers' own point of view (not the DSR's).
+  std::vector<Inr*> ReplicasOf(const std::string& vspace);
+
   // A raw protocol endpoint: records every envelope it receives.
   class Endpoint {
    public:

@@ -49,6 +49,7 @@ ForwardingAgent::ForwardingAgent(Executor* executor, SendFn send, NodeAddress se
       cross_vspace_(metrics->RegisterCounter("forwarding.cross_vspace")),
       cache_answers_(metrics->RegisterCounter("forwarding.cache_answers")),
       cache_inserts_(metrics->RegisterCounter("forwarding.cache_inserts")),
+      dead_replica_reroutes_(metrics->RegisterCounter("availability.dead_replica_reroutes")),
       lookup_us_(metrics->RegisterHistogram("forwarding.lookup_us")) {
   for (size_t i = 0; i < kForwardingDropReasonCount; ++i) {
     drops_[i] = metrics->RegisterCounter(std::string("forwarding.drop.") +
@@ -134,6 +135,14 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
           for (const NameRecord* rec : matches) {
             if (rec->route.IsLocal()) {
               p.locals.push_back(rec->Detached());
+            } else if (vspaces_->IsDeadReplica(rec->route.next_hop_inr)) {
+              // Survivor promotion: the next hop is a dead replica-set
+              // member, but a replica holds the record's full endpoint, so
+              // deliver directly instead of tunneling into the black hole.
+              // (Safe off-thread: the dead set only mutates on the protocol
+              // thread, which is blocked inside this shard scan.)
+              p.locals.push_back(rec->Detached());
+              ++p.rescued;
             } else if (!(from_neighbor_inr && rec->route.next_hop_inr == src)) {
               // Split horizon on the data path: never bounce a multicast
               // copy back to the neighbor it came from.
@@ -158,8 +167,13 @@ void ForwardingAgent::ResolveAndForward(const NodeAddress& src, const Packet& pa
   MaybeCache(packet);
 
   size_t total_matches = 0;
+  size_t rescued = 0;
   for (const ShardPartial& p : parts) {
     total_matches += p.matches;
+    rescued += p.rescued;
+  }
+  if (rescued > 0) {
+    dead_replica_reroutes_.Increment(rescued);
   }
   Trace(packet, TraceEventKind::kLookup, "", {}, total_matches);
 
@@ -233,6 +247,13 @@ void ForwardingAgent::HandleAnycast(const Packet& packet, const NameRecord& best
   // the deterministic tie-break (applied per shard, then across shards).
   anycasts_.Increment();
   if (best.route.IsLocal()) {
+    DeliverLocal(packet, best);
+  } else if (vspaces_->IsDeadReplica(best.route.next_hop_inr)) {
+    // Survivor promotion: this record was learned from a replica-set member
+    // that digest silence has declared dead. Replicas carry the full
+    // endpoint, so serve the name directly — this is what keeps lookups
+    // inside the (k-1)/k goodput floor while the set heals.
+    dead_replica_reroutes_.Increment();
     DeliverLocal(packet, best);
   } else {
     ForwardToInr(packet, best.route.next_hop_inr);

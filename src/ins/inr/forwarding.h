@@ -106,6 +106,7 @@ class ForwardingAgent {
     std::optional<NameRecord> best;      // anycast: shard-local argmin
     std::vector<NameRecord> locals;      // multicast: locally attached matches
     std::vector<NodeAddress> next_hops;  // multicast: split-horizon-filtered hops
+    size_t rescued = 0;                  // routed via a dead replica, served directly
   };
 
   // `dst` is the packet's destination name, decoded exactly once per packet
@@ -148,6 +149,7 @@ class ForwardingAgent {
   CounterHandle cross_vspace_;
   CounterHandle cache_answers_;
   CounterHandle cache_inserts_;
+  CounterHandle dead_replica_reroutes_;
   CounterHandle drops_[kForwardingDropReasonCount];
   // Wall-clock time of the name-tree resolution step, in microseconds (the
   // simulator's virtual clock does not advance inside a lookup).

@@ -1,5 +1,6 @@
 #include "ins/inr/inr.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "ins/common/logging.h"
@@ -17,6 +18,11 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
       bytes_received_(metrics_.RegisterCounter("inr.bytes_received")) {
   if (!config_.topology.dsr.IsValid()) {
     config_.topology.dsr = config_.dsr;
+  }
+  if (config_.replication.enabled) {
+    // The balancer owns set maintenance (it already talks to the DSR about
+    // capacity); replica_k is configured once, on the replication config.
+    config_.load_balancer.replica_k = config_.replication.replica_k;
   }
   SendFn send = [this](const NodeAddress& dst, const Envelope& env) {
     transport_->Send(dst, EncodeMessage(env));
@@ -48,7 +54,7 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
   load_balancer_ = std::make_unique<LoadBalancer>(executor_, send, address(), config_.dsr,
                                                   vspaces_.get(), discovery_.get(),
                                                   &metrics_, config_.load_balancer);
-  replication_ = std::make_unique<ReplicationAgent>(executor_, send, address(),
+  replication_ = std::make_unique<ReplicationAgent>(executor_, send, address(), config_.dsr,
                                                     vspaces_.get(), topology_.get(),
                                                     discovery_.get(), &metrics_,
                                                     config_.replication);
@@ -56,6 +62,12 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
     // Digests carry liveness, deltas carry changes: the periodic O(names)
     // re-announcement becomes redundant bytes.
     discovery_->SetPeriodicSuppressed(true);
+  }
+  if (replication_->replica_mode()) {
+    // Replica-set owner caching: TTL'd entries instead of the seed's
+    // forever-cache, plus dead-replica steering on the forwarding path.
+    vspaces_->EnableReplicaMode(config_.replication.owner_cache_ttl,
+                                static_cast<size_t>(config_.replication.replica_k));
   }
   admission_ = std::make_unique<AdmissionController>(
       executor_, &metrics_, config_.admission,
@@ -73,15 +85,20 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
       topology_->SetVspaces(vspaces_->RoutedSpaces());
     }
   };
-  // A new overlay neighbor immediately learns everything we know.
+  // A new overlay neighbor immediately learns everything we know. A peer
+  // that comes (back) up is also evidently not a dead replica anymore.
   topology_->on_neighbor_up = [this](const NodeAddress& peer) {
+    vspaces_->NoteReplicaAlive(peer);
     discovery_->SendFullStateTo(peer);
   };
   // A dead link stops being a usable next hop right away. The replication
   // cursor for the peer dies with the edge, so a re-formed edge starts from
-  // serial 0 — a full resynchronization, never a silent gap.
+  // serial 0 — a full resynchronization, never a silent gap. Vspaces the
+  // peer co-replicated with us are the exception: their records are
+  // RETAINED (and served directly) so the set survives its member.
   topology_->on_neighbor_down = [this](const NodeAddress& peer) {
-    discovery_->PurgeRoutesVia(peer);
+    const std::set<std::string> keep = replication_->NotePeerDown(peer);
+    discovery_->PurgeRoutesVia(peer, keep);
     replication_->ForgetPeer(peer);
   };
   // Default idle-termination policy: shut down gracefully.
@@ -254,10 +271,15 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     // the sender's pings) — NoteTreeEdgeTraffic replies PeerClose.
     topology_->NoteTreeEdgeTraffic(keepalive->from);
   } else if (auto* digest = std::get_if<JournalDigest>(&env.body)) {
-    // Tree-edge-scoped like NameUpdate: a digest from a non-neighbor means a
-    // half-open edge, and the sender is told to close it. The agent itself
-    // also ignores non-neighbor digests.
-    topology_->NoteTreeEdgeTraffic(digest->from);
+    // A digest refreshes a live tree edge's keepalive but never provokes a
+    // PeerClose: replica peers digest each other without holding an overlay
+    // edge, and a freshly restarted peer (its membership view is gone) would
+    // otherwise answer its old co-replica's digest with a close that tears
+    // down the very join handshake it is trying to form with the sender.
+    // Half-open edges are still reaped by the keepalive timeout.
+    if (topology_->IsNeighbor(digest->from)) {
+      topology_->NoteTreeEdgeTraffic(digest->from);
+    }
     replication_->HandleDigest(src, *digest);
   } else if (auto* dreq = std::get_if<JournalDeltaRequest>(&env.body)) {
     replication_->HandleDeltaRequest(src, *dreq);
@@ -267,6 +289,43 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     topology_->HandleDsrListResponse(*list);
   } else if (auto* vresp = std::get_if<DsrVspaceResponse>(&env.body)) {
     vspaces_->HandleDsrVspaceResponse(*vresp);
+  } else if (auto* rset = std::get_if<DsrReplicaSetResponse>(&env.body)) {
+    // One response feeds three consumers, each filtering by its own pending
+    // ids or routed spaces: the forwarder's owner cache, the replication
+    // agent's membership view, and the load balancer's set top-up.
+    vspaces_->HandleDsrReplicaSetResponse(*rset);
+    replication_->NoteReplicaSet(rset->vspace, rset->replicas);
+    load_balancer_->HandleDsrReplicaSetResponse(*rset);
+    // Un-recruitment: an invite-joined space whose set is full WITHOUT this
+    // resolver (join order beyond k — e.g. a partition made both sides top
+    // up, and the heal restored the original members) is relinquished. The
+    // members hold every record, so dropping the stranded copy loses
+    // nothing, and the convergence contract stays k-wide instead of
+    // accreting routers across fault rounds.
+    // The answer lists every (non-suspect) registrant in join order; only
+    // the first replica_k are the set.
+    const size_t k = static_cast<size_t>(config_.replication.replica_k);
+    const bool set_full = rset->replicas.size() >= k;
+    const auto set_end = rset->replicas.begin() +
+                         static_cast<long>(std::min(rset->replicas.size(), k));
+    const bool self_in_set =
+        std::find(rset->replicas.begin(), set_end, address()) != set_end;
+    if (set_full && !self_in_set && invited_spaces_.count(rset->vspace) != 0 &&
+        vspaces_->Routes(rset->vspace)) {
+      metrics_.Increment("replica.relinquished");
+      invited_spaces_.erase(rset->vspace);
+      replication_->DropSpace(rset->vspace);
+      vspaces_->RemoveSpace(rset->vspace);
+    }
+  } else if (auto* invite = std::get_if<ReplicaInvite>(&env.body)) {
+    // The set's primary recruited this resolver: start routing the vspace.
+    // The inviter follows up with a full state push (SendVspaceStateTo), and
+    // the next DSR registration advertises the new membership.
+    if (replication_->replica_mode() && !vspaces_->Routes(invite->vspace)) {
+      metrics_.Increment("replica.joined");
+      invited_spaces_.insert(invite->vspace);
+      vspaces_->AddSpace(invite->vspace);
+    }
   } else if (auto* cands = std::get_if<DsrCandidatesResponse>(&env.body)) {
     load_balancer_->HandleDsrCandidatesResponse(*cands);
   } else if (auto* del = std::get_if<DelegateVspace>(&env.body)) {
@@ -279,6 +338,18 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     for (const std::string& vspace : assigned->vspaces) {
       if (!vspaces_->Routes(vspace)) {
         metrics_.Increment("inr.vspaces_recovered");
+        // A resumed space beyond the configured list was acquired at runtime
+        // (replica invite or delegation). The invite memo died with the old
+        // process, so mark it relinquishable again: if the set is genuinely
+        // ours the DSR answer will include us and nothing happens, while a
+        // stale recruitment (the set healed full while we were down) gets
+        // dropped instead of leaving a journal-less router that black-holes
+        // tunnelled lookups. A delegated space keeps us as its earliest
+        // live registrant, so it can never relinquish itself this way.
+        if (std::find(config_.vspaces.begin(), config_.vspaces.end(), vspace) ==
+            config_.vspaces.end()) {
+          invited_spaces_.insert(vspace);
+        }
         vspaces_->AddSpace(vspace);
       }
     }

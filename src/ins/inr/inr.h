@@ -15,6 +15,7 @@
 #define INS_INR_INR_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -145,6 +146,10 @@ class Inr {
   // message this resolver handles.
   std::string log_tag_;
   bool running_ = false;
+  // Spaces this resolver routes because a replica-set primary recruited it
+  // (ReplicaInvite), as opposed to configuration or delegation. Only these
+  // may be relinquished when a DSR set answer shows the set full without us.
+  std::set<std::string> invited_spaces_;
   TaskId netmon_task_ = kInvalidTaskId;
   TaskId pacer_task_ = kInvalidTaskId;
   uint64_t netmon_version_ = 0;

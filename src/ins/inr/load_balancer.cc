@@ -22,6 +22,12 @@ LoadBalancer::LoadBalancer(Executor* executor, SendFn send, NodeAddress self,
 LoadBalancer::~LoadBalancer() { Stop(); }
 
 void LoadBalancer::Start() {
+  // Replica-set maintenance runs whenever replica mode is on, even with the
+  // load-balancing heuristics themselves disabled.
+  if (config_.replica_k >= 2) {
+    replica_task_ =
+        executor_->ScheduleAfter(config_.replica_interval, [this] { ReplicaTick(); });
+  }
   if (!config_.enabled) {
     return;
   }
@@ -33,6 +39,8 @@ void LoadBalancer::Start() {
 void LoadBalancer::Stop() {
   executor_->Cancel(tick_task_);
   tick_task_ = kInvalidTaskId;
+  executor_->Cancel(replica_task_);
+  replica_task_ = kInvalidTaskId;
 }
 
 void LoadBalancer::Tick() {
@@ -70,6 +78,54 @@ void LoadBalancer::Tick() {
   }
 
   tick_task_ = executor_->ScheduleAfter(config_.eval_interval, [this] { Tick(); });
+}
+
+void LoadBalancer::ReplicaTick() {
+  // Refresh the DSR's (suspect-filtered) view of every routed space's set.
+  // The response fans out inside the Inr: the forwarder's cache and the
+  // replication agent's membership ride the same answer this tick asks for.
+  for (const std::string& vspace : vspaces_->RoutedSpaces()) {
+    DsrReplicaSetRequest req;
+    req.request_id = kReplicaRequestTag | next_request_id_++;
+    req.vspace = vspace;
+    send_(dsr_, Envelope{MessageBody(std::move(req))});
+  }
+  metrics_->Increment("replica.maintenance_ticks");
+  replica_task_ =
+      executor_->ScheduleAfter(config_.replica_interval, [this] { ReplicaTick(); });
+}
+
+void LoadBalancer::HandleDsrReplicaSetResponse(const DsrReplicaSetResponse& resp) {
+  if ((resp.request_id & kReplicaRequestTag) == 0) {
+    return;  // a forwarder-side resolution, not a maintenance answer
+  }
+  if (!vspaces_->Routes(resp.vspace)) {
+    return;  // delegated away while the request was in flight
+  }
+  // Only the set's primary (front = lowest DSR join order) recruits; one
+  // recruiter per set keeps members from racing duplicate invites.
+  if (resp.replicas.empty() || !(resp.replicas.front() == self_)) {
+    return;
+  }
+  size_t have = resp.replicas.size();
+  const size_t want = static_cast<size_t>(config_.replica_k);
+  for (const NodeAddress& candidate : resp.candidates) {
+    if (have >= want) {
+      break;
+    }
+    if (candidate == self_) {
+      continue;
+    }
+    // Recruit, then seed the recruit with the space's full state so it
+    // serves lookups before the first digest round (messages are ordered,
+    // so the invite's AddSpace lands before the state push).
+    send_(candidate, Envelope{MessageBody(ReplicaInvite{self_, resp.vspace})});
+    discovery_->SendVspaceStateTo(candidate, resp.vspace);
+    ++have;
+    metrics_->Increment("replica.invites_sent");
+    INS_LOG(kDebug) << self_.ToString() << ": invited " << candidate.ToString()
+                    << " into replica set of '" << resp.vspace << "'";
+  }
 }
 
 void LoadBalancer::RequestCandidates(PendingAction action) {

@@ -40,6 +40,14 @@ struct LoadBalancerConfig {
   // disables termination).
   double terminate_below_lookups_per_sec = 0.0;
   int idle_intervals_before_terminate = 3;
+
+  // --- Replica-set maintenance (replica mode) --------------------------------
+  // Mirrors ReplicationConfig::replica_k; plumbed by the owning Inr. When
+  // >= 2 the balancer runs a maintenance tick independent of `enabled`: it
+  // refreshes the DSR's view of every routed space's replica set, and — as a
+  // set's primary — tops the set up to k by inviting DSR candidates.
+  int replica_k = 1;
+  Duration replica_interval = Seconds(10);
 };
 
 class NameDiscovery;
@@ -56,6 +64,11 @@ class LoadBalancer {
 
   void HandleDsrCandidatesResponse(const DsrCandidatesResponse& resp);
 
+  // Maintenance answer from the DSR (only responses carrying this balancer's
+  // request-id tag are processed; the forwarder's resolutions share the
+  // message type but use untagged ids).
+  void HandleDsrReplicaSetResponse(const DsrReplicaSetResponse& resp);
+
   // Fired when the resolver should shut itself down (idle). The owning Inr
   // decides whether to honor it.
   std::function<void()> on_should_terminate;
@@ -66,7 +79,12 @@ class LoadBalancer {
  private:
   enum class PendingAction { kNone, kSpawn, kDelegate };
 
+  // High-bit tag keeping the balancer's DsrReplicaSetRequest ids disjoint
+  // from the VspaceManager's (whose counter starts at 1 and grows).
+  static constexpr uint64_t kReplicaRequestTag = 1ull << 63;
+
   void Tick();
+  void ReplicaTick();
   void RequestCandidates(PendingAction action);
   // Picks the routed space with the most names (the heaviest to delegate).
   std::string PickSpaceToDelegate() const;
@@ -81,6 +99,7 @@ class LoadBalancer {
   LoadBalancerConfig config_;
 
   TaskId tick_task_ = kInvalidTaskId;
+  TaskId replica_task_ = kInvalidTaskId;
   uint64_t last_lookups_ = 0;
   uint64_t last_update_entries_ = 0;
   int idle_intervals_ = 0;

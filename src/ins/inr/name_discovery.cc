@@ -327,17 +327,27 @@ void NameDiscovery::PeriodicTick() {
 }
 
 void NameDiscovery::ExpiryTick() {
-  size_t expired = vspaces_->store().ExpireBefore(executor_->Now());
+  std::vector<std::pair<std::string, AnnouncerId>> swept;
+  size_t expired = vspaces_->store().ExpireBefore(executor_->Now(), &swept);
   if (expired > 0) {
     metrics_->Increment("discovery.names_expired", expired);
+    for (const auto& [vspace, id] : swept) {
+      INS_LOG(kDebug) << "discovery: " << self_.ToString() << " expired "
+                      << id.ToString() << " in '" << vspace << "'";
+    }
   }
   expiry_task_ =
       executor_->ScheduleAfter(config_.expiry_sweep_interval, [this] { ExpiryTick(); });
 }
 
-void NameDiscovery::PurgeRoutesVia(const NodeAddress& next_hop) {
+void NameDiscovery::PurgeRoutesVia(const NodeAddress& next_hop,
+                                   const std::set<std::string>& keep_vspaces) {
   size_t purged = 0;
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
+    if (keep_vspaces.count(vspace) > 0) {
+      metrics_->Increment("replica.routes_retained");
+      continue;
+    }
     std::vector<AnnouncerId> stale;
     vspaces_->store().ForEachShardTree(vspace, [&](const NameTree& tree) {
       for (const NameRecord* rec : tree.AllRecords()) {
@@ -348,6 +358,9 @@ void NameDiscovery::PurgeRoutesVia(const NodeAddress& next_hop) {
     });
     for (const AnnouncerId& id : stale) {
       if (vspaces_->store().Remove(vspace, id)) {
+        INS_LOG(kDebug) << "discovery: " << self_.ToString() << " purged "
+                        << id.ToString() << " in '" << vspace << "' (route via dead "
+                        << next_hop.ToString() << ")";
         ++purged;
       }
     }

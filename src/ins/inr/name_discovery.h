@@ -17,6 +17,7 @@
 #define INS_INR_NAME_DISCOVERY_H_
 
 #include <functional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -81,8 +82,12 @@ class NameDiscovery {
   // Drops every non-local route whose next hop is `next_hop` (called when an
   // overlay link dies). Waiting for soft-state expiry would black-hole
   // traffic for up to a lifetime; purged names re-converge from surviving
-  // links or the origin's next advertisement.
-  void PurgeRoutesVia(const NodeAddress& next_hop);
+  // links or the origin's next advertisement. Vspaces in `keep_vspaces` are
+  // spared: a dead REPLICA peer's records must survive on this resolver —
+  // retaining and serving them is what makes the replica set highly
+  // available (they stay lease-bound and expire if nobody re-announces).
+  void PurgeRoutesVia(const NodeAddress& next_hop,
+                      const std::set<std::string>& keep_vspaces = {});
 
   // Observer hook: fired when a previously unknown name is grafted.
   std::function<void(const std::string& vspace, const NameSpecifier& name,

@@ -1,6 +1,7 @@
 #include "ins/inr/replication.h"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 
 #include "ins/common/logging.h"
@@ -8,12 +9,13 @@
 namespace ins {
 
 ReplicationAgent::ReplicationAgent(Executor* executor, SendFn send, NodeAddress self,
-                                   VspaceManager* vspaces, TopologyManager* topology,
-                                   NameDiscovery* discovery, MetricsRegistry* metrics,
-                                   ReplicationConfig config)
+                                   NodeAddress dsr, VspaceManager* vspaces,
+                                   TopologyManager* topology, NameDiscovery* discovery,
+                                   MetricsRegistry* metrics, ReplicationConfig config)
     : executor_(executor),
       send_(std::move(send)),
       self_(self),
+      dsr_(dsr),
       vspaces_(vspaces),
       topology_(topology),
       discovery_(discovery),
@@ -37,10 +39,15 @@ void ReplicationAgent::Stop() {
   executor_->Cancel(retry_task_);
   digest_task_ = retry_task_ = kInvalidTaskId;
   peers_.clear();
+  replica_members_.clear();
+  replica_last_heard_.clear();
+  dead_peer_spaces_.clear();
+  UpdatePeerGauges();
 }
 
 void ReplicationAgent::DigestTick() {
   SendDigests();
+  CheckReplicaLiveness();
   digest_task_ = executor_->ScheduleAfter(config_.digest_interval, [this] { DigestTick(); });
 }
 
@@ -50,10 +57,190 @@ void ReplicationAgent::SendDigests() {
   for (const std::string& vspace : vspaces_->RoutedSpaces()) {
     digest.items.push_back({vspace, vspaces_->store().JournalHead(vspace)});
   }
+  std::set<NodeAddress> neighbors;
   for (const NodeAddress& peer : topology_->NeighborAddresses()) {
+    neighbors.insert(peer);
     metrics_->Increment("replication.digests_sent");
     send_(peer, Envelope{MessageBody(digest)});
   }
+  if (!replica_mode()) {
+    return;
+  }
+  // Replica-set members are usually NOT overlay neighbors; the digest (and
+  // with it the lease renewal + liveness signal) must reach them explicitly.
+  std::set<NodeAddress> extra;
+  for (const auto& [vspace, members] : replica_members_) {
+    for (const NodeAddress& member : members) {
+      if (neighbors.count(member) == 0) {
+        extra.insert(member);
+      }
+    }
+  }
+  for (const NodeAddress& member : extra) {
+    metrics_->Increment("replica.digests_sent");
+    send_(member, Envelope{MessageBody(digest)});
+  }
+}
+
+void ReplicationAgent::UpdatePeerGauges() {
+  std::set<NodeAddress> distinct;
+  for (const auto& [key, ps] : peers_) {
+    distinct.insert(key.first);
+  }
+  metrics_->SetGauge("replication.peer_spaces", static_cast<int64_t>(peers_.size()));
+  metrics_->SetGauge("replication.peers", static_cast<int64_t>(distinct.size()));
+}
+
+bool ReplicationAgent::IsReplicaPeer(const NodeAddress& addr) const {
+  for (const auto& [vspace, members] : replica_members_) {
+    if (std::find(members.begin(), members.end(), addr) != members.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ReplicationAgent::NoteReplicaSet(const std::string& vspace,
+                                      const std::vector<NodeAddress>& members) {
+  if (!replica_mode() || !running_ || !vspaces_->Routes(vspace)) {
+    return;
+  }
+  // The DSR answers the FULL join-ordered registrant list; only the first
+  // replica_k entries ARE the set. For a widely-routed space (think "") the
+  // tail is every other resolver in the overlay — treating those as members
+  // would make everyone digest everyone and retain everyone's routes.
+  const auto set_end =
+      members.begin() +
+      std::min(members.size(), static_cast<size_t>(config_.replica_k));
+  // Only an actual member adopts the set. A resolver that merely routes the
+  // space (every router asks the DSR for the set to fill its owner cache)
+  // must NOT treat the members as replica peers: it would digest them
+  // off-tree, declare them dead on digest silence, and — worst — retain
+  // every route via a dead member in NotePeerDown, leaving stale
+  // distance-vector entries that re-propagate and loop once the member
+  // restarts empty.
+  //
+  // Absence from the set does NOT revoke an adopted membership, though: a
+  // member that was reported dead across a partition is suspect at the DSR,
+  // so the answer omits it until its own registration refresh clears the
+  // suspicion — self-demoting in that window would stop member-to-member
+  // anti-entropy and let the journal-applied copies age out. Membership ends
+  // only with the space itself (DropSpace).
+  if (std::find(members.begin(), set_end, self_) == set_end) {
+    if (replica_members_.count(vspace) == 0) {
+      return;
+    }
+  } else {
+    std::vector<NodeAddress> others;
+    for (auto it = members.begin(); it != set_end; ++it) {
+      if (*it == self_) {
+        continue;
+      }
+      others.push_back(*it);
+      // Seed the failure detector at learn time; only real digests advance it.
+      replica_last_heard_.emplace(*it, executor_->Now());
+    }
+    replica_members_[vspace] = std::move(others);
+  }
+  std::set<NodeAddress> all;
+  for (const auto& [space, mem] : replica_members_) {
+    all.insert(mem.begin(), mem.end());
+  }
+  for (auto it = replica_last_heard_.begin(); it != replica_last_heard_.end();) {
+    it = all.count(it->first) == 0 ? replica_last_heard_.erase(it) : std::next(it);
+  }
+  metrics_->SetGauge("replica.members", static_cast<int64_t>(all.size()));
+}
+
+void ReplicationAgent::DropSpace(const std::string& vspace) {
+  if (replica_members_.erase(vspace) == 0) {
+    return;
+  }
+  std::set<NodeAddress> all;
+  for (const auto& [space, mem] : replica_members_) {
+    all.insert(mem.begin(), mem.end());
+  }
+  for (auto it = replica_last_heard_.begin(); it != replica_last_heard_.end();) {
+    it = all.count(it->first) == 0 ? replica_last_heard_.erase(it) : std::next(it);
+  }
+  metrics_->SetGauge("replica.members", static_cast<int64_t>(all.size()));
+}
+
+void ReplicationAgent::CheckReplicaLiveness() {
+  if (!replica_mode()) {
+    return;
+  }
+  const TimePoint now = executor_->Now();
+  const Duration window = config_.digest_interval * config_.replica_missed_digests;
+  std::vector<NodeAddress> dead;
+  for (const auto& [peer, last] : replica_last_heard_) {
+    if (now - last > window) {
+      dead.push_back(peer);
+    }
+  }
+  for (const NodeAddress& peer : dead) {
+    metrics_->Increment("replica.peer_deaths");
+    DeclareReplicaDead(peer);
+  }
+}
+
+void ReplicationAgent::DeclareReplicaDead(const NodeAddress& peer) {
+  bool was_member = false;
+  for (auto& [vspace, members] : replica_members_) {
+    auto it = std::find(members.begin(), members.end(), peer);
+    if (it != members.end()) {
+      members.erase(it);
+      was_member = true;
+      // Membership forgets the dead peer right away (the DSR's next answer
+      // drops it too), but the overlay keepalive detector fires LATER —
+      // NotePeerDown must still know which spaces to spare from the purge.
+      dead_peer_spaces_[peer].insert(vspace);
+    }
+  }
+  replica_last_heard_.erase(peer);
+  if (!was_member) {
+    return;
+  }
+  INS_LOG(kDebug) << "replication: " << self_.ToString() << " declares replica peer "
+                  << peer.ToString() << " dead";
+  // Steer this resolver's own forwarding away immediately; records via the
+  // peer are deliberately RETAINED (survivors keep serving them — delivery
+  // goes straight to the record's endpoint while the peer is believed dead).
+  vspaces_->NoteReplicaDead(peer);
+  // Cursors are meaningless across the peer's death; if it returns, its
+  // digest (serial regression or fresh history) resyncs from zero.
+  ForgetPeer(peer);
+  if (dsr_.IsValid()) {
+    DsrDeadInrReport report;
+    report.reporter = self_;
+    report.dead = peer;
+    metrics_->Increment("replica.dead_reports_sent");
+    send_(dsr_, Envelope{MessageBody(std::move(report))});
+  }
+}
+
+std::set<std::string> ReplicationAgent::NotePeerDown(const NodeAddress& peer) {
+  std::set<std::string> keep;
+  if (!replica_mode() || !running_) {
+    return keep;
+  }
+  bool still_member = false;
+  for (const auto& [vspace, members] : replica_members_) {
+    if (std::find(members.begin(), members.end(), peer) != members.end()) {
+      keep.insert(vspace);
+      still_member = true;
+    }
+  }
+  // Spaces the digest detector already dissociated the peer from (it fires
+  // well before the overlay keepalive window) still need their records kept.
+  if (auto memo = dead_peer_spaces_.find(peer); memo != dead_peer_spaces_.end()) {
+    keep.insert(memo->second.begin(), memo->second.end());
+  }
+  if (still_member) {
+    metrics_->Increment("replica.peer_deaths");
+    DeclareReplicaDead(peer);
+  }
+  return keep;
 }
 
 void ReplicationAgent::RetryTick() {
@@ -88,12 +275,19 @@ void ReplicationAgent::AbortTransfer(PeerSpace& ps) {
 }
 
 void ReplicationAgent::ForgetPeer(const NodeAddress& peer) {
+  size_t erased = 0;
   for (auto it = peers_.begin(); it != peers_.end();) {
     if (it->first.first == peer) {
       it = peers_.erase(it);
+      ++erased;
     } else {
       ++it;
     }
+  }
+  if (erased > 0) {
+    // Eager gauge update: a dead neighbor must not stay counted until the
+    // next digest cadence.
+    UpdatePeerGauges();
   }
 }
 
@@ -116,11 +310,20 @@ void ReplicationAgent::HandleDigest(const NodeAddress& src, const JournalDigest&
   if (!config_.enabled || !running_) {
     return;
   }
-  if (!topology_->IsNeighbor(digest.from)) {
+  const bool replica_peer = IsReplicaPeer(digest.from);
+  if (!topology_->IsNeighbor(digest.from) && !replica_peer) {
     metrics_->Increment("replication.non_neighbor_messages");
     return;
   }
+  if (replica_peer) {
+    // Direct proof of life for the per-vspace failure detector — and a
+    // pardon, if this resolver had already written the sender off.
+    replica_last_heard_[digest.from] = executor_->Now();
+    vspaces_->NoteReplicaAlive(digest.from);
+    dead_peer_spaces_.erase(digest.from);
+  }
   metrics_->Increment("replication.digests_received");
+  const size_t peers_before = peers_.size();
   for (const JournalDigest::Item& item : digest.items) {
     if (!vspaces_->Routes(item.vspace)) {
       continue;
@@ -146,6 +349,9 @@ void ReplicationAgent::HandleDigest(const NodeAddress& src, const JournalDigest&
       ps.applied_serial = 0;
       StartTransfer(src, item.vspace, ps, /*full=*/true);
     }
+  }
+  if (peers_.size() != peers_before) {
+    UpdatePeerGauges();
   }
 }
 
@@ -322,10 +528,22 @@ void ReplicationAgent::HandleDeltaResponse(const NodeAddress& src,
     } else {
       // Tombstone: only meaningful for state we route via the sender — a
       // record reached over another path (or our own local one) has its own
-      // journal feed and must not be killed by this peer's history.
+      // journal feed and must not be killed by this peer's history. The one
+      // exception is an EXPIRY tombstone hitting a record orphaned on a dead
+      // replica: its own feed is gone, so a surviving peer's proof that the
+      // announcer lapsed is the only death notice it will ever get (the pair
+      // of the orphan lease in RefreshReplicasVia). A kDelete stays strictly
+      // by-sender — it records a route purge at the sender, not an announcer
+      // death, and must never unwind another node's retention.
       std::optional<NameRecord> rec = vspaces_->store().Find(resp.vspace, e.announcer);
-      if (rec.has_value() && !rec->route.IsLocal() && rec->route.next_hop_inr == src) {
+      if (rec.has_value() && !rec->route.IsLocal() &&
+          (rec->route.next_hop_inr == src ||
+           (op == JournalOp::kExpire &&
+            vspaces_->IsDeadReplica(rec->route.next_hop_inr)))) {
         if (vspaces_->store().Remove(resp.vspace, e.announcer)) {
+          INS_LOG(kDebug) << "replication: " << self_.ToString() << " applied tombstone "
+                          << e.announcer.ToString() << " in '" << resp.vspace
+                          << "' from " << src.ToString();
           metrics_->Increment("replication.tombstones_applied");
         }
       }
@@ -360,10 +578,22 @@ void ReplicationAgent::HandleDeltaResponse(const NodeAddress& src,
 void ReplicationAgent::RefreshReplicasVia(const NodeAddress& peer, const std::string& vspace) {
   ShardedNameTree& store = vspaces_->store();
   std::vector<AnnouncerId> via;
+  std::vector<AnnouncerId> orphans;
   store.ForEachShardTree(vspace, [&](const NameTree& tree) {
     for (const NameRecord* rec : tree.AllRecords()) {
-      if (!rec->route.IsLocal() && rec->route.next_hop_inr == peer) {
+      if (rec->route.IsLocal()) {
+        continue;
+      }
+      if (rec->route.next_hop_inr == peer) {
         via.push_back(rec->announcer);
+      } else if (vspaces_->IsDeadReplica(rec->route.next_hop_inr)) {
+        // Orphan: the route points at a replica currently believed dead, so
+        // no digest will ever renew it by route. The survivors collectively
+        // keep the dead member's names alive (that is the retention
+        // contract), so any live peer's proof-of-quiescence extends the
+        // lease too. Renewal stops the moment the next hop is pardoned —
+        // then the normal by-route lease (or expiry) takes over.
+        orphans.push_back(rec->announcer);
       }
     }
   });
@@ -371,8 +601,14 @@ void ReplicationAgent::RefreshReplicasVia(const NodeAddress& peer, const std::st
   for (const AnnouncerId& id : via) {
     store.RefreshExpiry(vspace, id, lease);
   }
+  for (const AnnouncerId& id : orphans) {
+    store.RefreshExpiry(vspace, id, lease);
+  }
   if (!via.empty()) {
     metrics_->Increment("replication.leases_renewed", via.size());
+  }
+  if (!orphans.empty()) {
+    metrics_->Increment("replica.orphan_leases_renewed", orphans.size());
   }
 }
 
@@ -392,6 +628,9 @@ void ReplicationAgent::PurgeUnseenVia(const NodeAddress& peer, const std::string
     // Remove() journals a delete, so the purge propagates to OUR neighbors
     // on their next digest round — snapshot repair crosses the overlay too.
     if (store.Remove(vspace, id)) {
+      INS_LOG(kDebug) << "replication: " << self_.ToString() << " snapshot-purged "
+                      << id.ToString() << " in '" << vspace << "' (unseen via "
+                      << peer.ToString() << ")";
       metrics_->Increment("replication.snapshot_purged");
     }
   }

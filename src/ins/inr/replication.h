@@ -71,11 +71,27 @@ struct ReplicationConfig {
   // edge, whose repair does a full resynchronization — so silent divergence
   // ("serials equal but my replica lapsed") cannot happen.
   uint32_t replica_lifetime_s = 45;
+
+  // --- Replica sets (vspace availability) ------------------------------------
+  // Target replica-set size per routed vspace. 1 (the seed default) keeps the
+  // paper's one-INR-per-vspace model; >= 2 turns on replica mode: the
+  // primary tops sets up via DSR candidates + ReplicaInvite, digests also
+  // flow to (possibly non-neighbor) set members, and digest silence drives
+  // per-vspace failover.
+  int replica_k = 1;
+  // A set member silent for this many digest intervals is declared dead:
+  // routes steer away from it, the DSR is told (DsrDeadInrReport), and its
+  // records are retained — not purged — so the survivors keep serving them.
+  int replica_missed_digests = 2;
+  // TTL of the forwarder-side replica-set cache in replica mode (the seed
+  // caches the single owner forever). Bounds how long a forwarder keeps
+  // tunneling toward a dead primary before re-asking the DSR.
+  Duration owner_cache_ttl = Seconds(5);
 };
 
 class ReplicationAgent {
  public:
-  ReplicationAgent(Executor* executor, SendFn send, NodeAddress self,
+  ReplicationAgent(Executor* executor, SendFn send, NodeAddress self, NodeAddress dsr,
                    VspaceManager* vspaces, TopologyManager* topology,
                    NameDiscovery* discovery, MetricsRegistry* metrics,
                    ReplicationConfig config);
@@ -90,8 +106,38 @@ class ReplicationAgent {
 
   // Drops every per-(peer, vspace) cursor for `peer` (overlay edge died).
   // The state its records carried is purged by NameDiscovery::PurgeRoutesVia;
-  // when the edge re-forms, the zeroed cursor forces a full resync.
+  // when the edge re-forms, the zeroed cursor forces a full resync. The
+  // replication.peers / replication.peer_spaces gauges drop with the cursors
+  // — eagerly, not on the next digest cadence.
   void ForgetPeer(const NodeAddress& peer);
+
+  // --- Replica mode (config.enabled && replica_k >= 2) -----------------------
+
+  bool replica_mode() const { return config_.enabled && config_.replica_k >= 2; }
+
+  // Current DSR view of `vspace`'s replica set (from the periodic
+  // DsrReplicaSetResponse). Non-self members become replica peers: digests
+  // flow to them even when they are not overlay neighbors, and their digest
+  // silence is this resolver's per-vspace failure detector.
+  void NoteReplicaSet(const std::string& vspace, const std::vector<NodeAddress>& members);
+
+  // This resolver stopped routing `vspace` (delegated it away, or
+  // relinquished an invite-joined space whose set healed full without us):
+  // drop the membership view and the failure-detector state it anchored, so
+  // the ex-members are no longer digested or declared dead from here.
+  void DropSpace(const std::string& vspace);
+
+  // True when `addr` is a member of any routed vspace's replica set. Replica
+  // peers exchange digests without being overlay neighbors, so tree-edge
+  // bookkeeping (PeerClose on unknown senders) must not apply to them.
+  bool IsReplicaPeer(const NodeAddress& addr) const;
+
+  // Overlay keepalive failure for `peer`. Returns the vspaces whose records
+  // via `peer` must be RETAINED (the vspaces `peer` co-replicated with us:
+  // the survivors keep serving its names — that is the whole point of the
+  // replica set); the caller purges only routes outside the returned set.
+  // Also runs the standard death handling (dead report, route steering).
+  std::set<std::string> NotePeerDown(const NodeAddress& peer);
 
   // The journal serial of `peer`'s `vspace` this resolver has fully applied.
   uint64_t AppliedSerial(const NodeAddress& peer, const std::string& vspace) const;
@@ -118,6 +164,12 @@ class ReplicationAgent {
   void DigestTick();
   void RetryTick();
   void SendDigests();
+  // Declares dead every replica peer silent past replica_missed_digests
+  // digest intervals.
+  void CheckReplicaLiveness();
+  // Drops `peer` from every set, steers routes away, reports to the DSR.
+  void DeclareReplicaDead(const NodeAddress& peer);
+  void UpdatePeerGauges();
   void StartTransfer(const NodeAddress& peer, const std::string& vspace, PeerSpace& ps,
                      bool full);
   void SendRequest(const NodeAddress& peer, const std::string& vspace, const PeerSpace& ps);
@@ -137,6 +189,7 @@ class ReplicationAgent {
   Executor* executor_;
   SendFn send_;
   NodeAddress self_;
+  NodeAddress dsr_;
   VspaceManager* vspaces_;
   TopologyManager* topology_;
   NameDiscovery* discovery_;
@@ -147,6 +200,18 @@ class ReplicationAgent {
   TaskId digest_task_ = kInvalidTaskId;
   TaskId retry_task_ = kInvalidTaskId;
   std::map<std::pair<NodeAddress, std::string>, PeerSpace> peers_;
+
+  // Replica mode: per routed vspace, the non-self set members (DSR join
+  // order), and per member the last time a digest proved it alive (seeded
+  // with the membership-learn time so a member that never digests at all
+  // still trips the detector).
+  std::map<std::string, std::vector<NodeAddress>> replica_members_;
+  std::map<NodeAddress, TimePoint> replica_last_heard_;
+  // Spaces a declared-dead peer co-replicated, remembered past its removal
+  // from replica_members_: the overlay keepalive detector fires long after
+  // the digest detector, and its purge must still spare these. Cleared when
+  // the peer digests again (it came back).
+  std::map<NodeAddress, std::set<std::string>> dead_peer_spaces_;
 };
 
 }  // namespace ins

@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,8 +63,31 @@ class VspaceManager {
   // DSR are coalesced per space.
   void ResolveOwner(const std::string& vspace, ResolveCallback cb);
   void HandleDsrVspaceResponse(const DsrVspaceResponse& resp);
+  void HandleDsrReplicaSetResponse(const DsrReplicaSetResponse& resp);
   // Drops a cached owner (e.g. after a forward to it fails).
   void InvalidateOwner(const std::string& vspace);
+
+  // Replica mode: ResolveOwner queries the DSR for the whole replica set
+  // instead of the single owner, caches its first `replica_k` members (the
+  // DSR answers every registrant in join order — only the first k ARE the
+  // set) for `cache_ttl` (instead of forever), and answers with the first
+  // member not currently believed dead. Off (the seed single-owner path,
+  // byte-identical) unless enabled.
+  void EnableReplicaMode(Duration cache_ttl, size_t replica_k);
+  bool replica_mode() const { return replica_mode_; }
+
+  // Per-address liveness shared across vspaces: NoteReplicaDead steers every
+  // cached set away from `inr` immediately (metric availability.failovers
+  // counts the steers); NoteReplicaAlive (digest heard, neighbor back up, or
+  // a fresh DSR answer listing it) makes it eligible again.
+  void NoteReplicaDead(const NodeAddress& inr);
+  void NoteReplicaAlive(const NodeAddress& inr);
+  bool IsDeadReplica(const NodeAddress& inr) const {
+    return dead_replicas_.count(inr) > 0;
+  }
+
+  // The cached live replica set for `vspace` (empty when uncached/expired).
+  std::vector<NodeAddress> CachedReplicas(const std::string& vspace) const;
 
   // Fired when AddSpace creates a new space, so the owner can refresh its
   // DSR registration.
@@ -72,16 +96,34 @@ class VspaceManager {
   size_t owner_cache_size() const { return owner_cache_.size(); }
 
  private:
+  struct OwnerEntry {
+    std::vector<NodeAddress> replicas;  // join order; front = primary
+    TimePoint expires = TimePoint::max();
+  };
+
+  // First cached replica not in dead_replicas_ (counting a non-front pick as
+  // a failover); invalid when every member is believed dead.
+  NodeAddress PickLive(const OwnerEntry& entry);
+  // Takes `vspace` by value: callers pass the pending_by_id_ entry this
+  // function erases.
+  void FinishResolve(std::string vspace, uint64_t request_id,
+                     std::vector<NodeAddress> replicas);
+
   Executor* executor_;
   SendFn send_;
   NodeAddress dsr_;
   MetricsRegistry* metrics_;
 
   ShardedNameTree store_;
-  std::unordered_map<std::string, NodeAddress> owner_cache_;
+  std::unordered_map<std::string, OwnerEntry> owner_cache_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<uint64_t, std::string> pending_by_id_;
   std::map<std::string, std::vector<ResolveCallback>> pending_callbacks_;
+
+  bool replica_mode_ = false;
+  Duration replica_cache_ttl_ = Seconds(5);
+  size_t replica_k_ = 0;
+  std::set<NodeAddress> dead_replicas_;
 };
 
 }  // namespace ins

@@ -277,14 +277,15 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name,
     }
     Graft(&root_, compiled, 0, compiled.root_count(), raw, PostingIndex::kRootFp);
     PushExpiry(raw->expires, raw->announcer);
-    return {UpsertOutcome::kNew, raw};
+    return {UpsertOutcome::kNew, raw, true};
   }
 
   NameRecord* rec = it->second.get();
   if (info.version < rec->version) {
-    return {UpsertOutcome::kIgnored, nullptr};
+    return {UpsertOutcome::kIgnored, nullptr, false};
   }
 
+  const bool version_advanced = info.version > rec->version;
   const bool renamed = !(ExtractName(rec) == name);
   const bool changed = !(rec->endpoint == info.endpoint) || rec->app_metric != info.app_metric ||
                        !(rec->route == info.route);
@@ -302,9 +303,9 @@ NameTree::UpsertOutcome NameTree::Upsert(const NameSpecifier& name,
     IndexRemoveTerms(rec);  // before Ungraft prunes the chains it walks
     Ungraft(rec);
     Graft(&root_, compiled, 0, compiled.root_count(), rec, PostingIndex::kRootFp);
-    return {UpsertOutcome::kRenamed, rec};
+    return {UpsertOutcome::kRenamed, rec, version_advanced};
   }
-  return {changed ? UpsertOutcome::kChanged : UpsertOutcome::kRefreshed, rec};
+  return {changed ? UpsertOutcome::kChanged : UpsertOutcome::kRefreshed, rec, version_advanced};
 }
 
 // ---------------------------------------------------------------------------

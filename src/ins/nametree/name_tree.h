@@ -160,6 +160,11 @@ class NameTree {
       kIgnored,    // stale version; nothing done
     } kind;
     NameRecord* record;  // nullptr only when kIgnored
+    // True when the merge moved the stored version forward. A kRefreshed
+    // with an advanced version is a liveness signal from the announcer, not
+    // pure duplicate suppression — replication journals it so digest serials
+    // advance and downstream replicas keep their copies leased.
+    bool version_advanced = false;
   };
 
   // Inserts or refreshes the advertisement `info` under `name`. A record is

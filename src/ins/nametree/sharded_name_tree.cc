@@ -182,7 +182,7 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
     r.kind = out.kind == NameTree::UpsertOutcome::kIgnored
                  ? NameTree::UpsertOutcome::kIgnored
                  : NameTree::UpsertOutcome::kRenamed;
-    FillResult(r, *shards[target], out.record);
+    FillResult(r, *shards[target], out.record, out.version_advanced);
     if (r.name.has_value() && r.record.has_value()) {
       JournalUpsert(vspace, *r.name, *r.record);
     }
@@ -193,9 +193,11 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
       ApplyLocked(*shards[target], [&](NameTree& t) { return t.Upsert(name, compiled, info); });
   UpsertResult r;
   r.kind = out.kind;
-  FillResult(r, *shards[target], out.record);
+  FillResult(r, *shards[target], out.record, out.version_advanced);
   // FillResult populates name/record exactly for the journaled outcomes
-  // (kNew / kChanged / kRenamed); refreshes and ignores stay off the journal.
+  // (kNew / kChanged / kRenamed, plus version-advancing refreshes — the
+  // announcer heartbeat); same-version refreshes and ignores stay off the
+  // journal.
   if (r.name.has_value() && r.record.has_value()) {
     JournalUpsert(vspace, *r.name, *r.record);
   }
@@ -203,12 +205,17 @@ ShardedNameTree::UpsertResult ShardedNameTree::Upsert(const std::string& vspace,
 }
 
 void ShardedNameTree::FillResult(UpsertResult& r, const Shard& shard,
-                                 const NameRecord* rec) const {
+                                 const NameRecord* rec, bool version_advanced) const {
   // Detach under the caller-held write lock: no flip can retire the read side
-  // while we copy. kRefreshed carries no payload — its callers never consume
-  // it and the refresh path stays copy-free.
+  // while we copy. A same-version kRefreshed carries no payload — its callers
+  // never consume it and the refresh path stays copy-free. A kRefreshed that
+  // ADVANCED the version is the announcer's liveness heartbeat: it is
+  // detached so the journal records it and digest serials move, which is how
+  // replicas past the first hop keep starved copies leased (version-unchanged
+  // refreshes never reach them otherwise — they are neither flooded nor
+  // journaled).
   if (rec == nullptr || r.kind == NameTree::UpsertOutcome::kIgnored ||
-      r.kind == NameTree::UpsertOutcome::kRefreshed) {
+      (r.kind == NameTree::UpsertOutcome::kRefreshed && !version_advanced)) {
     return;
   }
   const NameTree& t = ReadSide(shard);
@@ -278,23 +285,26 @@ size_t ShardedNameTree::UpsertBatch(
     // reports per-op outcomes by return value (not by side effect): the
     // left-right protocol applies it twice, and only the first application's
     // result is used — journal capture happens here, outside the lambda.
-    std::vector<NameTree::UpsertOutcome::Kind> kinds =
+    std::vector<std::pair<NameTree::UpsertOutcome::Kind, bool>> kinds =
         ApplyLocked(*shards[i], [&ops = per_shard[i]](NameTree& t) {
-          std::vector<NameTree::UpsertOutcome::Kind> out;
+          std::vector<std::pair<NameTree::UpsertOutcome::Kind, bool>> out;
           out.reserve(ops.size());
           for (const auto& op : ops) {
-            out.push_back(t.Upsert(op.entry->first, op.compiled, op.entry->second).kind);
+            auto o = t.Upsert(op.entry->first, op.compiled, op.entry->second);
+            out.emplace_back(o.kind, o.version_advanced);
           }
           return out;
         });
     for (size_t k = 0; k < kinds.size(); ++k) {
-      if (kinds[k] == NameTree::UpsertOutcome::kIgnored) {
+      if (kinds[k].first == NameTree::UpsertOutcome::kIgnored) {
         continue;
       }
       ++applied;
-      if (kinds[k] != NameTree::UpsertOutcome::kRefreshed) {
+      if (kinds[k].first != NameTree::UpsertOutcome::kRefreshed || kinds[k].second) {
         // The stored record equals the batch input (Upsert copies it
         // verbatim), so the journal snapshot comes from the input entry.
+        // Version-advancing refreshes journal too: they are the announcer's
+        // liveness heartbeat and must move the digest serial.
         JournalUpsert(vspace, per_shard[i][k].entry->first, per_shard[i][k].entry->second);
       }
     }
@@ -349,7 +359,8 @@ bool ShardedNameTree::RefreshExpiry(const std::string& vspace, const AnnouncerId
   return false;
 }
 
-size_t ShardedNameTree::ExpireBefore(TimePoint now) {
+size_t ShardedNameTree::ExpireBefore(
+    TimePoint now, std::vector<std::pair<std::string, AnnouncerId>>* expired) {
   size_t removed = 0;
   for (auto& [space, shards] : spaces_) {
     for (auto& s : shards) {
@@ -372,6 +383,9 @@ size_t ShardedNameTree::ExpireBefore(TimePoint now) {
       removed += swept.size();
       for (const AnnouncerId& id : swept) {
         JournalTombstone(space, JournalOp::kExpire, id);
+        if (expired != nullptr) {
+          expired->emplace_back(space, id);
+        }
       }
     }
   }

@@ -152,7 +152,8 @@ class ShardedNameTree {
   bool RefreshExpiry(const std::string& vspace, const AnnouncerId& id, TimePoint expires);
 
   // Sweeps every shard; one snapshot publish per shard that expired records.
-  size_t ExpireBefore(TimePoint now);
+  size_t ExpireBefore(TimePoint now,
+                      std::vector<std::pair<std::string, AnnouncerId>>* expired = nullptr);
 
   // ---- Change journal (Options::journal_capacity > 0) ----
 
@@ -255,7 +256,8 @@ class ShardedNameTree {
 
   // Copies `rec` (and its extracted name) out of `shard`'s read side into
   // `r`; caller must hold the shard's write lock in concurrent mode.
-  void FillResult(UpsertResult& r, const Shard& shard, const NameRecord* rec) const;
+  void FillResult(UpsertResult& r, const Shard& shard, const NameRecord* rec,
+                  bool version_advanced = false) const;
 
   // Journal capture helpers: no-ops when the space has no journal. Called
   // once per logical write, OUTSIDE ApplyLocked's lambda — the left-right

@@ -53,16 +53,53 @@ std::vector<NodeAddress> Dsr::Candidates() const {
 NodeAddress Dsr::InrForVspace(const std::string& vspace) const {
   // First registrant (in join order) routing the space wins; this is also
   // the tie-break that keeps two INRs from both claiming a space for long.
+  // Suspects lose to any non-suspect registrant but still beat a void.
   const Registration* best = nullptr;
+  const Registration* best_suspect = nullptr;
   for (const auto& [addr, reg] : active_) {
     if (std::find(reg.vspaces.begin(), reg.vspaces.end(), vspace) == reg.vspaces.end()) {
+      continue;
+    }
+    if (IsSuspect(reg.inr)) {
+      if (best_suspect == nullptr || reg.join_order < best_suspect->join_order) {
+        best_suspect = &reg;
+      }
       continue;
     }
     if (best == nullptr || reg.join_order < best->join_order) {
       best = &reg;
     }
   }
+  if (best == nullptr) {
+    best = best_suspect;
+  }
   return best != nullptr ? best->inr : kInvalidAddress;
+}
+
+bool Dsr::IsSuspect(const NodeAddress& inr) const {
+  auto it = suspects_.find(inr);
+  return it != suspects_.end() && it->second > executor_->Now();
+}
+
+std::vector<NodeAddress> Dsr::ReplicaSetForVspace(const std::string& vspace) const {
+  std::vector<std::pair<uint64_t, NodeAddress>> members;
+  std::vector<std::pair<uint64_t, NodeAddress>> suspects;
+  for (const auto& [addr, reg] : active_) {
+    if (std::find(reg.vspaces.begin(), reg.vspaces.end(), vspace) == reg.vspaces.end()) {
+      continue;
+    }
+    (IsSuspect(reg.inr) ? suspects : members).emplace_back(reg.join_order, reg.inr);
+  }
+  if (members.empty()) {
+    members = std::move(suspects);
+  }
+  std::sort(members.begin(), members.end());
+  std::vector<NodeAddress> out;
+  out.reserve(members.size());
+  for (const auto& [order, inr] : members) {
+    out.push_back(inr);
+  }
+  return out;
 }
 
 void Dsr::HandleRegister(const DsrRegister& reg) {
@@ -98,6 +135,24 @@ void Dsr::HandleRegister(const DsrRegister& reg) {
     it->second.expires = expires;
     metrics_.Increment("dsr.refreshes");
   }
+  // A registration (new or refreshed) is proof of life: it outranks any
+  // replica's silence-based suspicion.
+  if (suspects_.erase(reg.inr) > 0) {
+    metrics_.Increment("dsr.suspects_cleared");
+  }
+}
+
+void Dsr::HandleDeadReport(const DsrDeadInrReport& report) {
+  // A node cannot report itself, and reports about unknown nodes carry no
+  // information worth remembering.
+  if (report.dead == report.reporter || active_.find(report.dead) == active_.end()) {
+    metrics_.Increment("dsr.dead_reports_ignored");
+    return;
+  }
+  suspects_[report.dead] = executor_->Now() + config_.dead_suspect_ttl;
+  metrics_.Increment("dsr.dead_reports");
+  INS_LOG(kDebug) << "DSR: " << report.dead.ToString() << " reported dead by "
+                  << report.reporter.ToString();
 }
 
 void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
@@ -138,6 +193,26 @@ void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
     metrics_.Increment("dsr.candidate_requests");
     return;
   }
+  if (const auto* rq = std::get_if<DsrReplicaSetRequest>(&env->body)) {
+    DsrReplicaSetResponse resp;
+    resp.request_id = rq->request_id;
+    resp.vspace = rq->vspace;
+    resp.replicas = ReplicaSetForVspace(rq->vspace);
+    for (const auto& [inr, order] : ActiveInrsOrdered()) {
+      if (std::find(resp.replicas.begin(), resp.replicas.end(), inr) ==
+              resp.replicas.end() &&
+          !IsSuspect(inr)) {
+        resp.candidates.push_back(inr);
+      }
+    }
+    transport_->Send(src, Encode(resp));
+    metrics_.Increment("dsr.replica_set_requests");
+    return;
+  }
+  if (const auto* dead = std::get_if<DsrDeadInrReport>(&env->body)) {
+    HandleDeadReport(*dead);
+    return;
+  }
   if (const auto* aq = std::get_if<DsrAssignmentsRequest>(&env->body)) {
     // Crash-recovery query: what does this INR's (soft-state) registration
     // still route? An expired or never-registered INR gets an empty answer.
@@ -145,6 +220,15 @@ void Dsr::OnMessage(const NodeAddress& src, const Bytes& data) {
     resp.request_id = aq->request_id;
     if (auto it = active_.find(aq->inr); it != active_.end()) {
       resp.vspaces = it->second.vspaces;
+      // Asking for assignments means the INR rebooted empty. Its seniority
+      // must reboot with it: keeping the pre-crash join order would let a
+      // journal-less shell leapfrog surviving replica-set members (sets are
+      // the first k registrants by join order) and become a primary that
+      // black-holes tunnelled lookups. Demoting to the back of the line
+      // makes the survivors the set and lets the rebooted node re-earn a
+      // slot (or relinquish) through the normal recruitment path.
+      it->second.join_order = next_join_order_++;
+      metrics_.Increment("dsr.seniority_resets");
     }
     transport_->Send(src, Encode(resp));
     metrics_.Increment("dsr.assignments_requests");
@@ -167,6 +251,13 @@ void Dsr::SweepExpired() {
   for (auto it = candidates_.begin(); it != candidates_.end();) {
     if (it->second < now) {
       it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = suspects_.begin(); it != suspects_.end();) {
+    if (it->second < now) {
+      it = suspects_.erase(it);
     } else {
       ++it;
     }

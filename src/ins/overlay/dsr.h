@@ -25,6 +25,10 @@ namespace ins {
 
 struct DsrConfig {
   Duration expiry_sweep_interval = Seconds(5);
+  // How long a DsrDeadInrReport keeps a member out of vspace-resolution
+  // answers. Suspicion is weaker than expiry: the registration stays, and a
+  // refresh from the suspect (proof of life) clears the mark immediately.
+  Duration dead_suspect_ttl = Seconds(30);
 };
 
 class Dsr {
@@ -48,6 +52,11 @@ class Dsr {
   std::vector<std::pair<NodeAddress, uint64_t>> ActiveInrsOrdered() const;
   std::vector<NodeAddress> Candidates() const;
   NodeAddress InrForVspace(const std::string& vspace) const;
+  // Every non-suspect active registrant routing `vspace`, in join order
+  // (front = primary). Falls back to suspects when nobody else routes the
+  // space — a suspect copy beats a void.
+  std::vector<NodeAddress> ReplicaSetForVspace(const std::string& vspace) const;
+  bool IsSuspect(const NodeAddress& inr) const;
   const MetricsRegistry& metrics() const { return metrics_; }
 
  private:
@@ -60,6 +69,7 @@ class Dsr {
 
   void OnMessage(const NodeAddress& src, const Bytes& data);
   void HandleRegister(const DsrRegister& reg);
+  void HandleDeadReport(const DsrDeadInrReport& report);
   void SweepExpired();
 
   Executor* executor_;
@@ -68,6 +78,7 @@ class Dsr {
   uint64_t next_join_order_ = 1;
   std::map<NodeAddress, Registration> active_;
   std::map<NodeAddress, TimePoint> candidates_;  // expiry (TimePoint::max for static)
+  std::map<NodeAddress, TimePoint> suspects_;    // dead-reported, until this time
   TaskId sweep_task_ = kInvalidTaskId;
   MetricsRegistry metrics_;
 };

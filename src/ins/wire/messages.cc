@@ -509,6 +509,58 @@ Result<JournalDeltaResponse> DecodeJournalDeltaResponse(ByteReader& r) {
   return d;
 }
 
+void EncodeBody(ByteWriter& w, const DsrReplicaSetRequest& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+}
+
+Result<DsrReplicaSetRequest> DecodeDsrReplicaSetRequest(ByteReader& r) {
+  DsrReplicaSetRequest d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrReplicaSetResponse& d) {
+  w.WriteU64(d.request_id);
+  w.WriteString(d.vspace);
+  WriteAddressList(w, d.replicas);
+  WriteAddressList(w, d.candidates);
+}
+
+Result<DsrReplicaSetResponse> DecodeDsrReplicaSetResponse(ByteReader& r) {
+  DsrReplicaSetResponse d;
+  INS_ASSIGN_OR_RETURN(d.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  INS_ASSIGN_OR_RETURN(d.replicas, ReadAddressList(r));
+  INS_ASSIGN_OR_RETURN(d.candidates, ReadAddressList(r));
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const ReplicaInvite& d) {
+  WriteAddress(w, d.from);
+  w.WriteString(d.vspace);
+}
+
+Result<ReplicaInvite> DecodeReplicaInvite(ByteReader& r) {
+  ReplicaInvite d;
+  INS_ASSIGN_OR_RETURN(d.from, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(d.vspace, r.ReadString());
+  return d;
+}
+
+void EncodeBody(ByteWriter& w, const DsrDeadInrReport& d) {
+  WriteAddress(w, d.reporter);
+  WriteAddress(w, d.dead);
+}
+
+Result<DsrDeadInrReport> DecodeDsrDeadInrReport(ByteReader& r) {
+  DsrDeadInrReport d;
+  INS_ASSIGN_OR_RETURN(d.reporter, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(d.dead, ReadAddress(r));
+  return d;
+}
+
 void EncodeBody(ByteWriter& w, const MetricsRequest& m) {
   w.WriteU64(m.request_id);
   WriteAddress(w, m.reply_to);
@@ -644,6 +696,16 @@ MessageType Envelope::type() const {
     MessageType operator()(const JournalDeltaResponse&) {
       return MessageType::kJournalDeltaResponse;
     }
+    MessageType operator()(const DsrReplicaSetRequest&) {
+      return MessageType::kDsrReplicaSetRequest;
+    }
+    MessageType operator()(const DsrReplicaSetResponse&) {
+      return MessageType::kDsrReplicaSetResponse;
+    }
+    MessageType operator()(const ReplicaInvite&) { return MessageType::kReplicaInvite; }
+    MessageType operator()(const DsrDeadInrReport&) {
+      return MessageType::kDsrDeadInrReport;
+    }
   };
   return std::visit(Visitor{}, body);
 }
@@ -776,6 +838,22 @@ Result<Envelope> DecodeMessage(const Bytes& buffer) {
     }
     case MessageType::kJournalDeltaResponse: {
       INS_ASSIGN_OR_RETURN(JournalDeltaResponse d, DecodeJournalDeltaResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrReplicaSetRequest: {
+      INS_ASSIGN_OR_RETURN(DsrReplicaSetRequest d, DecodeDsrReplicaSetRequest(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrReplicaSetResponse: {
+      INS_ASSIGN_OR_RETURN(DsrReplicaSetResponse d, DecodeDsrReplicaSetResponse(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kReplicaInvite: {
+      INS_ASSIGN_OR_RETURN(ReplicaInvite d, DecodeReplicaInvite(r));
+      return Envelope{MessageBody(std::move(d))};
+    }
+    case MessageType::kDsrDeadInrReport: {
+      INS_ASSIGN_OR_RETURN(DsrDeadInrReport d, DecodeDsrDeadInrReport(r));
       return Envelope{MessageBody(std::move(d))};
     }
   }

@@ -53,6 +53,10 @@ enum class MessageType : uint8_t {
   kJournalDigest = 26,        // INR -> neighbor INR: my per-vspace serials
   kJournalDeltaRequest = 27,  // behind INR -> neighbor: send me the changes
   kJournalDeltaResponse = 28,  // delta stream or full-snapshot chunk
+  kDsrReplicaSetRequest = 29,   // INR -> DSR: who replicates this vspace?
+  kDsrReplicaSetResponse = 30,  // replica set in join order + spare candidates
+  kReplicaInvite = 31,  // primary INR -> INR: join this vspace's replica set
+  kDsrDeadInrReport = 32,  // replica INR -> DSR: member stopped digesting
 };
 
 // --- Service advertisement (client/service -> its INR) ---------------------
@@ -283,6 +287,50 @@ struct JournalDeltaResponse {
   std::vector<Entry> entries;
 };
 
+// --- Replica sets (vspace availability beyond one resolver) ------------------
+
+// In replica mode (ReplicationConfig.replica_k >= 2) a vspace is served by a
+// SET of resolvers instead of exactly one. The DSR derives the set from its
+// soft-state registrations: every active INR routing the space, in join
+// order, with the oldest registrant acting as the set's primary. The same
+// request also returns spare candidates so the primary can top the set back
+// up to k without a second round trip.
+struct DsrReplicaSetRequest {
+  uint64_t request_id = 0;
+  std::string vspace;
+};
+
+struct DsrReplicaSetResponse {
+  uint64_t request_id = 0;
+  std::string vspace;
+  // Live registrants routing the vspace, in join order (front = primary).
+  // Members the DSR currently suspects dead (see DsrDeadInrReport) are
+  // omitted while their registration proves nothing either way.
+  std::vector<NodeAddress> replicas;
+  // Active INRs NOT in `replicas`, in join order: invite material.
+  std::vector<NodeAddress> candidates;
+};
+
+// The primary asks another resolver to join a vspace's replica set. The
+// invitee starts routing the space (and thereby registers it with the DSR);
+// the inviter follows up with a full vspace state transfer so the new member
+// is warm before its first digest round.
+struct ReplicaInvite {
+  NodeAddress from;
+  std::string vspace;
+};
+
+// A replica that stopped receiving digests from a set member reports the
+// silence. The DSR does NOT erase the member's registration (the reporter
+// may merely be partitioned from it): it marks the member suspect for a
+// bounded interval, during which vspace resolution answers skip it. A
+// registration refresh from the suspect clears the mark — proof of life
+// beats one peer's suspicion.
+struct DsrDeadInrReport {
+  NodeAddress reporter;
+  NodeAddress dead;
+};
+
 // --- Metrics polling (the paper's NetworkManagement service) -----------------
 
 // The netmon app asks a resolver for its metrics. Classified as control
@@ -330,7 +378,8 @@ using MessageBody =
                  DsrVspaceResponse, DsrCandidatesRequest, DsrCandidatesResponse,
                  SpawnRequest, DelegateVspace, DsrAssignmentsRequest, DsrAssignmentsResponse,
                  PeerKeepalive, MetricsRequest, MetricsResponse, JournalDigest,
-                 JournalDeltaRequest, JournalDeltaResponse>;
+                 JournalDeltaRequest, JournalDeltaResponse, DsrReplicaSetRequest,
+                 DsrReplicaSetResponse, ReplicaInvite, DsrDeadInrReport>;
 
 struct Envelope {
   MessageBody body;

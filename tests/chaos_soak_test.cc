@@ -20,6 +20,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "ins/common/logging.h"
+
 #include "ins/client/api.h"
 #include "ins/harness/cluster.h"
 #include "ins/name/parser.h"
@@ -80,18 +82,30 @@ struct SoakResult {
 
 // One full chaos run. All randomness comes from `seed`; two invocations with
 // the same seed must produce identical fingerprints. With `replication` the
-// cluster runs journaled delta replication and the fault menu gains the
-// partition-heal-converge window (kind 6), which additionally demands
-// serial-level replica convergence within one anti-entropy round.
+// cluster runs journaled delta replication in replica mode (k=2) and the
+// fault menu gains two windows: partition-heal-converge (kind 6), which
+// demands serial-level replica convergence within one anti-entropy round,
+// and replica-kill-mid-flood (kind 7), which kills one member of a k=2
+// replica set and holds lookup goodput to the (k-1)/k floor.
 SoakResult RunSoak(uint64_t seed, bool replication = false) {
   SoakResult result;
   std::ostringstream trace;
   Rng chaos(seed * 7919 + 17);
+  // Debugging aid: INS_CHAOS_LOG=1 floods stderr with every resolver's debug
+  // log, timestamped in virtual time — far too noisy for CI, invaluable for
+  // replaying one failing seed.
+  if (std::getenv("INS_CHAOS_LOG") != nullptr) {
+    SetMinLogLevel(LogLevel::kDebug);
+  }
 
   ClusterOptions options;
   options.seed = seed;
   options.inr_template.topology.rng_salt = seed;
   options.inr_template.replication.enabled = replication;
+  // Replication soaks run replica mode: the "ha" vspace (advertised below)
+  // gets a k=2 replica set, and the fault menu gains the replica-kill
+  // window (kind 7) with its goodput floor.
+  options.inr_template.replication.replica_k = replication ? 2 : 1;
   SimCluster cluster(options);
   for (uint32_t i = 1; i <= kNumInrs; ++i) {
     cluster.AddInr(i);
@@ -111,6 +125,22 @@ SoakResult RunSoak(uint64_t seed, bool replication = false) {
   int received = 0;
   svc1.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
   svc2.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+
+  // Replica mode: a service in its own "ha" vspace (adopted by INR 2, topped
+  // up to k=2 by the maintenance tick) plus a raw probe socket — the
+  // replica-kill window (kind 7) measures lookup goodput against this pair.
+  std::unique_ptr<AppHost> ha_svc;
+  std::unique_ptr<SimCluster::Endpoint> ha_probe;
+  int ha_received = 0;
+  if (replication) {
+    ha_svc = std::make_unique<AppHost>(&cluster, 9, 6003, cluster.inrs()[1]->address());
+    ha_svc->client->OnData([&](const NameSpecifier&, const Bytes&) { ++ha_received; });
+    ha_probe = cluster.AddEndpoint(8, 7001);
+  }
+  std::unique_ptr<AdvertisementHandle> ha_ad;
+  if (replication) {
+    ha_ad = ha_svc->client->Advertise(P("[vspace=ha][service=hasvc]"));
+  }
   cluster.loop().RunFor(Seconds(30));  // initial name convergence
 
   auto fail = [&](const std::string& what) {
@@ -127,7 +157,7 @@ SoakResult RunSoak(uint64_t seed, bool replication = false) {
   std::vector<std::unique_ptr<AdvertisementHandle>> flood_ads;
   for (int round = 0; round < rounds && result.ok; ++round) {
     Duration window = Seconds(5 + static_cast<int64_t>(chaos.NextBelow(11)));
-    uint64_t kind = chaos.NextBelow(replication ? 7 : 6);
+    uint64_t kind = chaos.NextBelow(replication ? 8 : 6);
     trace << "r" << round << ":k" << kind << ":w" << window.count() << ";";
     switch (kind) {
       case 0: {
@@ -179,8 +209,9 @@ SoakResult RunSoak(uint64_t seed, bool replication = false) {
         // PartitionHealConverge (replication mode only): cut the cluster in
         // two MID-FLOOD — fresh names keep landing on one side while the
         // other can't hear about them — then heal. The journal/anti-entropy
-        // machinery must reach serial-level convergence within one digest
-        // round; checked after the generic tree reconvergence below.
+        // machinery must reach serial-level convergence once replica-set
+        // membership re-forms; checked after the generic tree reconvergence
+        // below.
         uint32_t cut = 1 + static_cast<uint32_t>(chaos.NextBelow(kNumInrs - 1));
         std::vector<uint32_t> left, right;
         for (uint32_t i = 1; i <= kNumInrs; ++i) {
@@ -198,6 +229,75 @@ SoakResult RunSoak(uint64_t seed, bool replication = false) {
         cluster.Heal();
         break;
       }
+      case 7: {
+        // ReplicaKillMidFlood (replication mode only): kill one member of
+        // the "ha" k=2 replica set while a raw probe floods lookups through
+        // a non-member resolver. The goodput floor is (k-1)/k of the
+        // window's probes — at soak-default timers the failover chain
+        // (digest-silence detection, dead report, owner-cache expiry) takes
+        // at most ~20 s of the 60 s flood, leaving ample margin above the
+        // 15-of-30 floor.
+        std::vector<Inr*> members = cluster.ReplicasOf("ha");
+        if (members.size() < 2) {
+          trace << "skip;";
+          cluster.loop().RunFor(window);
+          break;
+        }
+        Inr* victim = members[chaos.NextBelow(members.size())];
+        const uint32_t host = victim->address().ip & 0xFFu;
+        trace << "m";
+        for (Inr* m : members) {
+          trace << (m->address().ip & 0xFFu) << ",";
+        }
+        trace << "h" << host << ";";
+        Inr* probe_inr = nullptr;
+        for (Inr* inr : cluster.inrs()) {
+          if (inr != members[0] && inr != members[1]) {
+            probe_inr = inr;
+            break;
+          }
+        }
+        if (probe_inr == nullptr) {
+          trace << "skip;";
+          cluster.loop().RunFor(window);
+          break;
+        }
+        trace << "p" << (probe_inr->address().ip & 0xFFu) << ";";
+        auto probe = [&] {
+          Packet p;
+          p.destination_name = "[vspace=ha][service=hasvc]";
+          p.payload = {0x7a};
+          ha_probe->Send(probe_inr->address(), Envelope{MessageBody(std::move(p))});
+        };
+        // Steady state first: the probe path must already deliver before a
+        // kill-window shortfall can mean anything.
+        int before = ha_received;
+        for (int n = 0; n < 5; ++n) {
+          probe();
+          cluster.loop().RunFor(Seconds(2));
+        }
+        if (ha_received - before < 4) {
+          fail("round " + std::to_string(round) +
+               ": replica probe path broken before the kill (" +
+               std::to_string(ha_received - before) + "/5 delivered)");
+          break;
+        }
+        cluster.CrashInr(victim);
+        before = ha_received;
+        for (int n = 0; n < 30; ++n) {
+          probe();
+          cluster.loop().RunFor(Seconds(2));
+        }
+        const int delivered = ha_received - before;
+        trace << "hg" << delivered << ";";
+        cluster.RestartInr(host);
+        if (delivered < 15) {
+          fail("round " + std::to_string(round) +
+               ": lookup goodput below the (k-1)/k floor with one replica "
+               "dead (" + std::to_string(delivered) + "/30 delivered)");
+        }
+        break;
+      }
     }
 
     auto took = cluster.MeasureReconvergence(Seconds(120));
@@ -209,9 +309,15 @@ SoakResult RunSoak(uint64_t seed, bool replication = false) {
     trace << "t" << took->count() << ";";
 
     if (kind == 6) {
-      // One anti-entropy round: a digest interval plus the delta transfer.
+      // In replica mode a partition longer than the digest-death window makes
+      // both sides drop each other from their replica sets, so post-heal
+      // convergence is membership re-establishment first: a DSR registration
+      // refresh clears the suspect mark (<= 20 s), the next maintenance tick
+      // re-learns the set (<= 10 s), then one anti-entropy round syncs the
+      // journals. The budget covers that whole chain; the measurement returns
+      // as soon as replicas actually agree.
       auto caught_up = cluster.MeasureReplicationConvergence(
-          options.inr_template.replication.digest_interval + Seconds(3));
+          options.inr_template.replication.digest_interval + Seconds(40));
       if (!caught_up.has_value()) {
         fail("round " + std::to_string(round) +
              ": replicas diverged after partition heal: " +
@@ -250,19 +356,20 @@ class ChaosSoakTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ChaosSoakTest, ReconvergesAndResolvesAfterEveryFaultWindow) {
   SoakResult r = RunSoak(GetParam());
-  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.ok) << r.failure << "\ntrace: " << r.fingerprint;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakTest, ::testing::ValuesIn(SoakSeeds()));
 
-// Same menu plus the PartitionHealConverge window, with journaled delta
-// replication on everywhere: every heal must reach serial-level replica
-// convergence within one anti-entropy round.
+// Same menu plus the PartitionHealConverge and ReplicaKillMidFlood windows,
+// with journaled delta replication on everywhere in replica mode: every heal
+// must reach serial-level replica convergence within one anti-entropy round,
+// and a replica kill must keep lookups flowing at the (k-1)/k goodput floor.
 class ChaosSoakReplicationTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ChaosSoakReplicationTest, ReplicasConvergeAfterEveryFaultWindow) {
   SoakResult r = RunSoak(GetParam(), /*replication=*/true);
-  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_TRUE(r.ok) << r.failure << "\ntrace: " << r.fingerprint;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoakReplicationTest,

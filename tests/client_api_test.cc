@@ -168,6 +168,45 @@ TEST(ClientApiTest, FailsOverToNextResolverWhenAttachedInrDies) {
   EXPECT_GE(user.client->metrics().Counter("client.failovers"), 1u);
 }
 
+TEST(ClientApiTest, RecoveredResolverIsEligibleAgainAfterHealthyAttach) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+
+  ClientHarness user(&cluster, 20);  // attaches via the DSR: first = a
+  cluster.loop().RunFor(Seconds(1));
+  ASSERT_EQ(user.client->resolver(), a->address());
+
+  // First failover: a dies, the client excludes it and lands on b; the
+  // successful Discover against b is the "healthy" signal that clears the
+  // exclusion set.
+  cluster.CrashInr(a);
+  Status status = InternalError("not called");
+  user.client->Discover(P("[service=nothing]"), "",
+                        [&](Status s, auto) { status = s; });
+  cluster.loop().RunFor(Seconds(15));
+  ASSERT_TRUE(status.ok()) << status;
+  ASSERT_EQ(user.client->resolver(), b->address());
+
+  // a recovers and re-registers. When b dies in turn, the DSR's soft-state
+  // list still names BOTH (b's registration outlives the crash): only the
+  // cleared exclusion set makes the recovered a eligible — were exclusions
+  // held forever, the hunt would fall back to the dead front entry and hang.
+  Inr* a2 = cluster.RestartInr(1);
+  ASSERT_NE(a2, nullptr);
+  cluster.loop().RunFor(Seconds(10));
+  cluster.CrashInr(b);
+  status = InternalError("not called");
+  user.client->Discover(P("[service=nothing]"), "",
+                        [&](Status s, auto) { status = s; });
+  cluster.loop().RunFor(Seconds(15));
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(user.client->resolver(), a2->address());
+  EXPECT_GE(user.client->metrics().Counter("client.failovers"), 2u);
+}
+
 TEST(ClientApiTest, PendingOperationsAreBounded) {
   SimCluster cluster;  // no resolver, so nothing ever attaches
   ClientHarness user(&cluster, 20, NodeAddress{},

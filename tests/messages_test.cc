@@ -262,6 +262,41 @@ TEST(MessagesTest, ReplicationMessages) {
   EXPECT_EQ(Encode(resp)[0], static_cast<uint8_t>(MessageType::kJournalDeltaResponse));
 }
 
+TEST(MessagesTest, ReplicaSetMessages) {
+  DsrReplicaSetRequest req;
+  req.request_id = (1ull << 63) | 17;  // the LB's tagged-id form survives
+  req.vspace = "camera-ne43";
+  DsrReplicaSetRequest req2 = RoundTrip(req);
+  EXPECT_EQ(req2.request_id, req.request_id);
+  EXPECT_EQ(req2.vspace, "camera-ne43");
+
+  DsrReplicaSetResponse resp;
+  resp.request_id = 17;
+  resp.vspace = "camera-ne43";
+  resp.replicas = {MakeAddress(1), MakeAddress(2)};
+  resp.candidates = {MakeAddress(3)};
+  DsrReplicaSetResponse resp2 = RoundTrip(resp);
+  EXPECT_EQ(resp2.request_id, 17u);
+  EXPECT_EQ(resp2.vspace, "camera-ne43");
+  EXPECT_EQ(resp2.replicas, resp.replicas);
+  EXPECT_EQ(resp2.candidates, resp.candidates);
+
+  ReplicaInvite inv{MakeAddress(1), "camera-ne43"};
+  ReplicaInvite inv2 = RoundTrip(inv);
+  EXPECT_EQ(inv2.from, MakeAddress(1));
+  EXPECT_EQ(inv2.vspace, "camera-ne43");
+
+  DsrDeadInrReport report{MakeAddress(2), MakeAddress(1)};
+  DsrDeadInrReport report2 = RoundTrip(report);
+  EXPECT_EQ(report2.reporter, MakeAddress(2));
+  EXPECT_EQ(report2.dead, MakeAddress(1));
+
+  EXPECT_EQ(Encode(req)[0], static_cast<uint8_t>(MessageType::kDsrReplicaSetRequest));
+  EXPECT_EQ(Encode(resp)[0], static_cast<uint8_t>(MessageType::kDsrReplicaSetResponse));
+  EXPECT_EQ(Encode(inv)[0], static_cast<uint8_t>(MessageType::kReplicaInvite));
+  EXPECT_EQ(Encode(report)[0], static_cast<uint8_t>(MessageType::kDsrDeadInrReport));
+}
+
 TEST(MessagesTest, DataEnvelopeCarriesPacket) {
   Packet p;
   p.destination_name = "[service=printer]";

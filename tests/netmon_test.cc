@@ -147,5 +147,47 @@ TEST(NetmonTest, ForgetsResolversThatStopAnswering) {
   mh.monitor->Stop();
 }
 
+TEST(NetmonTest, AgesOutResolverCrashedMidPoll) {
+  SimCluster cluster(AdvertisingOptions());
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(2));
+
+  NetworkMonitor::Options options;
+  options.inr = a->address();
+  options.poll_interval = Seconds(2);
+  options.forget_after = Seconds(8);
+  MonitorHarness mh(&cluster, 40, options);
+  mh.monitor->Start();
+  cluster.Settle(Seconds(1));
+  ASSERT_EQ(mh.monitor->resolvers().size(), 2u);
+  const uint64_t a_messages_before =
+      mh.monitor->resolvers().at(a->address()).snapshot.counters.at("inr.messages");
+
+  // Crash `b` with the monitor's next MetricsRequest IN FLIGHT: PollOnce
+  // fires the request, then the resolver dies before it can answer. The
+  // monitor must not treat the never-answered poll as contact — `b` ages out
+  // on schedule, and its stale counters leave the report instead of being
+  // presented as a live row forever.
+  const NodeAddress b_addr = b->address();
+  mh.monitor->PollOnce();
+  cluster.CrashInr(b);
+  cluster.loop().RunFor(Seconds(60));
+
+  ASSERT_EQ(mh.monitor->resolvers().size(), 1u);
+  EXPECT_TRUE(mh.monitor->resolvers().count(a->address()));
+  EXPECT_EQ(mh.monitor->resolvers().count(b_addr), 0u);
+  const std::string report = mh.monitor->Report();
+  EXPECT_NE(report.find("1 resolver(s)"), std::string::npos);
+  EXPECT_EQ(report.find(b_addr.ToString()), std::string::npos);
+  // The surviving resolver's row is live (still being re-polled), not a
+  // leftover of the last poll before the crash.
+  EXPECT_GT(mh.monitor->resolvers().at(a->address()).snapshot.counters.at("inr.messages"),
+            a_messages_before);
+  mh.monitor->Stop();
+}
+
 }  // namespace
 }  // namespace ins

@@ -1,0 +1,264 @@
+// Replicated vspaces (inr/replication.h replica mode): DSR-assigned replica
+// sets, primary-driven recruitment, cross-journaled client announcements,
+// and k-replica lookup availability — a dead replica is detected by digest
+// silence, reported to the DSR, and routed around within one keepalive
+// interval with zero names lost. Flag-off stays the seed's one-owner model.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ins/harness/cluster.h"
+#include "ins/name/parser.h"
+
+namespace ins {
+namespace {
+
+Advertisement MakeAd(const std::string& name_text, const NodeAddress& endpoint,
+                     const std::string& vspace, uint32_t discriminator = 0) {
+  Advertisement ad;
+  ad.vspace = vspace;
+  ad.name_text = name_text;
+  ad.announcer = AnnouncerId{endpoint.ip, 1000, discriminator};
+  ad.endpoint.address = endpoint;
+  ad.lifetime_s = 45;
+  ad.version = 1;
+  return ad;
+}
+
+Packet MakeData(const std::string& dst, Bytes payload) {
+  Packet p;
+  p.destination_name = dst;
+  p.payload = std::move(payload);
+  return p;
+}
+
+// Replica mode with test-speed timers: 1 s digests and a 1 s owner-cache
+// TTL put detection (2 missed digests) plus forwarder re-resolution well
+// inside one 5 s keepalive interval.
+ClusterOptions ReplicaOptions(int k = 2) {
+  ClusterOptions options;
+  auto& repl = options.inr_template.replication;
+  repl.enabled = true;
+  repl.replica_k = k;
+  repl.digest_interval = Seconds(1);
+  repl.replica_missed_digests = 2;
+  repl.owner_cache_ttl = Seconds(1);
+  options.inr_template.load_balancer.replica_interval = Seconds(2);
+  return options;
+}
+
+TEST(ReplicaFailoverTest, PrimaryRecruitsUpToKViaDsrCandidates) {
+  SimCluster cluster(ReplicaOptions(2));
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2, {""});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(3, {""});
+  cluster.StabilizeTopology();
+
+  // The maintenance tick asks the DSR for "ha"'s set, sees itself alone as
+  // primary, and invites one candidate; the recruit adopts the space and
+  // its next registration makes the membership visible DSR-wide.
+  cluster.loop().RunFor(Seconds(6));
+  std::vector<Inr*> replicas = cluster.ReplicasOf("ha");
+  ASSERT_EQ(replicas.size(), 2u);
+  EXPECT_EQ(replicas.front(), a);  // ReplicasOf returns handle order: a first
+  EXPECT_GE(a->metrics().Counter("replica.invites_sent"), 1u);
+  Inr* recruit = replicas.back();
+  EXPECT_EQ(recruit->metrics().Counter("replica.joined"), 1u);
+  EXPECT_EQ(cluster.dsr().ReplicaSetForVspace("ha").size(), 2u);
+  // The set is stable: no invite churn once k is met.
+  const uint64_t invites = a->metrics().Counter("replica.invites_sent");
+  cluster.loop().RunFor(Seconds(6));
+  EXPECT_EQ(a->metrics().Counter("replica.invites_sent"), invites);
+  EXPECT_EQ(cluster.ReplicasOf("ha").size(), 2u);
+}
+
+TEST(ReplicaFailoverTest, AnyReplicaAcceptsAnnouncementsAndCrossJournals) {
+  SimCluster cluster(ReplicaOptions(2));
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2, {""});
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(6));
+  std::vector<Inr*> replicas = cluster.ReplicasOf("ha");
+  ASSERT_EQ(replicas.size(), 2u);
+  Inr* secondary = replicas.back();
+  ASSERT_NE(secondary, a);
+
+  // One announcement to each member; the journals cross-replicate both ways.
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[vspace=ha][service=camera]", svc->address(), "ha", 0))});
+  svc->Send(secondary->address(),
+            Envelope{MessageBody(MakeAd("[vspace=ha][service=printer]", svc->address(), "ha", 1))});
+  cluster.loop().RunFor(Seconds(4));
+
+  const auto camera = *ParseNameSpecifier("[vspace=ha][service=camera]");
+  const auto printer = *ParseNameSpecifier("[vspace=ha][service=printer]");
+  for (Inr* replica : replicas) {
+    EXPECT_EQ(replica->vspaces().Tree("ha")->Lookup(camera).size(), 1u);
+    EXPECT_EQ(replica->vspaces().Tree("ha")->Lookup(printer).size(), 1u);
+  }
+  EXPECT_TRUE(cluster.CheckReplicationConvergence().empty())
+      << cluster.CheckReplicationConvergence();
+}
+
+TEST(ReplicaFailoverTest, SurvivorServesEveryNameWithinOneKeepaliveOfPrimaryDeath) {
+  SimCluster cluster(ReplicaOptions(2));
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2, {""});
+  cluster.loop().RunFor(Seconds(1));
+  Inr* c = cluster.AddInr(3, {""});
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(6));
+  std::vector<Inr*> replicas = cluster.ReplicasOf("ha");
+  ASSERT_EQ(replicas.size(), 2u);
+  Inr* secondary = replicas.back();
+  ASSERT_NE(secondary, a);
+  Inr* outsider = (secondary == c) ? cluster.ReplicasOf("").front() : c;
+  ASSERT_FALSE(outsider->vspaces().Routes("ha"));
+
+  // Five names, all announced through the primary.
+  auto svc = cluster.AddEndpoint(10);
+  for (uint32_t i = 0; i < 5; ++i) {
+    svc->Send(a->address(),
+              Envelope{MessageBody(MakeAd("[vspace=ha][service=cam][id=c" + std::to_string(i) + "]",
+                                          svc->address(), "ha", i))});
+  }
+  cluster.loop().RunFor(Seconds(4));
+  ASSERT_EQ(secondary->vspaces().Tree("ha")->record_count(), 5u);
+
+  // A lookup routed through the outsider works pre-kill.
+  auto user = cluster.AddEndpoint(20);
+  user->Send(outsider->address(),
+             Envelope{MessageBody(MakeData("[vspace=ha][service=cam][id=c0]", {1}))});
+  cluster.Settle(Seconds(1));
+  ASSERT_EQ(svc->ReceivedOf<Packet>().size(), 1u);
+
+  // Kill the primary silently. Within ONE keepalive interval (5 s): the
+  // survivor's digest detector fires (2 x 1 s), the DSR learns via the dead
+  // report, and the outsider's 1 s owner cache re-resolves to the survivor.
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(5));
+
+  // Zero names lost: the survivor still holds all five, including the ones
+  // it only knew via the dead primary (retention, not purge).
+  EXPECT_EQ(secondary->vspaces().Tree("ha")->record_count(), 5u);
+  EXPECT_GE(secondary->metrics().Counter("replica.peer_deaths"), 1u);
+  EXPECT_GE(cluster.dsr().metrics().Counter("dsr.dead_reports"), 1u);
+
+  // Goodput: every name keeps resolving through the outsider. Records on
+  // the survivor still carry route-via-primary; the forwarder serves them
+  // directly off the record's endpoint instead of tunneling into the dead
+  // node.
+  svc->ClearReceived();
+  for (uint32_t i = 0; i < 5; ++i) {
+    user->Send(outsider->address(),
+               Envelope{MessageBody(
+                   MakeData("[vspace=ha][service=cam][id=c" + std::to_string(i) + "]",
+                            {static_cast<uint8_t>(i)}))});
+    cluster.Settle(Seconds(1));
+  }
+  EXPECT_EQ(svc->ReceivedOf<Packet>().size(), 5u);
+  EXPECT_GE(secondary->metrics().Counter("availability.dead_replica_reroutes"), 1u);
+
+  // The set heals: the maintenance tick (now running on the promoted
+  // survivor, the set's new primary) recruits a replacement back to k=2.
+  cluster.loop().RunFor(Seconds(10));
+  EXPECT_EQ(cluster.ReplicasOf("ha").size(), 2u);
+  EXPECT_TRUE(cluster.CheckReplicationConvergence().empty())
+      << cluster.CheckReplicationConvergence();
+}
+
+TEST(ReplicaFailoverTest, NeighborDeathRetainsReplicatedRoutes) {
+  SimCluster cluster(ReplicaOptions(2));
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(2, {""});
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(6));
+  std::vector<Inr*> replicas = cluster.ReplicasOf("ha");
+  ASSERT_EQ(replicas.size(), 2u);
+  Inr* secondary = replicas.back();
+
+  // With two resolvers at k=2 EVERY routed space is co-replicated ("" too:
+  // its primary recruited a symmetrically), so both names below ride the
+  // journal stream to the secondary.
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[vspace=ha][service=cam]", svc->address(), "ha", 0))});
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[service=other]", svc->address(), "", 1))});
+  cluster.loop().RunFor(Seconds(4));
+  const auto cam = *ParseNameSpecifier("[vspace=ha][service=cam]");
+  const auto other = *ParseNameSpecifier("[service=other]");
+  ASSERT_EQ(secondary->vspaces().Tree("ha")->Lookup(cam).size(), 1u);
+  ASSERT_EQ(secondary->vspaces().Tree("")->Lookup(other).size(), 1u);
+
+  // The overlay keepalive detector declares a dead (3 x 5 s) long after the
+  // digest detector did: the keep-set spares co-replicated routes from the
+  // dead-neighbor purge, so the survivor loses nothing.
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(20));
+  EXPECT_EQ(secondary->vspaces().Tree("ha")->Lookup(cam).size(), 1u);
+  EXPECT_EQ(secondary->vspaces().Tree("")->Lookup(other).size(), 1u);
+  EXPECT_GE(secondary->metrics().Counter("replica.routes_retained"), 1u);
+}
+
+TEST(ReplicaFailoverTest, NeighborDeathStillPurgesWithoutReplicaMode) {
+  // Journaled replication on but k=1: no replica sets form, and the seed's
+  // purge of routes via a dead neighbor is unchanged.
+  ClusterOptions options;
+  options.inr_template.replication.enabled = true;  // replica_k stays 1
+  SimCluster cluster(options);
+  Inr* a = cluster.AddInr(1, {""});
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2, {""});
+  cluster.StabilizeTopology();
+
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(),
+            Envelope{MessageBody(MakeAd("[service=other]", svc->address(), "", 0))});
+  cluster.loop().RunFor(Seconds(4));
+  const auto other = *ParseNameSpecifier("[service=other]");
+  ASSERT_EQ(b->vspaces().Tree("")->Lookup(other).size(), 1u);
+
+  cluster.CrashInr(a);
+  cluster.loop().RunFor(Seconds(20));
+  EXPECT_EQ(b->vspaces().Tree("")->Lookup(other).size(), 0u);
+  EXPECT_EQ(b->metrics().Counter("replica.routes_retained"), 0u);
+}
+
+TEST(ReplicaFailoverTest, FlagOffKeepsSeedSingleOwnerBehavior) {
+  // replication.enabled=false (the default template): no maintenance ticks,
+  // no replica-set queries, no invites — the DSR answers the seed's
+  // single-owner DsrVspaceRequest path only.
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1, {"ha"});
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2, {""});
+  cluster.StabilizeTopology();
+  cluster.loop().RunFor(Seconds(15));
+
+  EXPECT_EQ(cluster.ReplicasOf("ha").size(), 1u);
+  EXPECT_EQ(a->metrics().Counter("replica.maintenance_ticks"), 0u);
+  EXPECT_EQ(a->metrics().Counter("replica.invites_sent"), 0u);
+  EXPECT_EQ(b->metrics().Counter("replica.joined"), 0u);
+  EXPECT_EQ(cluster.dsr().metrics().Counter("dsr.replica_set_requests"), 0u);
+
+  // replica_k is ignored without the master switch: byte-identical wiring.
+  ClusterOptions half;
+  half.inr_template.replication.replica_k = 3;  // enabled stays false
+  SimCluster cluster2(half);
+  Inr* c = cluster2.AddInr(1, {"ha"});
+  cluster2.StabilizeTopology();
+  cluster2.loop().RunFor(Seconds(15));
+  EXPECT_EQ(c->metrics().Counter("replica.maintenance_ticks"), 0u);
+  EXPECT_EQ(cluster2.dsr().metrics().Counter("dsr.replica_set_requests"), 0u);
+}
+
+}  // namespace
+}  // namespace ins

@@ -325,6 +325,27 @@ TEST(ReplicationTest, NonNeighborDigestsAreIgnored) {
   EXPECT_EQ(a->metrics().Counter("replication.delta_requests_sent"), 0u);
 }
 
+TEST(ReplicationTest, ForgetPeerDropsPeerGaugesEagerly) {
+  SimCluster cluster(ReplicatedOptions());
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  auto svc = cluster.AddEndpoint(10);
+  svc->Send(a->address(), Envelope{MessageBody(MakeAd("[service=camera]", svc->address()))});
+  cluster.loop().RunFor(Seconds(8));  // at least one digest round each way
+  ASSERT_GE(a->metrics().Gauge("replication.peers"), 1);
+  ASSERT_GE(a->metrics().Gauge("replication.peer_spaces"), 1);
+
+  // Graceful removal closes the overlay edge at once; ForgetPeer must drop
+  // the peer's lease from the gauges in the same instant — a dead neighbor
+  // may never trigger another digest round to lazily correct them.
+  cluster.RemoveInr(b);
+  cluster.Settle(Seconds(1));
+  EXPECT_EQ(a->metrics().Gauge("replication.peers"), 0);
+  EXPECT_EQ(a->metrics().Gauge("replication.peer_spaces"), 0);
+}
+
 TEST(ReplicationTest, FlagOffKeepsSeedBehaviour) {
   // The default config must journal nothing, send no digests, and keep the
   // periodic refresh path exactly as the seed suite pins it elsewhere.

@@ -266,6 +266,16 @@ std::vector<Bytes> EncodedSpecimens() {
   jresp.entries.push_back(std::move(tombstone));
   specimens.push_back(Encode(jresp));
 
+  specimens.push_back(Encode(DsrReplicaSetRequest{(1ull << 63) | 16, "cam"}));
+  DsrReplicaSetResponse rset;
+  rset.request_id = 16;
+  rset.vspace = "cam";
+  rset.replicas = {MakeAddress(1), MakeAddress(2)};
+  rset.candidates = {MakeAddress(3)};
+  specimens.push_back(Encode(rset));
+  specimens.push_back(Encode(ReplicaInvite{MakeAddress(1), "cam"}));
+  specimens.push_back(Encode(DsrDeadInrReport{MakeAddress(2), MakeAddress(1)}));
+
   // One specimen beyond the one-per-type set: a SAMPLED packet, whose
   // header carries the trace extension — the sweep must cover both layouts.
   Packet traced = p;
