@@ -1,0 +1,243 @@
+// Ablation — stage-latency attribution coverage and tracing overhead.
+//
+// The observability layer claims that the per-stage spans carved out of a
+// traced packet's journey PARTITION its end-to-end latency: ingress wait +
+// admission queue + lookup + next-hop selection + transport + delivery ≈
+// everything the client measured. If the stages leak time (events missing,
+// transitions unclassified), latency attribution silently under-reports and
+// an operator chasing a regression looks at the wrong stage.
+//
+// One cluster, one flood: 3 resolvers in a chain, a service behind the far
+// one, every packet traced (sample_every=1). Per delivered journey we take
+//   * e2e_us       — last event minus first event (what the client saw),
+//   * attributed_us — the sum of its classified stage spans,
+// and compare the distributions at p50/p99, plus the aggregate coverage
+// fraction over all journeys.
+//
+// Invariants (exit 1):
+//   * attributed p50 >= 90% of e2e p50,
+//   * attributed p99 >= 90% of e2e p99,
+//   * aggregate coverage fraction >= 0.9,
+//   * every delivered journey produced at least one transport span (the
+//     traffic is forced cross-resolver, so a journey without one means hop
+//     events were lost).
+//
+// The run is repeated with tracing off to report the virtual-traffic
+// wall-clock delta; the hard <= 5% gate on tracing overhead lives in CI's
+// figure-12 before/after smoke, where the comparison is against the merge
+// base rather than a same-process re-run.
+//
+// Writes a JSON report (argv[1], default bench_ablation_attribution.json):
+//   {"bench": "ablation_attribution", "journeys": N,
+//    "e2e_p50_us": ..., "e2e_p99_us": ..., "attributed_p50_us": ...,
+//    "attributed_p99_us": ..., "coverage": ..., "stage_share": {...},
+//    "untraced_wall_s": ..., "traced_wall_s": ...}
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support.h"
+#include "ins/client/api.h"
+#include "ins/harness/cluster.h"
+#include "ins/harness/trace_collector.h"
+#include "ins/name/parser.h"
+
+namespace {
+
+using namespace ins;
+
+constexpr int kPackets = 400;
+constexpr double kCoverageFloor = 0.9;
+
+NameSpecifier P(const char* text) {
+  auto r = ParseNameSpecifier(text);
+  if (!r.ok()) {
+    std::printf("bad name %s: %s\n", text, r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+uint64_t Percentile(std::vector<uint64_t> v, double p) {
+  if (v.empty()) {
+    return 0;
+  }
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+struct Run {
+  double wall_s = 0.0;
+  std::vector<uint64_t> e2e_us;         // per delivered journey
+  std::vector<uint64_t> attributed_us;  // same order
+  size_t journeys_without_transport = 0;
+  StageAttribution attribution;
+};
+
+Run RunFlood(uint64_t trace_sample_every) {
+  Run run;
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.loop().RunFor(Seconds(1));
+  cluster.AddInr(3);
+  cluster.StabilizeTopology();
+
+  auto make_client = [&](uint32_t host, NodeAddress inr, uint64_t sample) {
+    struct Client {
+      std::unique_ptr<sim::Network::Socket> socket;
+      std::unique_ptr<InsClient> client;
+    };
+    Client c;
+    c.socket = cluster.net().Bind(MakeAddress(host));
+    ClientConfig config;
+    config.inr = inr;
+    config.dsr = cluster.dsr_address();
+    config.trace_sample_every = sample;
+    c.client = std::make_unique<InsClient>(&cluster.loop(), c.socket.get(), config);
+    c.client->Start();
+    return c;
+  };
+
+  // Service behind `b`, sender attached to `a`: every packet takes at least
+  // one overlay hop, so the transport stage is always present.
+  auto service = make_client(30, b->address(), 0);
+  auto ad = service.client->Advertise(P("[service=camera]"));
+  cluster.loop().RunFor(Seconds(3));
+  auto user = make_client(20, a->address(), trace_sample_every);
+  cluster.Settle();
+  int received = 0;
+  service.client->OnData([&](const NameSpecifier&, const Bytes&) { ++received; });
+
+  run.wall_s = bench::WallSeconds([&] {
+    for (int i = 0; i < kPackets; ++i) {
+      if (!user.client->SendAnycast(P("[service=camera]"), {1}).ok()) {
+        std::printf("send %d failed\n", i);
+        std::exit(1);
+      }
+      cluster.loop().RunFor(Milliseconds(5));
+    }
+    cluster.Settle();
+  });
+  if (received < kPackets) {
+    std::printf("FAILED: only %d/%d packets delivered\n", received, kPackets);
+    std::exit(1);
+  }
+  if (trace_sample_every == 0) {
+    return run;  // overhead baseline: no journeys to collect
+  }
+
+  TraceCollector collector = cluster.CollectTraces();
+  run.attribution = collector.Attribution();
+  for (const PacketJourney& j : collector.Journeys()) {
+    if (!j.delivered()) {
+      continue;
+    }
+    uint64_t attributed = 0;
+    bool transport = false;
+    for (const PacketJourney::StageSpan& span : j.StageSpans()) {
+      attributed += static_cast<uint64_t>(span.span().count());
+      transport = transport || span.stage == LatencyStage::kTransport;
+    }
+    run.e2e_us.push_back(static_cast<uint64_t>(j.Elapsed().count()));
+    run.attributed_us.push_back(attributed);
+    if (!transport) {
+      ++run.journeys_without_transport;
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "bench_ablation_attribution.json";
+
+  std::printf("attribution ablation: %d cross-resolver packets, every one traced\n",
+              kPackets);
+  Run untraced = RunFlood(0);
+  Run traced = RunFlood(1);
+
+  const uint64_t e2e_p50 = Percentile(traced.e2e_us, 0.50);
+  const uint64_t e2e_p99 = Percentile(traced.e2e_us, 0.99);
+  const uint64_t att_p50 = Percentile(traced.attributed_us, 0.50);
+  const uint64_t att_p99 = Percentile(traced.attributed_us, 0.99);
+  const double coverage = traced.attribution.CoverageFraction();
+
+  std::printf("%-24s %10s %10s\n", "", "p50 us", "p99 us");
+  std::printf("%-24s %10llu %10llu\n", "end-to-end",
+              static_cast<unsigned long long>(e2e_p50),
+              static_cast<unsigned long long>(e2e_p99));
+  std::printf("%-24s %10llu %10llu\n", "sum of stage spans",
+              static_cast<unsigned long long>(att_p50),
+              static_cast<unsigned long long>(att_p99));
+  std::printf("coverage %.4f over %llu journeys; wall %.3fs untraced, %.3fs traced\n",
+              coverage, static_cast<unsigned long long>(traced.attribution.journeys),
+              untraced.wall_s, traced.wall_s);
+  std::printf("%s\n", traced.attribution.Table().c_str());
+
+  bool ok = true;
+  if (att_p50 < static_cast<uint64_t>(kCoverageFloor * static_cast<double>(e2e_p50))) {
+    std::printf("FAILED: attributed p50 %llu < 90%% of e2e p50 %llu\n",
+                static_cast<unsigned long long>(att_p50),
+                static_cast<unsigned long long>(e2e_p50));
+    ok = false;
+  }
+  if (att_p99 < static_cast<uint64_t>(kCoverageFloor * static_cast<double>(e2e_p99))) {
+    std::printf("FAILED: attributed p99 %llu < 90%% of e2e p99 %llu\n",
+                static_cast<unsigned long long>(att_p99),
+                static_cast<unsigned long long>(e2e_p99));
+    ok = false;
+  }
+  if (coverage < kCoverageFloor) {
+    std::printf("FAILED: aggregate coverage %.4f < %.2f\n", coverage, kCoverageFloor);
+    ok = false;
+  }
+  if (traced.journeys_without_transport > 0) {
+    std::printf("FAILED: %zu delivered journeys missing a transport span\n",
+                traced.journeys_without_transport);
+    ok = false;
+  }
+  if (!ok) {
+    return 1;
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::printf("cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"ablation_attribution\",\n");
+  std::fprintf(f, "  \"packets\": %d,\n  \"journeys\": %llu,\n", kPackets,
+               static_cast<unsigned long long>(traced.attribution.journeys));
+  std::fprintf(f, "  \"e2e_p50_us\": %llu,\n  \"e2e_p99_us\": %llu,\n",
+               static_cast<unsigned long long>(e2e_p50),
+               static_cast<unsigned long long>(e2e_p99));
+  std::fprintf(f, "  \"attributed_p50_us\": %llu,\n  \"attributed_p99_us\": %llu,\n",
+               static_cast<unsigned long long>(att_p50),
+               static_cast<unsigned long long>(att_p99));
+  std::fprintf(f, "  \"coverage\": %.4f,\n", coverage);
+  std::fprintf(f, "  \"stage_share\": {\n");
+  for (size_t s = 0; s < kLatencyStageCount; ++s) {
+    const uint64_t sum = traced.attribution.stage_us[s].sum();
+    const double share =
+        traced.attribution.attributed_total_us > 0
+            ? static_cast<double>(sum) /
+                  static_cast<double>(traced.attribution.attributed_total_us)
+            : 0.0;
+    std::fprintf(f, "    \"%s\": %.4f%s\n",
+                 std::string(LatencyStageName(static_cast<LatencyStage>(s))).c_str(),
+                 share, s + 1 < kLatencyStageCount ? "," : "");
+  }
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"untraced_wall_s\": %.4f,\n  \"traced_wall_s\": %.4f\n",
+               untraced.wall_s, traced.wall_s);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("report: %s\n", out_path.c_str());
+  return 0;
+}

@@ -26,6 +26,22 @@ uint64_t SnapshotCounter(const MetricsSnapshot& snapshot, const std::string& nam
   return it == snapshot.counters.end() ? 0 : it->second;
 }
 
+// Samples recorded above `threshold`, estimated from the log2 buckets: a
+// bucket entirely above the threshold counts in full, the straddling bucket
+// counts as within-target (conservative — burn is never overstated by more
+// than one bucket's width).
+uint64_t CountAbove(const Histogram& h, uint64_t threshold) {
+  uint64_t above = 0;
+  for (const auto& [index, count] : h.SparseBuckets()) {
+    if (Histogram::BucketLow(index) > threshold) {
+      above += count;
+    }
+  }
+  return above;
+}
+
+uint64_t ClampedDelta(uint64_t now, uint64_t then) { return now < then ? 0 : now - then; }
+
 }  // namespace
 
 NetworkMonitor::NetworkMonitor(Executor* executor, Transport* transport, Options options)
@@ -80,6 +96,15 @@ void NetworkMonitor::PollOnce() {
 }
 
 void NetworkMonitor::RequestSnapshot(const NodeAddress& resolver) {
+  if (options_.delta_polling) {
+    MetricsDeltaRequest req;
+    req.request_id = next_request_id_++;
+    req.reply_to = transport_->local_address();
+    auto it = resolvers_.find(resolver);
+    req.since_seq = it == resolvers_.end() ? 0 : it->second.last_seq;
+    transport_->Send(resolver, Encode(req));
+    return;
+  }
   MetricsRequest req;
   req.request_id = next_request_id_++;
   req.reply_to = transport_->local_address();
@@ -96,6 +121,8 @@ void NetworkMonitor::OnMessage(const NodeAddress& src, const Bytes& data) {
     HandleDiscoveryResponse(*disc);
   } else if (const auto* metrics = std::get_if<MetricsResponse>(&env->body)) {
     HandleMetricsResponse(*metrics);
+  } else if (const auto* delta = std::get_if<MetricsDeltaResponse>(&env->body)) {
+    HandleMetricsDeltaResponse(*delta);
   }
 }
 
@@ -109,10 +136,16 @@ void NetworkMonitor::HandleDiscoveryResponse(const DiscoveryResponse& resp) {
       ResolverStatus status;
       status.address = resolver;
       status.last_update = executor_->Now();
+      status.series = MetricsTimeSeries(options_.timeseries_capacity);
       resolvers_.emplace(resolver, std::move(status));
       RequestSnapshot(resolver);
     }
   }
+}
+
+void NetworkMonitor::CommitSnapshot(ResolverStatus& status) {
+  status.last_update = executor_->Now();
+  status.series.Append(status.snapshot, status.last_update);
 }
 
 void NetworkMonitor::HandleMetricsResponse(const MetricsResponse& resp) {
@@ -120,7 +153,28 @@ void NetworkMonitor::HandleMetricsResponse(const MetricsResponse& resp) {
   ResolverStatus& status = resolvers_[resp.inr];
   status.address = resp.inr;
   status.snapshot = SnapshotFromResponse(resp);
-  status.last_update = executor_->Now();
+  CommitSnapshot(status);
+}
+
+void NetworkMonitor::HandleMetricsDeltaResponse(const MetricsDeltaResponse& resp) {
+  ++snapshots_received_;
+  ResolverStatus& status = resolvers_[resp.inr];
+  status.address = resp.inr;
+  if (!resp.full && resp.since_seq != status.last_seq) {
+    // The delta chains onto a baseline we no longer hold (e.g. a reordered
+    // late answer). Applying it would silently mix epochs: drop it and start
+    // over with a full snapshot on the next poll.
+    status.last_seq = 0;
+    return;
+  }
+  if (resp.full) {
+    ++fulls_received_;
+  } else {
+    ++deltas_received_;
+  }
+  ApplyMetricsDelta(resp, status.snapshot);
+  status.last_seq = resp.seq;
+  CommitSnapshot(status);
 }
 
 void NetworkMonitor::ForgetStale() {
@@ -132,6 +186,81 @@ void NetworkMonitor::ForgetStale() {
       ++it;
     }
   }
+}
+
+SloBurn NetworkMonitor::LatencyBurn(const ResolverStatus& status) const {
+  SloBurn burn;
+  const SloConfig& slo = options_.slo;
+  if (!slo.enabled || slo.latency_budget <= 0.0) {
+    return burn;
+  }
+  const auto rate = [&](Duration window) {
+    const Histogram delta = status.series.HistogramDelta("forwarding.lookup_us", window);
+    if (delta.count() == 0) {
+      return 0.0;
+    }
+    const double bad = static_cast<double>(CountAbove(delta, slo.latency_target_us));
+    return bad / static_cast<double>(delta.count()) / slo.latency_budget;
+  };
+  burn.short_burn = rate(slo.short_window);
+  burn.long_burn = rate(slo.long_window);
+  burn.alerting =
+      burn.short_burn >= slo.burn_threshold && burn.long_burn >= slo.burn_threshold;
+  return burn;
+}
+
+SloBurn NetworkMonitor::GoodputBurn(const ResolverStatus& status) const {
+  SloBurn burn;
+  const SloConfig& slo = options_.slo;
+  if (!slo.enabled || slo.drop_budget <= 0.0) {
+    return burn;
+  }
+  const auto rate = [&](Duration window) {
+    const MetricsSample* newest = status.series.Newest();
+    if (newest == nullptr) {
+      return 0.0;
+    }
+    const MetricsSample* open = status.series.NewestAtOrBefore(newest->at - window);
+    if (open == nullptr) {
+      open = status.series.SampleAt(status.series.oldest_seq());
+    }
+    if (open == nullptr || open->seq == newest->seq) {
+      return 0.0;
+    }
+    // Clamped against counter regression: a resolver restart resets its
+    // registry, and a post-restart full snapshot may read below the baseline.
+    const uint64_t drops = ClampedDelta(SnapshotFamilyTotal(newest->snapshot, "forwarding.drop."),
+                                        SnapshotFamilyTotal(open->snapshot, "forwarding.drop."));
+    const uint64_t handled = ClampedDelta(SnapshotCounter(newest->snapshot, "forwarding.packets"),
+                                          SnapshotCounter(open->snapshot, "forwarding.packets"));
+    if (handled == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(drops) / static_cast<double>(handled) / slo.drop_budget;
+  };
+  burn.short_burn = rate(slo.short_window);
+  burn.long_burn = rate(slo.long_window);
+  burn.alerting =
+      burn.short_burn >= slo.burn_threshold && burn.long_burn >= slo.burn_threshold;
+  return burn;
+}
+
+std::vector<SloAlert> NetworkMonitor::ActiveAlerts() const {
+  std::vector<SloAlert> alerts;
+  if (!options_.slo.enabled) {
+    return alerts;
+  }
+  for (const auto& [addr, status] : resolvers_) {
+    const SloBurn latency = LatencyBurn(status);
+    if (latency.alerting) {
+      alerts.push_back({addr, "latency", latency.short_burn, latency.long_burn});
+    }
+    const SloBurn goodput = GoodputBurn(status);
+    if (goodput.alerting) {
+      alerts.push_back({addr, "goodput", goodput.short_burn, goodput.long_burn});
+    }
+  }
+  return alerts;
 }
 
 std::string NetworkMonitor::Report() const {
@@ -163,6 +292,22 @@ std::string NetworkMonitor::Report() const {
                   SnapshotCounter(s, "forwarding.local_deliveries"),
                   SnapshotFamilyTotal(s, "forwarding.drop."), p50, p99);
     os << line;
+  }
+  if (options_.slo.enabled) {
+    os << "SLO: latency<=" << options_.slo.latency_target_us
+       << "us budget=" << options_.slo.latency_budget
+       << " drop budget=" << options_.slo.drop_budget
+       << " burn threshold=" << options_.slo.burn_threshold << "\n";
+    for (const auto& [addr, status] : resolvers_) {
+      const SloBurn latency = LatencyBurn(status);
+      const SloBurn goodput = GoodputBurn(status);
+      std::snprintf(line, sizeof(line),
+                    "%-21s latency burn %6.2f/%6.2f%s  goodput burn %6.2f/%6.2f%s\n",
+                    addr.ToString().c_str(), latency.short_burn, latency.long_burn,
+                    latency.alerting ? " ALERT" : "", goodput.short_burn, goodput.long_burn,
+                    goodput.alerting ? " ALERT" : "");
+      os << line;
+    }
   }
   return os.str();
 }

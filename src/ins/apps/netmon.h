@@ -5,23 +5,63 @@
 // bootstrapped intentionally: resolvers running with NetmonConfig.advertise
 // announce [service=netmon][node=<addr>] into the namespace, the monitor
 // discovers them with one DiscoveryRequest against that filter, then polls
-// each with MetricsRequest and assembles the MetricsResponse snapshots into a
-// cluster-wide status report (key counters plus lookup-latency quantiles per
-// resolver). Resolver state here is soft like everything else: entries for
-// resolvers that stop answering are aged out after `forget_after`.
+// each incrementally (MetricsDeltaRequest: only the slots that changed since
+// the monitor's last-seen sequence come back; a gap or resolver restart
+// falls back to one full snapshot) and maintains a per-resolver time-series
+// of the reassembled snapshots. Resolver state here is soft like everything
+// else: entries for resolvers that stop answering are aged out after
+// `forget_after`.
+//
+// On top of the time-series the monitor evaluates service-level objectives
+// with multi-window burn rates (a short window to catch fast burns, a long
+// window to suppress blips; an objective alerts only when BOTH windows burn
+// error budget faster than `burn_threshold`).
 
 #ifndef INS_APPS_NETMON_H_
 #define INS_APPS_NETMON_H_
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "ins/common/executor.h"
 #include "ins/common/metrics.h"
+#include "ins/common/timeseries.h"
 #include "ins/common/transport.h"
 #include "ins/wire/messages.h"
 
 namespace ins {
+
+// Latency/goodput objectives evaluated over each resolver's metric
+// time-series. A burn rate of 1.0 means errors arrive exactly at the budget;
+// above `burn_threshold` in both windows, the objective alerts.
+struct SloConfig {
+  bool enabled = false;
+  // Latency objective: at most `latency_budget` of lookups may take longer
+  // than `latency_target_us`.
+  uint64_t latency_target_us = 1000;
+  double latency_budget = 0.01;
+  // Goodput objective: at most `drop_budget` of handled packets dropped
+  // (any forwarding.drop.* reason).
+  double drop_budget = 0.01;
+  Duration short_window = Seconds(30);
+  Duration long_window = Seconds(300);
+  double burn_threshold = 2.0;
+};
+
+// One objective's burn evaluation for one resolver.
+struct SloBurn {
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+  bool alerting = false;
+};
+
+struct SloAlert {
+  NodeAddress resolver;
+  std::string objective;  // "latency" or "goodput"
+  double short_burn = 0.0;
+  double long_burn = 0.0;
+};
 
 class NetworkMonitor {
  public:
@@ -32,12 +72,24 @@ class NetworkMonitor {
     // Drop a resolver from the report when it has not answered for this long
     // (it crashed, or its netmon advertisement expired).
     Duration forget_after = Seconds(30);
+    // Incremental polling (MetricsDeltaRequest). Off = the seed behaviour:
+    // every poll ships a full MetricsResponse snapshot.
+    bool delta_polling = true;
+    // Retained samples per resolver (the SLO windows must fit inside).
+    size_t timeseries_capacity = 64;
+    SloConfig slo;
   };
 
   struct ResolverStatus {
     NodeAddress address;
     MetricsSnapshot snapshot;
     TimePoint last_update{0};
+    // Sequence of the last delta sample applied (0 = next poll fetches a
+    // full snapshot). Reset whenever the resolver's answer does not chain
+    // onto our baseline — most notably after a resolver restart.
+    uint64_t last_seq = 0;
+    // Periodic snapshots; the SLO burn windows are evaluated against this.
+    MetricsTimeSeries series{64};
   };
 
   NetworkMonitor(Executor* executor, Transport* transport, Options options);
@@ -61,17 +113,32 @@ class NetworkMonitor {
   // The cluster-wide status table: one row per resolver with its key
   // counters (packets, lookups, deliveries, total drops) and lookup-latency
   // p50/p99 — the moral equivalent of the paper's NetworkManagement GUI.
+  // With SLOs enabled, burn rates and active alerts are appended.
   std::string Report() const;
+
+  // Objectives currently alerting (both burn windows above threshold).
+  // Empty when SLOs are disabled or every resolver is within budget.
+  std::vector<SloAlert> ActiveAlerts() const;
+
+  // Burn evaluation for one resolver (tests; Report uses it too).
+  SloBurn LatencyBurn(const ResolverStatus& status) const;
+  SloBurn GoodputBurn(const ResolverStatus& status) const;
 
   uint64_t polls_sent() const { return polls_sent_; }
   uint64_t snapshots_received() const { return snapshots_received_; }
+  uint64_t deltas_received() const { return deltas_received_; }
+  uint64_t fulls_received() const { return fulls_received_; }
 
  private:
   void OnMessage(const NodeAddress& src, const Bytes& data);
   void HandleDiscoveryResponse(const DiscoveryResponse& resp);
   void HandleMetricsResponse(const MetricsResponse& resp);
+  void HandleMetricsDeltaResponse(const MetricsDeltaResponse& resp);
   void RequestSnapshot(const NodeAddress& resolver);
   void ForgetStale();
+  // Shared tail of both response paths: stamps the status and appends the
+  // reassembled snapshot to the resolver's time-series.
+  void CommitSnapshot(ResolverStatus& status);
 
   Executor* executor_;
   Transport* transport_;
@@ -81,6 +148,8 @@ class NetworkMonitor {
   uint64_t next_request_id_ = 1;
   uint64_t polls_sent_ = 0;
   uint64_t snapshots_received_ = 0;
+  uint64_t deltas_received_ = 0;
+  uint64_t fulls_received_ = 0;
   std::map<NodeAddress, ResolverStatus> resolvers_;
 };
 

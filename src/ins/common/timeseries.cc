@@ -1,0 +1,167 @@
+#include "ins/common/timeseries.h"
+
+#include <algorithm>
+
+namespace ins {
+
+MetricsTimeSeries::MetricsTimeSeries(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t MetricsTimeSeries::Append(const MetricsSnapshot& snapshot, TimePoint at) {
+  MetricsSample& slot = ring_[appended_ % ring_.size()];
+  slot.seq = ++appended_;
+  slot.at = at;
+  slot.snapshot = snapshot;
+  return slot.seq;
+}
+
+size_t MetricsTimeSeries::size() const {
+  return appended_ < ring_.size() ? static_cast<size_t>(appended_) : ring_.size();
+}
+
+uint64_t MetricsTimeSeries::oldest_seq() const {
+  if (appended_ == 0) {
+    return 0;
+  }
+  return appended_ < ring_.size() ? 1 : appended_ - ring_.size() + 1;
+}
+
+uint64_t MetricsTimeSeries::evicted() const {
+  return appended_ > ring_.size() ? appended_ - ring_.size() : 0;
+}
+
+const MetricsSample* MetricsTimeSeries::SampleAt(uint64_t seq) const {
+  if (seq == 0 || seq > appended_ || seq < oldest_seq()) {
+    return nullptr;
+  }
+  return &ring_[(seq - 1) % ring_.size()];
+}
+
+const MetricsSample* MetricsTimeSeries::Newest() const { return SampleAt(appended_); }
+
+const MetricsSample* MetricsTimeSeries::NewestAtOrBefore(TimePoint at) const {
+  const MetricsSample* best = nullptr;
+  for (uint64_t seq = oldest_seq(); seq != 0 && seq <= appended_; ++seq) {
+    const MetricsSample* s = SampleAt(seq);
+    if (s == nullptr || s->at > at) {
+      break;  // samples are appended in time order
+    }
+    best = s;
+  }
+  return best;
+}
+
+const MetricsSample* MetricsTimeSeries::WindowOpen(Duration window) const {
+  const MetricsSample* newest = Newest();
+  if (newest == nullptr) {
+    return nullptr;
+  }
+  const MetricsSample* open = NewestAtOrBefore(newest->at - window);
+  if (open == nullptr) {
+    // The whole retained history is younger than the window: use the oldest
+    // sample we still have (graceful degradation during warm-up).
+    open = SampleAt(oldest_seq());
+  }
+  return open;
+}
+
+uint64_t MetricsTimeSeries::CounterDelta(const std::string& name, Duration window) const {
+  const MetricsSample* newest = Newest();
+  const MetricsSample* open = WindowOpen(window);
+  if (newest == nullptr || open == nullptr || open->seq == newest->seq) {
+    return 0;
+  }
+  auto now_it = newest->snapshot.counters.find(name);
+  const uint64_t now_v = now_it == newest->snapshot.counters.end() ? 0 : now_it->second;
+  auto then_it = open->snapshot.counters.find(name);
+  const uint64_t then_v = then_it == open->snapshot.counters.end() ? 0 : then_it->second;
+  return now_v > then_v ? now_v - then_v : 0;  // a reset between samples reads as 0
+}
+
+double MetricsTimeSeries::CounterRate(const std::string& name, Duration window) const {
+  const MetricsSample* newest = Newest();
+  const MetricsSample* open = WindowOpen(window);
+  if (newest == nullptr || open == nullptr || open->seq == newest->seq ||
+      newest->at <= open->at) {
+    return 0.0;
+  }
+  return static_cast<double>(CounterDelta(name, window)) / ToSeconds(newest->at - open->at);
+}
+
+MetricsTimeSeries::GaugeStats MetricsTimeSeries::GaugeOver(const std::string& name,
+                                                           Duration window) const {
+  GaugeStats stats;
+  const MetricsSample* newest = Newest();
+  if (newest == nullptr) {
+    return stats;
+  }
+  const TimePoint open_at = newest->at - window;
+  for (uint64_t seq = oldest_seq(); seq != 0 && seq <= appended_; ++seq) {
+    const MetricsSample* s = SampleAt(seq);
+    if (s == nullptr || s->at < open_at) {
+      continue;
+    }
+    auto it = s->snapshot.gauges.find(name);
+    if (it == s->snapshot.gauges.end()) {
+      continue;
+    }
+    if (stats.samples == 0) {
+      stats.min = stats.max = it->second;
+    } else {
+      stats.min = std::min(stats.min, it->second);
+      stats.max = std::max(stats.max, it->second);
+    }
+    stats.last = it->second;
+    ++stats.samples;
+  }
+  return stats;
+}
+
+Histogram MetricsTimeSeries::HistogramDelta(const std::string& name, Duration window) const {
+  const MetricsSample* newest = Newest();
+  const MetricsSample* open = WindowOpen(window);
+  if (newest == nullptr || open == nullptr || open->seq == newest->seq) {
+    return Histogram{};
+  }
+  auto now_it = newest->snapshot.histograms.find(name);
+  if (now_it == newest->snapshot.histograms.end()) {
+    return Histogram{};
+  }
+  auto then_it = open->snapshot.histograms.find(name);
+  if (then_it == open->snapshot.histograms.end()) {
+    return now_it->second;  // the whole histogram appeared inside the window
+  }
+  return HistogramIncrease(now_it->second, then_it->second);
+}
+
+void MetricsTimeSeries::Clear() {
+  for (MetricsSample& s : ring_) {
+    s = MetricsSample{};
+  }
+  appended_ = 0;
+}
+
+Histogram HistogramIncrease(const Histogram& now, const Histogram& then) {
+  std::vector<std::pair<uint8_t, uint64_t>> buckets;
+  uint64_t sum = 0;
+  uint64_t min = 0;
+  uint64_t max = 0;
+  bool any = false;
+  const auto& now_counts = now.bucket_counts();
+  const auto& then_counts = then.bucket_counts();
+  for (size_t b = 0; b < Histogram::kBucketCount; ++b) {
+    const uint64_t delta = now_counts[b] > then_counts[b] ? now_counts[b] - then_counts[b] : 0;
+    if (delta == 0) {
+      continue;
+    }
+    buckets.emplace_back(static_cast<uint8_t>(b), delta);
+    if (!any) {
+      min = Histogram::BucketLow(b);
+      any = true;
+    }
+    max = Histogram::BucketHigh(b);
+  }
+  sum = now.sum() > then.sum() ? now.sum() - then.sum() : 0;
+  return Histogram::FromParts(sum, min, max, buckets);
+}
+
+}  // namespace ins

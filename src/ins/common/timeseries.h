@@ -1,0 +1,101 @@
+// MetricsTimeSeries: a fixed-capacity ring of periodic registry snapshots.
+//
+// A single MetricsSnapshot is a point-in-time reading; rates ("lookups per
+// second"), derivatives, and windowed quantiles need history. Every node that
+// wants them keeps a MetricsTimeSeries and appends a snapshot on a periodic
+// cadence (the resolver appends one per metrics poll it answers; the netmon
+// app appends one per snapshot it receives). The ring has fixed capacity and
+// O(1) append in ring bookkeeping — an append overwrites the oldest sample in
+// place, it never grows or shifts storage.
+//
+// Samples are numbered by a monotonically increasing sequence. The sequence
+// is what the incremental metrics poll on the wire keys on: a client says
+// "changes since seq S", the resolver diffs its current registry against the
+// retained sample S — or falls back to a full snapshot when S fell off the
+// ring or belongs to a previous incarnation (wire/messages.h,
+// MetricsDeltaRequest/MetricsDeltaResponse).
+
+#ifndef INS_COMMON_TIMESERIES_H_
+#define INS_COMMON_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ins/common/clock.h"
+#include "ins/common/metrics.h"
+
+namespace ins {
+
+struct MetricsSample {
+  uint64_t seq = 0;  // 0 = never assigned; the first appended sample is 1
+  TimePoint at{0};
+  MetricsSnapshot snapshot;
+};
+
+class MetricsTimeSeries {
+ public:
+  explicit MetricsTimeSeries(size_t capacity = 64);
+
+  // Appends a sample taken now and returns its sequence number.
+  uint64_t Append(const MetricsSnapshot& snapshot, TimePoint at);
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const;
+  uint64_t newest_seq() const { return appended_; }
+  uint64_t oldest_seq() const;
+  uint64_t appended() const { return appended_; }
+  uint64_t evicted() const;
+
+  // The retained sample with sequence `seq`, or nullptr when it was never
+  // taken or has been overwritten.
+  const MetricsSample* SampleAt(uint64_t seq) const;
+  const MetricsSample* Newest() const;
+  // The newest retained sample taken at or before `at` (nullptr when the
+  // whole ring is newer).
+  const MetricsSample* NewestAtOrBefore(TimePoint at) const;
+
+  // --- Rate / derivative queries --------------------------------------------
+  // All windowed queries compare the newest sample against the newest sample
+  // at least `window` older (clamped to the oldest retained one), so they
+  // degrade gracefully while history is still filling.
+
+  // Counter increase per second over the window; 0 with fewer than 2 samples.
+  double CounterRate(const std::string& name, Duration window) const;
+  // Raw counter increase over the window.
+  uint64_t CounterDelta(const std::string& name, Duration window) const;
+
+  struct GaugeStats {
+    int64_t min = 0;
+    int64_t max = 0;
+    int64_t last = 0;
+    size_t samples = 0;  // 0 = the gauge was absent from every window sample
+  };
+  // Min/max/last of a gauge over every retained sample inside the window.
+  GaugeStats GaugeOver(const std::string& name, Duration window) const;
+
+  // The named histogram's increase over the window: bucket-wise difference
+  // between the newest and the window-opening sample (histogram counts are
+  // monotonic). An empty histogram when either end is missing the name.
+  Histogram HistogramDelta(const std::string& name, Duration window) const;
+
+  void Clear();
+
+ private:
+  // Oldest retained sample's ring index.
+  const MetricsSample* WindowOpen(Duration window) const;
+
+  std::vector<MetricsSample> ring_;
+  uint64_t appended_ = 0;
+};
+
+// Bucket-wise difference `now - then` of two cumulative histograms (counts
+// are monotonic between two snapshots of one registry). min/max of the delta
+// are unknowable from bucket counts alone and are clamped to the populated
+// bucket bounds, which is exactly what quantile interpolation needs.
+Histogram HistogramIncrease(const Histogram& now, const Histogram& then);
+
+}  // namespace ins
+
+#endif  // INS_COMMON_TIMESERIES_H_

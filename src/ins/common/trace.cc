@@ -22,11 +22,79 @@ std::string_view TraceEventKindName(TraceEventKind kind) {
   return "?";
 }
 
+std::string_view LatencyStageName(LatencyStage stage) {
+  switch (stage) {
+    case LatencyStage::kIngress:
+      return "ingress";
+    case LatencyStage::kAdmissionQueue:
+      return "admission_queue";
+    case LatencyStage::kLookup:
+      return "lookup";
+    case LatencyStage::kNextHopSelection:
+      return "next_hop";
+    case LatencyStage::kTransport:
+      return "transport";
+    case LatencyStage::kDelivery:
+      return "delivery";
+  }
+  return "?";
+}
+
+std::optional<LatencyStage> StageForTransition(TraceEventKind prev, TraceEventKind cur) {
+  switch (cur) {
+    case TraceEventKind::kQueued:
+      // Decode + classify between the datagram arriving and it being queued.
+      return LatencyStage::kIngress;
+    case TraceEventKind::kAdmitted:
+      // With admission enabled the predecessor is kQueued and the gap is time
+      // spent in the queues; inline admission goes kReceived -> kAdmitted and
+      // the (zero-width in the simulator) gap is still ingress work.
+      return prev == TraceEventKind::kQueued ? LatencyStage::kAdmissionQueue
+                                             : LatencyStage::kIngress;
+    case TraceEventKind::kLookup:
+      return LatencyStage::kLookup;
+    case TraceEventKind::kNextHopChosen:
+      // Post-resolution route selection — also the path of a packet tunneled
+      // toward its vspace owner without a local lookup.
+      return LatencyStage::kNextHopSelection;
+    case TraceEventKind::kReceived:
+      // The only way a journey re-enters kReceived is arrival on the next
+      // resolver: the gap is transport flight time.
+      return LatencyStage::kTransport;
+    case TraceEventKind::kDelivered:
+      return LatencyStage::kDelivery;
+    case TraceEventKind::kDropped:
+      return std::nullopt;  // a drop ends the journey; nothing to attribute
+  }
+  return std::nullopt;
+}
+
 TraceRing::TraceRing(size_t capacity) : ring_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::EnableStageAttribution(MetricsRegistry* registry) {
+  for (size_t s = 0; s < kLatencyStageCount; ++s) {
+    stage_us_[s] = registry->RegisterHistogram(
+        "latency.stage." + std::string(LatencyStageName(static_cast<LatencyStage>(s))));
+  }
+  stages_enabled_ = true;
+}
 
 void TraceRing::Record(const TraceEvent& event) {
   ring_[recorded_ % ring_.size()] = event;
   ++recorded_;
+  if (!stages_enabled_ || event.trace_id == 0) {
+    return;
+  }
+  TransitionSlot& slot = transitions_[event.trace_id % kTransitionSlots];
+  if (slot.trace_id == event.trace_id && event.at >= slot.at) {
+    if (auto stage = StageForTransition(slot.kind, event.kind); stage.has_value()) {
+      stage_us_[static_cast<size_t>(*stage)].Record(
+          static_cast<uint64_t>((event.at - slot.at).count()));
+    }
+  }
+  slot.trace_id = event.trace_id;
+  slot.at = event.at;
+  slot.kind = event.kind;
 }
 
 std::vector<TraceEvent> TraceRing::Events() const {
@@ -42,6 +110,7 @@ std::vector<TraceEvent> TraceRing::Events() const {
 
 void TraceRing::Clear() {
   recorded_ = 0;
+  transitions_.fill(TransitionSlot{});
 }
 
 }  // namespace ins

@@ -12,12 +12,15 @@
 #ifndef INS_COMMON_TRACE_H_
 #define INS_COMMON_TRACE_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "ins/common/clock.h"
+#include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
 
 namespace ins {
@@ -33,6 +36,29 @@ enum class TraceEventKind : uint8_t {
 };
 
 std::string_view TraceEventKindName(TraceEventKind kind);
+
+// The stages a traced packet's end-to-end latency decomposes into. Every gap
+// between two consecutive TraceEvents of one journey belongs to exactly one
+// stage (StageForTransition), so the per-stage spans of a journey sum to its
+// measured end-to-end latency — the reconciliation the attribution bench
+// gates on.
+enum class LatencyStage : uint8_t {
+  kIngress = 0,          // datagram decoded -> enqueued (or admitted inline)
+  kAdmissionQueue = 1,   // waiting in the admission queues
+  kLookup = 2,           // dispatch -> name-tree resolution done
+  kNextHopSelection = 3, // resolution -> next-hop tunnel send
+  kTransport = 4,        // in flight between resolvers (send -> next receive)
+  kDelivery = 5,         // resolution -> handed to the endpoint
+};
+inline constexpr size_t kLatencyStageCount = 6;
+
+std::string_view LatencyStageName(LatencyStage stage);
+
+// Classifies the gap that ENDS at an event of kind `cur` (the previous event
+// of the same journey had kind `prev`). Returns nullopt for gaps that are not
+// part of the latency decomposition (e.g. the span into a kDropped event, or
+// a duplicate-kind transition a multicast fan-out can produce).
+std::optional<LatencyStage> StageForTransition(TraceEventKind prev, TraceEventKind cur);
 
 struct TraceEvent {
   uint64_t trace_id = 0;
@@ -55,6 +81,17 @@ class TraceRing {
 
   void Record(const TraceEvent& event);
 
+  // Node-local stage attribution: once enabled, every recorded event whose
+  // predecessor (same trace id, same node) is still in the transition table
+  // also records the gap into the per-stage latency.stage.<name> histogram of
+  // `registry`. The table is a fixed-size open-addressed array — recording
+  // stays allocation-free; a colliding trace id evicts the older entry and
+  // that packet's next gap goes unattributed (it is a sampled diagnostic, not
+  // an exact count). The cross-node kTransport stage never resolves here (the
+  // receiving node has no local predecessor); the harness's TraceCollector
+  // attributes it from the merged journey.
+  void EnableStageAttribution(MetricsRegistry* registry);
+
   // The retained events, oldest first.
   std::vector<TraceEvent> Events() const;
 
@@ -66,8 +103,18 @@ class TraceRing {
   void Clear();
 
  private:
+  struct TransitionSlot {
+    uint64_t trace_id = 0;  // 0 = empty
+    TimePoint at{0};
+    TraceEventKind kind = TraceEventKind::kReceived;
+  };
+  static constexpr size_t kTransitionSlots = 64;
+
   std::vector<TraceEvent> ring_;
   uint64_t recorded_ = 0;
+  bool stages_enabled_ = false;
+  std::array<HistogramHandle, kLatencyStageCount> stage_us_;
+  std::array<TransitionSlot, kTransitionSlots> transitions_{};
 };
 
 }  // namespace ins

@@ -55,10 +55,14 @@ void SimCluster::RemoveInr(Inr* inr) {
   auto it = std::find_if(handles_.begin(), handles_.end(),
                          [inr](const std::unique_ptr<InrHandle>& h) { return h->inr.get() == inr; });
   assert(it != handles_.end());
-  // Harvest the ring before the node is destroyed: the last hop of a lost
-  // packet is often exactly the resolver that just died.
+  // Harvest the rings before the node is destroyed: the last hop of a lost
+  // packet is often exactly the resolver that just died, and its flight
+  // recorder holds what it saw on the way down.
   for (const TraceEvent& ev : inr->trace_ring().Events()) {
     retired_trace_events_.push_back(ev);
+  }
+  for (const FlightEvent& ev : inr->flight_recorder().Events()) {
+    retired_flight_events_.push_back(ev);
   }
   handles_.erase(it);
 }
@@ -235,22 +239,39 @@ TraceCollector SimCluster::CollectTraces() {
   return collector;
 }
 
+std::vector<FlightEvent> SimCluster::CollectFlightEvents() {
+  std::vector<FlightEvent> events = retired_flight_events_;
+  for (const std::unique_ptr<InrHandle>& h : handles_) {
+    for (const FlightEvent& ev : h->inr->flight_recorder().Events()) {
+      events.push_back(ev);
+    }
+  }
+  return MergeFlightEvents(std::move(events));
+}
+
 size_t SimCluster::DumpLostJourneys(const std::string& label) {
   TraceCollector collector = CollectTraces();
   const std::vector<PacketJourney> lost = collector.LostJourneys();
-  if (lost.empty()) {
-    return 0;
+  if (!lost.empty()) {
+    INS_LOG(kWarning) << label << ": " << lost.size() << " sampled packet(s) lost:\n"
+                      << TraceCollector::Text(lost);
   }
-  INS_LOG(kWarning) << label << ": " << lost.size() << " sampled packet(s) lost:\n"
-                    << TraceCollector::Text(lost);
+  // The flight timeline is dumped even when no sampled packet was lost: a
+  // reconvergence stall drops nothing but the incident record is still the
+  // primary diagnostic.
   const char* dir = std::getenv("INS_TRACE_DUMP_DIR");
   if (dir != nullptr && dir[0] != '\0') {
     const std::string base = std::string(dir) + "/" + label;
-    std::ofstream text(base + ".journeys.txt");
-    text << TraceCollector::Text(lost);
-    std::ofstream json(base + ".trace.json");
-    json << collector.ChromeTraceJson();
-    INS_LOG(kWarning) << label << ": journeys dumped to " << base << ".{journeys.txt,trace.json}";
+    if (!lost.empty()) {
+      std::ofstream text(base + ".journeys.txt");
+      text << TraceCollector::Text(lost);
+      std::ofstream json(base + ".trace.json");
+      json << collector.ChromeTraceJson();
+    }
+    std::ofstream timeline(base + ".incident.txt");
+    timeline << FlightTimelineText(CollectFlightEvents());
+    INS_LOG(kWarning) << label << ": forensics dumped to " << base
+                      << ".incident.txt";
   }
   return lost.size();
 }

@@ -160,10 +160,15 @@ class SimCluster {
   // events.
   TraceCollector CollectTraces();
 
+  // Merges every resolver's flight recorder (live and harvested) into one
+  // causally-ordered incident timeline.
+  std::vector<FlightEvent> CollectFlightEvents();
+
   // Failure forensics: renders the journeys of all sampled-but-undelivered
-  // packets. When the INS_TRACE_DUMP_DIR environment variable is set, also
-  // writes <label>.journeys.txt and <label>.trace.json there (the CI uploads
-  // them as artifacts). Returns the number of lost journeys.
+  // packets plus the merged flight-recorder incident timeline. When the
+  // INS_TRACE_DUMP_DIR environment variable is set, also writes
+  // <label>.journeys.txt, <label>.trace.json, and <label>.incident.txt there
+  // (the CI uploads them as artifacts). Returns the number of lost journeys.
   size_t DumpLostJourneys(const std::string& label);
 
   // Advances virtual time far enough for in-flight message exchanges to
@@ -198,6 +203,9 @@ class SimCluster {
   // Trace events of resolvers that left the cluster (crash or removal): a
   // lost packet's last hop is often exactly the node that died.
   std::vector<TraceEvent> retired_trace_events_;
+  // Flight-recorder events of departed resolvers — the incident timeline
+  // must include what the dead node saw before it died.
+  std::vector<FlightEvent> retired_flight_events_;
   MetricsRegistry metrics_;
 };
 

@@ -69,6 +69,23 @@ Duration PacketJourney::Elapsed() const {
   return events.back().at - events.front().at;
 }
 
+std::vector<PacketJourney::StageSpan> PacketJourney::StageSpans() const {
+  std::vector<StageSpan> spans;
+  for (size_t i = 1; i < events.size(); ++i) {
+    const auto stage = StageForTransition(events[i - 1].kind, events[i].kind);
+    if (!stage.has_value()) {
+      continue;
+    }
+    StageSpan span;
+    span.stage = *stage;
+    span.begin = events[i - 1].at;
+    span.end = events[i].at;
+    span.node = events[i].node;
+    spans.push_back(span);
+  }
+  return spans;
+}
+
 std::string PacketJourney::ToString() const {
   std::ostringstream os;
   os << "trace " << FormatTraceId(trace_id);
@@ -218,9 +235,71 @@ std::string TraceCollector::ChromeTraceJson() const {
       line += "}}";
       emit(line);
     }
+    // Stage spans as complete events: the instants above mark the hops, these
+    // show where the time went. Each span renders on the thread of the node
+    // it ended on (already registered above: the end event carries the node).
+    for (const PacketJourney::StageSpan& span : j.StageSpans()) {
+      auto it = tids.find(span.node.ToString());
+      if (it == tids.end()) {
+        continue;
+      }
+      std::string line = "{\"name\":\"stage:";
+      AppendJsonEscaped(line, LatencyStageName(span.stage));
+      line += "\",\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+              ",\"tid\":" + std::to_string(it->second) +
+              ",\"ts\":" + std::to_string(span.begin.count()) +
+              ",\"dur\":" + std::to_string(span.span().count()) + "}";
+      emit(line);
+    }
   }
   out += "\n]}\n";
   return out;
+}
+
+double StageAttribution::CoverageFraction() const {
+  if (elapsed_total_us == 0) {
+    return journeys > 0 ? 1.0 : 0.0;
+  }
+  return static_cast<double>(attributed_total_us) / static_cast<double>(elapsed_total_us);
+}
+
+std::string StageAttribution::Table() const {
+  std::ostringstream os;
+  os << "stage attribution over " << journeys << " journey(s): " << attributed_total_us
+     << " of " << elapsed_total_us << " us attributed\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-16s %8s %12s %7s %10s %10s\n", "stage", "spans",
+                "total_us", "share", "p50_us", "p99_us");
+  os << line;
+  for (size_t s = 0; s < kLatencyStageCount; ++s) {
+    const Histogram& h = stage_us[s];
+    const double share = elapsed_total_us == 0
+                             ? 0.0
+                             : static_cast<double>(h.sum()) / static_cast<double>(elapsed_total_us);
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %8" PRIu64 " %12" PRIu64 " %6.1f%% %10.0f %10.0f\n",
+                  std::string(LatencyStageName(static_cast<LatencyStage>(s))).c_str(),
+                  h.count(), h.sum(), share * 100.0, h.P50(), h.P99());
+    os << line;
+  }
+  return os.str();
+}
+
+StageAttribution TraceCollector::Attribution(bool delivered_only) const {
+  StageAttribution attr;
+  for (const PacketJourney& j : Journeys()) {
+    if (delivered_only && !j.delivered()) {
+      continue;
+    }
+    ++attr.journeys;
+    attr.elapsed_total_us += static_cast<uint64_t>(std::max<int64_t>(j.Elapsed().count(), 0));
+    for (const PacketJourney::StageSpan& span : j.StageSpans()) {
+      const uint64_t us = static_cast<uint64_t>(std::max<int64_t>(span.span().count(), 0));
+      attr.stage_us[static_cast<size_t>(span.stage)].Record(us);
+      attr.attributed_total_us += us;
+    }
+  }
+  return attr;
 }
 
 Histogram TraceCollector::DeliveryHistogram() const {

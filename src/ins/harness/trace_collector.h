@@ -12,6 +12,7 @@
 #ifndef INS_HARNESS_TRACE_COLLECTOR_H_
 #define INS_HARNESS_TRACE_COLLECTOR_H_
 
+#include <array>
 #include <map>
 #include <optional>
 #include <string>
@@ -35,7 +36,39 @@ struct PacketJourney {
   // delivered journey.
   Duration Elapsed() const;
 
+  // One pipeline stage the packet spent time in: the gap between two
+  // consecutive journey events, classified by the later event's kind
+  // (common/trace.h StageForTransition). `node` is where the stage ended —
+  // for kTransport that is the receiver of the hop.
+  struct StageSpan {
+    LatencyStage stage = LatencyStage::kIngress;
+    TimePoint begin{0};
+    TimePoint end{0};
+    NodeAddress node;
+
+    Duration span() const { return end - begin; }
+  };
+  // The journey's stage breakdown, in time order. Gaps with no stage mapping
+  // (a gap ending in kDropped) are omitted; for a delivered journey the spans
+  // partition [first event, last event] exactly, so their sum reconciles
+  // against Elapsed().
+  std::vector<StageSpan> StageSpans() const;
+
   std::string ToString() const;
+};
+
+// Aggregated per-stage latency attribution over a set of journeys.
+struct StageAttribution {
+  std::array<Histogram, kLatencyStageCount> stage_us;  // one sample per span
+  uint64_t journeys = 0;
+  uint64_t attributed_total_us = 0;  // sum of every classified span
+  uint64_t elapsed_total_us = 0;     // sum of Elapsed() over the journeys
+
+  // attributed / elapsed: how much measured end-to-end latency the stage
+  // spans account for (1.0 when every gap classified).
+  double CoverageFraction() const;
+  // Per-stage table: count, total, share of end-to-end, p50/p99.
+  std::string Table() const;
 };
 
 class TraceCollector {
@@ -60,12 +93,19 @@ class TraceCollector {
   static std::string Text(const std::vector<PacketJourney>& journeys);
 
   // Chrome trace-event JSON ({"traceEvents": [...]}): one process per
-  // journey, one thread per resolver, instant events per hop. Loadable in
-  // chrome://tracing or Perfetto as-is.
+  // journey, one thread per resolver, instant events per hop PLUS one
+  // complete ("ph":"X") span per classified stage, so the timeline shows
+  // where each packet's latency went. Loadable in chrome://tracing or
+  // Perfetto as-is.
   std::string ChromeTraceJson() const;
 
   // End-to-end delivery time (µs) of every delivered journey.
   Histogram DeliveryHistogram() const;
+
+  // Per-stage latency attribution aggregated over journeys (delivered ones
+  // by default: only they have a meaningful end-to-end latency to reconcile
+  // the stage sum against).
+  StageAttribution Attribution(bool delivered_only = true) const;
 
   size_t event_count() const { return event_count_; }
   void Clear();

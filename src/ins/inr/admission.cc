@@ -101,6 +101,14 @@ void AdmissionController::Shed(int cls, const char* signal, const Envelope& env)
   shed_[cls].Increment();
   (*signal == 'q' ? shed_queue_full_ : shed_lag_).Increment();
   Trace(env, TraceEventKind::kDropped, kShedReason[cls]);
+  if (!shedding_) {
+    shedding_ = true;
+    if (flight_ != nullptr) {
+      flight_->Record(executor_->Now(), FlightEventKind::kShedOnset,
+                      FlightSeverity::kWarning, kShedReason[cls], {},
+                      static_cast<uint64_t>(std::max<int64_t>(LoadSignal().count(), 0)));
+    }
+  }
 }
 
 void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
@@ -129,6 +137,14 @@ void AdmissionController::Admit(const NodeAddress& src, Envelope env) {
     return;
   }
 
+  if (shedding_ && cls > 0) {
+    // A sheddable message made it through: the overload episode is over.
+    shedding_ = false;
+    if (flight_ != nullptr) {
+      flight_->Record(executor_->Now(), FlightEventKind::kShedClear, FlightSeverity::kInfo,
+                      "", {}, static_cast<uint64_t>(std::max<int64_t>(load.count(), 0)));
+    }
+  }
   admitted_[idx].Increment();
   Trace(env, TraceEventKind::kQueued, "", queues_[idx].size() + 1);
   queues_[idx].push_back(Pending{src, std::move(env), executor_->Now()});
@@ -196,6 +212,7 @@ void AdmissionController::Clear() {
   }
   busy_until_ = TimePoint{};
   lag_ewma_ = Duration{0};
+  shedding_ = false;
 }
 
 }  // namespace ins

@@ -39,6 +39,7 @@
 #include <functional>
 
 #include "ins/common/executor.h"
+#include "ins/common/flight_recorder.h"
 #include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
 #include "ins/common/trace.h"
@@ -87,6 +88,10 @@ class AdmissionController {
   // Drops everything queued and cancels the drain timer (stop/crash path).
   void Clear();
 
+  // When set, shedding edges (first shed of an overload episode, first
+  // successful sheddable admit after it) land in the node's flight recorder.
+  void AttachFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
+
   // The current load signal: max(smoothed drain lag, estimated wait of a
   // message admitted right now). Exposed for tests and DebugString.
   Duration LoadSignal() const;
@@ -114,6 +119,10 @@ class AdmissionController {
   DispatchFn dispatch_;
   TraceRing* trace_;
   NodeAddress self_;
+  FlightRecorder* flight_ = nullptr;
+  // True between a shed and the next successful sheddable (class>0) admit;
+  // the edges of this bit are the recorded events, not every shed.
+  bool shedding_ = false;
 
   // Pre-registered handles: admission sits on the ingress path of every
   // message, so its accounting must not do string-map lookups per packet.

@@ -13,9 +13,15 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
       transport_(transport),
       config_(std::move(config)),
       trace_ring_(config_.trace_ring_capacity),
+      flight_(config_.flight_recorder_capacity),
+      timeseries_(config_.metrics_timeseries_capacity),
       log_tag_(transport->local_address().ToString()),
       messages_(metrics_.RegisterCounter("inr.messages")),
       bytes_received_(metrics_.RegisterCounter("inr.bytes_received")) {
+  // Per-stage latency attribution: sampled packets crossing this node leave
+  // their stage spans in latency.stage.* histograms.
+  trace_ring_.EnableStageAttribution(&metrics_);
+  flight_.set_node(transport->local_address());
   if (!config_.topology.dsr.IsValid()) {
     config_.topology.dsr = config_.dsr;
   }
@@ -75,6 +81,9 @@ Inr::Inr(Executor* executor, Transport* transport, InrConfig config)
         DispatchEnvelope(src, env, queued);
       },
       &trace_ring_, address());
+  topology_->AttachFlightRecorder(&flight_);
+  replication_->AttachFlightRecorder(&flight_);
+  admission_->AttachFlightRecorder(&flight_);
 
   for (const std::string& vspace : config_.vspaces) {
     vspaces_->AddSpace(vspace);
@@ -141,6 +150,7 @@ void Inr::Start() {
   if (config_.admission.enabled && config_.pacer_feedback_interval.count() > 0) {
     PacerFeedbackTick();
   }
+  flight_.Record(executor_->Now(), FlightEventKind::kInrStart, FlightSeverity::kInfo);
   INS_LOG(kDebug) << "INR " << address().ToString() << " started";
 }
 
@@ -168,6 +178,7 @@ void Inr::Stop() {
   reg.active = true;
   reg.lifetime_s = 0;
   transport_->Send(config_.dsr, Encode(reg));
+  flight_.Record(executor_->Now(), FlightEventKind::kInrStop, FlightSeverity::kInfo);
   INS_LOG(kDebug) << "INR " << address().ToString() << " stopped";
 }
 
@@ -189,6 +200,7 @@ void Inr::Crash() {
   replication_->Stop();
   discovery_->Stop();
   topology_->CrashStop();
+  flight_.Record(executor_->Now(), FlightEventKind::kInrCrash, FlightSeverity::kCritical);
   INS_LOG(kDebug) << "INR " << address().ToString() << " crashed (injected)";
 }
 
@@ -253,6 +265,8 @@ void Inr::DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration
     HandleDiscoveryRequest(src, *disc);
   } else if (auto* mreq = std::get_if<MetricsRequest>(&env.body)) {
     HandleMetricsRequest(src, *mreq);
+  } else if (auto* dmreq = std::get_if<MetricsDeltaRequest>(&env.body)) {
+    HandleMetricsDeltaRequest(src, *dmreq);
   } else if (auto* ping = std::get_if<Ping>(&env.body)) {
     topology_->NoteNeighborAlive(src);
     transport_->Send(src, Encode(PingAgent::PongFor(*ping)));
@@ -424,6 +438,33 @@ void Inr::HandleMetricsRequest(const NodeAddress& src, const MetricsRequest& req
                    Encode(BuildMetricsResponse(req.request_id, address(), metrics_.Snapshot())));
 }
 
+void Inr::HandleMetricsDeltaRequest(const NodeAddress& src, const MetricsDeltaRequest& req) {
+  metrics_.Increment("inr.metrics_requests");
+  metrics_.Increment("timeseries.samples");
+  RefreshInventoryGauges();
+  const NodeAddress reply_to = req.reply_to.IsValid() ? req.reply_to : src;
+  // Each poll appends one sample; the sample's sequence number is the
+  // client's next baseline. A client whose baseline fell out of the retained
+  // window — or references a previous incarnation of this resolver — gets a
+  // full snapshot and starts over.
+  const MetricsSnapshot now = metrics_.Snapshot();
+  // Copy the baseline out of the ring before Append: the new sample may land
+  // in (and overwrite) the very slot the baseline occupies.
+  const MetricsSample* retained =
+      req.since_seq == 0 ? nullptr : timeseries_.SampleAt(req.since_seq);
+  const bool have_baseline = retained != nullptr;
+  const MetricsSnapshot baseline = have_baseline ? retained->snapshot : MetricsSnapshot{};
+  const uint64_t seq = timeseries_.Append(now, executor_->Now());
+  if (!have_baseline) {
+    metrics_.Increment("timeseries.full_served");
+    transport_->Send(reply_to, Encode(BuildMetricsFull(req.request_id, address(), seq, now)));
+    return;
+  }
+  metrics_.Increment("timeseries.delta_served");
+  transport_->Send(reply_to, Encode(BuildMetricsDelta(req.request_id, address(), seq,
+                                                      req.since_seq, baseline, now)));
+}
+
 void Inr::AdvertiseNetmon() {
   Advertisement ad;
   ad.vspace = config_.netmon.vspace;
@@ -444,7 +485,21 @@ void Inr::AdvertiseNetmon() {
 }
 
 void Inr::PacerFeedbackTick() {
-  transport_->OnLoadSignal(admission_->LoadSignal());
+  const Duration signal = admission_->LoadSignal();
+  transport_->OnLoadSignal(signal);
+  // Flight-record the edges of the pacer feedback loop. The knee mirrors
+  // PacerConfig::load_floor's default: below it the pacer runs at full rate.
+  static constexpr Duration kBackoffKnee = Milliseconds(5);
+  if (!pacer_backing_off_ && signal >= kBackoffKnee) {
+    pacer_backing_off_ = true;
+    flight_.Record(executor_->Now(), FlightEventKind::kPacerBackoff,
+                   FlightSeverity::kWarning, "", {},
+                   static_cast<uint64_t>(signal.count()));
+  } else if (pacer_backing_off_ && signal < kBackoffKnee) {
+    pacer_backing_off_ = false;
+    flight_.Record(executor_->Now(), FlightEventKind::kPacerRelease, FlightSeverity::kInfo,
+                   "", {}, static_cast<uint64_t>(signal.count()));
+  }
   pacer_task_ = executor_->ScheduleAfter(config_.pacer_feedback_interval, [this] {
     pacer_task_ = kInvalidTaskId;
     if (running_) {

@@ -20,7 +20,9 @@
 #include <vector>
 
 #include "ins/common/executor.h"
+#include "ins/common/flight_recorder.h"
 #include "ins/common/metrics.h"
+#include "ins/common/timeseries.h"
 #include "ins/common/trace.h"
 #include "ins/common/transport.h"
 #include "ins/common/worker_pool.h"
@@ -78,6 +80,14 @@ struct InrConfig {
   // Capacity of the per-node trace-event ring (entries, not bytes). Sampled
   // packets append events here; the harness merges rings into journeys.
   size_t trace_ring_capacity = 1024;
+  // Capacity of the always-on flight recorder (system events: shed on/off,
+  // replica death, overlay edge churn, restarts). Same overwrite-oldest
+  // discipline as the trace ring.
+  size_t flight_recorder_capacity = 256;
+  // Retained metrics samples for incremental (delta) metrics polling. Each
+  // MetricsDeltaRequest appends one snapshot; a client whose baseline fell
+  // out of this window gets a full snapshot again.
+  size_t metrics_timeseries_capacity = 64;
   NetmonConfig netmon;
 };
 
@@ -115,6 +125,10 @@ class Inr {
   const MetricsRegistry& metrics() const { return metrics_; }
   TraceRing& trace_ring() { return trace_ring_; }
   const TraceRing& trace_ring() const { return trace_ring_; }
+  FlightRecorder& flight_recorder() { return flight_; }
+  const FlightRecorder& flight_recorder() const { return flight_; }
+  MetricsTimeSeries& timeseries() { return timeseries_; }
+  const MetricsTimeSeries& timeseries() const { return timeseries_; }
 
   // Renders the resolver's state (name-trees, neighbors, counters) — the
   // moral equivalent of the paper's NetworkManagement GUI.
@@ -128,6 +142,7 @@ class Inr {
   void DispatchEnvelope(const NodeAddress& src, const Envelope& env, Duration queued);
   void HandleDiscoveryRequest(const NodeAddress& src, const DiscoveryRequest& req);
   void HandleMetricsRequest(const NodeAddress& src, const MetricsRequest& req);
+  void HandleMetricsDeltaRequest(const NodeAddress& src, const MetricsDeltaRequest& req);
   // Updates the inventory gauges (inr.names / inr.neighbors / inr.vspaces)
   // that only need to be current when a snapshot leaves the node.
   void RefreshInventoryGauges();
@@ -142,6 +157,11 @@ class Inr {
   InrConfig config_;
   MetricsRegistry metrics_;
   TraceRing trace_ring_;
+  FlightRecorder flight_;
+  MetricsTimeSeries timeseries_;
+  // Whether the pacer-feedback loop last reported a load signal above the
+  // backoff knee; edges of this bit become flight-recorder events.
+  bool pacer_backing_off_ = false;
   // Cached address().ToString(): the log-context tag installed around every
   // message this resolver handles.
   std::string log_tag_;

@@ -203,6 +203,10 @@ void ReplicationAgent::DeclareReplicaDead(const NodeAddress& peer) {
   }
   INS_LOG(kDebug) << "replication: " << self_.ToString() << " declares replica peer "
                   << peer.ToString() << " dead";
+  if (flight_ != nullptr) {
+    flight_->Record(executor_->Now(), FlightEventKind::kReplicaDead,
+                    FlightSeverity::kCritical, "digest-silence", peer);
+  }
   // Steer this resolver's own forwarding away immediately; records via the
   // peer are deliberately RETAINED (survivors keep serving them — delivery
   // goes straight to the record's endpoint while the peer is believed dead).
@@ -320,7 +324,10 @@ void ReplicationAgent::HandleDigest(const NodeAddress& src, const JournalDigest&
     // pardon, if this resolver had already written the sender off.
     replica_last_heard_[digest.from] = executor_->Now();
     vspaces_->NoteReplicaAlive(digest.from);
-    dead_peer_spaces_.erase(digest.from);
+    if (dead_peer_spaces_.erase(digest.from) > 0 && flight_ != nullptr) {
+      flight_->Record(executor_->Now(), FlightEventKind::kReplicaAlive,
+                      FlightSeverity::kInfo, "digest-resumed", digest.from);
+    }
   }
   metrics_->Increment("replication.digests_received");
   const size_t peers_before = peers_.size();
@@ -357,6 +364,10 @@ void ReplicationAgent::HandleDigest(const NodeAddress& src, const JournalDigest&
 
 void ReplicationAgent::StartTransfer(const NodeAddress& peer, const std::string& vspace,
                                      PeerSpace& ps, bool full) {
+  if (full && flight_ != nullptr) {
+    flight_->Record(executor_->Now(), FlightEventKind::kSnapshotFallback,
+                    FlightSeverity::kWarning, "serial-reset", peer);
+  }
   ps.awaiting = true;
   ps.full = full;
   ps.next_seq = 0;

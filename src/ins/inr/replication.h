@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "ins/common/executor.h"
+#include "ins/common/flight_recorder.h"
 #include "ins/common/metrics.h"
 #include "ins/inr/name_discovery.h"
 #include "ins/inr/vspace.h"
@@ -103,6 +104,10 @@ class ReplicationAgent {
   void HandleDigest(const NodeAddress& src, const JournalDigest& digest);
   void HandleDeltaRequest(const NodeAddress& src, const JournalDeltaRequest& req);
   void HandleDeltaResponse(const NodeAddress& src, const JournalDeltaResponse& resp);
+
+  // When set, replica deaths/pardons and snapshot fallbacks land in the
+  // node's flight recorder.
+  void AttachFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
 
   // Drops every per-(peer, vspace) cursor for `peer` (overlay edge died).
   // The state its records carried is purged by NameDiscovery::PurgeRoutesVia;
@@ -194,6 +199,7 @@ class ReplicationAgent {
   TopologyManager* topology_;
   NameDiscovery* discovery_;
   MetricsRegistry* metrics_;
+  FlightRecorder* flight_ = nullptr;
   ReplicationConfig config_;
 
   bool running_ = false;

@@ -194,7 +194,14 @@ void TopologyManager::StartJoinProbe(const DsrListResponse& resp) {
     candidates.push_back(a);
   }
   if (candidates.empty()) {
-    // Nobody joined before us: we are (or remain) the tree root.
+    // Nobody joined before us: we are (or remain) the tree root. Withdraw
+    // any outstanding parent request — a stale requested_parent_ would both
+    // leak a half-open edge on the other side and permanently shield that
+    // peer from NoteTreeEdgeTraffic's repair path.
+    if (requested_parent_.IsValid() && neighbors_.count(requested_parent_) == 0) {
+      send_(requested_parent_, Envelope{MessageBody(PeerClose{self_})});
+    }
+    requested_parent_ = kInvalidAddress;
     if (!joined_) {
       joined_ = true;
       join_backoff_.Reset();
@@ -266,6 +273,10 @@ void TopologyManager::OnParentLost() {
   joined_ = false;
   join_backoff_.Reset();
   metrics_->Increment("topology.rejoins");
+  if (flight_ != nullptr) {
+    flight_->Record(executor_->Now(), FlightEventKind::kParentLost,
+                    FlightSeverity::kWarning, "rejoining");
+  }
   RequestActiveList();
   ScheduleWatchdog(join_backoff_.Next());
 }
@@ -285,6 +296,23 @@ void TopologyManager::AdoptParent(const NodeAddress& parent) {
 
 void TopologyManager::HandlePeerRequest(const NodeAddress& src, const PeerRequest& req) {
   (void)src;
+  // A fresh PeerRequest over an edge we think already exists means the
+  // requester no longer holds its side: it crashed and restarted on the same
+  // address before our keepalives noticed, or its accept never reached us on
+  // a previous attempt. Re-adding in place would keep the stale link state —
+  // most dangerously a parent role now pointing at what is about to become
+  // our child (the restarted node chose US as parent), and would skip
+  // on_neighbor_up, leaving the restarted node without the full-state push
+  // its empty name tree depends on. Reset the edge so the add below runs the
+  // complete new-neighbor path, and re-join if the stale edge was our parent.
+  if (auto it = neighbors_.find(req.requester); it != neighbors_.end()) {
+    const bool was_parent = it->second.is_parent;
+    metrics_->Increment("topology.edge_resets");
+    RemoveNeighbor(req.requester, /*notify_peer=*/false);
+    if (was_parent && started_) {
+      OnParentLost();
+    }
+  }
   AddNeighbor(req.requester, /*is_parent=*/false);
   send_(req.requester, Envelope{MessageBody(PeerAccept{self_})});
 }
@@ -314,6 +342,13 @@ void TopologyManager::HandlePeerAccept(const NodeAddress& src, const PeerAccept&
   }
   order_lapsed_ = false;
   AddNeighbor(acc.accepter, /*is_parent=*/true);
+  // Handshake complete: the edge is in neighbors_, which now covers the
+  // forming-edge race in NoteTreeEdgeTraffic. Keeping requested_parent_ set
+  // past this point is dangerous — if a later keepalive timeout removes this
+  // peer while we are root, its PeerKeepalives would hit the forming-edge
+  // shield forever and the half-open repair (PeerClose) would never fire,
+  // leaving the peer with a permanent stale parent edge.
+  requested_parent_ = kInvalidAddress;
   if (!joined_) {
     joined_ = true;
     metrics_->Increment("topology.joined");
@@ -347,6 +382,10 @@ void TopologyManager::AddNeighbor(const NodeAddress& addr, bool is_parent) {
   if (inserted) {
     metrics_->Increment("topology.neighbors_added");
     metrics_->SetGauge("topology.neighbors", static_cast<int64_t>(neighbors_.size()));
+    if (flight_ != nullptr) {
+      flight_->Record(executor_->Now(), FlightEventKind::kEdgeRepair, FlightSeverity::kInfo,
+                      is_parent ? "parent" : "child", addr);
+    }
     if (on_neighbor_up) {
       on_neighbor_up(addr);
     }
@@ -364,6 +403,10 @@ void TopologyManager::RemoveNeighbor(const NodeAddress& addr, bool notify_peer) 
   }
   metrics_->Increment("topology.neighbors_removed");
   metrics_->SetGauge("topology.neighbors", static_cast<int64_t>(neighbors_.size()));
+  if (flight_ != nullptr) {
+    flight_->Record(executor_->Now(), FlightEventKind::kEdgeDown, FlightSeverity::kWarning,
+                    notify_peer ? "closed" : "detected", addr);
+  }
   if (on_neighbor_down) {
     on_neighbor_down(addr);
   }

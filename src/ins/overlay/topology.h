@@ -43,6 +43,7 @@
 
 #include "ins/common/backoff.h"
 #include "ins/common/executor.h"
+#include "ins/common/flight_recorder.h"
 #include "ins/common/metrics.h"
 #include "ins/common/node_address.h"
 #include "ins/common/rng.h"
@@ -130,6 +131,10 @@ class TopologyManager {
   std::function<void(const NodeAddress&)> on_neighbor_up;
   std::function<void(const NodeAddress&)> on_neighbor_down;
 
+  // When set, overlay edge churn (edge up/down, parent loss) lands in the
+  // node's flight recorder.
+  void AttachFlightRecorder(FlightRecorder* flight) { flight_ = flight; }
+
  private:
   void RegisterWithDsr();
   void RequestActiveList();
@@ -163,6 +168,7 @@ class TopologyManager {
   NodeAddress self_;
   TopologyConfig config_;
   MetricsRegistry* metrics_;
+  FlightRecorder* flight_ = nullptr;
   Rng rng_;
   Backoff join_backoff_;
 

@@ -646,6 +646,118 @@ Result<MetricsResponse> DecodeMetricsResponse(ByteReader& r) {
   return m;
 }
 
+void EncodeBody(ByteWriter& w, const MetricsDeltaRequest& m) {
+  w.WriteU64(m.request_id);
+  WriteAddress(w, m.reply_to);
+  w.WriteU64(m.since_seq);
+}
+
+Result<MetricsDeltaRequest> DecodeMetricsDeltaRequest(ByteReader& r) {
+  MetricsDeltaRequest m;
+  INS_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(m.reply_to, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(m.since_seq, r.ReadU64());
+  return m;
+}
+
+// The item sections reuse the MetricsResponse wire layout exactly; only the
+// delta framing (seq, since_seq, full) precedes them.
+void EncodeMetricsItems(ByteWriter& w,
+                        const std::vector<MetricsResponse::CounterItem>& counters,
+                        const std::vector<MetricsResponse::GaugeItem>& gauges,
+                        const std::vector<MetricsResponse::HistogramItem>& histograms) {
+  w.WriteU16(static_cast<uint16_t>(counters.size()));
+  for (const MetricsResponse::CounterItem& c : counters) {
+    w.WriteString(c.name);
+    w.WriteU64(c.value);
+  }
+  w.WriteU16(static_cast<uint16_t>(gauges.size()));
+  for (const MetricsResponse::GaugeItem& g : gauges) {
+    w.WriteString(g.name);
+    w.WriteU64(static_cast<uint64_t>(g.value));
+  }
+  w.WriteU16(static_cast<uint16_t>(histograms.size()));
+  for (const MetricsResponse::HistogramItem& h : histograms) {
+    w.WriteString(h.name);
+    w.WriteU64(h.sum);
+    w.WriteU64(h.min);
+    w.WriteU64(h.max);
+    w.WriteU8(static_cast<uint8_t>(h.buckets.size()));
+    for (const auto& [index, count] : h.buckets) {
+      w.WriteU8(index);
+      w.WriteU64(count);
+    }
+  }
+}
+
+Status DecodeMetricsItems(ByteReader& r,
+                          std::vector<MetricsResponse::CounterItem>& counters,
+                          std::vector<MetricsResponse::GaugeItem>& gauges,
+                          std::vector<MetricsResponse::HistogramItem>& histograms) {
+  uint16_t n = 0;
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  counters.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::CounterItem c;
+    INS_ASSIGN_OR_RETURN(c.name, r.ReadString());
+    INS_ASSIGN_OR_RETURN(c.value, r.ReadU64());
+    counters.push_back(std::move(c));
+  }
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  gauges.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::GaugeItem g;
+    INS_ASSIGN_OR_RETURN(g.name, r.ReadString());
+    uint64_t raw = 0;
+    INS_ASSIGN_OR_RETURN(raw, r.ReadU64());
+    g.value = static_cast<int64_t>(raw);
+    gauges.push_back(std::move(g));
+  }
+  INS_ASSIGN_OR_RETURN(n, r.ReadU16());
+  histograms.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    MetricsResponse::HistogramItem h;
+    INS_ASSIGN_OR_RETURN(h.name, r.ReadString());
+    INS_ASSIGN_OR_RETURN(h.sum, r.ReadU64());
+    INS_ASSIGN_OR_RETURN(h.min, r.ReadU64());
+    INS_ASSIGN_OR_RETURN(h.max, r.ReadU64());
+    uint8_t buckets = 0;
+    INS_ASSIGN_OR_RETURN(buckets, r.ReadU8());
+    h.buckets.reserve(buckets);
+    for (uint8_t b = 0; b < buckets; ++b) {
+      uint8_t index = 0;
+      uint64_t count = 0;
+      INS_ASSIGN_OR_RETURN(index, r.ReadU8());
+      INS_ASSIGN_OR_RETURN(count, r.ReadU64());
+      h.buckets.emplace_back(index, count);
+    }
+    histograms.push_back(std::move(h));
+  }
+  return Status::Ok();
+}
+
+void EncodeBody(ByteWriter& w, const MetricsDeltaResponse& m) {
+  w.WriteU64(m.request_id);
+  WriteAddress(w, m.inr);
+  w.WriteU64(m.seq);
+  w.WriteU64(m.since_seq);
+  w.WriteU8(m.full ? 1 : 0);
+  EncodeMetricsItems(w, m.counters, m.gauges, m.histograms);
+}
+
+Result<MetricsDeltaResponse> DecodeMetricsDeltaResponse(ByteReader& r) {
+  MetricsDeltaResponse m;
+  INS_ASSIGN_OR_RETURN(m.request_id, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(m.inr, ReadAddress(r));
+  INS_ASSIGN_OR_RETURN(m.seq, r.ReadU64());
+  INS_ASSIGN_OR_RETURN(m.since_seq, r.ReadU64());
+  uint8_t full = 0;
+  INS_ASSIGN_OR_RETURN(full, r.ReadU8());
+  m.full = full != 0;
+  INS_RETURN_IF_ERROR(DecodeMetricsItems(r, m.counters, m.gauges, m.histograms));
+  return m;
+}
+
 }  // namespace
 
 MessageType Envelope::type() const {
@@ -706,19 +818,50 @@ MessageType Envelope::type() const {
     MessageType operator()(const DsrDeadInrReport&) {
       return MessageType::kDsrDeadInrReport;
     }
+    MessageType operator()(const MetricsDeltaRequest&) {
+      return MessageType::kMetricsDeltaRequest;
+    }
+    MessageType operator()(const MetricsDeltaResponse&) {
+      return MessageType::kMetricsDeltaResponse;
+    }
   };
   return std::visit(Visitor{}, body);
+}
+
+uint32_t EnvelopeChecksum(const uint8_t* data, size_t len) {
+  // 32-bit FNV-1a. Not cryptographic — it plays the role of the UDP/link
+  // checksum the real deployment gets for free: a datagram that took bit
+  // damage in flight is dropped at decode instead of poisoning soft state
+  // (a flipped NameUpdate version or metric field would otherwise install a
+  // route that honest refreshes cannot displace until lifetime expiry).
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
 }
 
 Bytes EncodeMessage(const Envelope& e) {
   ByteWriter w;
   w.WriteU8(static_cast<uint8_t>(e.type()));
   std::visit([&w](const auto& body) { EncodeBody(w, body); }, e.body);
+  w.WriteU32(EnvelopeChecksum(w.bytes().data(), w.size()));
   return std::move(w).TakeBytes();
 }
 
 Result<Envelope> DecodeMessage(const Bytes& buffer) {
-  ByteReader r(buffer);
+  if (buffer.size() < 5) {  // type byte + trailing checksum
+    return InvalidArgumentError("envelope too short");
+  }
+  const size_t body_len = buffer.size() - 4;
+  ByteReader trailer(buffer.data() + body_len, 4);
+  uint32_t stored = 0;
+  INS_ASSIGN_OR_RETURN(stored, trailer.ReadU32());
+  if (EnvelopeChecksum(buffer.data(), body_len) != stored) {
+    return InvalidArgumentError("envelope checksum mismatch");
+  }
+  ByteReader r(buffer.data(), body_len);
   uint8_t raw_type = 0;
   INS_ASSIGN_OR_RETURN(raw_type, r.ReadU8());
   switch (static_cast<MessageType>(raw_type)) {
@@ -856,6 +999,14 @@ Result<Envelope> DecodeMessage(const Bytes& buffer) {
       INS_ASSIGN_OR_RETURN(DsrDeadInrReport d, DecodeDsrDeadInrReport(r));
       return Envelope{MessageBody(std::move(d))};
     }
+    case MessageType::kMetricsDeltaRequest: {
+      INS_ASSIGN_OR_RETURN(MetricsDeltaRequest m, DecodeMetricsDeltaRequest(r));
+      return Envelope{MessageBody(m)};
+    }
+    case MessageType::kMetricsDeltaResponse: {
+      INS_ASSIGN_OR_RETURN(MetricsDeltaResponse m, DecodeMetricsDeltaResponse(r));
+      return Envelope{MessageBody(std::move(m))};
+    }
   }
   return InvalidArgumentError("unknown message type " + std::to_string(raw_type));
 }
@@ -898,6 +1049,92 @@ MetricsSnapshot SnapshotFromResponse(const MetricsResponse& resp) {
     snap.histograms[h.name] = Histogram::FromParts(h.sum, h.min, h.max, h.buckets);
   }
   return snap;
+}
+
+namespace {
+
+MetricsResponse::HistogramItem HistogramItemFrom(const std::string& name,
+                                                const Histogram& h) {
+  MetricsResponse::HistogramItem item;
+  item.name = name;
+  item.sum = h.sum();
+  item.min = h.min();
+  item.max = h.max();
+  item.buckets = h.SparseBuckets();
+  return item;
+}
+
+}  // namespace
+
+MetricsDeltaResponse BuildMetricsFull(uint64_t request_id, const NodeAddress& inr,
+                                      uint64_t seq, const MetricsSnapshot& now) {
+  MetricsDeltaResponse resp;
+  resp.request_id = request_id;
+  resp.inr = inr;
+  resp.seq = seq;
+  resp.since_seq = 0;
+  resp.full = true;
+  resp.counters.reserve(now.counters.size());
+  for (const auto& [name, value] : now.counters) {
+    resp.counters.push_back({name, value});
+  }
+  resp.gauges.reserve(now.gauges.size());
+  for (const auto& [name, value] : now.gauges) {
+    resp.gauges.push_back({name, value});
+  }
+  resp.histograms.reserve(now.histograms.size());
+  for (const auto& [name, h] : now.histograms) {
+    resp.histograms.push_back(HistogramItemFrom(name, h));
+  }
+  return resp;
+}
+
+MetricsDeltaResponse BuildMetricsDelta(uint64_t request_id, const NodeAddress& inr,
+                                       uint64_t seq, uint64_t since_seq,
+                                       const MetricsSnapshot& baseline,
+                                       const MetricsSnapshot& now) {
+  MetricsDeltaResponse resp;
+  resp.request_id = request_id;
+  resp.inr = inr;
+  resp.seq = seq;
+  resp.since_seq = since_seq;
+  resp.full = false;
+  for (const auto& [name, value] : now.counters) {
+    auto it = baseline.counters.find(name);
+    if (it == baseline.counters.end() || it->second != value) {
+      resp.counters.push_back({name, value});
+    }
+  }
+  for (const auto& [name, value] : now.gauges) {
+    auto it = baseline.gauges.find(name);
+    if (it == baseline.gauges.end() || it->second != value) {
+      resp.gauges.push_back({name, value});
+    }
+  }
+  // Histograms ship whole (cumulative) whenever any sample landed since the
+  // baseline; the client swaps the histogram in rather than merging buckets.
+  for (const auto& [name, h] : now.histograms) {
+    auto it = baseline.histograms.find(name);
+    if (it == baseline.histograms.end() || it->second.count() != h.count()) {
+      resp.histograms.push_back(HistogramItemFrom(name, h));
+    }
+  }
+  return resp;
+}
+
+void ApplyMetricsDelta(const MetricsDeltaResponse& resp, MetricsSnapshot& view) {
+  if (resp.full) {
+    view = MetricsSnapshot{};
+  }
+  for (const MetricsResponse::CounterItem& c : resp.counters) {
+    view.counters[c.name] = c.value;
+  }
+  for (const MetricsResponse::GaugeItem& g : resp.gauges) {
+    view.gauges[g.name] = g.value;
+  }
+  for (const MetricsResponse::HistogramItem& h : resp.histograms) {
+    view.histograms[h.name] = Histogram::FromParts(h.sum, h.min, h.max, h.buckets);
+  }
 }
 
 }  // namespace ins

@@ -57,6 +57,8 @@ enum class MessageType : uint8_t {
   kDsrReplicaSetResponse = 30,  // replica set in join order + spare candidates
   kReplicaInvite = 31,  // primary INR -> INR: join this vspace's replica set
   kDsrDeadInrReport = 32,  // replica INR -> DSR: member stopped digesting
+  kMetricsDeltaRequest = 33,   // netmon -> INR: changes since sample seq S
+  kMetricsDeltaResponse = 34,  // INR -> netmon: changed slots only, or full
 };
 
 // --- Service advertisement (client/service -> its INR) ---------------------
@@ -369,6 +371,36 @@ struct MetricsResponse {
   std::vector<HistogramItem> histograms;
 };
 
+// --- Incremental metrics polling ---------------------------------------------
+
+// "Send me what changed since your sample `since_seq`." The resolver keeps a
+// ring of recent snapshots (common/timeseries.h), numbered by a sequence that
+// is monotonic for one resolver incarnation. since_seq = 0 (a client that has
+// no baseline yet) always gets a full snapshot.
+struct MetricsDeltaRequest {
+  uint64_t request_id = 0;
+  NodeAddress reply_to;  // invalid = answer to the datagram source
+  uint64_t since_seq = 0;
+};
+
+// The incremental answer. When `full` is false the item vectors carry ONLY
+// the slots whose values changed between retained sample since_seq and now —
+// the steady-state poll ships a handful of hot counters instead of the whole
+// catalogue. When since_seq fell off the resolver's ring, or belongs to a
+// previous incarnation (resolver restart: sequences start over from 1), the
+// resolver answers with `full` set and the complete snapshot; the client
+// replaces its view and re-bases on `seq`.
+struct MetricsDeltaResponse {
+  uint64_t request_id = 0;
+  NodeAddress inr;
+  uint64_t seq = 0;        // sequence of the snapshot this response represents
+  uint64_t since_seq = 0;  // the baseline the delta was computed against (0 if full)
+  bool full = false;
+  std::vector<MetricsResponse::CounterItem> counters;
+  std::vector<MetricsResponse::GaugeItem> gauges;
+  std::vector<MetricsResponse::HistogramItem> histograms;
+};
+
 // --- Envelope ----------------------------------------------------------------
 
 using MessageBody =
@@ -379,13 +411,20 @@ using MessageBody =
                  SpawnRequest, DelegateVspace, DsrAssignmentsRequest, DsrAssignmentsResponse,
                  PeerKeepalive, MetricsRequest, MetricsResponse, JournalDigest,
                  JournalDeltaRequest, JournalDeltaResponse, DsrReplicaSetRequest,
-                 DsrReplicaSetResponse, ReplicaInvite, DsrDeadInrReport>;
+                 DsrReplicaSetResponse, ReplicaInvite, DsrDeadInrReport,
+                 MetricsDeltaRequest, MetricsDeltaResponse>;
 
 struct Envelope {
   MessageBody body;
 
   MessageType type() const;
 };
+
+// FNV-1a over the type byte and body. EncodeMessage appends it as a trailing
+// u32; DecodeMessage verifies it and rejects damaged datagrams before any
+// field reaches protocol state (the integrity check UDP provides in the real
+// deployment).
+uint32_t EnvelopeChecksum(const uint8_t* data, size_t len);
 
 Bytes EncodeMessage(const Envelope& e);
 Result<Envelope> DecodeMessage(const Bytes& buffer);
@@ -403,6 +442,21 @@ Bytes Encode(T body) {
 MetricsResponse BuildMetricsResponse(uint64_t request_id, const NodeAddress& inr,
                                      const MetricsSnapshot& snapshot);
 MetricsSnapshot SnapshotFromResponse(const MetricsResponse& resp);
+
+// Builds the incremental answer: only the slots of `now` that differ from
+// `baseline` (new names count as changed). Histograms compare on recorded
+// count — a histogram ships whenever it received any sample since the
+// baseline, as its full cumulative form (bucket state is not diffable on the
+// client without shipping all buckets anyway, and one histogram is small).
+MetricsDeltaResponse BuildMetricsDelta(uint64_t request_id, const NodeAddress& inr,
+                                       uint64_t seq, uint64_t since_seq,
+                                       const MetricsSnapshot& baseline,
+                                       const MetricsSnapshot& now);
+// Full-snapshot fallback in the delta framing (`full` set).
+MetricsDeltaResponse BuildMetricsFull(uint64_t request_id, const NodeAddress& inr,
+                                      uint64_t seq, const MetricsSnapshot& now);
+// Applies a delta (or full) response onto the client's view of the resolver.
+void ApplyMetricsDelta(const MetricsDeltaResponse& resp, MetricsSnapshot& view);
 
 }  // namespace ins
 

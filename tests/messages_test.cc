@@ -319,6 +319,109 @@ TEST(MessagesTest, TypeTagsAreStable) {
   EXPECT_EQ(Encode(DsrListRequest{})[0], static_cast<uint8_t>(MessageType::kDsrListRequest));
   Packet p;
   EXPECT_EQ(Encode(p)[0], static_cast<uint8_t>(MessageType::kData));
+  EXPECT_EQ(Encode(MetricsDeltaRequest{})[0],
+            static_cast<uint8_t>(MessageType::kMetricsDeltaRequest));
+  EXPECT_EQ(Encode(MetricsDeltaResponse{})[0],
+            static_cast<uint8_t>(MessageType::kMetricsDeltaResponse));
+}
+
+TEST(MessagesTest, EnvelopeChecksumRejectsBitDamage) {
+  Bytes valid = Encode(DsrListRequest{42});
+  ASSERT_TRUE(DecodeMessage(valid).ok());
+  // Any single-bit flip — in the body or in the trailer itself — is caught.
+  for (size_t byte = 0; byte < valid.size(); ++byte) {
+    Bytes damaged = valid;
+    damaged[byte] ^= 0x10;
+    EXPECT_FALSE(DecodeMessage(damaged).ok()) << "flip at byte " << byte;
+  }
+}
+
+TEST(MessagesTest, MetricsDeltaRoundTrip) {
+  MetricsDeltaRequest req;
+  req.request_id = 88;
+  req.reply_to = MakeAddress(9, 7100);
+  req.since_seq = 41;
+  MetricsDeltaRequest req2 = RoundTrip(req);
+  EXPECT_EQ(req2.request_id, 88u);
+  EXPECT_EQ(req2.reply_to, MakeAddress(9, 7100));
+  EXPECT_EQ(req2.since_seq, 41u);
+
+  MetricsDeltaResponse resp;
+  resp.request_id = 88;
+  resp.inr = MakeAddress(1, 5678);
+  resp.seq = 42;
+  resp.since_seq = 41;
+  resp.full = false;
+  resp.counters = {{"forwarding.delivered", 10}, {"lookup.requests", 99}};
+  resp.gauges = {{"admission.queue_depth", -1}};
+  MetricsResponse::HistogramItem h;
+  h.name = "latency.stage.lookup";
+  h.sum = 500;
+  h.min = 2;
+  h.max = 300;
+  h.buckets = {{2, 1}, {9, 3}};
+  resp.histograms.push_back(h);
+  MetricsDeltaResponse resp2 = RoundTrip(resp);
+  EXPECT_EQ(resp2.seq, 42u);
+  EXPECT_EQ(resp2.since_seq, 41u);
+  EXPECT_FALSE(resp2.full);
+  ASSERT_EQ(resp2.counters.size(), 2u);
+  EXPECT_EQ(resp2.counters[1].name, "lookup.requests");
+  EXPECT_EQ(resp2.counters[1].value, 99u);
+  ASSERT_EQ(resp2.gauges.size(), 1u);
+  EXPECT_EQ(resp2.gauges[0].value, -1);
+  ASSERT_EQ(resp2.histograms.size(), 1u);
+  EXPECT_EQ(resp2.histograms[0].buckets.size(), 2u);
+
+  resp.full = true;
+  EXPECT_TRUE(RoundTrip(resp).full);
+}
+
+TEST(MessagesTest, BuildMetricsDeltaShipsOnlyChangedSlots) {
+  MetricsSnapshot baseline;
+  baseline.counters["a"] = 1;
+  baseline.counters["b"] = 2;
+  baseline.gauges["g"] = 5;
+  Histogram h;
+  h.Record(10);
+  baseline.histograms["h"] = h;
+  Histogram quiet;
+  quiet.Record(3);
+  baseline.histograms["quiet"] = quiet;
+
+  MetricsSnapshot now = baseline;
+  now.counters["b"] = 7;         // changed
+  now.counters["c"] = 1;         // new
+  now.histograms["h"].Record(20);  // sampled since baseline
+
+  MetricsDeltaResponse d =
+      BuildMetricsDelta(1, MakeAddress(1, 5678), 42, 41, baseline, now);
+  EXPECT_FALSE(d.full);
+  ASSERT_EQ(d.counters.size(), 2u);  // b and c, not a
+  EXPECT_EQ(d.gauges.size(), 0u);    // unchanged gauge is not shipped
+  ASSERT_EQ(d.histograms.size(), 1u);
+  EXPECT_EQ(d.histograms[0].name, "h");  // quiet histogram is not shipped
+
+  // Applying the delta onto the baseline view reproduces `now` exactly.
+  MetricsSnapshot view = baseline;
+  ApplyMetricsDelta(d, view);
+  EXPECT_EQ(view.counters, now.counters);
+  EXPECT_EQ(view.gauges, now.gauges);
+  EXPECT_EQ(view.histograms.at("h").count(), 2u);
+}
+
+TEST(MessagesTest, FullMetricsResponseReplacesTheView) {
+  MetricsSnapshot now;
+  now.counters["x"] = 3;
+  MetricsDeltaResponse full = BuildMetricsFull(2, MakeAddress(1, 5678), 7, now);
+  EXPECT_TRUE(full.full);
+  EXPECT_EQ(full.seq, 7u);
+
+  MetricsSnapshot view;
+  view.counters["stale"] = 99;  // must not survive a full replacement
+  ApplyMetricsDelta(full, view);
+  EXPECT_EQ(view.counters.count("stale"), 0u);
+  EXPECT_EQ(view.counters.at("x"), 3u);
 }
 
 }  // namespace

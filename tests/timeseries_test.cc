@@ -1,0 +1,140 @@
+#include "ins/common/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "ins/common/clock.h"
+#include "ins/common/metrics.h"
+
+namespace ins {
+namespace {
+
+TimePoint At(int64_t s) { return TimePoint{} + Seconds(s); }
+
+MetricsSnapshot Snap(uint64_t lookups, int64_t depth = 0) {
+  MetricsSnapshot s;
+  s.counters["lookup.requests"] = lookups;
+  s.gauges["admission.queue_depth"] = depth;
+  return s;
+}
+
+TEST(MetricsTimeSeriesTest, SequencesStartAtOneAndGrow) {
+  MetricsTimeSeries ts(4);
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.newest_seq(), 0u);
+  EXPECT_EQ(ts.Append(Snap(1), At(1)), 1u);
+  EXPECT_EQ(ts.Append(Snap(2), At(2)), 2u);
+  EXPECT_EQ(ts.size(), 2u);
+  EXPECT_EQ(ts.oldest_seq(), 1u);
+  EXPECT_EQ(ts.newest_seq(), 2u);
+}
+
+TEST(MetricsTimeSeriesTest, AppendOverwritesOldestAtCapacity) {
+  MetricsTimeSeries ts(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    ts.Append(Snap(i), At(static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.oldest_seq(), 3u);
+  EXPECT_EQ(ts.newest_seq(), 5u);
+  EXPECT_EQ(ts.evicted(), 2u);
+  EXPECT_EQ(ts.SampleAt(1), nullptr);
+  EXPECT_EQ(ts.SampleAt(2), nullptr);
+  ASSERT_NE(ts.SampleAt(3), nullptr);
+  EXPECT_EQ(ts.SampleAt(3)->snapshot.counters.at("lookup.requests"), 3u);
+  ASSERT_NE(ts.Newest(), nullptr);
+  EXPECT_EQ(ts.Newest()->seq, 5u);
+  EXPECT_EQ(ts.SampleAt(6), nullptr);  // never taken
+}
+
+TEST(MetricsTimeSeriesTest, NewestAtOrBefore) {
+  MetricsTimeSeries ts(8);
+  ts.Append(Snap(1), At(10));
+  ts.Append(Snap(2), At(20));
+  ts.Append(Snap(3), At(30));
+  EXPECT_EQ(ts.NewestAtOrBefore(At(5)), nullptr);
+  ASSERT_NE(ts.NewestAtOrBefore(At(20)), nullptr);
+  EXPECT_EQ(ts.NewestAtOrBefore(At(20))->seq, 2u);
+  EXPECT_EQ(ts.NewestAtOrBefore(At(25))->seq, 2u);
+  EXPECT_EQ(ts.NewestAtOrBefore(At(99))->seq, 3u);
+}
+
+TEST(MetricsTimeSeriesTest, CounterRateAndDeltaOverWindow) {
+  MetricsTimeSeries ts(16);
+  ts.Append(Snap(100), At(0));
+  ts.Append(Snap(150), At(5));
+  ts.Append(Snap(400), At(10));
+  // Window of 10 s opens at the t=0 sample: 300 increase over 10 s.
+  EXPECT_EQ(ts.CounterDelta("lookup.requests", Seconds(10)), 300u);
+  EXPECT_DOUBLE_EQ(ts.CounterRate("lookup.requests", Seconds(10)), 30.0);
+  // Window of 5 s opens at the t=5 sample: 250 over 5 s.
+  EXPECT_EQ(ts.CounterDelta("lookup.requests", Seconds(5)), 250u);
+  EXPECT_DOUBLE_EQ(ts.CounterRate("lookup.requests", Seconds(5)), 50.0);
+  // A window wider than history clamps to the oldest retained sample.
+  EXPECT_EQ(ts.CounterDelta("lookup.requests", Seconds(1000)), 300u);
+  // Absent counter reads as zero change.
+  EXPECT_EQ(ts.CounterDelta("no.such.counter", Seconds(10)), 0u);
+}
+
+TEST(MetricsTimeSeriesTest, RateNeedsTwoSamples) {
+  MetricsTimeSeries ts(4);
+  EXPECT_DOUBLE_EQ(ts.CounterRate("lookup.requests", Seconds(10)), 0.0);
+  ts.Append(Snap(100), At(0));
+  EXPECT_DOUBLE_EQ(ts.CounterRate("lookup.requests", Seconds(10)), 0.0);
+}
+
+TEST(MetricsTimeSeriesTest, GaugeStatsOverWindow) {
+  MetricsTimeSeries ts(8);
+  ts.Append(Snap(1, 5), At(0));
+  ts.Append(Snap(2, 12), At(5));
+  ts.Append(Snap(3, 7), At(10));
+  MetricsTimeSeries::GaugeStats g = ts.GaugeOver("admission.queue_depth", Seconds(10));
+  EXPECT_EQ(g.samples, 3u);
+  EXPECT_EQ(g.min, 5);
+  EXPECT_EQ(g.max, 12);
+  EXPECT_EQ(g.last, 7);
+  EXPECT_EQ(ts.GaugeOver("absent", Seconds(10)).samples, 0u);
+}
+
+TEST(MetricsTimeSeriesTest, HistogramDeltaIsBucketwiseIncrease) {
+  MetricsTimeSeries ts(8);
+  MetricsSnapshot then;
+  Histogram h1;
+  h1.Record(3);
+  h1.Record(100);
+  then.histograms["lookup.latency_us"] = h1;
+  ts.Append(then, At(0));
+
+  MetricsSnapshot now = then;
+  Histogram& h2 = now.histograms["lookup.latency_us"];
+  h2.Record(3);
+  h2.Record(7);
+  ts.Append(now, At(10));
+
+  Histogram delta = ts.HistogramDelta("lookup.latency_us", Seconds(10));
+  EXPECT_EQ(delta.count(), 2u);  // only the two new recordings
+  EXPECT_EQ(ts.HistogramDelta("absent", Seconds(10)).count(), 0u);
+}
+
+TEST(HistogramIncreaseTest, SubtractsCumulativeCounts) {
+  Histogram then;
+  then.Record(10);
+  Histogram now = then;
+  now.Record(10);
+  now.Record(1000);
+  Histogram inc = HistogramIncrease(now, then);
+  EXPECT_EQ(inc.count(), 2u);
+  // min/max clamp to populated bucket bounds — usable for interpolation.
+  EXPECT_LE(inc.min(), 10u);
+  EXPECT_GE(inc.max(), 1000u / 2);
+}
+
+TEST(MetricsTimeSeriesTest, ClearForgetsEverything) {
+  MetricsTimeSeries ts(4);
+  ts.Append(Snap(1), At(1));
+  ts.Clear();
+  EXPECT_EQ(ts.size(), 0u);
+  EXPECT_EQ(ts.Newest(), nullptr);
+}
+
+}  // namespace
+}  // namespace ins

@@ -136,6 +136,43 @@ TEST(TopologyTest, ParentFailureTriggersRejoin) {
   EXPECT_GT(c->metrics().Counter("topology.neighbor_failures"), 0u);
 }
 
+TEST(TopologyTest, RestartedPeerRejoinResetsStaleEdge) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.loop().RunFor(Seconds(1));
+  Inr* b = cluster.AddInr(2);
+  cluster.StabilizeTopology();
+  ASSERT_TRUE(IsConnectedTree(cluster.inrs()));
+
+  // b restarts amnesiac before a's keepalive verdict notices anything: its
+  // rejoin PeerRequest reaches a resolver that still holds the old edge. The
+  // stale edge must be torn down and re-formed, not silently reused — its
+  // parent/child direction may no longer match the requester's view.
+  cluster.CrashInr(b);
+  Inr* b2 = cluster.RestartInr(2);
+  cluster.StabilizeTopology();
+
+  EXPECT_TRUE(b2->topology().joined());
+  EXPECT_TRUE(IsConnectedTree(cluster.inrs()));
+  EXPECT_GT(a->metrics().Counter("topology.edge_resets"), 0u);
+}
+
+TEST(TopologyTest, KeepaliveFromNonNeighborIsRepairedWithPeerClose) {
+  SimCluster cluster;
+  Inr* a = cluster.AddInr(1);
+  cluster.StabilizeTopology();
+
+  // A peer asserting a tree edge this resolver does not hold (the signature
+  // of a half-open edge after an amnesiac restart) must be answered with
+  // PeerClose so the sender drops its stale edge and rejoins.
+  auto ghost = cluster.AddEndpoint(99);
+  ghost->Send(a->address(), Envelope{MessageBody(PeerKeepalive{ghost->address()})});
+  cluster.Settle();
+
+  EXPECT_EQ(ghost->ReceivedOf<PeerClose>().size(), 1u);
+  EXPECT_GT(a->metrics().Counter("topology.half_open_repairs"), 0u);
+}
+
 TEST(TopologyTest, GracefulStopNotifiesPeers) {
   SimCluster cluster;
   Inr* a = cluster.AddInr(1);

@@ -141,6 +141,85 @@ TEST(TraceRingTest, KindNamesAreDistinct) {
   EXPECT_EQ(names.size(), 7u);
 }
 
+// --- Stage attribution -------------------------------------------------------
+
+TEST(LatencyStageTest, StageNamesAreDistinct) {
+  std::set<std::string_view> names;
+  for (size_t s = 0; s < kLatencyStageCount; ++s) {
+    auto name = LatencyStageName(static_cast<LatencyStage>(s));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << name;
+  }
+  EXPECT_EQ(names.size(), kLatencyStageCount);
+}
+
+TEST(LatencyStageTest, EveryTransitionMapsToItsStage) {
+  using K = TraceEventKind;
+  EXPECT_EQ(StageForTransition(K::kReceived, K::kQueued), LatencyStage::kIngress);
+  EXPECT_EQ(StageForTransition(K::kQueued, K::kAdmitted), LatencyStage::kAdmissionQueue);
+  // Inline admission (no queue event) is still ingress work.
+  EXPECT_EQ(StageForTransition(K::kReceived, K::kAdmitted), LatencyStage::kIngress);
+  EXPECT_EQ(StageForTransition(K::kAdmitted, K::kLookup), LatencyStage::kLookup);
+  EXPECT_EQ(StageForTransition(K::kLookup, K::kNextHopChosen),
+            LatencyStage::kNextHopSelection);
+  // Re-entering kReceived is arrival at the next resolver: transport flight.
+  EXPECT_EQ(StageForTransition(K::kNextHopChosen, K::kReceived),
+            LatencyStage::kTransport);
+  EXPECT_EQ(StageForTransition(K::kLookup, K::kDelivered), LatencyStage::kDelivery);
+  // A drop ends the journey: nothing to attribute.
+  EXPECT_EQ(StageForTransition(K::kLookup, K::kDropped), std::nullopt);
+}
+
+TEST(TraceRingStageTest, AttributesGapsIntoStageHistograms) {
+  TraceRing ring(64);
+  MetricsRegistry metrics;
+  ring.EnableStageAttribution(&metrics);
+
+  auto record = [&ring](uint64_t id, int64_t at_us, TraceEventKind kind) {
+    TraceEvent ev;
+    ev.trace_id = id;
+    ev.at = TimePoint{Microseconds(at_us)};
+    ev.kind = kind;
+    ring.Record(ev);
+  };
+  record(7, 100, TraceEventKind::kReceived);
+  record(7, 130, TraceEventKind::kQueued);    // 30 us ingress
+  record(7, 380, TraceEventKind::kAdmitted);  // 250 us admission queue
+  record(7, 395, TraceEventKind::kLookup);    // 15 us lookup
+  record(7, 402, TraceEventKind::kDelivered); // 7 us delivery
+
+  MetricsSnapshot snap = metrics.Snapshot();
+  EXPECT_EQ(snap.histograms.at("latency.stage.ingress").sum(), 30u);
+  EXPECT_EQ(snap.histograms.at("latency.stage.admission_queue").sum(), 250u);
+  EXPECT_EQ(snap.histograms.at("latency.stage.lookup").sum(), 15u);
+  EXPECT_EQ(snap.histograms.at("latency.stage.delivery").sum(), 7u);
+  // The node-local stages reconcile with the node-local end-to-end span.
+  uint64_t attributed = 0;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind("latency.stage.", 0) == 0) {
+      attributed += h.sum();
+    }
+  }
+  EXPECT_EQ(attributed, 302u);  // 402 - 100
+}
+
+TEST(TraceRingStageTest, UntrackedPredecessorGoesUnattributed) {
+  TraceRing ring(64);
+  MetricsRegistry metrics;
+  ring.EnableStageAttribution(&metrics);
+  // A lone event with no predecessor in the transition table records nothing.
+  TraceEvent ev;
+  ev.trace_id = 9;
+  ev.at = TimePoint{Microseconds(500)};
+  ev.kind = TraceEventKind::kDelivered;
+  ring.Record(ev);
+  for (const auto& [name, h] : metrics.Snapshot().histograms) {
+    if (name.rfind("latency.stage.", 0) == 0) {
+      EXPECT_EQ(h.count(), 0u) << name;
+    }
+  }
+}
+
 // --- Journey assembly across a live overlay ----------------------------------
 
 struct ClientHarness {

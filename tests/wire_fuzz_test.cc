@@ -276,6 +276,29 @@ std::vector<Bytes> EncodedSpecimens() {
   specimens.push_back(Encode(ReplicaInvite{MakeAddress(1), "cam"}));
   specimens.push_back(Encode(DsrDeadInrReport{MakeAddress(2), MakeAddress(1)}));
 
+  MetricsDeltaRequest mdreq;
+  mdreq.request_id = (1ull << 62) | 5;
+  mdreq.reply_to = MakeAddress(9);
+  mdreq.since_seq = 17;
+  specimens.push_back(Encode(mdreq));
+
+  MetricsDeltaResponse mdresp;
+  mdresp.request_id = 5;
+  mdresp.inr = MakeAddress(1);
+  mdresp.seq = 18;
+  mdresp.since_seq = 17;
+  mdresp.full = false;
+  mdresp.counters = {{"forwarding.delivered", 41}, {"lookup.requests", 1002}};
+  mdresp.gauges = {{"topology.neighbors", 3}};
+  MetricsResponse::HistogramItem dh;
+  dh.name = "latency.stage.lookup";
+  dh.sum = 1234;
+  dh.min = 80;
+  dh.max = 700;
+  dh.buckets = {{6, 3}, {8, 2}};
+  mdresp.histograms.push_back(std::move(dh));
+  specimens.push_back(Encode(mdresp));
+
   // One specimen beyond the one-per-type set: a SAMPLED packet, whose
   // header carries the trace extension — the sweep must cover both layouts.
   Packet traced = p;
